@@ -1,0 +1,547 @@
+// Benchmarks regenerating the dynamic-analysis measurements behind
+// every table and figure of the paper's evaluation (§6). Each
+// Benchmark{Fig,Table}N family measures the runtime configurations the
+// corresponding artifact compares; deterministic work counts are
+// attached as custom metrics (events/op, nodes/op).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The printable tables themselves (paper-style rows, break-even math,
+// profiling sweeps) come from `go run ./cmd/ohabench -exp all`.
+package oha_test
+
+import (
+	"sync"
+	"testing"
+
+	"oha/internal/core"
+	"oha/internal/ctxs"
+	"oha/internal/ir"
+	"oha/internal/pointsto"
+	"oha/internal/staticslice"
+	"oha/internal/workloads"
+)
+
+// benchSetup caches the per-workload analysis artifacts across
+// benchmark families.
+type benchSetup struct {
+	once sync.Once
+	pr   *core.ProfileResult
+	ft   *core.OptFT    // race workloads
+	sl   *core.OptSlice // slice workloads
+	hy   *core.HybridSlicer
+	err  error
+}
+
+var setups sync.Map // name -> *benchSetup
+
+const benchProfileRuns = 32
+const benchBudget = 24
+
+func setupFor(b *testing.B, w *workloads.Workload) *benchSetup {
+	b.Helper()
+	v, _ := setups.LoadOrStore(w.Name, &benchSetup{})
+	s := v.(*benchSetup)
+	s.once.Do(func() {
+		s.pr, s.err = core.Profile(w.Prog(), func(run int) core.Execution {
+			return core.Execution{Inputs: w.GenInput(run), Seed: uint64(run + 1)}
+		}, benchProfileRuns)
+		if s.err != nil {
+			return
+		}
+		switch w.Kind {
+		case workloads.Race:
+			s.ft, s.err = core.NewOptFT(w.Prog(), s.pr.DB)
+			if s.err != nil {
+				return
+			}
+			execs := []core.Execution{
+				{Inputs: w.GenInput(0), Seed: 1},
+				{Inputs: w.GenInput(1), Seed: 2},
+			}
+			s.err = s.ft.ValidateCustomSync(execs, core.RunOptions{})
+		case workloads.Slice:
+			criterion := lastPrintOf(w)
+			s.sl, s.err = core.NewOptSlice(w.Prog(), s.pr.DB, criterion, benchBudget)
+			if s.err != nil {
+				return
+			}
+			s.hy, s.err = core.NewHybridSlicer(w.Prog(), criterion, benchBudget)
+		}
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	return s
+}
+
+func lastPrintOf(w *workloads.Workload) *ir.Instr {
+	prog := w.Prog()
+	var out *ir.Instr
+	for _, in := range prog.Instrs {
+		if in.Op == ir.OpPrint {
+			out = in
+		}
+	}
+	return out
+}
+
+func testExecOf(w *workloads.Workload, i int) core.Execution {
+	return core.Execution{Inputs: w.GenInput(1000 + i), Seed: uint64(2000 + i)}
+}
+
+// ---------------------------------------------------------------- Fig 5
+
+// BenchmarkFig5Baseline measures uninstrumented execution (the
+// framework bar of Figure 5).
+func BenchmarkFig5Baseline(b *testing.B) {
+	for _, w := range workloads.Races() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			e := testExecOf(w, 0)
+			var steps uint64
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunPlain(w.Prog(), e, core.RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = res.Stats.Steps
+			}
+			b.ReportMetric(float64(steps), "steps/op")
+		})
+	}
+}
+
+// BenchmarkFig5FastTrack measures the unoptimized FastTrack bar.
+func BenchmarkFig5FastTrack(b *testing.B) {
+	for _, w := range workloads.Races() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			e := testExecOf(w, 0)
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				rep, err := core.RunFastTrack(w.Prog(), e, core.RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = rep.Stats.InstrumentedOps()
+			}
+			b.ReportMetric(float64(events), "events/op")
+		})
+	}
+}
+
+// BenchmarkFig5Hybrid measures the traditional hybrid FastTrack bar.
+func BenchmarkFig5Hybrid(b *testing.B) {
+	for _, w := range workloads.Races() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			s := setupFor(b, w)
+			e := testExecOf(w, 0)
+			var events uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := s.ft.Sound.Run(e, core.RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = rep.Stats.InstrumentedOps()
+			}
+			b.ReportMetric(float64(events), "events/op")
+		})
+	}
+}
+
+// BenchmarkFig5OptFT measures the OptFT bar.
+func BenchmarkFig5OptFT(b *testing.B) {
+	for _, w := range workloads.Races() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			s := setupFor(b, w)
+			e := testExecOf(w, 0)
+			var events, checks uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := s.ft.Run(e, core.RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = rep.Stats.InstrumentedOps()
+				checks = rep.CheckEvents
+			}
+			b.ReportMetric(float64(events), "events/op")
+			b.ReportMetric(float64(checks), "checks/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------- Tab 1
+
+// BenchmarkTable1Profiling measures the profiling phase (the startup
+// cost amortized in Table 1's break-even columns).
+func BenchmarkTable1Profiling(b *testing.B) {
+	for _, w := range workloads.Races() {
+		if w.RaceFree {
+			continue
+		}
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.ProfileN(w.Prog(), []core.Execution{
+					{Inputs: w.GenInput(i % 8), Seed: uint64(i%8 + 1)},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Static measures the static-analysis phases (sound and
+// predicated) of Table 1.
+func BenchmarkTable1Static(b *testing.B) {
+	for _, w := range workloads.Races() {
+		if w.RaceFree {
+			continue
+		}
+		w := w
+		b.Run(w.Name+"/sound", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewHybridFT(w.Prog()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.Name+"/predicated", func(b *testing.B) {
+			s := setupFor(b, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewOptFT(w.Prog(), s.pr.DB); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- Fig 6
+
+// BenchmarkFig6Hybrid measures the traditional hybrid slicer bar.
+func BenchmarkFig6Hybrid(b *testing.B) {
+	for _, w := range workloads.Slices() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			s := setupFor(b, w)
+			e := testExecOf(w, 0)
+			var nodes int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := s.hy.Run(e, core.RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes = rep.TraceNodes
+			}
+			b.ReportMetric(float64(nodes), "nodes/op")
+		})
+	}
+}
+
+// BenchmarkFig6OptSlice measures the OptSlice bar.
+func BenchmarkFig6OptSlice(b *testing.B) {
+	for _, w := range workloads.Slices() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			s := setupFor(b, w)
+			e := testExecOf(w, 0)
+			var nodes int
+			var checks uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := s.sl.Run(e, core.RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes = rep.TraceNodes
+				checks = rep.CheckEvents
+			}
+			b.ReportMetric(float64(nodes), "nodes/op")
+			b.ReportMetric(float64(checks), "checks/op")
+		})
+	}
+}
+
+// BenchmarkFig6FullGiri measures the trace-everything baseline the
+// paper could not even run at scale (bounded here by a node cap).
+func BenchmarkFig6FullGiri(b *testing.B) {
+	for _, w := range workloads.Slices() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			criterion := lastPrintOf(w)
+			e := testExecOf(w, 0)
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				rep, err := core.RunFullGiri(w.Prog(), criterion, e, core.RunOptions{}, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes = rep.TraceNodes
+			}
+			b.ReportMetric(float64(nodes), "nodes/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------- Tab 2
+
+// BenchmarkTable2Static measures the slicing static-analysis phases.
+func BenchmarkTable2Static(b *testing.B) {
+	for _, w := range workloads.Slices() {
+		w := w
+		criterion := lastPrintOf(w)
+		b.Run(w.Name+"/sound", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewHybridSlicer(w.Prog(), criterion, benchBudget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.Name+"/predicated", func(b *testing.B) {
+			s := setupFor(b, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewOptSlice(w.Prog(), s.pr.DB, criterion, benchBudget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ------------------------------------------------------------ Fig 7 / 8
+
+// BenchmarkFig7Profiling measures one profiling execution per slicing
+// benchmark — the unit of Figure 7/8's x axis.
+func BenchmarkFig7Profiling(b *testing.B) {
+	for _, w := range workloads.Slices() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.ProfileN(w.Prog(), []core.Execution{
+					{Inputs: w.GenInput(i % 16), Seed: uint64(i%16 + 1)},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8StaticSlice measures predicated static slicing (the
+// quantity swept in Figure 8) on the converged invariant database.
+func BenchmarkFig8StaticSlice(b *testing.B) {
+	for _, w := range workloads.Slices() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			s := setupFor(b, w)
+			b.ReportMetric(float64(s.sl.Static.Size()), "slice-instrs")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewOptSlice(w.Prog(), s.pr.DB, lastPrintOf(w), benchBudget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ----------------------------------------------------------- Fig 9-11
+
+// BenchmarkFig9PointsTo measures the base and optimistic points-to
+// analyses whose alias rates Figure 9 compares.
+func BenchmarkFig9PointsTo(b *testing.B) {
+	for _, w := range workloads.Slices() {
+		w := w
+		b.Run(w.Name+"/base", func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				pt, err := pointsto.Analyze(w.Prog(), ctxs.NewCI(w.Prog()), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate = pt.AliasRate()
+			}
+			b.ReportMetric(rate, "alias-rate")
+		})
+		b.Run(w.Name+"/optimistic", func(b *testing.B) {
+			s := setupFor(b, w)
+			var rate float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pt, err := pointsto.Analyze(w.Prog(), ctxs.NewCS(w.Prog(), benchBudget, s.pr.DB.Contexts), s.pr.DB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate = pt.AliasRate()
+			}
+			b.ReportMetric(rate, "alias-rate")
+		})
+	}
+}
+
+// BenchmarkFig10Slices measures sound vs predicated static slicing
+// (Figure 10's slice-size comparison).
+func BenchmarkFig10Slices(b *testing.B) {
+	for _, w := range workloads.Slices() {
+		w := w
+		criterion := lastPrintOf(w)
+		b.Run(w.Name+"/sound", func(b *testing.B) {
+			pt, err := pointsto.Analyze(w.Prog(), ctxs.NewCI(w.Prog()), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sl := staticslice.New(pt)
+			var size int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				size = sl.BackwardSlice(criterion).Size()
+			}
+			b.ReportMetric(float64(size), "slice-instrs")
+		})
+		b.Run(w.Name+"/predicated", func(b *testing.B) {
+			s := setupFor(b, w)
+			b.ResetTimer()
+			var size int
+			for i := 0; i < b.N; i++ {
+				size = s.sl.Static.Size()
+				_ = size
+			}
+			b.ReportMetric(float64(s.sl.Static.Size()), "slice-instrs")
+		})
+	}
+}
+
+// BenchmarkFig11Ablation measures the predicated analysis with each
+// invariant level of Figure 11 (base / +LUC / full).
+func BenchmarkFig11Ablation(b *testing.B) {
+	for _, w := range workloads.Slices() {
+		w := w
+		criterion := lastPrintOf(w)
+		run := func(b *testing.B, mk func() error) {
+			for i := 0; i < b.N; i++ {
+				if err := mk(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.Run(w.Name+"/base", func(b *testing.B) {
+			run(b, func() error {
+				_, err := core.NewHybridSlicer(w.Prog(), criterion, benchBudget)
+				return err
+			})
+		})
+		b.Run(w.Name+"/all-invariants", func(b *testing.B) {
+			s := setupFor(b, w)
+			b.ResetTimer()
+			run(b, func() error {
+				_, err := core.NewOptSlice(w.Prog(), s.pr.DB, criterion, benchBudget)
+				return err
+			})
+		})
+	}
+}
+
+// ------------------------------------------------------- Ablations
+
+// BenchmarkAblationEpochVsVC compares FastTrack's adaptive-epoch
+// representation against the DJIT+-style full-vector-clock baseline —
+// the optimization FastTrack's own evaluation isolates.
+func BenchmarkAblationEpochVsVC(b *testing.B) {
+	for _, name := range []string{"moldyn", "lusearch"} {
+		w := workloads.ByName(name)
+		e := testExecOf(w, 0)
+		b.Run(name+"/fasttrack", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunFastTrack(w.Prog(), e, core.RunOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/djit", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunDJIT(w.Prog(), e, core.RunOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationContextBloom compares the Bloom-prefiltered
+// call-context check against plain hash-set lookups (§5.2.3's "naive
+// implementation was too inefficient" observation).
+func BenchmarkAblationContextBloom(b *testing.B) {
+	for _, name := range []string{"sphinx", "vim"} {
+		w := workloads.ByName(name)
+		e := testExecOf(w, 0)
+		for _, mode := range []string{"bloom", "exact"} {
+			mode := mode
+			b.Run(name+"/"+mode, func(b *testing.B) {
+				s := setupFor(b, w)
+				s.sl.NoBloom = mode == "exact"
+				defer func() { s.sl.NoBloom = false }()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.sl.Run(e, core.RunOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationAggressiveLUC measures the §2.1 stability/strength
+// trade-off: OptFT with the standard invariant set vs the aggressive
+// one (blocks must appear in 60% of profiled runs to stay "reachable").
+func BenchmarkAblationAggressiveLUC(b *testing.B) {
+	w := workloads.ByName("lusearch")
+	e := testExecOf(w, 0)
+	s := setupFor(b, w)
+	b.Run("standard", func(b *testing.B) {
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			rep, err := s.ft.Run(e, core.RunOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			events = rep.Stats.InstrumentedOps()
+		}
+		b.ReportMetric(float64(events), "events/op")
+	})
+	b.Run("aggressive", func(b *testing.B) {
+		agg, err := core.NewOptFT(w.Prog(), s.pr.AggressiveDB(0.6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var events uint64
+		rollbacks := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := agg.Run(e, core.RunOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			events = rep.Stats.InstrumentedOps()
+			if rep.RolledBack {
+				rollbacks++
+			}
+		}
+		b.ReportMetric(float64(events), "events/op")
+		b.ReportMetric(float64(rollbacks)/float64(b.N), "rollback-rate")
+	})
+}

@@ -1,0 +1,93 @@
+// Command minic compiles and runs MiniLang programs — the substrate
+// language of this reproduction.
+//
+// Usage:
+//
+//	minic run file.ml [-in 1,2,3] [-seed 7] [-quantum 32]
+//	minic ir file.ml          # dump the lowered IR
+//	minic trace file.ml       # run and print event statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"oha/internal/interp"
+	"oha/internal/lang"
+	"oha/internal/sched"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, file := os.Args[1], os.Args[2]
+	fs := flag.NewFlagSet("minic", flag.ExitOnError)
+	inputs := fs.String("in", "", "comma-separated input words")
+	seed := fs.Uint64("seed", 1, "schedule seed")
+	quantum := fs.Int("quantum", 32, "scheduler quantum")
+	maxSteps := fs.Uint64("max-steps", 0, "step limit (0: default)")
+	fs.Parse(os.Args[3:])
+
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := lang.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "ir":
+		fmt.Print(prog.String())
+	case "run", "trace":
+		res, err := interp.Run(interp.Config{
+			Prog:     prog,
+			Inputs:   parseInputs(*inputs),
+			Choose:   sched.NewSeeded(*seed),
+			Quantum:  *quantum,
+			MaxSteps: *maxSteps,
+		})
+		for _, v := range res.Output {
+			fmt.Println(v)
+		}
+		if cmd == "trace" {
+			fmt.Fprintf(os.Stderr, "steps=%d threads=%d\n", res.Stats.Steps, res.Threads)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		usage()
+	}
+}
+
+func parseInputs(s string) []int64 {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad input %q: %w", p, err))
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: minic run|ir|trace file.ml [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minic:", err)
+	os.Exit(1)
+}

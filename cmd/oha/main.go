@@ -1,0 +1,180 @@
+// Command oha runs the optimistic-hybrid-analysis pipeline on a
+// MiniLang program: profile likely invariants, then race-detect or
+// slice executions speculatively.
+//
+// Usage:
+//
+//	oha profile file.ml -runs 32 [-in 1,2,3] [-o invariants.txt]
+//	    Profile executions (seeds 1..runs over the given inputs) and
+//	    write the merged likely-invariant database.
+//
+//	oha race file.ml -inv invariants.txt [-in 1,2,3] [-seed 7] [-baseline]
+//	    Run OptFT on one execution (or the FastTrack baseline) and
+//	    print the race report.
+//
+//	oha slice file.ml -inv invariants.txt [-in 1,2,3] [-seed 7] [-criterion N]
+//	    Run OptSlice from the N-th print (default: last) and print the
+//	    sliced source lines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"oha"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, file := os.Args[1], os.Args[2]
+	fs := flag.NewFlagSet("oha", flag.ExitOnError)
+	inputs := fs.String("in", "", "comma-separated input words")
+	seed := fs.Uint64("seed", 1, "schedule seed for the analyzed execution")
+	runs := fs.Int("runs", 32, "profile: max profiling executions")
+	out := fs.String("o", "", "profile: output file (default stdout)")
+	inv := fs.String("inv", "", "invariants file from `oha profile`")
+	baseline := fs.Bool("baseline", false, "race: run unoptimized FastTrack instead")
+	criterion := fs.Int("criterion", -1, "slice: print-statement index (default: last)")
+	budget := fs.Int("budget", 4096, "slice: context-sensitive analysis budget")
+	fs.Parse(os.Args[3:])
+
+	src, err := os.ReadFile(file)
+	check(err)
+	prog, err := oha.Compile(string(src))
+	check(err)
+	in := parseInputs(*inputs)
+
+	switch cmd {
+	case "profile":
+		pr, err := oha.Profile(prog, func(run int) oha.Execution {
+			return oha.Execution{Inputs: in, Seed: uint64(run + 1)}
+		}, *runs)
+		check(err)
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			check(err)
+			defer f.Close()
+			w = f
+		}
+		check(oha.SaveInvariants(w, pr.DB))
+		fmt.Fprintf(os.Stderr, "profiled %d executions; invariants: %+v\n", pr.Runs, pr.DB.Count())
+
+	case "race":
+		e := oha.Execution{Inputs: in, Seed: *seed}
+		var rep *oha.RaceReport
+		if *baseline {
+			rep, err = oha.RunFastTrack(prog, e, oha.RunOptions{})
+			check(err)
+		} else {
+			db := loadInv(*inv)
+			det, err := oha.NewRaceDetector(prog, db)
+			check(err)
+			check(det.ValidateCustomSync([]oha.Execution{{Inputs: in, Seed: 1}}, oha.RunOptions{}))
+			rep, err = det.Run(e, oha.RunOptions{})
+			check(err)
+		}
+		if rep.RolledBack {
+			fmt.Printf("mis-speculation (%s): rolled back to hybrid analysis\n", rep.Violation)
+		}
+		if len(rep.Details) == 0 {
+			fmt.Println("no data races detected")
+		}
+		for _, r := range rep.Details {
+			fmt.Println(r)
+		}
+		fmt.Printf("instrumented ops: %d\n", rep.Stats.InstrumentedOps())
+
+	case "slice":
+		db := loadInv(*inv)
+		prints := oha.Prints(prog)
+		if len(prints) == 0 {
+			check(fmt.Errorf("program has no print statements to slice from"))
+		}
+		idx := *criterion
+		if idx < 0 || idx >= len(prints) {
+			idx = len(prints) - 1
+		}
+		sl, err := oha.NewSlicer(prog, db, prints[idx], *budget)
+		check(err)
+		rep, err := sl.Run(oha.Execution{Inputs: in, Seed: *seed}, oha.RunOptions{})
+		check(err)
+		if rep.RolledBack {
+			fmt.Printf("mis-speculation (%s): rolled back to hybrid slicing\n", rep.Violation)
+		}
+		if rep.Slice == nil {
+			fmt.Println("criterion never executed")
+			return
+		}
+		fmt.Printf("dynamic slice of print #%d (criterion line %d): %d instructions, %d dynamic nodes\n",
+			idx, prints[idx].Pos.Line, rep.Slice.Size(), rep.Slice.DynNodes)
+		printSliceLines(prog, rep, string(src))
+
+	default:
+		usage()
+	}
+}
+
+// printSliceLines maps the sliced instructions back to source lines.
+func printSliceLines(prog *oha.Program, rep *oha.SliceReport, src string) {
+	lines := map[int]bool{}
+	rep.Slice.Instrs.ForEach(func(id int) bool {
+		lines[prog.Instrs[id].Pos.Line] = true
+		return true
+	})
+	var sorted []int
+	for l := range lines {
+		sorted = append(sorted, l)
+	}
+	sort.Ints(sorted)
+	srcLines := strings.Split(src, "\n")
+	for _, l := range sorted {
+		if l-1 < len(srcLines) {
+			fmt.Printf("%4d: %s\n", l, strings.TrimRight(srcLines[l-1], " \t"))
+		}
+	}
+}
+
+func loadInv(path string) *oha.InvariantDB {
+	if path == "" {
+		check(fmt.Errorf("missing -inv invariants file (run `oha profile` first)"))
+	}
+	f, err := os.Open(path)
+	check(err)
+	defer f.Close()
+	db, err := oha.LoadInvariants(f)
+	check(err)
+	return db
+}
+
+func parseInputs(s string) []int64 {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		check(err)
+		out[i] = v
+	}
+	return out
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: oha profile|race|slice file.ml [flags]")
+	os.Exit(2)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oha:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+// Command ohabench regenerates the paper's evaluation tables and
+// figures (§6) over the MiniLang workload suite.
+//
+// Usage:
+//
+//	ohabench -exp fig5|tab1|fig6|tab2|fig7|fig8|fig9|fig10|fig11|all
+//	         [-profile-runs N] [-test-runs N] [-budget N] [-repeat N]
+//
+// Every experiment re-verifies the core soundness property while
+// measuring: the optimistic analyses must produce results identical to
+// their unoptimized counterparts on every run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oha/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig5, tab1, fig6, tab2, fig7, fig8, fig9, fig10, fig11, or all")
+	profileRuns := flag.Int("profile-runs", 32, "max profiling executions per benchmark")
+	testRuns := flag.Int("test-runs", 8, "testing executions per benchmark")
+	budget := flag.Int("budget", 24, "context-sensitive analysis clone budget")
+	repeat := flag.Int("repeat", 3, "timing repetitions (min is reported)")
+	flag.Parse()
+
+	opts := harness.Options{
+		ProfileRuns: *profileRuns,
+		TestRuns:    *testRuns,
+		Budget:      *budget,
+		Repeat:      *repeat,
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "ohabench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig5", func() error {
+		rows, err := harness.Fig5(opts)
+		if err != nil {
+			return err
+		}
+		harness.PrintFig5(os.Stdout, rows)
+		return nil
+	})
+	run("tab1", func() error {
+		rows, err := harness.Tab1(opts)
+		if err != nil {
+			return err
+		}
+		harness.PrintTab1(os.Stdout, rows)
+		return nil
+	})
+	run("fig6", func() error {
+		rows, err := harness.Fig6(opts)
+		if err != nil {
+			return err
+		}
+		harness.PrintFig6(os.Stdout, rows)
+		return nil
+	})
+	run("tab2", func() error {
+		rows, err := harness.Tab2(opts)
+		if err != nil {
+			return err
+		}
+		harness.PrintTab2(os.Stdout, rows)
+		return nil
+	})
+	// fig7 and fig8 share one sweep.
+	if *exp == "fig7" || *exp == "fig8" || *exp == "all" {
+		rows, err := harness.Sweep(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ohabench: sweep: %v\n", err)
+			os.Exit(1)
+		}
+		if *exp == "fig7" || *exp == "all" {
+			harness.PrintFig7(os.Stdout, rows)
+			fmt.Println()
+		}
+		if *exp == "fig8" || *exp == "all" {
+			harness.PrintFig8(os.Stdout, rows)
+			fmt.Println()
+		}
+	}
+	run("fig9", func() error {
+		rows, err := harness.Fig9(opts)
+		if err != nil {
+			return err
+		}
+		harness.PrintFig9(os.Stdout, rows)
+		return nil
+	})
+	run("fig10", func() error {
+		rows, err := harness.Fig10(opts)
+		if err != nil {
+			return err
+		}
+		harness.PrintFig10(os.Stdout, rows)
+		return nil
+	})
+	run("fig11", func() error {
+		rows, err := harness.Fig11(opts)
+		if err != nil {
+			return err
+		}
+		harness.PrintFig11(os.Stdout, rows)
+		return nil
+	})
+}

@@ -1,0 +1,3 @@
+module oha
+
+go 1.22

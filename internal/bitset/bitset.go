@@ -1,0 +1,278 @@
+// Package bitset provides a growable, sparse-friendly bitset used to
+// represent points-to sets, visited-node sets, and slice sets in the
+// static analyses.
+//
+// The paper's implementation tracks these sets with binary decision
+// diagrams (BDDs) [Berndl et al. 2003]; the BDD is an engineering
+// optimization for set representation and does not change analysis
+// results, so this reproduction substitutes a word-packed bitset which
+// provides the same operations (union, intersection, difference,
+// iteration) with simpler code.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Set is a growable bitset over non-negative integer elements.
+// The zero value is an empty set ready for use.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set with capacity hint n elements.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64)}
+}
+
+// FromSlice returns a set containing exactly the given elements.
+func FromSlice(elems []int) *Set {
+	s := &Set{}
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+func (s *Set) grow(word int) {
+	if word < len(s.words) {
+		return
+	}
+	nw := make([]uint64, word+1)
+	copy(nw, s.words)
+	s.words = nw
+}
+
+// Add inserts i into the set and reports whether it was newly added.
+// i must be non-negative.
+func (s *Set) Add(i int) bool {
+	if i < 0 {
+		panic("bitset: negative element " + strconv.Itoa(i))
+	}
+	w, b := i/64, uint(i%64)
+	s.grow(w)
+	old := s.words[w]
+	s.words[w] = old | (1 << b)
+	return old&(1<<b) == 0
+}
+
+// Remove deletes i from the set and reports whether it was present.
+func (s *Set) Remove(i int) bool {
+	if i < 0 {
+		return false
+	}
+	w, b := i/64, uint(i%64)
+	if w >= len(s.words) {
+		return false
+	}
+	old := s.words[w]
+	s.words[w] = old &^ (1 << b)
+	return old&(1<<b) != 0
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i int) bool {
+	if i < 0 {
+		return false
+	}
+	w, b := i/64, uint(i%64)
+	return w < len(s.words) && s.words[w]&(1<<b) != 0
+}
+
+// Len returns the number of elements in the set.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set has no elements.
+func (s *Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all elements, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// UnionWith adds all elements of t to s and reports whether s changed.
+func (s *Set) UnionWith(t *Set) bool {
+	if t == nil {
+		return false
+	}
+	changed := false
+	if len(t.words) > len(s.words) {
+		s.grow(len(t.words) - 1)
+	}
+	for i, w := range t.words {
+		old := s.words[i]
+		nw := old | w
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IntersectWith removes from s all elements not in t, reporting change.
+func (s *Set) IntersectWith(t *Set) bool {
+	changed := false
+	for i := range s.words {
+		var w uint64
+		if t != nil && i < len(t.words) {
+			w = t.words[i]
+		}
+		old := s.words[i]
+		nw := old & w
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// DifferenceWith removes all elements of t from s, reporting change.
+func (s *Set) DifferenceWith(t *Set) bool {
+	if t == nil {
+		return false
+	}
+	changed := false
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		old := s.words[i]
+		nw := old &^ t.words[i]
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s *Set) Intersects(t *Set) bool {
+	if t == nil {
+		return false
+	}
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if t != nil && i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s *Set) Equal(t *Set) bool {
+	if t == nil {
+		return s.IsEmpty()
+	}
+	return s.SubsetOf(t) && t.SubsetOf(s)
+}
+
+// ForEach calls f for each element in ascending order. If f returns
+// false, iteration stops early.
+func (s *Set) ForEach(f func(int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(wi*64 + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the elements in ascending order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// String renders the set as "{1, 5, 9}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Union returns a new set that is the union of a and b.
+func Union(a, b *Set) *Set {
+	c := a.Clone()
+	c.UnionWith(b)
+	return c
+}
+
+// Intersect returns a new set that is the intersection of a and b.
+func Intersect(a, b *Set) *Set {
+	c := a.Clone()
+	c.IntersectWith(b)
+	return c
+}

@@ -1,0 +1,267 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	s := New(10)
+	if !s.IsEmpty() {
+		t.Fatal("new set not empty")
+	}
+	if !s.Add(5) {
+		t.Fatal("Add(5) reported not-new")
+	}
+	if s.Add(5) {
+		t.Fatal("second Add(5) reported new")
+	}
+	if !s.Has(5) || s.Has(4) || s.Has(6) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if !s.Remove(5) {
+		t.Fatal("Remove(5) reported absent")
+	}
+	if s.Remove(5) {
+		t.Fatal("second Remove(5) reported present")
+	}
+	if !s.IsEmpty() {
+		t.Fatal("set not empty after remove")
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	s := &Set{}
+	big := 100000
+	s.Add(big)
+	if !s.Has(big) {
+		t.Fatal("large element lost")
+	}
+	if s.Has(big-1) || s.Has(big+1) {
+		t.Fatal("neighbors spuriously present")
+	}
+}
+
+func TestNegative(t *testing.T) {
+	s := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	if s.Has(-3) {
+		t.Fatal("Has(-3) true")
+	}
+	if s.Remove(-3) {
+		t.Fatal("Remove(-3) true")
+	}
+	s.Add(-1)
+}
+
+func TestSetOps(t *testing.T) {
+	a := FromSlice([]int{1, 2, 3, 64, 200})
+	b := FromSlice([]int{2, 3, 4, 300})
+
+	u := Union(a, b)
+	wantU := []int{1, 2, 3, 4, 64, 200, 300}
+	if got := u.Slice(); !equalInts(got, wantU) {
+		t.Errorf("union = %v, want %v", got, wantU)
+	}
+
+	i := Intersect(a, b)
+	wantI := []int{2, 3}
+	if got := i.Slice(); !equalInts(got, wantI) {
+		t.Errorf("intersect = %v, want %v", got, wantI)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	wantD := []int{1, 64, 200}
+	if got := d.Slice(); !equalInts(got, wantD) {
+		t.Errorf("difference = %v, want %v", got, wantD)
+	}
+
+	if !a.Intersects(b) {
+		t.Error("Intersects(a,b) = false")
+	}
+	if a.Intersects(FromSlice([]int{99})) {
+		t.Error("Intersects with disjoint = true")
+	}
+	if !i.SubsetOf(a) || !i.SubsetOf(b) {
+		t.Error("intersection not subset of operands")
+	}
+	if a.SubsetOf(b) {
+		t.Error("a subset of b")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromSlice([]int{1, 100})
+	b := FromSlice([]int{1, 100})
+	b.Add(5000)
+	b.Remove(5000) // leaves trailing zero words
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("equal sets with different capacities reported unequal")
+	}
+	var empty Set
+	if !empty.Equal(nil) {
+		t.Error("empty set not Equal(nil)")
+	}
+	b.Add(7)
+	if a.Equal(b) {
+		t.Error("different sets reported equal")
+	}
+}
+
+func TestMinAndString(t *testing.T) {
+	var s Set
+	if s.Min() != -1 {
+		t.Errorf("Min of empty = %d", s.Min())
+	}
+	s.Add(70)
+	s.Add(3)
+	if s.Min() != 3 {
+		t.Errorf("Min = %d, want 3", s.Min())
+	}
+	if got := s.String(); got != "{3, 70}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromSlice([]int{1, 2, 3, 4, 5})
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 3
+	})
+	if !equalInts(seen, []int{1, 2, 3}) {
+		t.Errorf("early stop saw %v", seen)
+	}
+}
+
+func TestUnionWithChanged(t *testing.T) {
+	a := FromSlice([]int{1})
+	if a.UnionWith(FromSlice([]int{1})) {
+		t.Error("no-op union reported change")
+	}
+	if !a.UnionWith(FromSlice([]int{900})) {
+		t.Error("growing union reported no change")
+	}
+	if a.UnionWith(nil) {
+		t.Error("nil union reported change")
+	}
+}
+
+// randSet builds a set plus a reference map from a random element list.
+func randSet(r *rand.Rand, max int) (*Set, map[int]bool) {
+	s := &Set{}
+	m := map[int]bool{}
+	n := r.Intn(40)
+	for j := 0; j < n; j++ {
+		e := r.Intn(max)
+		s.Add(e)
+		m[e] = true
+	}
+	return s, m
+}
+
+func TestQuickAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		a, ma := randSet(r, 300)
+		b, mb := randSet(r, 300)
+		u := Union(a, b)
+		i := Intersect(a, b)
+		for e := 0; e < 300; e++ {
+			if u.Has(e) != (ma[e] || mb[e]) {
+				t.Fatalf("union mismatch at %d", e)
+			}
+			if i.Has(e) != (ma[e] && mb[e]) {
+				t.Fatalf("intersect mismatch at %d", e)
+			}
+		}
+		if u.Len() != len(unionMap(ma, mb)) {
+			t.Fatalf("union len mismatch")
+		}
+	}
+}
+
+func unionMap(a, b map[int]bool) map[int]bool {
+	m := map[int]bool{}
+	for k := range a {
+		m[k] = true
+	}
+	for k := range b {
+		m[k] = true
+	}
+	return m
+}
+
+// Property: union is commutative, associative, idempotent; intersection
+// distributes over union. Elements drawn via testing/quick.
+func TestQuickAlgebra(t *testing.T) {
+	norm := func(xs []uint16) *Set {
+		s := &Set{}
+		for _, x := range xs {
+			s.Add(int(x % 512))
+		}
+		return s
+	}
+	commut := func(xs, ys []uint16) bool {
+		a, b := norm(xs), norm(ys)
+		return Union(a, b).Equal(Union(b, a)) && Intersect(a, b).Equal(Intersect(b, a))
+	}
+	if err := quick.Check(commut, nil); err != nil {
+		t.Error(err)
+	}
+	assoc := func(xs, ys, zs []uint16) bool {
+		a, b, c := norm(xs), norm(ys), norm(zs)
+		return Union(Union(a, b), c).Equal(Union(a, Union(b, c)))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error(err)
+	}
+	idem := func(xs []uint16) bool {
+		a := norm(xs)
+		return Union(a, a).Equal(a) && Intersect(a, a).Equal(a)
+	}
+	if err := quick.Check(idem, nil); err != nil {
+		t.Error(err)
+	}
+	distrib := func(xs, ys, zs []uint16) bool {
+		a, b, c := norm(xs), norm(ys), norm(zs)
+		l := Intersect(a, Union(b, c))
+		r := Union(Intersect(a, b), Intersect(a, c))
+		return l.Equal(r)
+	}
+	if err := quick.Check(distrib, nil); err != nil {
+		t.Error(err)
+	}
+	subset := func(xs, ys []uint16) bool {
+		a, b := norm(xs), norm(ys)
+		return Intersect(a, b).SubsetOf(a) && a.SubsetOf(Union(a, b))
+	}
+	if err := quick.Check(subset, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Ints(a)
+	sort.Ints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

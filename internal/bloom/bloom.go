@@ -1,0 +1,98 @@
+// Package bloom implements a simple Bloom filter over 64-bit hashes.
+//
+// The paper (§5.2.3) uses a Bloom filter to make the likely-unused
+// call-context invariant cheap to check at runtime: most call-stack
+// membership tests hit the filter and skip the expensive exact
+// set-inclusion test. This package provides that filter.
+package bloom
+
+import "math"
+
+// Filter is a fixed-size Bloom filter. Keys are 64-bit hashes; the
+// caller is responsible for hashing (see internal/invariants for the
+// call-stack hash). The zero value is unusable; use New.
+type Filter struct {
+	bits  []uint64
+	mask  uint64 // size-1; size is a power of two
+	hashN int
+}
+
+// New creates a filter sized for n expected keys at roughly the given
+// false-positive rate fp (0 < fp < 1). n and fp are clamped to sane
+// minimums.
+func New(n int, fp float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if fp <= 0 || fp >= 1 {
+		fp = 0.01
+	}
+	// Standard sizing: m = -n ln(fp) / (ln 2)^2, k = (m/n) ln 2.
+	m := float64(n) * -math.Log(fp) / (math.Ln2 * math.Ln2)
+	size := 64
+	for float64(size) < m {
+		size <<= 1
+	}
+	k := int(math.Round(float64(size) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 8 {
+		k = 8
+	}
+	return &Filter{
+		bits:  make([]uint64, size/64),
+		mask:  uint64(size - 1),
+		hashN: k,
+	}
+}
+
+// finalize is the murmur3 64-bit finalizer: a bijective scrambler that
+// spreads entropy from all input bits into all output bits, so that
+// reducing the result modulo the (power-of-two) table size still
+// depends on the whole key.
+func finalize(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// mix derives the i-th probe position from key using double hashing.
+// The base position uses the low bits of the scrambled key and the
+// stride uses the high bits, so the probe set depends on (far) more
+// than log2(size) bits of the key.
+func (f *Filter) mix(key uint64, i int) uint64 {
+	h := finalize(key)
+	h1 := h
+	h2 := (h >> 23) | 1 // odd stride from independent bits
+	return (h1 + uint64(i)*h2) & f.mask
+}
+
+// Add inserts a key.
+func (f *Filter) Add(key uint64) {
+	for i := 0; i < f.hashN; i++ {
+		p := f.mix(key, i)
+		f.bits[p/64] |= 1 << (p % 64)
+	}
+}
+
+// MayContain reports whether the key may have been added. False means
+// definitely absent; true means probably present.
+func (f *Filter) MayContain(key uint64) bool {
+	for i := 0; i < f.hashN; i++ {
+		p := f.mix(key, i)
+		if f.bits[p/64]&(1<<(p%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bits returns the number of bits in the filter (for diagnostics).
+func (f *Filter) Bits() int { return len(f.bits) * 64 }
+
+// Hashes returns the number of hash probes per key.
+func (f *Filter) Hashes() int { return f.hashN }

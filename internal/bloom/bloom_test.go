@@ -1,0 +1,87 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	r := rand.New(rand.NewSource(42))
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = r.Uint64()
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.MayContain(k) {
+			t.Fatalf("false negative for %x", k)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f := New(1000, 0.01)
+	r := rand.New(rand.NewSource(7))
+	present := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		k := r.Uint64()
+		present[k] = true
+		f.Add(k)
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		k := r.Uint64()
+		if present[k] {
+			continue
+		}
+		if f.MayContain(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 { // generous bound over the 1% target
+		t.Errorf("false-positive rate %.4f too high", rate)
+	}
+}
+
+func TestEmptyFilterRejectsEverything(t *testing.T) {
+	f := New(64, 0.01)
+	fn := func(k uint64) bool { return !f.MayContain(k) }
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding any key makes it findable (no false negatives ever).
+func TestQuickAddThenContains(t *testing.T) {
+	fn := func(keys []uint64) bool {
+		f := New(len(keys)+1, 0.01)
+		for _, k := range keys {
+			f.Add(k)
+		}
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	for _, f := range []*Filter{New(0, 0.01), New(10, 0), New(10, 2)} {
+		f.Add(3)
+		if !f.MayContain(3) {
+			t.Error("clamped filter lost key")
+		}
+		if f.Bits() < 64 || f.Hashes() < 1 {
+			t.Errorf("degenerate geometry: bits=%d hashes=%d", f.Bits(), f.Hashes())
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+
+	"oha/internal/bloom"
+	"oha/internal/interp"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/vc"
+)
+
+// This file implements the runtime invariant checks that make the
+// optimistic dynamic analyses speculative: each check verifies one
+// likely-invariant kind and raises the interpreter's Abort flag on
+// violation (§2.3). The checks are deliberately cheap — a flag test at
+// a likely-unreachable block, a counter at a spawn site, an address
+// comparison at a paired lock site, a set-inclusion test at an
+// indirect call, and a Bloom-filter-guarded stack check for call
+// contexts (§5.2.3).
+
+// raceChecker verifies the OptFT invariants: likely-unreachable code,
+// likely singleton threads, and likely guarding locks. (No custom
+// synchronization is verified by the race detector itself: any race
+// report while locks are elided is treated as a potential
+// mis-speculation.)
+type raceChecker struct {
+	interp.NopTracer
+	abort *interp.Abort
+
+	luc         []bool // block ID -> assumed unreachable
+	spawnOnce   []bool // instr ID -> assumed singleton spawn site
+	spawnCounts map[int]int
+
+	// Guarding-lock verification: sites connected by must-alias pairs
+	// form groups; every lock event at a grouped site must present the
+	// same single runtime address for the whole group.
+	lockGroup map[int]int // lock site -> group id
+	groupAddr map[int]interp.Addr
+
+	// Events counts check events processed (for cost accounting).
+	Events uint64
+}
+
+// newRaceChecker builds the checker for a database. prog supplies site
+// tables.
+func newRaceChecker(prog *ir.Program, db *invariants.DB, abort *interp.Abort) *raceChecker {
+	c := &raceChecker{
+		abort:       abort,
+		luc:         make([]bool, len(prog.Blocks)),
+		spawnOnce:   make([]bool, len(prog.Instrs)),
+		spawnCounts: map[int]int{},
+		lockGroup:   map[int]int{},
+		groupAddr:   map[int]interp.Addr{},
+	}
+	for _, b := range prog.Blocks {
+		c.luc[b.ID] = db.LikelyUnreachable(b.ID)
+	}
+	db.SingletonSpawns.ForEach(func(id int) bool {
+		c.spawnOnce[id] = true
+		return true
+	})
+	// Union-find over must-alias pairs to form lock groups.
+	parent := map[int]int{}
+	var find func(x int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	for pair := range db.MustAliasLocks {
+		ra, rb := find(pair.A), find(pair.B)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for site := range parent {
+		c.lockGroup[site] = find(site)
+	}
+	return c
+}
+
+// BlockEnter fires the likely-unreachable-code check.
+func (c *raceChecker) BlockEnter(_ vc.TID, b *ir.Block) {
+	c.Events++
+	if c.luc[b.ID] {
+		c.abort.Set(fmt.Sprintf("likely-unreachable block %d entered", b.ID))
+	}
+}
+
+// Spawn fires the likely-singleton-thread check.
+func (c *raceChecker) Spawn(_ vc.TID, in *ir.Instr, _ vc.TID, _ interp.FrameID, _ *ir.Function) {
+	c.Events++
+	if c.spawnOnce[in.ID] {
+		c.spawnCounts[in.ID]++
+		if c.spawnCounts[in.ID] > 1 {
+			c.abort.Set(fmt.Sprintf("singleton spawn site %d spawned twice", in.ID))
+		}
+	}
+}
+
+// Lock fires the likely-guarding-locks check.
+func (c *raceChecker) Lock(_ vc.TID, in *ir.Instr, addr interp.Addr) {
+	g, ok := c.lockGroup[in.ID]
+	if !ok {
+		return
+	}
+	c.Events++
+	if prev, seen := c.groupAddr[g]; seen {
+		if prev != addr {
+			c.abort.Set(fmt.Sprintf("guarding-lock invariant violated at site %d", in.ID))
+		}
+		return
+	}
+	c.groupAddr[g] = addr
+}
+
+// checkedBlockMask returns the BlockMask delivering exactly the
+// likely-unreachable blocks (the only block events the optimistic run
+// needs).
+func checkedBlockMask(prog *ir.Program, db *invariants.DB) []bool {
+	mask := make([]bool, len(prog.Blocks))
+	for _, b := range prog.Blocks {
+		if db.LikelyUnreachable(b.ID) {
+			mask[b.ID] = true
+		}
+	}
+	return mask
+}
+
+// sliceChecker verifies the OptSlice invariants: likely-unreachable
+// code, likely callee sets, and likely unused call contexts.
+type sliceChecker struct {
+	interp.NopTracer
+	abort *interp.Abort
+	prog  *ir.Program
+
+	luc        []bool
+	calleeSets map[int]map[int]bool // indirect site -> allowed callee fn IDs
+	checkCtx   bool
+	ctxHashes  map[uint64]bool
+	ctxBloom   *bloom.Filter // nil: hash-set lookups only (ablation)
+	stacks     map[vc.TID]*checkStack
+
+	Events uint64
+}
+
+// checkStack mirrors the profiler's acyclic context-tracking stack,
+// with incremental hashes for the Bloom fast path.
+type checkStack struct {
+	frames []checkFrame
+	active map[int]int
+	path   []int
+	hashes []uint64 // hash prefix per extended frame
+}
+
+type checkFrame struct {
+	fnID     int
+	extended bool
+}
+
+func newSliceChecker(prog *ir.Program, db *invariants.DB, checkContexts bool, abort *interp.Abort) *sliceChecker {
+	c := &sliceChecker{
+		abort:      abort,
+		prog:       prog,
+		luc:        make([]bool, len(prog.Blocks)),
+		calleeSets: map[int]map[int]bool{},
+		checkCtx:   checkContexts,
+		stacks:     map[vc.TID]*checkStack{},
+	}
+	for _, b := range prog.Blocks {
+		c.luc[b.ID] = db.LikelyUnreachable(b.ID)
+	}
+	for site, set := range db.Callees {
+		m := map[int]bool{}
+		set.ForEach(func(f int) bool {
+			m[f] = true
+			return true
+		})
+		c.calleeSets[site] = m
+	}
+	if checkContexts {
+		c.ctxHashes = db.Contexts.HashSet()
+		c.ctxBloom = db.Contexts.Bloom(0.01)
+	}
+	return c
+}
+
+// disableBloom switches the call-context check to exact set inclusion
+// only — the configuration the paper found "too inefficient for some
+// programs" (§5.2.3); kept for the ablation benchmarks.
+func (c *sliceChecker) disableBloom() {
+	c.ctxBloom = nil
+}
+
+func (c *sliceChecker) stack(t vc.TID) *checkStack {
+	s := c.stacks[t]
+	if s == nil {
+		s = &checkStack{active: map[int]int{}}
+		s.frames = append(s.frames, checkFrame{fnID: c.prog.Main().ID, extended: true})
+		s.active[c.prog.Main().ID] = 1
+		s.hashes = append(s.hashes, invariants.EmptyContextHash)
+		c.stacks[t] = s
+	}
+	return s
+}
+
+// BlockEnter fires the likely-unreachable-code check.
+func (c *sliceChecker) BlockEnter(_ vc.TID, b *ir.Block) {
+	c.Events++
+	if c.luc[b.ID] {
+		c.abort.Set(fmt.Sprintf("likely-unreachable block %d entered", b.ID))
+	}
+}
+
+// Call fires the likely-callee-set and call-context checks.
+func (c *sliceChecker) Call(t vc.TID, in *ir.Instr, callee *ir.Function, _, _ interp.FrameID) {
+	if in.IsIndirect() {
+		c.Events++
+		set := c.calleeSets[in.ID]
+		if set == nil || !set[callee.ID] {
+			c.abort.Set(fmt.Sprintf("callee-set invariant violated at site %d (callee %s)", in.ID, callee.Name))
+		}
+	}
+	if !c.checkCtx {
+		return
+	}
+	s := c.stack(t)
+	fr := checkFrame{fnID: callee.ID}
+	if s.active[callee.ID] == 0 {
+		fr.extended = true
+		s.path = append(s.path, in.ID)
+		h := invariants.HashExtend(s.hashes[len(s.hashes)-1], in.ID)
+		s.hashes = append(s.hashes, h)
+		c.Events++
+		// Bloom prefilter, then the hash-set membership test.
+		if (c.ctxBloom != nil && !c.ctxBloom.MayContain(h)) || !c.ctxHashes[h] {
+			c.abort.Set(fmt.Sprintf("unused-call-context invariant violated at site %d", in.ID))
+		}
+	}
+	s.active[callee.ID]++
+	s.frames = append(s.frames, fr)
+}
+
+// Spawn begins a new thread-root context.
+func (c *sliceChecker) Spawn(t vc.TID, in *ir.Instr, child vc.TID, _ interp.FrameID, callee *ir.Function) {
+	if in.IsIndirect() {
+		c.Events++
+		set := c.calleeSets[in.ID]
+		if set == nil || !set[callee.ID] {
+			c.abort.Set(fmt.Sprintf("callee-set invariant violated at spawn site %d", in.ID))
+		}
+	}
+	if !c.checkCtx {
+		return
+	}
+	parent := c.stack(t)
+	s := &checkStack{active: map[int]int{}}
+	s.path = append(append([]int(nil), parent.path...), in.ID)
+	s.frames = append(s.frames, checkFrame{fnID: callee.ID, extended: true})
+	s.active[callee.ID] = 1
+	h := invariants.HashContext(s.path)
+	s.hashes = append(s.hashes, h)
+	c.Events++
+	if (c.ctxBloom != nil && !c.ctxBloom.MayContain(h)) || !c.ctxHashes[h] {
+		c.abort.Set(fmt.Sprintf("unused-call-context invariant violated at spawn site %d", in.ID))
+	}
+	c.stacks[child] = s
+}
+
+// Ret unwinds the context stack.
+func (c *sliceChecker) Ret(t vc.TID, _ *ir.Instr, _, _ interp.FrameID, _ *ir.Var) {
+	if !c.checkCtx {
+		return
+	}
+	s := c.stack(t)
+	if len(s.frames) == 0 {
+		return
+	}
+	fr := s.frames[len(s.frames)-1]
+	s.frames = s.frames[:len(s.frames)-1]
+	s.active[fr.fnID]--
+	if fr.extended && len(s.path) > 0 {
+		s.path = s.path[:len(s.path)-1]
+		s.hashes = s.hashes[:len(s.hashes)-1]
+	}
+}

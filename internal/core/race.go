@@ -1,0 +1,482 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"oha/internal/bitset"
+	"oha/internal/ctxs"
+	"oha/internal/fasttrack"
+	"oha/internal/interp"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/mhp"
+	"oha/internal/pointsto"
+	"oha/internal/staticrace"
+	"oha/internal/vc"
+)
+
+// RaceReport is the result of one race-detection run.
+type RaceReport struct {
+	// Races are the canonical (deduplicated, ordered) race keys.
+	Races []fasttrack.Key
+	// RacyAddrs are the addresses on which races were detected — the
+	// unit at which differently-instrumented FastTrack configurations
+	// are equivalent (see fasttrack.Detector.RacyAddrs).
+	RacyAddrs []interp.Addr
+	// Details carries one representative Race per key.
+	Details []fasttrack.Race
+	// Stats are the interpreter's event counts for the run (including
+	// the rollback re-execution, if any).
+	Stats interp.Stats
+	// FTChecks counts FastTrack read/write metadata operations.
+	FTChecks uint64
+	// CheckEvents counts invariant-check events (optimistic runs).
+	CheckEvents uint64
+	// RolledBack reports that the speculative run mis-speculated and
+	// the results come from the traditional hybrid re-execution.
+	RolledBack bool
+	// Violation is the mis-speculation reason when RolledBack.
+	Violation string
+	// Output is the analyzed program's output.
+	Output []int64
+}
+
+// raceStatic bundles one static race analysis with the masks it
+// implies.
+type raceStatic struct {
+	static *staticrace.Result
+	mem    []bool // loads/stores FastTrack must instrument
+	sync   []bool // lock/unlock FastTrack must instrument
+}
+
+// analyzeRaceStatic runs the (sound or predicated) Chord-style static
+// pipeline and derives instrumentation masks.
+func analyzeRaceStatic(prog *ir.Program, db *invariants.DB) (*raceStatic, error) {
+	pt, err := pointsto.Analyze(prog, ctxs.NewCI(prog), db)
+	if err != nil {
+		return nil, err
+	}
+	m := mhp.Analyze(prog, pt, db)
+	sr := staticrace.Analyze(prog, pt, m, db)
+
+	rs := &raceStatic{
+		static: sr,
+		mem:    make([]bool, len(prog.Instrs)),
+		sync:   make([]bool, len(prog.Instrs)),
+	}
+	for _, in := range prog.Instrs {
+		switch {
+		case in.IsMemAccess():
+			rs.mem[in.ID] = sr.Racy.Has(in.ID)
+		case in.Op == ir.OpLock || in.Op == ir.OpUnlock:
+			rs.sync[in.ID] = true
+			if db != nil && db.ElidableLocks.Has(in.ID) {
+				rs.sync[in.ID] = false
+			}
+		}
+	}
+	return rs, nil
+}
+
+// ftAdapter forwards events to a FastTrack detector, filtering sync
+// events down to the sites FastTrack actually instruments (the
+// interpreter's SyncMask is the union of FastTrack's sites and the
+// invariant checks' sites).
+type ftAdapter struct {
+	interp.NopTracer
+	det  *fasttrack.Detector
+	sync []bool // nil: all
+}
+
+func (a *ftAdapter) Load(t vc.TID, in *ir.Instr, addr interp.Addr, v int64) {
+	a.det.Load(t, in, addr, v)
+}
+
+func (a *ftAdapter) Store(t vc.TID, in *ir.Instr, addr interp.Addr, v int64) {
+	a.det.Store(t, in, addr, v)
+}
+
+func (a *ftAdapter) Lock(t vc.TID, in *ir.Instr, addr interp.Addr) {
+	if a.sync == nil || a.sync[in.ID] {
+		a.det.Lock(t, in, addr)
+	}
+}
+
+func (a *ftAdapter) Unlock(t vc.TID, in *ir.Instr, addr interp.Addr) {
+	if a.sync == nil || a.sync[in.ID] {
+		a.det.Unlock(t, in, addr)
+	}
+}
+
+func (a *ftAdapter) Spawn(t vc.TID, in *ir.Instr, c vc.TID, f interp.FrameID, fn *ir.Function) {
+	a.det.Spawn(t, in, c, f, fn)
+}
+
+func (a *ftAdapter) Join(t vc.TID, in *ir.Instr, c vc.TID) {
+	a.det.Join(t, in, c)
+}
+
+// optTracer is the speculative run's combined tracer: FastTrack plus
+// the invariant checker, fused into one dispatch so the optimistic
+// configuration pays no fan-out overhead over the hybrid one.
+type optTracer struct {
+	interp.NopTracer
+	det     *fasttrack.Detector
+	checker *raceChecker
+	sync    []bool // FastTrack's sync sites (checker sees the rest)
+}
+
+func (o *optTracer) Load(t vc.TID, in *ir.Instr, addr interp.Addr, v int64) {
+	o.det.Load(t, in, addr, v)
+}
+
+func (o *optTracer) Store(t vc.TID, in *ir.Instr, addr interp.Addr, v int64) {
+	o.det.Store(t, in, addr, v)
+}
+
+func (o *optTracer) Lock(t vc.TID, in *ir.Instr, addr interp.Addr) {
+	if o.sync == nil || o.sync[in.ID] {
+		o.det.Lock(t, in, addr)
+	}
+	o.checker.Lock(t, in, addr)
+}
+
+func (o *optTracer) Unlock(t vc.TID, in *ir.Instr, addr interp.Addr) {
+	if o.sync == nil || o.sync[in.ID] {
+		o.det.Unlock(t, in, addr)
+	}
+}
+
+func (o *optTracer) Spawn(t vc.TID, in *ir.Instr, c vc.TID, f interp.FrameID, fn *ir.Function) {
+	o.det.Spawn(t, in, c, f, fn)
+	o.checker.Spawn(t, in, c, f, fn)
+}
+
+func (o *optTracer) Join(t vc.TID, in *ir.Instr, c vc.TID) {
+	o.det.Join(t, in, c)
+}
+
+func (o *optTracer) BlockEnter(t vc.TID, b *ir.Block) {
+	o.checker.BlockEnter(t, b)
+}
+
+func raceReport(det *fasttrack.Detector, res *interp.Result) *RaceReport {
+	return &RaceReport{
+		Races:     det.RaceKeys(),
+		RacyAddrs: det.RacyAddrs(),
+		Details:   det.Races(),
+		Stats:     res.Stats,
+		FTChecks:  det.Checks,
+		Output:    res.Output,
+	}
+}
+
+// RunPlain executes without any analysis — the "framework overhead"
+// baseline of Figure 5.
+func RunPlain(prog *ir.Program, e Execution, opts RunOptions) (*interp.Result, error) {
+	cfg := interp.Config{Prog: prog, Inputs: e.Inputs, Choose: e.chooser()}
+	opts.apply(&cfg)
+	return interp.Run(cfg)
+}
+
+// RunFastTrack executes under full FastTrack instrumentation (the
+// unoptimized baseline).
+func RunFastTrack(prog *ir.Program, e Execution, opts RunOptions) (*RaceReport, error) {
+	det := fasttrack.New()
+	cfg := interp.Config{
+		Prog:      prog,
+		Inputs:    e.Inputs,
+		Choose:    e.chooser(),
+		Tracer:    det,
+		BlockMask: make([]bool, len(prog.Blocks)),
+	}
+	opts.apply(&cfg)
+	res, err := interp.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return raceReport(det, res), nil
+}
+
+// HybridFT is the traditional hybrid baseline: FastTrack optimized by
+// the sound static race analysis.
+type HybridFT struct {
+	Prog   *ir.Program
+	Static *staticrace.Result
+	rs     *raceStatic
+}
+
+// NewHybridFT runs the sound static analysis.
+func NewHybridFT(prog *ir.Program) (*HybridFT, error) {
+	rs, err := analyzeRaceStatic(prog, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &HybridFT{Prog: prog, Static: rs.static, rs: rs}, nil
+}
+
+// Run executes one analysis under the hybrid instrumentation.
+func (h *HybridFT) Run(e Execution, opts RunOptions) (*RaceReport, error) {
+	det := fasttrack.New()
+	cfg := interp.Config{
+		Prog:      h.Prog,
+		Inputs:    e.Inputs,
+		Choose:    e.chooser(),
+		Tracer:    det,
+		MemMask:   h.rs.mem,
+		SyncMask:  h.rs.sync,
+		BlockMask: make([]bool, len(h.Prog.Blocks)),
+	}
+	opts.apply(&cfg)
+	res, err := interp.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return raceReport(det, res), nil
+}
+
+// OptFT is the optimistic hybrid race detector (§4): FastTrack
+// optimized by the predicated static analysis, run speculatively with
+// invariant checks, rolling back to the traditional hybrid analysis on
+// mis-speculation.
+type OptFT struct {
+	Prog *ir.Program
+	DB   *invariants.DB
+	// Pred and Sound are the predicated and sound static results.
+	Pred  *staticrace.Result
+	Sound *HybridFT
+
+	pred *raceStatic
+	// unified interpreter masks (FastTrack sites ∪ check sites)
+	syncMask  []bool
+	blockMask []bool
+}
+
+// NewOptFT runs both static analyses (predicated for speculation,
+// sound for rollback) and prepares masks. The db should already
+// contain a validated ElidableLocks set (see ValidateCustomSync);
+// with an empty set no lock instrumentation is elided.
+func NewOptFT(prog *ir.Program, db *invariants.DB) (*OptFT, error) {
+	pred, err := analyzeRaceStatic(prog, db)
+	if err != nil {
+		return nil, err
+	}
+	sound, err := NewHybridFT(prog)
+	if err != nil {
+		return nil, err
+	}
+	o := &OptFT{Prog: prog, DB: db, Pred: pred.static, Sound: sound, pred: pred}
+	o.blockMask = checkedBlockMask(prog, db)
+	// Sync events: FastTrack's sites plus the guarding-lock check
+	// sites (which need the cheap address check even when FastTrack's
+	// lock processing is elided).
+	o.syncMask = make([]bool, len(prog.Instrs))
+	copy(o.syncMask, pred.sync)
+	for pair := range db.MustAliasLocks {
+		o.syncMask[pair.A] = true
+		o.syncMask[pair.B] = true
+	}
+	return o, nil
+}
+
+// ElidedAccesses returns how many loads/stores the predicated analysis
+// allows OptFT to skip.
+func (o *OptFT) ElidedAccesses() int {
+	n := 0
+	for _, in := range o.Prog.Instrs {
+		if in.IsMemAccess() && !o.pred.mem[in.ID] {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes one speculative analysis of e, rolling back to the
+// traditional hybrid analysis on invariant violation (or on any race
+// report while lock instrumentation is elided, per §4.2.4).
+func (o *OptFT) Run(e Execution, opts RunOptions) (*RaceReport, error) {
+	abort := &interp.Abort{}
+	det := fasttrack.New()
+	checker := newRaceChecker(o.Prog, o.DB, abort)
+	cfg := interp.Config{
+		Prog:      o.Prog,
+		Inputs:    e.Inputs,
+		Choose:    e.chooser(),
+		Tracer:    &optTracer{det: det, checker: checker, sync: o.pred.sync},
+		MemMask:   o.pred.mem,
+		SyncMask:  o.syncMask,
+		BlockMask: o.blockMask,
+		Abort:     abort,
+	}
+	opts.apply(&cfg)
+	res, err := interp.Run(cfg)
+
+	rollback := false
+	reason := ""
+	switch {
+	case errors.Is(err, interp.ErrAborted):
+		rollback = true
+		reason = abort.Reason()
+	case err != nil:
+		return nil, err
+	case det.HasRaces() && !o.DB.ElidableLocks.IsEmpty():
+		// Race reports are potential mis-speculations when lock
+		// instrumentation was elided (custom synchronization may have
+		// been missed): re-check under the sound hybrid analysis.
+		rollback = true
+		reason = "race reported with elided lock instrumentation"
+	}
+	if !rollback {
+		rep := raceReport(det, res)
+		rep.CheckEvents = checker.Events
+		return rep, nil
+	}
+
+	// Mis-speculation: roll back and re-execute the same recorded
+	// execution under the traditional hybrid analysis (§2.3).
+	rep, err2 := o.Sound.Run(e, opts)
+	if err2 != nil {
+		return nil, fmt.Errorf("core: rollback re-execution failed: %w", err2)
+	}
+	rep.RolledBack = true
+	rep.Violation = reason
+	rep.CheckEvents = checker.Events
+	// Account for the aborted speculative work too.
+	rep.Stats.Add(res.Stats)
+	return rep, nil
+}
+
+// ValidateCustomSync performs the iterative no-custom-synchronization
+// profiling of §4.2.4: starting from the lock/unlock sites the
+// predicated static analysis proposes to elide, it runs the optimistic
+// detector on the profiling executions and compares race reports with
+// the sound detector; if elision introduces false races, the
+// instrumentation is restored lock-object group by group until the
+// reports agree. The validated set is stored in o.DB.ElidableLocks
+// (and reflected in the run masks).
+func (o *OptFT) ValidateCustomSync(execs []Execution, opts RunOptions) error {
+	tentative := o.Pred.ElidableSyncs.Clone()
+	for {
+		o.setElidable(tentative)
+		bad := false
+		for _, e := range execs {
+			optRep, err := o.runWithoutRollback(e, opts)
+			if err != nil {
+				return err
+			}
+			soundRep, err := o.Sound.Run(e, opts)
+			if err != nil {
+				return err
+			}
+			if !sameRaceKeys(optRep.Races, soundRep.Races) {
+				bad = true
+				break
+			}
+		}
+		if !bad || tentative.IsEmpty() {
+			return nil
+		}
+		// Restore instrumentation on one lock-site group and retry.
+		restore := tentative.Min()
+		tentative.Remove(restore)
+		// Also restore the sites sharing an abstract lock object —
+		// approximated here by removing unlocks in the same function.
+		for _, in := range o.Prog.Instrs {
+			if (in.Op == ir.OpLock || in.Op == ir.OpUnlock) &&
+				in.Block.Fn == o.Prog.Instrs[restore].Block.Fn {
+				tentative.Remove(in.ID)
+			}
+		}
+	}
+}
+
+// setElidable updates the elided-lock set and derived masks.
+func (o *OptFT) setElidable(set *bitset.Set) {
+	o.DB.ElidableLocks = set.Clone()
+	for _, in := range o.Prog.Instrs {
+		if in.Op == ir.OpLock || in.Op == ir.OpUnlock {
+			o.pred.sync[in.ID] = !set.Has(in.ID)
+			o.syncMask[in.ID] = o.pred.sync[in.ID]
+		}
+	}
+	for pair := range o.DB.MustAliasLocks {
+		o.syncMask[pair.A] = true
+		o.syncMask[pair.B] = true
+	}
+}
+
+// runWithoutRollback runs the optimistic configuration but never rolls
+// back — used by custom-sync validation, which wants the raw
+// (possibly false) race reports.
+func (o *OptFT) runWithoutRollback(e Execution, opts RunOptions) (*RaceReport, error) {
+	det := fasttrack.New()
+	cfg := interp.Config{
+		Prog:      o.Prog,
+		Inputs:    e.Inputs,
+		Choose:    e.chooser(),
+		Tracer:    &ftAdapter{det: det, sync: o.pred.sync},
+		MemMask:   o.pred.mem,
+		SyncMask:  o.pred.sync,
+		BlockMask: make([]bool, len(o.Prog.Blocks)),
+	}
+	opts.apply(&cfg)
+	res, err := interp.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return raceReport(det, res), nil
+}
+
+func sameRaceKeys(a, b []fasttrack.Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameRaces reports whether two runs detected races on exactly the
+// same memory addresses — the equivalence FastTrack guarantees across
+// instrumentation configurations (the exact access-pair attribution
+// within one racy variable may differ with the metadata state; see
+// fasttrack.Key). Both reports must come from the same Execution.
+func SameRaces(a, b *RaceReport) bool {
+	if len(a.RacyAddrs) != len(b.RacyAddrs) {
+		return false
+	}
+	for i := range a.RacyAddrs {
+		if a.RacyAddrs[i] != b.RacyAddrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunDJIT executes under the DJIT+-style full-vector-clock detector —
+// the ablation baseline for FastTrack's epoch optimization.
+func RunDJIT(prog *ir.Program, e Execution, opts RunOptions) (*RaceReport, error) {
+	det := fasttrack.NewDJIT()
+	cfg := interp.Config{
+		Prog:      prog,
+		Inputs:    e.Inputs,
+		Choose:    e.chooser(),
+		Tracer:    det,
+		BlockMask: make([]bool, len(prog.Blocks)),
+	}
+	opts.apply(&cfg)
+	res, err := interp.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RaceReport{
+		RacyAddrs: det.RacyAddrs(),
+		Stats:     res.Stats,
+		FTChecks:  det.Checks,
+		Output:    res.Output,
+	}, nil
+}

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"testing"
+
+	"oha/internal/ir"
+	"oha/internal/lang"
+)
+
+// lockedCounter: fully synchronized; OptFT should elide almost all
+// instrumentation.
+const lockedCounter = `
+	global c = 0;
+	global m = 0;
+	func w(n) {
+		var i = 0;
+		while (i < n) {
+			lock(&m);
+			c = c + 1;
+			unlock(&m);
+			i = i + 1;
+		}
+	}
+	func main() {
+		var t1 = spawn w(input(0));
+		var t2 = spawn w(input(0));
+		join(t1);
+		join(t2);
+		print(c);
+	}
+`
+
+// racyProg: a real race that every configuration must report.
+const racyProg = `
+	global g = 0;
+	func w(n) {
+		var i = 0;
+		while (i < n) { g = g + 1; i = i + 1; }
+	}
+	func main() {
+		var t1 = spawn w(input(0));
+		var t2 = spawn w(input(0));
+		join(t1);
+		join(t2);
+		print(g);
+	}
+`
+
+// pathProg: has an input-guarded racy path, for forcing
+// mis-speculation.
+const pathProg = `
+	global g = 0;
+	global h = 0;
+	func w(k) {
+		if (k > 100) {
+			g = g + 1;   // racy, but unlikely path
+		}
+		h = 7;           // benign: h only written by one live thread at a time? no — racy too
+	}
+	func main() {
+		var t1 = spawn w(input(0));
+		var t2 = spawn w(input(0));
+		join(t1);
+		join(t2);
+		print(g + h);
+	}
+`
+
+func gen(inputs ...int64) func(int) Execution {
+	return func(run int) Execution {
+		return Execution{Inputs: inputs, Seed: uint64(run + 1)}
+	}
+}
+
+func mustProfile(t *testing.T, prog *ir.Program, g func(int) Execution, n int) *ProfileResult {
+	t.Helper()
+	pr, err := Profile(prog, g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+// sameReports checks address-level race equivalence (what FastTrack
+// guarantees across instrumentation configurations).
+func sameReports(a, b *RaceReport) bool { return SameRaces(a, b) }
+
+func TestOptFTEquivalentOnCleanProgram(t *testing.T) {
+	prog := lang.MustCompile(lockedCounter)
+	pr := mustProfile(t, prog, gen(20), 20)
+	o, err := NewOptFT(prog, pr.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.ValidateCustomSync([]Execution{{Inputs: []int64{20}, Seed: 1}}, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		e := Execution{Inputs: []int64{20}, Seed: seed}
+		ft, err := RunFastTrack(prog, e, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := o.Run(e, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.RolledBack {
+			t.Fatalf("seed %d: clean program rolled back: %s", seed, opt.Violation)
+		}
+		if !sameReports(ft, opt) {
+			t.Fatalf("seed %d: OptFT %v != FastTrack %v", seed, opt.Races, ft.Races)
+		}
+		if len(ft.Races) != 0 {
+			t.Fatalf("locked counter raced: %v", ft.Details)
+		}
+		// The point of OHA: dramatically less instrumentation work.
+		if opt.Stats.Loads+opt.Stats.Stores >= ft.Stats.Loads+ft.Stats.Stores {
+			t.Errorf("seed %d: OptFT did not elide accesses (%d vs %d)",
+				seed, opt.Stats.Loads+opt.Stats.Stores, ft.Stats.Loads+ft.Stats.Stores)
+		}
+	}
+}
+
+func TestOptFTStillFindsRealRaces(t *testing.T) {
+	prog := lang.MustCompile(racyProg)
+	pr := mustProfile(t, prog, gen(10), 20)
+	o, err := NewOptFT(prog, pr.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for seed := uint64(1); seed <= 10; seed++ {
+		e := Execution{Inputs: []int64{10}, Seed: seed}
+		ft, err := RunFastTrack(prog, e, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := o.Run(e, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameReports(ft, opt) {
+			t.Fatalf("seed %d: OptFT %v != FastTrack %v (rolledback=%v)",
+				seed, opt.Races, ft.Races, opt.RolledBack)
+		}
+		if len(opt.Races) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("race never observed dynamically in 10 schedules")
+	}
+}
+
+func TestOptFTRollbackOnLUCViolation(t *testing.T) {
+	prog := lang.MustCompile(pathProg)
+	// Profile only with small inputs: the k>100 branch is LUC.
+	pr := mustProfile(t, prog, gen(5), 20)
+	o, err := NewOptFT(prog, pr.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analyze an execution that takes the unlikely path.
+	e := Execution{Inputs: []int64{500}, Seed: 3}
+	ft, err := RunFastTrack(prog, e, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := o.Run(e, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.RolledBack {
+		t.Fatal("LUC violation did not trigger rollback")
+	}
+	if opt.Violation == "" {
+		t.Error("missing violation reason")
+	}
+	if !sameReports(ft, opt) {
+		t.Fatalf("after rollback OptFT %v != FastTrack %v", opt.Races, ft.Races)
+	}
+
+	// And on the likely path there is no rollback.
+	e2 := Execution{Inputs: []int64{5}, Seed: 3}
+	opt2, err := o.Run(e2, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt2.RolledBack {
+		t.Fatalf("likely path rolled back: %s", opt2.Violation)
+	}
+}
+
+func TestOptFTRollbackOnSingletonViolation(t *testing.T) {
+	src := `
+		global g = 0;
+		global m = 0;
+		func w() {
+			lock(&m);
+			g = g + 1;
+			unlock(&m);
+		}
+		func main() {
+			var n = input(0);
+			var i = 0;
+			var t = 0;
+			// The loop body (and so the spawn) executes n times.
+			while (i < n) {
+				t = spawn w();
+				join(t);
+				i = i + 1;
+			}
+			print(g);
+		}
+	`
+	prog := lang.MustCompile(src)
+	// Profile with n=1 only: the spawn site looks singleton.
+	pr := mustProfile(t, prog, gen(1), 20)
+	var spawnSite *ir.Instr
+	for _, in := range prog.Instrs {
+		if in.Op == ir.OpSpawn {
+			spawnSite = in
+		}
+	}
+	if !pr.DB.SingletonSpawns.Has(spawnSite.ID) {
+		t.Fatal("test premise broken: spawn site not singleton after profiling")
+	}
+	o, err := NewOptFT(prog, pr.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Execution{Inputs: []int64{3}, Seed: 2}
+	opt, err := o.Run(e, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.RolledBack {
+		t.Fatal("second spawn did not violate the singleton invariant")
+	}
+	ft, err := RunFastTrack(prog, e, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameReports(ft, opt) {
+		t.Fatalf("rollback result differs: %v vs %v", opt.Races, ft.Races)
+	}
+}
+
+func TestOptFTRollbackOnGuardingLockViolation(t *testing.T) {
+	// Profiled runs always lock m1 at both sites; the analyzed run
+	// locks m2 at one of them.
+	src := `
+		global g = 0;
+		global m1 = 0;
+		global m2 = 0;
+		func w1() {
+			lock(&m1);
+			g = g + 1;
+			unlock(&m1);
+		}
+		func w2(which) {
+			var p = &m1;
+			if (which > 10) { p = &m2; }
+			lock(p);
+			g = g + 2;
+			unlock(p);
+		}
+		func main() {
+			var i = 0;
+			var t1 = 0;
+			var t2 = 0;
+			while (i < 2) {
+				t1 = spawn w1();
+				t2 = spawn w2(input(0));
+				join(t1);
+				join(t2);
+				i = i + 1;
+			}
+			print(g);
+		}
+	`
+	prog := lang.MustCompile(src)
+	pr := mustProfile(t, prog, gen(1), 20)
+	if len(pr.DB.MustAliasLocks) == 0 {
+		t.Fatal("test premise broken: no must-alias pairs profiled")
+	}
+	o, err := NewOptFT(prog, pr.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// which = 50 > 10: w2 locks m2, breaking the must-alias pair, but
+	// note the branch is also LUC — either violation is a correct
+	// mis-speculation signal.
+	e := Execution{Inputs: []int64{50}, Seed: 1}
+	opt, err := o.Run(e, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.RolledBack {
+		t.Fatal("lock-aliasing change did not trigger rollback")
+	}
+	ft, err := RunFastTrack(prog, e, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameReports(ft, opt) {
+		t.Fatalf("rollback result differs: %v vs %v", opt.Races, ft.Races)
+	}
+}
+
+func TestCustomSyncValidationRestoresLocks(t *testing.T) {
+	// Figure 4: ordering established by a lock-protected flag; the
+	// protected accesses themselves never race, so the static analysis
+	// proposes eliding the locks — which would cause a false race on x.
+	// The validation loop must restore them.
+	src := `
+		global x = 0;
+		global b = 0;
+		global m = 0;
+		func t1() {
+			x = 5;
+			lock(&m);
+			b = 1;
+			unlock(&m);
+		}
+		func t2() {
+			var done = 0;
+			while (!done) {
+				lock(&m);
+				done = b;
+				unlock(&m);
+			}
+			print(x);
+		}
+		func main() {
+			var a = spawn t1();
+			var c = spawn t2();
+			join(a);
+			join(c);
+		}
+	`
+	prog := lang.MustCompile(src)
+	pr := mustProfile(t, prog, gen(), 20)
+	o, err := NewOptFT(prog, pr.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs := []Execution{{Seed: 1}, {Seed: 2}, {Seed: 3}}
+	if err := o.ValidateCustomSync(execs, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// After validation, every analyzed run must agree with FastTrack
+	// (x is properly ordered: no races).
+	for _, e := range execs {
+		opt, err := o.Run(e, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft, err := RunFastTrack(prog, e, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameReports(ft, opt) {
+			t.Fatalf("seed %d: post-validation mismatch: %v vs %v", e.Seed, opt.Races, ft.Races)
+		}
+		if len(ft.Races) != 0 {
+			t.Fatalf("custom-sync program actually raced: %v", ft.Details)
+		}
+	}
+}
+
+func TestCustomSyncElidesWhenSafe(t *testing.T) {
+	// No custom synchronization: validation keeps the proposed
+	// elisions and the optimistic run skips lock instrumentation.
+	prog := lang.MustCompile(lockedCounter)
+	pr := mustProfile(t, prog, gen(10), 20)
+	o, err := NewOptFT(prog, pr.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs := []Execution{{Inputs: []int64{10}, Seed: 1}, {Inputs: []int64{10}, Seed: 2}}
+	if err := o.ValidateCustomSync(execs, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if o.DB.ElidableLocks.IsEmpty() {
+		t.Fatal("safe locks not elided after validation")
+	}
+	e := Execution{Inputs: []int64{10}, Seed: 4}
+	opt, err := o.Run(e, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := o.Sound.Run(e, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Stats.Locks+opt.Stats.Unlocks >= hy.Stats.Locks+hy.Stats.Unlocks {
+		t.Errorf("lock instrumentation not reduced: opt=%d hybrid=%d",
+			opt.Stats.Locks+opt.Stats.Unlocks, hy.Stats.Locks+hy.Stats.Unlocks)
+	}
+	if opt.RolledBack {
+		t.Fatalf("unexpected rollback: %s", opt.Violation)
+	}
+	if !sameReports(opt, hy) {
+		t.Fatal("results differ after lock elision")
+	}
+}
+
+func TestHybridLessWorkThanFastTrackMoreThanOpt(t *testing.T) {
+	prog := lang.MustCompile(lockedCounter)
+	pr := mustProfile(t, prog, gen(30), 20)
+	o, err := NewOptFT(prog, pr.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Execution{Inputs: []int64{30}, Seed: 7}
+	ft, _ := RunFastTrack(prog, e, RunOptions{})
+	hy, err := o.Sound.Run(e, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := o.Run(e, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftW := ft.Stats.InstrumentedOps()
+	hyW := hy.Stats.InstrumentedOps()
+	optW := opt.Stats.InstrumentedOps()
+	if !(optW < ftW) {
+		t.Errorf("work ordering broken: opt=%d ft=%d", optW, ftW)
+	}
+	if hyW > ftW {
+		t.Errorf("hybrid does more work than FastTrack: %d > %d", hyW, ftW)
+	}
+	t.Logf("instrumented ops: fasttrack=%d hybrid=%d optimistic=%d", ftW, hyW, optW)
+}

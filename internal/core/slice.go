@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"oha/internal/ctxs"
+	"oha/internal/dynslice"
+	"oha/internal/interp"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/pointsto"
+	"oha/internal/staticslice"
+)
+
+// SliceReport is the result of one dynamic-slicing run.
+type SliceReport struct {
+	// Slice is the dynamic backward slice (nil if the criterion never
+	// executed).
+	Slice *dynslice.Slice
+	// Stats are the interpreter event counts (including rollback work).
+	Stats interp.Stats
+	// TraceNodes is the number of dynamic trace nodes recorded.
+	TraceNodes int
+	// CheckEvents counts invariant-check events (optimistic runs).
+	CheckEvents uint64
+	// RolledBack / Violation describe a mis-speculation, if any.
+	RolledBack bool
+	Violation  string
+	// Output is the analyzed program's output.
+	Output []int64
+}
+
+// SliceAnalysisType names which static discipline a slicer ended up
+// using (the "AT" columns of Table 2).
+type SliceAnalysisType string
+
+// Analysis types.
+const (
+	CS SliceAnalysisType = "CS"
+	CI SliceAnalysisType = "CI"
+)
+
+// buildSlicer constructs the most precise static slicer that runs
+// within budget: context-sensitive first, context-insensitive on
+// budget exhaustion — mirroring §6.1.2 ("the most accurate static
+// analysis that will complete on that benchmark without exhausting
+// available computational resources").
+func buildSlicer(prog *ir.Program, db *invariants.DB, budget int) (*staticslice.Slicer, SliceAnalysisType, error) {
+	var allowed *invariants.ContextSet
+	if db != nil {
+		allowed = db.Contexts
+	}
+	pt, err := pointsto.Analyze(prog, ctxs.NewCS(prog, budget, allowed), db)
+	if err == nil {
+		return staticslice.New(pt), CS, nil
+	}
+	if !errors.Is(err, ctxs.ErrBudget) {
+		return nil, CI, err
+	}
+	pt, err = pointsto.Analyze(prog, ctxs.NewCI(prog), db)
+	if err != nil {
+		return nil, CI, err
+	}
+	return staticslice.New(pt), CI, nil
+}
+
+// execMaskFor converts a static slice to the interpreter's trace mask.
+func execMaskFor(prog *ir.Program, s *staticslice.Slice) []bool {
+	mask := make([]bool, len(prog.Instrs))
+	s.Instrs.ForEach(func(id int) bool {
+		mask[id] = true
+		return true
+	})
+	// The criterion itself must be traced.
+	mask[s.Criterion.ID] = true
+	return mask
+}
+
+// HybridSlicer is the traditional hybrid baseline (hybrid Giri): the
+// dynamic slicer tracing only the sound static slice.
+type HybridSlicer struct {
+	Prog      *ir.Program
+	Criterion *ir.Instr
+	Static    *staticslice.Slice
+	AT        SliceAnalysisType
+	// MaxTraceNodes bounds the dynamic trace (0: dynslice default).
+	MaxTraceNodes int
+
+	execMask []bool
+}
+
+// NewHybridSlicer runs the sound static slicer (CS if it fits budget,
+// else CI) for one criterion.
+func NewHybridSlicer(prog *ir.Program, criterion *ir.Instr, budget int) (*HybridSlicer, error) {
+	sl, at, err := buildSlicer(prog, nil, budget)
+	if err != nil {
+		return nil, err
+	}
+	static := sl.BackwardSlice(criterion)
+	return &HybridSlicer{
+		Prog:      prog,
+		Criterion: criterion,
+		Static:    static,
+		AT:        at,
+		execMask:  execMaskFor(prog, static),
+	}, nil
+}
+
+// Run performs one hybrid dynamic slicing of e.
+func (h *HybridSlicer) Run(e Execution, opts RunOptions) (*SliceReport, error) {
+	tr := dynslice.New(h.Prog, nil)
+	if h.MaxTraceNodes > 0 {
+		tr.MaxNodes = h.MaxTraceNodes
+	}
+	cfg := interp.Config{
+		Prog:      h.Prog,
+		Inputs:    e.Inputs,
+		Choose:    e.chooser(),
+		Tracer:    tr,
+		ExecMask:  h.execMask,
+		BlockMask: make([]bool, len(h.Prog.Blocks)),
+	}
+	opts.apply(&cfg)
+	res, err := interp.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SliceReport{
+		Slice:      tr.Slice(h.Criterion),
+		Stats:      res.Stats,
+		TraceNodes: tr.NodeCount(),
+		Output:     res.Output,
+	}, nil
+}
+
+// RunFullGiri traces every instruction (pure dynamic slicing). It
+// errors with dynslice.ErrTraceExhausted semantics (via ErrAborted)
+// when the trace outgrows maxNodes, reproducing the paper's
+// observation that unoptimized Giri exhausts resources on modest
+// executions.
+func RunFullGiri(prog *ir.Program, criterion *ir.Instr, e Execution, opts RunOptions, maxNodes int) (*SliceReport, error) {
+	abort := &interp.Abort{}
+	tr := dynslice.New(prog, abort)
+	if maxNodes > 0 {
+		tr.MaxNodes = maxNodes
+	}
+	cfg := interp.Config{
+		Prog:      prog,
+		Inputs:    e.Inputs,
+		Choose:    e.chooser(),
+		Tracer:    tr,
+		ExecAll:   true,
+		BlockMask: make([]bool, len(prog.Blocks)),
+		Abort:     abort,
+	}
+	opts.apply(&cfg)
+	res, err := interp.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SliceReport{
+		Slice:      tr.Slice(criterion),
+		Stats:      res.Stats,
+		TraceNodes: tr.NodeCount(),
+		Output:     res.Output,
+	}, nil
+}
+
+// OptSlice is the optimistic hybrid slicer (§5): the dynamic slicer
+// tracing only the predicated static slice, with invariant checks and
+// rollback to the traditional hybrid slicer.
+type OptSlice struct {
+	Prog      *ir.Program
+	DB        *invariants.DB
+	Criterion *ir.Instr
+	Static    *staticslice.Slice
+	AT        SliceAnalysisType
+	Sound     *HybridSlicer
+	// MaxTraceNodes bounds the dynamic trace (0: dynslice default).
+	MaxTraceNodes int
+
+	execMask  []bool
+	blockMask []bool
+	checkCtx  bool
+	// NoBloom disables the Bloom-filter fast path of the call-context
+	// check (exact set inclusion only) — ablation of the paper's
+	// §5.2.3 optimization.
+	NoBloom bool
+}
+
+// NewOptSlice runs the predicated static slicer (context-sensitive
+// with the likely-unused-call-contexts restriction when it fits the
+// budget) and prepares the sound fallback.
+func NewOptSlice(prog *ir.Program, db *invariants.DB, criterion *ir.Instr, budget int) (*OptSlice, error) {
+	sl, at, err := buildSlicer(prog, db, budget)
+	if err != nil {
+		return nil, err
+	}
+	static := sl.BackwardSlice(criterion)
+	sound, err := NewHybridSlicer(prog, criterion, budget)
+	if err != nil {
+		return nil, err
+	}
+	return &OptSlice{
+		Prog:      prog,
+		DB:        db,
+		Criterion: criterion,
+		Static:    static,
+		AT:        at,
+		Sound:     sound,
+		execMask:  execMaskFor(prog, static),
+		blockMask: checkedBlockMask(prog, db),
+		// The unused-call-contexts invariant is only assumed (and so
+		// only needs checking) when the analysis was context-sensitive
+		// under the observed-context restriction.
+		checkCtx: at == CS,
+	}, nil
+}
+
+// Run performs one speculative dynamic slicing of e, rolling back to
+// the traditional hybrid slicer on invariant violation.
+func (o *OptSlice) Run(e Execution, opts RunOptions) (*SliceReport, error) {
+	abort := &interp.Abort{}
+	tr := dynslice.New(o.Prog, abort)
+	if o.MaxTraceNodes > 0 {
+		tr.MaxNodes = o.MaxTraceNodes
+	}
+	checker := newSliceChecker(o.Prog, o.DB, o.checkCtx, abort)
+	if o.NoBloom {
+		checker.disableBloom()
+	}
+	cfg := interp.Config{
+		Prog:      o.Prog,
+		Inputs:    e.Inputs,
+		Choose:    e.chooser(),
+		Tracer:    interp.MultiTracer{tr, checker},
+		ExecMask:  o.execMask,
+		BlockMask: o.blockMask,
+		Abort:     abort,
+	}
+	opts.apply(&cfg)
+	res, err := interp.Run(cfg)
+
+	if errors.Is(err, interp.ErrAborted) {
+		// Mis-speculation: roll back, re-execute under the sound
+		// hybrid slicer.
+		rep, err2 := o.Sound.Run(e, opts)
+		if err2 != nil {
+			return nil, fmt.Errorf("core: rollback re-execution failed: %w", err2)
+		}
+		rep.RolledBack = true
+		rep.Violation = abort.Reason()
+		rep.CheckEvents = checker.Events
+		rep.Stats.Add(res.Stats)
+		return rep, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &SliceReport{
+		Slice:       tr.Slice(o.Criterion),
+		Stats:       res.Stats,
+		TraceNodes:  tr.NodeCount(),
+		CheckEvents: checker.Events,
+		Output:      res.Output,
+	}, nil
+}

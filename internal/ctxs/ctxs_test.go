@@ -1,0 +1,148 @@
+package ctxs
+
+import (
+	"errors"
+	"testing"
+
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/lang"
+)
+
+const treeSrc = `
+	func leaf() { return 1; }
+	func mid() { return leaf(); }
+	func rec(n) { if (n) { return rec(n - 1); } return 0; }
+	func main() {
+		print(mid());
+		print(leaf());
+		print(rec(3));
+	}
+`
+
+// callSitesOf returns the call instructions of a function, in order.
+func callSitesOf(f *ir.Function) []*ir.Instr {
+	var out []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.IsCallLike() {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+func TestCITreeOneContextPerFunction(t *testing.T) {
+	p := lang.MustCompile(treeSrc)
+	tr := NewCI(p)
+	if tr.Sensitive() {
+		t.Fatal("CI tree claims sensitivity")
+	}
+	main := p.Main()
+	mid := p.FuncByName["mid"]
+	leaf := p.FuncByName["leaf"]
+	sites := callSitesOf(main)
+
+	c1, st, err := tr.Extend(tr.Root(), sites[0], mid)
+	if err != nil || st != Extended {
+		t.Fatalf("extend: %v %v", st, err)
+	}
+	// Extending to leaf from two different places gives the same ctx.
+	l1, _, err := tr.Extend(c1, callSitesOf(mid)[0], leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, _, err := tr.Extend(tr.Root(), sites[1], leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Error("CI tree cloned a function")
+	}
+	if len(tr.CtxsOf(leaf)) != 1 {
+		t.Errorf("leaf ctxs = %d", len(tr.CtxsOf(leaf)))
+	}
+	if tr.FnOf(l1) != leaf {
+		t.Error("FnOf wrong")
+	}
+}
+
+func TestCSTreeClonesPerPath(t *testing.T) {
+	p := lang.MustCompile(treeSrc)
+	tr := NewCS(p, 0, nil)
+	main := p.Main()
+	mid := p.FuncByName["mid"]
+	leaf := p.FuncByName["leaf"]
+	sites := callSitesOf(main)
+
+	cMid, _, _ := tr.Extend(tr.Root(), sites[0], mid)
+	lViaMid, _, _ := tr.Extend(cMid, callSitesOf(mid)[0], leaf)
+	lDirect, _, _ := tr.Extend(tr.Root(), sites[1], leaf)
+	if lViaMid == lDirect {
+		t.Error("CS tree merged distinct paths")
+	}
+	if len(tr.CtxsOf(leaf)) != 2 {
+		t.Errorf("leaf ctxs = %d, want 2", len(tr.CtxsOf(leaf)))
+	}
+	// Interning: the same (ctx, site, callee) returns the same clone.
+	again, st, _ := tr.Extend(tr.Root(), sites[1], leaf)
+	if again != lDirect || st != Extended {
+		t.Error("interning failed")
+	}
+	// Paths.
+	if len(tr.Path(lViaMid)) != 2 || len(tr.Path(lDirect)) != 1 {
+		t.Errorf("paths: %v %v", tr.Path(lViaMid), tr.Path(lDirect))
+	}
+}
+
+func TestCSRecursionCollapse(t *testing.T) {
+	p := lang.MustCompile(treeSrc)
+	tr := NewCS(p, 0, nil)
+	main := p.Main()
+	rec := p.FuncByName["rec"]
+	recSite := callSitesOf(main)[2]
+	cRec, _, _ := tr.Extend(tr.Root(), recSite, rec)
+	selfSite := callSitesOf(rec)[0]
+	again, st, err := tr.Extend(cRec, selfSite, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Recursive || again != cRec {
+		t.Errorf("recursion not collapsed: %v ctx %d vs %d", st, again, cRec)
+	}
+}
+
+func TestCSBudget(t *testing.T) {
+	p := lang.MustCompile(treeSrc)
+	tr := NewCS(p, 2, nil) // main + one clone only
+	main := p.Main()
+	sites := callSitesOf(main)
+	if _, _, err := tr.Extend(tr.Root(), sites[0], p.FuncByName["mid"]); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := tr.Extend(tr.Root(), sites[1], p.FuncByName["leaf"])
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want budget", err)
+	}
+}
+
+func TestCSContextRestriction(t *testing.T) {
+	p := lang.MustCompile(treeSrc)
+	main := p.Main()
+	mid := p.FuncByName["mid"]
+	leaf := p.FuncByName["leaf"]
+	sites := callSitesOf(main)
+
+	allowed := invariants.NewContextSet()
+	allowed.Add([]int{sites[0].ID}) // only main->mid observed
+	tr := NewCS(p, 0, allowed.Clone())
+
+	if _, st, _ := tr.Extend(tr.Root(), sites[0], mid); st != Extended {
+		t.Fatalf("observed path pruned: %v", st)
+	}
+	_, st, _ := tr.Extend(tr.Root(), sites[1], leaf)
+	if st != Pruned {
+		t.Fatalf("unobserved path not pruned: %v", st)
+	}
+}

@@ -1,0 +1,281 @@
+// Package dynslice implements a Giri-style trace-based dynamic
+// backward slicer (Sahoo et al., the dynamic slicer OptSlice
+// accelerates) as an interpreter Tracer.
+//
+// During execution it records one trace node per traced instruction
+// instance, with edges to the dynamic definitions the instance used:
+// register dataflow within each activation, call/return/spawn binding
+// across activations, and memory dataflow through last-writer
+// tracking per address. A backward slice is then the transitive
+// closure of a criterion instance over those edges, reported as the
+// set of static instructions involved (data-flow slices only — no
+// control dependencies, matching OptSlice §5).
+//
+// Hybrid slicing traces only the instructions in a static slice (the
+// interpreter's ExecMask); every dynamic dependence chain that reaches
+// the criterion is contained in a sound static slice, so the computed
+// dynamic slice is unchanged — that is the hybrid-Giri optimization.
+// Full tracing of non-trivial executions exhausts memory quickly
+// (MaxNodes models the paper's observation that pure Giri "exhausts
+// system resources even on modest executions").
+package dynslice
+
+import (
+	"errors"
+
+	"oha/internal/bitset"
+	"oha/internal/interp"
+	"oha/internal/ir"
+	"oha/internal/vc"
+)
+
+// ErrTraceExhausted is reported (via the interpreter's Abort flag)
+// when the trace exceeds MaxNodes.
+var ErrTraceExhausted = errors.New("dynslice: trace node limit exceeded")
+
+// node is one dynamic instruction instance.
+type node struct {
+	instr int32
+	deps  []int32
+}
+
+// Tracer records the dynamic dependence trace. Install as the
+// interpreter's Tracer with ExecMask covering the instructions to
+// trace (or ExecAll for full Giri).
+type Tracer struct {
+	interp.NopTracer
+	prog *ir.Program
+
+	nodes []node
+	// lastReg maps (frame, var) to the defining node.
+	lastReg map[regKey]int32
+	// lastMem maps an address to its last traced store node.
+	lastMem map[interp.Addr]int32
+	// lastInstance maps a static instr ID to its latest node.
+	lastInstance map[int32]int32
+
+	// pendingCall/pendingSpawn/pendingRet stash cross-activation
+	// binding info delivered by the Call/Spawn/Ret events until the
+	// matching Exec event arrives.
+	pendingCall  *callBinding
+	pendingRet   *retBinding
+	pendingSpawn *callBinding
+
+	// MaxNodes bounds the trace (0: 4M nodes). On overflow the tracer
+	// raises Abort (if set) and stops recording.
+	MaxNodes int
+	Abort    *interp.Abort
+	full     bool
+}
+
+type regKey struct {
+	frame interp.FrameID
+	v     int32
+}
+
+type callBinding struct {
+	site        *ir.Instr
+	callee      *ir.Function
+	caller      interp.FrameID
+	calleeFrame interp.FrameID
+}
+
+type retBinding struct {
+	callee interp.FrameID
+	caller interp.FrameID
+	dst    *ir.Var
+}
+
+// New returns a tracer for prog. abort, when non-nil, lets the tracer
+// stop the execution if the trace overflows MaxNodes.
+func New(prog *ir.Program, abort *interp.Abort) *Tracer {
+	return &Tracer{
+		prog:         prog,
+		lastReg:      map[regKey]int32{},
+		lastMem:      map[interp.Addr]int32{},
+		lastInstance: map[int32]int32{},
+		Abort:        abort,
+		MaxNodes:     4 << 20,
+	}
+}
+
+// NodeCount returns the number of trace nodes recorded.
+func (tr *Tracer) NodeCount() int { return len(tr.nodes) }
+
+// Overflowed reports whether the trace hit MaxNodes.
+func (tr *Tracer) Overflowed() bool { return tr.full }
+
+// Call stashes the frame binding for the imminent Exec of the call.
+func (tr *Tracer) Call(_ vc.TID, in *ir.Instr, callee *ir.Function, caller, calleeFrame interp.FrameID) {
+	tr.pendingCall = &callBinding{site: in, callee: callee, caller: caller, calleeFrame: calleeFrame}
+}
+
+// Spawn stashes the frame binding for the imminent Exec of the spawn.
+func (tr *Tracer) Spawn(_ vc.TID, in *ir.Instr, _ vc.TID, childFrame interp.FrameID, callee *ir.Function) {
+	tr.pendingSpawn = &callBinding{site: in, callee: callee, calleeFrame: childFrame}
+}
+
+// Ret stashes the return binding for the imminent Exec of the ret.
+func (tr *Tracer) Ret(_ vc.TID, _ *ir.Instr, callee, caller interp.FrameID, dst *ir.Var) {
+	tr.pendingRet = &retBinding{callee: callee, caller: caller, dst: dst}
+}
+
+// operandDep appends the defining node of a register operand, if
+// traced.
+func (tr *Tracer) operandDep(frame interp.FrameID, op ir.Operand, deps []int32) []int32 {
+	if op.Kind != ir.OperVar {
+		return deps
+	}
+	if n, ok := tr.lastReg[regKey{frame: frame, v: int32(op.Var.ID)}]; ok {
+		deps = append(deps, n)
+	}
+	return deps
+}
+
+// Exec records one dynamic instance.
+func (tr *Tracer) Exec(_ vc.TID, in *ir.Instr, frame interp.FrameID, addr interp.Addr) {
+	switch in.Op {
+	case ir.OpJmp, ir.OpBr, ir.OpLock, ir.OpUnlock, ir.OpJoin:
+		// Control flow and synchronization define no data, and
+		// data-flow slices ignore control dependences: no node.
+		return
+	}
+	if tr.full {
+		return
+	}
+	if len(tr.nodes) >= tr.MaxNodes {
+		tr.full = true
+		if tr.Abort != nil {
+			tr.Abort.Set(ErrTraceExhausted.Error())
+		}
+		return
+	}
+
+	var deps []int32
+	deps = tr.operandDep(frame, in.A, deps)
+	deps = tr.operandDep(frame, in.B, deps)
+	for _, a := range in.Args {
+		deps = tr.operandDep(frame, a, deps)
+	}
+	switch in.Op {
+	case ir.OpLoad:
+		if n, ok := tr.lastMem[addr]; ok {
+			deps = append(deps, n)
+		}
+	case ir.OpRet:
+		// Operand dep already added; binding handled below.
+	}
+
+	id := int32(len(tr.nodes))
+	tr.nodes = append(tr.nodes, node{instr: int32(in.ID), deps: deps})
+	tr.lastInstance[int32(in.ID)] = id
+
+	// Effects: define registers/memory and cross-activation bindings.
+	switch in.Op {
+	case ir.OpStore:
+		tr.lastMem[addr] = id
+	case ir.OpCall:
+		if pc := tr.pendingCall; pc != nil && pc.site == in {
+			for _, p := range pc.callee.Params {
+				tr.lastReg[regKey{frame: pc.calleeFrame, v: int32(p.ID)}] = id
+			}
+			tr.pendingCall = nil
+		}
+		if in.Dst != nil {
+			// The call's result is defined by the ret node later; the
+			// call node itself stands in until the ret arrives (calls
+			// into untraced code keep this binding).
+			tr.lastReg[regKey{frame: frame, v: int32(in.Dst.ID)}] = id
+		}
+	case ir.OpSpawn:
+		if ps := tr.pendingSpawn; ps != nil && ps.site == in {
+			for _, p := range ps.callee.Params {
+				tr.lastReg[regKey{frame: ps.calleeFrame, v: int32(p.ID)}] = id
+			}
+			tr.pendingSpawn = nil
+		}
+		if in.Dst != nil {
+			tr.lastReg[regKey{frame: frame, v: int32(in.Dst.ID)}] = id
+		}
+	case ir.OpRet:
+		if pr := tr.pendingRet; pr != nil && pr.callee == frame {
+			if pr.dst != nil {
+				tr.lastReg[regKey{frame: pr.caller, v: int32(pr.dst.ID)}] = id
+			}
+			tr.pendingRet = nil
+		}
+	default:
+		if in.Dst != nil {
+			tr.lastReg[regKey{frame: frame, v: int32(in.Dst.ID)}] = id
+		}
+	}
+}
+
+// Slice computes the dynamic backward slice from the latest instance
+// of the criterion instruction. It returns nil if the criterion never
+// executed (or was not traced).
+func (tr *Tracer) Slice(criterion *ir.Instr) *Slice {
+	start, ok := tr.lastInstance[int32(criterion.ID)]
+	if !ok {
+		return nil
+	}
+	return tr.sliceFrom([]int32{start}, criterion)
+}
+
+// SliceAllInstances slices from every dynamic instance of the
+// criterion (useful when the "failure" could be any instance).
+func (tr *Tracer) SliceAllInstances(criterion *ir.Instr) *Slice {
+	var starts []int32
+	for i, n := range tr.nodes {
+		if n.instr == int32(criterion.ID) {
+			starts = append(starts, int32(i))
+		}
+	}
+	if len(starts) == 0 {
+		return nil
+	}
+	return tr.sliceFrom(starts, criterion)
+}
+
+func (tr *Tracer) sliceFrom(starts []int32, criterion *ir.Instr) *Slice {
+	s := &Slice{Instrs: &bitset.Set{}, Criterion: criterion}
+	seen := bitset.New(len(tr.nodes))
+	work := append([]int32(nil), starts...)
+	for _, w := range work {
+		seen.Add(int(w))
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		s.DynNodes++
+		nd := &tr.nodes[n]
+		s.Instrs.Add(int(nd.instr))
+		for _, d := range nd.deps {
+			if seen.Add(int(d)) {
+				work = append(work, d)
+			}
+		}
+	}
+	return s
+}
+
+// Slice is a dynamic backward slice.
+type Slice struct {
+	// Instrs is the set of static instruction IDs whose instances
+	// affected the criterion.
+	Instrs *bitset.Set
+	// DynNodes is the number of dynamic instances in the slice.
+	DynNodes  int
+	Criterion *ir.Instr
+}
+
+// Size returns the number of static instructions in the slice.
+func (s *Slice) Size() int { return s.Instrs.Len() }
+
+// Equal reports whether two slices cover the same static instructions.
+func (s *Slice) Equal(o *Slice) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	return s.Instrs.Equal(o.Instrs)
+}

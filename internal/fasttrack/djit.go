@@ -1,0 +1,129 @@
+package fasttrack
+
+import (
+	"sort"
+
+	"oha/internal/interp"
+	"oha/internal/ir"
+	"oha/internal/vc"
+)
+
+// DJIT is a DJIT+-style happens-before race detector: semantically
+// FastTrack without the epoch optimization — every variable carries a
+// full read vector clock and a full write vector clock, and every
+// access performs O(threads) vector-clock work.
+//
+// It exists as the ablation baseline for FastTrack's core claim (the
+// adaptive epoch representation makes the common case O(1)): the
+// benchmark suite compares the two detectors' per-access cost, and the
+// tests check they flag exactly the same racy variables.
+type DJIT struct {
+	interp.NopTracer
+	threads []*vc.VC
+	locks   map[interp.Addr]*vc.VC
+	vars    map[interp.Addr]*djitVar
+	racy    map[interp.Addr]bool
+	// Checks counts read/write metadata operations performed.
+	Checks uint64
+}
+
+type djitVar struct {
+	r, w *vc.VC
+}
+
+// NewDJIT returns an empty DJIT+ detector.
+func NewDJIT() *DJIT {
+	return &DJIT{
+		locks: map[interp.Addr]*vc.VC{},
+		vars:  map[interp.Addr]*djitVar{},
+		racy:  map[interp.Addr]bool{},
+	}
+}
+
+func (d *DJIT) clock(t vc.TID) *vc.VC {
+	for int(t) >= len(d.threads) {
+		d.threads = append(d.threads, nil)
+	}
+	if d.threads[t] == nil {
+		c := vc.New()
+		c.Set(t, 1)
+		d.threads[t] = c
+	}
+	return d.threads[t]
+}
+
+func (d *DJIT) state(a interp.Addr) *djitVar {
+	v := d.vars[a]
+	if v == nil {
+		v = &djitVar{r: vc.New(), w: vc.New()}
+		d.vars[a] = v
+	}
+	return v
+}
+
+// Load implements the DJIT+ read rule: the full write clock must
+// happen-before the reader.
+func (d *DJIT) Load(t vc.TID, _ *ir.Instr, addr interp.Addr, _ int64) {
+	d.Checks++
+	ct := d.clock(t)
+	v := d.state(addr)
+	if !v.w.Leq(ct) {
+		d.racy[addr] = true
+	}
+	v.r.Set(t, ct.Get(t))
+}
+
+// Store implements the DJIT+ write rule: both full clocks must
+// happen-before the writer.
+func (d *DJIT) Store(t vc.TID, _ *ir.Instr, addr interp.Addr, _ int64) {
+	d.Checks++
+	ct := d.clock(t)
+	v := d.state(addr)
+	if !v.w.Leq(ct) || !v.r.Leq(ct) {
+		d.racy[addr] = true
+	}
+	v.w.Set(t, ct.Get(t))
+}
+
+// Lock implements acquire.
+func (d *DJIT) Lock(t vc.TID, _ *ir.Instr, addr interp.Addr) {
+	if lm := d.locks[addr]; lm != nil {
+		d.clock(t).JoinWith(lm)
+	}
+}
+
+// Unlock implements release.
+func (d *DJIT) Unlock(t vc.TID, _ *ir.Instr, addr interp.Addr) {
+	ct := d.clock(t)
+	lm := d.locks[addr]
+	if lm == nil {
+		lm = vc.New()
+		d.locks[addr] = lm
+	}
+	lm.Assign(ct)
+	ct.Tick(t)
+}
+
+// Spawn implements fork.
+func (d *DJIT) Spawn(t vc.TID, _ *ir.Instr, child vc.TID, _ interp.FrameID, _ *ir.Function) {
+	d.clock(child).JoinWith(d.clock(t))
+	d.clock(t).Tick(t)
+}
+
+// Join implements join.
+func (d *DJIT) Join(t vc.TID, _ *ir.Instr, child vc.TID) {
+	d.clock(t).JoinWith(d.clock(child))
+}
+
+// RacyAddrs returns the sorted racy addresses.
+func (d *DJIT) RacyAddrs() []interp.Addr {
+	out := make([]interp.Addr, 0, len(d.racy))
+	for a := range d.racy {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasRaces reports whether any race was detected.
+func (d *DJIT) HasRaces() bool { return len(d.racy) > 0 }

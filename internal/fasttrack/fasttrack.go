@@ -1,0 +1,301 @@
+// Package fasttrack implements the FastTrack dynamic happens-before
+// data-race detector (Flanagan & Freund, PLDI 2009) as an interpreter
+// Tracer — the dynamic-analysis client that OptFT accelerates.
+//
+// The implementation follows the published algorithm: every thread
+// carries a vector clock C_t, every lock a vector clock L_m, and every
+// memory word an epoch pair (W_x, R_x) where the read metadata
+// adaptively inflates to a full vector clock when reads are concurrent
+// (the READ_SHARED state). The epoch fast paths make the common case
+// O(1), which is what makes FastTrack "fast"; the same structure makes
+// the per-event cost here roughly constant, so eliding instrumentation
+// translates into proportional time savings, as in the paper.
+package fasttrack
+
+import (
+	"fmt"
+	"sort"
+
+	"oha/internal/interp"
+	"oha/internal/ir"
+	"oha/internal/vc"
+)
+
+// RaceKind classifies a detected race.
+type RaceKind uint8
+
+// Race kinds.
+const (
+	WriteWrite RaceKind = iota
+	WriteRead           // earlier write races with this read
+	ReadWrite           // earlier read races with this write
+)
+
+func (k RaceKind) String() string {
+	switch k {
+	case WriteWrite:
+		return "write-write"
+	case WriteRead:
+		return "write-read"
+	}
+	return "read-write"
+}
+
+// Race is one detected data race. Prev describes the earlier access
+// when known (nil when the earlier access's site was not recorded,
+// e.g. a read of a READ_SHARED variable).
+type Race struct {
+	Kind RaceKind
+	Addr interp.Addr
+	// Instr is the access that detected the race.
+	Instr *ir.Instr
+	// Prev is the racing earlier access's instruction, if known.
+	Prev *ir.Instr
+	// TID is the detecting thread.
+	TID vc.TID
+}
+
+func (r Race) String() string {
+	prev := "?"
+	if r.Prev != nil {
+		prev = fmt.Sprintf("instr %d at %s", r.Prev.ID, r.Prev.Pos)
+	}
+	return fmt.Sprintf("%s race on %s: instr %d at %s vs %s",
+		r.Kind, interp.FormatValue(r.Addr), r.Instr.ID, r.Instr.Pos, prev)
+}
+
+// Key identifies a race for deduplication and cross-detector
+// comparison: the static instruction pair (ordered) plus kind.
+//
+// Read-write races are keyed by the writing instruction alone
+// (B == -1): the identity of the earlier reader depends on whether the
+// read metadata was in the EXCLUSIVE or READ_SHARED state, which in
+// turn depends on which (provably race-free) reads were elided — so it
+// is representation detail, not analysis result. Write-write and
+// write-read races carry exact pairs (write metadata never inflates).
+type Key struct {
+	A, B int // instr IDs, A <= B (B == -1 when prev not part of the key)
+	Kind RaceKind
+}
+
+// keyFor canonicalizes a race into its comparison key.
+func keyFor(kind RaceKind, cur, prev *ir.Instr) Key {
+	k := Key{A: cur.ID, B: -1, Kind: kind}
+	if prev != nil && kind != ReadWrite {
+		k.A, k.B = prev.ID, cur.ID
+		if k.A > k.B {
+			k.A, k.B = k.B, k.A
+		}
+	}
+	return k
+}
+
+// varState is the per-variable FastTrack metadata.
+type varState struct {
+	w      vc.Epoch // last write epoch
+	r      vc.Epoch // last read epoch, or ReadShared
+	rvc    *vc.VC   // read vector clock when shared
+	wInstr *ir.Instr
+	rInstr *ir.Instr // valid in exclusive read state
+}
+
+// Detector is a FastTrack race detector; install it as the
+// interpreter's Tracer. The zero value is not ready; use New.
+type Detector struct {
+	interp.NopTracer
+	threads []*vc.VC
+	locks   map[interp.Addr]*vc.VC
+	vars    map[interp.Addr]*varState
+	races   map[Key]Race
+	// racyAddrs is tracked independently of the per-static-pair race
+	// dedup: one static instruction can race on several addresses.
+	racyAddrs map[interp.Addr]bool
+	// Checks counts read/write metadata operations performed (the
+	// "FastTrack checks" cost component of Figure 5).
+	Checks uint64
+}
+
+// New returns an empty detector.
+func New() *Detector {
+	return &Detector{
+		locks:     map[interp.Addr]*vc.VC{},
+		vars:      map[interp.Addr]*varState{},
+		races:     map[Key]Race{},
+		racyAddrs: map[interp.Addr]bool{},
+	}
+}
+
+// clock returns (creating if needed) thread t's vector clock. A fresh
+// thread starts at clock 1 for itself.
+func (d *Detector) clock(t vc.TID) *vc.VC {
+	for int(t) >= len(d.threads) {
+		d.threads = append(d.threads, nil)
+	}
+	if d.threads[t] == nil {
+		c := vc.New()
+		c.Set(t, 1)
+		d.threads[t] = c
+	}
+	return d.threads[t]
+}
+
+func (d *Detector) state(a interp.Addr) *varState {
+	vs := d.vars[a]
+	if vs == nil {
+		vs = &varState{}
+		d.vars[a] = vs
+	}
+	return vs
+}
+
+func (d *Detector) report(kind RaceKind, addr interp.Addr, t vc.TID, cur, prev *ir.Instr) {
+	d.racyAddrs[addr] = true
+	k := keyFor(kind, cur, prev)
+	if _, dup := d.races[k]; !dup {
+		d.races[k] = Race{Kind: kind, Addr: addr, Instr: cur, Prev: prev, TID: t}
+	}
+}
+
+// Load implements the FastTrack read rules.
+func (d *Detector) Load(t vc.TID, in *ir.Instr, addr interp.Addr, _ int64) {
+	d.Checks++
+	ct := d.clock(t)
+	vs := d.state(addr)
+	e := ct.Epoch(t)
+
+	if vs.r == e {
+		return // SAME EPOCH fast path
+	}
+	// Write-read race check.
+	if vs.w != vc.NoEpoch && !ct.LeqEpoch(vs.w) {
+		d.report(WriteRead, addr, t, in, vs.wInstr)
+	}
+	if vs.r == vc.ReadShared {
+		vs.rvc.Set(t, e.Clock()) // SHARED
+		return
+	}
+	if vs.r == vc.NoEpoch || ct.LeqEpoch(vs.r) {
+		vs.r = e // EXCLUSIVE
+		vs.rInstr = in
+		return
+	}
+	// SHARE: inflate to a read vector clock.
+	rvc := vc.New()
+	rvc.Set(vs.r.TID(), vs.r.Clock())
+	rvc.Set(t, e.Clock())
+	vs.rvc = rvc
+	vs.r = vc.ReadShared
+	vs.rInstr = nil
+}
+
+// Store implements the FastTrack write rules.
+func (d *Detector) Store(t vc.TID, in *ir.Instr, addr interp.Addr, _ int64) {
+	d.Checks++
+	ct := d.clock(t)
+	vs := d.state(addr)
+	e := ct.Epoch(t)
+
+	if vs.w == e {
+		return // SAME EPOCH
+	}
+	if vs.w != vc.NoEpoch && !ct.LeqEpoch(vs.w) {
+		d.report(WriteWrite, addr, t, in, vs.wInstr)
+	}
+	switch {
+	case vs.r == vc.ReadShared:
+		if !vs.rvc.Leq(ct) {
+			d.report(ReadWrite, addr, t, in, nil)
+		}
+		// The write dominates: drop back to exclusive-read bottom.
+		vs.r = vc.NoEpoch
+		vs.rvc = nil
+	case vs.r != vc.NoEpoch && !ct.LeqEpoch(vs.r):
+		d.report(ReadWrite, addr, t, in, vs.rInstr)
+	}
+	vs.w = e
+	vs.wInstr = in
+}
+
+// Lock implements acquire: C_t joins the lock's clock.
+func (d *Detector) Lock(t vc.TID, _ *ir.Instr, addr interp.Addr) {
+	if lm := d.locks[addr]; lm != nil {
+		d.clock(t).JoinWith(lm)
+	}
+}
+
+// Unlock implements release: the lock's clock becomes C_t, which then
+// advances.
+func (d *Detector) Unlock(t vc.TID, _ *ir.Instr, addr interp.Addr) {
+	ct := d.clock(t)
+	lm := d.locks[addr]
+	if lm == nil {
+		lm = vc.New()
+		d.locks[addr] = lm
+	}
+	lm.Assign(ct)
+	ct.Tick(t)
+}
+
+// Spawn implements fork: the child inherits the parent's clock.
+func (d *Detector) Spawn(t vc.TID, _ *ir.Instr, child vc.TID, _ interp.FrameID, _ *ir.Function) {
+	cc := d.clock(child)
+	cc.JoinWith(d.clock(t))
+	d.clock(t).Tick(t)
+}
+
+// Join implements join: the parent absorbs the child's clock.
+func (d *Detector) Join(t vc.TID, _ *ir.Instr, child vc.TID) {
+	d.clock(t).JoinWith(d.clock(child))
+}
+
+// Races returns the deduplicated races, ordered deterministically.
+func (d *Detector) Races() []Race {
+	keys := make([]Key, 0, len(d.races))
+	for k := range d.races {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].A != keys[j].A {
+			return keys[i].A < keys[j].A
+		}
+		if keys[i].B != keys[j].B {
+			return keys[i].B < keys[j].B
+		}
+		return keys[i].Kind < keys[j].Kind
+	})
+	out := make([]Race, len(keys))
+	for i, k := range keys {
+		out[i] = d.races[k]
+	}
+	return out
+}
+
+// RaceKeys returns the deduplicated race keys (static pairs), the
+// canonical form used to compare two detectors' findings.
+func (d *Detector) RaceKeys() []Key {
+	rs := d.Races()
+	out := make([]Key, len(rs))
+	for i, r := range rs {
+		out[i] = keyFor(r.Kind, r.Instr, r.Prev)
+	}
+	return out
+}
+
+// HasRaces reports whether any race was detected.
+func (d *Detector) HasRaces() bool { return len(d.races) > 0 }
+
+// RacyAddrs returns the sorted set of memory addresses on which races
+// were detected. This is FastTrack's precision unit: the algorithm
+// guarantees at least one reported race per variable that races in the
+// observed execution, but *which* access pair gets attributed depends
+// on the metadata state (exclusive vs READ_SHARED), which in turn
+// depends on which provably-race-free accesses were instrumented — so
+// cross-configuration equivalence is defined on racy addresses.
+func (d *Detector) RacyAddrs() []interp.Addr {
+	out := make([]interp.Addr, 0, len(d.racyAddrs))
+	for a := range d.racyAddrs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

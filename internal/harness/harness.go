@@ -1,0 +1,121 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§6) over the workload suite: Figure 5 and Table 1
+// (OptFT), Figure 6 and Table 2 (OptSlice), Figures 7–8 (profiling
+// sweeps), and Figures 9–11 (predicated static analysis effects).
+//
+// Each experiment returns structured rows and has a printer that emits
+// the same columns/series the paper reports. Two cost metrics appear
+// side by side:
+//
+//   - wall-clock seconds measured on this machine (normalized to the
+//     uninstrumented baseline run, like the paper's normalized-runtime
+//     figures), and
+//   - deterministic instrumentation-event counts, which are identical
+//     on every machine and are the primary "shape" metric of this
+//     reproduction.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"oha/internal/core"
+	"oha/internal/ir"
+	"oha/internal/workloads"
+)
+
+// Options configures the experiments.
+type Options struct {
+	// ProfileRuns bounds the profiling convergence loop.
+	ProfileRuns int
+	// TestRuns is the size of the testing set per benchmark.
+	TestRuns int
+	// Budget bounds context-sensitive analyses (clones).
+	Budget int
+	// Repeat repeats each timed dynamic run to stabilize wall-clock
+	// numbers.
+	Repeat int
+}
+
+// Defaults fills unset options. The defaults keep the full suite
+// around a minute; the paper's 64-run profile sets are reproduced
+// with ProfileRuns=64.
+func (o Options) Defaults() Options {
+	if o.ProfileRuns == 0 {
+		o.ProfileRuns = 32
+	}
+	if o.TestRuns == 0 {
+		o.TestRuns = 8
+	}
+	if o.Budget == 0 {
+		o.Budget = 4096
+	}
+	if o.Repeat == 0 {
+		o.Repeat = 3
+	}
+	return o
+}
+
+// profileExec builds the profiling execution for run i.
+func profileExec(w *workloads.Workload, i int) core.Execution {
+	return core.Execution{Inputs: w.GenInput(i), Seed: uint64(i + 1)}
+}
+
+// testExec builds the testing execution for index i (disjoint from the
+// profiling range; the same generator distribution, as in the paper's
+// candidate/testing corpus split).
+func testExec(w *workloads.Workload, i int) core.Execution {
+	return core.Execution{Inputs: w.GenInput(1000 + i), Seed: uint64(2000 + i)}
+}
+
+// timed measures the wall-clock seconds of f.
+func timed(f func() error) (float64, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start).Seconds(), err
+}
+
+// timedN runs f repeat times and returns the minimum duration (the
+// usual noise-robust estimator for deterministic work).
+func timedN(repeat int, f func() error) (float64, error) {
+	best := -1.0
+	for i := 0; i < repeat; i++ {
+		d, err := timed(f)
+		if err != nil {
+			return 0, err
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// lastPrint returns the workload's final print instruction — the slice
+// criterion used throughout (the program's primary output).
+func lastPrint(prog *ir.Program) *ir.Instr {
+	var out *ir.Instr
+	for _, in := range prog.Instrs {
+		if in.Op == ir.OpPrint {
+			out = in
+		}
+	}
+	return out
+}
+
+// profiled runs the profiling phase for a workload and returns the
+// result plus the measured profiling seconds.
+func profiled(w *workloads.Workload, opts Options) (*core.ProfileResult, float64, error) {
+	var pr *core.ProfileResult
+	sec, err := timed(func() error {
+		var err error
+		pr, err = core.Profile(w.Prog(), func(run int) core.Execution {
+			return profileExec(w, run)
+		}, opts.ProfileRuns)
+		return err
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: profiling: %w", w.Name, err)
+	}
+	return pr, sec, nil
+}

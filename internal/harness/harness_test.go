@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"oha/internal/core"
+)
+
+// tiny returns options that keep the experiments fast in tests.
+func tiny() Options {
+	return Options{ProfileRuns: 8, TestRuns: 2, Budget: 24, Repeat: 1}
+}
+
+func TestFig5ShapesAndSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	rows, err := Fig5(tiny())
+	if err != nil {
+		t.Fatal(err) // the soundness gate fires as an error
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.RaceFree {
+			// Statically race-free: hybrid and optimistic do (almost)
+			// no per-access work.
+			if r.HybridEvents > 100 || r.OptEvents > 100 {
+				t.Errorf("%s: race-free benchmark still instrumented (%d/%d)",
+					r.Name, r.HybridEvents, r.OptEvents)
+			}
+		}
+		if r.OptEvents > r.FTEvents {
+			t.Errorf("%s: optimistic events exceed FastTrack (%d > %d)",
+				r.Name, r.OptEvents, r.FTEvents)
+		}
+		if r.HybridEvents > r.FTEvents {
+			t.Errorf("%s: hybrid events exceed FastTrack", r.Name)
+		}
+	}
+	// The headline benchmarks must show real elision.
+	byName := map[string]Fig5Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	for _, name := range []string{"lusearch", "raytracer", "moldyn"} {
+		r := byName[name]
+		if r.OptEvents*2 > r.HybridEvents {
+			t.Errorf("%s: OptFT events %d not well below hybrid %d",
+				name, r.OptEvents, r.HybridEvents)
+		}
+	}
+	var sb strings.Builder
+	PrintFig5(&sb, rows)
+	if !strings.Contains(sb.String(), "lusearch") {
+		t.Error("printer dropped rows")
+	}
+}
+
+func TestFig6ShapesAndSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	rows, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err) // slice-equality gate fires as an error
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Fig6Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.OptNodes > r.HybridNodes {
+			t.Errorf("%s: optimistic traced more than hybrid (%d > %d)",
+				r.Name, r.OptNodes, r.HybridNodes)
+		}
+	}
+	// zlib is the headline speedup; vim must show the CI→CS unlock.
+	z := byName["zlib"]
+	if z.OptNodes*5 > z.HybridNodes {
+		t.Errorf("zlib: node reduction too small (%d vs %d)", z.OptNodes, z.HybridNodes)
+	}
+	v := byName["vim"]
+	if v.HybridAT != core.CI || v.OptAT != core.CS {
+		t.Errorf("vim ATs = %s/%s, want CI/CS", v.HybridAT, v.OptAT)
+	}
+	var sb strings.Builder
+	PrintFig6(&sb, rows)
+	if !strings.Contains(sb.String(), "zlib") {
+		t.Error("printer dropped rows")
+	}
+}
+
+func TestFig9OptimisticNeverWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	rows, err := Fig9(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.OptRate > r.BaseRate+1e-9 {
+			t.Errorf("%s: optimistic alias rate %.4f above base %.4f",
+				r.Name, r.OptRate, r.BaseRate)
+		}
+	}
+}
+
+func TestFig11Monotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	rows, err := Fig11(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.LUC > r.Base+1e-9 || r.Callees > r.LUC+1e-9 || r.Contexts > r.Callees+1e-9 {
+			t.Errorf("%s: ablation not monotone: %.1f %.1f %.1f %.1f",
+				r.Name, r.Base, r.LUC, r.Callees, r.Contexts)
+		}
+	}
+}
+
+func TestBreakEvenMath(t *testing.T) {
+	// Optimistic cheaper at runtime: break-even at the startup gap.
+	be := breakEven(10, 2, 2.0, 1.0)
+	if math.Abs(be-8) > 1e-9 {
+		t.Errorf("breakEven = %v, want 8", be)
+	}
+	// Optimistic not cheaper at runtime and dearer to start: never.
+	if !math.IsInf(breakEven(10, 2, 1.0, 1.5), 1) {
+		t.Error("expected never")
+	}
+	// Cheaper everywhere: immediate.
+	if breakEven(1, 2, 2.0, 1.0) != 0 {
+		t.Error("expected immediate break-even")
+	}
+}
+
+func TestFmtBE(t *testing.T) {
+	if fmtBE(math.Inf(1)) != "never" || fmtBE(0) != "0s" {
+		t.Error("fmtBE sentinels wrong")
+	}
+	if !strings.Contains(fmtBE(0.005), "ms") || !strings.Contains(fmtBE(3.2), "s") {
+		t.Error("fmtBE units wrong")
+	}
+}
+
+// Printer smoke tests over synthetic rows (the expensive experiment
+// paths are covered by the Fig5/Fig6 tests above and cmd/ohabench).
+func TestPrinters(t *testing.T) {
+	var sb strings.Builder
+	PrintTab1(&sb, []Tab1Row{{
+		Name: "x", SoundSec: 0.1, ProfileSec: 0.2, ProfileRuns: 3,
+		PredSec: 0.05, BreakEvenVsHybrid: 1.5, BreakEvenVsFT: math.Inf(1),
+		SpeedupVsHybrid: 2, SpeedupVsFT: 3,
+	}})
+	PrintTab2(&sb, []Tab2Row{{
+		Name: "y", TradAT: core.CI, TradSec: 0.1, OptAT: core.CS,
+		OptSec: 0.2, ProfSec: 0.3, ProfRuns: 4, BreakEvenSec: 0, DynamicSpeedup: 5,
+	}})
+	rows := []SweepRow{{Name: "z", Points: []SweepPoint{
+		{ProfileRuns: 1, MisSpecRate: 0.5, SliceSize: 10},
+		{ProfileRuns: 2, MisSpecRate: 0, SliceSize: 12},
+		{ProfileRuns: 4, MisSpecRate: 0, SliceSize: 12},
+		{ProfileRuns: 8, MisSpecRate: 0, SliceSize: 12},
+		{ProfileRuns: 16, MisSpecRate: 0, SliceSize: 12},
+		{ProfileRuns: 32, MisSpecRate: 0, SliceSize: 12},
+		{ProfileRuns: 64, MisSpecRate: 0, SliceSize: 12},
+	}}}
+	PrintFig7(&sb, rows)
+	PrintFig8(&sb, rows)
+	PrintFig9(&sb, []Fig9Row{{Name: "w", BaseRate: 0.5, OptRate: 0.25, BaseAT: core.CI, OptAT: core.CS}})
+	PrintFig10(&sb, []Fig10Row{{Name: "v", BaseSize: 100, OptSize: 10, Endpoints: 2}})
+	PrintFig11(&sb, []Fig11Row{{Name: "u", Base: 9, LUC: 8, Callees: 7, Contexts: 6, BaseAT: core.CI, ContextsAT: core.CS}})
+	out := sb.String()
+	for _, frag := range []string{"never", "Table 1", "Table 2", "Figure 7", "Figure 8", "Figure 9", "Figure 10", "Figure 11", "50.0%", "10.00x"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("printer output missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"oha/internal/bitset"
+	"oha/internal/core"
+	"oha/internal/ctxs"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/pointsto"
+	"oha/internal/staticslice"
+	"oha/internal/workloads"
+)
+
+// bestPointsTo runs the most precise points-to analysis that fits the
+// budget, mirroring core.buildSlicer's discipline.
+func bestPointsTo(prog *ir.Program, db *invariants.DB, budget int) (*pointsto.Result, core.SliceAnalysisType, error) {
+	var allowed *invariants.ContextSet
+	if db != nil {
+		allowed = db.Contexts
+	}
+	pt, err := pointsto.Analyze(prog, ctxs.NewCS(prog, budget, allowed), db)
+	if err == nil {
+		return pt, core.CS, nil
+	}
+	if !errors.Is(err, ctxs.ErrBudget) {
+		return nil, core.CI, err
+	}
+	pt, err = pointsto.Analyze(prog, ctxs.NewCI(prog), db)
+	return pt, core.CI, err
+}
+
+// Fig9Row reports base vs optimistic alias rates (Figure 9).
+type Fig9Row struct {
+	Name     string
+	BaseRate float64
+	OptRate  float64
+	BaseAT   core.SliceAnalysisType
+	OptAT    core.SliceAnalysisType
+}
+
+// Fig9 measures points-to precision.
+func Fig9(opts Options) ([]Fig9Row, error) {
+	opts = opts.Defaults()
+	var rows []Fig9Row
+	for _, w := range workloads.Slices() {
+		pr, _, err := profiled(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		base, baseAT, err := bestPointsTo(w.Prog(), nil, opts.Budget)
+		if err != nil {
+			return nil, fmt.Errorf("%s: base points-to: %w", w.Name, err)
+		}
+		opt, optAT, err := bestPointsTo(w.Prog(), pr.DB, opts.Budget)
+		if err != nil {
+			return nil, fmt.Errorf("%s: optimistic points-to: %w", w.Name, err)
+		}
+		// Fairness (§6.3): both rates are computed over the loads and
+		// stores present in the optimistic analysis.
+		var loads, stores []*ir.Instr
+		for _, in := range opt.SeededInstrs() {
+			switch in.Op {
+			case ir.OpLoad:
+				loads = append(loads, in)
+			case ir.OpStore:
+				stores = append(stores, in)
+			}
+		}
+		rows = append(rows, Fig9Row{
+			Name:     w.Name,
+			BaseRate: base.AliasRateOver(loads, stores),
+			OptRate:  opt.AliasRateOver(loads, stores),
+			BaseAT:   baseAT,
+			OptAT:    optAT,
+		})
+	}
+	return rows, nil
+}
+
+// PrintFig9 renders the alias-rate comparison.
+func PrintFig9(w io.Writer, rows []Fig9Row) {
+	fmt.Fprintf(w, "Figure 9: load/store alias rates, base vs optimistic points-to\n")
+	fmt.Fprintf(w, "%-8s %10s %10s %6s %6s\n", "bench", "base", "optimistic", "bAT", "oAT")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %10.4f %10.4f %6s %6s\n", r.Name, r.BaseRate, r.OptRate, r.BaseAT, r.OptAT)
+	}
+}
+
+// Fig10Row reports sound vs predicated static slice sizes (Figure 10).
+type Fig10Row struct {
+	Name      string
+	BaseSize  float64 // average over the endpoint set
+	OptSize   float64
+	Endpoints int
+}
+
+// endpoints returns the slice endpoints used for the static figures:
+// every print instruction of the program.
+func endpoints(prog *ir.Program) []*ir.Instr {
+	var out []*ir.Instr
+	for _, in := range prog.Instrs {
+		if in.Op == ir.OpPrint {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+func avgSliceSize(sl *staticslice.Slicer, eps []*ir.Instr) float64 {
+	if len(eps) == 0 {
+		return 0
+	}
+	total := 0
+	for _, e := range eps {
+		total += sl.BackwardSlice(e).Size()
+	}
+	return float64(total) / float64(len(eps))
+}
+
+// Fig10 measures static slice sizes.
+func Fig10(opts Options) ([]Fig10Row, error) {
+	opts = opts.Defaults()
+	var rows []Fig10Row
+	for _, w := range workloads.Slices() {
+		prog := w.Prog()
+		eps := endpoints(prog)
+		pr, _, err := profiled(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		base, _, err := bestPointsTo(prog, nil, opts.Budget)
+		if err != nil {
+			return nil, err
+		}
+		opt, _, err := bestPointsTo(prog, pr.DB, opts.Budget)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig10Row{
+			Name:      w.Name,
+			BaseSize:  avgSliceSize(staticslice.New(base), eps),
+			OptSize:   avgSliceSize(staticslice.New(opt), eps),
+			Endpoints: len(eps),
+		})
+	}
+	return rows, nil
+}
+
+// PrintFig10 renders the slice-size comparison.
+func PrintFig10(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintf(w, "Figure 10: average static slice sizes (instructions), sound vs predicated\n")
+	fmt.Fprintf(w, "%-8s %10s %11s %10s\n", "bench", "base", "optimistic", "reduction")
+	for _, r := range rows {
+		red := 0.0
+		if r.OptSize > 0 {
+			red = r.BaseSize / r.OptSize
+		}
+		fmt.Fprintf(w, "%-8s %10.1f %11.1f %9.2fx\n", r.Name, r.BaseSize, r.OptSize, red)
+	}
+}
+
+// Fig11Row reports the per-invariant ablation (Figure 11): slice size
+// as each likely invariant is enabled on top of the previous ones.
+type Fig11Row struct {
+	Name string
+	// Sizes under: sound baseline; +likely-unreachable code; +likely
+	// callee sets; +likely-unused call contexts.
+	Base, LUC, Callees, Contexts float64
+	// ATs reached at each step (the context invariant can unlock CS).
+	BaseAT, ContextsAT core.SliceAnalysisType
+}
+
+// Fig11 measures the invariant ablation.
+func Fig11(opts Options) ([]Fig11Row, error) {
+	opts = opts.Defaults()
+	var rows []Fig11Row
+	for _, w := range workloads.Slices() {
+		prog := w.Prog()
+		eps := endpoints(prog)
+		pr, _, err := profiled(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig11Row{Name: w.Name}
+
+		measure := func(db *invariants.DB, restrictCtx bool) (float64, core.SliceAnalysisType, error) {
+			var allowed *invariants.ContextSet
+			if restrictCtx && db != nil {
+				allowed = db.Contexts
+			}
+			pt, err := pointsto.Analyze(prog, ctxs.NewCS(prog, opts.Budget, allowed), db)
+			at := core.CS
+			if errors.Is(err, ctxs.ErrBudget) {
+				pt, err = pointsto.Analyze(prog, ctxs.NewCI(prog), db)
+				at = core.CI
+			}
+			if err != nil {
+				return 0, at, err
+			}
+			return avgSliceSize(staticslice.New(pt), eps), at, nil
+		}
+
+		// Sound baseline.
+		row.Base, row.BaseAT, err = measure(nil, false)
+		if err != nil {
+			return nil, err
+		}
+		// + likely-unreachable code only.
+		lucOnly := lucOnlyDB(pr.DB, prog)
+		row.LUC, _, err = measure(lucOnly, false)
+		if err != nil {
+			return nil, err
+		}
+		// + likely callee sets.
+		withCallees := lucOnly.Clone()
+		withCallees.Callees = map[int]*bitset.Set{}
+		for k, v := range pr.DB.Callees {
+			withCallees.Callees[k] = v.Clone()
+		}
+		row.Callees, _, err = measure(withCallees, false)
+		if err != nil {
+			return nil, err
+		}
+		// + likely-unused call contexts (may unlock CS).
+		row.Contexts, row.ContextsAT, err = measure(pr.DB, true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// lucOnlyDB builds a database with only the visited-blocks invariant
+// active: callee sets disabled (nil map: sound resolution) and every
+// context allowed.
+func lucOnlyDB(db *invariants.DB, prog *ir.Program) *invariants.DB {
+	out := invariants.NewDB()
+	out.Visited = db.Visited.Clone()
+	out.Callees = nil // invariant disabled
+	// All-contexts: leave Contexts empty and never pass it as a
+	// restriction (the measure() helper only restricts on request).
+	_ = prog
+	return out
+}
+
+// PrintFig11 renders the ablation table.
+func PrintFig11(w io.Writer, rows []Fig11Row) {
+	fmt.Fprintf(w, "Figure 11: average static slice size as likely invariants are added\n")
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s %12s\n",
+		"bench", "base", "+LUC", "+callees", "+contexts", "AT base→ctx")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %10.1f %10.1f %10.1f %10.1f %8s→%s\n",
+			r.Name, r.Base, r.LUC, r.Callees, r.Contexts, r.BaseAT, r.ContextsAT)
+	}
+}

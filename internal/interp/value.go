@@ -1,0 +1,61 @@
+package interp
+
+import "fmt"
+
+// MiniLang runtime values are single int64 words. Pointers and
+// function values are encoded in disjoint high ranges so that ordinary
+// integer arithmetic on small numbers can never collide with them, and
+// pointer arithmetic (ptr + i) lands on neighbouring offsets within
+// the same object.
+const (
+	// PtrBase tags pointer values. An address encodes an object id and
+	// a word offset: addr = PtrBase + objID*OffSpan + offset.
+	PtrBase int64 = 1 << 48
+	// OffSpan is the number of addressable words per object.
+	OffSpan int64 = 1 << 20
+	// FuncBase tags function values: value = FuncBase + funcID.
+	FuncBase int64 = 1 << 46
+	// GlobalObj is the object id of the pseudo-object holding all
+	// global cells (global i lives at offset i).
+	GlobalObj = 0
+)
+
+// Addr is a runtime memory address (a tagged value >= PtrBase).
+type Addr = int64
+
+// MakeAddr encodes an (object, offset) pair as an address value.
+func MakeAddr(obj int, off int64) Addr {
+	return PtrBase + int64(obj)*OffSpan + off
+}
+
+// IsPtr reports whether v is a pointer value.
+func IsPtr(v int64) bool { return v >= PtrBase }
+
+// DecodeAddr splits an address into object id and offset. The caller
+// must have checked IsPtr.
+func DecodeAddr(a Addr) (obj int, off int64) {
+	rel := a - PtrBase
+	return int(rel / OffSpan), rel % OffSpan
+}
+
+// IsFunc reports whether v is a function value.
+func IsFunc(v int64) bool { return v >= FuncBase && v < PtrBase }
+
+// MakeFunc encodes a function id as a value.
+func MakeFunc(funcID int) int64 { return FuncBase + int64(funcID) }
+
+// DecodeFunc returns the function id of a function value. The caller
+// must have checked IsFunc.
+func DecodeFunc(v int64) int { return int(v - FuncBase) }
+
+// FormatValue renders a value for diagnostics.
+func FormatValue(v int64) string {
+	switch {
+	case IsPtr(v):
+		obj, off := DecodeAddr(v)
+		return fmt.Sprintf("ptr(obj=%d, off=%d)", obj, off)
+	case IsFunc(v):
+		return fmt.Sprintf("func(%d)", DecodeFunc(v))
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,515 @@
+// Package invariants defines the likely-invariant database at the
+// heart of optimistic hybrid analysis: the dynamically-profiled,
+// probably-but-not-certainly-true facts that the predicated static
+// analyses assume and the optimistic dynamic analyses verify.
+//
+// The six invariant kinds are exactly those of the paper:
+//
+//   - likely-unreachable code (OptFT §4.2.1, OptSlice §5.2.1)
+//   - likely guarding locks (OptFT §4.2.2)
+//   - likely singleton threads (OptFT §4.2.3)
+//   - no custom synchronization (OptFT §4.2.4)
+//   - likely callee sets (OptSlice §5.2.2)
+//   - likely unused call contexts (OptSlice §5.2.3)
+//
+// Like the paper's tools, per-execution invariant sets are stored in a
+// text format and merged across profiling runs — intersecting
+// "unreachable-flavoured" invariants and unioning
+// "reachable-flavoured" ones (§4.2, §5.2).
+package invariants
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"oha/internal/bitset"
+	"oha/internal/bloom"
+)
+
+// LockPair is an unordered pair of lock-site instruction IDs profiled
+// to always lock the same dynamic object (must-alias). A < B.
+type LockPair struct {
+	A, B int
+}
+
+// NormPair returns the pair in canonical (sorted) order.
+func NormPair(a, b int) LockPair {
+	if a > b {
+		a, b = b, a
+	}
+	return LockPair{A: a, B: b}
+}
+
+// DB is a set of likely invariants for one program, gathered from one
+// or more profiled executions.
+type DB struct {
+	// Visited holds the block IDs observed entered in any profiled
+	// run. Its complement over the program's blocks is the
+	// likely-unreachable code (LUC) set.
+	Visited *bitset.Set
+
+	// MustAliasLocks holds lock-site pairs that always locked the same
+	// single dynamic object (likely guarding locks).
+	MustAliasLocks map[LockPair]bool
+
+	// SingletonSpawns holds spawn-site instruction IDs that created at
+	// most one thread in every profiled run (likely singleton threads).
+	SingletonSpawns *bitset.Set
+
+	// ElidableLocks holds lock/unlock site IDs whose instrumentation
+	// was elided during custom-synchronization profiling without
+	// introducing false races (no-custom-synchronization invariant).
+	ElidableLocks *bitset.Set
+
+	// Callees maps each indirect call-site instruction ID to the set
+	// of function IDs observed as its targets (likely callee sets).
+	Callees map[int]*bitset.Set
+
+	// Contexts is the set of observed call contexts (likely unused
+	// call contexts are its complement).
+	Contexts *ContextSet
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{
+		Visited:         &bitset.Set{},
+		MustAliasLocks:  map[LockPair]bool{},
+		SingletonSpawns: &bitset.Set{},
+		ElidableLocks:   &bitset.Set{},
+		Callees:         map[int]*bitset.Set{},
+		Contexts:        NewContextSet(),
+	}
+}
+
+// LikelyUnreachable reports whether block id was never visited in any
+// profiled run.
+func (db *DB) LikelyUnreachable(blockID int) bool { return !db.Visited.Has(blockID) }
+
+// MustAlias reports whether the two lock sites are assumed to always
+// lock the same single dynamic object. Note that a site is NOT assumed
+// to must-alias itself unless profiling recorded it as single-object
+// (a self-pair): a striped-lock site that locks different objects on
+// different executions cannot prune even pairs with itself.
+func (db *DB) MustAlias(a, b int) bool {
+	return db.MustAliasLocks[NormPair(a, b)]
+}
+
+// Clone returns a deep copy of the database.
+func (db *DB) Clone() *DB {
+	c := NewDB()
+	c.Visited = db.Visited.Clone()
+	for k, v := range db.MustAliasLocks {
+		c.MustAliasLocks[k] = v
+	}
+	c.SingletonSpawns = db.SingletonSpawns.Clone()
+	c.ElidableLocks = db.ElidableLocks.Clone()
+	if db.Callees == nil {
+		c.Callees = nil // nil means "invariant disabled": preserve it
+	} else {
+		for k, v := range db.Callees {
+			c.Callees[k] = v.Clone()
+		}
+	}
+	c.Contexts = db.Contexts.Clone()
+	return c
+}
+
+// MergeInto folds another run's invariants into db, applying the
+// per-kind merge rule: union for reachable-flavoured facts (visited
+// blocks, callee sets, contexts), intersection for
+// unreachable-flavoured ones (must-alias pairs, singleton spawns,
+// elidable locks).
+func (db *DB) MergeInto(run *DB) {
+	db.Visited.UnionWith(run.Visited)
+	for k := range db.MustAliasLocks {
+		if !run.MustAliasLocks[k] {
+			delete(db.MustAliasLocks, k)
+		}
+	}
+	db.SingletonSpawns.IntersectWith(run.SingletonSpawns)
+	db.ElidableLocks.IntersectWith(run.ElidableLocks)
+	for site, set := range run.Callees {
+		if cur, ok := db.Callees[site]; ok {
+			cur.UnionWith(set)
+		} else {
+			db.Callees[site] = set.Clone()
+		}
+	}
+	db.Contexts.UnionWith(run.Contexts)
+}
+
+// Merge combines per-run invariant databases into the final set, as
+// the paper merges its per-run text files. It panics on an empty
+// input.
+func Merge(runs ...*DB) *DB {
+	if len(runs) == 0 {
+		panic("invariants: Merge of zero runs")
+	}
+	out := runs[0].Clone()
+	for _, r := range runs[1:] {
+		out.MergeInto(r)
+	}
+	return out
+}
+
+// Counts summarizes the database for logs and convergence checks.
+type Counts struct {
+	VisitedBlocks   int
+	MustAliasPairs  int
+	SingletonSpawns int
+	ElidableLocks   int
+	CalleeSites     int
+	CalleeTargets   int
+	Contexts        int
+}
+
+// Count returns summary statistics.
+func (db *DB) Count() Counts {
+	c := Counts{
+		VisitedBlocks:   db.Visited.Len(),
+		MustAliasPairs:  len(db.MustAliasLocks),
+		SingletonSpawns: db.SingletonSpawns.Len(),
+		ElidableLocks:   db.ElidableLocks.Len(),
+		CalleeSites:     len(db.Callees),
+		Contexts:        db.Contexts.Len(),
+	}
+	for _, s := range db.Callees {
+		c.CalleeTargets += s.Len()
+	}
+	return c
+}
+
+// Equal reports whether two databases contain the same invariants —
+// used by the profiling convergence loop ("profile until the number of
+// learned dynamic invariants stabilizes", §6.1).
+func (db *DB) Equal(o *DB) bool {
+	if !db.Visited.Equal(o.Visited) ||
+		!db.SingletonSpawns.Equal(o.SingletonSpawns) ||
+		!db.ElidableLocks.Equal(o.ElidableLocks) {
+		return false
+	}
+	if len(db.MustAliasLocks) != len(o.MustAliasLocks) {
+		return false
+	}
+	for k := range db.MustAliasLocks {
+		if !o.MustAliasLocks[k] {
+			return false
+		}
+	}
+	if len(db.Callees) != len(o.Callees) {
+		return false
+	}
+	for site, s := range db.Callees {
+		os, ok := o.Callees[site]
+		if !ok || !s.Equal(os) {
+			return false
+		}
+	}
+	return db.Contexts.Equal(o.Contexts)
+}
+
+// WriteTo serializes the database in the v1 text format.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	b.WriteString("# oha invariants v1\n")
+
+	b.WriteString("[visited-blocks]\n")
+	writeInts(&b, db.Visited.Slice())
+
+	b.WriteString("[must-alias-locks]\n")
+	pairs := make([]LockPair, 0, len(db.MustAliasLocks))
+	for p := range db.MustAliasLocks {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "%d %d\n", p.A, p.B)
+	}
+
+	b.WriteString("[singleton-spawns]\n")
+	writeInts(&b, db.SingletonSpawns.Slice())
+
+	b.WriteString("[elidable-locks]\n")
+	writeInts(&b, db.ElidableLocks.Slice())
+
+	b.WriteString("[callees]\n")
+	sites := make([]int, 0, len(db.Callees))
+	for s := range db.Callees {
+		sites = append(sites, s)
+	}
+	sort.Ints(sites)
+	for _, s := range sites {
+		fmt.Fprintf(&b, "%d:", s)
+		for _, f := range db.Callees[s].Slice() {
+			fmt.Fprintf(&b, " %d", f)
+		}
+		b.WriteByte('\n')
+	}
+
+	b.WriteString("[contexts]\n")
+	for _, path := range db.Contexts.SortedPaths() {
+		if len(path) == 0 {
+			b.WriteString(".\n") // the empty (thread-root) context
+			continue
+		}
+		writeInts(&b, path)
+	}
+
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func writeInts(b *strings.Builder, xs []int) {
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	b.WriteByte('\n')
+}
+
+// Parse reads a database in the v1 text format.
+func Parse(r io.Reader) (*DB, error) {
+	db := NewDB()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	section := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") && strings.HasSuffix(line, "]") {
+			section = line[1 : len(line)-1]
+			continue
+		}
+		switch section {
+		case "visited-blocks":
+			xs, err := parseInts(line)
+			if err != nil {
+				return nil, fmt.Errorf("invariants: line %d: %w", lineNo, err)
+			}
+			for _, x := range xs {
+				db.Visited.Add(x)
+			}
+		case "must-alias-locks":
+			xs, err := parseInts(line)
+			if err != nil || len(xs) != 2 {
+				return nil, fmt.Errorf("invariants: line %d: bad lock pair %q", lineNo, line)
+			}
+			db.MustAliasLocks[NormPair(xs[0], xs[1])] = true
+		case "singleton-spawns":
+			xs, err := parseInts(line)
+			if err != nil {
+				return nil, fmt.Errorf("invariants: line %d: %w", lineNo, err)
+			}
+			for _, x := range xs {
+				db.SingletonSpawns.Add(x)
+			}
+		case "elidable-locks":
+			xs, err := parseInts(line)
+			if err != nil {
+				return nil, fmt.Errorf("invariants: line %d: %w", lineNo, err)
+			}
+			for _, x := range xs {
+				db.ElidableLocks.Add(x)
+			}
+		case "callees":
+			colon := strings.IndexByte(line, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("invariants: line %d: bad callee entry %q", lineNo, line)
+			}
+			site, err := strconv.Atoi(strings.TrimSpace(line[:colon]))
+			if err != nil {
+				return nil, fmt.Errorf("invariants: line %d: %w", lineNo, err)
+			}
+			fs, err := parseInts(strings.TrimSpace(line[colon+1:]))
+			if err != nil {
+				return nil, fmt.Errorf("invariants: line %d: %w", lineNo, err)
+			}
+			set := db.Callees[site]
+			if set == nil {
+				set = &bitset.Set{}
+				db.Callees[site] = set
+			}
+			for _, fid := range fs {
+				set.Add(fid)
+			}
+		case "contexts":
+			if line == "." {
+				db.Contexts.Add(nil)
+				continue
+			}
+			xs, err := parseInts(line)
+			if err != nil {
+				return nil, fmt.Errorf("invariants: line %d: %w", lineNo, err)
+			}
+			db.Contexts.Add(xs)
+		default:
+			return nil, fmt.Errorf("invariants: line %d: data outside a known section", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func parseInts(line string) ([]int, error) {
+	if line == "" {
+		return nil, nil
+	}
+	fields := strings.Fields(line)
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ContextSet is a set of observed call contexts. A context is the
+// acyclic path of call-site instruction IDs from a thread root to a
+// function activation (recursive re-entries do not extend the path,
+// mirroring how the context-sensitive analyses collapse recursion).
+//
+// The empty path (a thread running its root function) is always a
+// member once added.
+type ContextSet struct {
+	set map[string][]int
+}
+
+// NewContextSet returns an empty set.
+func NewContextSet() *ContextSet { return &ContextSet{set: map[string][]int{}} }
+
+// key renders a path canonically.
+func key(path []int) string {
+	var b strings.Builder
+	for i, x := range path {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	return b.String()
+}
+
+// Add inserts a context path (copied).
+func (cs *ContextSet) Add(path []int) {
+	k := key(path)
+	if _, ok := cs.set[k]; !ok {
+		cs.set[k] = append([]int(nil), path...)
+	}
+}
+
+// Has reports exact membership.
+func (cs *ContextSet) Has(path []int) bool {
+	_, ok := cs.set[key(path)]
+	return ok
+}
+
+// Len returns the number of contexts.
+func (cs *ContextSet) Len() int { return len(cs.set) }
+
+// UnionWith adds all contexts of o.
+func (cs *ContextSet) UnionWith(o *ContextSet) {
+	for k, p := range o.set {
+		if _, ok := cs.set[k]; !ok {
+			cs.set[k] = p
+		}
+	}
+}
+
+// Equal reports set equality.
+func (cs *ContextSet) Equal(o *ContextSet) bool {
+	if len(cs.set) != len(o.set) {
+		return false
+	}
+	for k := range cs.set {
+		if _, ok := o.set[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy.
+func (cs *ContextSet) Clone() *ContextSet {
+	c := NewContextSet()
+	c.UnionWith(cs)
+	return c
+}
+
+// SortedPaths returns the contexts in a deterministic order.
+func (cs *ContextSet) SortedPaths() [][]int {
+	keys := make([]string, 0, len(cs.set))
+	for k := range cs.set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]int, len(keys))
+	for i, k := range keys {
+		out[i] = cs.set[k]
+	}
+	return out
+}
+
+// HashContext returns the incremental context hash of a full path.
+// The dynamic call-context check uses HashExtend to maintain it per
+// frame in O(1).
+func HashContext(path []int) uint64 {
+	h := EmptyContextHash
+	for _, s := range path {
+		h = HashExtend(h, s)
+	}
+	return h
+}
+
+// EmptyContextHash is the hash of the empty context.
+const EmptyContextHash uint64 = 0xcbf29ce484222325 // FNV-64 offset basis
+
+// HashExtend extends a context hash by one call site.
+func HashExtend(h uint64, site int) uint64 {
+	h ^= uint64(site) + 0x9e3779b97f4a7c15
+	h *= 0x100000001b3 // FNV-64 prime
+	return h
+}
+
+// Bloom builds a Bloom filter over the context hashes, used to make
+// the likely-unused-call-context runtime check cheap (§5.2.3).
+func (cs *ContextSet) Bloom(fpRate float64) *bloom.Filter {
+	f := bloom.New(len(cs.set)+1, fpRate)
+	for _, p := range cs.set {
+		f.Add(HashContext(p))
+	}
+	return f
+}
+
+// HashSet returns the 64-bit hashes of every observed context. The
+// runtime check tests membership by hash (maintained incrementally per
+// frame), with the Bloom filter as a cache-friendly prefilter; a
+// 64-bit hash collision could in principle mask a violation, the usual
+// "soundy" engineering trade also present in the paper's Bloom scheme.
+func (cs *ContextSet) HashSet() map[uint64]bool {
+	out := make(map[uint64]bool, len(cs.set))
+	for _, p := range cs.set {
+		out[HashContext(p)] = true
+	}
+	return out
+}

@@ -1,0 +1,428 @@
+// Package ir defines the intermediate representation that every
+// analysis in this repository operates on: a program is a set of
+// global memory cells plus functions, each function a control-flow
+// graph of basic blocks holding three-address instructions.
+//
+// The IR plays the role LLVM bitcode plays for Giri/OptSlice and Java
+// bytecode plays for Chord/RoadRunner/OptFT in the paper: the common
+// substrate shared by the static analyses (which walk it) and the
+// dynamic analyses (which execute it under instrumentation).
+//
+// Memory model: local variables (Var) are registers private to one
+// activation of one thread — the frontend promotes address-taken
+// locals to heap allocations, so every memory access that can be
+// shared between threads appears as an explicit Load/Store/Lock/Unlock
+// on a global or heap address. This is the property that lets the race
+// detector instrument exactly the Load/Store/sync instructions.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Instruction opcodes.
+const (
+	OpInvalid Op = iota
+	OpCopy       // Dst = A
+	OpUn         // Dst = UnOp A
+	OpBin        // Dst = A BinOp B
+	OpAlloc      // Dst = pointer to A fresh heap words (A = size)
+	OpLoad       // Dst = *A
+	OpStore      // *A = B
+	OpCall       // Dst? = Callee(Args...); Callee direct or A = fn value
+	OpSpawn      // Dst? = thread handle of new thread running Callee(Args...)
+	OpJoin       // wait for thread A to finish
+	OpLock       // acquire mutex at address A
+	OpUnlock     // release mutex at address A
+	OpRet        // return A? from function
+	OpJmp        // goto Block.Succs[0]
+	OpBr         // if A != 0 goto Succs[0] else Succs[1]
+	OpPrint      // emit A to the program's output
+	OpInput      // Dst = input word A (0 if out of range)
+	OpNInputs    // Dst = number of input words
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpCopy:    "copy",
+	OpUn:      "un",
+	OpBin:     "bin",
+	OpAlloc:   "alloc",
+	OpLoad:    "load",
+	OpStore:   "store",
+	OpCall:    "call",
+	OpSpawn:   "spawn",
+	OpJoin:    "join",
+	OpLock:    "lock",
+	OpUnlock:  "unlock",
+	OpRet:     "ret",
+	OpJmp:     "jmp",
+	OpBr:      "br",
+	OpPrint:   "print",
+	OpInput:   "input",
+	OpNInputs: "ninputs",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// UnOp enumerates unary operators.
+type UnOp uint8
+
+// Unary operators.
+const (
+	UnNeg UnOp = iota // arithmetic negation
+	UnNot             // logical not (x == 0)
+)
+
+func (u UnOp) String() string {
+	if u == UnNeg {
+		return "-"
+	}
+	return "!"
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators.
+const (
+	BinAdd BinOp = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinMod
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+	BinEq
+	BinNe
+	BinAnd // bitwise &
+	BinOr  // bitwise |
+	BinXor
+	BinShl
+	BinShr
+)
+
+var binNames = [...]string{"+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&", "|", "^", "<<", ">>"}
+
+func (b BinOp) String() string {
+	if int(b) < len(binNames) {
+		return binNames[b]
+	}
+	return fmt.Sprintf("bin(%d)", uint8(b))
+}
+
+// OperandKind discriminates Operand.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	OperNone   OperandKind = iota
+	OperConst              // integer literal
+	OperVar                // local register
+	OperGlobal             // the *address* of a global cell
+	OperFunc               // a function value
+)
+
+// Operand is an instruction input: a constant, a local register, the
+// address of a global, or a function value.
+type Operand struct {
+	Kind   OperandKind
+	Const  int64
+	Var    *Var
+	Global *Global
+	Func   *Function
+}
+
+// ConstOp returns a constant operand.
+func ConstOp(v int64) Operand { return Operand{Kind: OperConst, Const: v} }
+
+// VarOp returns a register operand.
+func VarOp(v *Var) Operand { return Operand{Kind: OperVar, Var: v} }
+
+// GlobalOp returns a global-address operand.
+func GlobalOp(g *Global) Operand { return Operand{Kind: OperGlobal, Global: g} }
+
+// FuncOp returns a function-value operand.
+func FuncOp(f *Function) Operand { return Operand{Kind: OperFunc, Func: f} }
+
+// IsZero reports whether the operand is unset.
+func (o Operand) IsZero() bool { return o.Kind == OperNone }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OperConst:
+		return fmt.Sprintf("%d", o.Const)
+	case OperVar:
+		return o.Var.Name
+	case OperGlobal:
+		return "@" + o.Global.Name
+	case OperFunc:
+		return "fn:" + o.Func.Name
+	}
+	return "_"
+}
+
+// Var is a function-local register (a named local, parameter, or
+// compiler temporary). Address-taken locals never appear as Vars: the
+// frontend rewrites them to heap allocations.
+type Var struct {
+	Name string
+	ID   int // index into the function's Vars slice (frame slot)
+}
+
+// Global is a mutable global memory cell holding one word. Cells of a
+// source-level global array are consecutive Globals sharing the Group
+// of the first cell; pointer analyses treat a whole group as one
+// abstract object (field-insensitive over arrays).
+type Global struct {
+	Name  string
+	ID    int   // index into Program.Globals
+	Init  int64 // initial value
+	Group int   // ID of the first cell of this global's array (== ID for scalars)
+}
+
+// Instr is a single three-address instruction.
+type Instr struct {
+	ID     int // program-unique, assigned by Program.Finalize
+	Op     Op
+	Un     UnOp
+	Bin    BinOp
+	Dst    *Var
+	A, B   Operand
+	Args   []Operand
+	Callee *Function // direct call/spawn target; nil means indirect via A
+	Block  *Block
+	Index  int // position within Block.Instrs
+	Pos    Pos
+}
+
+// IsCallLike reports whether the instruction transfers control to a
+// callee (call or spawn).
+func (in *Instr) IsCallLike() bool { return in.Op == OpCall || in.Op == OpSpawn }
+
+// IsIndirect reports whether a call/spawn resolves its callee at
+// runtime through a function value.
+func (in *Instr) IsIndirect() bool { return in.IsCallLike() && in.Callee == nil }
+
+// IsMemAccess reports whether the instruction reads or writes shared
+// memory (the accesses a race detector must consider).
+func (in *Instr) IsMemAccess() bool { return in.Op == OpLoad || in.Op == OpStore }
+
+// IsSync reports whether the instruction is a synchronization
+// operation (lock, unlock, spawn, join).
+func (in *Instr) IsSync() bool {
+	switch in.Op {
+	case OpLock, OpUnlock, OpSpawn, OpJoin:
+		return true
+	}
+	return false
+}
+
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.Dst != nil {
+		fmt.Fprintf(&b, "%s = ", in.Dst.Name)
+	}
+	switch in.Op {
+	case OpCopy:
+		fmt.Fprintf(&b, "%s", in.A)
+	case OpUn:
+		fmt.Fprintf(&b, "%s%s", in.Un, in.A)
+	case OpBin:
+		fmt.Fprintf(&b, "%s %s %s", in.A, in.Bin, in.B)
+	case OpAlloc:
+		fmt.Fprintf(&b, "alloc(%s)", in.A)
+	case OpLoad:
+		fmt.Fprintf(&b, "*%s", in.A)
+	case OpStore:
+		fmt.Fprintf(&b, "*%s = %s", in.A, in.B)
+	case OpCall, OpSpawn:
+		if in.Op == OpSpawn {
+			b.WriteString("spawn ")
+		}
+		if in.Callee != nil {
+			b.WriteString(in.Callee.Name)
+		} else {
+			fmt.Fprintf(&b, "(%s)", in.A)
+		}
+		b.WriteByte('(')
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteByte(')')
+	case OpJoin:
+		fmt.Fprintf(&b, "join %s", in.A)
+	case OpLock:
+		fmt.Fprintf(&b, "lock %s", in.A)
+	case OpUnlock:
+		fmt.Fprintf(&b, "unlock %s", in.A)
+	case OpRet:
+		b.WriteString("ret")
+		if !in.A.IsZero() {
+			fmt.Fprintf(&b, " %s", in.A)
+		}
+	case OpJmp:
+		fmt.Fprintf(&b, "jmp b%d", in.Block.Succs[0].ID)
+	case OpBr:
+		fmt.Fprintf(&b, "br %s, b%d, b%d", in.A, in.Block.Succs[0].ID, in.Block.Succs[1].ID)
+	case OpPrint:
+		fmt.Fprintf(&b, "print %s", in.A)
+	case OpInput:
+		fmt.Fprintf(&b, "input(%s)", in.A)
+	case OpNInputs:
+		b.WriteString("ninputs()")
+	default:
+		b.WriteString(in.Op.String())
+	}
+	return b.String()
+}
+
+// Block is a basic block: a straight-line instruction sequence ending
+// in a terminator (jmp, br, or ret).
+type Block struct {
+	ID     int // program-unique, assigned by Program.Finalize
+	Fn     *Function
+	Index  int // position within Fn.Blocks
+	Instrs []*Instr
+	Succs  []*Block
+	Preds  []*Block
+}
+
+// Terminator returns the block's final instruction, or nil if empty.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	return b.Instrs[len(b.Instrs)-1]
+}
+
+// Function is a single function: parameters, register file, CFG.
+type Function struct {
+	Name   string
+	ID     int // index into Program.Funcs
+	Params []*Var
+	Vars   []*Var // all registers, including params; Var.ID indexes this
+	Blocks []*Block
+	Entry  *Block
+	Pos    Pos
+}
+
+// NewVar appends a fresh register to the function and returns it.
+func (f *Function) NewVar(name string) *Var {
+	v := &Var{Name: name, ID: len(f.Vars)}
+	f.Vars = append(f.Vars, v)
+	return v
+}
+
+// NewBlock appends a fresh empty block to the function.
+func (f *Function) NewBlock() *Block {
+	b := &Block{Fn: f, Index: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Program is a whole MiniLang program in IR form.
+type Program struct {
+	Funcs      []*Function
+	Globals    []*Global
+	FuncByName map[string]*Function
+
+	Instrs []*Instr // all instructions, indexed by Instr.ID
+	Blocks []*Block // all blocks, indexed by Block.ID
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{FuncByName: map[string]*Function{}}
+}
+
+// AddFunc registers a function in the program.
+func (p *Program) AddFunc(f *Function) {
+	f.ID = len(p.Funcs)
+	p.Funcs = append(p.Funcs, f)
+	p.FuncByName[f.Name] = f
+}
+
+// AddGlobal registers a global cell.
+func (p *Program) AddGlobal(g *Global) {
+	g.ID = len(p.Globals)
+	p.Globals = append(p.Globals, g)
+}
+
+// Main returns the entry function, or nil if the program has none.
+func (p *Program) Main() *Function { return p.FuncByName["main"] }
+
+// Finalize assigns program-unique IDs to every block and instruction
+// and fills predecessor edges. It must be called (by the frontend)
+// before any analysis uses the program, and again after any pass that
+// mutates the CFG.
+func (p *Program) Finalize() {
+	p.Instrs = p.Instrs[:0]
+	p.Blocks = p.Blocks[:0]
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			b.ID = len(p.Blocks)
+			p.Blocks = append(p.Blocks, b)
+			b.Preds = b.Preds[:0]
+		}
+	}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i, in := range b.Instrs {
+				in.ID = len(p.Instrs)
+				in.Block = b
+				in.Index = i
+				p.Instrs = append(p.Instrs, in)
+			}
+			for _, s := range b.Succs {
+				s.Preds = append(s.Preds, b)
+			}
+		}
+	}
+}
+
+// String renders the whole program as readable IR.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&b, "global @%s = %d\n", g.Name, g.Init)
+	}
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&b, "\nfunc %s(", f.Name)
+		for i, pv := range f.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(pv.Name)
+		}
+		b.WriteString("):\n")
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&b, "  b%d:\n", blk.ID)
+			for _, in := range blk.Instrs {
+				fmt.Fprintf(&b, "    [%d] %s\n", in.ID, in.String())
+			}
+		}
+	}
+	return b.String()
+}

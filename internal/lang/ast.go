@@ -1,0 +1,185 @@
+package lang
+
+// This file defines the MiniLang abstract syntax tree produced by the
+// parser and consumed by the lowering pass.
+
+// Node is the common interface of all AST nodes.
+type Node interface {
+	nodePos() (line, col int)
+}
+
+type pos struct{ Line, Col int }
+
+func (p pos) nodePos() (int, int) { return p.Line, p.Col }
+
+// File is a parsed source file.
+type File struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a global cell: `global name = 3;` or an array
+// of cells: `global name[16];` (initialized to zero).
+type GlobalDecl struct {
+	pos
+	Name  string
+	Init  int64
+	Count int // number of cells; 1 for scalars
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	pos
+	Name   string
+	Params []string
+	Body   *BlockStmt
+}
+
+// Stmt is the interface of statement nodes.
+type Stmt interface{ Node }
+
+// BlockStmt is `{ stmts... }`, introducing a lexical scope.
+type BlockStmt struct {
+	pos
+	Stmts []Stmt
+}
+
+// VarStmt is `var x = e;` (Init may be nil for `var x;`).
+type VarStmt struct {
+	pos
+	Name string
+	Init Expr
+}
+
+// AssignStmt is `lhs = rhs;` where lhs is an identifier, a
+// dereference, or an index expression.
+type AssignStmt struct {
+	pos
+	LHS Expr
+	RHS Expr
+}
+
+// IfStmt is `if (cond) {..} else ..` (Else may be nil, *BlockStmt, or
+// *IfStmt for else-if chains).
+type IfStmt struct {
+	pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt
+}
+
+// WhileStmt is `while (cond) {..}`.
+type WhileStmt struct {
+	pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ReturnStmt is `return;` or `return e;`.
+type ReturnStmt struct {
+	pos
+	Value Expr
+}
+
+// ExprStmt is an expression evaluated for its side effects (a call or
+// spawn): `f(x);`.
+type ExprStmt struct {
+	pos
+	X Expr
+}
+
+// LockStmt is `lock(e);`.
+type LockStmt struct {
+	pos
+	X Expr
+}
+
+// UnlockStmt is `unlock(e);`.
+type UnlockStmt struct {
+	pos
+	X Expr
+}
+
+// JoinStmt is `join(e);`.
+type JoinStmt struct {
+	pos
+	X Expr
+}
+
+// PrintStmt is `print(e);`.
+type PrintStmt struct {
+	pos
+	X Expr
+}
+
+// Expr is the interface of expression nodes.
+type Expr interface{ Node }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	pos
+	V int64
+}
+
+// Ident is a reference to a local, parameter, global, or function.
+type Ident struct {
+	pos
+	Name string
+}
+
+// UnaryExpr is `-x`, `!x`, `*x` (deref), or `&x` (address-of).
+type UnaryExpr struct {
+	pos
+	Op TokKind // TokMinus, TokBang, TokStar, TokAmp
+	X  Expr
+}
+
+// BinaryExpr is `x op y` for arithmetic, comparison, bitwise, and
+// short-circuit logical operators.
+type BinaryExpr struct {
+	pos
+	Op   TokKind
+	X, Y Expr
+}
+
+// IndexExpr is `x[i]`, shorthand for `*(x + i)`.
+type IndexExpr struct {
+	pos
+	X   Expr
+	Idx Expr
+}
+
+// CallExpr is `callee(args...)`. The callee is an expression; if it is
+// an Ident naming a function, the call is direct, otherwise indirect
+// through a function value.
+type CallExpr struct {
+	pos
+	Callee Expr
+	Args   []Expr
+}
+
+// SpawnExpr is `spawn callee(args...)`; it evaluates to a thread
+// handle that can be passed to join.
+type SpawnExpr struct {
+	pos
+	Callee Expr
+	Args   []Expr
+}
+
+// AllocExpr is `alloc(n)`: allocate n fresh zeroed heap words and
+// return a pointer to the first.
+type AllocExpr struct {
+	pos
+	Size Expr
+}
+
+// InputExpr is `input(i)`: the i-th input word (0 if out of range).
+type InputExpr struct {
+	pos
+	Idx Expr
+}
+
+// NInputsExpr is `ninputs()`.
+type NInputsExpr struct {
+	pos
+}

@@ -1,0 +1,213 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Error is a frontend diagnostic with a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByte2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekByte2() == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByte2() == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peekByte() == '*' && l.peekByte2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf(line, col, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans and returns the next token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Line: line, Col: col}, nil
+	case isDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentCont(l.peekByte())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return Token{}, l.errf(line, col, "bad integer literal %q", text)
+		}
+		return Token{Kind: TokInt, Text: text, Int: v, Line: line, Col: col}, nil
+	}
+	l.advance()
+	mk := func(k TokKind) (Token, error) {
+		return Token{Kind: k, Line: line, Col: col}, nil
+	}
+	two := func(next byte, twoKind, oneKind TokKind) (Token, error) {
+		if l.peekByte() == next {
+			l.advance()
+			return mk(twoKind)
+		}
+		return mk(oneKind)
+	}
+	switch c {
+	case '(':
+		return mk(TokLParen)
+	case ')':
+		return mk(TokRParen)
+	case '{':
+		return mk(TokLBrace)
+	case '}':
+		return mk(TokRBrace)
+	case '[':
+		return mk(TokLBracket)
+	case ']':
+		return mk(TokRBracket)
+	case ',':
+		return mk(TokComma)
+	case ';':
+		return mk(TokSemi)
+	case '+':
+		return mk(TokPlus)
+	case '-':
+		return mk(TokMinus)
+	case '*':
+		return mk(TokStar)
+	case '/':
+		return mk(TokSlash)
+	case '%':
+		return mk(TokPercent)
+	case '^':
+		return mk(TokCaret)
+	case '=':
+		return two('=', TokEq, TokAssign)
+	case '!':
+		return two('=', TokNe, TokBang)
+	case '<':
+		if l.peekByte() == '<' {
+			l.advance()
+			return mk(TokShl)
+		}
+		return two('=', TokLe, TokLt)
+	case '>':
+		if l.peekByte() == '>' {
+			l.advance()
+			return mk(TokShr)
+		}
+		return two('=', TokGe, TokGt)
+	case '&':
+		return two('&', TokAndAnd, TokAmp)
+	case '|':
+		return two('|', TokPipePip, TokPipe)
+	}
+	return Token{}, l.errf(line, col, "unexpected character %q", string(c))
+}
+
+// Lex tokenizes the whole source, returning all tokens including a
+// final EOF token.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package lang
+
+import "testing"
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`func main() { var x = 42; x = x + 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokFunc, TokIdent, TokLParen, TokRParen, TokLBrace,
+		TokVar, TokIdent, TokAssign, TokInt, TokSemi,
+		TokIdent, TokAssign, TokIdent, TokPlus, TokInt, TokSemi,
+		TokRBrace, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex(`== != <= >= < > && || ! & | ^ << >> = + - * / %`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokEq, TokNe, TokLe, TokGe, TokLt, TokGt, TokAndAnd, TokPipePip,
+		TokBang, TokAmp, TokPipe, TokCaret, TokShl, TokShr, TokAssign,
+		TokPlus, TokMinus, TokStar, TokSlash, TokPercent, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("1 // line comment\n 2 /* block \n comment */ 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // 1 2 3 EOF
+		t.Fatalf("got %v", toks)
+	}
+	if toks[2].Int != 3 || toks[2].Line != 3 {
+		t.Errorf("token 3: %+v", toks[2])
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("0 7 0x10 123456789")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 7, 16, 123456789}
+	for i, w := range want {
+		if toks[i].Int != w {
+			t.Errorf("literal %d = %d, want %d", i, toks[i].Int, w)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{"$", "/* unterminated", "9z9x"}
+	for _, src := range cases {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("bb at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestKeywordsLexed(t *testing.T) {
+	for word, kind := range keywords {
+		toks, err := Lex(word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if toks[0].Kind != kind {
+			t.Errorf("%q lexed as %s", word, toks[0].Kind)
+		}
+	}
+}

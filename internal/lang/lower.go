@@ -1,0 +1,724 @@
+package lang
+
+import (
+	"fmt"
+
+	"oha/internal/ir"
+)
+
+// Compile parses and lowers a MiniLang source file into finalized IR.
+func Compile(src string) (*ir.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(file)
+}
+
+// MustCompile is Compile that panics on error; intended for embedded
+// workload programs and tests.
+func MustCompile(src string) *ir.Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// binding records what a name refers to during lowering.
+type binding struct {
+	reg  *ir.Var    // plain local register, or
+	cell *ir.Var    // register holding the address of a promoted local
+	glob *ir.Global // or a global
+}
+
+type lowerer struct {
+	prog    *ir.Program
+	globals map[string]*ir.Global
+	arrays  map[string]bool // global array names (decay to their address)
+
+	fn        *ir.Function
+	cur       *ir.Block // nil after a terminator until a new block starts
+	scopes    []map[string]*binding
+	addrTaken map[string]bool
+	tmpCount  int
+}
+
+// Lower converts a parsed file to finalized, validated IR.
+func Lower(file *File) (*ir.Program, error) {
+	lo := &lowerer{
+		prog:    ir.NewProgram(),
+		globals: map[string]*ir.Global{},
+		arrays:  map[string]bool{},
+	}
+	for _, g := range file.Globals {
+		if _, dup := lo.globals[g.Name]; dup {
+			return nil, lo.errf(g, "duplicate global %q", g.Name)
+		}
+		if g.Count == 1 {
+			ig := &ir.Global{Name: g.Name, Init: g.Init}
+			lo.prog.AddGlobal(ig)
+			ig.Group = ig.ID
+			lo.globals[g.Name] = ig
+			continue
+		}
+		// Arrays lower to Count consecutive cells named name.0..name.N-1;
+		// the bare name refers to cell 0, and the interpreter lays
+		// global cells out contiguously so name+i addresses cell i.
+		first := -1
+		for i := 0; i < g.Count; i++ {
+			ig := &ir.Global{Name: fmt.Sprintf("%s.%d", g.Name, i)}
+			lo.prog.AddGlobal(ig)
+			if i == 0 {
+				first = ig.ID
+				lo.globals[g.Name] = ig
+				lo.arrays[g.Name] = true
+			}
+			ig.Group = first
+		}
+	}
+	for _, fd := range file.Funcs {
+		if lo.prog.FuncByName[fd.Name] != nil {
+			return nil, lo.errf(fd, "duplicate function %q", fd.Name)
+		}
+		if lo.globals[fd.Name] != nil {
+			return nil, lo.errf(fd, "function %q collides with global", fd.Name)
+		}
+		fn := &ir.Function{Name: fd.Name, Pos: ir.Pos{Line: fd.Line, Col: fd.Col}}
+		lo.prog.AddFunc(fn)
+	}
+	for _, fd := range file.Funcs {
+		if err := lo.lowerFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	if lo.prog.Main() == nil {
+		return nil, &Error{Line: 1, Col: 1, Msg: "program has no main function"}
+	}
+	if len(lo.prog.Main().Params) != 0 {
+		m := lo.prog.Main()
+		return nil, &Error{Line: m.Pos.Line, Col: m.Pos.Col, Msg: "main must take no parameters"}
+	}
+	lo.prog.Finalize()
+	if err := lo.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("internal lowering error: %w", err)
+	}
+	return lo.prog, nil
+}
+
+func (lo *lowerer) errf(n Node, format string, args ...any) error {
+	line, col := n.nodePos()
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func irPos(n Node) ir.Pos {
+	line, col := n.nodePos()
+	return ir.Pos{Line: line, Col: col}
+}
+
+// collectAddrTaken gathers every name that appears under & anywhere in
+// the function body. Locals with such names are promoted to heap
+// cells so that all cross-thread-visible state flows through explicit
+// Load/Store instructions.
+func collectAddrTaken(fd *FuncDecl) map[string]bool {
+	taken := map[string]bool{}
+	var walkExpr func(Expr)
+	var walkStmt func(Stmt)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *UnaryExpr:
+			if x.Op == TokAmp {
+				if id, ok := x.X.(*Ident); ok {
+					taken[id.Name] = true
+				}
+			}
+			walkExpr(x.X)
+		case *BinaryExpr:
+			walkExpr(x.X)
+			walkExpr(x.Y)
+		case *IndexExpr:
+			walkExpr(x.X)
+			walkExpr(x.Idx)
+		case *CallExpr:
+			walkExpr(x.Callee)
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *SpawnExpr:
+			walkExpr(x.Callee)
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *AllocExpr:
+			walkExpr(x.Size)
+		case *InputExpr:
+			walkExpr(x.Idx)
+		}
+	}
+	walkStmt = func(s Stmt) {
+		switch x := s.(type) {
+		case *BlockStmt:
+			for _, st := range x.Stmts {
+				walkStmt(st)
+			}
+		case *VarStmt:
+			if x.Init != nil {
+				walkExpr(x.Init)
+			}
+		case *AssignStmt:
+			walkExpr(x.LHS)
+			walkExpr(x.RHS)
+		case *IfStmt:
+			walkExpr(x.Cond)
+			walkStmt(x.Then)
+			if x.Else != nil {
+				walkStmt(x.Else)
+			}
+		case *WhileStmt:
+			walkExpr(x.Cond)
+			walkStmt(x.Body)
+		case *ReturnStmt:
+			if x.Value != nil {
+				walkExpr(x.Value)
+			}
+		case *ExprStmt:
+			walkExpr(x.X)
+		case *LockStmt:
+			walkExpr(x.X)
+		case *UnlockStmt:
+			walkExpr(x.X)
+		case *JoinStmt:
+			walkExpr(x.X)
+		case *PrintStmt:
+			walkExpr(x.X)
+		}
+	}
+	walkStmt(fd.Body)
+	return taken
+}
+
+func (lo *lowerer) lowerFunc(fd *FuncDecl) error {
+	fn := lo.prog.FuncByName[fd.Name]
+	lo.fn = fn
+	lo.tmpCount = 0
+	lo.addrTaken = collectAddrTaken(fd)
+	lo.scopes = []map[string]*binding{{}}
+
+	entry := fn.NewBlock()
+	fn.Entry = entry
+	lo.cur = entry
+
+	seen := map[string]bool{}
+	for _, pname := range fd.Params {
+		if seen[pname] {
+			return lo.errf(fd, "duplicate parameter %q", pname)
+		}
+		seen[pname] = true
+		pv := fn.NewVar(pname)
+		fn.Params = append(fn.Params, pv)
+		b := &binding{reg: pv}
+		if lo.addrTaken[pname] {
+			// Promote: spill the incoming value into a heap cell.
+			ptr := lo.newTmp("&" + pname)
+			lo.emit(&ir.Instr{Op: ir.OpAlloc, Dst: ptr, A: ir.ConstOp(1), Pos: irPos(fd)})
+			lo.emit(&ir.Instr{Op: ir.OpStore, A: ir.VarOp(ptr), B: ir.VarOp(pv), Pos: irPos(fd)})
+			b = &binding{cell: ptr}
+		}
+		lo.scopes[0][pname] = b
+	}
+
+	if err := lo.lowerBlockStmt(fd.Body); err != nil {
+		return err
+	}
+	// Implicit `return 0;` on fall-through.
+	if lo.cur != nil {
+		lo.emit(&ir.Instr{Op: ir.OpRet, A: ir.ConstOp(0), Pos: irPos(fd)})
+		lo.cur = nil
+	}
+	return nil
+}
+
+func (lo *lowerer) newTmp(hint string) *ir.Var {
+	lo.tmpCount++
+	return lo.fn.NewVar(fmt.Sprintf("%%%d.%s", lo.tmpCount, hint))
+}
+
+// emit appends an instruction to the current block, opening a fresh
+// (unreachable) block first if the previous one was just terminated —
+// this is how statically-dead code after `return` stays representable,
+// which the likely-unreachable-code machinery relies on.
+func (lo *lowerer) emit(in *ir.Instr) {
+	if lo.cur == nil {
+		lo.cur = lo.fn.NewBlock()
+	}
+	lo.cur.Instrs = append(lo.cur.Instrs, in)
+	switch in.Op {
+	case ir.OpJmp, ir.OpBr, ir.OpRet:
+		lo.cur = nil
+	}
+}
+
+// startBlock makes b the current block.
+func (lo *lowerer) startBlock(b *ir.Block) { lo.cur = b }
+
+// jmp terminates the current block with an unconditional jump to dst.
+// No-op if the current block is already terminated.
+func (lo *lowerer) jmp(dst *ir.Block, p ir.Pos) {
+	if lo.cur == nil {
+		return
+	}
+	blk := lo.cur
+	lo.emit(&ir.Instr{Op: ir.OpJmp, Pos: p})
+	blk.Succs = []*ir.Block{dst}
+}
+
+// br terminates the current block with a conditional branch.
+func (lo *lowerer) br(cond ir.Operand, then, els *ir.Block, p ir.Pos) {
+	if lo.cur == nil { // dead code after return: keep it representable
+		lo.cur = lo.fn.NewBlock()
+	}
+	blk := lo.cur
+	lo.emit(&ir.Instr{Op: ir.OpBr, A: cond, Pos: p})
+	blk.Succs = []*ir.Block{then, els}
+}
+
+func (lo *lowerer) pushScope() { lo.scopes = append(lo.scopes, map[string]*binding{}) }
+func (lo *lowerer) popScope()  { lo.scopes = lo.scopes[:len(lo.scopes)-1] }
+
+func (lo *lowerer) lookup(name string) *binding {
+	for i := len(lo.scopes) - 1; i >= 0; i-- {
+		if b, ok := lo.scopes[i][name]; ok {
+			return b
+		}
+	}
+	if g, ok := lo.globals[name]; ok {
+		return &binding{glob: g}
+	}
+	return nil
+}
+
+func (lo *lowerer) lowerBlockStmt(b *BlockStmt) error {
+	lo.pushScope()
+	defer lo.popScope()
+	for _, s := range b.Stmts {
+		if err := lo.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) lowerStmt(s Stmt) error {
+	switch x := s.(type) {
+	case *BlockStmt:
+		return lo.lowerBlockStmt(x)
+	case *VarStmt:
+		return lo.lowerVar(x)
+	case *AssignStmt:
+		return lo.lowerAssign(x)
+	case *IfStmt:
+		return lo.lowerIf(x)
+	case *WhileStmt:
+		return lo.lowerWhile(x)
+	case *ReturnStmt:
+		val := ir.ConstOp(0)
+		if x.Value != nil {
+			v, err := lo.lowerExpr(x.Value)
+			if err != nil {
+				return err
+			}
+			val = v
+		}
+		lo.emit(&ir.Instr{Op: ir.OpRet, A: val, Pos: irPos(x)})
+		return nil
+	case *ExprStmt:
+		_, err := lo.lowerExpr(x.X)
+		return err
+	case *LockStmt:
+		return lo.lowerSyncAddr(x.X, ir.OpLock, irPos(x))
+	case *UnlockStmt:
+		return lo.lowerSyncAddr(x.X, ir.OpUnlock, irPos(x))
+	case *JoinStmt:
+		v, err := lo.lowerExpr(x.X)
+		if err != nil {
+			return err
+		}
+		lo.emit(&ir.Instr{Op: ir.OpJoin, A: v, Pos: irPos(x)})
+		return nil
+	case *PrintStmt:
+		v, err := lo.lowerExpr(x.X)
+		if err != nil {
+			return err
+		}
+		lo.emit(&ir.Instr{Op: ir.OpPrint, A: v, Pos: irPos(x)})
+		return nil
+	}
+	return lo.errf(s, "unhandled statement %T", s)
+}
+
+// lowerSyncAddr lowers lock/unlock, whose operand is the *address* of
+// the mutex cell: `lock(&m)` or `lock(p)` for a pointer p.
+func (lo *lowerer) lowerSyncAddr(e Expr, op ir.Op, p ir.Pos) error {
+	v, err := lo.lowerExpr(e)
+	if err != nil {
+		return err
+	}
+	lo.emit(&ir.Instr{Op: op, A: v, Pos: p})
+	return nil
+}
+
+func (lo *lowerer) lowerVar(x *VarStmt) error {
+	if _, dup := lo.scopes[len(lo.scopes)-1][x.Name]; dup {
+		return lo.errf(x, "duplicate variable %q in scope", x.Name)
+	}
+	var init ir.Operand = ir.ConstOp(0)
+	if x.Init != nil {
+		v, err := lo.lowerExpr(x.Init)
+		if err != nil {
+			return err
+		}
+		init = v
+	}
+	if lo.addrTaken[x.Name] {
+		ptr := lo.newTmp("&" + x.Name)
+		lo.emit(&ir.Instr{Op: ir.OpAlloc, Dst: ptr, A: ir.ConstOp(1), Pos: irPos(x)})
+		lo.emit(&ir.Instr{Op: ir.OpStore, A: ir.VarOp(ptr), B: init, Pos: irPos(x)})
+		lo.scopes[len(lo.scopes)-1][x.Name] = &binding{cell: ptr}
+		return nil
+	}
+	v := lo.fn.NewVar(x.Name)
+	lo.emit(&ir.Instr{Op: ir.OpCopy, Dst: v, A: init, Pos: irPos(x)})
+	lo.scopes[len(lo.scopes)-1][x.Name] = &binding{reg: v}
+	return nil
+}
+
+func (lo *lowerer) lowerAssign(x *AssignStmt) error {
+	switch lhs := x.LHS.(type) {
+	case *Ident:
+		b := lo.lookup(lhs.Name)
+		if b == nil {
+			return lo.errf(lhs, "undefined variable %q", lhs.Name)
+		}
+		if b.glob != nil && lo.arrays[lhs.Name] {
+			return lo.errf(lhs, "cannot assign to array %q", lhs.Name)
+		}
+		rhs, err := lo.lowerExpr(x.RHS)
+		if err != nil {
+			return err
+		}
+		switch {
+		case b.reg != nil:
+			lo.emit(&ir.Instr{Op: ir.OpCopy, Dst: b.reg, A: rhs, Pos: irPos(x)})
+		case b.cell != nil:
+			lo.emit(&ir.Instr{Op: ir.OpStore, A: ir.VarOp(b.cell), B: rhs, Pos: irPos(x)})
+		case b.glob != nil:
+			lo.emit(&ir.Instr{Op: ir.OpStore, A: ir.GlobalOp(b.glob), B: rhs, Pos: irPos(x)})
+		}
+		return nil
+	case *UnaryExpr: // *p = rhs
+		addr, err := lo.lowerExpr(lhs.X)
+		if err != nil {
+			return err
+		}
+		rhs, err := lo.lowerExpr(x.RHS)
+		if err != nil {
+			return err
+		}
+		lo.emit(&ir.Instr{Op: ir.OpStore, A: addr, B: rhs, Pos: irPos(x)})
+		return nil
+	case *IndexExpr: // a[i] = rhs
+		addr, err := lo.lowerIndexAddr(lhs)
+		if err != nil {
+			return err
+		}
+		rhs, err := lo.lowerExpr(x.RHS)
+		if err != nil {
+			return err
+		}
+		lo.emit(&ir.Instr{Op: ir.OpStore, A: addr, B: rhs, Pos: irPos(x)})
+		return nil
+	}
+	return lo.errf(x, "invalid assignment target")
+}
+
+// lowerIndexAddr computes the address operand of a[i] = a + i.
+func (lo *lowerer) lowerIndexAddr(x *IndexExpr) (ir.Operand, error) {
+	base, err := lo.lowerExpr(x.X)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	idx, err := lo.lowerExpr(x.Idx)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	if idx.Kind == ir.OperConst && idx.Const == 0 {
+		return base, nil
+	}
+	t := lo.newTmp("idx")
+	lo.emit(&ir.Instr{Op: ir.OpBin, Bin: ir.BinAdd, Dst: t, A: base, B: idx, Pos: irPos(x)})
+	return ir.VarOp(t), nil
+}
+
+func (lo *lowerer) lowerIf(x *IfStmt) error {
+	cond, err := lo.lowerExpr(x.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := lo.fn.NewBlock()
+	endB := lo.fn.NewBlock()
+	elseB := endB
+	if x.Else != nil {
+		elseB = lo.fn.NewBlock()
+	}
+	lo.br(cond, thenB, elseB, irPos(x))
+	lo.startBlock(thenB)
+	if err := lo.lowerBlockStmt(x.Then); err != nil {
+		return err
+	}
+	lo.jmp(endB, irPos(x))
+	if x.Else != nil {
+		lo.startBlock(elseB)
+		if err := lo.lowerStmt(x.Else); err != nil {
+			return err
+		}
+		lo.jmp(endB, irPos(x))
+	}
+	lo.startBlock(endB)
+	return nil
+}
+
+func (lo *lowerer) lowerWhile(x *WhileStmt) error {
+	head := lo.fn.NewBlock()
+	body := lo.fn.NewBlock()
+	exit := lo.fn.NewBlock()
+	lo.jmp(head, irPos(x))
+	lo.startBlock(head)
+	cond, err := lo.lowerExpr(x.Cond)
+	if err != nil {
+		return err
+	}
+	lo.br(cond, body, exit, irPos(x))
+	lo.startBlock(body)
+	if err := lo.lowerBlockStmt(x.Body); err != nil {
+		return err
+	}
+	lo.jmp(head, irPos(x))
+	lo.startBlock(exit)
+	return nil
+}
+
+var binOpMap = map[TokKind]ir.BinOp{
+	TokPlus: ir.BinAdd, TokMinus: ir.BinSub, TokStar: ir.BinMul,
+	TokSlash: ir.BinDiv, TokPercent: ir.BinMod, TokLt: ir.BinLt,
+	TokLe: ir.BinLe, TokGt: ir.BinGt, TokGe: ir.BinGe, TokEq: ir.BinEq,
+	TokNe: ir.BinNe, TokAmp: ir.BinAnd, TokPipe: ir.BinOr,
+	TokCaret: ir.BinXor, TokShl: ir.BinShl, TokShr: ir.BinShr,
+}
+
+func (lo *lowerer) lowerExpr(e Expr) (ir.Operand, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return ir.ConstOp(x.V), nil
+	case *Ident:
+		return lo.lowerIdent(x)
+	case *UnaryExpr:
+		return lo.lowerUnary(x)
+	case *BinaryExpr:
+		if x.Op == TokAndAnd || x.Op == TokPipePip {
+			return lo.lowerShortCircuit(x)
+		}
+		a, err := lo.lowerExpr(x.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		b, err := lo.lowerExpr(x.Y)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		t := lo.newTmp("bin")
+		lo.emit(&ir.Instr{Op: ir.OpBin, Bin: binOpMap[x.Op], Dst: t, A: a, B: b, Pos: irPos(x)})
+		return ir.VarOp(t), nil
+	case *IndexExpr:
+		addr, err := lo.lowerIndexAddr(x)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		t := lo.newTmp("ld")
+		lo.emit(&ir.Instr{Op: ir.OpLoad, Dst: t, A: addr, Pos: irPos(x)})
+		return ir.VarOp(t), nil
+	case *CallExpr:
+		return lo.lowerCall(x.Callee, x.Args, ir.OpCall, irPos(x))
+	case *SpawnExpr:
+		return lo.lowerCall(x.Callee, x.Args, ir.OpSpawn, irPos(x))
+	case *AllocExpr:
+		sz, err := lo.lowerExpr(x.Size)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		t := lo.newTmp("alloc")
+		lo.emit(&ir.Instr{Op: ir.OpAlloc, Dst: t, A: sz, Pos: irPos(x)})
+		return ir.VarOp(t), nil
+	case *InputExpr:
+		idx, err := lo.lowerExpr(x.Idx)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		t := lo.newTmp("in")
+		lo.emit(&ir.Instr{Op: ir.OpInput, Dst: t, A: idx, Pos: irPos(x)})
+		return ir.VarOp(t), nil
+	case *NInputsExpr:
+		t := lo.newTmp("nin")
+		lo.emit(&ir.Instr{Op: ir.OpNInputs, Dst: t, Pos: irPos(x)})
+		return ir.VarOp(t), nil
+	}
+	return ir.Operand{}, lo.errf(e, "unhandled expression %T", e)
+}
+
+func (lo *lowerer) lowerIdent(x *Ident) (ir.Operand, error) {
+	if b := lo.lookup(x.Name); b != nil {
+		switch {
+		case b.glob != nil && lo.arrays[x.Name]:
+			// Array names decay to the address of their first cell.
+			return ir.GlobalOp(b.glob), nil
+		case b.reg != nil:
+			return ir.VarOp(b.reg), nil
+		case b.cell != nil:
+			t := lo.newTmp(x.Name)
+			lo.emit(&ir.Instr{Op: ir.OpLoad, Dst: t, A: ir.VarOp(b.cell), Pos: irPos(x)})
+			return ir.VarOp(t), nil
+		case b.glob != nil:
+			t := lo.newTmp(x.Name)
+			lo.emit(&ir.Instr{Op: ir.OpLoad, Dst: t, A: ir.GlobalOp(b.glob), Pos: irPos(x)})
+			return ir.VarOp(t), nil
+		}
+	}
+	if f := lo.prog.FuncByName[x.Name]; f != nil {
+		return ir.FuncOp(f), nil
+	}
+	return ir.Operand{}, lo.errf(x, "undefined identifier %q", x.Name)
+}
+
+func (lo *lowerer) lowerUnary(x *UnaryExpr) (ir.Operand, error) {
+	switch x.Op {
+	case TokAmp:
+		id := x.X.(*Ident) // parser guarantees
+		// Address of a promoted local: its cell pointer.
+		for i := len(lo.scopes) - 1; i >= 0; i-- {
+			if b, ok := lo.scopes[i][id.Name]; ok {
+				if b.cell == nil {
+					return ir.Operand{}, lo.errf(x, "internal: &%s of unpromoted local", id.Name)
+				}
+				return ir.VarOp(b.cell), nil
+			}
+		}
+		if g, ok := lo.globals[id.Name]; ok {
+			return ir.GlobalOp(g), nil
+		}
+		return ir.Operand{}, lo.errf(x, "cannot take address of %q", id.Name)
+	case TokStar:
+		addr, err := lo.lowerExpr(x.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		t := lo.newTmp("ld")
+		lo.emit(&ir.Instr{Op: ir.OpLoad, Dst: t, A: addr, Pos: irPos(x)})
+		return ir.VarOp(t), nil
+	case TokMinus:
+		a, err := lo.lowerExpr(x.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		if a.Kind == ir.OperConst {
+			return ir.ConstOp(-a.Const), nil
+		}
+		t := lo.newTmp("neg")
+		lo.emit(&ir.Instr{Op: ir.OpUn, Un: ir.UnNeg, Dst: t, A: a, Pos: irPos(x)})
+		return ir.VarOp(t), nil
+	case TokBang:
+		a, err := lo.lowerExpr(x.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		t := lo.newTmp("not")
+		lo.emit(&ir.Instr{Op: ir.OpUn, Un: ir.UnNot, Dst: t, A: a, Pos: irPos(x)})
+		return ir.VarOp(t), nil
+	}
+	return ir.Operand{}, lo.errf(x, "unhandled unary operator")
+}
+
+// lowerShortCircuit lowers && and || with proper control flow.
+func (lo *lowerer) lowerShortCircuit(x *BinaryExpr) (ir.Operand, error) {
+	t := lo.newTmp("sc")
+	a, err := lo.lowerExpr(x.X)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	rhsB := lo.fn.NewBlock()
+	shortB := lo.fn.NewBlock()
+	endB := lo.fn.NewBlock()
+	p := irPos(x)
+	if x.Op == TokAndAnd {
+		lo.br(a, rhsB, shortB, p)
+	} else {
+		lo.br(a, shortB, rhsB, p)
+	}
+	// Short-circuit result: 0 for &&, 1 for ||.
+	lo.startBlock(shortB)
+	sc := int64(0)
+	if x.Op == TokPipePip {
+		sc = 1
+	}
+	lo.emit(&ir.Instr{Op: ir.OpCopy, Dst: t, A: ir.ConstOp(sc), Pos: p})
+	lo.jmp(endB, p)
+	// Right-hand side: normalize to 0/1.
+	lo.startBlock(rhsB)
+	b, err := lo.lowerExpr(x.Y)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	lo.emit(&ir.Instr{Op: ir.OpBin, Bin: ir.BinNe, Dst: t, A: b, B: ir.ConstOp(0), Pos: p})
+	lo.jmp(endB, p)
+	lo.startBlock(endB)
+	return ir.VarOp(t), nil
+}
+
+func (lo *lowerer) lowerCall(callee Expr, args []Expr, op ir.Op, p ir.Pos) (ir.Operand, error) {
+	in := &ir.Instr{Op: op, Pos: p}
+	// A call to a bare identifier that names a function (and is not
+	// shadowed by a local or global) is a direct call.
+	if id, ok := callee.(*Ident); ok {
+		if lo.lookup(id.Name) == nil {
+			f := lo.prog.FuncByName[id.Name]
+			if f == nil {
+				return ir.Operand{}, lo.errf(id, "undefined function %q", id.Name)
+			}
+			in.Callee = f
+		}
+	}
+	if in.Callee == nil {
+		fv, err := lo.lowerExpr(callee)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		if fv.Kind == ir.OperFunc {
+			in.Callee = fv.Func
+		} else {
+			in.A = fv
+		}
+	}
+	for _, a := range args {
+		av, err := lo.lowerExpr(a)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		in.Args = append(in.Args, av)
+	}
+	if in.Callee != nil && len(in.Args) != len(in.Callee.Params) {
+		return ir.Operand{}, lo.errf(callee, "call to %s with %d args, want %d",
+			in.Callee.Name, len(in.Args), len(in.Callee.Params))
+	}
+	t := lo.newTmp("call")
+	in.Dst = t
+	lo.emit(in)
+	return ir.VarOp(t), nil
+}

@@ -1,0 +1,298 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"oha/internal/ir"
+)
+
+func compileOK(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return p
+}
+
+func TestLowerSimple(t *testing.T) {
+	p := compileOK(t, `
+		global g = 7;
+		func main() {
+			var x = g + 1;
+			g = x;
+			print(g);
+		}
+	`)
+	if len(p.Globals) != 1 || p.Globals[0].Init != 7 {
+		t.Fatalf("globals: %+v", p.Globals)
+	}
+	m := p.Main()
+	if m == nil {
+		t.Fatal("no main")
+	}
+	// Reading g must be a Load with a Global operand; writing a Store.
+	var loads, stores int
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case ir.OpLoad:
+			if in.A.Kind == ir.OperGlobal {
+				loads++
+			}
+		case ir.OpStore:
+			if in.A.Kind == ir.OperGlobal {
+				stores++
+			}
+		}
+	}
+	if loads != 2 || stores != 1 {
+		t.Errorf("global loads=%d stores=%d, want 2/1\n%s", loads, stores, p)
+	}
+}
+
+func TestLowerControlFlow(t *testing.T) {
+	p := compileOK(t, `
+		func main() {
+			var i = 0;
+			while (i < 10) {
+				if (i % 2 == 0) { print(i); }
+				i = i + 1;
+			}
+		}
+	`)
+	m := p.Main()
+	var brs, jmps int
+	for _, b := range m.Blocks {
+		switch b.Terminator().Op {
+		case ir.OpBr:
+			brs++
+			if len(b.Succs) != 2 {
+				t.Error("br without two successors")
+			}
+		case ir.OpJmp:
+			jmps++
+		}
+	}
+	if brs != 2 {
+		t.Errorf("brs = %d, want 2 (while cond + if)", brs)
+	}
+	if jmps < 2 {
+		t.Errorf("jmps = %d, want >= 2", jmps)
+	}
+}
+
+func TestLowerAddrTakenPromotion(t *testing.T) {
+	p := compileOK(t, `
+		func main() {
+			var x = 3;
+			var p = &x;
+			*p = 5;
+			print(x);
+		}
+	`)
+	// x must be promoted: an Alloc appears, and reading x at the print
+	// becomes a Load.
+	var allocs int
+	for _, in := range p.Instrs {
+		if in.Op == ir.OpAlloc {
+			allocs++
+		}
+	}
+	if allocs != 1 {
+		t.Errorf("allocs = %d, want 1 (promoted x)\n%s", allocs, p)
+	}
+	// The register file must not contain a plain var named "x".
+	for _, v := range p.Main().Vars {
+		if v.Name == "x" {
+			t.Errorf("x still a register despite &x\n%s", p)
+		}
+	}
+}
+
+func TestLowerAddrTakenParam(t *testing.T) {
+	p := compileOK(t, `
+		func f(a) {
+			lock(&a);
+			a = a + 1;
+			unlock(&a);
+			return a;
+		}
+		func main() { print(f(1)); }
+	`)
+	f := p.FuncByName["f"]
+	// Entry block must spill the param: alloc + store.
+	ops := []ir.Op{}
+	for _, in := range f.Entry.Instrs {
+		ops = append(ops, in.Op)
+	}
+	if ops[0] != ir.OpAlloc || ops[1] != ir.OpStore {
+		t.Errorf("param spill missing, entry ops: %v", ops)
+	}
+}
+
+func TestLowerShortCircuit(t *testing.T) {
+	p := compileOK(t, `
+		global g = 0;
+		func bump() { g = g + 1; return 1; }
+		func main() {
+			var a = 0 && bump();
+			var b = 1 || bump();
+			print(a + b);
+		}
+	`)
+	// Short-circuit must lower to branches: main has >= 2 brs.
+	var brs int
+	for _, b := range p.Main().Blocks {
+		if b.Terminator().Op == ir.OpBr {
+			brs++
+		}
+	}
+	if brs < 2 {
+		t.Errorf("main brs = %d, want >= 2 for short-circuit\n%s", brs, p)
+	}
+}
+
+func TestLowerCalls(t *testing.T) {
+	p := compileOK(t, `
+		func f(x) { return x; }
+		func main() {
+			var r = f(1);          // direct
+			var fp = f;
+			var s = fp(2);         // indirect
+			var t = spawn f(3);    // direct spawn
+			join(t);
+			print(r + s);
+		}
+	`)
+	var direct, indirect, spawns int
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case ir.OpCall:
+			if in.Callee != nil {
+				direct++
+			} else {
+				indirect++
+			}
+		case ir.OpSpawn:
+			spawns++
+		}
+	}
+	// Note: `var fp = f;` gives fp the function value; calling fp is
+	// indirect because fp is a register, not a function name.
+	if direct != 1 || indirect != 1 || spawns != 1 {
+		t.Errorf("direct=%d indirect=%d spawns=%d\n%s", direct, indirect, spawns, p)
+	}
+}
+
+func TestLowerGlobalArray(t *testing.T) {
+	p := compileOK(t, `
+		global tab[4];
+		func main() {
+			tab[2] = 9;
+			print(tab[2]);
+		}
+	`)
+	if len(p.Globals) != 4 {
+		t.Fatalf("array cells = %d, want 4", len(p.Globals))
+	}
+	if p.Globals[0].Name != "tab.0" || p.Globals[3].Name != "tab.3" {
+		t.Errorf("cell names: %v %v", p.Globals[0].Name, p.Globals[3].Name)
+	}
+}
+
+func TestLowerDeadCodeAfterReturn(t *testing.T) {
+	// Statements after return stay in the IR (as unreachable blocks) so
+	// that likely-unreachable-code invariants have something to refer to.
+	p := compileOK(t, `
+		func main() {
+			return;
+			print(99);
+		}
+	`)
+	var prints int
+	for _, in := range p.Instrs {
+		if in.Op == ir.OpPrint {
+			prints++
+		}
+	}
+	if prints != 1 {
+		t.Errorf("dead print lost (prints=%d)\n%s", prints, p)
+	}
+}
+
+func TestLowerBothBranchesReturn(t *testing.T) {
+	compileOK(t, `
+		func f(x) {
+			if (x) { return 1; } else { return 2; }
+		}
+		func main() { print(f(0)); }
+	`)
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := map[string]string{
+		`func main() { x = 1; }`:                       "undefined variable",
+		`func main() { print(y); }`:                    "undefined identifier",
+		`func main() { nosuch(); }`:                    "undefined function",
+		`func f(a) {} func main() { f(); }`:            "want 1",
+		`func f() {} func f() {} func main() {}`:       "duplicate function",
+		`global g = 1; global g = 2; func main() {}`:   "duplicate global",
+		`func main() { var a = 1; var a = 2; }`:        "duplicate variable",
+		`func main(x) {}`:                              "main must take no parameters",
+		`func f() {}`:                                  "no main",
+		`global f = 1; func f() {} func main() {}`:     "collides",
+		`func f(a, a) {} func main() {}`:               "duplicate parameter",
+		`func main() { var p = &nosuch; }`:             "cannot take address",
+		`func f() {} func main() { var p = &f; f(); }`: "cannot take address",
+	}
+	for src, frag := range cases {
+		_, err := Compile(src)
+		if err == nil {
+			t.Errorf("Compile(%q) succeeded, want error %q", src, frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("Compile(%q) error %q, want substring %q", src, err, frag)
+		}
+	}
+}
+
+func TestLowerScoping(t *testing.T) {
+	p := compileOK(t, `
+		global x = 100;
+		func main() {
+			print(x);              // global
+			var x = 1;
+			print(x);              // local
+			{
+				var x = 2;
+				print(x);          // inner local
+			}
+			print(x);              // outer local again
+		}
+	`)
+	// First print must read the global (a Load); the rest read registers.
+	var globalLoads int
+	for _, in := range p.Instrs {
+		if in.Op == ir.OpLoad && in.A.Kind == ir.OperGlobal {
+			globalLoads++
+		}
+	}
+	if globalLoads != 1 {
+		t.Errorf("global loads = %d, want 1\n%s", globalLoads, p)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := compileOK(t, `global g = 1; func main() { print(g); }`)
+	s := p.String()
+	for _, frag := range []string{"global @g = 1", "func main()", "print"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Program.String missing %q:\n%s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,512 @@
+package lang
+
+import "fmt"
+
+// Parser state for the recursive-descent MiniLang parser.
+type parser struct {
+	toks []Token
+	i    int
+}
+
+// Parse parses a MiniLang source file into an AST.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseFile()
+}
+
+func (p *parser) cur() Token { return p.toks[p.i] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(t Token, format string, args ...any) error {
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, p.errf(t, "expected %s, found %s", k, t)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func posOf(t Token) pos { return pos{Line: t.Line, Col: t.Col} }
+
+func (p *parser) parseFile() (*File, error) {
+	f := &File{}
+	for !p.at(TokEOF) {
+		switch p.cur().Kind {
+		case TokGlobal:
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		case TokFunc:
+			fn, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, p.errf(p.cur(), "expected global or func declaration, found %s", p.cur())
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) parseGlobal() (*GlobalDecl, error) {
+	kw := p.advance() // global
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{pos: posOf(kw), Name: name.Text, Count: 1}
+	switch p.cur().Kind {
+	case TokAssign:
+		p.advance()
+		neg := false
+		if p.at(TokMinus) {
+			p.advance()
+			neg = true
+		}
+		lit, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		g.Init = lit.Int
+		if neg {
+			g.Init = -g.Init
+		}
+	case TokLBracket:
+		p.advance()
+		n, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		if n.Int < 1 {
+			return nil, p.errf(n, "global array size must be positive")
+		}
+		g.Count = int(n.Int)
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	kw := p.advance() // func
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{pos: posOf(kw), Name: name.Text}
+	for !p.at(TokRParen) {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(TokComma); err != nil {
+				return nil, err
+			}
+		}
+		par, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, par.Text)
+	}
+	p.advance() // )
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{pos: posOf(lb)}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, p.errf(p.cur(), "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // }
+	return b, nil
+}
+
+// parseParenExprSemi parses "(expr);" for keyword statements.
+func (p *parser) parseParenExprSemi() (Expr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokVar:
+		p.advance()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		s := &VarStmt{pos: posOf(t), Name: name.Text}
+		if p.at(TokAssign) {
+			p.advance()
+			s.Init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TokIf:
+		return p.parseIf()
+	case TokWhile:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{pos: posOf(t), Cond: cond, Body: body}, nil
+	case TokReturn:
+		p.advance()
+		s := &ReturnStmt{pos: posOf(t)}
+		if !p.at(TokSemi) {
+			var err error
+			s.Value, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TokLock:
+		p.advance()
+		e, err := p.parseParenExprSemi()
+		if err != nil {
+			return nil, err
+		}
+		return &LockStmt{pos: posOf(t), X: e}, nil
+	case TokUnlock:
+		p.advance()
+		e, err := p.parseParenExprSemi()
+		if err != nil {
+			return nil, err
+		}
+		return &UnlockStmt{pos: posOf(t), X: e}, nil
+	case TokJoin:
+		p.advance()
+		e, err := p.parseParenExprSemi()
+		if err != nil {
+			return nil, err
+		}
+		return &JoinStmt{pos: posOf(t), X: e}, nil
+	case TokPrint:
+		p.advance()
+		e, err := p.parseParenExprSemi()
+		if err != nil {
+			return nil, err
+		}
+		return &PrintStmt{pos: posOf(t), X: e}, nil
+	case TokLBrace:
+		return p.parseBlock()
+	}
+	// Expression statement or assignment.
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(TokAssign) {
+		eq := p.advance()
+		switch lhs.(type) {
+		case *Ident, *IndexExpr:
+			// ok
+		case *UnaryExpr:
+			if lhs.(*UnaryExpr).Op != TokStar {
+				return nil, p.errf(eq, "cannot assign to this expression")
+			}
+		default:
+			return nil, p.errf(eq, "cannot assign to this expression")
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{pos: posOf(t), LHS: lhs, RHS: rhs}, nil
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	switch lhs.(type) {
+	case *CallExpr, *SpawnExpr:
+		return &ExprStmt{pos: posOf(t), X: lhs}, nil
+	}
+	return nil, p.errf(t, "expression statement must be a call or spawn")
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	t := p.advance() // if
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{pos: posOf(t), Cond: cond, Then: then}
+	if p.at(TokElse) {
+		p.advance()
+		if p.at(TokIf) {
+			s.Else, err = p.parseIf()
+		} else {
+			s.Else, err = p.parseBlock()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Binary operator precedence levels, loosest first.
+var precLevels = [][]TokKind{
+	{TokPipePip},
+	{TokAndAnd},
+	{TokEq, TokNe},
+	{TokLt, TokLe, TokGt, TokGe},
+	{TokPlus, TokMinus, TokPipe, TokCaret},
+	{TokStar, TokSlash, TokPercent, TokAmp, TokShl, TokShr},
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(0) }
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		found := false
+		for _, k := range precLevels[level] {
+			if t.Kind == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{pos: posOf(t), Op: t.Kind, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokMinus, TokBang, TokStar, TokAmp:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokAmp {
+			if _, ok := x.(*Ident); !ok {
+				return nil, p.errf(t, "& requires a variable name")
+			}
+		}
+		return &UnaryExpr{pos: posOf(t), Op: t.Kind, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case TokLParen:
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			x = &CallExpr{pos: posOf(t), Callee: x, Args: args}
+		case TokLBracket:
+			p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{pos: posOf(t), X: x, Idx: idx}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseArgs() ([]Expr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for !p.at(TokRParen) {
+		if len(args) > 0 {
+			if _, err := p.expect(TokComma); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	p.advance() // )
+	return args, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.advance()
+		return &IntLit{pos: posOf(t), V: t.Int}, nil
+	case TokIdent:
+		p.advance()
+		return &Ident{pos: posOf(t), Name: t.Text}, nil
+	case TokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokAlloc:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		sz, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &AllocExpr{pos: posOf(t), Size: sz}, nil
+	case TokInput:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &InputExpr{pos: posOf(t), Idx: idx}, nil
+	case TokNInputs:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &NInputsExpr{pos: posOf(t)}, nil
+	case TokSpawn:
+		p.advance()
+		callee, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &SpawnExpr{pos: posOf(t), Callee: callee, Args: args}, nil
+	}
+	return nil, p.errf(t, "expected expression, found %s", t)
+}

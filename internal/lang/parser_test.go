@@ -1,0 +1,147 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseGlobalsAndFuncs(t *testing.T) {
+	f, err := Parse(`
+		global g = 5;
+		global neg = -3;
+		global buf[8];
+		func helper(a, b) { return a + b; }
+		func main() { var x = helper(1, 2); print(x); }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Globals) != 3 {
+		t.Fatalf("globals = %d", len(f.Globals))
+	}
+	if f.Globals[0].Init != 5 || f.Globals[1].Init != -3 {
+		t.Errorf("global inits: %+v %+v", f.Globals[0], f.Globals[1])
+	}
+	if f.Globals[2].Count != 8 {
+		t.Errorf("array count = %d", f.Globals[2].Count)
+	}
+	if len(f.Funcs) != 2 || f.Funcs[0].Name != "helper" || len(f.Funcs[0].Params) != 2 {
+		t.Errorf("funcs parsed wrong: %+v", f.Funcs)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f, err := Parse(`func main() { var x = 1 + 2 * 3 == 7 && 4 < 5; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.Funcs[0].Body.Stmts[0].(*VarStmt)
+	and, ok := v.Init.(*BinaryExpr)
+	if !ok || and.Op != TokAndAnd {
+		t.Fatalf("top of tree not &&: %T", v.Init)
+	}
+	eq, ok := and.X.(*BinaryExpr)
+	if !ok || eq.Op != TokEq {
+		t.Fatalf("lhs of && not ==: %T", and.X)
+	}
+	add, ok := eq.X.(*BinaryExpr)
+	if !ok || add.Op != TokPlus {
+		t.Fatalf("lhs of == not +: %T", eq.X)
+	}
+	mul, ok := add.Y.(*BinaryExpr)
+	if !ok || mul.Op != TokStar {
+		t.Fatalf("rhs of + not *: %T", add.Y)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	src := `
+	func worker(arg) {
+		lock(&arg);
+		unlock(&arg);
+		print(arg);
+		return;
+	}
+	func main() {
+		var t = spawn worker(1);
+		join(t);
+		if (t > 0) { print(1); } else if (t < 0) { print(2); } else { print(3); }
+		while (t < 10) { t = t + 1; }
+		var p = alloc(4);
+		p[2] = input(0);
+		*p = ninputs();
+		worker(*p);
+	}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Funcs[1]
+	if len(m.Body.Stmts) != 8 {
+		t.Fatalf("main stmts = %d", len(m.Body.Stmts))
+	}
+	if _, ok := m.Body.Stmts[0].(*VarStmt).Init.(*SpawnExpr); !ok {
+		t.Error("spawn not parsed as SpawnExpr")
+	}
+	ifs := m.Body.Stmts[2].(*IfStmt)
+	if _, ok := ifs.Else.(*IfStmt); !ok {
+		t.Error("else-if chain not nested IfStmt")
+	}
+	if _, ok := m.Body.Stmts[5].(*AssignStmt).LHS.(*IndexExpr); !ok {
+		t.Error("p[2] assignment LHS not IndexExpr")
+	}
+	der := m.Body.Stmts[6].(*AssignStmt).LHS.(*UnaryExpr)
+	if der.Op != TokStar {
+		t.Error("*p assignment LHS not deref")
+	}
+}
+
+func TestParseIndirectCall(t *testing.T) {
+	f, err := Parse(`func f() {} func main() { var fp = f; fp(); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := f.Funcs[1].Body.Stmts[1].(*ExprStmt).X.(*CallExpr)
+	if id, ok := call.Callee.(*Ident); !ok || id.Name != "fp" {
+		t.Errorf("callee = %#v", call.Callee)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"func main() { 1 + 2; }":          "must be a call",
+		"func main() { (1+2) = 3; }":      "cannot assign",
+		"func main() { var x = &5; }":     "& requires a variable",
+		"func main() { if x { } }":        "expected (",
+		"func main() { var x = ; }":       "expected expression",
+		"global g":                        "expected ;",
+		"global a[0];":                    "positive",
+		"func main() { return 1; ":        "unterminated block",
+		"1;":                              "expected global or func",
+		"func main() { while (1) print;}": "expected {",
+	}
+	for src, frag := range cases {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", src, frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("Parse(%q) error %q, want substring %q", src, err, frag)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("func main() {\n  var x = $;\n}")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	le, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if le.Line != 2 {
+		t.Errorf("error line = %d, want 2", le.Line)
+	}
+}

@@ -1,0 +1,119 @@
+// Package lang implements the MiniLang frontend: lexer, parser, and
+// lowering to the IR in oha/internal/ir.
+//
+// MiniLang is the small C-like language this reproduction uses as its
+// analysis substrate. It has exactly the features the paper's
+// invariants and analyses exercise: functions, global variables,
+// pointers and heap allocation, indirect calls through function
+// values, threads (spawn/join), and locks. All benchmark workloads are
+// MiniLang programs.
+package lang
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+
+	// Keywords.
+	TokGlobal
+	TokFunc
+	TokVar
+	TokIf
+	TokElse
+	TokWhile
+	TokReturn
+	TokLock
+	TokUnlock
+	TokSpawn
+	TokJoin
+	TokPrint
+	TokAlloc
+	TokInput
+	TokNInputs
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp     // &
+	TokPipe    // |
+	TokCaret   // ^
+	TokShl     // <<
+	TokShr     // >>
+	TokLt      // <
+	TokLe      // <=
+	TokGt      // >
+	TokGe      // >=
+	TokEq      // ==
+	TokNe      // !=
+	TokAndAnd  // &&
+	TokPipePip // ||
+	TokBang    // !
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "integer",
+	TokGlobal: "global", TokFunc: "func", TokVar: "var", TokIf: "if",
+	TokElse: "else", TokWhile: "while", TokReturn: "return",
+	TokLock: "lock", TokUnlock: "unlock", TokSpawn: "spawn",
+	TokJoin: "join", TokPrint: "print", TokAlloc: "alloc",
+	TokInput: "input", TokNInputs: "ninputs",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokComma: ",", TokSemi: ";",
+	TokAssign: "=", TokPlus: "+", TokMinus: "-", TokStar: "*",
+	TokSlash: "/", TokPercent: "%", TokAmp: "&", TokPipe: "|",
+	TokCaret: "^", TokShl: "<<", TokShr: ">>", TokLt: "<", TokLe: "<=",
+	TokGt: ">", TokGe: ">=", TokEq: "==", TokNe: "!=", TokAndAnd: "&&",
+	TokPipePip: "||", TokBang: "!",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"global": TokGlobal, "func": TokFunc, "var": TokVar, "if": TokIf,
+	"else": TokElse, "while": TokWhile, "return": TokReturn,
+	"lock": TokLock, "unlock": TokUnlock, "spawn": TokSpawn,
+	"join": TokJoin, "print": TokPrint, "alloc": TokAlloc,
+	"input": TokInput, "ninputs": TokNInputs,
+}
+
+// Token is a single lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // identifier text or integer literal text
+	Int  int64  // value for TokInt
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return t.Text
+	case TokInt:
+		return t.Text
+	}
+	return t.Kind.String()
+}

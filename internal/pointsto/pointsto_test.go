@@ -1,0 +1,429 @@
+package pointsto
+
+import (
+	"errors"
+	"testing"
+
+	"oha/internal/ctxs"
+	"oha/internal/ir"
+	"oha/internal/lang"
+	"oha/internal/profile"
+)
+
+func analyzeCI(t *testing.T, src string) *Result {
+	t.Helper()
+	p := lang.MustCompile(src)
+	r, err := Analyze(p, ctxs.NewCI(p), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// varNamed finds a register by name in a function.
+func varNamed(t *testing.T, f *ir.Function, name string) *ir.Var {
+	t.Helper()
+	for _, v := range f.Vars {
+		if v.Name == name {
+			return v
+		}
+	}
+	t.Fatalf("no var %q in %s", name, f.Name)
+	return nil
+}
+
+// instrsOf returns all instructions of a given op in the program.
+func instrsOf(p *ir.Program, op ir.Op) []*ir.Instr {
+	var out []*ir.Instr
+	for _, in := range p.Instrs {
+		if in.Op == op {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+func TestBasicFlow(t *testing.T) {
+	r := analyzeCI(t, `
+		global g = 0;
+		func main() {
+			var p = alloc(2);
+			var q = p;
+			var h = &g;
+			print(*q + *h);
+		}
+	`)
+	main := r.Prog.Main()
+	c := r.Tree.CtxsOf(main)[0]
+	p := r.Pts(c, varNamed(t, main, "p"))
+	q := r.Pts(c, varNamed(t, main, "q"))
+	if p.Len() != 1 || !p.Equal(q) {
+		t.Errorf("p pts %v, q pts %v", p, q)
+	}
+	h := r.Pts(c, varNamed(t, main, "h"))
+	if h.Len() != 1 {
+		t.Errorf("h pts %v", h)
+	}
+	if p.Intersects(h) {
+		t.Error("heap and global alias")
+	}
+}
+
+func TestFlowThroughMemory(t *testing.T) {
+	r := analyzeCI(t, `
+		global slot = 0;
+		global g = 7;
+		func main() {
+			slot = &g;       // store pointer into global
+			var p = slot;    // load it back
+			print(*p);
+		}
+	`)
+	main := r.Prog.Main()
+	c := r.Tree.CtxsOf(main)[0]
+	p := r.Pts(c, varNamed(t, main, "p"))
+	if p.Len() != 1 {
+		t.Fatalf("p pts = %v, want exactly the g object", p)
+	}
+	obj := r.Objects()[p.Min()]
+	if obj.Kind != ObjGlobal {
+		t.Errorf("p points to %v, want a global", obj)
+	}
+}
+
+func TestInterprocedural(t *testing.T) {
+	r := analyzeCI(t, `
+		func id(x) { return x; }
+		func main() {
+			var a = alloc(1);
+			var b = id(a);
+			print(*b);
+		}
+	`)
+	main := r.Prog.Main()
+	c := r.Tree.CtxsOf(main)[0]
+	a := r.Pts(c, varNamed(t, main, "a"))
+	b := r.Pts(c, varNamed(t, main, "b"))
+	if !a.Equal(b) || a.Len() != 1 {
+		t.Errorf("a=%v b=%v", a, b)
+	}
+}
+
+func TestCIMergesCallsites(t *testing.T) {
+	// Context-insensitive: both callers' results merge.
+	r := analyzeCI(t, `
+		func id(x) { return x; }
+		func main() {
+			var a = id(alloc(1));
+			var b = id(alloc(1));
+			print(*a + *b);
+		}
+	`)
+	main := r.Prog.Main()
+	c := r.Tree.CtxsOf(main)[0]
+	a := r.Pts(c, varNamed(t, main, "a"))
+	b := r.Pts(c, varNamed(t, main, "b"))
+	if a.Len() != 2 || !a.Equal(b) {
+		t.Errorf("CI should merge: a=%v b=%v", a, b)
+	}
+}
+
+const twoAllocSrc = `
+	func id(x) { return x; }
+	func main() {
+		var a = id(alloc(1));
+		var b = id(alloc(1));
+		print(*a + *b);
+	}
+`
+
+func TestCSDistinguishesCallsites(t *testing.T) {
+	p := lang.MustCompile(twoAllocSrc)
+	r, err := Analyze(p, ctxs.NewCS(p, 0, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := p.Main()
+	c := r.Tree.CtxsOf(main)[0]
+	a := r.Pts(c, varNamed(t, main, "a"))
+	b := r.Pts(c, varNamed(t, main, "b"))
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("CS imprecise: a=%v b=%v", a, b)
+	}
+	if a.Intersects(b) {
+		t.Error("CS merged distinct call sites")
+	}
+}
+
+func TestHeapCloning(t *testing.T) {
+	// The same alloc site reached through two contexts yields two
+	// distinct heap objects under CS (heap cloning), one under CI.
+	src := `
+		func mk() { return alloc(1); }
+		func wrap1() { return mk(); }
+		func wrap2() { return mk(); }
+		func main() {
+			var a = wrap1();
+			var b = wrap2();
+			print(*a + *b);
+		}
+	`
+	p := lang.MustCompile(src)
+	rCI, err := Analyze(p, ctxs.NewCI(p), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCS, err := Analyze(p, ctxs.NewCS(p, 0, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := p.Main()
+	ciA := rCI.Pts(rCI.Tree.CtxsOf(main)[0], varNamed(t, main, "a"))
+	ciB := rCI.Pts(rCI.Tree.CtxsOf(main)[0], varNamed(t, main, "b"))
+	if !ciA.Intersects(ciB) {
+		t.Error("CI separated cloned heap objects")
+	}
+	csA := rCS.Pts(rCS.Tree.CtxsOf(main)[0], varNamed(t, main, "a"))
+	csB := rCS.Pts(rCS.Tree.CtxsOf(main)[0], varNamed(t, main, "b"))
+	if csA.Intersects(csB) {
+		t.Error("CS heap cloning failed: a and b alias")
+	}
+}
+
+func TestIndirectCallResolution(t *testing.T) {
+	r := analyzeCI(t, `
+		global fp = 0;
+		func f(x) { return x; }
+		func g(x) { return alloc(1); }
+		func main() {
+			fp = f;
+			if (ninputs()) { fp = g; }
+			var h = fp;
+			var r = h(alloc(1));
+			print(*r);
+		}
+	`)
+	var indirect *ir.Instr
+	for _, in := range r.Prog.Instrs {
+		if in.Op == ir.OpCall && in.IsIndirect() {
+			indirect = in
+		}
+	}
+	if indirect == nil {
+		t.Fatal("no indirect call found")
+	}
+	callees := r.FnCallees(indirect)
+	if len(callees) != 2 {
+		t.Fatalf("callees = %v, want f and g", callees)
+	}
+}
+
+func TestPredicatedCalleeSets(t *testing.T) {
+	p := lang.MustCompile(`
+		global fp = 0;
+		func f(x) { return x; }
+		func g(x) { return alloc(1); }
+		func main() {
+			fp = f;
+			if (input(0)) { fp = g; }
+			var h = fp;
+			var r = h(alloc(1));
+			print(*r);
+		}
+	`)
+	// Profile only the f path.
+	db, err := profile.Run(p, []int64{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(p, ctxs.NewCI(p), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var indirect *ir.Instr
+	for _, in := range p.Instrs {
+		if in.Op == ir.OpCall && in.IsIndirect() {
+			indirect = in
+		}
+	}
+	callees := r.FnCallees(indirect)
+	if len(callees) != 1 || callees[0].Name != "f" {
+		t.Fatalf("predicated callees = %v, want just f", callees)
+	}
+}
+
+func TestPredicatedLUCPruning(t *testing.T) {
+	p := lang.MustCompile(`
+		global slot = 0;
+		global g1 = 0;
+		global g2 = 0;
+		func main() {
+			slot = &g1;
+			if (input(0)) {
+				slot = &g2;   // likely-unreachable under profile input 0
+			}
+			var p = slot;
+			print(*p);
+		}
+	`)
+	sound, err := Analyze(p, ctxs.NewCI(p), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := profile.Run(p, []int64{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Analyze(p, ctxs.NewCI(p), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := p.Main()
+	c := sound.Tree.CtxsOf(main)[0]
+	sp := sound.Pts(c, varNamed(t, main, "p"))
+	pp := pred.Pts(pred.Tree.CtxsOf(main)[0], varNamed(t, main, "p"))
+	if sp.Len() != 2 {
+		t.Fatalf("sound pts = %v, want 2 globals", sp)
+	}
+	if pp.Len() != 1 {
+		t.Fatalf("predicated pts = %v, want 1 (g2 branch pruned)", pp)
+	}
+	if !pp.SubsetOf(sp) {
+		t.Error("predicated result not a subset of sound result")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	// A call tree with many distinct paths: tiny budget must fail.
+	p := lang.MustCompile(`
+		func l0() { return 1; }
+		func l1() { return l0() + l0(); }
+		func l2() { return l1() + l1(); }
+		func l3() { return l2() + l2(); }
+		func l4() { return l3() + l3(); }
+		func main() { print(l4()); }
+	`)
+	_, err := Analyze(p, ctxs.NewCS(p, 5, nil), nil)
+	if !errors.Is(err, ctxs.ErrBudget) {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+	// A generous budget succeeds.
+	r, err := Analyze(p, ctxs.NewCS(p, 1000, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumContexts() < 16 {
+		t.Errorf("contexts = %d, want full expansion", r.NumContexts())
+	}
+}
+
+func TestContextRestrictionEnablesCS(t *testing.T) {
+	// With the likely-unused-call-contexts invariant, the same tiny
+	// budget suffices because only the profiled paths are cloned.
+	p := lang.MustCompile(`
+		func l0() { return 1; }
+		func l1(k) { if (k) { return l0() + l0(); } return 0; }
+		func l2(k) { if (k) { return l1(k) + l1(k); } return 0; }
+		func main() { print(l2(input(0))); }
+	`)
+	// Profile with input 0: the recursive-expansion paths never run.
+	db, err := profile.Run(p, []int64{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := ctxs.NewCS(p, 4, db.Contexts)
+	r, err := Analyze(p, tree, db)
+	if err != nil {
+		t.Fatalf("restricted CS failed: %v", err)
+	}
+	if r.NumContexts() > 4 {
+		t.Errorf("contexts = %d under restriction", r.NumContexts())
+	}
+}
+
+func TestRecursionCollapse(t *testing.T) {
+	p := lang.MustCompile(`
+		func r(n) {
+			if (n <= 0) { return alloc(1); }
+			return r(n - 1);
+		}
+		func main() {
+			var a = r(10);
+			print(*a);
+		}
+	`)
+	r, err := Analyze(p, ctxs.NewCS(p, 100, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One context for main + one for r (self-recursion collapsed).
+	if r.NumContexts() != 2 {
+		t.Errorf("contexts = %d, want 2", r.NumContexts())
+	}
+	main := p.Main()
+	a := r.Pts(r.Tree.CtxsOf(main)[0], varNamed(t, main, "a"))
+	if a.Len() != 1 {
+		t.Errorf("a pts = %v", a)
+	}
+}
+
+func TestMayAliasAndRate(t *testing.T) {
+	r := analyzeCI(t, `
+		global a = 0;
+		global b = 0;
+		func main() {
+			a = 1;
+			b = 2;
+			print(a);
+			print(b);
+		}
+	`)
+	loads := instrsOf(r.Prog, ir.OpLoad)
+	stores := instrsOf(r.Prog, ir.OpStore)
+	if len(loads) != 2 || len(stores) != 2 {
+		t.Fatalf("loads=%d stores=%d", len(loads), len(stores))
+	}
+	// store a / load a alias; store a / load b do not.
+	if !r.MayAlias(stores[0], loads[0]) {
+		t.Error("same-global access does not alias")
+	}
+	if r.MayAlias(stores[0], loads[1]) {
+		t.Error("distinct globals alias")
+	}
+	rate := r.AliasRate()
+	if rate != 0.5 {
+		t.Errorf("alias rate = %v, want 0.5", rate)
+	}
+}
+
+func TestGlobalArrayIsOneObject(t *testing.T) {
+	r := analyzeCI(t, `
+		global tab[8];
+		func main() {
+			tab[1] = 5;
+			print(tab[6]);
+		}
+	`)
+	loads := instrsOf(r.Prog, ir.OpLoad)
+	stores := instrsOf(r.Prog, ir.OpStore)
+	if !r.MayAlias(stores[0], loads[0]) {
+		t.Error("array cells treated as distinct objects")
+	}
+}
+
+func TestSpawnWiresArgs(t *testing.T) {
+	r := analyzeCI(t, `
+		func w(p) { *p = 1; }
+		func main() {
+			var buf = alloc(4);
+			var t = spawn w(buf);
+			join(t);
+		}
+	`)
+	w := r.Prog.FuncByName["w"]
+	c := r.Tree.CtxsOf(w)[0]
+	pp := r.Pts(c, w.Params[0])
+	if pp.Len() != 1 {
+		t.Errorf("spawned param pts = %v", pp)
+	}
+}

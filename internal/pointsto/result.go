@@ -1,0 +1,187 @@
+package pointsto
+
+import (
+	"oha/internal/bitset"
+	"oha/internal/ctxs"
+	"oha/internal/ir"
+)
+
+// Objects returns the abstract-object table (indexed by object id).
+func (r *Result) Objects() []Object { return r.a.objs }
+
+// Pts returns the points-to set (object ids) of a register in one
+// context. Never nil.
+func (r *Result) Pts(c ctxs.ID, v *ir.Var) *bitset.Set {
+	if _, ok := r.a.ctxBase[c]; !ok {
+		return &bitset.Set{}
+	}
+	return r.a.pts[r.a.varNode(c, v)]
+}
+
+// OperandPts returns the points-to set of an operand in one context.
+func (r *Result) OperandPts(c ctxs.ID, op ir.Operand) *bitset.Set {
+	s := r.a.operandSrc(c, op)
+	out := &bitset.Set{}
+	if s.node >= 0 {
+		out.UnionWith(r.a.pts[s.node])
+	}
+	if s.obj >= 0 {
+		out.Add(s.obj)
+	}
+	return out
+}
+
+// AddrPts returns the abstract objects an instruction's address
+// operand may denote (for load, store, lock, and unlock instructions).
+func (r *Result) AddrPts(c ctxs.ID, in *ir.Instr) *bitset.Set {
+	return r.OperandPts(c, in.A)
+}
+
+// AddrPtsAll unions AddrPts over every context of the instruction's
+// function — the context-insensitive view used by whole-program
+// clients like the race detector.
+func (r *Result) AddrPtsAll(in *ir.Instr) *bitset.Set {
+	out := &bitset.Set{}
+	for _, c := range r.Tree.CtxsOf(in.Block.Fn) {
+		if r.a.seededCtx[c] {
+			out.UnionWith(r.AddrPts(c, in))
+		}
+	}
+	return out
+}
+
+// MayAlias reports whether the address operands of two memory or sync
+// instructions may denote a common abstract object (in any context).
+func (r *Result) MayAlias(a, b *ir.Instr) bool {
+	return r.AddrPtsAll(a).Intersects(r.AddrPtsAll(b))
+}
+
+// FnCallees returns the possible callee functions of a call/spawn
+// site, across all contexts.
+func (r *Result) FnCallees(in *ir.Instr) []*ir.Function {
+	if in.Callee != nil {
+		return []*ir.Function{in.Callee}
+	}
+	m := r.a.fnCallees[in.ID]
+	out := make([]*ir.Function, 0, len(m))
+	for _, f := range r.Prog.Funcs {
+		if m[f.ID] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// CtxCallees returns the callee contexts resolved for a call site in
+// one caller context.
+func (r *Result) CtxCallees(c ctxs.ID, in *ir.Instr) []ctxs.ID {
+	return r.a.ctxCallees[callKey2{ctx: c, site: in.ID}]
+}
+
+// SeededInstrs returns the instructions included in the analysis (the
+// predicated variant excludes likely-unreachable blocks and functions
+// only reachable through pruned edges). The slice is shared; do not
+// mutate.
+func (r *Result) SeededInstrs() []*ir.Instr { return r.a.seeded }
+
+// Analyzed reports whether an instruction was part of the analysis.
+func (r *Result) Analyzed(in *ir.Instr) bool { return r.a.seenInstr[in.ID] }
+
+// NumContexts returns how many function clones the analysis created.
+func (r *Result) NumContexts() int { return len(r.a.seededCtx) }
+
+// AliasRate computes the paper's Figure 9 metric: the probability that
+// a (load, store) pair drawn from the analyzed instructions may alias.
+func (r *Result) AliasRate() float64 {
+	var loads, stores []*ir.Instr
+	for _, in := range r.a.seeded {
+		switch in.Op {
+		case ir.OpLoad:
+			loads = append(loads, in)
+		case ir.OpStore:
+			stores = append(stores, in)
+		}
+	}
+	if len(loads) == 0 || len(stores) == 0 {
+		return 0
+	}
+	loadPts := make([]*bitset.Set, len(loads))
+	for i, in := range loads {
+		loadPts[i] = r.AddrPtsAll(in)
+	}
+	alias := 0
+	for _, st := range stores {
+		sp := r.AddrPtsAll(st)
+		for i := range loads {
+			if sp.Intersects(loadPts[i]) {
+				alias++
+			}
+		}
+	}
+	return float64(alias) / float64(len(loads)*len(stores))
+}
+
+// CallEdge is one resolved call-graph edge: the call/spawn site in a
+// caller context, and the callee context it resolved to.
+type CallEdge struct {
+	Caller ctxs.ID
+	Site   *ir.Instr
+	Callee ctxs.ID
+}
+
+// CallEdges returns every resolved call-graph edge (deterministic
+// order: by caller context, then site ID, then callee context order of
+// discovery).
+func (r *Result) CallEdges() []CallEdge {
+	var out []CallEdge
+	for key, callees := range r.a.ctxCallees {
+		site := r.Prog.Instrs[key.site]
+		for _, ce := range callees {
+			out = append(out, CallEdge{Caller: key.ctx, Site: site, Callee: ce})
+		}
+	}
+	sortCallEdges(out)
+	return out
+}
+
+func sortCallEdges(es []CallEdge) {
+	// Insertion sort keeps this dependency-free; edge lists are small.
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && lessEdge(es[j], es[j-1]); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func lessEdge(a, b CallEdge) bool {
+	if a.Caller != b.Caller {
+		return a.Caller < b.Caller
+	}
+	if a.Site.ID != b.Site.ID {
+		return a.Site.ID < b.Site.ID
+	}
+	return a.Callee < b.Callee
+}
+
+// AliasRateOver computes the alias rate over a fixed set of loads and
+// stores — Figure 9's fairness rule: compare the base and optimistic
+// analyses over the same (optimistic) instruction set.
+func (r *Result) AliasRateOver(loads, stores []*ir.Instr) float64 {
+	if len(loads) == 0 || len(stores) == 0 {
+		return 0
+	}
+	loadPts := make([]*bitset.Set, len(loads))
+	for i, in := range loads {
+		loadPts[i] = r.AddrPtsAll(in)
+	}
+	alias := 0
+	for _, st := range stores {
+		sp := r.AddrPtsAll(st)
+		for i := range loads {
+			if sp.Intersects(loadPts[i]) {
+				alias++
+			}
+		}
+	}
+	return float64(alias) / float64(len(loads)*len(stores))
+}

@@ -1,0 +1,298 @@
+// Package profile implements the likely-invariant profiling passes —
+// phase one of optimistic hybrid analysis (§2.1, §4.2, §5.2).
+//
+// A Collector subscribes to interpreter events during a profiling
+// execution and gathers the raw observations (visited blocks, lock
+// objects per site, spawn counts, indirect-call targets, call
+// contexts); Summarize converts one run's observations into a
+// per-run invariant database, and invariants.Merge folds databases
+// from many runs into the final likely-invariant set.
+//
+// The no-custom-synchronization invariant is profiled separately (see
+// oha/internal/core), because it requires running the race detector
+// itself with trial elisions.
+package profile
+
+import (
+	"errors"
+
+	"oha/internal/bitset"
+	"oha/internal/interp"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/sched"
+	"oha/internal/vc"
+)
+
+// Collector gathers raw profiling observations from one execution.
+// Install it as the interpreter's Tracer with all masks nil (full
+// instrumentation), as the paper's per-invariant profiling passes do.
+type Collector struct {
+	interp.NopTracer
+	prog *ir.Program
+
+	visited     *bitset.Set
+	spawnCounts map[int]int
+	lockObjs    map[int]map[interp.Addr]bool
+	callees     map[int]*bitset.Set
+	ctxs        *invariants.ContextSet
+	stacks      map[vc.TID]*ctxStack
+}
+
+// ctxFrame mirrors one activation for context tracking.
+type ctxFrame struct {
+	fnID     int
+	extended bool // this activation extended the acyclic context path
+}
+
+// ctxStack is the per-thread analysis stack.
+type ctxStack struct {
+	frames []ctxFrame
+	active map[int]int // function ID -> activations on stack
+	path   []int       // acyclic context path (call-site instr IDs)
+}
+
+// NewCollector returns a collector for one profiling run of prog.
+func NewCollector(prog *ir.Program) *Collector {
+	return &Collector{
+		prog:        prog,
+		visited:     &bitset.Set{},
+		spawnCounts: map[int]int{},
+		lockObjs:    map[int]map[interp.Addr]bool{},
+		callees:     map[int]*bitset.Set{},
+		ctxs:        invariants.NewContextSet(),
+		stacks:      map[vc.TID]*ctxStack{},
+	}
+}
+
+// stack returns (creating on first use) the context stack of thread t.
+// Thread 0's root is main with the empty context.
+func (c *Collector) stack(t vc.TID) *ctxStack {
+	s := c.stacks[t]
+	if s == nil {
+		main := c.prog.Main()
+		s = &ctxStack{active: map[int]int{}}
+		s.frames = append(s.frames, ctxFrame{fnID: main.ID, extended: true})
+		s.active[main.ID] = 1
+		c.ctxs.Add(nil)
+		c.stacks[t] = s
+	}
+	return s
+}
+
+// push records entry into callee through call-site siteID.
+func (s *ctxStack) push(siteID, calleeID int, ctxs *invariants.ContextSet) {
+	fr := ctxFrame{fnID: calleeID}
+	if s.active[calleeID] == 0 {
+		fr.extended = true
+		s.path = append(s.path, siteID)
+		ctxs.Add(s.path)
+	}
+	s.active[calleeID]++
+	s.frames = append(s.frames, fr)
+}
+
+// pop records a return.
+func (s *ctxStack) pop() {
+	if len(s.frames) == 0 {
+		return
+	}
+	fr := s.frames[len(s.frames)-1]
+	s.frames = s.frames[:len(s.frames)-1]
+	s.active[fr.fnID]--
+	if fr.extended && len(s.path) > 0 {
+		s.path = s.path[:len(s.path)-1]
+	}
+}
+
+// BlockEnter implements interp.Tracer: basic-block counting for the
+// likely-unreachable-code invariant.
+func (c *Collector) BlockEnter(_ vc.TID, b *ir.Block) {
+	c.visited.Add(b.ID)
+}
+
+// Lock implements interp.Tracer: records the dynamic object locked at
+// each lock site (likely guarding locks).
+func (c *Collector) Lock(_ vc.TID, in *ir.Instr, addr interp.Addr) {
+	m := c.lockObjs[in.ID]
+	if m == nil {
+		m = map[interp.Addr]bool{}
+		c.lockObjs[in.ID] = m
+	}
+	m[addr] = true
+}
+
+// Spawn implements interp.Tracer: spawn-site instance counting (likely
+// singleton threads), indirect-spawn targets, and context roots for
+// spawned threads.
+func (c *Collector) Spawn(t vc.TID, in *ir.Instr, child vc.TID, _ interp.FrameID, callee *ir.Function) {
+	c.spawnCounts[in.ID]++
+	if in.IsIndirect() {
+		c.addCallee(in.ID, callee.ID)
+	}
+	// Child context: parent's path extended by the spawn site.
+	parent := c.stack(t)
+	cs := &ctxStack{active: map[int]int{}}
+	cs.path = append(append([]int(nil), parent.path...), in.ID)
+	cs.frames = append(cs.frames, ctxFrame{fnID: callee.ID, extended: true})
+	cs.active[callee.ID] = 1
+	c.ctxs.Add(cs.path)
+	c.stacks[child] = cs
+}
+
+// Call implements interp.Tracer: indirect-call target sets (likely
+// callee sets) and call-context tracking (likely unused call
+// contexts).
+func (c *Collector) Call(t vc.TID, in *ir.Instr, callee *ir.Function, _, _ interp.FrameID) {
+	if in.IsIndirect() {
+		c.addCallee(in.ID, callee.ID)
+	}
+	c.stack(t).push(in.ID, callee.ID, c.ctxs)
+}
+
+// Ret implements interp.Tracer.
+func (c *Collector) Ret(t vc.TID, _ *ir.Instr, _, _ interp.FrameID, _ *ir.Var) {
+	c.stack(t).pop()
+}
+
+func (c *Collector) addCallee(site, fnID int) {
+	if fnID < 0 {
+		return
+	}
+	s := c.callees[site]
+	if s == nil {
+		s = &bitset.Set{}
+		c.callees[site] = s
+	}
+	s.Add(fnID)
+}
+
+// Summarize converts the raw observations of one run into that run's
+// invariant database.
+func (c *Collector) Summarize() *invariants.DB {
+	db := invariants.NewDB()
+	db.Visited = c.visited.Clone()
+
+	// Likely guarding locks: pairs of sites that each locked exactly
+	// one dynamic object, the same one.
+	type single struct {
+		site int
+		obj  interp.Addr
+	}
+	var singles []single
+	for site, objs := range c.lockObjs {
+		if len(objs) == 1 {
+			for obj := range objs {
+				singles = append(singles, single{site, obj})
+			}
+		}
+	}
+	for i := 0; i < len(singles); i++ {
+		// A single-object site must-aliases itself (required for even
+		// self-pair lockset pruning: polymorphic sites do not).
+		db.MustAliasLocks[invariants.NormPair(singles[i].site, singles[i].site)] = true
+		for j := i + 1; j < len(singles); j++ {
+			if singles[i].obj == singles[j].obj {
+				db.MustAliasLocks[invariants.NormPair(singles[i].site, singles[j].site)] = true
+			}
+		}
+	}
+
+	// Likely singleton threads: every spawn site that created at most
+	// one thread this run (sites that did not run count as ≤ 1).
+	for _, in := range c.prog.Instrs {
+		if in.Op == ir.OpSpawn && c.spawnCounts[in.ID] <= 1 {
+			db.SingletonSpawns.Add(in.ID)
+		}
+	}
+
+	for site, set := range c.callees {
+		db.Callees[site] = set.Clone()
+	}
+	db.Contexts = c.ctxs.Clone()
+	return db
+}
+
+// Run profiles one execution of prog on the given inputs and schedule
+// seed, returning the per-run invariant database.
+func Run(prog *ir.Program, inputs []int64, seed uint64) (*invariants.DB, error) {
+	col := NewCollector(prog)
+	_, err := interp.Run(interp.Config{
+		Prog:   prog,
+		Inputs: inputs,
+		Tracer: col,
+		Choose: sched.NewSeeded(seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return col.Summarize(), nil
+}
+
+// Stats carries auxiliary profiling observations used by aggressive
+// invariant construction (§2.1 of the paper discusses trading the
+// stability of an invariant for strength by assuming properties that
+// are only *usually* true during profiling).
+type Stats struct {
+	// BlockRuns counts, per block ID, in how many profiled executions
+	// the block was entered.
+	BlockRuns map[int]int
+	// Runs is the number of profiled executions.
+	Runs int
+}
+
+// Converge profiles executions drawn from gen until the merged
+// invariant set is unchanged for stableWindow consecutive runs (or
+// maxRuns is hit), mirroring the paper's "profile increasing numbers
+// of executions until the learned invariants stabilize" methodology.
+// It returns the merged database and the number of runs profiled.
+func Converge(prog *ir.Program, gen func(run int) (inputs []int64, seed uint64), maxRuns, stableWindow int) (*invariants.DB, int, error) {
+	db, st, err := ConvergeWithStats(prog, gen, maxRuns, stableWindow)
+	if err != nil {
+		return nil, 0, err
+	}
+	_ = st
+	return db, st.Runs, nil
+}
+
+// ConvergeWithStats is Converge, additionally returning per-block
+// visit-run counts for aggressive-invariant construction.
+func ConvergeWithStats(prog *ir.Program, gen func(run int) (inputs []int64, seed uint64), maxRuns, stableWindow int) (*invariants.DB, *Stats, error) {
+	if stableWindow <= 0 {
+		stableWindow = 3
+	}
+	st := &Stats{BlockRuns: map[int]int{}}
+	var merged *invariants.DB
+	stable := 0
+	for st.Runs < maxRuns {
+		inputs, seed := gen(st.Runs)
+		db, err := Run(prog, inputs, seed)
+		if err != nil {
+			return nil, st, err
+		}
+		st.Runs++
+		db.Visited.ForEach(func(b int) bool {
+			st.BlockRuns[b]++
+			return true
+		})
+		if merged == nil {
+			merged = db
+			stable = 0
+			continue
+		}
+		before := merged.Clone()
+		merged.MergeInto(db)
+		if merged.Equal(before) {
+			stable++
+			if stable >= stableWindow {
+				break
+			}
+		} else {
+			stable = 0
+		}
+	}
+	if merged == nil {
+		return nil, st, errors.New("profile: no executions profiled (maxRuns < 1)")
+	}
+	return merged, st, nil
+}

@@ -1,0 +1,325 @@
+// Package progen generates random — but well-formed, terminating, and
+// trap-free — MiniLang programs for property-based testing of the
+// whole analysis stack.
+//
+// The headline soundness property of optimistic hybrid analysis is
+// universally quantified ("as precise and sound as traditional dynamic
+// analysis" — for every program and execution), so the test suite
+// checks it on randomly generated programs, not just the curated
+// workloads: for any generated program, any inputs, and any schedule,
+// OptFT must report exactly FastTrack's races and OptSlice must
+// compute exactly full Giri's dynamic slice — whether or not
+// speculation succeeds.
+//
+// Generated programs exercise: global scalars and arrays, heap
+// pointers, bounded loops, nested conditionals, direct and
+// table-indirect calls, spawn/join (unrolled and in loops), and
+// lock-guarded regions. They terminate (loops are counter-bounded) and
+// never trap (array indexes are masked non-negative, locks are
+// non-nested and function-local, only valid thread handles are
+// joined). They may well contain genuine data races — the properties
+// under test must hold regardless.
+package progen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	// Funcs is the number of leaf functions (also table entries).
+	Funcs int
+	// Workers is the number of worker functions main may spawn.
+	Workers int
+	// MaxDepth bounds statement nesting.
+	MaxDepth int
+	// MaxStmts bounds statements per block.
+	MaxStmts int
+}
+
+// DefaultConfig returns moderate bounds.
+func DefaultConfig() Config {
+	return Config{Funcs: 4, Workers: 2, MaxDepth: 3, MaxStmts: 5}
+}
+
+// rng is a splitmix64 generator (deterministic, dependency-free).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) pick(xs []string) string { return xs[r.intn(len(xs))] }
+
+// gen holds generation state.
+type gen struct {
+	r   *rng
+	cfg Config
+	b   strings.Builder
+
+	globals []string // scalar globals
+	locks   []string
+	indent  int
+
+	// per-function state
+	locals  []string
+	nextVar int // monotonic name counter (names are never reused)
+	inLock  bool
+	fnNames []string // leaf functions callable from anywhere
+}
+
+// Generate produces the source of one random program.
+func Generate(seed uint64, cfg Config) string {
+	if cfg.Funcs <= 0 {
+		cfg = DefaultConfig()
+	}
+	g := &gen{r: &rng{s: seed*2654435761 + 1}, cfg: cfg}
+	return g.program()
+}
+
+func (g *gen) w(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("\t", g.indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *gen) program() string {
+	nGlob := 3 + g.r.intn(3)
+	for i := 0; i < nGlob; i++ {
+		name := fmt.Sprintf("g%d", i)
+		g.globals = append(g.globals, name)
+		g.w("global %s = %d;", name, g.r.intn(20))
+	}
+	g.w("global arr[8];")
+	nLocks := 1 + g.r.intn(2)
+	for i := 0; i < nLocks; i++ {
+		name := fmt.Sprintf("lk%d", i)
+		g.locks = append(g.locks, name)
+		g.w("global %s = 0;", name)
+	}
+	g.w("global ftab[4];")
+	g.w("")
+
+	for i := 0; i < g.cfg.Funcs; i++ {
+		name := fmt.Sprintf("f%d", i)
+		g.fnNames = append(g.fnNames, name)
+	}
+	for i := 0; i < g.cfg.Funcs; i++ {
+		g.leafFunc(g.fnNames[i])
+	}
+	var workers []string
+	for i := 0; i < g.cfg.Workers; i++ {
+		name := fmt.Sprintf("w%d", i)
+		workers = append(workers, name)
+		g.workerFunc(name)
+	}
+	g.mainFunc(workers)
+	return g.b.String()
+}
+
+// leafFunc emits a call-free function of one parameter.
+func (g *gen) leafFunc(name string) {
+	g.locals = []string{"x"}
+	g.nextVar = 0
+	g.w("func %s(x) {", name)
+	g.indent++
+	n := 1 + g.r.intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(1, false, false)
+	}
+	g.w("return %s;", g.expr(2))
+	g.indent--
+	g.w("}")
+	g.w("")
+}
+
+// workerFunc emits a function that computes, calls leaves, and uses
+// locks — the body of spawned threads.
+func (g *gen) workerFunc(name string) {
+	g.locals = []string{"x"}
+	g.nextVar = 0
+	g.w("func %s(x) {", name)
+	g.indent++
+	n := 2 + g.r.intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(g.cfg.MaxDepth, true, true)
+	}
+	g.indent--
+	g.w("}")
+	g.w("")
+}
+
+func (g *gen) mainFunc(workers []string) {
+	g.locals = nil
+	g.nextVar = 0
+	g.w("func main() {")
+	g.indent++
+	// Table initialization (every slot, before any call or spawn).
+	for i := 0; i < 4; i++ {
+		g.w("ftab[%d] = %s;", i, g.fnNames[g.r.intn(len(g.fnNames))])
+	}
+	// Seed globals from inputs.
+	for i, glob := range g.globals {
+		if g.r.intn(2) == 0 {
+			g.w("%s = input(%d);", glob, i)
+		}
+	}
+	// Some sequential computation.
+	for i := 0; i < 2+g.r.intn(3); i++ {
+		g.stmt(g.cfg.MaxDepth, true, true)
+	}
+	// Threads: unrolled singleton spawns and possibly a spawn loop.
+	if len(workers) > 0 {
+		for i, w := range workers {
+			g.w("var t%d = spawn %s(%s);", i, w, g.expr(1))
+			g.locals = append(g.locals, fmt.Sprintf("t%d", i))
+		}
+		if g.r.intn(2) == 0 {
+			g.w("var li = 0;")
+			g.w("var lt = 0;")
+			g.w("while (li < %d) {", 1+g.r.intn(3))
+			g.indent++
+			g.w("lt = spawn %s(li);", workers[g.r.intn(len(workers))])
+			g.w("join(lt);")
+			g.w("li = li + 1;")
+			g.indent--
+			g.w("}")
+		}
+		for i := range workers {
+			g.w("join(t%d);", i)
+		}
+	}
+	// Observable results.
+	for _, glob := range g.globals {
+		g.w("print(%s);", glob)
+	}
+	g.w("print(arr[%d]);", g.r.intn(8))
+	g.indent--
+	g.w("}")
+}
+
+// stmt emits one random statement. depth bounds nesting; calls/locks
+// gate whether call and lock statements may appear (leaves get
+// neither; lock bodies must not nest locks).
+func (g *gen) stmt(depth int, calls, locksOK bool) {
+	choices := 6
+	if depth <= 0 {
+		choices = 3 // only simple statements
+	}
+	switch g.r.intn(choices) {
+	case 0: // global assignment
+		g.w("%s = %s;", g.r.pick(g.globals), g.expr(2))
+	case 1: // array store (masked non-negative index)
+		g.w("arr[(%s) & 7] = %s;", g.expr(1), g.expr(2))
+	case 2: // local declaration or call
+		// Initializer expressions must be generated before the new
+		// local is registered (a declaration cannot reference itself).
+		if calls && g.r.intn(2) == 0 {
+			if g.r.intn(2) == 0 {
+				init := fmt.Sprintf("%s(%s)", g.r.pick(g.fnNames), g.expr(1))
+				g.w("var %s = %s;", g.newLocal(), init)
+			} else {
+				slot := g.expr(1)
+				h := g.newLocal()
+				g.w("var %s = ftab[(%s) & 3];", h, slot)
+				arg := g.expr(1)
+				g.w("var %s = %s(%s);", g.newLocal(), h, arg)
+			}
+		} else {
+			init := g.expr(2)
+			g.w("var %s = %s;", g.newLocal(), init)
+		}
+	case 3: // if/else
+		g.w("if (%s) {", g.expr(2))
+		g.inBlock(func() { g.stmt(depth-1, calls, locksOK) })
+		if g.r.intn(2) == 0 {
+			g.w("} else {")
+			g.inBlock(func() { g.stmt(depth-1, calls, locksOK) })
+		}
+		g.w("}")
+	case 4: // bounded loop
+		i := g.newLocal()
+		g.w("var %s = 0;", i)
+		g.w("while (%s < %d) {", i, 2+g.r.intn(6))
+		g.inBlock(func() {
+			g.stmt(depth-1, calls, locksOK)
+			g.w("%s = %s + 1;", i, i)
+		})
+		g.w("}")
+	case 5: // locked region (never nested)
+		if !locksOK || g.inLock {
+			g.w("%s = %s;", g.r.pick(g.globals), g.expr(2))
+			return
+		}
+		lk := g.r.pick(g.locks)
+		g.w("lock(&%s);", lk)
+		// A lock region is NOT a lexical scope in MiniLang: indent for
+		// readability but keep declared locals visible.
+		g.indent++
+		g.inLock = true
+		g.stmt(depth-1, calls, false)
+		g.inLock = false
+		g.indent--
+		g.w("unlock(&%s);", lk)
+	}
+}
+
+// inBlock emits body one indent deeper with lexical local scoping:
+// locals declared inside are not visible afterwards.
+func (g *gen) inBlock(body func()) {
+	g.indent++
+	save := len(g.locals)
+	body()
+	g.locals = g.locals[:save]
+	g.indent--
+}
+
+func (g *gen) newLocal() string {
+	v := fmt.Sprintf("v%d", g.nextVar)
+	g.nextVar++
+	g.locals = append(g.locals, v)
+	return v
+}
+
+var binOps = []string{"+", "-", "*", "/", "%", "^", "&", "|"}
+
+// expr emits a random side-effect-free expression.
+func (g *gen) expr(depth int) string {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.r.intn(4) {
+	case 0:
+		return g.atom()
+	case 1:
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), g.r.pick(binOps), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("arr[(%s) & 7]", g.expr(depth-1))
+	default:
+		cmp := []string{"<", "<=", "==", "!="}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), g.r.pick(cmp), g.expr(depth-1))
+	}
+}
+
+func (g *gen) atom() string {
+	switch g.r.intn(4) {
+	case 0:
+		return fmt.Sprintf("%d", g.r.intn(64))
+	case 1:
+		return g.r.pick(g.globals)
+	case 2:
+		return fmt.Sprintf("input(%d)", g.r.intn(8))
+	default:
+		if len(g.locals) == 0 {
+			return g.r.pick(g.globals)
+		}
+		return g.r.pick(g.locals)
+	}
+}

@@ -1,0 +1,80 @@
+package progen
+
+import (
+	"testing"
+
+	"oha/internal/interp"
+	"oha/internal/lang"
+	"oha/internal/sched"
+)
+
+func TestGeneratedProgramsCompileAndRun(t *testing.T) {
+	for seed := uint64(0); seed < 60; seed++ {
+		src := Generate(seed, DefaultConfig())
+		prog, err := lang.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+		for s := uint64(1); s <= 3; s++ {
+			res, err := interp.Run(interp.Config{
+				Prog:     prog,
+				Inputs:   []int64{3, 1, 4, 1, 5, 9, 2, 6},
+				Choose:   sched.NewSeeded(s),
+				MaxSteps: 2_000_000,
+			})
+			if err != nil {
+				t.Fatalf("seed %d/%d: run: %v\n%s", seed, s, err, src)
+			}
+			if len(res.Output) == 0 {
+				t.Fatalf("seed %d: no output", seed)
+			}
+		}
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		if Generate(seed, DefaultConfig()) != Generate(seed, DefaultConfig()) {
+			t.Fatalf("seed %d: nondeterministic generation", seed)
+		}
+	}
+	if Generate(1, DefaultConfig()) == Generate(2, DefaultConfig()) {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestGeneratedProgramsAreDiverse(t *testing.T) {
+	var withThreads, withLocks, withIndirect int
+	for seed := uint64(0); seed < 40; seed++ {
+		prog := lang.MustCompile(Generate(seed, DefaultConfig()))
+		spawns, locks, indirect := 0, 0, 0
+		for _, in := range prog.Instrs {
+			switch {
+			case in.Op.String() == "spawn":
+				spawns++
+			case in.Op.String() == "lock":
+				locks++
+			case in.IsIndirect():
+				indirect++
+			}
+		}
+		if spawns > 0 {
+			withThreads++
+		}
+		if locks > 0 {
+			withLocks++
+		}
+		if indirect > 0 {
+			withIndirect++
+		}
+	}
+	if withThreads < 30 {
+		t.Errorf("only %d/40 programs spawn threads", withThreads)
+	}
+	if withLocks < 15 {
+		t.Errorf("only %d/40 programs use locks", withLocks)
+	}
+	if withIndirect < 10 {
+		t.Errorf("only %d/40 programs use indirect calls", withIndirect)
+	}
+}

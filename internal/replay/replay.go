@@ -1,0 +1,76 @@
+// Package replay provides deterministic record/replay of MiniLang
+// executions, the mechanism optimistic hybrid analysis uses to recover
+// from invariant mis-speculation (paper §2.3: "restarting a
+// deterministic replay, and guaranteeing equivalent execution is
+// trivial with record/replay systems").
+//
+// Two facts make rollback cheap here:
+//
+//  1. The interpreter is deterministic given (program, inputs,
+//     scheduling decisions), and instrumentation never affects
+//     scheduling, so re-running with the same seeded chooser
+//     reproduces the execution exactly — under different
+//     instrumentation.
+//  2. The scheduler records its decisions, so an execution can also be
+//     replayed from an explicit schedule (and verified against it).
+//
+// Rollback after a mis-speculation therefore re-executes the recorded
+// schedule prefix and continues with the original chooser, which is
+// equivalent to the original uninstrumented execution.
+package replay
+
+import (
+	"oha/internal/interp"
+	"oha/internal/sched"
+	"oha/internal/vc"
+)
+
+// Record runs cfg with its chooser wrapped in a recorder, returning
+// the result and the recorded schedule. cfg.Choose must be set (use a
+// fresh chooser; choosers are stateful).
+func Record(cfg interp.Config) (*interp.Result, sched.Schedule, error) {
+	rec := sched.NewRecorder(cfg.Choose)
+	cfg.Choose = rec
+	res, err := interp.Run(cfg)
+	return res, rec.Schedule, err
+}
+
+// Replay runs cfg driven by the recorded schedule. Divergence (the
+// execution making a scheduling decision not in the schedule) is
+// returned as an error rather than a panic. If tail is non-nil it
+// takes over once the schedule is exhausted — used when the recording
+// came from an aborted (rolled-back) run and the re-execution must
+// continue past the abort point.
+func Replay(cfg interp.Config, s sched.Schedule, tail sched.Chooser) (res *interp.Result, err error) {
+	cfg.Choose = &prefixChooser{replayer: sched.NewReplayer(s), tail: tail, n: len(s.Choices)}
+	defer func() {
+		if r := recover(); r != nil {
+			if de, ok := r.(*sched.DivergenceError); ok {
+				err = de
+				return
+			}
+			panic(r)
+		}
+	}()
+	res, err = interp.Run(cfg)
+	return res, err
+}
+
+// prefixChooser replays a schedule and then hands off to tail (or
+// panics with a DivergenceError if there is no tail, matching
+// sched.Replayer semantics).
+type prefixChooser struct {
+	replayer *sched.Replayer
+	tail     sched.Chooser
+	n        int
+}
+
+func (p *prefixChooser) Choose(runnable []vc.TID) vc.TID {
+	if p.replayer.Used() < p.n {
+		return p.replayer.Choose(runnable)
+	}
+	if p.tail == nil {
+		return p.replayer.Choose(runnable) // will report divergence
+	}
+	return p.tail.Choose(runnable)
+}

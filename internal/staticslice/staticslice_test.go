@@ -1,0 +1,380 @@
+package staticslice
+
+import (
+	"testing"
+
+	"oha/internal/ctxs"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/lang"
+	"oha/internal/pointsto"
+	"oha/internal/profile"
+)
+
+// build compiles src and returns a slicer (CI, sound unless db given).
+func build(t *testing.T, src string, sensitive bool, db *invariants.DB) *Slicer {
+	t.Helper()
+	p := lang.MustCompile(src)
+	return buildProg(t, p, sensitive, db)
+}
+
+func buildProg(t *testing.T, p *ir.Program, sensitive bool, db *invariants.DB) *Slicer {
+	t.Helper()
+	var tree *ctxs.Tree
+	if sensitive {
+		var allowed *invariants.ContextSet
+		if db != nil {
+			allowed = db.Contexts
+		}
+		tree = ctxs.NewCS(p, 0, allowed)
+	} else {
+		tree = ctxs.NewCI(p)
+	}
+	pt, err := pointsto.Analyze(p, tree, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(pt)
+}
+
+// printInstr returns the i-th print instruction.
+func printInstr(t *testing.T, p *ir.Program, i int) *ir.Instr {
+	t.Helper()
+	n := 0
+	for _, in := range p.Instrs {
+		if in.Op == ir.OpPrint {
+			if n == i {
+				return in
+			}
+			n++
+		}
+	}
+	t.Fatalf("print %d not found", i)
+	return nil
+}
+
+// fnInstrs reports how many sliced instructions live in fn.
+func fnInstrs(s *Slice, fn *ir.Function) int {
+	n := 0
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if s.Instrs.Has(in.ID) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestStraightLineSlice(t *testing.T) {
+	sl := build(t, `
+		func main() {
+			var a = 1;
+			var b = 2;
+			var c = a + 3;
+			var d = b * b;   // irrelevant to c
+			print(c);
+			print(d);
+		}
+	`, false, nil)
+	p := sl.prog
+	s := sl.BackwardSlice(printInstr(t, p, 0))
+	// The slice of print(c) must include a's and c's defs but not b/d.
+	main := p.Main()
+	var aDef, dDef *ir.Instr
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst != nil && in.Dst.Name == "a" {
+				aDef = in
+			}
+			if in.Dst != nil && in.Dst.Name == "d" {
+				dDef = in
+			}
+		}
+	}
+	if !s.Contains(aDef) {
+		t.Error("slice of print(c) missing def of a")
+	}
+	if s.Contains(dDef) {
+		t.Error("slice of print(c) contains unrelated def of d")
+	}
+}
+
+func TestSliceThroughMemory(t *testing.T) {
+	sl := build(t, `
+		global g = 0;
+		global h = 0;
+		func main() {
+			g = 5;
+			h = 6;
+			print(g);
+		}
+	`, false, nil)
+	p := sl.prog
+	s := sl.BackwardSlice(printInstr(t, p, 0))
+	var storeG, storeH *ir.Instr
+	for _, in := range p.Instrs {
+		if in.Op == ir.OpStore {
+			if in.A.Global.Name == "g" {
+				storeG = in
+			} else {
+				storeH = in
+			}
+		}
+	}
+	if !s.Contains(storeG) {
+		t.Error("aliasing store missing from slice")
+	}
+	if s.Contains(storeH) {
+		t.Error("non-aliasing store in slice")
+	}
+}
+
+func TestFlowSensitivity(t *testing.T) {
+	// A store *after* the load (no loop) cannot be in the slice.
+	sl := build(t, `
+		global g = 0;
+		func main() {
+			g = 1;
+			print(g);
+			g = 2;
+		}
+	`, false, nil)
+	p := sl.prog
+	s := sl.BackwardSlice(printInstr(t, p, 0))
+	stores := 0
+	for _, in := range p.Instrs {
+		if in.Op == ir.OpStore && s.Contains(in) {
+			stores++
+		}
+	}
+	if stores != 1 {
+		t.Errorf("slice contains %d stores, want 1 (later store excluded)", stores)
+	}
+}
+
+func TestLoopStoresIncluded(t *testing.T) {
+	// In a loop, a textually-later store may precede the load.
+	sl := build(t, `
+		global g = 0;
+		func main() {
+			var i = 0;
+			while (i < 3) {
+				print(g);
+				g = g + 1;
+				i = i + 1;
+			}
+		}
+	`, false, nil)
+	p := sl.prog
+	s := sl.BackwardSlice(printInstr(t, p, 0))
+	found := false
+	for _, in := range p.Instrs {
+		if in.Op == ir.OpStore && in.A.Kind == ir.OperGlobal && s.Contains(in) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("loop-carried store missing from slice")
+	}
+}
+
+func TestInterproceduralSlice(t *testing.T) {
+	sl := build(t, `
+		func double(x) { return x * 2; }
+		func main() {
+			var a = 3;
+			var b = double(a);
+			print(b);
+		}
+	`, false, nil)
+	p := sl.prog
+	s := sl.BackwardSlice(printInstr(t, p, 0))
+	dbl := p.FuncByName["double"]
+	if fnInstrs(s, dbl) == 0 {
+		t.Error("callee instructions missing from slice")
+	}
+	// a's def must be reached through the call's argument.
+	var aDef *ir.Instr
+	for _, in := range p.Instrs {
+		if in.Dst != nil && in.Dst.Name == "a" {
+			aDef = in
+		}
+	}
+	if !s.Contains(aDef) {
+		t.Error("argument def missing from slice")
+	}
+}
+
+const ciVsCsSrc = `
+	func id(x) { return x; }
+	func main() {
+		var tainted = input(0);
+		var clean = 7;
+		var a = id(tainted);
+		var b = id(clean);
+		print(b);
+	}
+`
+
+func TestCSMorePreciseThanCI(t *testing.T) {
+	pCI := lang.MustCompile(ciVsCsSrc)
+	ci := buildProg(t, pCI, false, nil)
+	sCI := ci.BackwardSlice(printInstr(t, pCI, 0))
+
+	pCS := lang.MustCompile(ciVsCsSrc)
+	cs := buildProg(t, pCS, true, nil)
+	sCS := cs.BackwardSlice(printInstr(t, pCS, 0))
+
+	// CI merges id's two call sites: tainted's def leaks into the
+	// slice of print(b). CS keeps them apart.
+	var taintedDef *ir.Instr
+	for _, in := range pCI.Instrs {
+		if in.Op == ir.OpInput {
+			taintedDef = in
+		}
+	}
+	if !sCI.Contains(taintedDef) {
+		t.Error("CI slice unexpectedly precise (test assumption broken)")
+	}
+	var taintedDefCS *ir.Instr
+	for _, in := range pCS.Instrs {
+		if in.Op == ir.OpInput {
+			taintedDefCS = in
+		}
+	}
+	if sCS.Contains(taintedDefCS) {
+		t.Error("CS slice merged call sites")
+	}
+	if sCS.Size() >= sCI.Size() {
+		t.Errorf("CS slice (%d) not smaller than CI slice (%d)", sCS.Size(), sCI.Size())
+	}
+}
+
+func TestSpawnArgsInSlice(t *testing.T) {
+	sl := build(t, `
+		global out = 0;
+		func w(v) { out = v; }
+		func main() {
+			var secret = input(0);
+			var t = spawn w(secret);
+			join(t);
+			print(out);
+		}
+	`, false, nil)
+	p := sl.prog
+	s := sl.BackwardSlice(printInstr(t, p, 0))
+	var inputDef *ir.Instr
+	for _, in := range p.Instrs {
+		if in.Op == ir.OpInput {
+			inputDef = in
+		}
+	}
+	if !s.Contains(inputDef) {
+		t.Error("value flowing through spawned thread missing from slice")
+	}
+}
+
+func TestPredicatedSliceSmaller(t *testing.T) {
+	src := `
+		global g = 0;
+		func rare() { g = input(1) * 100; }
+		func common() { g = 1; }
+		func main() {
+			if (input(0)) { rare(); } else { common(); }
+			print(g);
+		}
+	`
+	p := lang.MustCompile(src)
+	sound := buildProg(t, p, false, nil)
+	sSound := sound.BackwardSlice(printInstr(t, p, 0))
+
+	db, err := profile.Run(p, []int64{0}, 1) // only common() profiled
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := buildProg(t, p, false, db)
+	sPred := pred.BackwardSlice(printInstr(t, p, 0))
+
+	rare := p.FuncByName["rare"]
+	if fnInstrs(sSound, rare) == 0 {
+		t.Error("sound slice missing rare()")
+	}
+	if fnInstrs(sPred, rare) != 0 {
+		t.Error("predicated slice contains likely-unreachable rare()")
+	}
+	if !sPred.Instrs.SubsetOf(sSound.Instrs) {
+		t.Error("predicated slice not a subset of sound slice")
+	}
+}
+
+func TestPredicatedCalleeSetShrinksSlice(t *testing.T) {
+	src := `
+		global fp = 0;
+		global g = 0;
+		func fa() { g = 1; }
+		func fb() { g = input(1); }
+		func main() {
+			fp = fa;
+			if (input(0)) { fp = fb; }
+			var h = fp;
+			h();
+			print(g);
+		}
+	`
+	p := lang.MustCompile(src)
+	sound := buildProg(t, p, false, nil)
+	sSound := sound.BackwardSlice(printInstr(t, p, 0))
+	fb := p.FuncByName["fb"]
+	if fnInstrs(sSound, fb) == 0 {
+		t.Error("sound slice missing fb")
+	}
+	db, err := profile.Run(p, []int64{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := buildProg(t, p, false, db)
+	sPred := pred.BackwardSlice(printInstr(t, p, 0))
+	if fnInstrs(sPred, fb) != 0 {
+		t.Error("predicated slice contains unobserved callee fb")
+	}
+}
+
+func TestNonTrivialEndpoints(t *testing.T) {
+	sl := build(t, `
+		global g = 0;
+		func step(x) { return x + g; }
+		func main() {
+			var acc = 0;
+			var i = 0;
+			while (i < 4) {
+				g = g + i;
+				acc = step(acc);
+				i = i + 1;
+			}
+			print(acc);
+			print(0);
+		}
+	`, false, nil)
+	eps := sl.NonTrivialEndpoints(10)
+	if len(eps) == 0 {
+		t.Fatal("no non-trivial endpoints found")
+	}
+	// print(0) must not be a non-trivial endpoint.
+	for _, e := range eps {
+		if e.Op == ir.OpPrint && e.A.Kind == ir.OperConst {
+			t.Error("constant print counted as non-trivial")
+		}
+	}
+}
+
+func TestSliceDeterminism(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		sl := build(t, ciVsCsSrc, true, nil)
+		s1 := sl.BackwardSlice(printInstr(t, sl.prog, 0))
+		s2 := sl.BackwardSlice(printInstr(t, sl.prog, 0))
+		if !s1.Instrs.Equal(s2.Instrs) {
+			t.Fatal("same slicer, different slices")
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package vc implements vector clocks and epochs as used by the
+// FastTrack dynamic race detector (Flanagan & Freund, PLDI 2009).
+//
+// A vector clock VC maps thread ids to logical clock values. An Epoch
+// c@t packs a single (clock, thread) pair into one word; FastTrack's
+// key optimization is representing most variable read/write metadata
+// as an epoch rather than a full vector clock.
+package vc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TID identifies a thread. Thread ids are small dense integers
+// assigned by the scheduler in spawn order.
+type TID int32
+
+// Epoch packs a clock value and thread id into one comparable word:
+// the low 32 bits are the clock, the high bits the thread id.
+type Epoch uint64
+
+// NoEpoch is the epoch 0@0, used as "never accessed". Thread ids start
+// at 0 with clock 1, so a real access never produces NoEpoch.
+const NoEpoch Epoch = 0
+
+// ReadShared is a sentinel epoch meaning "read metadata has inflated
+// to a full vector clock" (FastTrack's READ_SHARED state).
+const ReadShared Epoch = ^Epoch(0)
+
+// MakeEpoch returns the epoch clock@tid.
+func MakeEpoch(tid TID, clock uint32) Epoch {
+	return Epoch(uint64(tid)<<32 | uint64(clock))
+}
+
+// TID returns the thread component of e.
+func (e Epoch) TID() TID { return TID(e >> 32) }
+
+// Clock returns the clock component of e.
+func (e Epoch) Clock() uint32 { return uint32(e) }
+
+// String renders "c@t".
+func (e Epoch) String() string {
+	switch e {
+	case NoEpoch:
+		return "⊥"
+	case ReadShared:
+		return "SHARED"
+	}
+	return fmt.Sprintf("%d@%d", e.Clock(), e.TID())
+}
+
+// VC is a vector clock. The zero value is the bottom clock (all
+// entries zero). VCs grow on demand; missing entries are zero.
+type VC struct {
+	clocks []uint32
+}
+
+// New returns an empty (bottom) vector clock.
+func New() *VC { return &VC{} }
+
+// Get returns the clock for thread t (zero if never set).
+func (v *VC) Get(t TID) uint32 {
+	if int(t) < len(v.clocks) {
+		return v.clocks[t]
+	}
+	return 0
+}
+
+func (v *VC) grow(t TID) {
+	if int(t) < len(v.clocks) {
+		return
+	}
+	nc := make([]uint32, t+1)
+	copy(nc, v.clocks)
+	v.clocks = nc
+}
+
+// Set assigns the clock for thread t.
+func (v *VC) Set(t TID, c uint32) {
+	v.grow(t)
+	v.clocks[t] = c
+}
+
+// Tick increments thread t's own entry and returns the new value.
+func (v *VC) Tick(t TID) uint32 {
+	v.grow(t)
+	v.clocks[t]++
+	return v.clocks[t]
+}
+
+// Epoch returns thread t's current epoch in this clock: Get(t)@t.
+func (v *VC) Epoch(t TID) Epoch { return MakeEpoch(t, v.Get(t)) }
+
+// JoinWith sets v to the pointwise maximum of v and u.
+func (v *VC) JoinWith(u *VC) {
+	if u == nil {
+		return
+	}
+	if len(u.clocks) > len(v.clocks) {
+		v.grow(TID(len(u.clocks) - 1))
+	}
+	for i, c := range u.clocks {
+		if c > v.clocks[i] {
+			v.clocks[i] = c
+		}
+	}
+}
+
+// Copy returns an independent copy of v.
+func (v *VC) Copy() *VC {
+	c := make([]uint32, len(v.clocks))
+	copy(c, v.clocks)
+	return &VC{clocks: c}
+}
+
+// Assign overwrites v with the contents of u.
+func (v *VC) Assign(u *VC) {
+	if len(u.clocks) > cap(v.clocks) {
+		v.clocks = make([]uint32, len(u.clocks))
+	} else {
+		v.clocks = v.clocks[:len(u.clocks)]
+	}
+	copy(v.clocks, u.clocks)
+}
+
+// LeqEpoch reports whether epoch e happens-before-or-equals v, i.e.
+// e.Clock() <= v.Get(e.TID()). This is FastTrack's O(1) fast path.
+func (v *VC) LeqEpoch(e Epoch) bool {
+	return e.Clock() <= v.Get(e.TID())
+}
+
+// Leq reports whether v <= u pointwise (v happens-before-or-equals u).
+func (v *VC) Leq(u *VC) bool {
+	for i, c := range v.clocks {
+		if c == 0 {
+			continue
+		}
+		var uc uint32
+		if i < len(u.clocks) {
+			uc = u.clocks[i]
+		}
+		if c > uc {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports pointwise equality.
+func (v *VC) Equal(u *VC) bool { return v.Leq(u) && u.Leq(v) }
+
+// Size returns the number of entries physically stored.
+func (v *VC) Size() int { return len(v.clocks) }
+
+// String renders "[t0:c0 t1:c1 ...]" omitting zero entries.
+func (v *VC) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	first := true
+	for i, c := range v.clocks {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d:%d", i, c)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

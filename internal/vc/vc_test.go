@@ -1,0 +1,161 @@
+package vc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEpochPacking(t *testing.T) {
+	e := MakeEpoch(7, 123)
+	if e.TID() != 7 || e.Clock() != 123 {
+		t.Fatalf("epoch unpack: tid=%d clock=%d", e.TID(), e.Clock())
+	}
+	if e.String() != "123@7" {
+		t.Errorf("String = %q", e.String())
+	}
+	if NoEpoch.String() != "⊥" || ReadShared.String() != "SHARED" {
+		t.Errorf("sentinel strings wrong")
+	}
+}
+
+func TestGetSetTick(t *testing.T) {
+	v := New()
+	if v.Get(5) != 0 {
+		t.Fatal("unset entry nonzero")
+	}
+	v.Set(2, 9)
+	if v.Get(2) != 9 {
+		t.Fatal("Set/Get mismatch")
+	}
+	if got := v.Tick(2); got != 10 {
+		t.Fatalf("Tick = %d, want 10", got)
+	}
+	if got := v.Tick(4); got != 1 {
+		t.Fatalf("Tick of fresh = %d, want 1", got)
+	}
+	if v.Epoch(2) != MakeEpoch(2, 10) {
+		t.Fatal("Epoch mismatch")
+	}
+}
+
+func TestJoinLeq(t *testing.T) {
+	a, b := New(), New()
+	a.Set(0, 3)
+	a.Set(1, 1)
+	b.Set(1, 5)
+	a.JoinWith(b)
+	if a.Get(0) != 3 || a.Get(1) != 5 {
+		t.Fatalf("join wrong: %v", a)
+	}
+	if !b.Leq(a) {
+		t.Error("b !<= join(a,b)")
+	}
+	if a.Leq(b) {
+		t.Error("join(a,b) <= b despite extra entry")
+	}
+	if !a.LeqEpoch(MakeEpoch(1, 5)) || a.LeqEpoch(MakeEpoch(1, 6)) {
+		t.Error("LeqEpoch boundary wrong")
+	}
+}
+
+func TestCopyAssignIndependence(t *testing.T) {
+	a := New()
+	a.Set(0, 1)
+	c := a.Copy()
+	c.Set(0, 99)
+	if a.Get(0) != 1 {
+		t.Fatal("Copy shares storage")
+	}
+	d := New()
+	d.Set(3, 7)
+	d.Assign(a)
+	if d.Get(0) != 1 || d.Get(3) != 0 {
+		t.Fatalf("Assign wrong: %v", d)
+	}
+}
+
+func TestString(t *testing.T) {
+	v := New()
+	v.Set(0, 2)
+	v.Set(2, 4)
+	if got := v.String(); got != "[0:2 2:4]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// fromSlice builds a VC from a short slice of clock values.
+func fromSlice(xs []uint8) *VC {
+	v := New()
+	for i, x := range xs {
+		if i >= 8 {
+			break
+		}
+		v.Set(TID(i), uint32(x))
+	}
+	return v
+}
+
+// Lattice laws for vector clocks, via testing/quick.
+func TestQuickLatticeLaws(t *testing.T) {
+	join := func(a, b *VC) *VC {
+		c := a.Copy()
+		c.JoinWith(b)
+		return c
+	}
+	commut := func(xs, ys []uint8) bool {
+		a, b := fromSlice(xs), fromSlice(ys)
+		return join(a, b).Equal(join(b, a))
+	}
+	if err := quick.Check(commut, nil); err != nil {
+		t.Error("commutativity:", err)
+	}
+	assoc := func(xs, ys, zs []uint8) bool {
+		a, b, c := fromSlice(xs), fromSlice(ys), fromSlice(zs)
+		return join(join(a, b), c).Equal(join(a, join(b, c)))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error("associativity:", err)
+	}
+	idem := func(xs []uint8) bool {
+		a := fromSlice(xs)
+		return join(a, a).Equal(a)
+	}
+	if err := quick.Check(idem, nil); err != nil {
+		t.Error("idempotence:", err)
+	}
+	upperBound := func(xs, ys []uint8) bool {
+		a, b := fromSlice(xs), fromSlice(ys)
+		j := join(a, b)
+		return a.Leq(j) && b.Leq(j)
+	}
+	if err := quick.Check(upperBound, nil); err != nil {
+		t.Error("upper bound:", err)
+	}
+	// Leq is a partial order: reflexive and antisymmetric-on-Equal.
+	refl := func(xs []uint8) bool { return fromSlice(xs).Leq(fromSlice(xs)) }
+	if err := quick.Check(refl, nil); err != nil {
+		t.Error("reflexivity:", err)
+	}
+	antisym := func(xs, ys []uint8) bool {
+		a, b := fromSlice(xs), fromSlice(ys)
+		if a.Leq(b) && b.Leq(a) {
+			return a.Equal(b)
+		}
+		return true
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error("antisymmetry:", err)
+	}
+	// Epoch fast path agrees with the general Leq on single-entry VCs.
+	epochAgree := func(tid uint8, clock uint8, xs []uint8) bool {
+		tt := TID(tid % 8)
+		v := fromSlice(xs)
+		e := MakeEpoch(tt, uint32(clock))
+		single := New()
+		single.Set(tt, uint32(clock))
+		return v.LeqEpoch(e) == single.Leq(v)
+	}
+	if err := quick.Check(epochAgree, nil); err != nil {
+		t.Error("epoch fast path:", err)
+	}
+}

@@ -1,0 +1,840 @@
+package workloads
+
+// OptFT suite: models of the multithreaded Dacapo and JavaGrande
+// benchmarks (§6.1.1). Structural notes:
+//
+//   - Shared read-only state is initialized by main-thread loops
+//     before the first spawn: the sound analysis proves those pairs
+//     ordered (fork-join MHP), so hybrid FastTrack already elides them
+//     — our stand-in for data race-freedom that sound analysis CAN
+//     establish.
+//   - Lock-guarded shared state cannot be pruned soundly (no must-
+//     alias), so hybrid FastTrack instruments it; the likely-guarding-
+//     locks invariant lets OptFT elide it.
+//   - Helper-spawned threads look multi-instance to the sound
+//     analysis; the likely-singleton-thread invariant recovers them.
+//   - Error-handling paths never taken in profiling are
+//     likely-unreachable code.
+//   - montecarlo and sunflow spawn workers in loops over one shared
+//     output object: the lockset-based detector is "algorithmically
+//     unequipped" for such barrier parallelism, so OptFT gains little.
+//   - sor/sparse/series/crypt/lufact use singleton spawns in main and
+//     disjoint per-thread buffers: provably race-free even soundly.
+
+func init() {
+	register(&Workload{
+		Name: "lusearch",
+		Kind: Race,
+		Notes: "text search over a mutable index: every query scans (and inserts " +
+			"into) the index under one coarse lock, which only the likely-" +
+			"guarding-locks invariant can prune (paper: 3.0x over hybrid)",
+		Source: `
+			global index[64];
+			global hits = 0;
+			global ilock = 0;
+			global badqueries = 0;
+
+			func search(qbase, nq, reps) {
+				var r = 0;
+				while (r < reps) {
+					var q = 0;
+					while (q < nq) {
+						var term = input(qbase + q);
+						if (term < 0) {
+							// Malformed query: never happens in practice (LUC).
+							badqueries = badqueries + 1;
+							q = q + 1;
+						} else {
+							lock(&ilock);
+							var found = 0;
+							var i = 0;
+							while (i < 64) {
+								if (index[i] == term % 977) { found = found + 1; }
+								i = i + 1;
+							}
+							// Search-and-insert: queries update term stats,
+							// so the index is written concurrently too.
+							index[term % 64] = term % 977;
+							hits = hits + found;
+							unlock(&ilock);
+							q = q + 1;
+						}
+					}
+					r = r + 1;
+				}
+			}
+
+			func main() {
+				var i = 0;
+				while (i < 64) {
+					index[i] = (i * 2654435761) % 977;
+					i = i + 1;
+				}
+				var reps = input(0);
+				var nq = input(1);
+				var t1 = spawn search(2, nq, reps);
+				var t2 = spawn search(2 + nq, nq, reps);
+				join(t1);
+				join(t2);
+				print(hits);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 11)
+			in := []int64{8, 4}
+			for i := 0; i < 8; i++ {
+				in = append(in, r.intn(5000))
+			}
+			return in
+		},
+	})
+
+	register(&Workload{
+		Name: "pmd",
+		Kind: Race,
+		Notes: "source analysis: striped locks over a shared rule cache defeat the " +
+			"guarding-locks invariant, so OptFT gains little over hybrid (paper: 1.3x)",
+		Source: `
+			global cache[32];
+			global stripes[2];
+			global done = 0;
+			global dlock = 0;
+
+			func analyze(base, nfiles) {
+				var f = 0;
+				while (f < nfiles) {
+					var tokens = input(base + f);
+					var t = 0;
+					while (t < tokens) {
+						var h = (t * 31 + tokens) % 32;
+						// Striped locking: one site locks two dynamic
+						// objects, so no must-alias pair forms.
+						lock(stripes + (h % 2));
+						cache[h] = cache[h] + 1;
+						unlock(stripes + (h % 2));
+						t = t + 1;
+					}
+					lock(&dlock);
+					done = done + 1;
+					unlock(&dlock);
+					f = f + 1;
+				}
+			}
+
+			func main() {
+				var nfiles = input(0);
+				var t1 = spawn analyze(1, nfiles);
+				var t2 = spawn analyze(1 + nfiles, nfiles);
+				join(t1);
+				join(t2);
+				var sum = 0;
+				var i = 0;
+				while (i < 32) { sum = sum + cache[i]; i = i + 1; }
+				print(sum);
+				print(done);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 23)
+			in := []int64{4}
+			for i := 0; i < 8; i++ {
+				in = append(in, 8+r.intn(24))
+			}
+			return in
+		},
+	})
+
+	register(&Workload{
+		Name: "raytracer",
+		Kind: Race,
+		Notes: "JavaGrande ray tracer: read-only scene, per-thread framebuffers, " +
+			"lock-guarded shared checksum; OptFT near framework cost (paper: 3.6x over hybrid)",
+		Source: `
+			global scene[48];
+			global checksum = 0;
+			global clock_ = 0;
+
+			func render(fb, rows, width) {
+				var y = 0;
+				while (y < rows) {
+					var x = 0;
+					while (x < width) {
+						// Ray-object intersection: scan the whole scene
+						// per pixel (read-only, elidable work dominates).
+						var best = 0;
+						var o = 0;
+						while (o < 48) {
+							var d = scene[o] - (x * 3 + y * 7) % 997;
+							if (d < 0) { d = 0 - d; }
+							if (d > best) { best = d; }
+							o = o + 1;
+						}
+						var color = best % 255;
+						fb[y * width + x] = color;
+						lock(&clock_);
+						checksum = checksum + color;
+						unlock(&clock_);
+						x = x + 1;
+					}
+					y = y + 1;
+				}
+			}
+
+			func main() {
+				var i = 0;
+				while (i < 48) {
+					scene[i] = (i * i * 37 + input(1)) % 1000;
+					i = i + 1;
+				}
+				var rows = input(0);
+				var width = 8;
+				var fb1 = alloc(rows * width);
+				var fb2 = alloc(rows * width);
+				var t1 = spawn render(fb1, rows, width);
+				var t2 = spawn render(fb2, rows, width);
+				join(t1);
+				join(t2);
+				print(checksum);
+				print(fb1[0] + fb2[0]);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 31)
+			return []int64{14 + r.intn(6), r.intn(1 << 20)}
+		},
+	})
+
+	register(&Workload{
+		Name: "moldyn",
+		Kind: Race,
+		Notes: "molecular dynamics: shared particle state under one lock, " +
+			"per-thread scratch; OptFT elides the force accumulation (paper: 3.5x)",
+		Source: `
+			global pos[32];
+			global vel[32];
+			global energy = 0;
+			global elock = 0;
+
+			func forces(lo, hi, steps) {
+				var scratch = alloc(32);
+				var s = 0;
+				while (s < steps) {
+					var i = lo;
+					while (i < hi) {
+						var f = 0;
+						var j = 0;
+						while (j < 32) {
+							var d = pos[i] - pos[j];
+							if (d < 0) { d = 0 - d; }
+							f = f + d % 17;
+							j = j + 1;
+						}
+						scratch[i] = f;
+						lock(&elock);
+						energy = energy + f;
+						unlock(&elock);
+						i = i + 1;
+					}
+					s = s + 1;
+				}
+			}
+
+			func main() {
+				var i = 0;
+				while (i < 32) {
+					pos[i] = (i * 1103515245 + input(1)) % 512;
+					vel[i] = 0;
+					i = i + 1;
+				}
+				var steps = input(0);
+				var t1 = spawn forces(0, 16, steps);
+				var t2 = spawn forces(16, 32, steps);
+				join(t1);
+				join(t2);
+				print(energy);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 41)
+			return []int64{5 + r.intn(3), r.intn(1 << 16)}
+		},
+	})
+
+	register(&Workload{
+		Name: "sunflow",
+		Kind: Race,
+		Notes: "fork-join renderer: loop-spawned workers share one output buffer, " +
+			"so the lockset detector cannot prune (paper: 1.1x over hybrid)",
+		Source: `
+			global buckets = 0;
+			global img = 0;
+			global lens[32];
+
+			func renderBucket(base, n) {
+				var p = img;
+				var i = 0;
+				while (i < n) {
+					var acc = 0;
+					var smp = 0;
+					while (smp < 16) {
+						acc = acc + lens[(base + i + smp) % 32] * (smp + 1);
+						smp = smp + 1;
+					}
+					p[base + i] = acc % 255;
+					i = i + 1;
+				}
+			}
+
+			func main() {
+				var nb = input(0);
+				var per = input(1);
+				var li = 0;
+				while (li < 32) {
+					lens[li] = (li * 23 + input(1)) % 101;
+					li = li + 1;
+				}
+				img = alloc(nb * per);
+				buckets = nb;
+				var b = 0;
+				var last = 0;
+				while (b < nb) {
+					// Spawned in a loop: statically non-singleton, and all
+					// instances write the same abstract object.
+					last = spawn renderBucket(b * per, per);
+					join(last);
+					b = b + 1;
+				}
+				var q = img;
+				print(q[0] + q[nb * per - 1]);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 53)
+			return []int64{4 + r.intn(3), 48 + r.intn(32)}
+		},
+	})
+
+	register(&Workload{
+		Name: "montecarlo",
+		Kind: Race,
+		Notes: "barrier-style Monte Carlo: per-task results slot in a shared array " +
+			"written by loop-spawned workers (paper: 0.99x — OptFT cannot help)",
+		Source: `
+			global results[16];
+			global seeds[16];
+			global gauss[64];
+
+			func simulate(task, paths) {
+				var acc = 0;
+				var s = seeds[task];
+				var p = 0;
+				while (p < paths) {
+					s = (s * 1103515245 + 12345) % 2147483647;
+					// Table-driven sampling: the shared table is read in
+					// the hot loop, but loop-spawned workers cannot be
+					// ordered with main's initialization, so every
+					// access stays instrumented in every configuration.
+					var sample = gauss[s % 64] + s % 7;
+					acc = acc + sample - 100;
+					results[task] = acc;
+					p = p + 1;
+				}
+			}
+
+			func main() {
+				var tasks = input(0);
+				var paths = input(1);
+				var i = 0;
+				while (i < 64) {
+					gauss[i] = (i * i * 3) % 199;
+					i = i + 1;
+				}
+				i = 0;
+				while (i < tasks) {
+					seeds[i] = input(2 + i);
+					i = i + 1;
+				}
+				var t = 0;
+				var k = 0;
+				while (k < tasks) {
+					t = spawn simulate(k, paths);
+					join(t);
+					k = k + 1;
+				}
+				var sum = 0;
+				k = 0;
+				while (k < tasks) { sum = sum + results[k]; k = k + 1; }
+				print(sum);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 61)
+			in := []int64{4, 120 + r.intn(80)}
+			for i := 0; i < 4; i++ {
+				in = append(in, 1+r.intn(1<<30))
+			}
+			return in
+		},
+	})
+
+	register(&Workload{
+		Name: "batik",
+		Kind: Race,
+		Notes: "SVG rasterizer: mostly thread-local rendering (hybrid already elides), " +
+			"small lock-guarded progress state (paper: 1.2x over hybrid)",
+		Source: `
+			global config[16];
+			global progress = 0;
+			global plock = 0;
+			global errors = 0;
+
+			func rasterize(canvas, shapes, size) {
+				var s = 0;
+				while (s < shapes) {
+					var kind = (s * 7 + size) % 3;
+					if (kind > 2) {
+						// Corrupt shape record: never seen in profiling.
+						errors = errors + 1;
+					}
+					var i = 0;
+					while (i < size) {
+						canvas[i] = canvas[i] + (kind + 1) * (i % 9) + config[i % 16];
+						i = i + 1;
+					}
+					s = s + 1;
+				}
+				lock(&plock);
+				progress = progress + shapes;
+				unlock(&plock);
+			}
+
+			func main() {
+				var i = 0;
+				while (i < 16) { config[i] = input(2 + i % 4); i = i + 1; }
+				var shapes = input(0);
+				var size = input(1);
+				var c1 = alloc(size);
+				var c2 = alloc(size);
+				var t1 = spawn rasterize(c1, shapes, size);
+				var t2 = spawn rasterize(c2, shapes, size);
+				join(t1);
+				join(t2);
+				print(progress);
+				print(c1[0] + c2[size - 1]);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 71)
+			return []int64{6 + r.intn(4), 96 + r.intn(64), r.intn(9), r.intn(9), r.intn(9), r.intn(9)}
+		},
+	})
+
+	register(&Workload{
+		Name: "xalan",
+		Kind: Race,
+		Notes: "XSLT transform: nearly all work on a striped-lock shared table that " +
+			"neither sound nor predicated analysis can prune (paper: 1.0x)",
+		Source: `
+			global table[64];
+			global stripes[4];
+
+			func transform(base, ndocs, len) {
+				var d = 0;
+				while (d < ndocs) {
+					var i = 0;
+					while (i < len) {
+						var h = (input(base + d) + i * 131) % 64;
+						lock(stripes + (h % 4));
+						table[h] = table[h] + i % 7 + 1;
+						unlock(stripes + (h % 4));
+						i = i + 1;
+					}
+					d = d + 1;
+				}
+			}
+
+			func main() {
+				var ndocs = input(0);
+				var len = input(1);
+				var t1 = spawn transform(2, ndocs, len);
+				var t2 = spawn transform(2 + ndocs, ndocs, len);
+				join(t1);
+				join(t2);
+				var sum = 0;
+				var i = 0;
+				while (i < 64) { sum = sum + table[i]; i = i + 1; }
+				print(sum);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 83)
+			in := []int64{4, 60 + r.intn(30)}
+			for i := 0; i < 8; i++ {
+				in = append(in, r.intn(1<<20))
+			}
+			return in
+		},
+	})
+
+	register(&Workload{
+		Name: "luindex",
+		Kind: Race,
+		Notes: "document indexer: the worker is spawned through a helper, so only the " +
+			"likely-singleton-thread invariant proves it unique (paper: 3.6x over hybrid)",
+		Source: `
+			global index[64];
+			global ilock = 0;
+			global docsDone = 0;
+
+			func indexDocs(base, ndocs, words) {
+				var d = 0;
+				while (d < ndocs) {
+					var w = 0;
+					while (w < words) {
+						var h = (input(base + d) * 31 + w * 7) % 64;
+						lock(&ilock);
+						index[h] = index[h] + 1;
+						unlock(&ilock);
+						w = w + 1;
+					}
+					lock(&ilock);
+					docsDone = docsDone + 1;
+					unlock(&ilock);
+					d = d + 1;
+				}
+				report();
+			}
+
+			func startIndexer(base, ndocs, words) {
+				// Spawned inside a helper: the sound analysis must assume
+				// this site can run many times, making the worker race
+				// with itself; the singleton-thread invariant fixes it.
+				var t = spawn indexDocs(base, ndocs, words);
+				return t;
+			}
+
+			func report() {
+				var sum = 0;
+				var i = 0;
+				while (i < 64) { sum = sum + index[i]; i = i + 1; }
+				print(sum);
+			}
+
+			func main() {
+				var ndocs = input(0);
+				var words = input(1);
+				var t = startIndexer(2, ndocs, words);
+				// Main prepares the next batch (thread-local) meanwhile.
+				var staged = alloc(ndocs);
+				var d = 0;
+				while (d < ndocs) {
+					staged[d] = input(2 + ndocs + d) * 31;
+					d = d + 1;
+				}
+				join(t);
+				print(staged[0] + docsDone);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 97)
+			in := []int64{4, 50 + r.intn(30)}
+			for i := 0; i < 6; i++ {
+				in = append(in, r.intn(1<<16))
+			}
+			return in
+		},
+	})
+
+	// ----- The five statically provably race-free JavaGrande models -----
+
+	register(&Workload{
+		Name:     "sor",
+		Kind:     Race,
+		RaceFree: true,
+		Notes:    "successive over-relaxation, one statically-owned grid per thread (provably race-free)",
+		Source: `
+			global gridA[48];
+			global gridB[48];
+
+			func relaxA(sweeps) {
+				var s = 0;
+				while (s < sweeps) {
+					var i = 1;
+					while (i < 47) {
+						gridA[i] = (gridA[i - 1] + gridA[i + 1]) / 2 + gridA[i] % 3;
+						i = i + 1;
+					}
+					s = s + 1;
+				}
+			}
+			func relaxB(sweeps) {
+				var s = 0;
+				while (s < sweeps) {
+					var i = 1;
+					while (i < 47) {
+						gridB[i] = (gridB[i - 1] + gridB[i + 1]) / 2 + gridB[i] % 3;
+						i = i + 1;
+					}
+					s = s + 1;
+				}
+			}
+			func main() {
+				var sweeps = input(0);
+				var i = 0;
+				while (i < 48) {
+					gridA[i] = input(1) + i * 3;
+					gridB[i] = input(1) + i * 5;
+					i = i + 1;
+				}
+				var t1 = spawn relaxA(sweeps);
+				var t2 = spawn relaxB(sweeps);
+				join(t1);
+				join(t2);
+				print(gridA[24] + gridB[24]);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 101)
+			return []int64{10 + r.intn(6), r.intn(100)}
+		},
+	})
+
+	register(&Workload{
+		Name:     "sparse",
+		Kind:     Race,
+		RaceFree: true,
+		Notes:    "sparse matrix-vector product into per-thread output arrays (provably race-free)",
+		Source: `
+			global vals[64];
+			global cols[64];
+			global outA[16];
+			global outB[16];
+
+			func spmvA(reps) {
+				var r = 0;
+				while (r < reps) {
+					var i = 0;
+					while (i < 16) {
+						var acc = 0;
+						var k = 0;
+						while (k < 4) {
+							var idx = (i * 4 + k) % 64;
+							acc = acc + vals[idx] * (cols[idx] % 7);
+							k = k + 1;
+						}
+						outA[i] = acc;
+						i = i + 1;
+					}
+					r = r + 1;
+				}
+			}
+			func spmvB(reps) {
+				var r = 0;
+				while (r < reps) {
+					var i = 0;
+					while (i < 16) {
+						var acc = 0;
+						var k = 0;
+						while (k < 4) {
+							var idx = (i * 4 + k + 32) % 64;
+							acc = acc + vals[idx] * (cols[idx] % 7);
+							k = k + 1;
+						}
+						outB[i] = acc;
+						i = i + 1;
+					}
+					r = r + 1;
+				}
+			}
+			func main() {
+				var i = 0;
+				while (i < 64) {
+					vals[i] = (i * 97 + input(1)) % 50;
+					cols[i] = (i * 13) % 64;
+					i = i + 1;
+				}
+				var reps = input(0);
+				var t1 = spawn spmvA(reps);
+				var t2 = spawn spmvB(reps);
+				join(t1);
+				join(t2);
+				print(outA[0] + outB[15]);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 103)
+			return []int64{8 + r.intn(6), r.intn(1000)}
+		},
+	})
+
+	register(&Workload{
+		Name:     "series",
+		Kind:     Race,
+		RaceFree: true,
+		Notes:    "Fourier coefficient computation into per-thread arrays (provably race-free)",
+		Source: `
+			global coefA[40];
+			global coefB[40];
+
+			func seriesA(scale) {
+				var k = 0;
+				while (k < 40) {
+					coefA[k] = 0;
+					var j = 1;
+					while (j <= 24) {
+						coefA[k] = coefA[k] + (scale * k) / j - (k * j) % 5;
+						j = j + 1;
+					}
+					k = k + 1;
+				}
+			}
+			func seriesB(scale) {
+				var k = 0;
+				while (k < 40) {
+					coefB[k] = 0;
+					var j = 1;
+					while (j <= 24) {
+						coefB[k] = coefB[k] + (scale * k) / j + (k + j) % 7;
+						j = j + 1;
+					}
+					k = k + 1;
+				}
+			}
+			func main() {
+				var t1 = spawn seriesA(input(0));
+				var t2 = spawn seriesB(input(0) + 1);
+				join(t1);
+				join(t2);
+				print(coefA[39] + coefB[0]);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 107)
+			return []int64{1 + r.intn(50)}
+		},
+	})
+
+	register(&Workload{
+		Name:     "crypt",
+		Kind:     Race,
+		RaceFree: true,
+		Notes:    "IDEA-style encrypt/decrypt of per-thread buffers (provably race-free)",
+		Source: `
+			global bufA[48];
+			global bufB[48];
+
+			func cryptA(key, rounds) {
+				var r = 0;
+				while (r < rounds) {
+					var i = 0;
+					while (i < 48) {
+						var v = bufA[i];
+						v = ((v ^ key) << 1) | ((v >> 9) & 511);
+						v = (v + key * 3) % 65536;
+						bufA[i] = v;
+						i = i + 1;
+					}
+					r = r + 1;
+				}
+			}
+			func cryptB(key, rounds) {
+				var r = 0;
+				while (r < rounds) {
+					var i = 0;
+					while (i < 48) {
+						var v = bufB[i];
+						v = ((v ^ key) << 1) | ((v >> 9) & 511);
+						v = (v + key * 5) % 65536;
+						bufB[i] = v;
+						i = i + 1;
+					}
+					r = r + 1;
+				}
+			}
+			func main() {
+				var key = input(1);
+				var i = 0;
+				while (i < 48) {
+					bufA[i] = input(2) + i;
+					bufB[i] = input(2) + i * 2;
+					i = i + 1;
+				}
+				var t1 = spawn cryptA(key, input(0));
+				var t2 = spawn cryptB(key + 1, input(0));
+				join(t1);
+				join(t2);
+				print(bufA[0] + bufB[47]);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 109)
+			return []int64{8 + r.intn(4), r.intn(4096), r.intn(256)}
+		},
+	})
+
+	register(&Workload{
+		Name:     "lufact",
+		Kind:     Race,
+		RaceFree: true,
+		Notes:    "LU factorization of per-thread matrices (provably race-free)",
+		Source: `
+			global matA[64];
+			global matB[64];
+
+			func luA(n) {
+				var k = 0;
+				while (k < n - 1) {
+					var i = k + 1;
+					while (i < n) {
+						var pivot = matA[k * n + k];
+						if (pivot == 0) { pivot = 1; }
+						var f = matA[i * n + k] / pivot;
+						var j = k;
+						while (j < n) {
+							matA[i * n + j] = matA[i * n + j] - f * matA[k * n + j];
+							j = j + 1;
+						}
+						i = i + 1;
+					}
+					k = k + 1;
+				}
+			}
+			func luB(n) {
+				var k = 0;
+				while (k < n - 1) {
+					var i = k + 1;
+					while (i < n) {
+						var pivot = matB[k * n + k];
+						if (pivot == 0) { pivot = 1; }
+						var f = matB[i * n + k] / pivot;
+						var j = k;
+						while (j < n) {
+							matB[i * n + j] = matB[i * n + j] - f * matB[k * n + j];
+							j = j + 1;
+						}
+						i = i + 1;
+					}
+					k = k + 1;
+				}
+			}
+			func main() {
+				var n = input(0);
+				var i = 0;
+				while (i < n * n) {
+					matA[i] = (i * 37 + input(1)) % 19 + 1;
+					matB[i] = (i * 41 + input(1)) % 23 + 1;
+					i = i + 1;
+				}
+				var t1 = spawn luA(n);
+				var t2 = spawn luB(n);
+				join(t1);
+				join(t2);
+				print(matA[0] + matB[n * n - 1]);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 113)
+			return []int64{7 + r.intn(2), r.intn(512)}
+		},
+	})
+}

@@ -1,0 +1,613 @@
+package workloads
+
+// OptSlice suite: models of the seven C applications of §6.1.2.
+// Structural notes:
+//
+//   - zlib: a compression kernel where almost all dynamic work
+//     (histogram maintenance) is irrelevant to the checksum criterion;
+//     only a never-taken corruption-recovery path makes the sound
+//     analysis believe the two flows mix (LUC separates them) — the
+//     paper's largest speedup (81.2x).
+//   - perl: an opcode-dispatch interpreter whose register file couples
+//     every op; even the predicated slice stays large (1.4x).
+//   - nginx: an I/O-style server loop where the body-copy dominates
+//     execution but is outside every slice; absolute overheads are
+//     small for both analyses (1.2x).
+//   - vim: command dispatch over many commands sharing utility
+//     helpers; context-insensitive slicing merges everything, the
+//     call-context invariant unlocks context-sensitive slicing (9.9x).
+//   - sphinx: a pipeline of many short calls, making the call-context
+//     checks comparatively expensive (the paper's 127% check
+//     overhead), with rare paths for LUC.
+//   - go: input-dependent exploration over many pattern evaluators —
+//     the workload that needs the most profiling to converge (Fig. 7).
+//   - redis: command-table dispatch where the profiled command mix
+//     exercises few handlers, and only writes affect the keyspace
+//     checksum criterion (13.1x).
+
+func init() {
+	register(&Workload{
+		Name: "zlib",
+		Kind: Slice,
+		Notes: "compression kernel; checksum slice is tiny once the corruption-" +
+			"recovery path is known unreachable",
+		Source: `
+			global hist[32];
+			global streamA[16];
+			global streamB[16];
+			global out = 0;
+			global checksum = 0;
+			global corrupt = 0;
+
+			func updateStats(sym) {
+				hist[sym % 32] = hist[sym % 32] + 1;
+				var spread = 0;
+				var i = 0;
+				while (i < 32) {
+					spread = spread + hist[i] * (i % 5);
+					i = i + 1;
+				}
+				return spread;
+			}
+
+			func emit(sym) {
+				checksum = (checksum * 131 + sym) % 1000003;
+				var p = out;
+				p[sym % 16] = checksum % 251;
+			}
+
+			func recover(spread) {
+				// Corrupt stream recovery: folds the statistics state
+				// into the output stream. Never runs in practice, but a
+				// sound slicer must assume it might.
+				checksum = checksum + spread;
+			}
+
+			func main() {
+				out = &streamA;
+				var n = ninputs();
+				var i = 1;
+				while (i < n) {
+					var sym = input(i);
+					var spread = updateStats(sym);
+					if (corrupt) {
+						// Recovery switches to the spill stream.
+						out = &streamB;
+						recover(spread);
+					}
+					emit(sym);
+					i = i + 1;
+				}
+				var q = out;
+				// Report the spill-stream usage alongside the checksum:
+				// the direct streamB reads alias the out-stream writes
+				// only under the imprecise (sound) points-to analysis.
+				print(checksum + q[0] + streamB[3]);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 211)
+			in := []int64{0}
+			for i := 0; i < 40; i++ {
+				in = append(in, r.intn(256))
+			}
+			return in
+		},
+	})
+
+	register(&Workload{
+		Name: "perl",
+		Kind: Slice,
+		Notes: "diffmail-style interpreter: a shared register file couples every " +
+			"opcode, so even the predicated slice stays large",
+		Source: `
+			global regs[8];
+			global optab[10];
+			global opcount[8];
+			global chk[16];
+			global profmode = 0;
+
+			func opLoad(a, b) { regs[a % 8] = b; return 0; }
+			func opAdd(a, b) { regs[a % 8] = regs[a % 8] + regs[b % 8]; return 0; }
+			func opMul(a, b) { regs[a % 8] = regs[a % 8] * regs[b % 8] % 65537; return 0; }
+			func opXor(a, b) { regs[a % 8] = regs[a % 8] ^ regs[b % 8]; return 0; }
+			func opShift(a, b) { regs[a % 8] = regs[a % 8] << (b % 4); return 0; }
+			func opNeg(a, b) { regs[a % 8] = 0 - regs[a % 8]; return 0; }
+
+			func opChk(a, b) {
+				// Stream checksum: heavy, but touches only its own state.
+				var c = 0;
+				var i = 0;
+				while (i < 16) {
+					chk[i] = chk[i] + (a * 31 + b * i) % 253;
+					c = c + chk[i];
+					i = i + 1;
+				}
+				return c % 1000;
+			}
+			func fmtNum(x) { return x % 10; }
+			func fmtHex(x) { return x % 16; }
+
+			func main() {
+				optab[0] = opLoad;
+				optab[1] = opAdd;
+				optab[2] = opMul;
+				optab[3] = opXor;
+				optab[4] = opShift;
+				optab[5] = opNeg;
+				optab[6] = opChk;
+				optab[8] = fmtNum;
+				optab[9] = fmtHex;
+				var n = ninputs();
+				var pc = 0;
+				while (pc + 2 < n) {
+					var opcode = input(pc) % 6;
+					// Interpreter bookkeeping: per-opcode statistics and
+					// a dispatch-prediction heuristic.
+					opcount[opcode] = opcount[opcode] + 1;
+					var heur = opcount[opcode] * 3 + opcount[(opcode + 1) % 6];
+					heur = heur + opcount[(opcode + 2) % 6] * 5;
+					var h = optab[opcode];
+					h(input(pc + 1), input(pc + 2));
+					opChk(input(pc + 1), opcode);
+					if (profmode) {
+						// --profile runs fold the heuristic into the
+						// script state; never used by diffmail.
+						regs[7] = regs[7] + heur;
+					}
+					pc = pc + 3;
+				}
+				// Result formatting dispatches through the same handler
+				// table: a points-to analysis that cannot separate the
+				// table slots must assume any handler (including the
+				// heavy opChk) computes the printed digit; the likely
+				// callee-set invariant restricts it to the formatters.
+				var f = optab[8 + regs[0] % 2];
+				var digit = f(regs[0]);
+				print(regs[0] + regs[1] + digit);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 223)
+			var in []int64
+			for i := 0; i < 80; i++ {
+				// The diffmail script uses a fixed op mix (0..3).
+				in = append(in, r.intn(4), r.intn(8), r.intn(64))
+			}
+			return in
+		},
+	})
+
+	register(&Workload{
+		Name: "nginx",
+		Kind: Slice,
+		Notes: "server loop dominated by body copying that no slice contains; " +
+			"low absolute overhead for every analysis",
+		Source: `
+			global served = 0;
+			global bytes = 0;
+			global errors404 = 0;
+			global tracemode = 0;
+
+			func copyBody(dst, len) {
+				var i = 0;
+				while (i < len) {
+					dst[i] = (i * 7 + len) % 251;
+					i = i + 1;
+				}
+				return len;
+			}
+
+			func parseHeaders(req) {
+				var h = 0;
+				var i = 0;
+				while (i < 3) {
+					h = h + (req >> i) % 3;
+					i = i + 1;
+				}
+				return h;
+			}
+
+			func status(code) {
+				if (code == 404) {
+					errors404 = errors404 + 1;
+					return 4;
+				}
+				return 2;
+			}
+
+			func handle(req, len) {
+				var hdr = parseHeaders(req);
+				var buf = alloc(len);
+				var n = copyBody(buf, len);
+				bytes = bytes + n;
+				var code = 200;
+				if (req % 97 == 13) { code = 404; }
+				var class = status(code);
+				served = served + 1;
+				if (tracemode) {
+					// Request tracing tags the status counter with the
+					// parsed header fingerprint; disabled in production.
+					served = served + hdr % 2;
+				}
+				return class;
+			}
+
+			func main() {
+				var n = ninputs();
+				var i = 1;
+				while (i < n) {
+					handle(input(i), 40 + input(i) % 40);
+					i = i + 1;
+				}
+				print(served);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 227)
+			in := []int64{0}
+			for i := 0; i < 10; i++ {
+				v := r.intn(1000)
+				if v%97 == 13 {
+					v++ // profiled traffic has no 404s: keep that path LUC
+				}
+				in = append(in, v)
+			}
+			return in
+		},
+	})
+
+	register(&Workload{
+		Name: "vim",
+		Kind: Slice,
+		Notes: "editor command dispatch: many commands share utility helpers; " +
+			"context-sensitivity (unlocked by the call-context invariant) separates them",
+		Source: `
+			global buffer[64];
+			global altbuf[64];
+			global curbuf = 0;
+			global screen[64];
+			global cursor = 0;
+			global yank = 0;
+			global undo = 0;
+			global forceredraw = 0;
+			global cmdtab[8];
+
+			func clampIdx(i) { return (i % 64 + 64) % 64; }
+			func readCell(i) { var p = curbuf; return p[clampIdx(i)]; }
+			func writeCell(i, v) { var p = curbuf; p[clampIdx(i)] = v; return 0; }
+
+			func cmdMove(arg) { cursor = clampIdx(cursor + arg); return 0; }
+			func cmdInsert(arg) { writeCell(cursor, arg); cursor = clampIdx(cursor + 1); return 0; }
+			func cmdDelete(arg) { yank = readCell(cursor); writeCell(cursor, 0); return 0; }
+			func cmdYank(arg) { yank = readCell(cursor); return 0; }
+			func cmdPaste(arg) { writeCell(cursor, yank); return 0; }
+			func cmdUndo(arg) { undo = undo + 1; writeCell(cursor, readCell(cursor) - arg); return 0; }
+			func cmdMacro(arg) {
+				var k = 0;
+				while (k < arg % 4) {
+					cmdInsert(arg + k);
+					cmdMove(1);
+					k = k + 1;
+				}
+				return 0;
+			}
+
+			func main() {
+				curbuf = &buffer;
+				cmdtab[0] = cmdMove;
+				cmdtab[1] = cmdInsert;
+				cmdtab[2] = cmdDelete;
+				cmdtab[3] = cmdYank;
+				cmdtab[4] = cmdPaste;
+				cmdtab[5] = cmdUndo;
+				cmdtab[6] = cmdMacro;
+				var n = ninputs();
+				var i = 1;
+				while (i + 1 < n) {
+					var c = cmdtab[input(i) % 7];
+					c(input(i + 1));
+					// Redraw the viewport after every command, with a
+					// syntax-highlighting pass per row.
+					var row = 0;
+					var damage = 0;
+					while (row < 32) {
+						var cell = readCell(cursor + row);
+						var hl = 0;
+						var k = 0;
+						while (k < 4) {
+							hl = hl + (cell >> k) % 7;
+							k = k + 1;
+						}
+						screen[row % 64] = cell * 2 + hl;
+						damage = damage + screen[row % 64];
+						row = row + 1;
+					}
+					if (forceredraw) {
+						// Full-redraw mode renders into the alternate
+						// buffer and stamps damage marks; never enabled
+						// in batch mode.
+						curbuf = &altbuf;
+						writeCell(cursor, damage);
+					}
+					i = i + 2;
+				}
+				print(cursor + buffer[0] + altbuf[0]);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 229)
+			in := []int64{0}
+			for i := 0; i < 70; i++ {
+				// vimgolf solutions: movement and insertion dominate.
+				in = append(in, r.intn(2), r.intn(50))
+			}
+			return in
+		},
+	})
+
+	register(&Workload{
+		Name: "sphinx",
+		Kind: Slice,
+		Notes: "speech pipeline of many short calls: call-context checks are " +
+			"comparatively expensive (paper: 127% check overhead)",
+		Source: `
+			global model[32];
+			global hist[16];
+			global caltab[24];
+			global debugdump = 0;
+			global rare = 0;
+
+			func dot(a, b) { return (a * b) % 1009; }
+			func feat1(x) { return dot(x, 3) + 1; }
+			func feat2(x) { return dot(x, 7) + 2; }
+			func feat3(x) { return dot(x, 11) + 3; }
+
+			func refine(x) {
+				// Deep spectral refinement: used only by calibration.
+				var r = 0;
+				var i = 0;
+				while (i < 24) {
+					caltab[i] = caltab[i] + (x * i) % 41;
+					r = r + caltab[i];
+					i = i + 1;
+				}
+				return r % 509;
+			}
+
+			func smooth(x, deep) {
+				// Shared smoothing kernel: the scoring path calls it
+				// shallow (deep = 0); calibration calls it deep. Only
+				// the call-context invariant can tell the clones apart —
+				// every block here is visited, so LUC cannot help.
+				var r = (x * 5) % 1009;
+				if (deep) {
+					r = refine(x);
+				}
+				return r;
+			}
+
+			func calibrate(seed) {
+				var i = 0;
+				var acc = 0;
+				while (i < 8) {
+					acc = acc + smooth(seed + i, 1);
+					i = i + 1;
+				}
+				return acc;
+			}
+
+			func score(f, frame) {
+				var s = dot(f, model[frame % 32]) + smooth(f, 0);
+				if (s == 12345) {
+					// A phoneme class absent from the corpus.
+					rare = rare + 1;
+					s = 0;
+				}
+				return s;
+			}
+			func processFrame(x, frame) {
+				var f = feat1(x) + feat2(x) + feat3(x);
+				return score(f, frame);
+			}
+
+			func main() {
+				var i = 0;
+				while (i < 32) {
+					model[i] = (i * 53 + input(0)) % 511;
+					i = i + 1;
+				}
+				// Microphone calibration pass (irrelevant to the score).
+				var cal = calibrate(input(0));
+				if (cal < 0) { print(cal); }
+				var n = ninputs();
+				var best = 0;
+				var frame = 1;
+				while (frame < n) {
+					var s = processFrame(input(frame), frame);
+					// Maintain the per-frame likelihood histogram.
+					var b = 0;
+					while (b < 32) {
+						hist[b % 16] = hist[b % 16] + dot(s + b, b + 1) % 9;
+						b = b + 1;
+					}
+					if (debugdump) {
+						// Acoustic-debug builds fold the histogram into
+						// the score stream; disabled in release.
+						s = s + hist[s % 16];
+					}
+					if (s > best) { best = s; }
+					frame = frame + 1;
+				}
+				print(best);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 233)
+			in := []int64{r.intn(100)}
+			for i := 0; i < 24; i++ {
+				in = append(in, r.intn(10000))
+			}
+			return in
+		},
+	})
+
+	register(&Workload{
+		Name: "go",
+		Kind: Slice,
+		Notes: "move predictor exploring input-dependent pattern evaluators: " +
+			"needs far more profiling before invariants converge (Fig. 7)",
+		Source: `
+			global board[32];
+			global patstats[16];
+			global reseed = 0;
+			global pattab[8];
+
+			func patEdge(p) { return board[p % 32] * 3 + 1; }
+			func patCorner(p) { return board[p % 32] * 5 - 2; }
+			func patLadder(p) { return board[(p + 7) % 32] + board[p % 32]; }
+			func patEye(p) { return board[p % 32] ^ 85; }
+			func patAtari(p) { return 0 - board[p % 32]; }
+			func patKo(p) { return board[(p + 13) % 32] * board[p % 32] % 97; }
+			func patWall(p) { return board[p % 32] << 2; }
+			func patCut(p) { return board[p % 32] % 13; }
+
+			func evalMove(pos, kind) {
+				var h = pattab[kind % 8];
+				return h(pos);
+			}
+
+			func updateStats(kind, s) {
+				var i = 0;
+				while (i < 48) {
+					patstats[i % 16] = patstats[i % 16] + (s + kind * i) % 5;
+					i = i + 1;
+				}
+				return patstats[kind % 16];
+			}
+
+			func main() {
+				pattab[0] = patEdge;
+				pattab[1] = patCorner;
+				pattab[2] = patLadder;
+				pattab[3] = patEye;
+				pattab[4] = patAtari;
+				pattab[5] = patKo;
+				pattab[6] = patWall;
+				pattab[7] = patCut;
+				var i = 0;
+				while (i < 32) {
+					board[i] = (i * 29 + input(0)) % 181;
+					i = i + 1;
+				}
+				var n = ninputs();
+				var best = 0;
+				var bestPos = 0;
+				var m = 1;
+				while (m + 1 < n) {
+					var s = evalMove(input(m), input(m + 1));
+					var st = updateStats(input(m + 1), s);
+					if (reseed) {
+						// Time-limited searches occasionally reseed the
+						// evaluation with accumulated statistics.
+						s = s + st;
+					}
+					if (s > best) {
+						best = s;
+						bestPos = input(m);
+					}
+					m = m + 2;
+				}
+				print(bestPos + best);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			// Each game archive position exercises a *run-dependent*
+			// subset of patterns: invariants converge slowly.
+			r := newRng(uint64(run) + 239)
+			in := []int64{r.intn(500)}
+			a := r.intn(8)
+			b := r.intn(8)
+			for i := 0; i < 10; i++ {
+				kind := a
+				if i%2 == 1 {
+					kind = b
+				}
+				in = append(in, r.intn(32), kind)
+			}
+			return in
+		},
+	})
+
+	register(&Workload{
+		Name: "redis",
+		Kind: Slice,
+		Notes: "command-table dispatch: reads dominate traffic but only writes " +
+			"reach the keyspace-checksum criterion (paper: 13.1x)",
+		Source: `
+			global store[64];
+			global cmdtab[8];
+			global hitrate = 0;
+			global expired = 0;
+			global rewriting = 0;
+
+			func cmdGet(k, v) {
+				var x = store[k % 64];
+				// Access statistics: scan the neighbourhood to estimate
+				// key locality (hot read-path bookkeeping).
+				var loc = 0;
+				var i = 0;
+				while (i < 24) {
+					loc = loc + (store[(k + i) % 64] != 0);
+					i = i + 1;
+				}
+				hitrate = hitrate + loc;
+				return x;
+			}
+			func cmdSet(k, v) { store[k % 64] = v; return 1; }
+			func cmdIncr(k, v) { store[k % 64] = store[k % 64] + v; return 1; }
+			func cmdDel(k, v) { store[k % 64] = 0; return 1; }
+			func cmdExpire(k, v) {
+				// Expiry sweep: absent from the benchmark traffic.
+				expired = expired + 1;
+				store[k % 64] = 0;
+				return 1;
+			}
+
+			func main() {
+				cmdtab[0] = cmdGet;
+				cmdtab[1] = cmdGet;
+				cmdtab[2] = cmdGet;
+				cmdtab[3] = cmdSet;
+				cmdtab[4] = cmdIncr;
+				cmdtab[5] = cmdExpire;
+				var n = ninputs();
+				var i = 0;
+				while (i + 2 < n) {
+					var h = cmdtab[input(i) % 6];
+					h(input(i + 1), input(i + 2));
+					if (rewriting) {
+						// AOF rewrite records access statistics in the
+						// keyspace; never active during redis-benchmark.
+						store[63] = store[63] + hitrate;
+					}
+					i = i + 3;
+				}
+				var sum = 0;
+				var k = 0;
+				while (k < 64) { sum = sum + store[k]; k = k + 1; }
+				print(sum);
+			}
+		`,
+		GenInput: func(run int) []int64 {
+			r := newRng(uint64(run) + 241)
+			var in []int64
+			for i := 0; i < 40; i++ {
+				// redis-benchmark mix: mostly GETs, some SET/INCR, no EXPIRE.
+				op := r.intn(5)
+				in = append(in, op, r.intn(64), r.intn(100))
+			}
+			return in
+		},
+	})
+}

@@ -1,0 +1,133 @@
+// Package workloads provides the benchmark suite of this
+// reproduction: MiniLang programs modeling the paper's evaluation
+// workloads, plus deterministic input generators.
+//
+// The paper evaluates OptFT on the multithreaded Dacapo and JavaGrande
+// benchmarks and OptSlice on seven C desktop/server applications
+// (§6.1). Neither the JVM suites nor the C programs can run on this
+// substrate, so each is replaced by a MiniLang model that reproduces
+// the structural property the paper's narrative attributes to it —
+// e.g. montecarlo/sunflow are fork-join/barrier-parallel (defeating
+// lockset pruning), sor/series/crypt/lufact/sparse are provably
+// race-free, perl is an opcode-dispatch interpreter whose script state
+// static analysis cannot separate, vim and nginx need context-
+// sensitive slicing to get precise, go explores an input-dependent
+// state space that requires much more profiling. Absolute numbers are
+// not comparable to the paper's testbed; the relative shapes are what
+// the harness reproduces.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"oha/internal/ir"
+	"oha/internal/lang"
+)
+
+// Kind classifies a workload by the client analysis that evaluates it.
+type Kind uint8
+
+// Workload kinds.
+const (
+	Race  Kind = iota // OptFT suite (Dacapo/JavaGrande analogues)
+	Slice             // OptSlice suite (C application analogues)
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name   string
+	Kind   Kind
+	Source string
+	// GenInput produces the deterministic input vector for profiling/
+	// testing run number `run`. Profiling sets and testing sets use
+	// disjoint run-number ranges.
+	GenInput func(run int) []int64
+	// RaceFree records whether the model is expected to be provably
+	// race-free by the sound static analysis (the five benchmarks
+	// right of the red line in Figure 5).
+	RaceFree bool
+	// Notes describes which paper behaviour the model reproduces.
+	Notes string
+
+	prog *ir.Program
+}
+
+// Prog returns the compiled program (cached).
+func (w *Workload) Prog() *ir.Program {
+	if w.prog == nil {
+		p, err := lang.Compile(w.Source)
+		if err != nil {
+			panic(fmt.Sprintf("workload %s: %v", w.Name, err))
+		}
+		w.prog = p
+	}
+	return w.prog
+}
+
+// rng is a splitmix64 helper for input generation.
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng { return &rng{state: seed*0x9e3779b97f4a7c15 + 1} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int64) int64 { return int64(r.next() % uint64(n)) }
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) *Workload {
+	if _, dup := registry[w.Name]; dup {
+		panic("duplicate workload " + w.Name)
+	}
+	registry[w.Name] = w
+	return w
+}
+
+// ByName returns a workload or nil.
+func ByName(name string) *Workload { return registry[name] }
+
+// All returns every workload, sorted by name.
+func All() []*Workload {
+	var out []*Workload
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Races returns the OptFT suite in the paper's Figure 5 order.
+func Races() []*Workload {
+	names := []string{
+		"lusearch", "pmd", "raytracer", "moldyn", "sunflow", "montecarlo",
+		"batik", "xalan", "luindex",
+		// Right of the red line: statically provably race-free.
+		"sor", "sparse", "series", "crypt", "lufact",
+	}
+	return byNames(names)
+}
+
+// Slices returns the OptSlice suite in the paper's Figure 6 order.
+func Slices() []*Workload {
+	return byNames([]string{"zlib", "nginx", "go", "sphinx", "vim", "perl", "redis"})
+}
+
+func byNames(names []string) []*Workload {
+	out := make([]*Workload, len(names))
+	for i, n := range names {
+		w := registry[n]
+		if w == nil {
+			panic("unknown workload " + n)
+		}
+		out[i] = w
+	}
+	return out
+}

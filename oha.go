@@ -1,0 +1,177 @@
+// Package oha is the public API of this reproduction of
+// "Optimistic Hybrid Analysis: Accelerating Dynamic Analysis through
+// Predicated Static Analysis" (Devecsery, Chen, Flinn, Narayanasamy;
+// ASPLOS 2018).
+//
+// Optimistic hybrid analysis accelerates a dynamic analysis in three
+// phases:
+//
+//  1. Profile a set of executions to learn likely invariants —
+//     dynamically-observed facts (unreachable code, guarding locks,
+//     singleton threads, callee sets, used call contexts) that hold in
+//     most but not necessarily all executions.
+//  2. Run a predicated static analysis that assumes those invariants,
+//     making it far more precise (and scalable) than a sound static
+//     analysis, and use it to elide dynamic-analysis instrumentation.
+//  3. Run the dynamic analysis speculatively, verifying the assumed
+//     invariants with cheap runtime checks; if one is violated, roll
+//     the execution back and re-analyze it under the traditional
+//     (soundly-optimized) hybrid analysis.
+//
+// The result is as sound and precise as the unoptimized dynamic
+// analysis, but much faster in the common case.
+//
+// Two clients are provided, mirroring the paper: OptFT, an optimistic
+// FastTrack data-race detector (§4), and OptSlice, an optimistic
+// dynamic backward slicer built on a Giri-style tracer (§5). Programs
+// under analysis are written in MiniLang, a small C-like language with
+// pointers, heap allocation, function values, threads, and locks; the
+// whole substrate (compiler, IR, deterministic interpreter, static
+// analyses, dynamic analyses) lives under internal/ and is exercised
+// through this package.
+//
+// # Quick start
+//
+//	prog := oha.MustCompile(src)
+//	profile, _ := oha.Profile(prog, func(run int) oha.Execution {
+//	    return oha.Execution{Inputs: inputsFor(run), Seed: uint64(run)}
+//	}, 64)
+//	det, _ := oha.NewRaceDetector(prog, profile.DB)
+//	report, _ := det.Run(oha.Execution{Inputs: in, Seed: 1}, oha.RunOptions{})
+//	for _, r := range report.Details { fmt.Println(r) }
+package oha
+
+import (
+	"io"
+
+	"oha/internal/core"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/lang"
+)
+
+// Program is a compiled MiniLang program in IR form.
+type Program = ir.Program
+
+// Instr is one IR instruction (used to name slice criteria).
+type Instr = ir.Instr
+
+// Execution identifies one concrete execution: inputs plus a schedule
+// seed. The interpreter is deterministic, so an Execution can be
+// re-analyzed exactly — the substrate for mis-speculation rollback.
+type Execution = core.Execution
+
+// RunOptions bounds executions (zero values select defaults).
+type RunOptions = core.RunOptions
+
+// InvariantDB is a set of profiled likely invariants.
+type InvariantDB = invariants.DB
+
+// ProfileResult is the outcome of invariant profiling.
+type ProfileResult = core.ProfileResult
+
+// RaceReport is the result of one race-detection run.
+type RaceReport = core.RaceReport
+
+// SliceReport is the result of one dynamic-slicing run.
+type SliceReport = core.SliceReport
+
+// RaceDetector is OptFT: the optimistic hybrid FastTrack detector.
+type RaceDetector = core.OptFT
+
+// HybridRaceDetector is the traditional hybrid baseline (FastTrack
+// optimized with the sound static race analysis).
+type HybridRaceDetector = core.HybridFT
+
+// Slicer is OptSlice: the optimistic hybrid backward slicer.
+type Slicer = core.OptSlice
+
+// HybridSlicer is the traditional hybrid slicing baseline.
+type HybridSlicer = core.HybridSlicer
+
+// Compile parses and lowers MiniLang source into IR.
+func Compile(src string) (*Program, error) { return lang.Compile(src) }
+
+// MustCompile is Compile, panicking on error.
+func MustCompile(src string) *Program { return lang.MustCompile(src) }
+
+// Profile learns likely invariants from executions produced by gen,
+// stopping when the invariant set stabilizes (or after maxRuns).
+func Profile(prog *Program, gen func(run int) Execution, maxRuns int) (*ProfileResult, error) {
+	return core.Profile(prog, gen, maxRuns)
+}
+
+// ProfileExecutions learns likely invariants from exactly the given
+// executions.
+func ProfileExecutions(prog *Program, execs []Execution) (*InvariantDB, error) {
+	return core.ProfileN(prog, execs)
+}
+
+// SaveInvariants writes a profiled invariant database in the text
+// format the paper's tools use between phases.
+func SaveInvariants(w io.Writer, db *InvariantDB) error {
+	_, err := db.WriteTo(w)
+	return err
+}
+
+// LoadInvariants reads a previously saved invariant database.
+func LoadInvariants(r io.Reader) (*InvariantDB, error) { return invariants.Parse(r) }
+
+// NewRaceDetector builds OptFT for a program and its profiled
+// invariants: it runs the predicated static race analysis (for
+// elision) and the sound one (for rollback). Call ValidateCustomSync
+// on the result with profiling executions to enable lock-
+// instrumentation elision.
+func NewRaceDetector(prog *Program, db *InvariantDB) (*RaceDetector, error) {
+	return core.NewOptFT(prog, db)
+}
+
+// NewHybridRaceDetector builds the traditional hybrid baseline.
+func NewHybridRaceDetector(prog *Program) (*HybridRaceDetector, error) {
+	return core.NewHybridFT(prog)
+}
+
+// RunFastTrack runs the unoptimized FastTrack baseline on one
+// execution.
+func RunFastTrack(prog *Program, e Execution, opts RunOptions) (*RaceReport, error) {
+	return core.RunFastTrack(prog, e, opts)
+}
+
+// NewSlicer builds OptSlice for one slice criterion. budget bounds the
+// context-sensitive analysis (clones); when the predicated analysis
+// does not fit, it falls back to a context-insensitive one, as does
+// the sound fallback.
+func NewSlicer(prog *Program, db *InvariantDB, criterion *Instr, budget int) (*Slicer, error) {
+	return core.NewOptSlice(prog, db, criterion, budget)
+}
+
+// NewHybridSlicer builds the traditional hybrid slicing baseline.
+func NewHybridSlicer(prog *Program, criterion *Instr, budget int) (*HybridSlicer, error) {
+	return core.NewHybridSlicer(prog, criterion, budget)
+}
+
+// RunFullGiri runs the unoptimized trace-everything dynamic slicer; it
+// fails when the trace exceeds maxNodes (0 = a large default),
+// reflecting that full tracing does not scale.
+func RunFullGiri(prog *Program, criterion *Instr, e Execution, opts RunOptions, maxNodes int) (*SliceReport, error) {
+	return core.RunFullGiri(prog, criterion, e, opts, maxNodes)
+}
+
+// Prints returns the program's print instructions in order — the usual
+// pool of slice criteria.
+func Prints(prog *Program) []*Instr {
+	var out []*Instr
+	for _, in := range prog.Instrs {
+		if in.Op == ir.OpPrint {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// RunDJIT runs the DJIT+-style full-vector-clock race detector — the
+// ablation baseline FastTrack's epoch optimization is measured
+// against. Reports are address-level only.
+func RunDJIT(prog *Program, e Execution, opts RunOptions) (*RaceReport, error) {
+	return core.RunDJIT(prog, e, opts)
+}
