@@ -13,11 +13,15 @@
 package oha_test
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
+	"oha/internal/artifacts"
 	"oha/internal/core"
 	"oha/internal/ctxs"
+	"oha/internal/harness"
 	"oha/internal/ir"
 	"oha/internal/pointsto"
 	"oha/internal/staticslice"
@@ -453,6 +457,75 @@ func BenchmarkFig11Ablation(b *testing.B) {
 			})
 		})
 	}
+}
+
+// ------------------------------------------- Parallel pipeline / cache
+
+// BenchmarkProfileParallel measures the profiling convergence loop at
+// worker-pool sizes 1 and GOMAXPROCS. The merged database is
+// bit-identical at every size (TestProfileParallelDeterminism); only
+// wall-clock changes.
+func BenchmarkProfileParallel(b *testing.B) {
+	for _, name := range []string{"go", "lusearch"} {
+		w := workloads.ByName(name)
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pr, err := core.ProfileWith(w.Prog(), func(run int) core.Execution {
+						return core.Execution{Inputs: w.GenInput(run), Seed: uint64(run + 1)}
+					}, core.ProfileOptions{MaxRuns: benchProfileRuns, Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(pr.Runs), "profile-runs")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkHarnessParallel measures a full Figure 6 regeneration at
+// experiment-pool sizes 1 and GOMAXPROCS.
+func BenchmarkHarnessParallel(b *testing.B) {
+	for _, parallel := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := harness.Options{
+					ProfileRuns: 8, TestRuns: 2, Budget: benchBudget, Repeat: 1,
+					Parallel: parallel,
+				}
+				if _, err := harness.Fig6(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCachedStaticSolves is the AllocsPerRun-style counter for
+// the artifact cache: it reports the number of static solves (cache
+// misses) per predicated-constructor call. Cold is > 0; warm must be
+// exactly 0 — the cache eliminates every repeated solve.
+func BenchmarkCachedStaticSolves(b *testing.B) {
+	w := workloads.ByName("zlib")
+	s := setupFor(b, w)
+	criterion := lastPrintOf(w)
+	cache := artifacts.New("")
+	// Warm the cache with one cold build.
+	if _, err := core.NewOptSliceCached(w.Prog(), s.pr.DB, criterion, benchBudget, cache); err != nil {
+		b.Fatal(err)
+	}
+	start := cache.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewOptSliceCached(w.Prog(), s.pr.DB, criterion, benchBudget, cache); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	end := cache.Stats()
+	b.ReportMetric(float64(end.Misses-start.Misses)/float64(b.N), "solves/op")
+	b.ReportMetric(float64(start.Misses), "cold-solves")
 }
 
 // ------------------------------------------------------- Ablations

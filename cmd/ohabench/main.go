@@ -5,10 +5,14 @@
 //
 //	ohabench -exp fig5|tab1|fig6|tab2|fig7|fig8|fig9|fig10|fig11|all
 //	         [-profile-runs N] [-test-runs N] [-budget N] [-repeat N]
+//	         [-parallel N] [-cache-dir DIR] [-exclusive-timing]
+//	         [-cache-stats]
 //
 // Every experiment re-verifies the core soundness property while
 // measuring: the optimistic analyses must produce results identical to
-// their unoptimized counterparts on every run.
+// their unoptimized counterparts on every run. All deterministic
+// columns (event counts, node counts, slice sizes, rollbacks) are
+// identical for every -parallel value; only wall-clock columns vary.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"oha/internal/artifacts"
 	"oha/internal/harness"
 )
 
@@ -25,14 +30,29 @@ func main() {
 	testRuns := flag.Int("test-runs", 8, "testing executions per benchmark")
 	budget := flag.Int("budget", 24, "context-sensitive analysis clone budget")
 	repeat := flag.Int("repeat", 3, "timing repetitions (min is reported)")
+	parallel := flag.Int("parallel", 0, "experiment worker-pool size (0: GOMAXPROCS, 1: sequential)")
+	cacheDir := flag.String("cache-dir", "", "persist portable static artifacts under this directory (default: in-memory only)")
+	exclusiveTiming := flag.Bool("exclusive-timing", false, "serialize timed sections for stable wall-clock numbers under -parallel > 1")
+	cacheStats := flag.Bool("cache-stats", false, "print artifact-cache hit/miss counters on exit")
 	flag.Parse()
 
+	cache := artifacts.New(*cacheDir)
 	opts := harness.Options{
-		ProfileRuns: *profileRuns,
-		TestRuns:    *testRuns,
-		Budget:      *budget,
-		Repeat:      *repeat,
+		ProfileRuns:     *profileRuns,
+		TestRuns:        *testRuns,
+		Budget:          *budget,
+		Repeat:          *repeat,
+		Parallel:        *parallel,
+		ExclusiveTiming: *exclusiveTiming,
+		Cache:           cache,
 	}
+	defer func() {
+		if *cacheStats {
+			st := cache.Stats()
+			fmt.Fprintf(os.Stderr, "ohabench: artifact cache: %d lookups, %d memory hits, %d disk hits, %d misses\n",
+				st.Lookups(), st.Hits, st.DiskHits, st.Misses)
+		}
+	}()
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {

@@ -1,0 +1,360 @@
+// Package artifacts provides a content-addressed cache for the
+// expensive products of the static pipeline — points-to results, MHP,
+// static-race, and static-slice artifacts — and for per-run profiling
+// invariant databases.
+//
+// Every entry is keyed by a SHA-256 digest over the artifact's full
+// provenance: the program IR text, the invariant database it was
+// predicated on, the analysis budget, and the analysis kind. Two
+// lookups with the same key are guaranteed to denote the same artifact
+// content, so sweeps that re-analyze one program under many invariant
+// databases (the Figure 7/8 profiling sweeps, Table 1/2's repeated
+// setups) stop recomputing identical results.
+//
+// The cache has two layers:
+//
+//   - an in-memory layer (always on) holding live artifact values,
+//     with singleflight semantics: concurrent lookups of one key
+//     compute the artifact once and share it;
+//   - an optional on-disk layer (Dir != "") holding gob-encoded
+//     envelopes for artifact kinds that provide a Codec — portable
+//     artifacts such as invariant databases and static slices survive
+//     across processes, while pointer-laden artifacts (points-to
+//     results, whose nodes reference live IR) stay memory-only.
+//
+// Cached values are shared: callers must treat them as immutable and
+// clone anything they intend to mutate.
+package artifacts
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"oha/internal/bitset"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/staticslice"
+)
+
+// Artifact kinds, part of every cache key.
+const (
+	KindPointsTo   = "pointsto"
+	KindMHP        = "mhp"
+	KindStaticRace = "staticrace"
+	KindSlicer     = "slicer"
+	KindSlice      = "staticslice"
+	KindProfileRun = "profilerun"
+)
+
+// Codec converts an artifact to and from a portable byte payload for
+// the on-disk layer. Artifacts without a Codec are cached in memory
+// only.
+type Codec interface {
+	Marshal(v any) ([]byte, error)
+	Unmarshal(data []byte) (any, error)
+}
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	Hits     uint64 // served from the in-memory layer
+	DiskHits uint64 // served from the on-disk layer
+	Misses   uint64 // computed (the number of underlying solves)
+}
+
+// Lookups returns the total number of cache consultations.
+func (s Stats) Lookups() uint64 { return s.Hits + s.DiskHits + s.Misses }
+
+// Cache is a two-layer content-addressed artifact cache. The zero
+// value is not usable; construct with New. A nil *Cache is valid and
+// disables memoization (every Memo computes).
+type Cache struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]*entry
+
+	hits, diskHits, misses atomic.Uint64
+}
+
+// entry is one in-flight or completed artifact computation.
+type entry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// New returns a cache. dir == "" disables the on-disk layer; otherwise
+// gob envelopes are stored under dir (created on first write).
+func New(dir string) *Cache {
+	return &Cache{dir: dir, entries: map[string]*entry{}}
+}
+
+// Dir returns the on-disk layer's directory ("" if memory-only).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:     c.hits.Load(),
+		DiskHits: c.diskHits.Load(),
+		Misses:   c.misses.Load(),
+	}
+}
+
+// Memo returns the artifact stored under key, computing and caching it
+// on first use. Concurrent calls with one key share a single compute
+// (singleflight). codec, when non-nil, enables the on-disk layer for
+// this artifact. Errors are not cached: a failed compute clears the
+// entry so a later call retries.
+func (c *Cache) Memo(key string, codec Codec, compute func() (any, error)) (any, error) {
+	if c == nil {
+		return compute()
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &entry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	first := false
+	e.once.Do(func() {
+		first = true
+		if codec != nil && c.dir != "" {
+			if v, ok := c.loadDisk(key, codec); ok {
+				c.diskHits.Add(1)
+				e.val = v
+				return
+			}
+		}
+		c.misses.Add(1)
+		e.val, e.err = compute()
+		if e.err == nil && codec != nil && c.dir != "" {
+			c.storeDisk(key, codec, e.val)
+		}
+	})
+	if !first && e.err == nil {
+		c.hits.Add(1)
+	}
+	if e.err != nil {
+		// Do not cache failures; let a later caller retry.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, e.err
+	}
+	return e.val, nil
+}
+
+// envelope is the on-disk gob record.
+type envelope struct {
+	Key     string
+	Payload []byte
+}
+
+func (c *Cache) diskPath(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".gob")
+}
+
+func (c *Cache) loadDisk(key string, codec Codec) (any, bool) {
+	f, err := os.Open(c.diskPath(key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var env envelope
+	if err := gob.NewDecoder(f).Decode(&env); err != nil || env.Key != key {
+		return nil, false
+	}
+	v, err := codec.Unmarshal(env.Payload)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// storeDisk writes the envelope atomically (temp file + rename);
+// failures are ignored — the disk layer is a best-effort accelerator.
+func (c *Cache) storeDisk(key string, codec Codec, v any) {
+	payload, err := codec.Marshal(v)
+	if err != nil {
+		return
+	}
+	path := c.diskPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp*")
+	if err != nil {
+		return
+	}
+	enc := gob.NewEncoder(tmp)
+	if err := enc.Encode(envelope{Key: key, Payload: payload}); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// ---------------------------------------------------------------- keys
+
+// progDigests caches per-program IR digests by pointer identity;
+// programs are immutable after Finalize, so the text rendering (and
+// hence the digest) is stable.
+var progDigests sync.Map // *ir.Program -> string
+
+// ProgDigest returns the SHA-256 digest of a program's IR text.
+func ProgDigest(prog *ir.Program) string {
+	if d, ok := progDigests.Load(prog); ok {
+		return d.(string)
+	}
+	sum := sha256.Sum256([]byte(prog.String()))
+	d := hex.EncodeToString(sum[:])
+	progDigests.Store(prog, d)
+	return d
+}
+
+// DBDigest returns the SHA-256 digest of an invariant database's
+// canonical text serialization. A nil database (the sound, unpredicated
+// analysis) digests to a distinguished constant.
+func DBDigest(db *invariants.DB) string {
+	if db == nil {
+		return "sound"
+	}
+	h := sha256.New()
+	if _, err := db.WriteTo(h); err != nil {
+		// WriteTo into a hash cannot fail; keep the panic for bugs.
+		panic(fmt.Sprintf("artifacts: DB digest: %v", err))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Key builds the content-addressed cache key for an artifact:
+// hash(kind, program IR, invariant DB, budget, extra discriminators).
+func Key(kind string, prog *ir.Program, db *invariants.DB, budget int, extra ...string) string {
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(ProgDigest(prog)))
+	h.Write([]byte{0})
+	h.Write([]byte(DBDigest(db)))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(budget)))
+	for _, x := range extra {
+		h.Write([]byte{0})
+		h.Write([]byte(x))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ExecKey builds the cache key for one profiling execution's invariant
+// database: hash(program IR, inputs, seed).
+func ExecKey(prog *ir.Program, inputs []int64, seed uint64) string {
+	h := sha256.New()
+	h.Write([]byte(KindProfileRun))
+	h.Write([]byte{0})
+	h.Write([]byte(ProgDigest(prog)))
+	var buf [8]byte
+	for _, v := range inputs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	h.Write([]byte{0})
+	binary.LittleEndian.PutUint64(buf[:], seed)
+	h.Write(buf[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// -------------------------------------------------------------- codecs
+
+// dbCodec persists invariant databases via their canonical text format
+// (the same format the paper's tools exchange between phases).
+type dbCodec struct{}
+
+func (dbCodec) Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := v.(*invariants.DB).WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (dbCodec) Unmarshal(data []byte) (any, error) {
+	return invariants.Parse(bytes.NewReader(data))
+}
+
+// DBCodec returns the on-disk codec for *invariants.DB artifacts.
+func DBCodec() Codec { return dbCodec{} }
+
+// portableSlice is the gob image of a static slice: instruction IDs
+// only, rebound to the live program on load.
+type portableSlice struct {
+	Criterion int
+	Nodes     int
+	Instrs    []int
+}
+
+// sliceCodec persists *staticslice.Slice artifacts against one
+// program. The key already covers the program digest, so IDs resolve
+// to the identical IR on load.
+type sliceCodec struct{ prog *ir.Program }
+
+func (c sliceCodec) Marshal(v any) ([]byte, error) {
+	s := v.(*staticslice.Slice)
+	p := portableSlice{Criterion: s.Criterion.ID, Nodes: s.Nodes, Instrs: s.Instrs.Slice()}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (c sliceCodec) Unmarshal(data []byte) (any, error) {
+	var p portableSlice
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return nil, err
+	}
+	if p.Criterion < 0 || p.Criterion >= len(c.prog.Instrs) {
+		return nil, fmt.Errorf("artifacts: slice criterion %d out of range", p.Criterion)
+	}
+	s := &staticslice.Slice{
+		Instrs:    &bitset.Set{},
+		Nodes:     p.Nodes,
+		Criterion: c.prog.Instrs[p.Criterion],
+	}
+	for _, id := range p.Instrs {
+		s.Instrs.Add(id)
+	}
+	return s, nil
+}
+
+// SliceCodec returns the on-disk codec for *staticslice.Slice
+// artifacts of one program.
+func SliceCodec(prog *ir.Program) Codec { return sliceCodec{prog: prog} }

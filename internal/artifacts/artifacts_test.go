@@ -1,0 +1,231 @@
+package artifacts_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"oha/internal/artifacts"
+	"oha/internal/ctxs"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/lang"
+	"oha/internal/pointsto"
+	"oha/internal/profile"
+	"oha/internal/staticslice"
+)
+
+const prog = `
+	global g = 0;
+	func f(x) { g = g + x; return g; }
+	func main() {
+		var i = 0;
+		while (i < 4) { i = i + 1; f(i); }
+		print(g);
+	}
+`
+
+func TestMemoMemoryLayer(t *testing.T) {
+	c := artifacts.New("")
+	var computes atomic.Int32
+	compute := func() (any, error) {
+		computes.Add(1)
+		return 42, nil
+	}
+	for i := 0; i < 3; i++ {
+		v, err := c.Memo("k", nil, compute)
+		if err != nil || v.(int) != 42 {
+			t.Fatalf("Memo = %v, %v", v, err)
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Errorf("computed %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.DiskHits != 0 || st.Lookups() != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMemoNilCacheComputesEveryTime(t *testing.T) {
+	var c *artifacts.Cache
+	n := 0
+	for i := 0; i < 2; i++ {
+		v, err := c.Memo("k", nil, func() (any, error) { n++; return n, nil })
+		if err != nil || v.(int) != i+1 {
+			t.Fatalf("Memo = %v, %v", v, err)
+		}
+	}
+	if c.Stats() != (artifacts.Stats{}) || c.Dir() != "" {
+		t.Error("nil cache reported state")
+	}
+}
+
+func TestMemoSingleflight(t *testing.T) {
+	c := artifacts.New("")
+	var computes atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Memo("shared", nil, func() (any, error) {
+				computes.Add(1)
+				return "artifact", nil
+			})
+			if err != nil || v.(string) != "artifact" {
+				t.Errorf("Memo = %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("concurrent lookups computed %d times, want 1", n)
+	}
+}
+
+func TestMemoErrorsNotCached(t *testing.T) {
+	c := artifacts.New("")
+	boom := errors.New("boom")
+	fail := true
+	compute := func() (any, error) {
+		if fail {
+			return nil, boom
+		}
+		return "ok", nil
+	}
+	if _, err := c.Memo("k", nil, compute); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	fail = false
+	v, err := c.Memo("k", nil, compute)
+	if err != nil || v.(string) != "ok" {
+		t.Fatalf("retry after error: %v, %v", v, err)
+	}
+}
+
+func TestDBDiskRoundtrip(t *testing.T) {
+	p := lang.MustCompile(prog)
+	want, err := profile.Run(p, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	key := artifacts.ExecKey(p, nil, 1)
+
+	c1 := artifacts.New(dir)
+	if _, err := c1.Memo(key, artifacts.DBCodec(), func() (any, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := c1.Stats(); st.Misses != 1 {
+		t.Fatalf("stats after store = %+v", st)
+	}
+
+	// A fresh cache over the same directory must load from disk and
+	// never invoke compute.
+	c2 := artifacts.New(dir)
+	v, err := c2.Memo(key, artifacts.DBCodec(), func() (any, error) {
+		t.Fatal("compute ran despite disk entry")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.(*invariants.DB).Equal(want) {
+		t.Error("disk roundtrip changed the database")
+	}
+	if st := c2.Stats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Errorf("stats after load = %+v", st)
+	}
+}
+
+func TestSliceDiskRoundtrip(t *testing.T) {
+	p := lang.MustCompile(prog)
+	pt, err := pointsto.Analyze(p, ctxs.NewCI(p), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var criterion = -1
+	for _, in := range p.Instrs {
+		if in.Op == ir.OpPrint {
+			criterion = in.ID
+		}
+	}
+	if criterion < 0 {
+		t.Fatal("no print instruction")
+	}
+	want := staticslice.New(pt).BackwardSlice(p.Instrs[criterion])
+
+	dir := t.TempDir()
+	key := artifacts.Key(artifacts.KindSlice, p, nil, 0, "test")
+	c1 := artifacts.New(dir)
+	if _, err := c1.Memo(key, artifacts.SliceCodec(p), func() (any, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c2 := artifacts.New(dir)
+	v, err := c2.Memo(key, artifacts.SliceCodec(p), func() (any, error) {
+		t.Fatal("compute ran despite disk entry")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*staticslice.Slice)
+	if got.Criterion != want.Criterion || got.Nodes != want.Nodes {
+		t.Errorf("roundtrip criterion/nodes = %v/%d, want %v/%d",
+			got.Criterion, got.Nodes, want.Criterion, want.Nodes)
+	}
+	if got.Instrs.Len() != want.Instrs.Len() {
+		t.Errorf("roundtrip slice size = %d, want %d", got.Instrs.Len(), want.Instrs.Len())
+	}
+	want.Instrs.ForEach(func(id int) bool {
+		if !got.Instrs.Has(id) {
+			t.Errorf("roundtrip lost instr %d", id)
+		}
+		return true
+	})
+}
+
+func TestKeysDiscriminate(t *testing.T) {
+	p := lang.MustCompile(prog)
+	db, err := profile.Run(p, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]string{}
+	add := func(label, k string) {
+		if prev, dup := keys[k]; dup {
+			t.Errorf("key collision: %s vs %s", prev, label)
+		}
+		keys[k] = label
+	}
+	add("pt/sound", artifacts.Key(artifacts.KindPointsTo, p, nil, 8))
+	add("pt/pred", artifacts.Key(artifacts.KindPointsTo, p, db, 8))
+	add("pt/pred/16", artifacts.Key(artifacts.KindPointsTo, p, db, 16))
+	add("pt/pred/extra", artifacts.Key(artifacts.KindPointsTo, p, db, 8, "restrict"))
+	add("mhp/pred", artifacts.Key(artifacts.KindMHP, p, db, 8))
+	add("exec/1", artifacts.ExecKey(p, nil, 1))
+	add("exec/2", artifacts.ExecKey(p, nil, 2))
+	add("exec/in", artifacts.ExecKey(p, []int64{7}, 1))
+
+	// Stability: identical provenance yields identical keys.
+	if artifacts.Key(artifacts.KindPointsTo, p, db, 8) != keys0(t, keys, "pt/pred") {
+		t.Error("key not stable across calls")
+	}
+	if artifacts.DBDigest(nil) != "sound" {
+		t.Error("nil DB digest sentinel changed")
+	}
+}
+
+// keys0 finds the key mapped to a label (reverse lookup helper).
+func keys0(t *testing.T, keys map[string]string, label string) string {
+	t.Helper()
+	for k, l := range keys {
+		if l == label {
+			return k
+		}
+	}
+	t.Fatalf("label %s not recorded", label)
+	return ""
+}

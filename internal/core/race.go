@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"oha/internal/artifacts"
 	"oha/internal/bitset"
 	"oha/internal/ctxs"
 	"oha/internal/fasttrack"
@@ -51,14 +52,26 @@ type raceStatic struct {
 }
 
 // analyzeRaceStatic runs the (sound or predicated) Chord-style static
-// pipeline and derives instrumentation masks.
-func analyzeRaceStatic(prog *ir.Program, db *invariants.DB) (*raceStatic, error) {
-	pt, err := pointsto.Analyze(prog, ctxs.NewCI(prog), db)
+// pipeline and derives instrumentation masks. With a non-nil cache the
+// points-to, MHP, and static-race stages are memoized by content
+// address; the masks are rebuilt fresh on every call because callers
+// (ValidateCustomSync) mutate them per instance.
+func analyzeRaceStatic(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache) (*raceStatic, error) {
+	v, err := cache.Memo(artifacts.Key(artifacts.KindStaticRace, prog, db, 0, "ci"), nil, func() (any, error) {
+		pt, err := pointsToCI(prog, db, cache)
+		if err != nil {
+			return nil, err
+		}
+		m, err := mhpOf(prog, pt, db, cache)
+		if err != nil {
+			return nil, err
+		}
+		return staticrace.Analyze(prog, pt, m, db), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	m := mhp.Analyze(prog, pt, db)
-	sr := staticrace.Analyze(prog, pt, m, db)
+	sr := v.(*staticrace.Result)
 
 	rs := &raceStatic{
 		static: sr,
@@ -77,6 +90,31 @@ func analyzeRaceStatic(prog *ir.Program, db *invariants.DB) (*raceStatic, error)
 		}
 	}
 	return rs, nil
+}
+
+// pointsToCI returns the (memoized) context-insensitive points-to
+// result for the race pipeline.
+func pointsToCI(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache) (*pointsto.Result, error) {
+	v, err := cache.Memo(artifacts.Key(artifacts.KindPointsTo, prog, db, 0, "ci"), nil, func() (any, error) {
+		return pointsto.Analyze(prog, ctxs.NewCI(prog), db)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*pointsto.Result), nil
+}
+
+// mhpOf returns the (memoized) may-happen-in-parallel result. pt must
+// be the pointsToCI result for the same (prog, db), which the key
+// already determines.
+func mhpOf(prog *ir.Program, pt *pointsto.Result, db *invariants.DB, cache *artifacts.Cache) (*mhp.Result, error) {
+	v, err := cache.Memo(artifacts.Key(artifacts.KindMHP, prog, db, 0, "ci"), nil, func() (any, error) {
+		return mhp.Analyze(prog, pt, db), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*mhp.Result), nil
 }
 
 // ftAdapter forwards events to a FastTrack detector, filtering sync
@@ -209,7 +247,13 @@ type HybridFT struct {
 
 // NewHybridFT runs the sound static analysis.
 func NewHybridFT(prog *ir.Program) (*HybridFT, error) {
-	rs, err := analyzeRaceStatic(prog, nil)
+	return NewHybridFTCached(prog, nil)
+}
+
+// NewHybridFTCached is NewHybridFT with static-artifact memoization
+// (nil cache: recompute).
+func NewHybridFTCached(prog *ir.Program, cache *artifacts.Cache) (*HybridFT, error) {
+	rs, err := analyzeRaceStatic(prog, nil, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -258,11 +302,18 @@ type OptFT struct {
 // contain a validated ElidableLocks set (see ValidateCustomSync);
 // with an empty set no lock instrumentation is elided.
 func NewOptFT(prog *ir.Program, db *invariants.DB) (*OptFT, error) {
-	pred, err := analyzeRaceStatic(prog, db)
+	return NewOptFTCached(prog, db, nil)
+}
+
+// NewOptFTCached is NewOptFT with static-artifact memoization (nil
+// cache: recompute). Masks and derived state are always private to the
+// returned instance; only the immutable static results are shared.
+func NewOptFTCached(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache) (*OptFT, error) {
+	pred, err := analyzeRaceStatic(prog, db, cache)
 	if err != nil {
 		return nil, err
 	}
-	sound, err := NewHybridFT(prog)
+	sound, err := NewHybridFTCached(prog, cache)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,14 @@
 package core
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"strconv"
 
+	"oha/internal/artifacts"
+	"oha/internal/bitset"
 	"oha/internal/ctxs"
 	"oha/internal/dynslice"
 	"oha/internal/interp"
@@ -65,6 +70,97 @@ func buildSlicer(prog *ir.Program, db *invariants.DB, budget int) (*staticslice.
 	return staticslice.New(pt), CI, nil
 }
 
+// slicerArtifact is the in-memory cache value for a built slicer.
+type slicerArtifact struct {
+	sl *staticslice.Slicer
+	at SliceAnalysisType
+}
+
+// buildSlicerCached memoizes buildSlicer (nil cache: recompute). The
+// slicer is an immutable query structure, safe to share.
+func buildSlicerCached(prog *ir.Program, db *invariants.DB, budget int, cache *artifacts.Cache) (*staticslice.Slicer, SliceAnalysisType, error) {
+	v, err := cache.Memo(artifacts.Key(artifacts.KindSlicer, prog, db, budget, "restrict"), nil, func() (any, error) {
+		sl, at, err := buildSlicer(prog, db, budget)
+		if err != nil {
+			return nil, err
+		}
+		return &slicerArtifact{sl: sl, at: at}, nil
+	})
+	if err != nil {
+		return nil, CI, err
+	}
+	a := v.(*slicerArtifact)
+	return a.sl, a.at, nil
+}
+
+// sliceStatic is the cached end product of the static slicing pipeline
+// for one criterion: the slice plus the analysis discipline that
+// produced it. It is portable (IDs only), so it participates in the
+// on-disk cache layer — a warm disk cache skips the points-to solve
+// entirely.
+type sliceStatic struct {
+	AT    SliceAnalysisType
+	Slice *staticslice.Slice
+}
+
+// portableSliceStatic is the gob image of sliceStatic.
+type portableSliceStatic struct {
+	AT        string
+	Criterion int
+	Nodes     int
+	Instrs    []int
+}
+
+// sliceStaticCodec persists sliceStatic artifacts against one program.
+type sliceStaticCodec struct{ prog *ir.Program }
+
+func (c sliceStaticCodec) Marshal(v any) ([]byte, error) {
+	ss := v.(*sliceStatic)
+	p := portableSliceStatic{
+		AT:        string(ss.AT),
+		Criterion: ss.Slice.Criterion.ID,
+		Nodes:     ss.Slice.Nodes,
+		Instrs:    ss.Slice.Instrs.Slice(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (c sliceStaticCodec) Unmarshal(data []byte) (any, error) {
+	var p portableSliceStatic
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return nil, err
+	}
+	if p.Criterion < 0 || p.Criterion >= len(c.prog.Instrs) {
+		return nil, fmt.Errorf("core: cached slice criterion %d out of range", p.Criterion)
+	}
+	s := &staticslice.Slice{Instrs: &bitset.Set{}, Nodes: p.Nodes, Criterion: c.prog.Instrs[p.Criterion]}
+	for _, id := range p.Instrs {
+		s.Instrs.Add(id)
+	}
+	return &sliceStatic{AT: SliceAnalysisType(p.AT), Slice: s}, nil
+}
+
+// staticSliceFor returns the (memoized) static slice and analysis type
+// for one criterion under the buildSlicer discipline.
+func staticSliceFor(prog *ir.Program, db *invariants.DB, criterion *ir.Instr, budget int, cache *artifacts.Cache) (*sliceStatic, error) {
+	key := artifacts.Key(artifacts.KindSlice, prog, db, budget, "restrict", "crit:"+strconv.Itoa(criterion.ID))
+	v, err := cache.Memo(key, sliceStaticCodec{prog: prog}, func() (any, error) {
+		sl, at, err := buildSlicerCached(prog, db, budget, cache)
+		if err != nil {
+			return nil, err
+		}
+		return &sliceStatic{AT: at, Slice: sl.BackwardSlice(criterion)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*sliceStatic), nil
+}
+
 // execMaskFor converts a static slice to the interpreter's trace mask.
 func execMaskFor(prog *ir.Program, s *staticslice.Slice) []bool {
 	mask := make([]bool, len(prog.Instrs))
@@ -93,17 +189,22 @@ type HybridSlicer struct {
 // NewHybridSlicer runs the sound static slicer (CS if it fits budget,
 // else CI) for one criterion.
 func NewHybridSlicer(prog *ir.Program, criterion *ir.Instr, budget int) (*HybridSlicer, error) {
-	sl, at, err := buildSlicer(prog, nil, budget)
+	return NewHybridSlicerCached(prog, criterion, budget, nil)
+}
+
+// NewHybridSlicerCached is NewHybridSlicer with static-artifact
+// memoization (nil cache: recompute).
+func NewHybridSlicerCached(prog *ir.Program, criterion *ir.Instr, budget int, cache *artifacts.Cache) (*HybridSlicer, error) {
+	ss, err := staticSliceFor(prog, nil, criterion, budget, cache)
 	if err != nil {
 		return nil, err
 	}
-	static := sl.BackwardSlice(criterion)
 	return &HybridSlicer{
 		Prog:      prog,
 		Criterion: criterion,
-		Static:    static,
-		AT:        at,
-		execMask:  execMaskFor(prog, static),
+		Static:    ss.Slice,
+		AT:        ss.AT,
+		execMask:  execMaskFor(prog, ss.Slice),
 	}, nil
 }
 
@@ -193,12 +294,18 @@ type OptSlice struct {
 // with the likely-unused-call-contexts restriction when it fits the
 // budget) and prepares the sound fallback.
 func NewOptSlice(prog *ir.Program, db *invariants.DB, criterion *ir.Instr, budget int) (*OptSlice, error) {
-	sl, at, err := buildSlicer(prog, db, budget)
+	return NewOptSliceCached(prog, db, criterion, budget, nil)
+}
+
+// NewOptSliceCached is NewOptSlice with static-artifact memoization
+// (nil cache: recompute). Masks are private to the returned instance;
+// the static slices are shared cached values and must not be mutated.
+func NewOptSliceCached(prog *ir.Program, db *invariants.DB, criterion *ir.Instr, budget int, cache *artifacts.Cache) (*OptSlice, error) {
+	ss, err := staticSliceFor(prog, db, criterion, budget, cache)
 	if err != nil {
 		return nil, err
 	}
-	static := sl.BackwardSlice(criterion)
-	sound, err := NewHybridSlicer(prog, criterion, budget)
+	sound, err := NewHybridSlicerCached(prog, criterion, budget, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -206,15 +313,15 @@ func NewOptSlice(prog *ir.Program, db *invariants.DB, criterion *ir.Instr, budge
 		Prog:      prog,
 		DB:        db,
 		Criterion: criterion,
-		Static:    static,
-		AT:        at,
+		Static:    ss.Slice,
+		AT:        ss.AT,
 		Sound:     sound,
-		execMask:  execMaskFor(prog, static),
+		execMask:  execMaskFor(prog, ss.Slice),
 		blockMask: checkedBlockMask(prog, db),
 		// The unused-call-contexts invariant is only assumed (and so
 		// only needs checking) when the analysis was context-sensitive
 		// under the observed-context restriction.
-		checkCtx: at == CS,
+		checkCtx: ss.AT == CS,
 	}, nil
 }
 

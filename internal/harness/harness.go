@@ -17,8 +17,11 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
+	"oha/internal/artifacts"
 	"oha/internal/core"
 	"oha/internal/ir"
 	"oha/internal/workloads"
@@ -35,6 +38,21 @@ type Options struct {
 	// Repeat repeats each timed dynamic run to stabilize wall-clock
 	// numbers.
 	Repeat int
+	// Parallel bounds the experiment worker pool: per-workload setups,
+	// testing-set replays, and profiling runs fan out over up to
+	// Parallel workers (0: runtime.GOMAXPROCS(0), 1: sequential).
+	// Every deterministic output — event counts, node counts, slice
+	// sizes, mis-speculation rates — is identical for every value;
+	// only wall-clock readings vary.
+	Parallel int
+	// ExclusiveTiming serializes timed sections on a global semaphore
+	// so wall-clock numbers stay stable under Parallel > 1, trading
+	// away most of the parallel speedup of the timed portions.
+	ExclusiveTiming bool
+	// Cache, when non-nil, memoizes static artifacts (points-to, MHP,
+	// static-race, static-slice results) and per-run profiling
+	// databases by content address across experiments.
+	Cache *artifacts.Cache
 }
 
 // Defaults fills unset options. The defaults keep the full suite
@@ -53,7 +71,47 @@ func (o Options) Defaults() Options {
 	if o.Repeat == 0 {
 		o.Repeat = 3
 	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
 	return o
+}
+
+// env bundles one experiment invocation's options with its timing gate
+// and artifact cache.
+type env struct {
+	opts Options
+	gate *sync.Mutex // non-nil: exclusive-timing semaphore
+}
+
+// newEnv prepares the experiment environment (opts must already have
+// defaults applied).
+func newEnv(opts Options) *env {
+	e := &env{opts: opts}
+	if opts.ExclusiveTiming {
+		e.gate = &sync.Mutex{}
+	}
+	return e
+}
+
+// timed measures f, holding the exclusive-timing semaphore if enabled.
+func (e *env) timed(f func() error) (float64, error) {
+	if e.gate != nil {
+		e.gate.Lock()
+		defer e.gate.Unlock()
+	}
+	return timed(f)
+}
+
+// timedN is timedN under the exclusive-timing semaphore: the whole
+// repeat loop runs exclusively so the minimum is taken over undisturbed
+// repetitions.
+func (e *env) timedN(f func() error) (float64, error) {
+	if e.gate != nil {
+		e.gate.Lock()
+		defer e.gate.Unlock()
+	}
+	return timedN(e.opts.Repeat, f)
 }
 
 // profileExec builds the profiling execution for run i.
@@ -104,14 +162,22 @@ func lastPrint(prog *ir.Program) *ir.Instr {
 }
 
 // profiled runs the profiling phase for a workload and returns the
-// result plus the measured profiling seconds.
-func profiled(w *workloads.Workload, opts Options) (*core.ProfileResult, float64, error) {
+// result plus the measured profiling seconds. Profiling runs fan out
+// over the experiment's worker pool; the merge replays sequential run
+// order, so the databases are bit-identical for every Parallel value.
+// Under ExclusiveTiming the whole profiling phase holds the timing
+// semaphore (it is a timed section).
+func profiled(w *workloads.Workload, e *env) (*core.ProfileResult, float64, error) {
 	var pr *core.ProfileResult
-	sec, err := timed(func() error {
+	sec, err := e.timed(func() error {
 		var err error
-		pr, err = core.Profile(w.Prog(), func(run int) core.Execution {
+		pr, err = core.ProfileWith(w.Prog(), func(run int) core.Execution {
 			return profileExec(w, run)
-		}, opts.ProfileRuns)
+		}, core.ProfileOptions{
+			MaxRuns: e.opts.ProfileRuns,
+			Workers: e.opts.Parallel,
+			Cache:   e.opts.Cache,
+		})
 		return err
 	})
 	if err != nil {

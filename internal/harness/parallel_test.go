@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"oha/internal/artifacts"
+)
+
+func TestMapOrderedPreservesOrder(t *testing.T) {
+	items := make([]int, 37)
+	for i := range items {
+		items[i] = i * 10
+	}
+	for _, workers := range []int{1, 4, 64} {
+		got, err := mapOrdered(workers, items, func(i, item int) (int, error) {
+			return item + i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*10+i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapOrderedLowestIndexError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	fn := func(i, item int) (int, error) {
+		if i == 2 || i == 6 {
+			return 0, fmt.Errorf("fail %d", i)
+		}
+		return item, nil
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := mapOrdered(workers, items, fn)
+		if err == nil || err.Error() != "fail 2" {
+			t.Errorf("workers=%d: err = %v, want fail 2", workers, err)
+		}
+	}
+}
+
+func TestMapOrderedEmpty(t *testing.T) {
+	got, err := mapOrdered(8, nil, func(i, item int) (int, error) {
+		return 0, errors.New("must not run")
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty map = %v, %v", got, err)
+	}
+}
+
+// deterministicFig6 strips the wall-clock fields, leaving only the
+// columns that must be identical for every pool size.
+func deterministicFig6(rows []Fig6Row) []Fig6Row {
+	out := make([]Fig6Row, len(rows))
+	copy(out, rows)
+	for i := range out {
+		out[i].PlainSec, out[i].HybridSec, out[i].OptSec = 0, 0, 0
+	}
+	return out
+}
+
+// TestHarnessParallelDeterminism asserts that the experiment pool
+// changes only wall-clock readings: every deterministic Figure 6 column
+// is identical across pool sizes, with and without a warm artifact
+// cache, and rows stay in suite order.
+func TestHarnessParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	base := tiny()
+	base.Parallel = 1
+	seq, err := Fig6(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := deterministicFig6(seq)
+
+	cache := artifacts.New("")
+	for _, parallel := range []int{2, 8} {
+		for pass := 0; pass < 2; pass++ { // second pass: warm cache
+			opts := tiny()
+			opts.Parallel = parallel
+			opts.Cache = cache
+			rows, err := Fig6(opts)
+			if err != nil {
+				t.Fatalf("parallel=%d pass=%d: %v", parallel, pass, err)
+			}
+			got := deterministicFig6(rows)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("parallel=%d pass=%d: row %d diverged:\n got %+v\nwant %+v",
+						parallel, pass, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Errorf("warm passes never hit the cache: %+v", st)
+	}
+}
+
+// TestExclusiveTimingStillCorrect runs an experiment with the timing
+// semaphore enabled and checks the deterministic columns survive.
+func TestExclusiveTimingStillCorrect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	opts := tiny()
+	opts.Parallel = 4
+	opts.ExclusiveTiming = true
+	rows, err := Fig6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := deterministicFig6(rows), deterministicFig6(seq)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d diverged under exclusive timing", i)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package harness
+
+import "sync"
+
+// mapOrdered evaluates fn over items on a bounded worker pool and
+// returns the results in item order, so experiment rows come out in the
+// same order as the sequential loops they replace. Errors are captured
+// per item; the lowest-index error is the one returned — exactly the
+// error a sequential scan would have reported first — so the observable
+// outcome is independent of the worker count. workers <= 1 runs inline
+// with the sequential early-exit behavior.
+func mapOrdered[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i, it := range items {
+			r, err := fn(i, it)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	errs := make([]error, len(items))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = fn(i, items[i])
+			}
+		}()
+	}
+	for i := range items {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

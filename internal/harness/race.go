@@ -50,21 +50,21 @@ type raceSetup struct {
 	predSec    float64 // predicated static analysis + custom-sync seconds
 }
 
-func setupRace(w *workloads.Workload, opts Options) (*raceSetup, error) {
-	pr, profSec, err := profiled(w, opts)
+func setupRace(w *workloads.Workload, e *env) (*raceSetup, error) {
+	pr, profSec, err := profiled(w, e)
 	if err != nil {
 		return nil, err
 	}
 	s := &raceSetup{w: w, pr: pr, profileSec: profSec}
-	s.soundSec, err = timed(func() error {
-		_, err := core.NewHybridFT(w.Prog())
+	s.soundSec, err = e.timed(func() error {
+		_, err := core.NewHybridFTCached(w.Prog(), e.opts.Cache)
 		return err
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s: sound static: %w", w.Name, err)
 	}
-	s.predSec, err = timed(func() error {
-		o, err := core.NewOptFT(w.Prog(), pr.DB)
+	s.predSec, err = e.timed(func() error {
+		o, err := core.NewOptFTCached(w.Prog(), pr.DB, e.opts.Cache)
 		if err != nil {
 			return err
 		}
@@ -86,79 +86,86 @@ func setupRace(w *workloads.Workload, opts Options) (*raceSetup, error) {
 	return s, nil
 }
 
-// Fig5 measures the race-detection suite.
+// Fig5 measures the race-detection suite. Workloads run on the
+// experiment worker pool (Options.Parallel); rows keep the Figure 5
+// order and every deterministic column is independent of the pool size.
 func Fig5(opts Options) ([]Fig5Row, error) {
 	opts = opts.Defaults()
-	var rows []Fig5Row
-	for _, w := range workloads.Races() {
-		s, err := setupRace(w, opts)
-		if err != nil {
-			return nil, err
-		}
-		row := Fig5Row{
-			Name:       w.Name,
-			RaceFree:   w.RaceFree,
-			SoundPairs: len(s.opt.Sound.Static.Pairs),
-			PredPairs:  len(s.opt.Pred.Pairs),
-		}
+	env := newEnv(opts)
+	return mapOrdered(opts.Parallel, workloads.Races(), func(_ int, w *workloads.Workload) (Fig5Row, error) {
+		return fig5Row(env, w)
+	})
+}
 
-		prog := w.Prog()
-		for i := 0; i < opts.TestRuns; i++ {
-			e := testExec(w, i)
-			sec, err := timedN(opts.Repeat, func() error {
-				_, err := core.RunPlain(prog, e, core.RunOptions{})
-				return err
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s: plain: %w", w.Name, err)
-			}
-			row.PlainSec += sec
-
-			var ft, hy, op *core.RaceReport
-			sec, err = timedN(opts.Repeat, func() error {
-				ft, err = core.RunFastTrack(prog, e, core.RunOptions{})
-				return err
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s: fasttrack: %w", w.Name, err)
-			}
-			row.FTSec += sec
-			row.FTEvents += ft.Stats.InstrumentedOps()
-
-			sec, err = timedN(opts.Repeat, func() error {
-				hy, err = s.opt.Sound.Run(e, core.RunOptions{})
-				return err
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s: hybrid: %w", w.Name, err)
-			}
-			row.HybridSec += sec
-			row.HybridEvents += hy.Stats.InstrumentedOps()
-
-			sec, err = timedN(opts.Repeat, func() error {
-				op, err = s.opt.Run(e, core.RunOptions{})
-				return err
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s: optimistic: %w", w.Name, err)
-			}
-			row.OptSec += sec
-			row.OptEvents += op.Stats.InstrumentedOps()
-			row.CheckEvents += op.CheckEvents
-			if op.RolledBack {
-				row.Rollbacks++
-			}
-
-			// Soundness gate: the three detectors must flag the same
-			// racy variables (FastTrack's cross-configuration guarantee).
-			if !core.SameRaces(ft, hy) || !core.SameRaces(ft, op) {
-				return nil, fmt.Errorf("%s: race reports diverged (ft=%v hybrid=%v opt=%v)",
-					w.Name, ft.Races, hy.Races, op.Races)
-			}
-		}
-		rows = append(rows, row)
+// fig5Row measures one benchmark for Figure 5.
+func fig5Row(env *env, w *workloads.Workload) (Fig5Row, error) {
+	opts := env.opts
+	s, err := setupRace(w, env)
+	if err != nil {
+		return Fig5Row{}, err
 	}
-	return rows, nil
+	row := Fig5Row{
+		Name:       w.Name,
+		RaceFree:   w.RaceFree,
+		SoundPairs: len(s.opt.Sound.Static.Pairs),
+		PredPairs:  len(s.opt.Pred.Pairs),
+	}
+
+	prog := w.Prog()
+	for i := 0; i < opts.TestRuns; i++ {
+		e := testExec(w, i)
+		sec, err := env.timedN(func() error {
+			_, err := core.RunPlain(prog, e, core.RunOptions{})
+			return err
+		})
+		if err != nil {
+			return Fig5Row{}, fmt.Errorf("%s: plain: %w", w.Name, err)
+		}
+		row.PlainSec += sec
+
+		var ft, hy, op *core.RaceReport
+		sec, err = env.timedN(func() error {
+			ft, err = core.RunFastTrack(prog, e, core.RunOptions{})
+			return err
+		})
+		if err != nil {
+			return Fig5Row{}, fmt.Errorf("%s: fasttrack: %w", w.Name, err)
+		}
+		row.FTSec += sec
+		row.FTEvents += ft.Stats.InstrumentedOps()
+
+		sec, err = env.timedN(func() error {
+			hy, err = s.opt.Sound.Run(e, core.RunOptions{})
+			return err
+		})
+		if err != nil {
+			return Fig5Row{}, fmt.Errorf("%s: hybrid: %w", w.Name, err)
+		}
+		row.HybridSec += sec
+		row.HybridEvents += hy.Stats.InstrumentedOps()
+
+		sec, err = env.timedN(func() error {
+			op, err = s.opt.Run(e, core.RunOptions{})
+			return err
+		})
+		if err != nil {
+			return Fig5Row{}, fmt.Errorf("%s: optimistic: %w", w.Name, err)
+		}
+		row.OptSec += sec
+		row.OptEvents += op.Stats.InstrumentedOps()
+		row.CheckEvents += op.CheckEvents
+		if op.RolledBack {
+			row.Rollbacks++
+		}
+
+		// Soundness gate: the three detectors must flag the same
+		// racy variables (FastTrack's cross-configuration guarantee).
+		if !core.SameRaces(ft, hy) || !core.SameRaces(ft, op) {
+			return Fig5Row{}, fmt.Errorf("%s: race reports diverged (ft=%v hybrid=%v opt=%v)",
+				w.Name, ft.Races, hy.Races, op.Races)
+		}
+	}
+	return row, nil
 }
 
 // PrintFig5 renders the Figure 5 table.
@@ -210,15 +217,18 @@ func Tab1(opts Options) ([]Tab1Row, error) {
 	for _, r := range fig5 {
 		byName[r.Name] = r
 	}
-	var rows []Tab1Row
+	env := newEnv(opts)
+	var racy []*workloads.Workload
 	for _, w := range workloads.Races() {
-		if w.RaceFree {
-			continue
+		if !w.RaceFree {
+			racy = append(racy, w)
 		}
+	}
+	return mapOrdered(opts.Parallel, racy, func(_ int, w *workloads.Workload) (Tab1Row, error) {
 		f5 := byName[w.Name]
-		s, err := setupRace(w, opts)
+		s, err := setupRace(w, env)
 		if err != nil {
-			return nil, err
+			return Tab1Row{}, err
 		}
 		row := Tab1Row{
 			Name:        w.Name,
@@ -237,9 +247,8 @@ func Tab1(opts Options) ([]Tab1Row, error) {
 			s.profileSec+s.predSec+s.soundSec,
 			0,
 			f5.FTSec/f5.PlainSec, f5.OptSec/f5.PlainSec)
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 func ratio(a, b float64) float64 {

@@ -47,25 +47,25 @@ type sliceSetup struct {
 	predSec    float64
 }
 
-func setupSlice(w *workloads.Workload, opts Options) (*sliceSetup, error) {
-	pr, profSec, err := profiled(w, opts)
+func setupSlice(w *workloads.Workload, e *env) (*sliceSetup, error) {
+	pr, profSec, err := profiled(w, e)
 	if err != nil {
 		return nil, err
 	}
 	prog := w.Prog()
 	criterion := lastPrint(prog)
 	s := &sliceSetup{w: w, pr: pr, profileSec: profSec}
-	s.soundSec, err = timed(func() error {
+	s.soundSec, err = e.timed(func() error {
 		var err error
-		s.hy, err = core.NewHybridSlicer(prog, criterion, opts.Budget)
+		s.hy, err = core.NewHybridSlicerCached(prog, criterion, e.opts.Budget, e.opts.Cache)
 		return err
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s: sound static slice: %w", w.Name, err)
 	}
-	s.predSec, err = timed(func() error {
+	s.predSec, err = e.timed(func() error {
 		var err error
-		s.opt, err = core.NewOptSlice(prog, pr.DB, criterion, opts.Budget)
+		s.opt, err = core.NewOptSliceCached(prog, pr.DB, criterion, e.opts.Budget, e.opts.Cache)
 		return err
 	})
 	if err != nil {
@@ -74,68 +74,75 @@ func setupSlice(w *workloads.Workload, opts Options) (*sliceSetup, error) {
 	return s, nil
 }
 
-// Fig6 measures the slicing suite.
+// Fig6 measures the slicing suite. Workloads run on the experiment
+// worker pool (Options.Parallel); rows keep the Figure 6 order and
+// every deterministic column is independent of the pool size.
 func Fig6(opts Options) ([]Fig6Row, error) {
 	opts = opts.Defaults()
-	var rows []Fig6Row
-	for _, w := range workloads.Slices() {
-		s, err := setupSlice(w, opts)
-		if err != nil {
-			return nil, err
-		}
-		row := Fig6Row{
-			Name:         w.Name,
-			HybridStatic: s.hy.Static.Size(),
-			OptStatic:    s.opt.Static.Size(),
-			HybridAT:     s.hy.AT,
-			OptAT:        s.opt.AT,
-		}
-		prog := w.Prog()
-		for i := 0; i < opts.TestRuns; i++ {
-			e := testExec(w, i)
-			sec, err := timedN(opts.Repeat, func() error {
-				_, err := core.RunPlain(prog, e, core.RunOptions{})
-				return err
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s: plain: %w", w.Name, err)
-			}
-			row.PlainSec += sec
+	env := newEnv(opts)
+	return mapOrdered(opts.Parallel, workloads.Slices(), func(_ int, w *workloads.Workload) (Fig6Row, error) {
+		return fig6Row(env, w)
+	})
+}
 
-			var hrep, orep *core.SliceReport
-			sec, err = timedN(opts.Repeat, func() error {
-				hrep, err = s.hy.Run(e, core.RunOptions{})
-				return err
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s: hybrid: %w", w.Name, err)
-			}
-			row.HybridSec += sec
-			row.HybridNodes += uint64(hrep.TraceNodes)
-
-			sec, err = timedN(opts.Repeat, func() error {
-				orep, err = s.opt.Run(e, core.RunOptions{})
-				return err
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s: optimistic: %w", w.Name, err)
-			}
-			row.OptSec += sec
-			row.OptNodes += uint64(orep.TraceNodes)
-			row.CheckEvents += orep.CheckEvents
-			if orep.RolledBack {
-				row.Rollbacks++
-			}
-
-			// Soundness gate: identical dynamic slices.
-			if (hrep.Slice == nil) != (orep.Slice == nil) ||
-				(hrep.Slice != nil && !hrep.Slice.Equal(orep.Slice)) {
-				return nil, fmt.Errorf("%s: dynamic slices diverged on test %d", w.Name, i)
-			}
-		}
-		rows = append(rows, row)
+// fig6Row measures one benchmark for Figure 6.
+func fig6Row(env *env, w *workloads.Workload) (Fig6Row, error) {
+	opts := env.opts
+	s, err := setupSlice(w, env)
+	if err != nil {
+		return Fig6Row{}, err
 	}
-	return rows, nil
+	row := Fig6Row{
+		Name:         w.Name,
+		HybridStatic: s.hy.Static.Size(),
+		OptStatic:    s.opt.Static.Size(),
+		HybridAT:     s.hy.AT,
+		OptAT:        s.opt.AT,
+	}
+	prog := w.Prog()
+	for i := 0; i < opts.TestRuns; i++ {
+		e := testExec(w, i)
+		sec, err := env.timedN(func() error {
+			_, err := core.RunPlain(prog, e, core.RunOptions{})
+			return err
+		})
+		if err != nil {
+			return Fig6Row{}, fmt.Errorf("%s: plain: %w", w.Name, err)
+		}
+		row.PlainSec += sec
+
+		var hrep, orep *core.SliceReport
+		sec, err = env.timedN(func() error {
+			hrep, err = s.hy.Run(e, core.RunOptions{})
+			return err
+		})
+		if err != nil {
+			return Fig6Row{}, fmt.Errorf("%s: hybrid: %w", w.Name, err)
+		}
+		row.HybridSec += sec
+		row.HybridNodes += uint64(hrep.TraceNodes)
+
+		sec, err = env.timedN(func() error {
+			orep, err = s.opt.Run(e, core.RunOptions{})
+			return err
+		})
+		if err != nil {
+			return Fig6Row{}, fmt.Errorf("%s: optimistic: %w", w.Name, err)
+		}
+		row.OptSec += sec
+		row.OptNodes += uint64(orep.TraceNodes)
+		row.CheckEvents += orep.CheckEvents
+		if orep.RolledBack {
+			row.Rollbacks++
+		}
+
+		// Soundness gate: identical dynamic slices.
+		if (hrep.Slice == nil) != (orep.Slice == nil) ||
+			(hrep.Slice != nil && !hrep.Slice.Equal(orep.Slice)) {
+			return Fig6Row{}, fmt.Errorf("%s: dynamic slices diverged on test %d", w.Name, i)
+		}
+	}
+	return row, nil
 }
 
 // PrintFig6 renders the Figure 6 table.
@@ -177,11 +184,11 @@ func Tab2(opts Options) ([]Tab2Row, error) {
 	for _, r := range fig6 {
 		byName[r.Name] = r
 	}
-	var rows []Tab2Row
-	for _, w := range workloads.Slices() {
-		s, err := setupSlice(w, opts)
+	env := newEnv(opts)
+	return mapOrdered(opts.Parallel, workloads.Slices(), func(_ int, w *workloads.Workload) (Tab2Row, error) {
+		s, err := setupSlice(w, env)
 		if err != nil {
-			return nil, err
+			return Tab2Row{}, err
 		}
 		f6 := byName[w.Name]
 		row := Tab2Row{
@@ -198,9 +205,8 @@ func Tab2(opts Options) ([]Tab2Row, error) {
 			s.profileSec+s.predSec+s.soundSec, // optimistic startup (sound analysis kept for rollback)
 			s.soundSec,
 			f6.HybridSec/f6.PlainSec, f6.OptSec/f6.PlainSec)
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // PrintTab2 renders the Table 2 table.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"oha/internal/artifacts"
 	"oha/internal/bitset"
 	"oha/internal/core"
 	"oha/internal/ctxs"
@@ -16,10 +17,12 @@ import (
 )
 
 // bestPointsTo runs the most precise points-to analysis that fits the
-// budget, mirroring core.buildSlicer's discipline.
-func bestPointsTo(prog *ir.Program, db *invariants.DB, budget int) (*pointsto.Result, core.SliceAnalysisType, error) {
+// budget, mirroring core.buildSlicer's discipline: context-sensitive
+// first — optionally restricted to the profiled contexts — falling back
+// to context-insensitive when the clone budget is exhausted.
+func bestPointsTo(prog *ir.Program, db *invariants.DB, budget int, restrictCtx bool) (*pointsto.Result, core.SliceAnalysisType, error) {
 	var allowed *invariants.ContextSet
-	if db != nil {
+	if restrictCtx && db != nil {
 		allowed = db.Contexts
 	}
 	pt, err := pointsto.Analyze(prog, ctxs.NewCS(prog, budget, allowed), db)
@@ -33,6 +36,66 @@ func bestPointsTo(prog *ir.Program, db *invariants.DB, budget int) (*pointsto.Re
 	return pt, core.CI, err
 }
 
+// ptArtifact pairs a points-to result with the analysis tier reached.
+// It is cached read-only: pointsto.Result is immutable after Analyze.
+type ptArtifact struct {
+	pt *pointsto.Result
+	at core.SliceAnalysisType
+}
+
+// cachedPointsTo memoizes bestPointsTo by content address (memory layer
+// only: the result graph is pointer-laden). A nil db makes restrictCtx
+// irrelevant, so the flag is normalized to share one cache entry.
+func cachedPointsTo(e *env, prog *ir.Program, db *invariants.DB, restrictCtx bool) (*pointsto.Result, core.SliceAnalysisType, error) {
+	if db == nil {
+		restrictCtx = false
+	}
+	key := artifacts.Key(artifacts.KindPointsTo, prog, db, e.opts.Budget,
+		"best", fmt.Sprintf("restrict=%v", restrictCtx))
+	v, err := e.opts.Cache.Memo(key, nil, func() (any, error) {
+		pt, at, err := bestPointsTo(prog, db, e.opts.Budget, restrictCtx)
+		if err != nil {
+			return nil, err
+		}
+		return ptArtifact{pt, at}, nil
+	})
+	if err != nil {
+		return nil, core.CI, err
+	}
+	a := v.(ptArtifact)
+	return a.pt, a.at, nil
+}
+
+// avgSliceArtifact memoizes the Figure 10/11 endpoint-set average.
+type avgSliceArtifact struct {
+	size float64
+	at   core.SliceAnalysisType
+}
+
+// cachedAvgSlice returns the average static slice size over the
+// program's endpoints under the given invariant database, memoized by
+// content address (Figures 10 and 11 share entries where their
+// configurations coincide).
+func cachedAvgSlice(e *env, prog *ir.Program, db *invariants.DB, restrictCtx bool) (float64, core.SliceAnalysisType, error) {
+	if db == nil {
+		restrictCtx = false
+	}
+	key := artifacts.Key(artifacts.KindSlice, prog, db, e.opts.Budget,
+		"avg-endpoints", fmt.Sprintf("restrict=%v", restrictCtx))
+	v, err := e.opts.Cache.Memo(key, nil, func() (any, error) {
+		pt, at, err := cachedPointsTo(e, prog, db, restrictCtx)
+		if err != nil {
+			return nil, err
+		}
+		return avgSliceArtifact{avgSliceSize(staticslice.New(pt), endpoints(prog)), at}, nil
+	})
+	if err != nil {
+		return 0, core.CI, err
+	}
+	a := v.(avgSliceArtifact)
+	return a.size, a.at, nil
+}
+
 // Fig9Row reports base vs optimistic alias rates (Figure 9).
 type Fig9Row struct {
 	Name     string
@@ -42,22 +105,23 @@ type Fig9Row struct {
 	OptAT    core.SliceAnalysisType
 }
 
-// Fig9 measures points-to precision.
+// Fig9 measures points-to precision. Workloads run on the experiment
+// worker pool; rows keep the suite order.
 func Fig9(opts Options) ([]Fig9Row, error) {
 	opts = opts.Defaults()
-	var rows []Fig9Row
-	for _, w := range workloads.Slices() {
-		pr, _, err := profiled(w, opts)
+	env := newEnv(opts)
+	return mapOrdered(opts.Parallel, workloads.Slices(), func(_ int, w *workloads.Workload) (Fig9Row, error) {
+		pr, _, err := profiled(w, env)
 		if err != nil {
-			return nil, err
+			return Fig9Row{}, err
 		}
-		base, baseAT, err := bestPointsTo(w.Prog(), nil, opts.Budget)
+		base, baseAT, err := cachedPointsTo(env, w.Prog(), nil, false)
 		if err != nil {
-			return nil, fmt.Errorf("%s: base points-to: %w", w.Name, err)
+			return Fig9Row{}, fmt.Errorf("%s: base points-to: %w", w.Name, err)
 		}
-		opt, optAT, err := bestPointsTo(w.Prog(), pr.DB, opts.Budget)
+		opt, optAT, err := cachedPointsTo(env, w.Prog(), pr.DB, true)
 		if err != nil {
-			return nil, fmt.Errorf("%s: optimistic points-to: %w", w.Name, err)
+			return Fig9Row{}, fmt.Errorf("%s: optimistic points-to: %w", w.Name, err)
 		}
 		// Fairness (§6.3): both rates are computed over the loads and
 		// stores present in the optimistic analysis.
@@ -70,15 +134,14 @@ func Fig9(opts Options) ([]Fig9Row, error) {
 				stores = append(stores, in)
 			}
 		}
-		rows = append(rows, Fig9Row{
+		return Fig9Row{
 			Name:     w.Name,
 			BaseRate: base.AliasRateOver(loads, stores),
 			OptRate:  opt.AliasRateOver(loads, stores),
 			BaseAT:   baseAT,
 			OptAT:    optAT,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // PrintFig9 renders the alias-rate comparison.
@@ -121,33 +184,33 @@ func avgSliceSize(sl *staticslice.Slicer, eps []*ir.Instr) float64 {
 	return float64(total) / float64(len(eps))
 }
 
-// Fig10 measures static slice sizes.
+// Fig10 measures static slice sizes. Workloads run on the experiment
+// worker pool; a warm cache shares the per-configuration averages with
+// Figure 11.
 func Fig10(opts Options) ([]Fig10Row, error) {
 	opts = opts.Defaults()
-	var rows []Fig10Row
-	for _, w := range workloads.Slices() {
+	env := newEnv(opts)
+	return mapOrdered(opts.Parallel, workloads.Slices(), func(_ int, w *workloads.Workload) (Fig10Row, error) {
 		prog := w.Prog()
-		eps := endpoints(prog)
-		pr, _, err := profiled(w, opts)
+		pr, _, err := profiled(w, env)
 		if err != nil {
-			return nil, err
+			return Fig10Row{}, err
 		}
-		base, _, err := bestPointsTo(prog, nil, opts.Budget)
+		base, _, err := cachedAvgSlice(env, prog, nil, false)
 		if err != nil {
-			return nil, err
+			return Fig10Row{}, err
 		}
-		opt, _, err := bestPointsTo(prog, pr.DB, opts.Budget)
+		opt, _, err := cachedAvgSlice(env, prog, pr.DB, true)
 		if err != nil {
-			return nil, err
+			return Fig10Row{}, err
 		}
-		rows = append(rows, Fig10Row{
+		return Fig10Row{
 			Name:      w.Name,
-			BaseSize:  avgSliceSize(staticslice.New(base), eps),
-			OptSize:   avgSliceSize(staticslice.New(opt), eps),
-			Endpoints: len(eps),
-		})
-	}
-	return rows, nil
+			BaseSize:  base,
+			OptSize:   opt,
+			Endpoints: len(endpoints(prog)),
+		}, nil
+	})
 }
 
 // PrintFig10 renders the slice-size comparison.
@@ -174,46 +237,31 @@ type Fig11Row struct {
 	BaseAT, ContextsAT core.SliceAnalysisType
 }
 
-// Fig11 measures the invariant ablation.
+// Fig11 measures the invariant ablation. Workloads run on the
+// experiment worker pool; each ablation step is memoized by the content
+// address of its invariant configuration, so the sound baseline and the
+// full-database step share cache entries with Figures 9/10.
 func Fig11(opts Options) ([]Fig11Row, error) {
 	opts = opts.Defaults()
-	var rows []Fig11Row
-	for _, w := range workloads.Slices() {
+	env := newEnv(opts)
+	return mapOrdered(opts.Parallel, workloads.Slices(), func(_ int, w *workloads.Workload) (Fig11Row, error) {
 		prog := w.Prog()
-		eps := endpoints(prog)
-		pr, _, err := profiled(w, opts)
+		pr, _, err := profiled(w, env)
 		if err != nil {
-			return nil, err
+			return Fig11Row{}, err
 		}
 		row := Fig11Row{Name: w.Name}
 
-		measure := func(db *invariants.DB, restrictCtx bool) (float64, core.SliceAnalysisType, error) {
-			var allowed *invariants.ContextSet
-			if restrictCtx && db != nil {
-				allowed = db.Contexts
-			}
-			pt, err := pointsto.Analyze(prog, ctxs.NewCS(prog, opts.Budget, allowed), db)
-			at := core.CS
-			if errors.Is(err, ctxs.ErrBudget) {
-				pt, err = pointsto.Analyze(prog, ctxs.NewCI(prog), db)
-				at = core.CI
-			}
-			if err != nil {
-				return 0, at, err
-			}
-			return avgSliceSize(staticslice.New(pt), eps), at, nil
-		}
-
 		// Sound baseline.
-		row.Base, row.BaseAT, err = measure(nil, false)
+		row.Base, row.BaseAT, err = cachedAvgSlice(env, prog, nil, false)
 		if err != nil {
-			return nil, err
+			return Fig11Row{}, err
 		}
 		// + likely-unreachable code only.
 		lucOnly := lucOnlyDB(pr.DB, prog)
-		row.LUC, _, err = measure(lucOnly, false)
+		row.LUC, _, err = cachedAvgSlice(env, prog, lucOnly, false)
 		if err != nil {
-			return nil, err
+			return Fig11Row{}, err
 		}
 		// + likely callee sets.
 		withCallees := lucOnly.Clone()
@@ -221,18 +269,17 @@ func Fig11(opts Options) ([]Fig11Row, error) {
 		for k, v := range pr.DB.Callees {
 			withCallees.Callees[k] = v.Clone()
 		}
-		row.Callees, _, err = measure(withCallees, false)
+		row.Callees, _, err = cachedAvgSlice(env, prog, withCallees, false)
 		if err != nil {
-			return nil, err
+			return Fig11Row{}, err
 		}
 		// + likely-unused call contexts (may unlock CS).
-		row.Contexts, row.ContextsAT, err = measure(pr.DB, true)
+		row.Contexts, row.ContextsAT, err = cachedAvgSlice(env, prog, pr.DB, true)
 		if err != nil {
-			return nil, err
+			return Fig11Row{}, err
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // lucOnlyDB builds a database with only the visited-blocks invariant

@@ -34,10 +34,13 @@ var defaultSweep = []int{1, 2, 4, 8, 16, 32, 64}
 // Sweep runs the Figure 7 + Figure 8 profiling sweeps for the slicing
 // suite: for growing profiling sets, measure mis-speculation rates on
 // the testing set and the resulting predicated static slice sizes.
+// Workloads run on the experiment worker pool; the per-run databases of
+// successive sweep points overlap, so a warm artifact cache profiles
+// each execution exactly once across the whole sweep.
 func Sweep(opts Options) ([]SweepRow, error) {
 	opts = opts.Defaults()
-	var rows []SweepRow
-	for _, w := range workloads.Slices() {
+	env := newEnv(opts)
+	return mapOrdered(opts.Parallel, workloads.Slices(), func(_ int, w *workloads.Workload) (SweepRow, error) {
 		prog := w.Prog()
 		criterion := lastPrint(prog)
 		row := SweepRow{Name: w.Name}
@@ -48,18 +51,18 @@ func Sweep(opts Options) ([]SweepRow, error) {
 			}
 			pt := SweepPoint{ProfileRuns: k}
 			var db *invariants.DB
-			sec, err := timed(func() error {
+			sec, err := env.timed(func() error {
 				var err error
-				db, err = core.ProfileN(prog, execs)
+				db, err = core.ProfileNWith(prog, execs, opts.Parallel, opts.Cache)
 				return err
 			})
 			if err != nil {
-				return nil, fmt.Errorf("%s: profiling %d runs: %w", w.Name, k, err)
+				return SweepRow{}, fmt.Errorf("%s: profiling %d runs: %w", w.Name, k, err)
 			}
 			pt.ProfileSec = sec
-			opt, err := core.NewOptSlice(prog, db, criterion, opts.Budget)
+			opt, err := core.NewOptSliceCached(prog, db, criterion, opts.Budget, opts.Cache)
 			if err != nil {
-				return nil, fmt.Errorf("%s: static: %w", w.Name, err)
+				return SweepRow{}, fmt.Errorf("%s: static: %w", w.Name, err)
 			}
 			pt.SliceSize = float64(opt.Static.Size())
 			miss := 0
@@ -67,7 +70,7 @@ func Sweep(opts Options) ([]SweepRow, error) {
 			for i := 0; i < trials; i++ {
 				rep, err := opt.Run(testExec(w, i), core.RunOptions{})
 				if err != nil {
-					return nil, fmt.Errorf("%s: test run: %w", w.Name, err)
+					return SweepRow{}, fmt.Errorf("%s: test run: %w", w.Name, err)
 				}
 				if rep.RolledBack {
 					miss++
@@ -76,9 +79,8 @@ func Sweep(opts Options) ([]SweepRow, error) {
 			pt.MisSpecRate = float64(miss) / float64(trials)
 			row.Points = append(row.Points, pt)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // PrintFig7 renders the mis-speculation-rate series (Figure 7).

@@ -1,0 +1,125 @@
+package profile
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/lang"
+	"oha/internal/workloads"
+)
+
+func dbBytes(t *testing.T, db *invariants.DB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestProfileParallelDeterminism is the regression test for the
+// parallel convergence loop: for several workloads, profiling with
+// worker pools of 1, 2 and 8 must produce an invariant database that is
+// byte-identical (canonical serialization) to the sequential loop, with
+// the same run count and per-block statistics.
+func TestProfileParallelDeterminism(t *testing.T) {
+	for _, name := range []string{"lusearch", "zlib", "vim"} {
+		w := workloads.ByName(name)
+		if w == nil {
+			t.Fatalf("unknown workload %s", name)
+		}
+		prog := w.Prog()
+		gen := func(run int) ([]int64, uint64) {
+			return w.GenInput(run), uint64(run + 1)
+		}
+		seqDB, seqStats, err := ConvergeOpt(prog, gen, Options{MaxRuns: 24, StableWindow: 3, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", name, err)
+		}
+		want := dbBytes(t, seqDB)
+		for _, workers := range []int{1, 2, 8} {
+			db, st, err := ConvergeOpt(prog, gen, Options{MaxRuns: 24, StableWindow: 3, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s/workers=%d: %v", name, workers, err)
+			}
+			if st.Runs != seqStats.Runs {
+				t.Errorf("%s/workers=%d: runs = %d, sequential %d", name, workers, st.Runs, seqStats.Runs)
+			}
+			if len(st.BlockRuns) != len(seqStats.BlockRuns) {
+				t.Errorf("%s/workers=%d: block-run stats diverged", name, workers)
+			}
+			for b, n := range seqStats.BlockRuns {
+				if st.BlockRuns[b] != n {
+					t.Errorf("%s/workers=%d: block %d runs = %d, want %d", name, workers, b, st.BlockRuns[b], n)
+				}
+			}
+			if !bytes.Equal(dbBytes(t, db), want) {
+				t.Errorf("%s/workers=%d: database not byte-identical to sequential", name, workers)
+			}
+		}
+	}
+}
+
+func TestRunAllOrderAndLowestError(t *testing.T) {
+	prog := lang.MustCompile(`func main() { print(input(0)); }`)
+	execs := make([]Exec, 8)
+	for i := range execs {
+		execs[i] = Exec{Inputs: []int64{int64(i)}, Seed: uint64(i + 1)}
+	}
+
+	// The pool must return per-run databases in execution order.
+	seq, err := RunAll(prog, execs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAll(prog, execs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range execs {
+		if !seq[i].Equal(par[i]) {
+			t.Errorf("run %d: parallel database differs from sequential", i)
+		}
+	}
+
+	// On failure, the reported error is the lowest-index one — the
+	// error the sequential loop would have surfaced.
+	failing := func(p *ir.Program, inputs []int64, seed uint64) (*invariants.DB, error) {
+		if seed == 3 || seed == 6 {
+			return nil, fmt.Errorf("boom %d", seed)
+		}
+		return Run(p, inputs, seed)
+	}
+	if _, err := RunAllWith(prog, execs, 4, failing); err == nil || err.Error() != "boom 3" {
+		t.Errorf("error = %v, want boom 3", err)
+	}
+}
+
+// TestConvergeOptGenOrder pins the generator contract: gen is invoked
+// from the calling goroutine, in strictly increasing run order (it may
+// run past the convergence point by less than one batch).
+func TestConvergeOptGenOrder(t *testing.T) {
+	w := workloads.ByName("zlib")
+	var calls []int
+	_, st, err := ConvergeOpt(w.Prog(), func(run int) ([]int64, uint64) {
+		calls = append(calls, run)
+		return w.GenInput(run), uint64(run + 1)
+	}, Options{MaxRuns: 32, StableWindow: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range calls {
+		if c != i {
+			t.Fatalf("gen call %d got run %d", i, c)
+		}
+	}
+	if len(calls) < st.Runs {
+		t.Errorf("gen called %d times for %d runs", len(calls), st.Runs)
+	}
+	if over := len(calls) - st.Runs; over >= 4 {
+		t.Errorf("gen over-scheduled %d runs past convergence (batch is 4)", over)
+	}
+}

@@ -14,8 +14,6 @@
 package profile
 
 import (
-	"errors"
-
 	"oha/internal/bitset"
 	"oha/internal/interp"
 	"oha/internal/invariants"
@@ -256,43 +254,9 @@ func Converge(prog *ir.Program, gen func(run int) (inputs []int64, seed uint64),
 }
 
 // ConvergeWithStats is Converge, additionally returning per-block
-// visit-run counts for aggressive-invariant construction.
+// visit-run counts for aggressive-invariant construction. It runs
+// strictly sequentially; ConvergeOpt fans runs out over a worker pool
+// with bit-identical results.
 func ConvergeWithStats(prog *ir.Program, gen func(run int) (inputs []int64, seed uint64), maxRuns, stableWindow int) (*invariants.DB, *Stats, error) {
-	if stableWindow <= 0 {
-		stableWindow = 3
-	}
-	st := &Stats{BlockRuns: map[int]int{}}
-	var merged *invariants.DB
-	stable := 0
-	for st.Runs < maxRuns {
-		inputs, seed := gen(st.Runs)
-		db, err := Run(prog, inputs, seed)
-		if err != nil {
-			return nil, st, err
-		}
-		st.Runs++
-		db.Visited.ForEach(func(b int) bool {
-			st.BlockRuns[b]++
-			return true
-		})
-		if merged == nil {
-			merged = db
-			stable = 0
-			continue
-		}
-		before := merged.Clone()
-		merged.MergeInto(db)
-		if merged.Equal(before) {
-			stable++
-			if stable >= stableWindow {
-				break
-			}
-		} else {
-			stable = 0
-		}
-	}
-	if merged == nil {
-		return nil, st, errors.New("profile: no executions profiled (maxRuns < 1)")
-	}
-	return merged, st, nil
+	return ConvergeOpt(prog, gen, Options{MaxRuns: maxRuns, StableWindow: stableWindow, Workers: 1})
 }

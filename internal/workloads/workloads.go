@@ -20,6 +20,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"oha/internal/ir"
 	"oha/internal/lang"
@@ -50,18 +51,20 @@ type Workload struct {
 	// Notes describes which paper behaviour the model reproduces.
 	Notes string
 
-	prog *ir.Program
+	compileOnce sync.Once
+	prog        *ir.Program
 }
 
-// Prog returns the compiled program (cached).
+// Prog returns the compiled program (cached; safe for concurrent use
+// by the parallel evaluation pipeline).
 func (w *Workload) Prog() *ir.Program {
-	if w.prog == nil {
+	w.compileOnce.Do(func() {
 		p, err := lang.Compile(w.Source)
 		if err != nil {
 			panic(fmt.Sprintf("workload %s: %v", w.Name, err))
 		}
 		w.prog = p
-	}
+	})
 	return w.prog
 }
 
