@@ -15,6 +15,11 @@
 //	oha slice file.ml -inv invariants.txt [-in 1,2,3] [-seed 7] [-criterion N]
 //	    Run OptSlice from the N-th print (default: last) and print the
 //	    sliced source lines.
+//
+// Flags may be given before or after the program file. With
+// -cache-dir DIR, static-analysis artifacts persist across
+// invocations, so repeated analyses of an unchanged program skip the
+// static solves (the same cache a long-running `ohad` keeps warm).
 package main
 
 import (
@@ -29,10 +34,10 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 3 {
+	if len(os.Args) < 2 {
 		usage()
 	}
-	cmd, file := os.Args[1], os.Args[2]
+	cmd := os.Args[1]
 	fs := flag.NewFlagSet("oha", flag.ExitOnError)
 	inputs := fs.String("in", "", "comma-separated input words")
 	seed := fs.Uint64("seed", 1, "schedule seed for the analyzed execution")
@@ -42,19 +47,35 @@ func main() {
 	baseline := fs.Bool("baseline", false, "race: run unoptimized FastTrack instead")
 	criterion := fs.Int("criterion", -1, "slice: print-statement index (default: last)")
 	budget := fs.Int("budget", 4096, "slice: context-sensitive analysis budget")
-	fs.Parse(os.Args[3:])
+	cacheDir := fs.String("cache-dir", "", "persist static-analysis artifacts under this directory (default: in-memory only)")
+
+	// Flags may appear before or after the one positional file:
+	// `oha race -inv x.txt prog.ml` and `oha race prog.ml -inv x.txt`
+	// are both fine. Parse up to the first positional, take it as the
+	// file, then parse the rest.
+	fs.Parse(os.Args[2:])
+	if fs.NArg() < 1 {
+		usage()
+	}
+	file := fs.Arg(0)
+	fs.Parse(fs.Args()[1:])
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "oha: unexpected argument %q\n", fs.Arg(0))
+		usage()
+	}
 
 	src, err := os.ReadFile(file)
 	check(err)
 	prog, err := oha.Compile(string(src))
 	check(err)
 	in := parseInputs(*inputs)
+	cache := oha.NewArtifactCache(*cacheDir)
 
 	switch cmd {
 	case "profile":
-		pr, err := oha.Profile(prog, func(run int) oha.Execution {
+		pr, err := oha.ProfileCached(prog, func(run int) oha.Execution {
 			return oha.Execution{Inputs: in, Seed: uint64(run + 1)}
-		}, *runs)
+		}, *runs, cache)
 		check(err)
 		w := os.Stdout
 		if *out != "" {
@@ -74,7 +95,7 @@ func main() {
 			check(err)
 		} else {
 			db := loadInv(*inv)
-			det, err := oha.NewRaceDetector(prog, db)
+			det, err := oha.NewRaceDetectorCached(prog, db, cache)
 			check(err)
 			check(det.ValidateCustomSync([]oha.Execution{{Inputs: in, Seed: 1}}, oha.RunOptions{}))
 			rep, err = det.Run(e, oha.RunOptions{})
@@ -101,7 +122,7 @@ func main() {
 		if idx < 0 || idx >= len(prints) {
 			idx = len(prints) - 1
 		}
-		sl, err := oha.NewSlicer(prog, db, prints[idx], *budget)
+		sl, err := oha.NewSlicerCached(prog, db, prints[idx], *budget, cache)
 		check(err)
 		rep, err := sl.Run(oha.Execution{Inputs: in, Seed: *seed}, oha.RunOptions{})
 		check(err)

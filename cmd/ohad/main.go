@@ -1,0 +1,88 @@
+// Command ohad runs the OHA analysis daemon: a long-running HTTP
+// service that keeps compiled MiniLang programs, versioned invariant
+// databases, and memoized static-analysis artifacts warm across
+// requests, and executes profile/race/slice jobs asynchronously on a
+// bounded worker pool.
+//
+// Usage:
+//
+//	ohad [-addr :8344] [-workers N] [-queue N] [-job-timeout 60s]
+//	     [-max-steps N] [-cache-dir DIR] [-state-dir DIR]
+//
+// Quick start:
+//
+//	ohad -addr :8344 &
+//	curl -s localhost:8344/v1/programs -d '{"source":"func main() { print(input(0)); }"}'
+//	curl -s localhost:8344/v1/jobs -d '{"kind":"profile","program_id":"<id>","inputs":[7]}'
+//	curl -s localhost:8344/v1/jobs/job-1
+//	curl -s localhost:8344/v1/jobs/job-1/result
+//
+// SIGINT/SIGTERM drain gracefully: new submissions are rejected with
+// 503 while queued and running jobs finish (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oha/internal/artifacts"
+	"oha/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	workers := flag.Int("workers", 2, "concurrent analysis jobs")
+	queue := flag.Int("queue", 64, "queued-job limit (beyond running jobs); full queue returns HTTP 429")
+	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "per-job execution ceiling")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain ceiling")
+	maxSteps := flag.Uint64("max-steps", 0, "per-execution instruction bound (0: interpreter default)")
+	cacheDir := flag.String("cache-dir", "", "persist portable static artifacts under this directory (default: in-memory only)")
+	stateDir := flag.String("state-dir", "", "persist invariant-DB versions under this directory (default: in-memory only)")
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Workers:    *workers,
+		QueueSize:  *queue,
+		JobTimeout: *jobTimeout,
+		MaxSteps:   *maxSteps,
+		Cache:      artifacts.New(*cacheDir),
+		StateDir:   *stateDir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ohad:", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "ohad: listening on %s (workers=%d queue=%d job-timeout=%s)\n",
+		*addr, *workers, *queue, *jobTimeout)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "ohad: %v: draining (max %s)\n", sig, *drainTimeout)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "ohad:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "ohad: drain incomplete:", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "ohad: http shutdown:", err)
+	}
+	fmt.Fprintln(os.Stderr, "ohad: bye")
+}

@@ -118,6 +118,28 @@ func (c *Cache) Stats() Stats {
 	}
 }
 
+// Entries returns the number of live in-memory cache entries
+// (completed or in flight).
+func (c *Cache) Entries() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Collect reports every cache statistic to fn as (name, value) pairs —
+// the export hook metrics registries poll, so the cache package itself
+// stays dependency-free.
+func (c *Cache) Collect(fn func(name string, value float64)) {
+	st := c.Stats()
+	fn("hits", float64(st.Hits))
+	fn("disk_hits", float64(st.DiskHits))
+	fn("misses", float64(st.Misses))
+	fn("entries", float64(c.Entries()))
+}
+
 // Memo returns the artifact stored under key, computing and caching it
 // on first use. Concurrent calls with one key share a single compute
 // (singleflight). codec, when non-nil, enables the on-disk layer for

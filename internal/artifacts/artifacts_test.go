@@ -2,6 +2,9 @@ package artifacts_test
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -228,4 +231,112 @@ func keys0(t *testing.T, keys map[string]string, label string) string {
 	}
 	t.Fatalf("label %s not recorded", label)
 	return ""
+}
+
+// TestDiskCorruptionRecovery: a corrupted on-disk envelope (torn
+// write, bit rot) must never fail a lookup — the cache recomputes and
+// overwrites the bad file with a good one.
+func TestDiskCorruptionRecovery(t *testing.T) {
+	p := lang.MustCompile(prog)
+	want, err := profile.Run(p, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	key := artifacts.ExecKey(p, nil, 1)
+
+	c1 := artifacts.New(dir)
+	if _, err := c1.Memo(key, artifacts.DBCodec(), func() (any, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clobber the stored envelope with garbage.
+	path := filepath.Join(dir, key[:2], key+".gob")
+	if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := artifacts.New(dir)
+	recomputed := false
+	v, err := c2.Memo(key, artifacts.DBCodec(), func() (any, error) {
+		recomputed = true
+		return want, nil
+	})
+	if err != nil {
+		t.Fatalf("lookup over corrupt file: %v", err)
+	}
+	if !recomputed {
+		t.Fatal("corrupt disk entry was served instead of recomputed")
+	}
+	if !v.(*invariants.DB).Equal(want) {
+		t.Fatal("recomputed value wrong")
+	}
+
+	// The recompute healed the disk layer: a third cache disk-hits.
+	c3 := artifacts.New(dir)
+	v, err = c3.Memo(key, artifacts.DBCodec(), func() (any, error) {
+		t.Fatal("compute ran despite healed disk entry")
+		return nil, nil
+	})
+	if err != nil || !v.(*invariants.DB).Equal(want) {
+		t.Fatalf("healed entry = %v, %v", v, err)
+	}
+}
+
+// TestDiskWritesAtomic: stores go through a temp file + rename, so
+// the cache directory never holds partially written envelopes — and
+// no temp litter survives, even under concurrent stores of the same
+// artifact.
+func TestDiskWritesAtomic(t *testing.T) {
+	p := lang.MustCompile(prog)
+	db, err := profile.Run(p, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	key := artifacts.ExecKey(p, nil, 1)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Fresh cache per goroutine: each misses memory and races
+			// the others on the disk store.
+			c := artifacts.New(dir)
+			if _, err := c.Memo(key, artifacts.DBCodec(), func() (any, error) { return db, nil }); err != nil {
+				t.Errorf("Memo: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var files, temps int
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if strings.HasSuffix(path, ".gob") {
+			files++
+		} else {
+			temps++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 1 || temps != 0 {
+		t.Fatalf("disk layer holds %d envelopes and %d temp files, want 1 and 0", files, temps)
+	}
+
+	// And the surviving envelope is valid.
+	c := artifacts.New(dir)
+	v, err := c.Memo(key, artifacts.DBCodec(), func() (any, error) {
+		t.Fatal("compute ran despite stored entry")
+		return nil, nil
+	})
+	if err != nil || !v.(*invariants.DB).Equal(db) {
+		t.Fatalf("surviving envelope = %v, %v", v, err)
+	}
 }

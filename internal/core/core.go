@@ -18,6 +18,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"oha/internal/artifacts"
 	"oha/internal/interp"
 	"oha/internal/invariants"
@@ -35,15 +38,21 @@ type Execution struct {
 	Seed   uint64
 }
 
-// RunOptions bounds executions.
+// RunOptions bounds executions. Ctx, when non-nil, makes every run
+// entry point context-aware: cancellation (a daemon shutdown, a per-job
+// timeout) stops the interpreter within one scheduling quantum with an
+// error wrapping interp.ErrCanceled. Rollback re-executions inherit the
+// same context, so a canceled job never starts its sound re-run.
 type RunOptions struct {
 	Quantum  int
 	MaxSteps uint64
+	Ctx      context.Context
 }
 
 func (o RunOptions) apply(cfg *interp.Config) {
 	cfg.Quantum = o.Quantum
 	cfg.MaxSteps = o.MaxSteps
+	cfg.Ctx = o.Ctx
 }
 
 // chooser builds the deterministic chooser for an execution.
@@ -94,18 +103,30 @@ type ProfileOptions struct {
 	// content address — repeated sweeps over overlapping profiling
 	// sets (Figures 7/8) then re-run nothing.
 	Cache *artifacts.Cache
+	// Ctx, when non-nil, cancels the profiling loop: it is checked
+	// before every profiling run and threaded into each execution, so
+	// cancellation takes effect within one scheduling quantum.
+	Ctx context.Context
 }
 
-// memoRunner wraps profile.Run with per-execution memoization. The
-// returned databases are clones: the convergence loop mutates its
-// merge accumulator, and cached values must stay immutable.
-func memoRunner(cache *artifacts.Cache) profile.Runner {
-	if cache == nil {
+// memoRunner wraps profile.Run with cancellation and per-execution
+// memoization. The returned databases are clones: the convergence loop
+// mutates its merge accumulator, and cached values must stay immutable.
+func memoRunner(ctx context.Context, cache *artifacts.Cache) profile.Runner {
+	if ctx == nil && cache == nil {
 		return nil
 	}
 	return func(prog *ir.Program, inputs []int64, seed uint64) (*invariants.DB, error) {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("%w: %v", interp.ErrCanceled, err)
+			}
+		}
+		if cache == nil {
+			return profile.RunCtx(ctx, prog, inputs, seed)
+		}
 		v, err := cache.Memo(artifacts.ExecKey(prog, inputs, seed), artifacts.DBCodec(), func() (any, error) {
-			return profile.Run(prog, inputs, seed)
+			return profile.RunCtx(ctx, prog, inputs, seed)
 		})
 		if err != nil {
 			return nil, err
@@ -136,7 +157,7 @@ func ProfileWith(prog *ir.Program, gen func(run int) Execution, o ProfileOptions
 		MaxRuns:      o.MaxRuns,
 		StableWindow: o.StableWindow,
 		Workers:      o.Workers,
-		Runner:       memoRunner(o.Cache),
+		Runner:       memoRunner(o.Ctx, o.Cache),
 	})
 	if err != nil {
 		return nil, err
@@ -160,7 +181,7 @@ func ProfileNWith(prog *ir.Program, execs []Execution, workers int, cache *artif
 	for i, e := range execs {
 		pexecs[i] = profile.Exec{Inputs: e.Inputs, Seed: e.Seed}
 	}
-	dbs, err := profile.RunAllWith(prog, pexecs, workers, memoRunner(cache))
+	dbs, err := profile.RunAllWith(prog, pexecs, workers, memoRunner(nil, cache))
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -48,6 +49,12 @@ var ErrAborted = errors.New("interp: execution aborted by tracer")
 
 // ErrStepLimit is returned (wrapped) when execution exceeds MaxSteps.
 var ErrStepLimit = errors.New("interp: step limit exceeded")
+
+// ErrCanceled is returned (wrapped) when Config.Ctx is canceled — the
+// substrate for per-job timeouts and daemon shutdown. Cancellation is
+// polled once per scheduling quantum, so a runaway execution stops
+// within Quantum instructions of the deadline.
+var ErrCanceled = errors.New("interp: execution canceled")
 
 // ErrDeadlock is returned when live threads exist but none can run.
 var ErrDeadlock = errors.New("interp: deadlock")
@@ -134,6 +141,11 @@ type Config struct {
 
 	// Abort, if non-nil, is polled after every instruction.
 	Abort *Abort
+
+	// Ctx, if non-nil, cancels the execution: its Done channel is
+	// polled once per scheduling quantum and a closed channel ends the
+	// run with ErrCanceled (wrapping the context's error).
+	Ctx context.Context
 }
 
 // Result is the outcome of an execution.
@@ -184,6 +196,7 @@ type Interp struct {
 	stats   Stats
 	nextFID FrameID
 	chooser sched.Chooser
+	ctxDone <-chan struct{} // Config.Ctx.Done(), nil when no context
 }
 
 // New prepares an execution of cfg.Prog.
@@ -203,6 +216,9 @@ func New(cfg Config) *Interp {
 		prog:    cfg.Prog,
 		locks:   map[Addr]*lockState{},
 		chooser: ch,
+	}
+	if cfg.Ctx != nil {
+		it.ctxDone = cfg.Ctx.Done()
 	}
 	globals := make([]int64, len(cfg.Prog.Globals))
 	for i, g := range cfg.Prog.Globals {
@@ -301,6 +317,13 @@ func (it *Interp) run() error {
 
 // runSlice executes up to one quantum of the given thread.
 func (it *Interp) runSlice(th *thread) error {
+	if it.ctxDone != nil {
+		select {
+		case <-it.ctxDone:
+			return fmt.Errorf("%w: %v", ErrCanceled, it.cfg.Ctx.Err())
+		default:
+		}
+	}
 	for q := 0; q < it.cfg.Quantum; q++ {
 		if it.stats.Steps >= it.cfg.MaxSteps {
 			return fmt.Errorf("%w (%d)", ErrStepLimit, it.cfg.MaxSteps)

@@ -1,0 +1,116 @@
+package invariants
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"oha/internal/bitset"
+)
+
+// randDB generates a database exercising all six invariant kinds with
+// rng-driven density, including sometimes-empty sections.
+func randDB(rng *rand.Rand) *DB {
+	db := NewDB()
+	for i, n := 0, rng.Intn(40); i < n; i++ {
+		db.Visited.Add(rng.Intn(500))
+	}
+	for i, n := 0, rng.Intn(10); i < n; i++ {
+		db.MustAliasLocks[NormPair(rng.Intn(100), rng.Intn(100))] = true
+	}
+	for i, n := 0, rng.Intn(10); i < n; i++ {
+		db.SingletonSpawns.Add(rng.Intn(200))
+	}
+	for i, n := 0, rng.Intn(10); i < n; i++ {
+		db.ElidableLocks.Add(rng.Intn(200))
+	}
+	for i, n := 0, rng.Intn(6); i < n; i++ {
+		site := rng.Intn(100)
+		set := db.Callees[site]
+		if set == nil {
+			set = bitset.New(0)
+			db.Callees[site] = set
+		}
+		for j, m := 0, 1+rng.Intn(4); j < m; j++ {
+			set.Add(rng.Intn(50))
+		}
+	}
+	for i, n := 0, rng.Intn(8); i < n; i++ {
+		depth := rng.Intn(4) // 0 = the empty (root) context
+		ctx := make([]int, depth)
+		for j := range ctx {
+			ctx[j] = rng.Intn(64)
+		}
+		db.Contexts.Add(ctx)
+	}
+	return db
+}
+
+// TestRoundTripProperty: Parse(Format(db)) is the identity for
+// arbitrary databases — the text format loses nothing, for any mix of
+// the six invariant kinds.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x0ffa))
+	for trial := 0; trial < 200; trial++ {
+		db := randDB(rng)
+		var buf bytes.Buffer
+		if _, err := db.WriteTo(&buf); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, buf.String())
+		}
+		if !got.Equal(db) {
+			t.Fatalf("trial %d: round trip changed the database\ncounts in  %+v\ncounts out %+v\ntext:\n%s",
+				trial, db.Count(), got.Count(), buf.String())
+		}
+	}
+}
+
+// TestFormatCanonical: formatting is deterministic — serializing a
+// parsed database reproduces the original text byte for byte, so the
+// format is usable as a content-address (the artifact cache relies on
+// this).
+func TestFormatCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xa11a))
+	for trial := 0; trial < 50; trial++ {
+		db := randDB(rng)
+		var first bytes.Buffer
+		if _, err := db.WriteTo(&first); err != nil {
+			t.Fatal(err)
+		}
+		reparsed, err := Parse(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var second bytes.Buffer
+		if _, err := reparsed.WriteTo(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("trial %d: format not canonical\nfirst:\n%s\nsecond:\n%s", trial, first.String(), second.String())
+		}
+	}
+}
+
+// TestRoundTripClonesIndependent: a parsed copy shares no state with
+// the original — mutating one never leaks into the other.
+func TestRoundTripClonesIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := randDB(rng)
+	db.Visited.Add(1)
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Visited.Add(9999)
+	got.MustAliasLocks[NormPair(9998, 9999)] = true
+	if db.Visited.Has(9999) || db.MustAliasLocks[NormPair(9998, 9999)] {
+		t.Fatal("parsed database aliases the original")
+	}
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	cum := h.snapshot()
+	// le=0.1: {0.05, 0.1}; le=1: +{0.5}; le=10: +{2}; +Inf: +{100}
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, cum[i], w, cum)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+2+100; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramConcurrentSum(t *testing.T) {
+	h := NewHistogram(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if got := h.Sum(); got != 4000 {
+		t.Fatalf("sum = %v, want 4000", got)
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jobs_total", "total jobs")
+	c.Add(3)
+	v := r.NewCounterVec("jobs_by_kind_total", "jobs by kind", "kind")
+	v.With("race").Add(2)
+	v.With("slice").Inc()
+	g := r.NewGauge("queue_depth", "queued jobs")
+	g.Set(4)
+	r.NewGaugeFunc("cache_hits", "cache hits", func() float64 { return 9 })
+	h := r.NewHistogram("latency_seconds", "job latency", 0.5, 1)
+	h.Observe(0.25)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE jobs_total counter",
+		"jobs_total 3",
+		`jobs_by_kind_total{kind="race"} 2`,
+		`jobs_by_kind_total{kind="slice"} 1`,
+		"queue_depth 4",
+		"cache_hits 9",
+		`latency_seconds_bucket{le="0.5"} 1`,
+		`latency_seconds_bucket{le="+Inf"} 1`,
+		"latency_seconds_sum 0.25",
+		"latency_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.NewCounter("x", "")
+	c.Inc() // must not panic
+	r.NewGaugeFunc("y", "", func() float64 { return 0 })
+	if n, err := r.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Fatalf("nil registry WriteTo = (%d, %v)", n, err)
+	}
+}

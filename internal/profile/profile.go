@@ -14,6 +14,8 @@
 package profile
 
 import (
+	"context"
+
 	"oha/internal/bitset"
 	"oha/internal/interp"
 	"oha/internal/invariants"
@@ -214,12 +216,19 @@ func (c *Collector) Summarize() *invariants.DB {
 // Run profiles one execution of prog on the given inputs and schedule
 // seed, returning the per-run invariant database.
 func Run(prog *ir.Program, inputs []int64, seed uint64) (*invariants.DB, error) {
+	return RunCtx(nil, prog, inputs, seed)
+}
+
+// RunCtx is Run under a cancellation context (nil: none): a canceled
+// ctx stops the profiled execution within one scheduling quantum.
+func RunCtx(ctx context.Context, prog *ir.Program, inputs []int64, seed uint64) (*invariants.DB, error) {
 	col := NewCollector(prog)
 	_, err := interp.Run(interp.Config{
 		Prog:   prog,
 		Inputs: inputs,
 		Tracer: col,
 		Choose: sched.NewSeeded(seed),
+		Ctx:    ctx,
 	})
 	if err != nil {
 		return nil, err

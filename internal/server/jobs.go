@@ -1,0 +1,289 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobKind names one analysis the daemon can run.
+type JobKind string
+
+// Job kinds.
+const (
+	JobProfile JobKind = "profile"
+	JobRace    JobKind = "race"
+	JobSlice   JobKind = "slice"
+)
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+// Job states. queued → running → done | failed.
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Submission errors, mapped to HTTP statuses by the handler layer.
+var (
+	// ErrQueueFull reports backpressure: the bounded queue is at
+	// capacity (HTTP 429).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining reports that the pool is shutting down and rejects
+	// new work (HTTP 503).
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// Job is one asynchronous analysis request moving through the pool.
+// All mutable fields are guarded by mu; snapshots are taken via Status.
+type Job struct {
+	ID      string
+	Kind    JobKind
+	Timeout time.Duration
+
+	run func(ctx context.Context) (any, error)
+
+	mu       sync.Mutex
+	state    JobState
+	err      string
+	result   any
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	done chan struct{}
+}
+
+// JobStatus is an immutable snapshot of a job for the API.
+type JobStatus struct {
+	ID       string    `json:"id"`
+	Kind     JobKind   `json:"kind"`
+	State    JobState  `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+}
+
+// Status returns a snapshot of the job's current state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:       j.ID,
+		Kind:     j.Kind,
+		State:    j.state,
+		Error:    j.err,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+}
+
+// Result returns the job's result value (nil until done).
+func (j *Job) Result() (any, JobState, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state, j.err
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// PoolHooks observe pool transitions for metrics; any field may be nil.
+type PoolHooks struct {
+	Started  func(j *Job)
+	Finished func(j *Job, d time.Duration, failed bool)
+}
+
+// Pool is a bounded job queue draining into a fixed set of workers.
+// Submissions never block: a full queue is reported immediately as
+// ErrQueueFull so the HTTP layer can push back with 429.
+type Pool struct {
+	queue    chan *Job
+	timeout  time.Duration // per-job ceiling (0: no limit)
+	hooks    PoolHooks
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	closed   chan struct{} // closed exactly once by Shutdown
+	nextID   atomic.Uint64
+
+	// sendMu serializes queue sends against the queue close in
+	// Shutdown: senders hold it shared, Shutdown exclusively while
+	// flipping draining, so no send can race the close.
+	sendMu sync.RWMutex
+
+	mu      sync.RWMutex
+	jobs    map[string]*Job
+	running atomic.Int64
+}
+
+// PoolConfig sizes a pool.
+type PoolConfig struct {
+	// Workers is the number of concurrent job executors (<= 0: 1).
+	Workers int
+	// QueueSize bounds the number of queued-but-not-running jobs
+	// (<= 0: 64).
+	QueueSize int
+	// JobTimeout is the per-job execution ceiling (0: none). Individual
+	// jobs may request a shorter timeout, never a longer one.
+	JobTimeout time.Duration
+	// Hooks observe job transitions (for metrics).
+	Hooks PoolHooks
+}
+
+// NewPool starts the workers and returns the pool.
+func NewPool(cfg PoolConfig) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	p := &Pool{
+		queue:   make(chan *Job, cfg.QueueSize),
+		timeout: cfg.JobTimeout,
+		hooks:   cfg.Hooks,
+		closed:  make(chan struct{}),
+		jobs:    map[string]*Job{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues a job running fn. timeout, when positive, lowers the
+// pool's per-job ceiling for this job. It returns ErrQueueFull on
+// backpressure and ErrDraining after Shutdown has begun.
+func (p *Pool) Submit(kind JobKind, timeout time.Duration, fn func(ctx context.Context) (any, error)) (*Job, error) {
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
+	if p.draining.Load() {
+		return nil, ErrDraining
+	}
+	if timeout <= 0 || (p.timeout > 0 && timeout > p.timeout) {
+		timeout = p.timeout
+	}
+	j := &Job{
+		ID:      fmt.Sprintf("job-%d", p.nextID.Add(1)),
+		Kind:    kind,
+		Timeout: timeout,
+		run:     fn,
+		state:   StateQueued,
+		created: time.Now().UTC(),
+		done:    make(chan struct{}),
+	}
+	p.mu.Lock()
+	p.jobs[j.ID] = j
+	p.mu.Unlock()
+	select {
+	case p.queue <- j:
+		return j, nil
+	default:
+		p.mu.Lock()
+		delete(p.jobs, j.ID)
+		p.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns a submitted job by ID (nil if unknown).
+func (p *Pool) Get(id string) *Job {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.jobs[id]
+}
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.queue) }
+
+// Running returns the number of jobs currently executing.
+func (p *Pool) Running() int64 { return p.running.Load() }
+
+// Draining reports whether Shutdown has begun.
+func (p *Pool) Draining() bool { return p.draining.Load() }
+
+// Shutdown stops accepting jobs and waits for queued and in-flight
+// jobs to finish, or for ctx to expire (in which case the remaining
+// jobs keep their workers until their own timeouts fire, and ctx's
+// error is returned). Safe to call more than once.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.sendMu.Lock()
+	first := p.draining.CompareAndSwap(false, true)
+	p.sendMu.Unlock()
+	if first {
+		close(p.queue) // workers drain the remaining jobs, then exit
+		close(p.closed)
+	} else {
+		<-p.closed
+	}
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.execute(j)
+	}
+}
+
+func (p *Pool) execute(j *Job) {
+	start := time.Now()
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = start.UTC()
+	j.mu.Unlock()
+	p.running.Add(1)
+	if p.hooks.Started != nil {
+		p.hooks.Started(j)
+	}
+
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if j.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, j.Timeout)
+	}
+	res, err := func() (res any, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		return j.run(ctx)
+	}()
+	cancel()
+
+	j.mu.Lock()
+	j.finished = time.Now().UTC()
+	if err != nil {
+		j.state = StateFailed
+		j.err = err.Error()
+	} else {
+		j.state = StateDone
+		j.result = res
+	}
+	j.mu.Unlock()
+	p.running.Add(-1)
+	close(j.done)
+	if p.hooks.Finished != nil {
+		p.hooks.Finished(j, time.Since(start), err != nil)
+	}
+}

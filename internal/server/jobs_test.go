@@ -1,0 +1,208 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches state (or the deadline).
+func waitState(t *testing.T, j *Job, state JobState) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.Status().State == state {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s (state %s)", j.ID, state, j.Status().State)
+}
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 2, QueueSize: 8})
+	defer p.Shutdown(context.Background())
+	j, err := p.Submit(JobRace, 0, func(ctx context.Context) (any, error) {
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	res, state, _ := j.Result()
+	if state != StateDone || res != 42 {
+		t.Fatalf("got (%v, %s), want (42, done)", res, state)
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 1, QueueSize: 1})
+	defer p.Shutdown(context.Background())
+	release := make(chan struct{})
+	blocker := func(ctx context.Context) (any, error) {
+		<-release
+		return nil, nil
+	}
+	j1, err := p.Submit(JobRace, 0, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j1, StateRunning)
+	if _, err := p.Submit(JobRace, 0, blocker); err != nil {
+		t.Fatalf("queue slot submit failed: %v", err)
+	}
+	if _, err := p.Submit(JobRace, 0, blocker); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit err = %v, want ErrQueueFull", err)
+	}
+	close(release)
+}
+
+func TestPoolShutdownDrainsAndRejects(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 1, QueueSize: 4})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	j1, err := p.Submit(JobProfile, 0, func(ctx context.Context) (any, error) {
+		close(started)
+		<-release
+		return "drained", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- p.Shutdown(context.Background()) }()
+
+	// Draining must reject new work promptly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := p.Submit(JobRace, 0, func(ctx context.Context) (any, error) { return nil, nil })
+		if errors.Is(err, ErrDraining) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submit err = %v, want ErrDraining", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	res, state, _ := j1.Result()
+	if state != StateDone || res != "drained" {
+		t.Fatalf("drained job = (%v, %s), want (drained, done)", res, state)
+	}
+}
+
+func TestPoolShutdownCtxExpiry(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 1, QueueSize: 1})
+	release := make(chan struct{})
+	j, err := p.Submit(JobRace, 0, func(ctx context.Context) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := p.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	// A second Shutdown now completes once the job drains.
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+func TestPoolPerJobTimeout(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 1, QueueSize: 1, JobTimeout: time.Minute})
+	defer p.Shutdown(context.Background())
+	j, err := p.Submit(JobRace, 20*time.Millisecond, func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	_, state, msg := j.Result()
+	if state != StateFailed || !strings.Contains(msg, "deadline") {
+		t.Fatalf("job = (%s, %q), want failed with deadline error", state, msg)
+	}
+}
+
+func TestPoolTimeoutClamped(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 1, QueueSize: 1, JobTimeout: 50 * time.Millisecond})
+	defer p.Shutdown(context.Background())
+	j, err := p.Submit(JobRace, time.Hour, func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Timeout != 50*time.Millisecond {
+		t.Fatalf("timeout = %v, want clamped to 50ms", j.Timeout)
+	}
+	<-j.Done()
+}
+
+func TestPoolPanicBecomesFailure(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 1, QueueSize: 1})
+	defer p.Shutdown(context.Background())
+	j, err := p.Submit(JobRace, 0, func(ctx context.Context) (any, error) {
+		panic("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	_, state, msg := j.Result()
+	if state != StateFailed || !strings.Contains(msg, "boom") {
+		t.Fatalf("job = (%s, %q), want failed with panic message", state, msg)
+	}
+	// The worker survived the panic.
+	j2, err := p.Submit(JobRace, 0, func(ctx context.Context) (any, error) { return 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j2.Done()
+	if _, state, _ := j2.Result(); state != StateDone {
+		t.Fatalf("post-panic job state = %s, want done", state)
+	}
+}
+
+func TestPoolConcurrentSubmitAndShutdown(t *testing.T) {
+	// Hammer Submit from many goroutines while Shutdown races them:
+	// every submit must return a job, ErrQueueFull, or ErrDraining —
+	// never panic on a closed queue.
+	p := NewPool(PoolConfig{Workers: 2, QueueSize: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				_, err := p.Submit(JobRace, 0, func(ctx context.Context) (any, error) { return nil, nil })
+				if err != nil && !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrDraining) {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,658 @@
+// Package server is the resident OHA analysis service: it keeps
+// compiled programs, invariant databases, and memoized static-analysis
+// artifacts warm across requests, and runs profile/race/slice jobs
+// asynchronously on a bounded worker pool.
+//
+// The paper's pipeline is batch-shaped — profile, solve the predicated
+// static analysis, then run speculative dynamic analyses — but every
+// phase after the first is a pure function of (program, invariant DB,
+// budget). The daemon exploits that: programs are content-addressed so
+// identical submissions share one compilation, invariant databases are
+// versioned so jobs pin exactly what they were predicated on, and all
+// static artifacts flow through one oha/internal/artifacts cache so the
+// second job on a (program, DB) pair pays none of the static cost.
+//
+// HTTP surface (JSON unless noted):
+//
+//	POST /v1/programs            {"source": …} → stored program (content-addressed ID)
+//	GET  /v1/programs            list
+//	GET  /v1/programs/{id}       one program's metadata
+//	PUT  /v1/invariants/{id}     text DB body → new version
+//	POST /v1/invariants/{id}/merge  text DB body → merged new version
+//	GET  /v1/invariants/{id}[?version=N]  text DB (canonical format)
+//	POST /v1/jobs                job request → 202 {job}, 429 on backpressure, 503 when draining
+//	GET  /v1/jobs/{id}           job status
+//	GET  /v1/jobs/{id}/result    job result (202 until terminal)
+//	GET  /healthz                liveness (503 when draining)
+//	GET  /metrics                Prometheus text exposition
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"oha/internal/artifacts"
+	"oha/internal/core"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/metrics"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the number of concurrent analysis jobs (<= 0: 1).
+	Workers int
+	// QueueSize bounds the queued-but-not-running jobs (<= 0: 64).
+	QueueSize int
+	// JobTimeout is the per-job execution ceiling (0: 60s). Job
+	// requests may lower it, never raise it.
+	JobTimeout time.Duration
+	// MaxSteps bounds each analyzed execution (0: interp default).
+	MaxSteps uint64
+	// Cache is the shared static-artifact cache (nil: a fresh
+	// memory-only cache).
+	Cache *artifacts.Cache
+	// StateDir, when non-empty, persists invariant-DB versions as text
+	// files under it and reloads them on start.
+	StateDir string
+}
+
+// Server is the analysis daemon. Create with New, expose via Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg      Config
+	programs *ProgramStore
+	invs     *InvariantStore
+	pool     *Pool
+	cache    *artifacts.Cache
+	reg      *metrics.Registry
+	mux      *http.ServeMux
+
+	httpRequests  *metrics.CounterVec
+	jobsSubmitted *metrics.CounterVec
+	jobsRejected  *metrics.Counter
+	jobsDone      *metrics.Counter
+	jobsFailed    *metrics.Counter
+	jobLatency    *metrics.Histogram
+}
+
+// New builds the daemon: stores, worker pool, metrics, and routes.
+func New(cfg Config) (*Server, error) {
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = 60 * time.Second
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = artifacts.New("")
+	}
+	invs, err := OpenInvariantStore(cfg.StateDir)
+	if err != nil {
+		return nil, fmt.Errorf("server: open invariant store: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		programs: NewProgramStore(),
+		invs:     invs,
+		cache:    cache,
+		reg:      metrics.NewRegistry(),
+		mux:      http.NewServeMux(),
+	}
+	s.httpRequests = s.reg.NewCounterVec("ohad_http_requests_total", "HTTP requests by route", "route")
+	s.jobsSubmitted = s.reg.NewCounterVec("ohad_jobs_submitted_total", "accepted jobs by kind", "kind")
+	s.jobsRejected = s.reg.NewCounter("ohad_jobs_rejected_total", "jobs rejected by queue backpressure")
+	s.jobsDone = s.reg.NewCounter("ohad_jobs_done_total", "jobs finished successfully")
+	s.jobsFailed = s.reg.NewCounter("ohad_jobs_failed_total", "jobs finished in error (incl. timeouts)")
+	s.jobLatency = s.reg.NewHistogram("ohad_job_latency_seconds", "job execution latency")
+	s.pool = NewPool(PoolConfig{
+		Workers:    cfg.Workers,
+		QueueSize:  cfg.QueueSize,
+		JobTimeout: cfg.JobTimeout,
+		Hooks: PoolHooks{
+			Finished: func(j *Job, d time.Duration, failed bool) {
+				s.jobLatency.Observe(d.Seconds())
+				if failed {
+					s.jobsFailed.Inc()
+				} else {
+					s.jobsDone.Inc()
+				}
+			},
+		},
+	})
+	s.reg.NewGaugeFunc("ohad_queue_depth", "jobs waiting for a worker",
+		func() float64 { return float64(s.pool.QueueDepth()) })
+	s.reg.NewGaugeFunc("ohad_jobs_running", "jobs currently executing",
+		func() float64 { return float64(s.pool.Running()) })
+	s.reg.NewGaugeFunc("ohad_programs", "stored programs",
+		func() float64 { return float64(s.programs.Len()) })
+	s.reg.NewGaugeFunc("ohad_invariant_dbs", "distinct invariant-DB ids",
+		func() float64 { return float64(s.invs.Len()) })
+	registerCacheMetrics(s.reg, cache)
+	s.routes()
+	return s, nil
+}
+
+// registerCacheMetrics bridges the artifact cache's Collect export hook
+// into polled gauges, one per statistic the cache reports.
+func registerCacheMetrics(reg *metrics.Registry, cache *artifacts.Cache) {
+	var names []string
+	cache.Collect(func(name string, _ float64) { names = append(names, name) })
+	for _, name := range names {
+		name := name
+		reg.NewGaugeFunc("ohad_artifact_cache_"+name, "artifact cache "+name, func() float64 {
+			var v float64
+			cache.Collect(func(n string, val float64) {
+				if n == name {
+					v = val
+				}
+			})
+			return v
+		})
+	}
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Programs exposes the program store (for embedding and tests).
+func (s *Server) Programs() *ProgramStore { return s.programs }
+
+// Invariants exposes the invariant store.
+func (s *Server) Invariants() *InvariantStore { return s.invs }
+
+// Pool exposes the job pool.
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Metrics exposes the metrics registry (for embedding extra metrics).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Shutdown drains the job pool: new submissions are rejected with 503
+// immediately, queued and running jobs run to completion (bounded by
+// their own timeouts), or until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.pool.Shutdown(ctx)
+}
+
+// handle registers a route with a request-count metric labeled by the
+// route pattern.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	c := s.httpRequests.With(pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		h(w, r)
+	})
+}
+
+func (s *Server) routes() {
+	s.handle("POST /v1/programs", s.handleSubmitProgram)
+	s.handle("GET /v1/programs", s.handleListPrograms)
+	s.handle("GET /v1/programs/{id}", s.handleGetProgram)
+	s.handle("PUT /v1/invariants/{id}", s.handlePutInvariants)
+	s.handle("POST /v1/invariants/{id}/merge", s.handleMergeInvariants)
+	s.handle("GET /v1/invariants/{id}", s.handleGetInvariants)
+	s.handle("POST /v1/jobs", s.handleSubmitJob)
+	s.handle("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.handle("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+}
+
+// ------------------------------------------------------------ helpers
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response already committed
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// ----------------------------------------------------------- programs
+
+type submitProgramRequest struct {
+	Source string `json:"source"`
+}
+
+type programResponse struct {
+	*StoredProgram
+	Created bool `json:"created"` // false: identical program was already stored
+}
+
+func (s *Server) handleSubmitProgram(w http.ResponseWriter, r *http.Request) {
+	var req submitProgramRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "missing source")
+		return
+	}
+	sp, created, err := s.programs.Submit(req.Source)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "compile: %v", err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, programResponse{StoredProgram: sp, Created: created})
+}
+
+func (s *Server) handleListPrograms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.programs.List())
+}
+
+func (s *Server) handleGetProgram(w http.ResponseWriter, r *http.Request) {
+	sp := s.programs.Get(r.PathValue("id"))
+	if sp == nil {
+		writeError(w, http.StatusNotFound, "unknown program")
+		return
+	}
+	writeJSON(w, http.StatusOK, sp)
+}
+
+// --------------------------------------------------------- invariants
+
+type invariantsResponse struct {
+	ID       string            `json:"id"`
+	Version  int               `json:"version"`
+	Versions int               `json:"versions"`
+	Counts   invariants.Counts `json:"counts"`
+}
+
+func (s *Server) readDBBody(w http.ResponseWriter, r *http.Request) (*invariants.DB, bool) {
+	db, err := invariants.Parse(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse invariants: %v", err)
+		return nil, false
+	}
+	return db, true
+}
+
+func (s *Server) handlePutInvariants(w http.ResponseWriter, r *http.Request) {
+	s.storeInvariants(w, r, s.invs.Put)
+}
+
+func (s *Server) handleMergeInvariants(w http.ResponseWriter, r *http.Request) {
+	s.storeInvariants(w, r, s.invs.Merge)
+}
+
+func (s *Server) storeInvariants(w http.ResponseWriter, r *http.Request, op func(string, *invariants.DB) (int, error)) {
+	id := r.PathValue("id")
+	db, ok := s.readDBBody(w, r)
+	if !ok {
+		return
+	}
+	version, err := op(id, db)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, invariantsResponse{
+		ID: id, Version: version, Versions: s.invs.Versions(id), Counts: db.Count(),
+	})
+}
+
+func (s *Server) handleGetInvariants(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	version := 0
+	if q := r.URL.Query().Get("version"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad version %q", q)
+			return
+		}
+		version = v
+	}
+	db, v, ok := s.invs.Get(id, version)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown invariants %q (version %d)", id, version)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Invariants-Version", strconv.Itoa(v))
+	db.WriteTo(w) //nolint:errcheck // response already committed
+}
+
+// --------------------------------------------------------------- jobs
+
+// JobRequest is the wire form of one analysis job.
+type JobRequest struct {
+	// Kind is "profile", "race", or "slice".
+	Kind string `json:"kind"`
+	// ProgramID is the content address returned by POST /v1/programs.
+	ProgramID string `json:"program_id"`
+	// Inputs is the analyzed execution's input vector.
+	Inputs []int64 `json:"inputs"`
+	// Seed is the schedule seed (0: 1).
+	Seed uint64 `json:"seed"`
+	// TimeoutMS lowers the server's per-job timeout for this job.
+	TimeoutMS int64 `json:"timeout_ms"`
+
+	// InvariantsID/InvariantsVersion name the invariant DB predicating
+	// a race or slice job (version 0: latest). Resolved when the job
+	// starts, so a job queued behind the profile job that produces the
+	// DB sees it.
+	InvariantsID      string `json:"invariants_id"`
+	InvariantsVersion int    `json:"invariants_version"`
+
+	// Profile jobs: maximum profiling executions (0: 32) and the
+	// invariant-store ID to save the result under (default
+	// "p-<program prefix>"). Merge folds into the existing latest
+	// version instead of storing a standalone one.
+	Runs   int    `json:"runs"`
+	SaveAs string `json:"save_as"`
+	Merge  bool   `json:"merge"`
+
+	// Race jobs: Baseline runs unoptimized FastTrack (no invariants
+	// needed).
+	Baseline bool `json:"baseline"`
+
+	// Slice jobs: index into the program's print statements (nil:
+	// last) and the context-sensitive analysis budget (0: 4096).
+	Criterion *int `json:"criterion"`
+	Budget    int  `json:"budget"`
+}
+
+// ProfileJobResult is the result payload of a profile job.
+type ProfileJobResult struct {
+	Runs         int               `json:"runs"`
+	InvariantsID string            `json:"invariants_id"`
+	Version      int               `json:"version"`
+	Counts       invariants.Counts `json:"counts"`
+}
+
+// RaceJobResult is the result payload of a race job.
+type RaceJobResult struct {
+	Races           []string `json:"races"`
+	RolledBack      bool     `json:"rolled_back"`
+	Violation       string   `json:"violation,omitempty"`
+	InstrumentedOps uint64   `json:"instrumented_ops"`
+	FTChecks        uint64   `json:"ft_checks"`
+	CheckEvents     uint64   `json:"check_events"`
+	Output          []int64  `json:"output"`
+}
+
+// SliceJobResult is the result payload of a slice job.
+type SliceJobResult struct {
+	CriterionIndex int    `json:"criterion_index"`
+	CriterionLine  int    `json:"criterion_line"`
+	AnalysisType   string `json:"analysis_type"`
+	SliceInstrs    int    `json:"slice_instrs"`
+	DynNodes       int    `json:"dyn_nodes"`
+	TraceNodes     int    `json:"trace_nodes"`
+	// Lines are the source lines in the slice, ascending.
+	Lines      []int  `json:"lines"`
+	RolledBack bool   `json:"rolled_back"`
+	Violation  string `json:"violation,omitempty"`
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	sp := s.programs.Get(req.ProgramID)
+	if sp == nil {
+		writeError(w, http.StatusNotFound, "unknown program %q", req.ProgramID)
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	var fn func(ctx context.Context) (any, error)
+	switch JobKind(req.Kind) {
+	case JobProfile:
+		fn = s.profileJob(sp, req)
+	case JobRace:
+		if !req.Baseline && req.InvariantsID == "" {
+			writeError(w, http.StatusBadRequest, "race job needs invariants_id (or baseline=true)")
+			return
+		}
+		fn = s.raceJob(sp, req)
+	case JobSlice:
+		if req.InvariantsID == "" {
+			writeError(w, http.StatusBadRequest, "slice job needs invariants_id")
+			return
+		}
+		fn = s.sliceJob(sp, req)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown job kind %q", req.Kind)
+		return
+	}
+	job, err := s.pool.Submit(JobKind(req.Kind), time.Duration(req.TimeoutMS)*time.Millisecond, fn)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.jobsRejected.Inc()
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.jobsSubmitted.With(req.Kind).Inc()
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job := s.pool.Get(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	job := s.pool.Get(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	res, state, errMsg := job.Result()
+	switch state {
+	case StateDone:
+		writeJSON(w, http.StatusOK, map[string]any{"id": job.ID, "state": state, "result": res})
+	case StateFailed:
+		writeJSON(w, http.StatusOK, map[string]any{"id": job.ID, "state": state, "error": errMsg})
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]any{"id": job.ID, "state": state})
+	}
+}
+
+// runOpts builds the per-run options for one job execution.
+func (s *Server) runOpts(ctx context.Context) core.RunOptions {
+	return core.RunOptions{MaxSteps: s.cfg.MaxSteps, Ctx: ctx}
+}
+
+// resolveDB fetches the invariant DB a job is predicated on.
+func (s *Server) resolveDB(req JobRequest) (*invariants.DB, int, error) {
+	db, v, ok := s.invs.Get(req.InvariantsID, req.InvariantsVersion)
+	if !ok {
+		return nil, 0, fmt.Errorf("unknown invariants %q (version %d)", req.InvariantsID, req.InvariantsVersion)
+	}
+	return db, v, nil
+}
+
+func (s *Server) profileJob(sp *StoredProgram, req JobRequest) func(ctx context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		runs := req.Runs
+		if runs <= 0 {
+			runs = 32
+		}
+		pr, err := core.ProfileWith(sp.Prog, func(run int) core.Execution {
+			return core.Execution{Inputs: req.Inputs, Seed: uint64(run + 1)}
+		}, core.ProfileOptions{MaxRuns: runs, Workers: 1, Cache: s.cache, Ctx: ctx})
+		if err != nil {
+			return nil, err
+		}
+		saveAs := req.SaveAs
+		if saveAs == "" {
+			saveAs = "p-" + shortID(sp.ID)
+		}
+		op := s.invs.Put
+		if req.Merge {
+			op = s.invs.Merge
+		}
+		version, err := op(saveAs, pr.DB)
+		if err != nil {
+			return nil, err
+		}
+		return ProfileJobResult{
+			Runs:         pr.Runs,
+			InvariantsID: saveAs,
+			Version:      version,
+			Counts:       pr.DB.Count(),
+		}, nil
+	}
+}
+
+func (s *Server) raceJob(sp *StoredProgram, req JobRequest) func(ctx context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		e := core.Execution{Inputs: req.Inputs, Seed: req.Seed}
+		var rep *core.RaceReport
+		if req.Baseline {
+			var err error
+			rep, err = core.RunFastTrack(sp.Prog, e, s.runOpts(ctx))
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			db, _, err := s.resolveDB(req)
+			if err != nil {
+				return nil, err
+			}
+			det, err := core.NewOptFTCached(sp.Prog, db, s.cache)
+			if err != nil {
+				return nil, err
+			}
+			rep, err = det.Run(e, s.runOpts(ctx))
+			if err != nil {
+				return nil, err
+			}
+		}
+		races := make([]string, 0, len(rep.Details))
+		for _, rc := range rep.Details {
+			races = append(races, rc.String())
+		}
+		return RaceJobResult{
+			Races:           races,
+			RolledBack:      rep.RolledBack,
+			Violation:       rep.Violation,
+			InstrumentedOps: rep.Stats.InstrumentedOps(),
+			FTChecks:        rep.FTChecks,
+			CheckEvents:     rep.CheckEvents,
+			Output:          rep.Output,
+		}, nil
+	}
+}
+
+func (s *Server) sliceJob(sp *StoredProgram, req JobRequest) func(ctx context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		prints := printsOf(sp.Prog)
+		if len(prints) == 0 {
+			return nil, fmt.Errorf("program has no print statements to slice from")
+		}
+		idx := len(prints) - 1
+		if req.Criterion != nil {
+			idx = *req.Criterion
+			if idx < 0 || idx >= len(prints) {
+				return nil, fmt.Errorf("criterion %d out of range (program has %d prints)", idx, len(prints))
+			}
+		}
+		budget := req.Budget
+		if budget <= 0 {
+			budget = 4096
+		}
+		db, _, err := s.resolveDB(req)
+		if err != nil {
+			return nil, err
+		}
+		sl, err := core.NewOptSliceCached(sp.Prog, db, prints[idx], budget, s.cache)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sl.Run(core.Execution{Inputs: req.Inputs, Seed: req.Seed}, s.runOpts(ctx))
+		if err != nil {
+			return nil, err
+		}
+		res := SliceJobResult{
+			CriterionIndex: idx,
+			CriterionLine:  prints[idx].Pos.Line,
+			AnalysisType:   string(sl.AT),
+			TraceNodes:     rep.TraceNodes,
+			RolledBack:     rep.RolledBack,
+			Violation:      rep.Violation,
+		}
+		if rep.Slice != nil {
+			res.SliceInstrs = rep.Slice.Size()
+			res.DynNodes = rep.Slice.DynNodes
+			lines := map[int]bool{}
+			rep.Slice.Instrs.ForEach(func(id int) bool {
+				lines[sp.Prog.Instrs[id].Pos.Line] = true
+				return true
+			})
+			for l := range lines {
+				res.Lines = append(res.Lines, l)
+			}
+			sort.Ints(res.Lines)
+		}
+		return res, nil
+	}
+}
+
+// printsOf returns the program's print instructions in order (the pool
+// of slice criteria).
+func printsOf(prog *ir.Program) []*ir.Instr {
+	var out []*ir.Instr
+	for _, in := range prog.Instrs {
+		if in.Op == ir.OpPrint {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// shortID returns a 12-character prefix of a content address.
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}
+
+// -------------------------------------------------------------- infra
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.pool.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"programs": s.programs.Len(),
+		"queued":   s.pool.QueueDepth(),
+		"running":  s.pool.Running(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteTo(w) //nolint:errcheck // response already committed
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oha/internal/invariants"
+)
+
+const storeTestSrc = `
+	func main() {
+		print(input(0) + 1);
+	}
+`
+
+func TestProgramStoreIdempotent(t *testing.T) {
+	s := NewProgramStore()
+	a, created, err := s.Submit(storeTestSrc)
+	if err != nil || !created {
+		t.Fatalf("first submit = (%v, %v)", created, err)
+	}
+	b, created, err := s.Submit(storeTestSrc)
+	if err != nil || created {
+		t.Fatalf("second submit = (%v, %v), want existing entry", created, err)
+	}
+	if a != b || a.ID == "" {
+		t.Fatalf("content addressing broken: %p vs %p (id %q)", a, b, a.ID)
+	}
+	if s.Len() != 1 || len(s.List()) != 1 {
+		t.Fatalf("store has %d entries, want 1", s.Len())
+	}
+	if s.Get(a.ID) != a {
+		t.Fatal("Get by ID failed")
+	}
+	if s.Get("nope") != nil {
+		t.Fatal("Get of unknown ID should be nil")
+	}
+}
+
+func TestProgramStoreCompileError(t *testing.T) {
+	s := NewProgramStore()
+	if _, _, err := s.Submit("func main( {"); err == nil {
+		t.Fatal("want compile error")
+	}
+	if s.Len() != 0 {
+		t.Fatal("failed submit must not store anything")
+	}
+}
+
+func sampleDB(seed int) *invariants.DB {
+	db := invariants.NewDB()
+	db.Visited.Add(seed)
+	db.Visited.Add(seed + 1)
+	db.MustAliasLocks[invariants.NormPair(seed, seed+10)] = true
+	db.SingletonSpawns.Add(seed + 2)
+	db.Contexts.Add([]int{seed})
+	return db
+}
+
+func TestInvariantStoreVersionsAndMerge(t *testing.T) {
+	s, err := OpenInvariantStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := s.Put("x", sampleDB(1))
+	if err != nil || v1 != 1 {
+		t.Fatalf("put 1 = (%d, %v)", v1, err)
+	}
+	v2, err := s.Put("x", sampleDB(5))
+	if err != nil || v2 != 2 {
+		t.Fatalf("put 2 = (%d, %v)", v2, err)
+	}
+	// Merge unions visited blocks with the latest version.
+	v3, err := s.Merge("x", sampleDB(9))
+	if err != nil || v3 != 3 {
+		t.Fatalf("merge = (%d, %v)", v3, err)
+	}
+	db, v, ok := s.Get("x", 0)
+	if !ok || v != 3 {
+		t.Fatalf("get latest = (%d, %v)", v, ok)
+	}
+	if !db.Visited.Has(5) || !db.Visited.Has(9) {
+		t.Fatalf("merged visited = %v, want unions of v2 and the merge input", db.Visited.Slice())
+	}
+	// Must-alias pairs intersect on merge: v2's pair is not in the
+	// merge input, so the merged version has none.
+	if len(db.MustAliasLocks) != 0 {
+		t.Fatalf("merged must-alias = %v, want empty (intersection)", db.MustAliasLocks)
+	}
+	// Pinned old versions are untouched.
+	old, _, ok := s.Get("x", 1)
+	if !ok || !old.Visited.Has(1) || old.Visited.Has(5) {
+		t.Fatal("version 1 changed under merge")
+	}
+	// Mutating a returned clone must not affect the store.
+	old.Visited.Add(777)
+	again, _, _ := s.Get("x", 1)
+	if again.Visited.Has(777) {
+		t.Fatal("Get must return clones")
+	}
+}
+
+func TestInvariantStoreIDValidation(t *testing.T) {
+	s, _ := OpenInvariantStore("")
+	for _, bad := range []string{"", "a/b", "..", ".hidden", "sp ace", "x\n"} {
+		if _, err := s.Put(bad, sampleDB(1)); err == nil {
+			t.Fatalf("id %q accepted, want error", bad)
+		}
+	}
+	if _, err := s.Put("ok-1.2_3", sampleDB(1)); err != nil {
+		t.Fatalf("valid id rejected: %v", err)
+	}
+}
+
+func TestInvariantStorePersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenInvariantStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1, want2 := sampleDB(1), sampleDB(5)
+	if _, err := s.Put("x", want1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("x", want2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("other", sampleDB(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same directory sees every version.
+	re, err := OpenInvariantStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Versions("x") != 2 || re.Versions("other") != 1 {
+		t.Fatalf("reloaded versions = (%d, %d), want (2, 1)", re.Versions("x"), re.Versions("other"))
+	}
+	got, _, _ := re.Get("x", 1)
+	if !got.Equal(want1) {
+		t.Fatal("reloaded version 1 differs")
+	}
+	got, _, _ = re.Get("x", 2)
+	if !got.Equal(want2) {
+		t.Fatal("reloaded version 2 differs")
+	}
+}
+
+func TestInvariantStoreSkipsCorruptVersions(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenInvariantStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("x", sampleDB(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("x", sampleDB(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write of version 2: garbage that must not poison
+	// the warm start.
+	if err := os.WriteFile(filepath.Join(dir, "x", "2.txt"), []byte("[visited-blocks]\nnot-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenInvariantStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Version 1 survives; the corrupt tail is dropped.
+	if re.Versions("x") != 1 {
+		t.Fatalf("reloaded versions = %d, want 1 (corrupt v2 skipped)", re.Versions("x"))
+	}
+}

@@ -44,6 +44,7 @@ package oha
 import (
 	"io"
 
+	"oha/internal/artifacts"
 	"oha/internal/core"
 	"oha/internal/invariants"
 	"oha/internal/ir"
@@ -117,6 +118,25 @@ func SaveInvariants(w io.Writer, db *InvariantDB) error {
 // LoadInvariants reads a previously saved invariant database.
 func LoadInvariants(r io.Reader) (*InvariantDB, error) { return invariants.Parse(r) }
 
+// ArtifactCache memoizes the portable static-analysis artifacts the
+// pipeline derives (predicated/sound race analyses, static slices,
+// per-run profile databases), content-addressed by program and
+// invariant digests. One cache can back any number of detectors and
+// slicers; `ohad` keeps one warm across jobs.
+type ArtifactCache = artifacts.Cache
+
+// NewArtifactCache returns an artifact cache. With a non-empty dir,
+// artifacts also persist to disk (written atomically) and survive
+// process restarts.
+func NewArtifactCache(dir string) *ArtifactCache { return artifacts.New(dir) }
+
+// ProfileCached is Profile backed by an artifact cache: per-run
+// profile databases are memoized, so re-profiling the same program
+// and execution set is nearly free.
+func ProfileCached(prog *Program, gen func(run int) Execution, maxRuns int, cache *ArtifactCache) (*ProfileResult, error) {
+	return core.ProfileWith(prog, gen, core.ProfileOptions{MaxRuns: maxRuns, Cache: cache})
+}
+
 // NewRaceDetector builds OptFT for a program and its profiled
 // invariants: it runs the predicated static race analysis (for
 // elision) and the sound one (for rollback). Call ValidateCustomSync
@@ -124,6 +144,14 @@ func LoadInvariants(r io.Reader) (*InvariantDB, error) { return invariants.Parse
 // instrumentation elision.
 func NewRaceDetector(prog *Program, db *InvariantDB) (*RaceDetector, error) {
 	return core.NewOptFT(prog, db)
+}
+
+// NewRaceDetectorCached is NewRaceDetector backed by an artifact
+// cache: both static analyses are memoized by (program, invariants)
+// digest, so rebuilding a detector for unchanged inputs skips the
+// static solves.
+func NewRaceDetectorCached(prog *Program, db *InvariantDB, cache *ArtifactCache) (*RaceDetector, error) {
+	return core.NewOptFTCached(prog, db, cache)
 }
 
 // NewHybridRaceDetector builds the traditional hybrid baseline.
@@ -143,6 +171,11 @@ func RunFastTrack(prog *Program, e Execution, opts RunOptions) (*RaceReport, err
 // the sound fallback.
 func NewSlicer(prog *Program, db *InvariantDB, criterion *Instr, budget int) (*Slicer, error) {
 	return core.NewOptSlice(prog, db, criterion, budget)
+}
+
+// NewSlicerCached is NewSlicer backed by an artifact cache.
+func NewSlicerCached(prog *Program, db *InvariantDB, criterion *Instr, budget int, cache *ArtifactCache) (*Slicer, error) {
+	return core.NewOptSliceCached(prog, db, criterion, budget, cache)
 }
 
 // NewHybridSlicer builds the traditional hybrid slicing baseline.

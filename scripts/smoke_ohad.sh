@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Smoke test for the ohad analysis daemon: start it, push a program
+# through profile -> race end to end over HTTP, and check /healthz and
+# /metrics. Pure curl + grep so it runs anywhere CI does.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:8399
+BASE="http://$ADDR"
+LOG=$(mktemp)
+
+go build -o /tmp/ohad-smoke ./cmd/ohad
+/tmp/ohad-smoke -addr "$ADDR" -workers 2 -queue 16 >"$LOG" 2>&1 &
+OHAD_PID=$!
+cleanup() {
+  kill "$OHAD_PID" 2>/dev/null || true
+  wait "$OHAD_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+fail() {
+  echo "SMOKE FAIL: $*" >&2
+  echo "--- ohad log ---" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+
+# Wait for the daemon to come up.
+up=0
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+  sleep 0.1
+done
+[ "$up" = 1 ] || fail "daemon never became healthy"
+curl -fsS "$BASE/healthz" | grep -q '"ok"' || fail "healthz not ok"
+
+# json_field FILE KEY -> first string value of "KEY" in an indented
+# JSON response.
+json_field() {
+  sed -n 's/.*"'"$2"'": *"\([^"]*\)".*/\1/p' "$1" | head -1
+}
+
+# Submit a racy program (unlocked global `a`, two threads).
+SRC='global a = 0; global l = 0;
+func inc(n) {
+  var i = 0;
+  while (i < n) {
+    a = a + 1;
+    lock(&l);
+    unlock(&l);
+    i = i + 1;
+  }
+}
+func main() {
+  var n = input(0);
+  var t1 = spawn inc(n);
+  var t2 = spawn inc(n);
+  join(t1);
+  join(t2);
+  print(a);
+}'
+RESP=$(mktemp)
+printf '{"source": "%s"}' "$(printf '%s' "$SRC" | sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' -e 's/$/\\n/' | tr -d '\n')" |
+  curl -fsS "$BASE/v1/programs" -d @- -o "$RESP" || fail "program submit failed"
+PROG_ID=$(json_field "$RESP" id)
+[ -n "$PROG_ID" ] || fail "no program ID in $(cat "$RESP")"
+echo "program: $PROG_ID"
+
+# await_job ID -> polls to a terminal state; fails unless done.
+await_job() {
+  local id=$1 st=""
+  for _ in $(seq 1 300); do
+    curl -fsS "$BASE/v1/jobs/$id" -o "$RESP" || fail "job poll failed"
+    st=$(json_field "$RESP" state)
+    case "$st" in
+      done) return 0 ;;
+      failed) fail "job $id failed: $(cat "$RESP")" ;;
+    esac
+    sleep 0.1
+  done
+  fail "job $id stuck in state '$st'"
+}
+
+# Profile the program to learn likely invariants.
+curl -fsS "$BASE/v1/jobs" -o "$RESP" \
+  -d "{\"kind\":\"profile\",\"program_id\":\"$PROG_ID\",\"inputs\":[3],\"runs\":8,\"save_as\":\"smoke\"}" ||
+  fail "profile submit failed"
+PROFILE_JOB=$(json_field "$RESP" id)
+await_job "$PROFILE_JOB"
+echo "profile: $PROFILE_JOB done"
+curl -fsS "$BASE/v1/invariants/smoke" | grep -q 'oha invariants' || fail "stored invariants unreadable"
+
+# Race-detect one execution under the profiled invariants.
+curl -fsS "$BASE/v1/jobs" -o "$RESP" \
+  -d "{\"kind\":\"race\",\"program_id\":\"$PROG_ID\",\"inputs\":[3],\"invariants_id\":\"smoke\"}" ||
+  fail "race submit failed"
+RACE_JOB=$(json_field "$RESP" id)
+await_job "$RACE_JOB"
+curl -fsS "$BASE/v1/jobs/$RACE_JOB/result" -o "$RESP" || fail "race result fetch failed"
+grep -q '"races"' "$RESP" || fail "race result has no races field: $(cat "$RESP")"
+grep -q 'race on' "$RESP" || fail "known race not detected: $(cat "$RESP")"
+echo "race: $RACE_JOB done ($(grep -c 'race on' "$RESP") race line(s))"
+
+# Metrics reflect the work.
+curl -fsS "$BASE/metrics" -o "$RESP" || fail "metrics fetch failed"
+grep -Eq '^ohad_jobs_done_total [1-9]' "$RESP" || fail "ohad_jobs_done_total not positive"
+grep -q '^ohad_http_requests_total' "$RESP" || fail "http request counter missing"
+grep -q '^ohad_job_latency_seconds_bucket' "$RESP" || fail "job latency histogram missing"
+
+# Graceful shutdown on SIGTERM.
+kill -TERM "$OHAD_PID"
+for _ in $(seq 1 50); do
+  kill -0 "$OHAD_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$OHAD_PID" 2>/dev/null && fail "daemon did not exit on SIGTERM"
+grep -q 'bye' "$LOG" || fail "daemon exited without draining"
+
+echo "SMOKE OK"
