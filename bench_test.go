@@ -21,9 +21,12 @@ import (
 	"oha/internal/artifacts"
 	"oha/internal/core"
 	"oha/internal/ctxs"
+	"oha/internal/fasttrack"
 	"oha/internal/harness"
+	"oha/internal/interp"
 	"oha/internal/ir"
 	"oha/internal/pointsto"
+	"oha/internal/sched"
 	"oha/internal/staticslice"
 	"oha/internal/workloads"
 )
@@ -617,4 +620,88 @@ func BenchmarkAblationAggressiveLUC(b *testing.B) {
 		b.ReportMetric(float64(events), "events/op")
 		b.ReportMetric(float64(rollbacks)/float64(b.N), "rollback-rate")
 	})
+}
+
+// ----------------------------------------------------- Execution engine
+
+// benchEngine measures one interpreter engine end-to-end on the slice
+// workloads (the largest single executions in the suite). traced
+// attaches a full FastTrack detector, the heaviest production tracer;
+// untraced runs measure raw dispatch. steps/sec is the comparable
+// throughput metric across engines.
+func benchEngine(b *testing.B, engine interp.EngineKind, traced bool) {
+	for _, w := range workloads.Slices() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			prog := w.Prog()
+			e := testExecOf(w, 0)
+			blockMask := make([]bool, len(prog.Blocks))
+			var code *interp.Code
+			if engine == interp.EngineCompiled {
+				// Precompile once, as every production caller does.
+				m := interp.Masks{}
+				if traced {
+					m.Block = blockMask
+				}
+				code = interp.Compile(prog, m)
+			}
+			var steps uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := interp.Config{
+					Prog:   prog,
+					Inputs: e.Inputs,
+					Choose: sched.NewSeeded(e.Seed),
+					Engine: engine,
+					Code:   code,
+				}
+				if traced {
+					cfg.Tracer = fasttrack.New()
+					cfg.BlockMask = blockMask
+				}
+				res, err := interp.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps += res.Stats.Steps
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(steps)/secs, "steps/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkInterpTree is the tree-walking interpreter with tracing off.
+func BenchmarkInterpTree(b *testing.B) { benchEngine(b, interp.EngineTree, false) }
+
+// BenchmarkInterpCompiled is the compiled bytecode engine with tracing
+// off — the headline engine speedup.
+func BenchmarkInterpCompiled(b *testing.B) { benchEngine(b, interp.EngineCompiled, false) }
+
+// BenchmarkInterpTreeFastTrack is the tree-walker driving a full
+// FastTrack detector.
+func BenchmarkInterpTreeFastTrack(b *testing.B) { benchEngine(b, interp.EngineTree, true) }
+
+// BenchmarkInterpCompiledFastTrack is the compiled engine driving a
+// full FastTrack detector.
+func BenchmarkInterpCompiledFastTrack(b *testing.B) { benchEngine(b, interp.EngineCompiled, true) }
+
+// BenchmarkInterpCompile measures the compile step itself (it must be
+// cheap enough to amortize within one run; the artifact cache makes it
+// once-per-configuration in practice).
+func BenchmarkInterpCompile(b *testing.B) {
+	for _, w := range workloads.Slices() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			prog := w.Prog()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if interp.Compile(prog, interp.Masks{}) == nil {
+					b.Fatal("nil code")
+				}
+			}
+		})
+	}
 }

@@ -53,6 +53,10 @@ const (
 	KindSlicer     = "slicer"
 	KindSlice      = "staticslice"
 	KindProfileRun = "profilerun"
+	// KindCompiled keys bytecode images of a program under one set of
+	// instrumentation masks (extra discriminator: the mask digest).
+	// Compiled code holds pointers into live IR, so it is memory-only.
+	KindCompiled = "compiled"
 )
 
 // Codec converts an artifact to and from a portable byte payload for

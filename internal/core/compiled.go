@@ -1,0 +1,29 @@
+package core
+
+import (
+	"oha/internal/artifacts"
+	"oha/internal/interp"
+	"oha/internal/ir"
+)
+
+// compiledCode returns the (memoized) compiled image of prog under the
+// given instrumentation masks. The image is keyed by (program digest,
+// mask digest), so analyses that construct many instances over one
+// program — the Figure 5/7 sweeps, repeated Run calls on one detector —
+// compile each distinct configuration once. With a nil cache it simply
+// compiles.
+//
+// Compiled code snapshots the masks: callers that mutate a mask in
+// place (OptFT.setElidable) must re-derive their image afterwards.
+func compiledCode(prog *ir.Program, m interp.Masks, cache *artifacts.Cache) *interp.Code {
+	key := artifacts.Key(artifacts.KindCompiled, prog, nil, 0, "masks:"+m.Digest())
+	v, err := cache.Memo(key, nil, func() (any, error) {
+		return interp.Compile(prog, m), nil
+	})
+	if err != nil {
+		// Compile cannot fail; Memo only surfaces compute errors, so
+		// this is unreachable — but degrade to a direct compile anyway.
+		return interp.Compile(prog, m)
+	}
+	return v.(*interp.Code)
+}

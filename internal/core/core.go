@@ -107,13 +107,20 @@ type ProfileOptions struct {
 	// before every profiling run and threaded into each execution, so
 	// cancellation takes effect within one scheduling quantum.
 	Ctx context.Context
+	// Code, when non-nil, is the program's full-instrumentation
+	// bytecode image (interp.Compile(prog, interp.Masks{})), shared by
+	// every profiling run instead of compiled per run. Long-lived
+	// callers (the analysis daemon) pass their stored image; when nil,
+	// the profiling entry points compile one image per call, which
+	// amortizes across the runs of that call.
+	Code *interp.Code
 }
 
 // memoRunner wraps profile.Run with cancellation and per-execution
 // memoization. The returned databases are clones: the convergence loop
 // mutates its merge accumulator, and cached values must stay immutable.
-func memoRunner(ctx context.Context, cache *artifacts.Cache) profile.Runner {
-	if ctx == nil && cache == nil {
+func memoRunner(ctx context.Context, cache *artifacts.Cache, code *interp.Code) profile.Runner {
+	if ctx == nil && cache == nil && code == nil {
 		return nil
 	}
 	return func(prog *ir.Program, inputs []int64, seed uint64) (*invariants.DB, error) {
@@ -123,10 +130,10 @@ func memoRunner(ctx context.Context, cache *artifacts.Cache) profile.Runner {
 			}
 		}
 		if cache == nil {
-			return profile.RunCtx(ctx, prog, inputs, seed)
+			return profile.RunCoded(ctx, code, prog, inputs, seed)
 		}
 		v, err := cache.Memo(artifacts.ExecKey(prog, inputs, seed), artifacts.DBCodec(), func() (any, error) {
-			return profile.RunCtx(ctx, prog, inputs, seed)
+			return profile.RunCoded(ctx, code, prog, inputs, seed)
 		})
 		if err != nil {
 			return nil, err
@@ -150,6 +157,9 @@ func ProfileWith(prog *ir.Program, gen func(run int) Execution, o ProfileOptions
 	if o.StableWindow == 0 {
 		o.StableWindow = 5
 	}
+	if o.Code == nil {
+		o.Code = interp.Compile(prog, interp.Masks{})
+	}
 	db, st, err := profile.ConvergeOpt(prog, func(run int) ([]int64, uint64) {
 		e := gen(run)
 		return e.Inputs, e.Seed
@@ -157,7 +167,7 @@ func ProfileWith(prog *ir.Program, gen func(run int) Execution, o ProfileOptions
 		MaxRuns:      o.MaxRuns,
 		StableWindow: o.StableWindow,
 		Workers:      o.Workers,
-		Runner:       memoRunner(o.Ctx, o.Cache),
+		Runner:       memoRunner(o.Ctx, o.Cache, o.Code),
 	})
 	if err != nil {
 		return nil, err
@@ -181,7 +191,8 @@ func ProfileNWith(prog *ir.Program, execs []Execution, workers int, cache *artif
 	for i, e := range execs {
 		pexecs[i] = profile.Exec{Inputs: e.Inputs, Seed: e.Seed}
 	}
-	dbs, err := profile.RunAllWith(prog, pexecs, workers, memoRunner(nil, cache))
+	code := interp.Compile(prog, interp.Masks{})
+	dbs, err := profile.RunAllWith(prog, pexecs, workers, memoRunner(nil, cache, code))
 	if err != nil {
 		return nil, err
 	}

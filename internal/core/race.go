@@ -243,6 +243,12 @@ type HybridFT struct {
 	Prog   *ir.Program
 	Static *staticrace.Result
 	rs     *raceStatic
+
+	// blockMask is the stored all-false block mask (no BlockEnter
+	// events) and code the bytecode image compiled from exactly the
+	// masks Run installs, so repeated runs skip recompilation.
+	blockMask []bool
+	code      *interp.Code
 }
 
 // NewHybridFT runs the sound static analysis.
@@ -257,7 +263,10 @@ func NewHybridFTCached(prog *ir.Program, cache *artifacts.Cache) (*HybridFT, err
 	if err != nil {
 		return nil, err
 	}
-	return &HybridFT{Prog: prog, Static: rs.static, rs: rs}, nil
+	h := &HybridFT{Prog: prog, Static: rs.static, rs: rs}
+	h.blockMask = make([]bool, len(prog.Blocks))
+	h.code = compiledCode(prog, interp.Masks{Mem: rs.mem, Sync: rs.sync, Block: h.blockMask}, cache)
+	return h, nil
 }
 
 // Run executes one analysis under the hybrid instrumentation.
@@ -270,7 +279,8 @@ func (h *HybridFT) Run(e Execution, opts RunOptions) (*RaceReport, error) {
 		Tracer:    det,
 		MemMask:   h.rs.mem,
 		SyncMask:  h.rs.sync,
-		BlockMask: make([]bool, len(h.Prog.Blocks)),
+		BlockMask: h.blockMask,
+		Code:      h.code,
 	}
 	opts.apply(&cfg)
 	res, err := interp.Run(cfg)
@@ -295,6 +305,16 @@ type OptFT struct {
 	// unified interpreter masks (FastTrack sites ∪ check sites)
 	syncMask  []bool
 	blockMask []bool
+
+	// cache memoizes compiled images; code is the speculative run's
+	// image, valCode / valBlockMask the ones for validation runs
+	// (runWithoutRollback, which installs the raw FastTrack sync mask
+	// and no checks). setElidable mutates the masks in place, so both
+	// images are re-derived there.
+	cache        *artifacts.Cache
+	code         *interp.Code
+	valCode      *interp.Code
+	valBlockMask []bool
 }
 
 // NewOptFT runs both static analyses (predicated for speculation,
@@ -328,7 +348,16 @@ func NewOptFTCached(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache)
 		o.syncMask[pair.A] = true
 		o.syncMask[pair.B] = true
 	}
+	o.cache = cache
+	o.valBlockMask = make([]bool, len(prog.Blocks))
+	o.recompile()
 	return o, nil
+}
+
+// recompile re-derives the compiled images from the current masks.
+func (o *OptFT) recompile() {
+	o.code = compiledCode(o.Prog, interp.Masks{Mem: o.pred.mem, Sync: o.syncMask, Block: o.blockMask}, o.cache)
+	o.valCode = compiledCode(o.Prog, interp.Masks{Mem: o.pred.mem, Sync: o.pred.sync, Block: o.valBlockMask}, o.cache)
 }
 
 // ElidedAccesses returns how many loads/stores the predicated analysis
@@ -358,6 +387,7 @@ func (o *OptFT) Run(e Execution, opts RunOptions) (*RaceReport, error) {
 		MemMask:   o.pred.mem,
 		SyncMask:  o.syncMask,
 		BlockMask: o.blockMask,
+		Code:      o.code,
 		Abort:     abort,
 	}
 	opts.apply(&cfg)
@@ -455,6 +485,7 @@ func (o *OptFT) setElidable(set *bitset.Set) {
 		o.syncMask[pair.A] = true
 		o.syncMask[pair.B] = true
 	}
+	o.recompile()
 }
 
 // runWithoutRollback runs the optimistic configuration but never rolls
@@ -469,7 +500,8 @@ func (o *OptFT) runWithoutRollback(e Execution, opts RunOptions) (*RaceReport, e
 		Tracer:    &ftAdapter{det: det, sync: o.pred.sync},
 		MemMask:   o.pred.mem,
 		SyncMask:  o.pred.sync,
-		BlockMask: make([]bool, len(o.Prog.Blocks)),
+		BlockMask: o.valBlockMask,
+		Code:      o.valCode,
 	}
 	opts.apply(&cfg)
 	res, err := interp.Run(cfg)

@@ -183,7 +183,9 @@ type HybridSlicer struct {
 	// MaxTraceNodes bounds the dynamic trace (0: dynslice default).
 	MaxTraceNodes int
 
-	execMask []bool
+	execMask  []bool
+	blockMask []bool
+	code      *interp.Code
 }
 
 // NewHybridSlicer runs the sound static slicer (CS if it fits budget,
@@ -199,13 +201,16 @@ func NewHybridSlicerCached(prog *ir.Program, criterion *ir.Instr, budget int, ca
 	if err != nil {
 		return nil, err
 	}
-	return &HybridSlicer{
+	h := &HybridSlicer{
 		Prog:      prog,
 		Criterion: criterion,
 		Static:    ss.Slice,
 		AT:        ss.AT,
 		execMask:  execMaskFor(prog, ss.Slice),
-	}, nil
+		blockMask: make([]bool, len(prog.Blocks)),
+	}
+	h.code = compiledCode(prog, interp.Masks{Exec: h.execMask, Block: h.blockMask}, cache)
+	return h, nil
 }
 
 // Run performs one hybrid dynamic slicing of e.
@@ -220,7 +225,8 @@ func (h *HybridSlicer) Run(e Execution, opts RunOptions) (*SliceReport, error) {
 		Choose:    e.chooser(),
 		Tracer:    tr,
 		ExecMask:  h.execMask,
-		BlockMask: make([]bool, len(h.Prog.Blocks)),
+		BlockMask: h.blockMask,
+		Code:      h.code,
 	}
 	opts.apply(&cfg)
 	res, err := interp.Run(cfg)
@@ -283,6 +289,7 @@ type OptSlice struct {
 
 	execMask  []bool
 	blockMask []bool
+	code      *interp.Code
 	checkCtx  bool
 	// NoBloom disables the Bloom-filter fast path of the call-context
 	// check (exact set inclusion only) — ablation of the paper's
@@ -309,7 +316,7 @@ func NewOptSliceCached(prog *ir.Program, db *invariants.DB, criterion *ir.Instr,
 	if err != nil {
 		return nil, err
 	}
-	return &OptSlice{
+	o := &OptSlice{
 		Prog:      prog,
 		DB:        db,
 		Criterion: criterion,
@@ -322,7 +329,9 @@ func NewOptSliceCached(prog *ir.Program, db *invariants.DB, criterion *ir.Instr,
 		// only needs checking) when the analysis was context-sensitive
 		// under the observed-context restriction.
 		checkCtx: ss.AT == CS,
-	}, nil
+	}
+	o.code = compiledCode(prog, interp.Masks{Exec: o.execMask, Block: o.blockMask}, cache)
+	return o, nil
 }
 
 // Run performs one speculative dynamic slicing of e, rolling back to
@@ -344,6 +353,7 @@ func (o *OptSlice) Run(e Execution, opts RunOptions) (*SliceReport, error) {
 		Tracer:    interp.MultiTracer{tr, checker},
 		ExecMask:  o.execMask,
 		BlockMask: o.blockMask,
+		Code:      o.code,
 		Abort:     abort,
 	}
 	opts.apply(&cfg)

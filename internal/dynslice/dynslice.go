@@ -49,8 +49,12 @@ type Tracer struct {
 	nodes []node
 	// lastReg maps (frame, var) to the defining node.
 	lastReg map[regKey]int32
-	// lastMem maps an address to its last traced store node.
-	lastMem map[interp.Addr]int32
+	// lastMem tracks each address's last traced store node, laid out as
+	// per-object slices mirroring the interpreter's heap
+	// (lastMem[obj][off] = node id + 1, 0 meaning "no traced store").
+	// Addresses reaching Exec passed the interpreter's bounds checks,
+	// so indexing is dense — no map work on the per-access hot path.
+	lastMem [][]int32
 	// lastInstance maps a static instr ID to its latest node.
 	lastInstance map[int32]int32
 
@@ -92,7 +96,6 @@ func New(prog *ir.Program, abort *interp.Abort) *Tracer {
 	return &Tracer{
 		prog:         prog,
 		lastReg:      map[regKey]int32{},
-		lastMem:      map[interp.Addr]int32{},
 		lastInstance: map[int32]int32{},
 		Abort:        abort,
 		MaxNodes:     4 << 20,
@@ -118,6 +121,39 @@ func (tr *Tracer) Spawn(_ vc.TID, in *ir.Instr, _ vc.TID, childFrame interp.Fram
 // Ret stashes the return binding for the imminent Exec of the ret.
 func (tr *Tracer) Ret(_ vc.TID, _ *ir.Instr, callee, caller interp.FrameID, dst *ir.Var) {
 	tr.pendingRet = &retBinding{callee: callee, caller: caller, dst: dst}
+}
+
+// memLast returns the last traced store node for addr, if any.
+func (tr *Tracer) memLast(a interp.Addr) (int32, bool) {
+	obj, off := interp.DecodeAddr(a)
+	if obj < len(tr.lastMem) {
+		if cells := tr.lastMem[obj]; int(off) < len(cells) {
+			if n := cells[off]; n != 0 {
+				return n - 1, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// memDefine records node id as addr's last traced store.
+func (tr *Tracer) memDefine(a interp.Addr, id int32) {
+	obj, off := interp.DecodeAddr(a)
+	for obj >= len(tr.lastMem) {
+		tr.lastMem = append(tr.lastMem, nil)
+	}
+	cells := tr.lastMem[obj]
+	if int(off) >= len(cells) {
+		n := int(off) + 1
+		if n < 2*len(cells) {
+			n = 2 * len(cells)
+		}
+		grown := make([]int32, n)
+		copy(grown, cells)
+		tr.lastMem[obj] = grown
+		cells = grown
+	}
+	cells[off] = id + 1
 }
 
 // operandDep appends the defining node of a register operand, if
@@ -159,7 +195,7 @@ func (tr *Tracer) Exec(_ vc.TID, in *ir.Instr, frame interp.FrameID, addr interp
 	}
 	switch in.Op {
 	case ir.OpLoad:
-		if n, ok := tr.lastMem[addr]; ok {
+		if n, ok := tr.memLast(addr); ok {
 			deps = append(deps, n)
 		}
 	case ir.OpRet:
@@ -173,7 +209,7 @@ func (tr *Tracer) Exec(_ vc.TID, in *ir.Instr, frame interp.FrameID, addr interp
 	// Effects: define registers/memory and cross-activation bindings.
 	switch in.Op {
 	case ir.OpStore:
-		tr.lastMem[addr] = id
+		tr.memDefine(addr, id)
 	case ir.OpCall:
 		if pc := tr.pendingCall; pc != nil && pc.site == in {
 			for _, p := range pc.callee.Params {

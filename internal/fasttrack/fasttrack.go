@@ -105,8 +105,13 @@ type Detector struct {
 	interp.NopTracer
 	threads []*vc.VC
 	locks   map[interp.Addr]*vc.VC
-	vars    map[interp.Addr]*varState
-	races   map[Key]Race
+	// shadow is the per-word metadata, laid out as per-object slices
+	// mirroring the interpreter's heap (shadow[obj][off]). Addresses
+	// reaching Load/Store passed the interpreter's bounds checks, so
+	// indexing is dense and the zero varState means "never accessed" —
+	// no map lookups or per-word allocations on the hot path.
+	shadow [][]varState
+	races  map[Key]Race
 	// racyAddrs is tracked independently of the per-static-pair race
 	// dedup: one static instruction can race on several addresses.
 	racyAddrs map[interp.Addr]bool
@@ -119,7 +124,6 @@ type Detector struct {
 func New() *Detector {
 	return &Detector{
 		locks:     map[interp.Addr]*vc.VC{},
-		vars:      map[interp.Addr]*varState{},
 		races:     map[Key]Race{},
 		racyAddrs: map[interp.Addr]bool{},
 	}
@@ -140,12 +144,22 @@ func (d *Detector) clock(t vc.TID) *vc.VC {
 }
 
 func (d *Detector) state(a interp.Addr) *varState {
-	vs := d.vars[a]
-	if vs == nil {
-		vs = &varState{}
-		d.vars[a] = vs
+	obj, off := interp.DecodeAddr(a)
+	for obj >= len(d.shadow) {
+		d.shadow = append(d.shadow, nil)
 	}
-	return vs
+	cells := d.shadow[obj]
+	if int(off) >= len(cells) {
+		n := int(off) + 1
+		if n < 2*len(cells) {
+			n = 2 * len(cells)
+		}
+		grown := make([]varState, n)
+		copy(grown, cells)
+		d.shadow[obj] = grown
+		cells = grown
+	}
+	return &cells[off]
 }
 
 func (d *Detector) report(kind RaceKind, addr interp.Addr, t vc.TID, cur, prev *ir.Instr) {

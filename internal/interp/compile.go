@@ -1,0 +1,345 @@
+// Bytecode compiler: lowers an ir.Program plus a set of per-site
+// instrumentation masks into a flat instruction array the compiled
+// engine (engine.go) executes directly.
+//
+// The lowering does three things the tree-walker pays for on every
+// step:
+//
+//   - operands are pre-resolved: a compiled operand is either a frame
+//     register index or an immediate value (constants, global
+//     addresses, and function values are all encoded at compile time),
+//     so the hot loop never runs an operand-kind switch;
+//   - control flow is flattened: branch targets are absolute PCs into
+//     the instruction array rather than block pointers walked
+//     per-block;
+//   - the Tracer != nil && masked(...) decisions for Mem/Sync/Block/
+//     Exec events are baked into per-instruction flag bits, so the hot
+//     loop never consults a mask.
+//
+// Compiled code depends only on (program IR, masks) and is immutable
+// after Compile, so it is shared freely between concurrent executions
+// and content-addressed by (IR digest, mask digest) in the artifact
+// cache.
+package interp
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"oha/internal/ir"
+)
+
+// Masks bundles the per-site instrumentation masks of one execution
+// configuration; it is the compile-time input that, together with the
+// program, fully determines a compiled image. The mask semantics match
+// Config: a nil Mem/Sync/Block/Exec mask means "every site" for that
+// event kind — except Exec, where events additionally require ExecAll
+// or a non-nil ExecMask (a nil ExecMask without ExecAll delivers no
+// Exec events, exactly as in the tree-walker).
+type Masks struct {
+	Mem     []bool // by instr ID: Load/Store events
+	Sync    []bool // by instr ID: Lock/Unlock events
+	Block   []bool // by block ID: BlockEnter events
+	Exec    []bool // by instr ID: Exec firehose
+	ExecAll bool
+}
+
+// Masks returns the instrumentation masks carried by a Config.
+func (c Config) Masks() Masks {
+	return Masks{
+		Mem:     c.MemMask,
+		Sync:    c.SyncMask,
+		Block:   c.BlockMask,
+		Exec:    c.ExecMask,
+		ExecAll: c.ExecAll,
+	}
+}
+
+// Digest returns a content digest of the masks, distinguishing nil
+// from all-true masks (they are semantically different for Exec and
+// identical for the rest, but keying conservatively is harmless).
+func (m Masks) Digest() string {
+	h := sha256.New()
+	writeMask := func(mask []bool) {
+		if mask == nil {
+			h.Write([]byte{0})
+			return
+		}
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(mask)))
+		h.Write([]byte{1})
+		h.Write(n[:])
+		var acc byte
+		var nb int
+		for _, b := range mask {
+			acc <<= 1
+			if b {
+				acc |= 1
+			}
+			if nb++; nb == 8 {
+				h.Write([]byte{acc})
+				acc, nb = 0, 0
+			}
+		}
+		if nb > 0 {
+			h.Write([]byte{acc})
+		}
+	}
+	writeMask(m.Mem)
+	writeMask(m.Sync)
+	writeMask(m.Block)
+	writeMask(m.Exec)
+	if m.ExecAll {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// copcode enumerates compiled opcodes. OpUn splits into negate/not so
+// the hot loop never inspects ir.UnOp.
+type copcode uint8
+
+const (
+	cInvalid copcode = iota
+	cCopy
+	cNeg
+	cNot
+	cBin
+	cAlloc
+	cLoad
+	cStore
+	cLock
+	cUnlock
+	cCall
+	cSpawn
+	cJoin
+	cRet
+	cJmp
+	cBr
+	cPrint
+	cInput
+	cNInputs
+)
+
+// Per-instruction event flags, baked from the masks at compile time.
+// The engine still checks Tracer != nil at runtime (one nil test), so
+// a single compiled image serves both traced and untraced runs.
+const (
+	fMemEv  uint8 = 1 << iota // deliver Load/Store
+	fSyncEv                   // deliver Lock/Unlock
+	fExecEv                   // deliver Exec after this instruction
+	fBlkEv0                   // deliver BlockEnter for target t0
+	fBlkEv1                   // deliver BlockEnter for target t1
+)
+
+// regNone marks an absent register (no Dst, immediate operand).
+const regNone int32 = -1
+
+// coperand is a pre-resolved operand: a register index, or an
+// immediate when reg == regNone (constants, global addresses, and
+// function values are all immediates after lowering).
+type coperand struct {
+	reg int32
+	imm int64
+}
+
+// cinstr is one compiled instruction.
+type cinstr struct {
+	op    copcode
+	flags uint8
+	bin   ir.BinOp
+	dst   int32 // destination register, regNone if absent
+	a, b  coperand
+
+	t0, t1 int32      // absolute branch-target PCs (jmp/br)
+	b0, b1 *ir.Block  // BlockEnter payloads for t0/t1
+	args   []coperand // call/spawn arguments
+	fn     *cfunc     // direct call/spawn target; nil means indirect via a
+	in     *ir.Instr  // source instruction (traps, event payloads)
+}
+
+// cfunc is the compiled image of one function.
+type cfunc struct {
+	fn      *ir.Function
+	entry   int32 // PC of the entry block's first instruction
+	nregs   int
+	params  []int32   // register indices receiving arguments
+	entryB  *ir.Block // BlockEnter payload for the entry block
+	entryEv bool      // entry block's BlockEnter is masked on
+}
+
+// Code is an immutable compiled program image. Obtain one with
+// Compile; share it freely between concurrent executions.
+type Code struct {
+	prog  *ir.Program
+	code  []cinstr
+	funcs []*cfunc
+	main  *cfunc
+}
+
+// Prog returns the program this image was compiled from.
+func (c *Code) Prog() *ir.Program { return c.prog }
+
+// Len returns the number of compiled instructions.
+func (c *Code) Len() int { return len(c.code) }
+
+// lowerOperand pre-resolves one IR operand.
+func lowerOperand(op ir.Operand) coperand {
+	switch op.Kind {
+	case ir.OperConst:
+		return coperand{reg: regNone, imm: op.Const}
+	case ir.OperVar:
+		return coperand{reg: int32(op.Var.ID)}
+	case ir.OperGlobal:
+		return coperand{reg: regNone, imm: MakeAddr(GlobalObj, int64(op.Global.ID))}
+	case ir.OperFunc:
+		return coperand{reg: regNone, imm: MakeFunc(op.Func.ID)}
+	}
+	return coperand{reg: regNone} // OperNone evaluates to 0, as in eval
+}
+
+// execFlagged reports whether the Exec firehose covers instruction id
+// under m (mirrors the tree-walker's inline condition).
+func execFlagged(m Masks, id int) bool {
+	return m.ExecAll || (m.Exec != nil && id < len(m.Exec) && m.Exec[id])
+}
+
+// Compile lowers prog under the given masks into a flat instruction
+// array. The result is immutable and safe for concurrent use.
+func Compile(prog *ir.Program, m Masks) *Code {
+	c := &Code{
+		prog:  prog,
+		code:  make([]cinstr, 0, len(prog.Instrs)),
+		funcs: make([]*cfunc, len(prog.Funcs)),
+	}
+
+	// Pass 1: lay out blocks (emission order: functions, then blocks in
+	// function order) and record each block's starting PC.
+	blockPC := make([]int32, len(prog.Blocks))
+	pc := int32(0)
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			blockPC[b.ID] = pc
+			pc += int32(len(b.Instrs))
+		}
+	}
+	for _, f := range prog.Funcs {
+		cf := &cfunc{
+			fn:      f,
+			entry:   blockPC[f.Entry.ID],
+			nregs:   len(f.Vars),
+			entryB:  f.Entry,
+			entryEv: masked(m.Block, f.Entry.ID),
+		}
+		for _, p := range f.Params {
+			cf.params = append(cf.params, int32(p.ID))
+		}
+		c.funcs[f.ID] = cf
+	}
+	if mf := prog.Main(); mf != nil {
+		c.main = c.funcs[mf.ID]
+	}
+
+	// Pass 2: emit instructions with targets and flags resolved.
+	for _, f := range prog.Funcs {
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				ci := cinstr{in: in, dst: regNone, t0: -1, t1: -1}
+				if in.Dst != nil {
+					ci.dst = int32(in.Dst.ID)
+				}
+				ci.a = lowerOperand(in.A)
+				ci.b = lowerOperand(in.B)
+				if execFlagged(m, in.ID) {
+					ci.flags |= fExecEv
+				}
+				switch in.Op {
+				case ir.OpCopy:
+					ci.op = cCopy
+				case ir.OpUn:
+					if in.Un == ir.UnNeg {
+						ci.op = cNeg
+					} else {
+						ci.op = cNot
+					}
+				case ir.OpBin:
+					ci.op = cBin
+					ci.bin = in.Bin
+				case ir.OpAlloc:
+					ci.op = cAlloc
+				case ir.OpLoad:
+					ci.op = cLoad
+					if masked(m.Mem, in.ID) {
+						ci.flags |= fMemEv
+					}
+				case ir.OpStore:
+					ci.op = cStore
+					if masked(m.Mem, in.ID) {
+						ci.flags |= fMemEv
+					}
+				case ir.OpLock:
+					ci.op = cLock
+					if masked(m.Sync, in.ID) {
+						ci.flags |= fSyncEv
+					}
+				case ir.OpUnlock:
+					ci.op = cUnlock
+					if masked(m.Sync, in.ID) {
+						ci.flags |= fSyncEv
+					}
+				case ir.OpCall, ir.OpSpawn:
+					if in.Op == ir.OpCall {
+						ci.op = cCall
+					} else {
+						ci.op = cSpawn
+					}
+					if in.Callee != nil {
+						ci.fn = c.funcs[in.Callee.ID]
+					}
+					if len(in.Args) > 0 {
+						ci.args = make([]coperand, len(in.Args))
+						for i, a := range in.Args {
+							ci.args[i] = lowerOperand(a)
+						}
+					}
+				case ir.OpJoin:
+					ci.op = cJoin
+				case ir.OpRet:
+					ci.op = cRet
+				case ir.OpJmp:
+					ci.op = cJmp
+					s0 := blk.Succs[0]
+					ci.t0 = blockPC[s0.ID]
+					ci.b0 = s0
+					if masked(m.Block, s0.ID) {
+						ci.flags |= fBlkEv0
+					}
+				case ir.OpBr:
+					ci.op = cBr
+					s0, s1 := blk.Succs[0], blk.Succs[1]
+					ci.t0, ci.t1 = blockPC[s0.ID], blockPC[s1.ID]
+					ci.b0, ci.b1 = s0, s1
+					if masked(m.Block, s0.ID) {
+						ci.flags |= fBlkEv0
+					}
+					if masked(m.Block, s1.ID) {
+						ci.flags |= fBlkEv1
+					}
+				case ir.OpPrint:
+					ci.op = cPrint
+				case ir.OpInput:
+					ci.op = cInput
+				case ir.OpNInputs:
+					ci.op = cNInputs
+				default:
+					ci.op = cInvalid
+				}
+				c.code = append(c.code, ci)
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,583 @@
+// Compiled execution engine: runs the flat bytecode produced by
+// Compile. Semantics are bit-identical to the tree-walking reference
+// interpreter (interp.go) — same outputs, event streams, Stats,
+// scheduling decisions, and trap messages — which the differential
+// tests in enginediff_test.go enforce over random programs.
+//
+// Beyond the bytecode itself, the engine removes the tree-walker's
+// per-step allocation hot spots:
+//
+//   - frames and their register slabs are pooled, so call-heavy code
+//     stops allocating per activation;
+//   - the lock table is a per-object slice mirroring the heap layout
+//     (with a rare overflow map for fabricated out-of-range pointers)
+//     instead of map[Addr]*lockState;
+//   - the runnable set is maintained incrementally: while no thread is
+//     blocked — the common case — scheduling decisions reuse the
+//     sorted running list with no scan, allocation, or sort.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"oha/internal/ir"
+	"oha/internal/sched"
+	"oha/internal/vc"
+)
+
+// cframe is one pooled activation record.
+type cframe struct {
+	id     FrameID
+	fn     *cfunc
+	regs   []int64
+	pc     int32
+	retReg int32   // caller register receiving the return value (regNone: none)
+	retVar *ir.Var // same register as an *ir.Var, for the Ret event payload
+}
+
+// cthread mirrors the tree-walker's thread state.
+type cthread struct {
+	id       vc.TID
+	frames   []*cframe
+	state    tstate
+	waitAddr Addr   // valid when tBlockedLock
+	waitTID  vc.TID // valid when tBlockedJoin
+}
+
+// engine executes one compiled program.
+type engine struct {
+	cfg     Config
+	code    *Code
+	objects [][]int64 // heap: objects[0] is the globals object
+	lockTab [][]int32 // per-object lock words: 0 free, tid+1 held; nil until first lock
+	lockOv  map[Addr]int32
+	threads []*cthread
+	output  []int64
+	stats   Stats
+	nextFID FrameID
+	chooser sched.Chooser
+	ctxDone <-chan struct{}
+
+	running  []vc.TID // ids of tRunning threads, ascending
+	nblocked int      // threads in tBlockedLock/tBlockedJoin
+	runq     []vc.TID // scratch for the blocked-threads scan
+
+	framePool []*cframe
+}
+
+// runCompiled executes cfg under the compiled engine.
+func runCompiled(cfg Config) (*Result, error) {
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 32
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 100_000_000
+	}
+	ch := cfg.Choose
+	if ch == nil {
+		ch = &sched.RoundRobin{}
+	}
+	code := cfg.Code
+	if code == nil {
+		code = Compile(cfg.Prog, cfg.Masks())
+	} else if code.prog != cfg.Prog {
+		return &Result{}, errors.New("interp: Config.Code was compiled from a different program")
+	}
+	e := &engine{cfg: cfg, code: code, chooser: ch}
+	if cfg.Ctx != nil {
+		e.ctxDone = cfg.Ctx.Done()
+	}
+	globals := make([]int64, len(code.prog.Globals))
+	for i, g := range code.prog.Globals {
+		globals[i] = g.Init
+	}
+	e.objects = append(e.objects, globals)
+	e.lockTab = append(e.lockTab, nil)
+	err := e.run()
+	return &Result{Output: e.output, Stats: e.stats, Threads: len(e.threads)}, err
+}
+
+func (e *engine) trap(t *cthread, in *ir.Instr, format string, args ...any) error {
+	return &RuntimeError{TID: t.id, Instr: in, Msg: fmt.Sprintf(format, args...)}
+}
+
+// newFrame takes an activation record from the pool (or allocates one)
+// and prepares it for fn. Recycled register slabs are re-sliced and
+// zeroed in place, so steady-state calls allocate nothing.
+func (e *engine) newFrame(fn *cfunc, retReg int32, retVar *ir.Var) *cframe {
+	e.nextFID++
+	var fr *cframe
+	if n := len(e.framePool); n > 0 {
+		fr = e.framePool[n-1]
+		e.framePool = e.framePool[:n-1]
+	} else {
+		fr = &cframe{}
+	}
+	if cap(fr.regs) >= fn.nregs {
+		fr.regs = fr.regs[:fn.nregs]
+		for i := range fr.regs {
+			fr.regs[i] = 0
+		}
+	} else {
+		fr.regs = make([]int64, fn.nregs)
+	}
+	fr.id = e.nextFID
+	fr.fn = fn
+	fr.pc = fn.entry
+	fr.retReg = retReg
+	fr.retVar = retVar
+	return fr
+}
+
+func (e *engine) freeFrame(fr *cframe) {
+	fr.fn = nil
+	fr.retVar = nil
+	e.framePool = append(e.framePool, fr)
+}
+
+func (e *engine) spawnThread(fn *cfunc) *cthread {
+	th := &cthread{id: vc.TID(len(e.threads))}
+	th.frames = append(th.frames, e.newFrame(fn, regNone, nil))
+	e.threads = append(e.threads, th)
+	e.running = append(e.running, th.id) // new ids are maximal: stays sorted
+	return th
+}
+
+// removeRunning deletes id from the sorted running list.
+func (e *engine) removeRunning(id vc.TID) {
+	for i, t := range e.running {
+		if t == id {
+			e.running = append(e.running[:i], e.running[i+1:]...)
+			return
+		}
+	}
+}
+
+// insertRunning adds id to the sorted running list.
+func (e *engine) insertRunning(id vc.TID) {
+	i := len(e.running)
+	for i > 0 && e.running[i-1] > id {
+		i--
+	}
+	e.running = append(e.running, 0)
+	copy(e.running[i+1:], e.running[i:])
+	e.running[i] = id
+}
+
+// runnable returns the ids of threads that can make progress now, in
+// ascending order. While nothing is blocked the maintained running
+// list is returned directly; otherwise blocked threads are re-checked
+// against their wait conditions, as in the tree-walker.
+func (e *engine) runnable() []vc.TID {
+	if e.nblocked == 0 {
+		return e.running
+	}
+	out := e.runq[:0]
+	for _, th := range e.threads {
+		switch th.state {
+		case tRunning:
+			out = append(out, th.id)
+		case tBlockedLock:
+			if e.lockGet(th.waitAddr) == 0 {
+				out = append(out, th.id)
+			}
+		case tBlockedJoin:
+			if e.threads[th.waitTID].state == tDone {
+				out = append(out, th.id)
+			}
+		}
+	}
+	e.runq = out
+	return out
+}
+
+// lockGet returns the lock word for addr: 0 free, holder tid+1 held.
+// Addresses inside an allocated object use the per-object table; an
+// address that was first locked outside any object (fabricated pointer
+// arithmetic) is pinned to the overflow map so its routing never
+// changes as the heap grows.
+func (e *engine) lockGet(a Addr) int32 {
+	if e.lockOv != nil {
+		if v, ok := e.lockOv[a]; ok {
+			return v
+		}
+	}
+	obj, off := DecodeAddr(a)
+	if obj < len(e.objects) && off < int64(len(e.objects[obj])) {
+		if t := e.lockTab[obj]; t != nil {
+			return t[off]
+		}
+	}
+	return 0
+}
+
+// lockSet stores the lock word for addr (see lockGet for routing).
+func (e *engine) lockSet(a Addr, v int32) {
+	if e.lockOv != nil {
+		if _, ok := e.lockOv[a]; ok {
+			e.lockOv[a] = v
+			return
+		}
+	}
+	obj, off := DecodeAddr(a)
+	if obj < len(e.objects) && off < int64(len(e.objects[obj])) {
+		t := e.lockTab[obj]
+		if t == nil {
+			t = make([]int32, len(e.objects[obj]))
+			e.lockTab[obj] = t
+		}
+		t[off] = v
+		return
+	}
+	if e.lockOv == nil {
+		e.lockOv = map[Addr]int32{}
+	}
+	e.lockOv[a] = v
+}
+
+func (e *engine) mem(th *cthread, in *ir.Instr, a int64) (*int64, error) {
+	if !IsPtr(a) {
+		return nil, e.trap(th, in, "memory access through non-pointer value %s", FormatValue(a))
+	}
+	obj, off := DecodeAddr(a)
+	if obj >= len(e.objects) || e.objects[obj] == nil {
+		return nil, e.trap(th, in, "access to unallocated object %d", obj)
+	}
+	cells := e.objects[obj]
+	if off < 0 || off >= int64(len(cells)) {
+		return nil, e.trap(th, in, "out-of-bounds access: offset %d of object %d (size %d)", off, obj, len(cells))
+	}
+	return &cells[off], nil
+}
+
+// opval resolves a pre-lowered operand against the frame's registers.
+func opval(regs []int64, o coperand) int64 {
+	if o.reg >= 0 {
+		return regs[o.reg]
+	}
+	return o.imm
+}
+
+// resolveCallee mirrors the tree-walker's callee resolution.
+func (e *engine) resolveCallee(th *cthread, fr *cframe, in *cinstr) (*cfunc, error) {
+	if in.fn != nil {
+		return in.fn, nil
+	}
+	v := opval(fr.regs, in.a)
+	if !IsFunc(v) {
+		return nil, e.trap(th, in.in, "indirect call through non-function value %s", FormatValue(v))
+	}
+	f := e.code.funcs[DecodeFunc(v)]
+	if len(in.args) != len(f.params) {
+		return nil, e.trap(th, in.in, "indirect call to %s with %d args, want %d", f.fn.Name, len(in.args), len(f.params))
+	}
+	return f, nil
+}
+
+func (e *engine) run() error {
+	if e.code.main == nil {
+		return errors.New("interp: program has no main")
+	}
+	mainTh := e.spawnThread(e.code.main)
+	if tr := e.cfg.Tracer; tr != nil && e.code.main.entryEv {
+		e.stats.BlockEvents++
+		tr.BlockEnter(mainTh.id, e.code.main.entryB)
+	}
+	for {
+		run := e.runnable()
+		if len(run) == 0 {
+			for _, th := range e.threads {
+				if th.state != tDone {
+					return fmt.Errorf("%w: thread %d waiting", ErrDeadlock, th.id)
+				}
+			}
+			return nil // all threads finished
+		}
+		pick := run[0]
+		if len(run) > 1 {
+			pick = e.chooser.Choose(run)
+		}
+		if err := e.runSlice(e.threads[pick]); err != nil {
+			return err
+		}
+	}
+}
+
+// runSlice executes up to one quantum of th. Control flow mirrors the
+// tree-walker exactly: step-limit check before each instruction, abort
+// poll after each, context poll once per slice, and blocked sync
+// operations retried without consuming a step.
+func (e *engine) runSlice(th *cthread) error {
+	if e.ctxDone != nil {
+		select {
+		case <-e.ctxDone:
+			return fmt.Errorf("%w: %v", ErrCanceled, e.cfg.Ctx.Err())
+		default:
+		}
+	}
+	tr := e.cfg.Tracer
+	code := e.code.code
+	fr := th.frames[len(th.frames)-1]
+	for q := 0; q < e.cfg.Quantum; q++ {
+		if e.stats.Steps >= e.cfg.MaxSteps {
+			return fmt.Errorf("%w (%d)", ErrStepLimit, e.cfg.MaxSteps)
+		}
+		in := &code[fr.pc]
+		e.stats.Steps++
+		var accessAddr Addr
+		yield := false
+		nextFr := fr
+		var dead *cframe
+
+		switch in.op {
+		case cCopy:
+			fr.regs[in.dst] = opval(fr.regs, in.a)
+			fr.pc++
+		case cNeg:
+			fr.regs[in.dst] = -opval(fr.regs, in.a)
+			fr.pc++
+		case cNot:
+			fr.regs[in.dst] = b2i(opval(fr.regs, in.a) == 0)
+			fr.pc++
+		case cBin:
+			fr.regs[in.dst] = evalBin(in.bin, opval(fr.regs, in.a), opval(fr.regs, in.b))
+			fr.pc++
+		case cAlloc:
+			n := opval(fr.regs, in.a)
+			if n < 0 || n >= OffSpan {
+				return e.trap(th, in.in, "bad allocation size %d", n)
+			}
+			obj := len(e.objects)
+			e.objects = append(e.objects, make([]int64, n))
+			e.lockTab = append(e.lockTab, nil)
+			fr.regs[in.dst] = MakeAddr(obj, 0)
+			fr.pc++
+		case cLoad:
+			a := opval(fr.regs, in.a)
+			cell, err := e.mem(th, in.in, a)
+			if err != nil {
+				return err
+			}
+			v := *cell
+			fr.regs[in.dst] = v
+			accessAddr = a
+			if in.flags&fMemEv != 0 && tr != nil {
+				e.stats.Loads++
+				tr.Load(th.id, in.in, a, v)
+			}
+			fr.pc++
+		case cStore:
+			a := opval(fr.regs, in.a)
+			cell, err := e.mem(th, in.in, a)
+			if err != nil {
+				return err
+			}
+			v := opval(fr.regs, in.b)
+			*cell = v
+			accessAddr = a
+			if in.flags&fMemEv != 0 && tr != nil {
+				e.stats.Stores++
+				tr.Store(th.id, in.in, a, v)
+			}
+			fr.pc++
+		case cLock:
+			a := opval(fr.regs, in.a)
+			if !IsPtr(a) {
+				return e.trap(th, in.in, "lock of non-pointer value %s", FormatValue(a))
+			}
+			switch h := e.lockGet(a); h {
+			case 0:
+				e.lockSet(a, int32(th.id)+1)
+				if th.state == tBlockedLock {
+					th.state = tRunning
+					e.nblocked--
+					e.insertRunning(th.id)
+				}
+				accessAddr = a
+				if in.flags&fSyncEv != 0 && tr != nil {
+					e.stats.Locks++
+					tr.Lock(th.id, in.in, a)
+				}
+				fr.pc++
+				yield = true
+			case int32(th.id) + 1:
+				return e.trap(th, in.in, "recursive lock of %s", FormatValue(a))
+			default:
+				if th.state == tRunning {
+					th.state = tBlockedLock
+					e.nblocked++
+					e.removeRunning(th.id)
+				}
+				th.waitAddr = a
+				e.stats.Steps-- // retried; don't double-count
+				if e.cfg.Abort != nil && e.cfg.Abort.IsSet() {
+					return fmt.Errorf("%w: %s", ErrAborted, e.cfg.Abort.Reason())
+				}
+				return nil
+			}
+		case cUnlock:
+			a := opval(fr.regs, in.a)
+			if !IsPtr(a) {
+				return e.trap(th, in.in, "unlock of non-pointer value %s", FormatValue(a))
+			}
+			if e.lockGet(a) != int32(th.id)+1 {
+				return e.trap(th, in.in, "unlock of mutex not held: %s", FormatValue(a))
+			}
+			accessAddr = a
+			if in.flags&fSyncEv != 0 && tr != nil {
+				e.stats.Unlocks++
+				tr.Unlock(th.id, in.in, a)
+			}
+			e.lockSet(a, 0)
+			fr.pc++
+			yield = true
+		case cCall:
+			callee, err := e.resolveCallee(th, fr, in)
+			if err != nil {
+				return err
+			}
+			fr.pc++ // return to the next instruction
+			nf := e.newFrame(callee, in.dst, in.in.Dst)
+			for i, p := range callee.params {
+				nf.regs[p] = opval(fr.regs, in.args[i])
+			}
+			th.frames = append(th.frames, nf)
+			if tr != nil {
+				e.stats.CallEvents++
+				tr.Call(th.id, in.in, callee.fn, fr.id, nf.id)
+			}
+			if callee.entryEv && tr != nil {
+				e.stats.BlockEvents++
+				tr.BlockEnter(th.id, callee.entryB)
+			}
+			nextFr = nf
+		case cSpawn:
+			callee, err := e.resolveCallee(th, fr, in)
+			if err != nil {
+				return err
+			}
+			child := e.spawnThread(callee)
+			cf := child.frames[0]
+			for i, p := range callee.params {
+				cf.regs[p] = opval(fr.regs, in.args[i])
+			}
+			if in.dst >= 0 {
+				fr.regs[in.dst] = int64(child.id)
+			}
+			if tr != nil {
+				e.stats.Spawns++
+				tr.Spawn(th.id, in.in, child.id, cf.id, callee.fn)
+			}
+			fr.pc++
+			if callee.entryEv && tr != nil {
+				e.stats.BlockEvents++
+				tr.BlockEnter(child.id, callee.entryB)
+			}
+			yield = true
+		case cJoin:
+			v := opval(fr.regs, in.a)
+			if v < 0 || v >= int64(len(e.threads)) || vc.TID(v) == th.id {
+				return e.trap(th, in.in, "join of invalid thread %s", FormatValue(v))
+			}
+			target := e.threads[v]
+			if target.state != tDone {
+				if th.state == tRunning {
+					th.state = tBlockedJoin
+					e.nblocked++
+					e.removeRunning(th.id)
+				}
+				th.waitTID = target.id
+				e.stats.Steps--
+				if e.cfg.Abort != nil && e.cfg.Abort.IsSet() {
+					return fmt.Errorf("%w: %s", ErrAborted, e.cfg.Abort.Reason())
+				}
+				return nil
+			}
+			if th.state == tBlockedJoin {
+				th.state = tRunning
+				e.nblocked--
+				e.insertRunning(th.id)
+			}
+			if tr != nil {
+				e.stats.Joins++
+				tr.Join(th.id, in.in, target.id)
+			}
+			fr.pc++
+			yield = true
+		case cRet:
+			v := opval(fr.regs, in.a)
+			th.frames = th.frames[:len(th.frames)-1]
+			if len(th.frames) == 0 {
+				th.state = tDone
+				e.removeRunning(th.id)
+				yield = true
+				if tr != nil {
+					tr.Ret(th.id, in.in, fr.id, 0, nil)
+				}
+			} else {
+				caller := th.frames[len(th.frames)-1]
+				if fr.retReg >= 0 {
+					caller.regs[fr.retReg] = v
+				}
+				if tr != nil {
+					tr.Ret(th.id, in.in, fr.id, caller.id, fr.retVar)
+				}
+				nextFr = caller
+			}
+			dead = fr
+		case cJmp:
+			fr.pc = in.t0
+			if in.flags&fBlkEv0 != 0 && tr != nil {
+				e.stats.BlockEvents++
+				tr.BlockEnter(th.id, in.b0)
+			}
+		case cBr:
+			if opval(fr.regs, in.a) != 0 {
+				fr.pc = in.t0
+				if in.flags&fBlkEv0 != 0 && tr != nil {
+					e.stats.BlockEvents++
+					tr.BlockEnter(th.id, in.b0)
+				}
+			} else {
+				fr.pc = in.t1
+				if in.flags&fBlkEv1 != 0 && tr != nil {
+					e.stats.BlockEvents++
+					tr.BlockEnter(th.id, in.b1)
+				}
+			}
+		case cPrint:
+			e.output = append(e.output, opval(fr.regs, in.a))
+			fr.pc++
+		case cInput:
+			idx := opval(fr.regs, in.a)
+			var v int64
+			if idx >= 0 && idx < int64(len(e.cfg.Inputs)) {
+				v = e.cfg.Inputs[idx]
+			}
+			fr.regs[in.dst] = v
+			fr.pc++
+		case cNInputs:
+			fr.regs[in.dst] = int64(len(e.cfg.Inputs))
+			fr.pc++
+		default:
+			return e.trap(th, in.in, "unknown opcode %s", in.in.Op)
+		}
+
+		if in.flags&fExecEv != 0 && tr != nil {
+			e.stats.ExecEvents++
+			tr.Exec(th.id, in.in, fr.id, accessAddr)
+		}
+		if dead != nil {
+			e.freeFrame(dead)
+		}
+		if e.cfg.Abort != nil && e.cfg.Abort.IsSet() {
+			return fmt.Errorf("%w: %s", ErrAborted, e.cfg.Abort.Reason())
+		}
+		if yield || th.state != tRunning {
+			return nil
+		}
+		fr = nextFr
+	}
+	return nil
+}

@@ -1,0 +1,373 @@
+// Differential tests for the compiled bytecode engine: over a large
+// population of generated programs and a matrix of instrumentation
+// configurations and schedulers, the compiled engine must be
+// bit-identical to the tree-walking interpreter — same outputs, same
+// stats, same thread counts, same error strings, the same event stream
+// in the same order, and the same FastTrack race sets.
+package interp_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"oha/internal/fasttrack"
+	"oha/internal/interp"
+	"oha/internal/ir"
+	"oha/internal/lang"
+	"oha/internal/progen"
+	"oha/internal/sched"
+	"oha/internal/vc"
+)
+
+// recorder stringifies every tracer event in delivery order, so two
+// runs can be compared event-for-event.
+type recorder struct {
+	interp.NopTracer
+	ev []string
+}
+
+func (r *recorder) add(format string, args ...any) {
+	r.ev = append(r.ev, fmt.Sprintf(format, args...))
+}
+
+func (r *recorder) Load(t vc.TID, in *ir.Instr, a interp.Addr, v int64) {
+	r.add("load t%d i%d a%d v%d", t, in.ID, a, v)
+}
+
+func (r *recorder) Store(t vc.TID, in *ir.Instr, a interp.Addr, v int64) {
+	r.add("store t%d i%d a%d v%d", t, in.ID, a, v)
+}
+
+func (r *recorder) Lock(t vc.TID, in *ir.Instr, a interp.Addr) {
+	r.add("lock t%d i%d a%d", t, in.ID, a)
+}
+
+func (r *recorder) Unlock(t vc.TID, in *ir.Instr, a interp.Addr) {
+	r.add("unlock t%d i%d a%d", t, in.ID, a)
+}
+
+func (r *recorder) Spawn(t vc.TID, in *ir.Instr, c vc.TID, cf interp.FrameID, fn *ir.Function) {
+	r.add("spawn t%d i%d c%d f%d %s", t, in.ID, c, cf, fn.Name)
+}
+
+func (r *recorder) Join(t vc.TID, in *ir.Instr, c vc.TID) {
+	r.add("join t%d i%d c%d", t, in.ID, c)
+}
+
+func (r *recorder) BlockEnter(t vc.TID, b *ir.Block) {
+	r.add("blk t%d b%d", t, b.ID)
+}
+
+func (r *recorder) Call(t vc.TID, in *ir.Instr, fn *ir.Function, cr, ce interp.FrameID) {
+	r.add("call t%d i%d %s f%d f%d", t, in.ID, fn.Name, cr, ce)
+}
+
+func (r *recorder) Ret(t vc.TID, in *ir.Instr, ce, cr interp.FrameID, dst *ir.Var) {
+	d := "-"
+	if dst != nil {
+		d = dst.Name
+	}
+	r.add("ret t%d i%d f%d f%d %s", t, in.ID, ce, cr, d)
+}
+
+func (r *recorder) Exec(t vc.TID, in *ir.Instr, f interp.FrameID, a interp.Addr) {
+	r.add("exec t%d i%d f%d a%d", t, in.ID, f, a)
+}
+
+// altMask marks every other index, offset by phase — a half-on mask
+// that exercises both the instrumented and elided paths.
+func altMask(n, phase int) []bool {
+	m := make([]bool, n)
+	for i := range m {
+		m[i] = i%2 == phase
+	}
+	return m
+}
+
+// diffVariant is one instrumentation/scheduler configuration of the
+// differential matrix. make builds a fresh Config (fresh tracer, fresh
+// chooser) for every run — choosers and tracers are stateful.
+type diffVariant struct {
+	name string
+	make func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector)
+}
+
+const diffMaxSteps = 30_000
+
+func diffVariants() []diffVariant {
+	return []diffVariant{
+		{"plain", func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
+			return interp.Config{Prog: prog, MaxSteps: diffMaxSteps}, nil, nil
+		}},
+		{"traced-full", func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
+			r := &recorder{}
+			return interp.Config{Prog: prog, Tracer: r, MaxSteps: diffMaxSteps}, r, nil
+		}},
+		{"traced-masked", func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
+			r := &recorder{}
+			return interp.Config{
+				Prog:      prog,
+				Tracer:    r,
+				MemMask:   altMask(len(prog.Instrs), 0),
+				SyncMask:  altMask(len(prog.Instrs), 1),
+				BlockMask: altMask(len(prog.Blocks), 0),
+				ExecMask:  altMask(len(prog.Instrs), 1),
+				Choose:    sched.NewSeeded(seed),
+				Quantum:   3,
+				MaxSteps:  diffMaxSteps,
+			}, r, nil
+		}},
+		{"execall", func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
+			r := &recorder{}
+			return interp.Config{
+				Prog:      prog,
+				Tracer:    r,
+				ExecAll:   true,
+				BlockMask: make([]bool, len(prog.Blocks)),
+				Choose:    sched.NewSeeded(seed*7 + 1),
+				Quantum:   1,
+				MaxSteps:  diffMaxSteps,
+			}, r, nil
+		}},
+		{"fasttrack", func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
+			det := fasttrack.New()
+			return interp.Config{
+				Prog:      prog,
+				Tracer:    det,
+				BlockMask: make([]bool, len(prog.Blocks)),
+				Choose:    sched.NewSeeded(seed),
+				Quantum:   5,
+				MaxSteps:  diffMaxSteps,
+			}, nil, det
+		}},
+	}
+}
+
+// runDiff executes one variant under both engines and fails on any
+// observable divergence.
+func runDiff(t *testing.T, prog *ir.Program, v diffVariant, seed uint64) {
+	t.Helper()
+
+	type outcome struct {
+		res    *interp.Result
+		errStr string
+		events []string
+		races  []fasttrack.Key
+		racy   []interp.Addr
+	}
+	runOne := func(engine interp.EngineKind) outcome {
+		cfg, rec, det := v.make(prog, seed)
+		cfg.Engine = engine
+		res, err := interp.Run(cfg)
+		var o outcome
+		o.res = res
+		if err != nil {
+			o.errStr = err.Error()
+		}
+		if rec != nil {
+			o.events = rec.ev
+		}
+		if det != nil {
+			o.races = det.RaceKeys()
+			o.racy = det.RacyAddrs()
+		}
+		return o
+	}
+
+	tree := runOne(interp.EngineTree)
+	comp := runOne(interp.EngineCompiled)
+
+	if tree.errStr != comp.errStr {
+		t.Fatalf("%s: error diverged:\n tree: %q\n comp: %q", v.name, tree.errStr, comp.errStr)
+	}
+	if (tree.res == nil) != (comp.res == nil) {
+		t.Fatalf("%s: result presence diverged", v.name)
+	}
+	if tree.res != nil {
+		if fmt.Sprint(tree.res.Output) != fmt.Sprint(comp.res.Output) {
+			t.Fatalf("%s: output diverged:\n tree: %v\n comp: %v", v.name, tree.res.Output, comp.res.Output)
+		}
+		if tree.res.Stats != comp.res.Stats {
+			t.Fatalf("%s: stats diverged:\n tree: %+v\n comp: %+v", v.name, tree.res.Stats, comp.res.Stats)
+		}
+		if tree.res.Threads != comp.res.Threads {
+			t.Fatalf("%s: thread count diverged: %d vs %d", v.name, tree.res.Threads, comp.res.Threads)
+		}
+	}
+	if len(tree.events) != len(comp.events) {
+		t.Fatalf("%s: event count diverged: %d vs %d\n tree tail: %v\n comp tail: %v",
+			v.name, len(tree.events), len(comp.events), tail(tree.events), tail(comp.events))
+	}
+	for i := range tree.events {
+		if tree.events[i] != comp.events[i] {
+			t.Fatalf("%s: event %d diverged:\n tree: %s\n comp: %s", v.name, i, tree.events[i], comp.events[i])
+		}
+	}
+	if fmt.Sprint(tree.races) != fmt.Sprint(comp.races) {
+		t.Fatalf("%s: race keys diverged:\n tree: %v\n comp: %v", v.name, tree.races, comp.races)
+	}
+	if fmt.Sprint(tree.racy) != fmt.Sprint(comp.racy) {
+		t.Fatalf("%s: racy addrs diverged:\n tree: %v\n comp: %v", v.name, tree.racy, comp.racy)
+	}
+}
+
+func tail(ev []string) []string {
+	if len(ev) > 5 {
+		return ev[len(ev)-5:]
+	}
+	return ev
+}
+
+// TestEngineDifferential runs both engines over generated programs
+// under the full configuration matrix.
+func TestEngineDifferential(t *testing.T) {
+	const programs = 110
+	variants := diffVariants()
+	for seed := uint64(1); seed <= programs; seed++ {
+		cfg := progen.DefaultConfig()
+		if seed%3 == 0 {
+			cfg = progen.Config{Funcs: 6, Workers: 3, MaxDepth: 4, MaxStmts: 6}
+		}
+		src := progen.Generate(seed, cfg)
+		prog, err := lang.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		for _, v := range variants {
+			v := v
+			t.Run(fmt.Sprintf("seed%d/%s", seed, v.name), func(t *testing.T) {
+				runDiff(t, prog, v, seed)
+			})
+		}
+	}
+}
+
+// TestEngineTrapParity checks that every runtime trap (including
+// deadlock and the unlock-of-non-pointer validation) produces the
+// identical error string under both engines.
+func TestEngineTrapParity(t *testing.T) {
+	cases := []string{
+		`func main() { var p = 5; print(*p); }`,
+		`func main() { var p = alloc(2); print(p[5]); }`,
+		`func main() { var p = alloc(2); print(p[0-1]); }`,
+		`func main() { lock(7); }`,
+		`func main() { unlock(7); }`,
+		`global m = 0; func main() { unlock(&m); }`,
+		`global m = 0; func main() { lock(&m); lock(&m); }`,
+		`func main() { join(0); }`,
+		`func main() { join(99); }`,
+		`func main() { var p = alloc(0 - 1); }`,
+		`func f() {} func main() { var x = 3; x(); }`,
+		`func f(a) {} func main() { var g = f; g(); }`,
+		`global a = 0;
+		 global b = 0;
+		 func w() { lock(&b); lock(&a); unlock(&a); unlock(&b); }
+		 func main() { lock(&a); var t = spawn w(); lock(&b); unlock(&b); unlock(&a); join(t); }`,
+	}
+	for i, src := range cases {
+		prog, err := lang.Compile(src)
+		if err != nil {
+			t.Fatalf("case %d: compile: %v", i, err)
+		}
+		run := func(engine interp.EngineKind) string {
+			_, err := interp.Run(interp.Config{Prog: prog, Engine: engine})
+			if err == nil {
+				return ""
+			}
+			return err.Error()
+		}
+		treeErr := run(interp.EngineTree)
+		compErr := run(interp.EngineCompiled)
+		if treeErr == "" {
+			t.Errorf("case %d: no error from tree engine", i)
+			continue
+		}
+		if treeErr != compErr {
+			t.Errorf("case %d: error diverged:\n tree: %q\n comp: %q", i, treeErr, compErr)
+		}
+	}
+}
+
+// TestEngineCodeReuse runs one precompiled image repeatedly (the
+// analysis-server usage pattern) and checks the runs stay identical
+// and independent.
+func TestEngineCodeReuse(t *testing.T) {
+	src := progen.Generate(42, progen.DefaultConfig())
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := interp.Compile(prog, interp.Masks{})
+	var first *interp.Result
+	for i := 0; i < 3; i++ {
+		r := &recorder{}
+		res, err := interp.Run(interp.Config{
+			Prog:     prog,
+			Tracer:   r,
+			Code:     code,
+			Choose:   sched.NewSeeded(9),
+			MaxSteps: diffMaxSteps,
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if fmt.Sprint(res.Output) != fmt.Sprint(first.Output) || res.Stats != first.Stats {
+			t.Fatalf("run %d diverged from first", i)
+		}
+	}
+}
+
+// TestEngineCodeMismatch checks that installing an image compiled from
+// a different program is rejected rather than misexecuted.
+func TestEngineCodeMismatch(t *testing.T) {
+	p1, err := lang.Compile(`func main() { print(1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := lang.Compile(`func main() { print(2); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := interp.Compile(p1, interp.Masks{})
+	_, err = interp.Run(interp.Config{Prog: p2, Code: code})
+	if err == nil || !strings.Contains(err.Error(), "different program") {
+		t.Fatalf("err = %v, want code/program mismatch", err)
+	}
+}
+
+// TestMasksDigest checks the digest distinguishes the configurations
+// that compile differently — including nil vs all-false Exec masks,
+// which differ semantically.
+func TestMasksDigest(t *testing.T) {
+	prog, err := lang.Compile(`func main() { print(1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(prog.Instrs)
+	base := interp.Masks{}
+	if base.Digest() != (interp.Masks{}).Digest() {
+		t.Error("digest is not deterministic")
+	}
+	distinct := []interp.Masks{
+		{},
+		{Mem: make([]bool, n)},
+		{Sync: make([]bool, n)},
+		{Exec: make([]bool, n)},
+		{ExecAll: true},
+		{Mem: altMask(n, 0)},
+		{Mem: altMask(n, 1)},
+	}
+	seen := map[string]int{}
+	for i, m := range distinct {
+		d := m.Digest()
+		if j, dup := seen[d]; dup {
+			t.Errorf("masks %d and %d collide", i, j)
+		}
+		seen[d] = i
+	}
+}

@@ -15,7 +15,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 
 	"oha/internal/ir"
 	"oha/internal/sched"
@@ -113,12 +112,36 @@ func (s Stats) InstrumentedOps() uint64 {
 		s.BlockEvents + s.ExecEvents
 }
 
+// EngineKind selects the execution engine for Run.
+type EngineKind uint8
+
+const (
+	// EngineCompiled (the default) lowers the program to flat bytecode
+	// with pre-resolved operands and baked instrumentation flags before
+	// executing. See compile.go / engine.go.
+	EngineCompiled EngineKind = iota
+	// EngineTree is the reference tree-walking interpreter. It is kept
+	// as the semantic oracle for differential testing.
+	EngineTree
+)
+
 // Config configures one execution.
 type Config struct {
 	Prog   *ir.Program
 	Inputs []int64
 	Tracer Tracer        // nil: no events at all
 	Choose sched.Chooser // nil: round-robin
+
+	// Engine selects the execution engine (default: EngineCompiled).
+	// Both engines are bit-identical: same outputs, event streams,
+	// Stats, and trap messages.
+	Engine EngineKind
+
+	// Code, when non-nil, is a precompiled image of Prog (from Compile)
+	// used by EngineCompiled; the per-site masks below are ignored in
+	// favor of the flags baked into it. When nil, Run compiles Prog
+	// with this Config's masks on entry.
+	Code *Code
 
 	// Quantum is the maximum number of instructions a thread runs
 	// before the scheduler picks again (sync operations always end the
@@ -197,6 +220,7 @@ type Interp struct {
 	nextFID FrameID
 	chooser sched.Chooser
 	ctxDone <-chan struct{} // Config.Ctx.Done(), nil when no context
+	runq    []vc.TID        // scratch for runnable(), reused across picks
 }
 
 // New prepares an execution of cfg.Prog.
@@ -232,6 +256,9 @@ func New(cfg Config) *Interp {
 // result. The result is also returned alongside errors so callers can
 // inspect partial output and stats.
 func Run(cfg Config) (*Result, error) {
+	if cfg.Engine == EngineCompiled {
+		return runCompiled(cfg)
+	}
 	it := New(cfg)
 	err := it.run()
 	return &Result{Output: it.output, Stats: it.stats, Threads: len(it.threads)}, err
@@ -264,8 +291,10 @@ func (it *Interp) spawnThread(fn *ir.Function, args []int64) *thread {
 }
 
 // runnable returns the ids of threads that can make progress now.
+// Threads are visited in id order, so the result is already sorted;
+// the scratch slice is reused across scheduling decisions.
 func (it *Interp) runnable() []vc.TID {
-	var out []vc.TID
+	out := it.runq[:0]
 	for _, th := range it.threads {
 		switch th.state {
 		case tRunning:
@@ -281,7 +310,7 @@ func (it *Interp) runnable() []vc.TID {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	it.runq = out
 	return out
 }
 
@@ -545,6 +574,9 @@ func (it *Interp) step(th *thread) (yield bool, err error) {
 		}
 	case ir.OpUnlock:
 		a := it.eval(fr, in.A)
+		if !IsPtr(a) {
+			return false, it.trap(th, in, "unlock of non-pointer value %s", FormatValue(a))
+		}
 		ls := it.locks[a]
 		if ls == nil || ls.holder != th.id {
 			return false, it.trap(th, in, "unlock of mutex not held: %s", FormatValue(a))

@@ -222,12 +222,21 @@ func Run(prog *ir.Program, inputs []int64, seed uint64) (*invariants.DB, error) 
 // RunCtx is Run under a cancellation context (nil: none): a canceled
 // ctx stops the profiled execution within one scheduling quantum.
 func RunCtx(ctx context.Context, prog *ir.Program, inputs []int64, seed uint64) (*invariants.DB, error) {
+	return RunCoded(ctx, nil, prog, inputs, seed)
+}
+
+// RunCoded is RunCtx with a precompiled bytecode image shared across
+// runs (nil: the engine compiles per run). The image must be
+// interp.Compile(prog, interp.Masks{}) — profiling instruments every
+// event kind except the Exec firehose, which is exactly the zero Masks.
+func RunCoded(ctx context.Context, code *interp.Code, prog *ir.Program, inputs []int64, seed uint64) (*invariants.DB, error) {
 	col := NewCollector(prog)
 	_, err := interp.Run(interp.Config{
 		Prog:   prog,
 		Inputs: inputs,
 		Tracer: col,
 		Choose: sched.NewSeeded(seed),
+		Code:   code,
 		Ctx:    ctx,
 	})
 	if err != nil {

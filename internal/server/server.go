@@ -498,7 +498,7 @@ func (s *Server) profileJob(sp *StoredProgram, req JobRequest) func(ctx context.
 		}
 		pr, err := core.ProfileWith(sp.Prog, func(run int) core.Execution {
 			return core.Execution{Inputs: req.Inputs, Seed: uint64(run + 1)}
-		}, core.ProfileOptions{MaxRuns: runs, Workers: 1, Cache: s.cache, Ctx: ctx})
+		}, core.ProfileOptions{MaxRuns: runs, Workers: 1, Cache: s.cache, Ctx: ctx, Code: sp.BaseCode()})
 		if err != nil {
 			return nil, err
 		}

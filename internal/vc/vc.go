@@ -147,8 +147,32 @@ func (v *VC) Leq(u *VC) bool {
 	return true
 }
 
-// Equal reports pointwise equality.
-func (v *VC) Equal(u *VC) bool { return v.Leq(u) && u.Leq(v) }
+// Equal reports pointwise equality in a single pass: the common prefix
+// must match entry-for-entry and any length difference must be all
+// zeros (missing entries are zero by definition).
+func (v *VC) Equal(u *VC) bool {
+	a, b := v.clocks, u.clocks
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	for _, c := range a[n:] {
+		if c != 0 {
+			return false
+		}
+	}
+	for _, c := range b[n:] {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Size returns the number of entries physically stored.
 func (v *VC) Size() int { return len(v.clocks) }

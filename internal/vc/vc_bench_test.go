@@ -1,0 +1,59 @@
+package vc
+
+import "testing"
+
+// benchVC builds a clock with n entries, every one non-zero so Equal
+// and Leq cannot bail out early on zeros.
+func benchVC(n int, bump uint32) *VC {
+	v := New()
+	for t := 0; t < n; t++ {
+		v.Set(TID(t), uint32(t)+1+bump)
+	}
+	return v
+}
+
+func BenchmarkLeqEpoch(b *testing.B) {
+	v := benchVC(64, 0)
+	e := MakeEpoch(17, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !v.LeqEpoch(e) {
+			b.Fatal("epoch should be covered")
+		}
+	}
+}
+
+func BenchmarkJoinWith(b *testing.B) {
+	v := benchVC(64, 0)
+	u := benchVC(64, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.JoinWith(u)
+	}
+}
+
+func BenchmarkEqual(b *testing.B) {
+	v := benchVC(64, 0)
+	u := v.Copy()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !v.Equal(u) {
+			b.Fatal("clocks should be equal")
+		}
+	}
+}
+
+// BenchmarkEqualRagged exercises the unequal-length path: the longer
+// clock's tail is all zeros, so the clocks are still equal.
+func BenchmarkEqualRagged(b *testing.B) {
+	v := benchVC(32, 0)
+	u := v.Copy()
+	u.Set(63, 1)
+	u.Set(63, 0) // grow, then zero the tail entry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !v.Equal(u) {
+			b.Fatal("clocks should be equal")
+		}
+	}
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Capture a benchmark snapshot: run the engine, figure, and vector-clock
+# microbenchmark families at one iteration each (three samples) and save
+# the raw `go test -json` stream to BENCH_<date>.json at the repo root.
+# One-iteration runs measure a single full execution per benchmark —
+# enough to track gross regressions across commits without tying up CI.
+#
+# Usage: scripts/bench_snapshot.sh [output-file]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_$(date +%F).json}
+PATTERN='BenchmarkInterp|BenchmarkFig|BenchmarkLeqEpoch|BenchmarkJoinWith|BenchmarkEqual'
+
+go test -run '^$' -bench "$PATTERN" -benchtime=1x -count=3 -json \
+  ./... >"$OUT"
+
+echo "wrote $OUT ($(grep -c '"Action":"output"' "$OUT" || true) output lines)"
