@@ -8,13 +8,20 @@
 //	    Profile executions (seeds 1..runs over the given inputs) and
 //	    write the merged likely-invariant database.
 //
-//	oha race file.ml -inv invariants.txt [-in 1,2,3] [-seed 7] [-baseline]
+//	oha race file.ml -inv invariants.txt [-in 1,2,3] [-seed 7] [-baseline] [-adapt]
 //	    Run OptFT on one execution (or the FastTrack baseline) and
 //	    print the race report.
 //
-//	oha slice file.ml -inv invariants.txt [-in 1,2,3] [-seed 7] [-criterion N]
+//	oha slice file.ml -inv invariants.txt [-in 1,2,3] [-seed 7] [-criterion N] [-adapt]
 //	    Run OptSlice from the N-th print (default: last) and print the
 //	    sliced source lines.
+//
+// With -adapt, a mis-speculation refines the violated likely invariant
+// out of the database, re-runs the predicated static analysis, and
+// retries under the new generation (printing a per-generation
+// summary) — the same closed loop `ohad` exposes via /speculation.
+// -engine tree|compiled selects the execution engine (default
+// compiled); results are identical under both.
 //
 // Flags may be given before or after the program file. With
 // -cache-dir DIR, static-analysis artifacts persist across
@@ -48,6 +55,8 @@ func main() {
 	criterion := fs.Int("criterion", -1, "slice: print-statement index (default: last)")
 	budget := fs.Int("budget", 4096, "slice: context-sensitive analysis budget")
 	cacheDir := fs.String("cache-dir", "", "persist static-analysis artifacts under this directory (default: in-memory only)")
+	adaptive := fs.Bool("adapt", false, "race/slice: on mis-speculation, refine the violated invariant, re-analyze, and retry")
+	engine := fs.String("engine", "compiled", "execution engine: compiled|tree")
 
 	// Flags may appear before or after the one positional file:
 	// `oha race -inv x.txt prog.ml` and `oha race prog.ml -inv x.txt`
@@ -70,6 +79,16 @@ func main() {
 	check(err)
 	in := parseInputs(*inputs)
 	cache := oha.NewArtifactCache(*cacheDir)
+	var eng oha.EngineKind
+	switch *engine {
+	case "compiled":
+		eng = oha.EngineCompiled
+	case "tree":
+		eng = oha.EngineTree
+	default:
+		check(fmt.Errorf("unknown -engine %q (want compiled or tree)", *engine))
+	}
+	ropts := oha.RunOptions{Engine: eng}
 
 	switch cmd {
 	case "profile":
@@ -90,18 +109,26 @@ func main() {
 	case "race":
 		e := oha.Execution{Inputs: in, Seed: *seed}
 		var rep *oha.RaceReport
-		if *baseline {
-			rep, err = oha.RunFastTrack(prog, e, oha.RunOptions{})
+		switch {
+		case *baseline:
+			rep, err = oha.RunFastTrack(prog, e, ropts)
 			check(err)
-		} else {
+		case *adaptive:
+			m := oha.NewSpeculationManager(prog, loadInv(*inv), oha.SpeculationOptions{Cache: cache})
+			attempts, err := m.RunRace(e, ropts)
+			check(err)
+			rep = attempts[len(attempts)-1].Report
+			printAttempts(attemptReports(attempts))
+			defer printSpeculation(m)
+		default:
 			db := loadInv(*inv)
 			det, err := oha.NewRaceDetectorCached(prog, db, cache)
 			check(err)
-			check(det.ValidateCustomSync([]oha.Execution{{Inputs: in, Seed: 1}}, oha.RunOptions{}))
-			rep, err = det.Run(e, oha.RunOptions{})
+			check(det.ValidateCustomSync([]oha.Execution{{Inputs: in, Seed: 1}}, ropts))
+			rep, err = det.Run(e, ropts)
 			check(err)
 		}
-		if rep.RolledBack {
+		if rep.RolledBack && !*adaptive {
 			fmt.Printf("mis-speculation (%s): rolled back to hybrid analysis\n", rep.Violation)
 		}
 		if len(rep.Details) == 0 {
@@ -122,11 +149,22 @@ func main() {
 		if idx < 0 || idx >= len(prints) {
 			idx = len(prints) - 1
 		}
-		sl, err := oha.NewSlicerCached(prog, db, prints[idx], *budget, cache)
-		check(err)
-		rep, err := sl.Run(oha.Execution{Inputs: in, Seed: *seed}, oha.RunOptions{})
-		check(err)
-		if rep.RolledBack {
+		e := oha.Execution{Inputs: in, Seed: *seed}
+		var rep *oha.SliceReport
+		if *adaptive {
+			m := oha.NewSpeculationManager(prog, db, oha.SpeculationOptions{Cache: cache})
+			attempts, err := m.RunSlice(prints[idx], *budget, e, ropts)
+			check(err)
+			rep = attempts[len(attempts)-1].Report
+			printAttempts(sliceAttemptReports(attempts))
+			defer printSpeculation(m)
+		} else {
+			sl, err := oha.NewSlicerCached(prog, db, prints[idx], *budget, cache)
+			check(err)
+			rep, err = sl.Run(e, ropts)
+			check(err)
+		}
+		if rep.RolledBack && !*adaptive {
 			fmt.Printf("mis-speculation (%s): rolled back to hybrid slicing\n", rep.Violation)
 		}
 		if rep.Slice == nil {
@@ -139,6 +177,58 @@ func main() {
 
 	default:
 		usage()
+	}
+}
+
+// attempt is the engine-agnostic view of one refine-and-retry attempt.
+type attempt struct {
+	gen        int
+	rolledBack bool
+	violation  oha.Violation
+}
+
+func attemptReports(as []oha.RaceAttempt) []attempt {
+	out := make([]attempt, len(as))
+	for i, a := range as {
+		out[i] = attempt{gen: a.Generation, rolledBack: a.Report.RolledBack, violation: a.Report.Violation}
+	}
+	return out
+}
+
+func sliceAttemptReports(as []oha.SliceAttempt) []attempt {
+	out := make([]attempt, len(as))
+	for i, a := range as {
+		out[i] = attempt{gen: a.Generation, rolledBack: a.Report.RolledBack, violation: a.Report.Violation}
+	}
+	return out
+}
+
+// printAttempts narrates the refine-and-retry loop, one line per
+// generation attempted.
+func printAttempts(as []attempt) {
+	for i, a := range as {
+		switch {
+		case !a.rolledBack:
+			fmt.Printf("generation %d: speculation held\n", a.gen)
+		case i < len(as)-1:
+			fmt.Printf("generation %d: mis-speculation (%s); refining and re-analyzing\n", a.gen, a.violation)
+		default:
+			// Rolled back with no retry: the violation was not a
+			// refinable invariant (the report is still sound — the
+			// rollback re-ran the traditional hybrid analysis).
+			fmt.Printf("generation %d: mis-speculation (%s); rolled back to hybrid analysis\n", a.gen, a.violation)
+		}
+	}
+}
+
+// printSpeculation prints the adaptive summary after the report.
+func printSpeculation(m *oha.SpeculationManager) {
+	st := m.Status()
+	fmt.Printf("adaptive: generation %d after %d run(s), %d rollback(s)\n", st.Generation, st.Runs, st.Rollbacks)
+	for _, g := range st.History[1:] {
+		for _, c := range g.Causes {
+			fmt.Printf("  generation %d refined: %s\n", g.Generation, c.String())
+		}
 	}
 }
 

@@ -1,0 +1,505 @@
+// Package adapt closes the optimistic-hybrid-analysis feedback loop
+// the paper leaves to the deployment (§2.1's stability/strength
+// trade-off, §3's recovery discussion): when a speculative run
+// mis-speculates, the violated likely invariant is demoted, the
+// predicated static analysis re-runs without it, and a weaker-but-
+// stabler configuration is hot-swapped in — so one violation never
+// costs a second rollback.
+//
+// The package is three cooperating pieces:
+//
+//   - a violation ledger: structured core.Violation records from
+//     OptFT/OptSlice rollbacks, accumulated into per-invariant-fact
+//     violation counters and per-generation success statistics;
+//   - a refinement policy: past Policy.Threshold observations of one
+//     fact (default 1, per the paper), the fact is removed from a
+//     derived invariants.DB generation using the merge-respecting
+//     weaken helpers (Refine);
+//   - a re-analysis reconciler: Reconcile recomputes the predicated
+//     static artifacts and compiled elision masks for the refined DB
+//     through the content-addressed artifact cache — sound artifacts
+//     (keyed on the nil DB) stay warm; only the invalidated predicated
+//     kinds re-solve — and hot-swaps the new generation in without
+//     blocking in-flight runs (immutable snapshots behind an atomic
+//     pointer; old detectors finish serving their runs untouched).
+//
+// Determinism: given the same program, executions, and schedule seeds,
+// the sequence of refinement generations (refined-DB serializations
+// and compiled-mask digests) is a pure function of the violations
+// observed, which the deterministic interpreter makes a pure function
+// of the inputs — so the generation history is bit-identical across
+// runs and worker counts.
+package adapt
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oha/internal/artifacts"
+	"oha/internal/core"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+)
+
+// Policy configures when the manager refines.
+type Policy struct {
+	// Threshold is the number of observed violations of one invariant
+	// fact before it is refined away. Default 1 — the paper's stance: a
+	// fact that misfired once will misfire again, and a rollback is
+	// expensive enough to never pay twice.
+	Threshold int
+	// MaxGenerations caps deployed configurations, including the base
+	// generation (default 64). At the cap the manager keeps serving
+	// (and counting) but stops refining.
+	MaxGenerations int
+}
+
+func (p Policy) threshold() int {
+	if p.Threshold <= 0 {
+		return 1
+	}
+	return p.Threshold
+}
+
+func (p Policy) maxGenerations() int {
+	if p.MaxGenerations <= 0 {
+		return 64
+	}
+	return p.MaxGenerations
+}
+
+// Options configures a Manager.
+type Options struct {
+	Policy Policy
+	// Cache memoizes static artifacts across generations (strongly
+	// recommended: it is what makes re-analysis incremental). nil
+	// recomputes everything per generation.
+	Cache *artifacts.Cache
+	// Metrics, when non-nil, records ledger and reconciler activity.
+	Metrics *Metrics
+	// MaxTraceNodes / NoBloom are forwarded to every OptSlice the
+	// manager builds (0 / false: the dynslice defaults).
+	MaxTraceNodes int
+	NoBloom       bool
+}
+
+// GenerationRecord describes one deployed configuration.
+type GenerationRecord struct {
+	// Generation numbers configurations from 1 (the base DB).
+	Generation int `json:"generation"`
+	// Causes are the violations whose refinements this generation
+	// deployed (empty for the base generation). Several violations
+	// observed before one reconcile fold into one generation.
+	Causes []core.Violation `json:"causes,omitempty"`
+	// DBDigest is the SHA-256 of the generation's invariant database
+	// serialization; MaskDigest the content digest of the race
+	// detector's compiled instrumentation masks (set once the
+	// detector is built). Together they fingerprint the deployed
+	// configuration for the determinism guarantee.
+	DBDigest   string `json:"db_digest"`
+	MaskDigest string `json:"mask_digest,omitempty"`
+	// ResolveSeconds is the re-analysis latency that produced this
+	// generation (0 for the base).
+	ResolveSeconds float64 `json:"resolve_seconds"`
+}
+
+// Status is a consistent snapshot of the manager, served by the
+// daemon's GET /speculation.
+type Status struct {
+	Generation          int     `json:"generation"`
+	Runs                uint64  `json:"runs"`
+	Rollbacks           uint64  `json:"rollbacks"`
+	SuccessRate         float64 `json:"success_rate"`
+	PostRefineRuns      uint64  `json:"post_refine_runs"`
+	PostRefineRollbacks uint64  `json:"post_refine_rollbacks"`
+	// ViolationsByKind counts observed violations per invariant kind.
+	ViolationsByKind map[core.ViolationKind]uint64 `json:"violations_by_kind,omitempty"`
+	// PendingReconcile reports that refinements await a Reconcile.
+	PendingReconcile bool               `json:"pending_reconcile"`
+	History          []GenerationRecord `json:"history"`
+}
+
+// Manager owns the adaptive state for one (program, base DB) pair. It
+// implements core.Adapter, so it can be installed as RunOptions.Adapt
+// on any OptFT/OptSlice run; the RunRace/RunSlice helpers add the
+// refine-and-retry loop on top. All methods are safe for concurrent
+// use.
+type Manager struct {
+	prog          *ir.Program
+	cache         *artifacts.Cache
+	policy        Policy
+	met           *Metrics
+	maxTraceNodes int
+	noBloom       bool
+
+	// cur is the published generation; reads are lock-free, so
+	// in-flight runs keep their snapshot while a swap lands.
+	cur atomic.Pointer[generation]
+
+	mu         sync.Mutex
+	runs       uint64
+	rollbacks  uint64
+	prRuns     uint64 // runs under generation > 1
+	prRolls    uint64
+	byKind     map[core.ViolationKind]uint64
+	factCounts map[string]int
+	// latest is the newest derived DB — always at least as weak as
+	// every published or in-flight generation. nextCauses are the
+	// violations folded into latest but not yet captured by a
+	// reconcile.
+	latest      *invariants.DB
+	nextCauses  []core.Violation
+	reconciling bool
+	history     []GenerationRecord
+}
+
+var _ core.Adapter = (*Manager)(nil)
+
+// generation is one immutable deployed configuration. The race
+// detector and per-criterion slicers are built lazily and memoized;
+// construction goes through the shared artifact cache, so a rebuild of
+// an already-solved configuration is cheap.
+type generation struct {
+	n  int
+	db *invariants.DB
+	m  *Manager
+
+	raceOnce sync.Once
+	raceDet  *core.OptFT
+	raceErr  error
+
+	mu      sync.Mutex
+	slicers map[slicerKey]*core.OptSlice
+}
+
+type slicerKey struct {
+	criterion int
+	budget    int
+}
+
+// New returns a manager for prog with base invariant database db
+// (treated as immutable; generation 1). The expensive static solve is
+// deferred to the first Race/Slice call.
+func New(prog *ir.Program, db *invariants.DB, o Options) *Manager {
+	m := &Manager{
+		prog:          prog,
+		cache:         o.Cache,
+		policy:        o.Policy,
+		met:           o.Metrics,
+		maxTraceNodes: o.MaxTraceNodes,
+		noBloom:       o.NoBloom,
+		byKind:        map[core.ViolationKind]uint64{},
+		factCounts:    map[string]int{},
+		latest:        db,
+	}
+	m.cur.Store(&generation{n: 1, db: db, m: m, slicers: map[slicerKey]*core.OptSlice{}})
+	m.history = []GenerationRecord{{Generation: 1, DBDigest: artifacts.DBDigest(db)}}
+	return m
+}
+
+// Prog returns the managed program.
+func (m *Manager) Prog() *ir.Program { return m.prog }
+
+// Generation returns the published generation number.
+func (m *Manager) Generation() int { return m.cur.Load().n }
+
+// DB returns the published generation's invariant database (immutable).
+func (m *Manager) DB() *invariants.DB { return m.cur.Load().db }
+
+// Race returns the published generation's race detector and its
+// generation number, building (and memoizing) it on first use.
+func (m *Manager) Race() (*core.OptFT, int, error) {
+	g := m.cur.Load()
+	det, err := g.race()
+	return det, g.n, err
+}
+
+// Slice returns the published generation's slicer for one criterion
+// and budget, building (and memoizing) it on first use.
+func (m *Manager) Slice(criterion *ir.Instr, budget int) (*core.OptSlice, int, error) {
+	g := m.cur.Load()
+	sl, err := g.slicer(criterion, budget)
+	return sl, g.n, err
+}
+
+func (g *generation) race() (*core.OptFT, error) {
+	g.raceOnce.Do(func() {
+		g.raceDet, g.raceErr = core.NewOptFTCached(g.m.prog, g.db, g.m.cache)
+		if g.raceErr == nil {
+			g.m.setMaskDigest(g.n, g.raceDet.CodeDigest())
+		}
+	})
+	return g.raceDet, g.raceErr
+}
+
+func (g *generation) slicer(criterion *ir.Instr, budget int) (*core.OptSlice, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	k := slicerKey{criterion: criterion.ID, budget: budget}
+	if sl, ok := g.slicers[k]; ok {
+		return sl, nil
+	}
+	sl, err := core.NewOptSliceCached(g.m.prog, g.db, criterion, budget, g.m.cache)
+	if err != nil {
+		return nil, err
+	}
+	sl.MaxTraceNodes = g.m.maxTraceNodes
+	sl.NoBloom = g.m.noBloom
+	g.slicers[k] = sl
+	return sl, nil
+}
+
+// setMaskDigest back-fills a generation's mask digest into the history
+// once its detector is built.
+func (m *Manager) setMaskDigest(gen int, digest string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.history {
+		if m.history[i].Generation == gen {
+			m.history[i].MaskDigest = digest
+			return
+		}
+	}
+}
+
+// ObserveRace implements core.Adapter: it feeds one race report into
+// the ledger and, past the policy threshold, derives the refined DB.
+// Reports from foreign programs are ignored; the expensive re-solve is
+// deferred to Reconcile.
+func (m *Manager) ObserveRace(o *core.OptFT, _ core.Execution, rep *core.RaceReport) {
+	if o == nil || rep == nil || o.Prog != m.prog {
+		return
+	}
+	m.observe(rep.RolledBack, rep.Violation)
+}
+
+// ObserveSlice implements core.Adapter for slice reports.
+func (m *Manager) ObserveSlice(o *core.OptSlice, _ core.Execution, rep *core.SliceReport) {
+	if o == nil || rep == nil || o.Prog != m.prog {
+		return
+	}
+	m.observe(rep.RolledBack, rep.Violation)
+}
+
+func (m *Manager) observe(rolledBack bool, v core.Violation) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gen := m.cur.Load().n
+	m.runs++
+	if gen > 1 {
+		m.prRuns++
+	}
+	if rolledBack {
+		m.rollbacks++
+		if gen > 1 {
+			m.prRolls++
+		}
+		m.byKind[v.Kind]++
+	}
+	m.met.observeRun(rolledBack, gen > 1, string(v.Kind))
+	if !rolledBack || !Refinable(v.Kind) {
+		return
+	}
+	key := factKey(v)
+	m.factCounts[key]++
+	if m.factCounts[key] < m.policy.threshold() {
+		return
+	}
+	if len(m.history) >= m.policy.maxGenerations() {
+		return
+	}
+	refined := m.derive(m.latest, v)
+	if refined == nil {
+		// Stale: the fact is already gone from the newest DB (the run
+		// started under an older generation). No generation owed.
+		return
+	}
+	m.latest = refined
+	m.nextCauses = append(m.nextCauses, v)
+}
+
+// derive returns latest weakened by v, or nil if v's fact is already
+// absent. The result is memoized under KindRefined (with DBCodec), so
+// a restarted daemon with a warm disk cache replays refinements
+// without re-deriving them.
+func (m *Manager) derive(base *invariants.DB, v core.Violation) *invariants.DB {
+	refined := base.Clone()
+	if !Refine(refined, v) {
+		return nil
+	}
+	if m.cache != nil {
+		key := artifacts.Key(artifacts.KindRefined, m.prog, base, 0, factKey(v))
+		if got, err := m.cache.Memo(key, artifacts.DBCodec(), func() (any, error) {
+			return refined, nil
+		}); err == nil {
+			return got.(*invariants.DB)
+		}
+	}
+	return refined
+}
+
+// Pending reports whether refinements await a Reconcile (including one
+// currently in flight).
+func (m *Manager) Pending() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.latest != m.cur.Load().db
+}
+
+// Reconcile performs the background re-analysis for any pending
+// refined DB: it rebuilds the predicated static artifacts and compiled
+// masks (through the artifact cache — sound artifacts stay warm, only
+// predicated kinds re-solve under the new DB digest) and hot-swaps the
+// new generation in. In-flight runs keep their old snapshot. Returns
+// whether a new generation was published. Safe to call from multiple
+// goroutines; at most one re-solve runs at a time, extra callers
+// return (false, nil).
+func (m *Manager) Reconcile(ctx context.Context) (bool, error) {
+	m.mu.Lock()
+	cur := m.cur.Load()
+	if m.reconciling || m.latest == cur.db {
+		m.mu.Unlock()
+		return false, nil
+	}
+	m.reconciling = true
+	db := m.latest
+	causes := m.nextCauses
+	m.nextCauses = nil
+	n := cur.n + 1
+	m.mu.Unlock()
+
+	fail := func(err error) (bool, error) {
+		m.mu.Lock()
+		m.reconciling = false
+		m.nextCauses = append(causes, m.nextCauses...)
+		m.mu.Unlock()
+		return false, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+	}
+
+	start := time.Now()
+	g := &generation{n: n, db: db, m: m, slicers: map[slicerKey]*core.OptSlice{}}
+	det, err := g.race() // the eager part of the re-solve
+	if err != nil {
+		return fail(err)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	m.mu.Lock()
+	m.history = append(m.history, GenerationRecord{
+		Generation:     n,
+		Causes:         causes,
+		DBDigest:       artifacts.DBDigest(db),
+		MaskDigest:     det.CodeDigest(),
+		ResolveSeconds: elapsed,
+	})
+	m.reconciling = false
+	m.cur.Store(g)
+	m.mu.Unlock()
+	m.met.observeSwap(elapsed)
+	return true, nil
+}
+
+// Status returns a consistent snapshot.
+func (m *Manager) Status() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Status{
+		Generation:          m.cur.Load().n,
+		Runs:                m.runs,
+		Rollbacks:           m.rollbacks,
+		PostRefineRuns:      m.prRuns,
+		PostRefineRollbacks: m.prRolls,
+		PendingReconcile:    m.latest != m.cur.Load().db,
+		History:             append([]GenerationRecord(nil), m.history...),
+	}
+	if m.runs > 0 {
+		st.SuccessRate = float64(m.runs-m.rollbacks) / float64(m.runs)
+	}
+	if len(m.byKind) > 0 {
+		st.ViolationsByKind = make(map[core.ViolationKind]uint64, len(m.byKind))
+		for k, v := range m.byKind {
+			st.ViolationsByKind[k] = v
+		}
+	}
+	return st
+}
+
+// RaceAttempt is one generation's attempt within RunRace.
+type RaceAttempt struct {
+	Generation int              `json:"generation"`
+	Report     *core.RaceReport `json:"report"`
+}
+
+// SliceAttempt is one generation's attempt within RunSlice.
+type SliceAttempt struct {
+	Generation int               `json:"generation"`
+	Report     *core.SliceReport `json:"report"`
+}
+
+// RunRace runs the refine-and-retry loop for one execution: run under
+// the current generation; on a refinable rollback, reconcile and
+// retry under the new one. The last attempt's report is authoritative
+// (rollback re-execution makes every attempt sound; retries only
+// recover speculation). The loop terminates because each refinement
+// strictly weakens a finite fact set, and Policy.MaxGenerations caps
+// it besides. opts.Adapt is overridden with m.
+func (m *Manager) RunRace(e core.Execution, opts core.RunOptions) ([]RaceAttempt, error) {
+	opts.Adapt = m
+	var attempts []RaceAttempt
+	for {
+		det, gen, err := m.Race()
+		if err != nil {
+			return attempts, err
+		}
+		rep, err := det.Run(e, opts)
+		if err != nil {
+			return attempts, err
+		}
+		attempts = append(attempts, RaceAttempt{Generation: gen, Report: rep})
+		if !rep.RolledBack || !Refinable(rep.Violation.Kind) {
+			return attempts, nil
+		}
+		swapped, err := m.Reconcile(opts.Ctx)
+		if err != nil {
+			return attempts, err
+		}
+		if !swapped {
+			return attempts, nil
+		}
+	}
+}
+
+// RunSlice is RunRace for the slicer (one criterion and static
+// budget).
+func (m *Manager) RunSlice(criterion *ir.Instr, budget int, e core.Execution, opts core.RunOptions) ([]SliceAttempt, error) {
+	opts.Adapt = m
+	var attempts []SliceAttempt
+	for {
+		sl, gen, err := m.Slice(criterion, budget)
+		if err != nil {
+			return attempts, err
+		}
+		rep, err := sl.Run(e, opts)
+		if err != nil {
+			return attempts, err
+		}
+		attempts = append(attempts, SliceAttempt{Generation: gen, Report: rep})
+		if !rep.RolledBack || !Refinable(rep.Violation.Kind) {
+			return attempts, nil
+		}
+		swapped, err := m.Reconcile(opts.Ctx)
+		if err != nil {
+			return attempts, err
+		}
+		if !swapped {
+			return attempts, nil
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package adapt
+
+import "oha/internal/metrics"
+
+// Metrics is the adaptive layer's instrumentation, shared by every
+// Manager bound to one registry (the daemon registers one set and
+// hands it to each per-(program, DB) manager). All fields are
+// non-nil after NewMetrics; a nil *Metrics disables recording.
+type Metrics struct {
+	// Runs / Rollbacks count observed optimistic runs and their
+	// mis-speculations (all generations).
+	Runs      *metrics.Counter
+	Rollbacks *metrics.Counter
+	// PostRefineRuns / PostRefineRollbacks count only runs observed
+	// under a refined (generation > 1) configuration — their ratio is
+	// the post-refinement rollback rate the adaptation is supposed to
+	// drive toward zero.
+	PostRefineRuns      *metrics.Counter
+	PostRefineRollbacks *metrics.Counter
+	// Violations counts violations by invariant kind.
+	Violations *metrics.CounterVec
+	// Refinements counts deployed refinement generations (hot-swaps).
+	Refinements *metrics.Counter
+	// ResolveSeconds observes the latency of each background
+	// re-analysis (static re-solve + recompile) that produced a
+	// generation.
+	ResolveSeconds *metrics.Histogram
+}
+
+// NewMetrics registers the adaptive metrics on r (nil r: working but
+// unregistered metrics, matching the metrics package convention).
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Runs:                r.NewCounter("oha_adapt_runs_total", "Optimistic runs observed by the adaptive manager."),
+		Rollbacks:           r.NewCounter("oha_adapt_rollbacks_total", "Observed runs that rolled back."),
+		PostRefineRuns:      r.NewCounter("oha_adapt_post_refine_runs_total", "Runs observed under a refined (generation > 1) configuration."),
+		PostRefineRollbacks: r.NewCounter("oha_adapt_post_refine_rollbacks_total", "Refined-configuration runs that still rolled back."),
+		Violations:          r.NewCounterVec("oha_adapt_violations_total", "Invariant violations by kind.", "kind"),
+		Refinements:         r.NewCounter("oha_adapt_refinements_total", "Refinement generations deployed (hot-swaps)."),
+		ResolveSeconds:      r.NewHistogram("oha_adapt_resolve_seconds", "Latency of the background re-analysis producing each generation."),
+	}
+}
+
+func (m *Metrics) observeRun(rolledBack, postRefine bool, kind string) {
+	if m == nil {
+		return
+	}
+	m.Runs.Inc()
+	if postRefine {
+		m.PostRefineRuns.Inc()
+	}
+	if !rolledBack {
+		return
+	}
+	m.Rollbacks.Inc()
+	if postRefine {
+		m.PostRefineRollbacks.Inc()
+	}
+	if kind != "" {
+		m.Violations.With(kind).Inc()
+	}
+}
+
+func (m *Metrics) observeSwap(resolveSeconds float64) {
+	if m == nil {
+		return
+	}
+	m.Refinements.Inc()
+	m.ResolveSeconds.Observe(resolveSeconds)
+}

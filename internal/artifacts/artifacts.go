@@ -57,6 +57,12 @@ const (
 	// instrumentation masks (extra discriminator: the mask digest).
 	// Compiled code holds pointers into live IR, so it is memory-only.
 	KindCompiled = "compiled"
+	// KindRefined keys refined invariant databases: the result of
+	// weakening one database by one violation record (extra
+	// discriminator: the violation fingerprint). Portable via DBCodec,
+	// so a restarted daemon replays refinements from the disk layer
+	// without re-deriving them.
+	KindRefined = "refined"
 )
 
 // Codec converts an artifact to and from a portable byte payload for

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"oha/internal/bloom"
 	"oha/internal/interp"
 	"oha/internal/invariants"
@@ -27,6 +25,9 @@ import (
 type raceChecker struct {
 	interp.NopTracer
 	abort *interp.Abort
+	// first is the structured form of the first violation this checker
+	// raised (mirrors abort's first-wins reason).
+	first Violation
 
 	luc         []bool // block ID -> assumed unreachable
 	spawnOnce   []bool // instr ID -> assumed singleton spawn site
@@ -40,6 +41,17 @@ type raceChecker struct {
 
 	// Events counts check events processed (for cost accounting).
 	Events uint64
+}
+
+// violate raises the abort flag with v. The structured record follows
+// the flag's first-wins rule, so it always describes the violation
+// whose reason the abort reports — even when another tracer sharing
+// the flag (the slicer's trace limit) raced it within one event chain.
+func (c *raceChecker) violate(v Violation) {
+	if !c.abort.IsSet() {
+		c.first = v
+	}
+	c.abort.Set(v.String())
 }
 
 // newRaceChecker builds the checker for a database. prog supplies site
@@ -89,7 +101,7 @@ func newRaceChecker(prog *ir.Program, db *invariants.DB, abort *interp.Abort) *r
 func (c *raceChecker) BlockEnter(_ vc.TID, b *ir.Block) {
 	c.Events++
 	if c.luc[b.ID] {
-		c.abort.Set(fmt.Sprintf("likely-unreachable block %d entered", b.ID))
+		c.violate(Violation{Kind: ViolationUnreachableBlock, Site: b.ID, Callee: -1})
 	}
 }
 
@@ -99,7 +111,7 @@ func (c *raceChecker) Spawn(_ vc.TID, in *ir.Instr, _ vc.TID, _ interp.FrameID, 
 	if c.spawnOnce[in.ID] {
 		c.spawnCounts[in.ID]++
 		if c.spawnCounts[in.ID] > 1 {
-			c.abort.Set(fmt.Sprintf("singleton spawn site %d spawned twice", in.ID))
+			c.violate(Violation{Kind: ViolationSingletonSpawn, Site: in.ID, Callee: -1})
 		}
 	}
 }
@@ -113,7 +125,7 @@ func (c *raceChecker) Lock(_ vc.TID, in *ir.Instr, addr interp.Addr) {
 	c.Events++
 	if prev, seen := c.groupAddr[g]; seen {
 		if prev != addr {
-			c.abort.Set(fmt.Sprintf("guarding-lock invariant violated at site %d", in.ID))
+			c.violate(Violation{Kind: ViolationGuardingLock, Site: in.ID, Callee: -1})
 		}
 		return
 	}
@@ -138,6 +150,8 @@ func checkedBlockMask(prog *ir.Program, db *invariants.DB) []bool {
 type sliceChecker struct {
 	interp.NopTracer
 	abort *interp.Abort
+	// first mirrors abort's first-wins reason in structured form.
+	first Violation
 	prog  *ir.Program
 
 	luc        []bool
@@ -191,6 +205,14 @@ func newSliceChecker(prog *ir.Program, db *invariants.DB, checkContexts bool, ab
 	return c
 }
 
+// violate raises the abort flag with v (see raceChecker.violate).
+func (c *sliceChecker) violate(v Violation) {
+	if !c.abort.IsSet() {
+		c.first = v
+	}
+	c.abort.Set(v.String())
+}
+
 // disableBloom switches the call-context check to exact set inclusion
 // only — the configuration the paper found "too inefficient for some
 // programs" (§5.2.3); kept for the ablation benchmarks.
@@ -214,7 +236,7 @@ func (c *sliceChecker) stack(t vc.TID) *checkStack {
 func (c *sliceChecker) BlockEnter(_ vc.TID, b *ir.Block) {
 	c.Events++
 	if c.luc[b.ID] {
-		c.abort.Set(fmt.Sprintf("likely-unreachable block %d entered", b.ID))
+		c.violate(Violation{Kind: ViolationUnreachableBlock, Site: b.ID, Callee: -1})
 	}
 }
 
@@ -224,7 +246,7 @@ func (c *sliceChecker) Call(t vc.TID, in *ir.Instr, callee *ir.Function, _, _ in
 		c.Events++
 		set := c.calleeSets[in.ID]
 		if set == nil || !set[callee.ID] {
-			c.abort.Set(fmt.Sprintf("callee-set invariant violated at site %d (callee %s)", in.ID, callee.Name))
+			c.violate(Violation{Kind: ViolationCalleeSet, Site: in.ID, Callee: callee.ID, Detail: callee.Name})
 		}
 	}
 	if !c.checkCtx {
@@ -240,7 +262,10 @@ func (c *sliceChecker) Call(t vc.TID, in *ir.Instr, callee *ir.Function, _, _ in
 		c.Events++
 		// Bloom prefilter, then the hash-set membership test.
 		if (c.ctxBloom != nil && !c.ctxBloom.MayContain(h)) || !c.ctxHashes[h] {
-			c.abort.Set(fmt.Sprintf("unused-call-context invariant violated at site %d", in.ID))
+			c.violate(Violation{
+				Kind: ViolationCallContext, Site: in.ID, Callee: -1,
+				Path: append([]int(nil), s.path...),
+			})
 		}
 	}
 	s.active[callee.ID]++
@@ -253,7 +278,7 @@ func (c *sliceChecker) Spawn(t vc.TID, in *ir.Instr, child vc.TID, _ interp.Fram
 		c.Events++
 		set := c.calleeSets[in.ID]
 		if set == nil || !set[callee.ID] {
-			c.abort.Set(fmt.Sprintf("callee-set invariant violated at spawn site %d", in.ID))
+			c.violate(Violation{Kind: ViolationCalleeSet, Site: in.ID, Callee: callee.ID, Detail: callee.Name})
 		}
 	}
 	if !c.checkCtx {
@@ -268,7 +293,10 @@ func (c *sliceChecker) Spawn(t vc.TID, in *ir.Instr, child vc.TID, _ interp.Fram
 	s.hashes = append(s.hashes, h)
 	c.Events++
 	if (c.ctxBloom != nil && !c.ctxBloom.MayContain(h)) || !c.ctxHashes[h] {
-		c.abort.Set(fmt.Sprintf("unused-call-context invariant violated at spawn site %d", in.ID))
+		c.violate(Violation{
+			Kind: ViolationCallContext, Site: in.ID, Callee: -1,
+			Path: append([]int(nil), s.path...),
+		})
 	}
 	c.stacks[child] = s
 }

@@ -47,12 +47,46 @@ type RunOptions struct {
 	Quantum  int
 	MaxSteps uint64
 	Ctx      context.Context
+	// Engine selects the interpreter engine (default: compiled
+	// bytecode; interp.EngineTree for the reference tree-walker).
+	Engine interp.EngineKind
+	// Adapt, when non-nil, observes every OptFT/OptSlice report — the
+	// hook the adaptive speculation manager (internal/adapt) uses to
+	// feed its violation ledger. The observer runs after the report is
+	// final (including rollback re-execution) and must not mutate it.
+	Adapt Adapter
 }
 
 func (o RunOptions) apply(cfg *interp.Config) {
 	cfg.Quantum = o.Quantum
 	cfg.MaxSteps = o.MaxSteps
 	cfg.Ctx = o.Ctx
+	cfg.Engine = o.Engine
+}
+
+// Adapter observes analysis reports as they are produced. It is
+// implemented by adapt.Manager; core itself never refines — the
+// observer only records, keeping run latency flat.
+type Adapter interface {
+	// ObserveRace is called once per OptFT.Run with the final report.
+	ObserveRace(o *OptFT, e Execution, rep *RaceReport)
+	// ObserveSlice is called once per OptSlice.Run with the final
+	// report.
+	ObserveSlice(o *OptSlice, e Execution, rep *SliceReport)
+}
+
+// observeRace forwards a final race report to the adapter, if any.
+func (o RunOptions) observeRace(opt *OptFT, e Execution, rep *RaceReport) {
+	if o.Adapt != nil {
+		o.Adapt.ObserveRace(opt, e, rep)
+	}
+}
+
+// observeSlice forwards a final slice report to the adapter, if any.
+func (o RunOptions) observeSlice(opt *OptSlice, e Execution, rep *SliceReport) {
+	if o.Adapt != nil {
+		o.Adapt.ObserveSlice(opt, e, rep)
+	}
 }
 
 // chooser builds the deterministic chooser for an execution.

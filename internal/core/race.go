@@ -37,8 +37,9 @@ type RaceReport struct {
 	// RolledBack reports that the speculative run mis-speculated and
 	// the results come from the traditional hybrid re-execution.
 	RolledBack bool
-	// Violation is the mis-speculation reason when RolledBack.
-	Violation string
+	// Violation is the structured mis-speculation reason when
+	// RolledBack (the first violation the speculative run raised).
+	Violation Violation
 	// Output is the analyzed program's output.
 	Output []int64
 }
@@ -360,6 +361,11 @@ func (o *OptFT) recompile() {
 	o.valCode = compiledCode(o.Prog, interp.Masks{Mem: o.pred.mem, Sync: o.pred.sync, Block: o.valBlockMask}, o.cache)
 }
 
+// CodeDigest returns the content digest of the speculative run's
+// compiled instrumentation masks — the configuration fingerprint the
+// adaptive speculation manager records per generation.
+func (o *OptFT) CodeDigest() string { return o.code.MaskDigest() }
+
 // ElidedAccesses returns how many loads/stores the predicated analysis
 // allows OptFT to skip.
 func (o *OptFT) ElidedAccesses() int {
@@ -394,11 +400,16 @@ func (o *OptFT) Run(e Execution, opts RunOptions) (*RaceReport, error) {
 	res, err := interp.Run(cfg)
 
 	rollback := false
-	reason := ""
+	var reason Violation
 	switch {
 	case errors.Is(err, interp.ErrAborted):
 		rollback = true
-		reason = abort.Reason()
+		reason = checker.first
+		if reason.None() {
+			// The abort came from outside the checker (it owns the
+			// only tracer here, so this is defensive).
+			reason = Violation{Kind: ViolationTraceLimit, Site: -1, Callee: -1, Detail: abort.Reason()}
+		}
 	case err != nil:
 		return nil, err
 	case det.HasRaces() && !o.DB.ElidableLocks.IsEmpty():
@@ -406,11 +417,12 @@ func (o *OptFT) Run(e Execution, opts RunOptions) (*RaceReport, error) {
 		// instrumentation was elided (custom synchronization may have
 		// been missed): re-check under the sound hybrid analysis.
 		rollback = true
-		reason = "race reported with elided lock instrumentation"
+		reason = Violation{Kind: ViolationElidedLockRace, Site: -1, Callee: -1}
 	}
 	if !rollback {
 		rep := raceReport(det, res)
 		rep.CheckEvents = checker.Events
+		opts.observeRace(o, e, rep)
 		return rep, nil
 	}
 
@@ -425,6 +437,7 @@ func (o *OptFT) Run(e Execution, opts RunOptions) (*RaceReport, error) {
 	rep.CheckEvents = checker.Events
 	// Account for the aborted speculative work too.
 	rep.Stats.Add(res.Stats)
+	opts.observeRace(o, e, rep)
 	return rep, nil
 }
 

@@ -174,8 +174,11 @@ func TestOptFTRollbackOnLUCViolation(t *testing.T) {
 	if !opt.RolledBack {
 		t.Fatal("LUC violation did not trigger rollback")
 	}
-	if opt.Violation == "" {
+	if opt.Violation.None() {
 		t.Error("missing violation reason")
+	}
+	if opt.Violation.Kind != ViolationUnreachableBlock {
+		t.Errorf("violation kind = %q, want %q", opt.Violation.Kind, ViolationUnreachableBlock)
 	}
 	if !sameReports(ft, opt) {
 		t.Fatalf("after rollback OptFT %v != FastTrack %v", opt.Races, ft.Races)

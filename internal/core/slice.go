@@ -29,9 +29,11 @@ type SliceReport struct {
 	TraceNodes int
 	// CheckEvents counts invariant-check events (optimistic runs).
 	CheckEvents uint64
-	// RolledBack / Violation describe a mis-speculation, if any.
+	// RolledBack / Violation describe a mis-speculation, if any;
+	// Violation is the structured first violation of the speculative
+	// run.
 	RolledBack bool
-	Violation  string
+	Violation  Violation
 	// Output is the analyzed program's output.
 	Output []int64
 }
@@ -334,6 +336,10 @@ func NewOptSliceCached(prog *ir.Program, db *invariants.DB, criterion *ir.Instr,
 	return o, nil
 }
 
+// CodeDigest returns the content digest of the speculative run's
+// compiled instrumentation masks (see OptFT.CodeDigest).
+func (o *OptSlice) CodeDigest() string { return o.code.MaskDigest() }
+
 // Run performs one speculative dynamic slicing of e, rolling back to
 // the traditional hybrid slicer on invariant violation.
 func (o *OptSlice) Run(e Execution, opts RunOptions) (*SliceReport, error) {
@@ -367,19 +373,27 @@ func (o *OptSlice) Run(e Execution, opts RunOptions) (*SliceReport, error) {
 			return nil, fmt.Errorf("core: rollback re-execution failed: %w", err2)
 		}
 		rep.RolledBack = true
-		rep.Violation = abort.Reason()
+		rep.Violation = checker.first
+		if rep.Violation.None() {
+			// The abort was raised by the slicer's trace-node limit,
+			// not an invariant check.
+			rep.Violation = Violation{Kind: ViolationTraceLimit, Site: -1, Callee: -1, Detail: abort.Reason()}
+		}
 		rep.CheckEvents = checker.Events
 		rep.Stats.Add(res.Stats)
+		opts.observeSlice(o, e, rep)
 		return rep, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &SliceReport{
+	rep := &SliceReport{
 		Slice:       tr.Slice(o.Criterion),
 		Stats:       res.Stats,
 		TraceNodes:  tr.NodeCount(),
 		CheckEvents: checker.Events,
 		Output:      res.Output,
-	}, nil
+	}
+	opts.observeSlice(o, e, rep)
+	return rep, nil
 }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ViolationKind names one checkable likely-invariant kind (or an
+// auxiliary rollback cause). The values are stable wire/ledger
+// identifiers: the adaptive speculation manager keys its violation
+// counters and refinement rules on them, and the daemon exposes them
+// as metric labels.
+type ViolationKind string
+
+// Violation kinds.
+const (
+	// ViolationNone is the zero kind: no violation occurred.
+	ViolationNone ViolationKind = ""
+	// ViolationUnreachableBlock: a likely-unreachable block was
+	// entered (OptFT §4.2.1, OptSlice §5.2.1). Site is the block ID.
+	ViolationUnreachableBlock ViolationKind = "unreachable-block"
+	// ViolationSingletonSpawn: a likely-singleton spawn site spawned a
+	// second thread (§4.2.3). Site is the spawn instruction ID.
+	ViolationSingletonSpawn ViolationKind = "singleton-spawn"
+	// ViolationGuardingLock: a likely-guarding-lock group locked more
+	// than one dynamic object (§4.2.2). Site is the lock instruction
+	// ID at which the second object appeared.
+	ViolationGuardingLock ViolationKind = "guarding-lock"
+	// ViolationCalleeSet: an indirect call or spawn reached a function
+	// outside its profiled callee set (§5.2.2). Site is the call
+	// instruction ID; Callee the observed function ID.
+	ViolationCalleeSet ViolationKind = "callee-set"
+	// ViolationCallContext: a call context outside the profiled set
+	// was entered (§5.2.3). Site is the extending call-site ID; Path
+	// the full unprofiled context path.
+	ViolationCallContext ViolationKind = "call-context"
+	// ViolationElidedLockRace: a race was reported while lock
+	// instrumentation was elided — a potential mis-speculation of the
+	// no-custom-synchronization invariant (§4.2.4). Site is -1.
+	ViolationElidedLockRace ViolationKind = "elided-lock-race"
+	// ViolationTraceLimit: the dynamic slicer's trace outgrew its node
+	// budget. Not an invariant violation — nothing to refine — but it
+	// rolls back like one, so reports carry it uniformly. Site is -1.
+	ViolationTraceLimit ViolationKind = "trace-limit"
+)
+
+// Violation is a structured mis-speculation reason. The zero value
+// means "no violation"; RolledBack reports carry the first violation
+// the speculative run raised (first-wins, matching interp.Abort).
+//
+// Downstream consumers — the adaptive speculation manager's ledger,
+// the daemon's /speculation endpoint — operate on these fields and
+// never parse the display string.
+type Violation struct {
+	// Kind is the violated invariant kind.
+	Kind ViolationKind `json:"kind"`
+	// Site identifies the violating program point: a block ID for
+	// ViolationUnreachableBlock, an instruction ID otherwise, and -1
+	// when no single site applies.
+	Site int `json:"site"`
+	// Callee is the observed out-of-set function ID for
+	// ViolationCalleeSet (-1 otherwise).
+	Callee int `json:"callee,omitempty"`
+	// Path is the unprofiled context path (call-site instruction IDs
+	// from the thread root) for ViolationCallContext.
+	Path []int `json:"path,omitempty"`
+	// Detail is extra display context (e.g. the callee name).
+	Detail string `json:"detail,omitempty"`
+}
+
+// None reports whether v is the zero "no violation" value.
+func (v Violation) None() bool { return v.Kind == ViolationNone }
+
+// String renders the violation for display, matching the prose the
+// rollback paths historically reported.
+func (v Violation) String() string {
+	switch v.Kind {
+	case ViolationNone:
+		return ""
+	case ViolationUnreachableBlock:
+		return fmt.Sprintf("likely-unreachable block %d entered", v.Site)
+	case ViolationSingletonSpawn:
+		return fmt.Sprintf("singleton spawn site %d spawned twice", v.Site)
+	case ViolationGuardingLock:
+		return fmt.Sprintf("guarding-lock invariant violated at site %d", v.Site)
+	case ViolationCalleeSet:
+		if v.Detail != "" {
+			return fmt.Sprintf("callee-set invariant violated at site %d (callee %s)", v.Site, v.Detail)
+		}
+		return fmt.Sprintf("callee-set invariant violated at site %d", v.Site)
+	case ViolationCallContext:
+		return fmt.Sprintf("unused-call-context invariant violated at site %d", v.Site)
+	case ViolationElidedLockRace:
+		return "race reported with elided lock instrumentation"
+	case ViolationTraceLimit:
+		if v.Detail != "" {
+			return "trace limit: " + v.Detail
+		}
+		return "trace limit exceeded"
+	}
+	var b strings.Builder
+	b.WriteString(string(v.Kind))
+	if v.Site >= 0 {
+		fmt.Fprintf(&b, " at site %d", v.Site)
+	}
+	if v.Detail != "" {
+		b.WriteString(": " + v.Detail)
+	}
+	return b.String()
+}

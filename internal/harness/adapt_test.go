@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"oha/internal/artifacts"
+)
+
+func TestAdaptiveShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	rows, err := Adaptive(tiny())
+	if err != nil {
+		t.Fatal(err) // soundness gate fires as an error
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Attempts != r.TestRuns+r.Rollbacks {
+			t.Errorf("%s: attempts %d != runs %d + rollbacks %d (a refinable violation must retry exactly once)",
+				r.Name, r.Attempts, r.TestRuns, r.Rollbacks)
+		}
+		if r.Generations != len(r.DBDigests) {
+			t.Errorf("%s: generation %d but %d history records", r.Name, r.Generations, len(r.DBDigests))
+		}
+		for i := 1; i < len(r.DBDigests); i++ {
+			if r.DBDigests[i] == r.DBDigests[i-1] {
+				t.Errorf("%s: generation %d did not change the DB digest", r.Name, i+1)
+			}
+		}
+	}
+	var sb strings.Builder
+	PrintAdaptive(&sb, rows)
+	if !strings.Contains(sb.String(), "lusearch") || !strings.Contains(sb.String(), "generations") {
+		t.Error("printer dropped rows")
+	}
+}
+
+// deterministicAdapt strips the wall-clock field.
+func deterministicAdapt(rows []AdaptRow) []AdaptRow {
+	out := make([]AdaptRow, len(rows))
+	copy(out, rows)
+	for i := range out {
+		out[i].ResolveSec = 0
+	}
+	return out
+}
+
+// TestAdaptiveParallelDeterminism: the generation histories — DB and
+// mask digest sequences — are bit-identical across pool sizes and
+// cache temperature.
+func TestAdaptiveParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite experiment")
+	}
+	base := tiny()
+	base.Parallel = 1
+	seq, err := Adaptive(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := deterministicAdapt(seq)
+
+	cache := artifacts.New("")
+	for _, parallel := range []int{2, 8} {
+		for pass := 0; pass < 2; pass++ { // second pass: warm cache
+			opts := tiny()
+			opts.Parallel = parallel
+			opts.Cache = cache
+			rows, err := Adaptive(opts)
+			if err != nil {
+				t.Fatalf("parallel=%d pass=%d: %v", parallel, pass, err)
+			}
+			got := deterministicAdapt(rows)
+			for i := range want {
+				if !equalAdaptRows(got[i], want[i]) {
+					t.Errorf("parallel=%d pass=%d: row %d diverged:\n got %+v\nwant %+v",
+						parallel, pass, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func equalAdaptRows(a, b AdaptRow) bool {
+	if a.Name != b.Name || a.TestRuns != b.TestRuns || a.Attempts != b.Attempts ||
+		a.Rollbacks != b.Rollbacks || a.Generations != b.Generations ||
+		a.PostRefineRollbacks != b.PostRefineRollbacks ||
+		len(a.DBDigests) != len(b.DBDigests) || len(a.MaskDigests) != len(b.MaskDigests) {
+		return false
+	}
+	for i := range a.DBDigests {
+		if a.DBDigests[i] != b.DBDigests[i] {
+			return false
+		}
+	}
+	for i := range a.MaskDigests {
+		if a.MaskDigests[i] != b.MaskDigests[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -174,10 +174,11 @@ type cfunc struct {
 // Code is an immutable compiled program image. Obtain one with
 // Compile; share it freely between concurrent executions.
 type Code struct {
-	prog  *ir.Program
-	code  []cinstr
-	funcs []*cfunc
-	main  *cfunc
+	prog       *ir.Program
+	code       []cinstr
+	funcs      []*cfunc
+	main       *cfunc
+	maskDigest string
 }
 
 // Prog returns the program this image was compiled from.
@@ -185,6 +186,13 @@ func (c *Code) Prog() *ir.Program { return c.prog }
 
 // Len returns the number of compiled instructions.
 func (c *Code) Len() int { return len(c.code) }
+
+// MaskDigest returns the content digest of the instrumentation masks
+// this image was compiled from (Masks.Digest, computed once at
+// Compile). Two images of one program are behaviorally identical iff
+// their mask digests match, which is how the adaptive speculation
+// manager fingerprints a generation's deployed configuration.
+func (c *Code) MaskDigest() string { return c.maskDigest }
 
 // lowerOperand pre-resolves one IR operand.
 func lowerOperand(op ir.Operand) coperand {
@@ -211,9 +219,10 @@ func execFlagged(m Masks, id int) bool {
 // array. The result is immutable and safe for concurrent use.
 func Compile(prog *ir.Program, m Masks) *Code {
 	c := &Code{
-		prog:  prog,
-		code:  make([]cinstr, 0, len(prog.Instrs)),
-		funcs: make([]*cfunc, len(prog.Funcs)),
+		prog:       prog,
+		code:       make([]cinstr, 0, len(prog.Instrs)),
+		funcs:      make([]*cfunc, len(prog.Funcs)),
+		maskDigest: m.Digest(),
 	}
 
 	// Pass 1: lay out blocks (emission order: functions, then blocks in

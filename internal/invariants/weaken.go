@@ -1,0 +1,128 @@
+package invariants
+
+import "oha/internal/bitset"
+
+// This file implements invariant *refinement*: the adaptive
+// speculation manager's response to a runtime violation is to weaken
+// the database — in exactly the direction the per-kind merge rule
+// already moves (union for reachable-flavoured facts, intersection for
+// unreachable-flavoured ones) — so the refined DB is precisely what
+// profiling would have produced had it also observed the violating
+// execution. Every helper reports whether the database actually
+// changed: a false return means the fact was already absent (a stale
+// violation from a run started under an older generation), and the
+// caller must not count it as a new refinement.
+
+// MarkVisited records that a likely-unreachable block was entered,
+// removing it from the LUC set. Reports whether the DB changed.
+func (db *DB) MarkVisited(blockID int) bool {
+	if blockID < 0 || db.Visited.Has(blockID) {
+		return false
+	}
+	db.Visited.Add(blockID)
+	return true
+}
+
+// RetractSingletonSpawn drops the likely-singleton-thread fact for a
+// spawn site. Reports whether the DB changed.
+func (db *DB) RetractSingletonSpawn(site int) bool {
+	if !db.SingletonSpawns.Has(site) {
+		return false
+	}
+	db.SingletonSpawns.Remove(site)
+	return true
+}
+
+// DropMustAliasGroup drops every must-alias pair in the lock-site
+// group containing site. The runtime guarding-lock check verifies one
+// address per *group* (the transitive closure of pairs), so a
+// violation at any member discredits the whole group: removing only
+// the violated pair would leave a group the checker can no longer
+// attribute. Returns the number of pairs removed (0: site was not in
+// any group — a stale violation).
+func (db *DB) DropMustAliasGroup(site int) int {
+	if len(db.MustAliasLocks) == 0 {
+		return 0
+	}
+	// Union-find over the current pairs, mirroring the checker's
+	// grouping.
+	parent := map[int]int{}
+	var find func(x int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	for pair := range db.MustAliasLocks {
+		ra, rb := find(pair.A), find(pair.B)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	if _, ok := parent[site]; !ok {
+		return 0
+	}
+	root := find(site)
+	removed := 0
+	for pair := range db.MustAliasLocks {
+		if find(pair.A) == root {
+			delete(db.MustAliasLocks, pair)
+			removed++
+		}
+	}
+	return removed
+}
+
+// WidenCallees adds an observed callee to an indirect call site's
+// likely callee set, creating the site entry if profiling pruned it
+// entirely. A nil Callees map means the invariant is disabled (nothing
+// assumed, nothing to weaken): reports false. Otherwise reports
+// whether the DB changed.
+func (db *DB) WidenCallees(site, calleeFnID int) bool {
+	if db.Callees == nil || site < 0 || calleeFnID < 0 {
+		return false
+	}
+	set := db.Callees[site]
+	if set == nil {
+		set = &bitset.Set{}
+		db.Callees[site] = set
+	}
+	if set.Has(calleeFnID) {
+		return false
+	}
+	set.Add(calleeFnID)
+	return true
+}
+
+// AddContext records an observed call context together with all of its
+// prefixes (the runtime check verifies every extension along the path,
+// so each prefix must be a member for the full path to pass). Reports
+// whether the DB changed.
+func (db *DB) AddContext(path []int) bool {
+	changed := false
+	for i := 0; i <= len(path); i++ {
+		if !db.Contexts.Has(path[:i]) {
+			db.Contexts.Add(path[:i])
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ClearElidableLocks retracts the no-custom-synchronization invariant
+// entirely, restoring all lock instrumentation. The invariant is
+// all-or-nothing at runtime (any race while locks are elided is a
+// potential mis-speculation), so refinement cannot be finer-grained
+// than this. Reports whether the DB changed.
+func (db *DB) ClearElidableLocks() bool {
+	if db.ElidableLocks.IsEmpty() {
+		return false
+	}
+	db.ElidableLocks.Clear()
+	return true
+}

@@ -17,6 +17,10 @@ const (
 	JobProfile JobKind = "profile"
 	JobRace    JobKind = "race"
 	JobSlice   JobKind = "slice"
+	// JobRefine reconciles pending invariant refinements for one
+	// (program, invariant DB version) adaptive manager: re-solve the
+	// predicated artifacts and hot-swap the next generation in.
+	JobRefine JobKind = "refine"
 )
 
 // JobState is a job's lifecycle state.

@@ -23,8 +23,17 @@
 //	POST /v1/jobs                job request → 202 {job}, 429 on backpressure, 503 when draining
 //	GET  /v1/jobs/{id}           job status
 //	GET  /v1/jobs/{id}/result    job result (202 until terminal)
+//	GET  /speculation            adaptive-speculation status (all managers, or one with ?program=&invariants=)
 //	GET  /healthz                liveness (503 when draining)
 //	GET  /metrics                Prometheus text exposition
+//
+// Adaptive speculation: a race or slice job with "adapt": true routes
+// through a per-(program, invariant DB version) adapt.Manager — on a
+// mis-speculation the violated fact is refined away, the predicated
+// artifacts re-solve through the shared cache, and the job retries
+// under the new generation. PUT/merge of invariants accept a ?program=
+// digest binding; merging databases profiled from different programs
+// is rejected with 409 Conflict.
 package server
 
 import (
@@ -36,8 +45,10 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
+	"oha/internal/adapt"
 	"oha/internal/artifacts"
 	"oha/internal/core"
 	"oha/internal/invariants"
@@ -81,6 +92,23 @@ type Server struct {
 	jobsDone      *metrics.Counter
 	jobsFailed    *metrics.Counter
 	jobLatency    *metrics.Histogram
+
+	// Adaptive speculation state: one manager per (program, invariant
+	// DB version) pair, created lazily by the first adapt-enabled job
+	// and kept for the daemon's lifetime so the violation ledger and
+	// generation history span requests.
+	adaptMetrics *adapt.Metrics
+	adaptMu      sync.Mutex
+	adapters     map[adaptKey]*adapt.Manager
+	adaptOrder   []adaptKey
+}
+
+// adaptKey identifies one adaptive manager: the program digest plus
+// the invariant DB (resolved to a concrete version) it speculates on.
+type adaptKey struct {
+	program    string
+	invariants string
+	version    int
 }
 
 // New builds the daemon: stores, worker pool, metrics, and routes.
@@ -103,7 +131,9 @@ func New(cfg Config) (*Server, error) {
 		cache:    cache,
 		reg:      metrics.NewRegistry(),
 		mux:      http.NewServeMux(),
+		adapters: map[adaptKey]*adapt.Manager{},
 	}
+	s.adaptMetrics = adapt.NewMetrics(s.reg)
 	s.httpRequests = s.reg.NewCounterVec("ohad_http_requests_total", "HTTP requests by route", "route")
 	s.jobsSubmitted = s.reg.NewCounterVec("ohad_jobs_submitted_total", "accepted jobs by kind", "kind")
 	s.jobsRejected = s.reg.NewCounter("ohad_jobs_rejected_total", "jobs rejected by queue backpressure")
@@ -199,6 +229,7 @@ func (s *Server) routes() {
 	s.handle("POST /v1/jobs", s.handleSubmitJob)
 	s.handle("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.handle("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.handle("GET /speculation", s.handleSpeculation)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
 }
@@ -282,20 +313,27 @@ func (s *Server) readDBBody(w http.ResponseWriter, r *http.Request) (*invariants
 }
 
 func (s *Server) handlePutInvariants(w http.ResponseWriter, r *http.Request) {
-	s.storeInvariants(w, r, s.invs.Put)
+	s.storeInvariants(w, r, s.invs.PutFor)
 }
 
 func (s *Server) handleMergeInvariants(w http.ResponseWriter, r *http.Request) {
-	s.storeInvariants(w, r, s.invs.Merge)
+	s.storeInvariants(w, r, s.invs.MergeFor)
 }
 
-func (s *Server) storeInvariants(w http.ResponseWriter, r *http.Request, op func(string, *invariants.DB) (int, error)) {
+func (s *Server) storeInvariants(w http.ResponseWriter, r *http.Request, op func(string, string, *invariants.DB) (int, error)) {
 	id := r.PathValue("id")
 	db, ok := s.readDBBody(w, r)
 	if !ok {
 		return
 	}
-	version, err := op(id, db)
+	// ?program=<digest> binds the entry to the program the DB was
+	// profiled from; a conflicting binding is a 409, not a bad request:
+	// both sides are well-formed, they just describe different programs.
+	version, err := op(id, r.URL.Query().Get("program"), db)
+	if errors.Is(err, ErrProgramMismatch) {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -360,6 +398,13 @@ type JobRequest struct {
 	// needed).
 	Baseline bool `json:"baseline"`
 
+	// Adapt routes a race or slice job through the adaptive speculation
+	// manager for (program, invariant DB version): a refinable
+	// mis-speculation refines the violated fact away, re-solves, and
+	// retries under the new generation. Refine jobs also use the
+	// manager. Ignored for baseline race jobs.
+	Adapt bool `json:"adapt"`
+
 	// Slice jobs: index into the program's print statements (nil:
 	// last) and the context-sensitive analysis budget (0: 4096).
 	Criterion *int `json:"criterion"`
@@ -376,13 +421,19 @@ type ProfileJobResult struct {
 
 // RaceJobResult is the result payload of a race job.
 type RaceJobResult struct {
-	Races           []string `json:"races"`
-	RolledBack      bool     `json:"rolled_back"`
-	Violation       string   `json:"violation,omitempty"`
-	InstrumentedOps uint64   `json:"instrumented_ops"`
-	FTChecks        uint64   `json:"ft_checks"`
-	CheckEvents     uint64   `json:"check_events"`
-	Output          []int64  `json:"output"`
+	Races      []string `json:"races"`
+	RolledBack bool     `json:"rolled_back"`
+	// Violation is the display string; ViolationKind/ViolationSite the
+	// structured record (empty / absent without a rollback).
+	Violation       string             `json:"violation,omitempty"`
+	ViolationKind   core.ViolationKind `json:"violation_kind,omitempty"`
+	ViolationSite   int                `json:"violation_site,omitempty"`
+	Generation      int                `json:"generation,omitempty"`
+	Attempts        int                `json:"attempts,omitempty"`
+	InstrumentedOps uint64             `json:"instrumented_ops"`
+	FTChecks        uint64             `json:"ft_checks"`
+	CheckEvents     uint64             `json:"check_events"`
+	Output          []int64            `json:"output"`
 }
 
 // SliceJobResult is the result payload of a slice job.
@@ -394,9 +445,25 @@ type SliceJobResult struct {
 	DynNodes       int    `json:"dyn_nodes"`
 	TraceNodes     int    `json:"trace_nodes"`
 	// Lines are the source lines in the slice, ascending.
-	Lines      []int  `json:"lines"`
-	RolledBack bool   `json:"rolled_back"`
-	Violation  string `json:"violation,omitempty"`
+	Lines      []int `json:"lines"`
+	RolledBack bool  `json:"rolled_back"`
+	// Violation is the display string; ViolationKind/ViolationSite the
+	// structured record (empty / absent without a rollback).
+	Violation     string             `json:"violation,omitempty"`
+	ViolationKind core.ViolationKind `json:"violation_kind,omitempty"`
+	ViolationSite int                `json:"violation_site,omitempty"`
+	Generation    int                `json:"generation,omitempty"`
+	Attempts      int                `json:"attempts,omitempty"`
+}
+
+// RefineJobResult is the result payload of a refine job: an explicit
+// reconcile of any pending invariant refinements.
+type RefineJobResult struct {
+	// Swapped reports whether a new generation was published by THIS
+	// job (false when nothing was pending or another reconcile ran).
+	Swapped bool `json:"swapped"`
+	// Generation is the published generation after the reconcile.
+	Generation int `json:"generation"`
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
@@ -429,6 +496,12 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		fn = s.sliceJob(sp, req)
+	case JobRefine:
+		if req.InvariantsID == "" {
+			writeError(w, http.StatusBadRequest, "refine job needs invariants_id")
+			return
+		}
+		fn = s.refineJob(sp, req)
 	default:
 		writeError(w, http.StatusBadRequest, "unknown job kind %q", req.Kind)
 		return
@@ -490,6 +563,138 @@ func (s *Server) resolveDB(req JobRequest) (*invariants.DB, int, error) {
 	return db, v, nil
 }
 
+// ------------------------------------------------ adaptive speculation
+
+// adapter returns (creating on first use) the adaptive manager for the
+// job's (program, resolved invariant DB version) pair. Managers share
+// the server's artifact cache — re-analysis after a refinement only
+// re-solves the invalidated predicated kinds — and one adapt.Metrics
+// family on the server registry.
+func (s *Server) adapter(sp *StoredProgram, req JobRequest) (*adapt.Manager, error) {
+	db, version, err := s.resolveDB(req)
+	if err != nil {
+		return nil, err
+	}
+	if bound := s.invs.ProgramOf(req.InvariantsID); bound != "" && bound != sp.ID {
+		return nil, fmt.Errorf("%w: invariants %q are for program %s, job targets %s",
+			ErrProgramMismatch, req.InvariantsID, shortID(bound), shortID(sp.ID))
+	}
+	key := adaptKey{program: sp.ID, invariants: req.InvariantsID, version: version}
+	s.adaptMu.Lock()
+	defer s.adaptMu.Unlock()
+	m, ok := s.adapters[key]
+	if !ok {
+		m = adapt.New(sp.Prog, db, adapt.Options{Cache: s.cache, Metrics: s.adaptMetrics})
+		s.adapters[key] = m
+		s.adaptOrder = append(s.adaptOrder, key)
+	}
+	return m, nil
+}
+
+// submitRefine queues any reconcile still pending after an adaptive
+// job's refine-and-retry loop (possible when a concurrent reconcile was
+// in flight when the loop sampled it). A full or draining queue falls
+// back to reconciling inline: a pending refinement must never be lost,
+// or the next run pays the rollback the refinement was meant to avoid.
+func (s *Server) submitRefine(m *adapt.Manager) {
+	fn := func(ctx context.Context) (any, error) {
+		swapped, err := m.Reconcile(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return RefineJobResult{Swapped: swapped, Generation: m.Generation()}, nil
+	}
+	if _, err := s.pool.Submit(JobRefine, 0, fn); err != nil {
+		m.Reconcile(context.Background()) //nolint:errcheck // best-effort fallback; next job retries
+	}
+}
+
+// refineJob explicitly reconciles a manager's pending refinements.
+func (s *Server) refineJob(sp *StoredProgram, req JobRequest) func(ctx context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		m, err := s.adapter(sp, req)
+		if err != nil {
+			return nil, err
+		}
+		swapped, err := m.Reconcile(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return RefineJobResult{Swapped: swapped, Generation: m.Generation()}, nil
+	}
+}
+
+// speculationEntry is one manager's row in GET /speculation.
+type speculationEntry struct {
+	ProgramID         string       `json:"program_id"`
+	InvariantsID      string       `json:"invariants_id"`
+	InvariantsVersion int          `json:"invariants_version"`
+	Status            adapt.Status `json:"status"`
+}
+
+// handleSpeculation serves the adaptive-speculation status. With both
+// ?program= and ?invariants= (and optional ?version=) it returns the
+// single matching adapt.Status (404 if absent); otherwise it lists
+// every manager in creation order.
+func (s *Server) handleSpeculation(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	program, invs := q.Get("program"), q.Get("invariants")
+	version := 0
+	if v := q.Get("version"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad version %q", v)
+			return
+		}
+		version = n
+	}
+	s.adaptMu.Lock()
+	keys := append([]adaptKey(nil), s.adaptOrder...)
+	managers := make([]*adapt.Manager, len(keys))
+	for i, k := range keys {
+		managers[i] = s.adapters[k]
+	}
+	s.adaptMu.Unlock()
+
+	if program != "" && invs != "" {
+		// version 0 means "any": with several versions adapted, the
+		// newest manager wins, matching the store's latest-first reads.
+		best := -1
+		for i, k := range keys {
+			if k.program != program || k.invariants != invs {
+				continue
+			}
+			if version != 0 && k.version != version {
+				continue
+			}
+			if best < 0 || k.version > keys[best].version {
+				best = i
+			}
+		}
+		if best < 0 {
+			writeError(w, http.StatusNotFound, "no adaptive manager for program %q invariants %q", program, invs)
+			return
+		}
+		writeJSON(w, http.StatusOK, speculationEntry{
+			ProgramID:         keys[best].program,
+			InvariantsID:      keys[best].invariants,
+			InvariantsVersion: keys[best].version,
+			Status:            managers[best].Status(),
+		})
+		return
+	}
+	entries := make([]speculationEntry, 0, len(keys))
+	for i, k := range keys {
+		entries = append(entries, speculationEntry{
+			ProgramID:         k.program,
+			InvariantsID:      k.invariants,
+			InvariantsVersion: k.version,
+			Status:            managers[i].Status(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"managers": entries})
+}
+
 func (s *Server) profileJob(sp *StoredProgram, req JobRequest) func(ctx context.Context) (any, error) {
 	return func(ctx context.Context) (any, error) {
 		runs := req.Runs
@@ -506,11 +711,13 @@ func (s *Server) profileJob(sp *StoredProgram, req JobRequest) func(ctx context.
 		if saveAs == "" {
 			saveAs = "p-" + shortID(sp.ID)
 		}
-		op := s.invs.Put
+		// Profile jobs always bind the saved DB to the profiled program
+		// digest: the store then rejects cross-program merges with 409.
+		op := s.invs.PutFor
 		if req.Merge {
-			op = s.invs.Merge
+			op = s.invs.MergeFor
 		}
-		version, err := op(saveAs, pr.DB)
+		version, err := op(saveAs, sp.ID, pr.DB)
 		if err != nil {
 			return nil, err
 		}
@@ -527,13 +734,29 @@ func (s *Server) raceJob(sp *StoredProgram, req JobRequest) func(ctx context.Con
 	return func(ctx context.Context) (any, error) {
 		e := core.Execution{Inputs: req.Inputs, Seed: req.Seed}
 		var rep *core.RaceReport
-		if req.Baseline {
+		generation, attempts := 0, 0
+		switch {
+		case req.Baseline:
 			var err error
 			rep, err = core.RunFastTrack(sp.Prog, e, s.runOpts(ctx))
 			if err != nil {
 				return nil, err
 			}
-		} else {
+		case req.Adapt:
+			m, err := s.adapter(sp, req)
+			if err != nil {
+				return nil, err
+			}
+			tries, err := m.RunRace(e, s.runOpts(ctx))
+			if err != nil {
+				return nil, err
+			}
+			if m.Pending() {
+				s.submitRefine(m)
+			}
+			last := tries[len(tries)-1]
+			rep, generation, attempts = last.Report, last.Generation, len(tries)
+		default:
 			db, _, err := s.resolveDB(req)
 			if err != nil {
 				return nil, err
@@ -554,7 +777,11 @@ func (s *Server) raceJob(sp *StoredProgram, req JobRequest) func(ctx context.Con
 		return RaceJobResult{
 			Races:           races,
 			RolledBack:      rep.RolledBack,
-			Violation:       rep.Violation,
+			Violation:       rep.Violation.String(),
+			ViolationKind:   rep.Violation.Kind,
+			ViolationSite:   rep.Violation.Site,
+			Generation:      generation,
+			Attempts:        attempts,
 			InstrumentedOps: rep.Stats.InstrumentedOps(),
 			FTChecks:        rep.FTChecks,
 			CheckEvents:     rep.CheckEvents,
@@ -580,25 +807,55 @@ func (s *Server) sliceJob(sp *StoredProgram, req JobRequest) func(ctx context.Co
 		if budget <= 0 {
 			budget = 4096
 		}
-		db, _, err := s.resolveDB(req)
-		if err != nil {
-			return nil, err
-		}
-		sl, err := core.NewOptSliceCached(sp.Prog, db, prints[idx], budget, s.cache)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := sl.Run(core.Execution{Inputs: req.Inputs, Seed: req.Seed}, s.runOpts(ctx))
-		if err != nil {
-			return nil, err
+		e := core.Execution{Inputs: req.Inputs, Seed: req.Seed}
+		var rep *core.SliceReport
+		var at string
+		generation, attempts := 0, 0
+		if req.Adapt {
+			m, err := s.adapter(sp, req)
+			if err != nil {
+				return nil, err
+			}
+			tries, err := m.RunSlice(prints[idx], budget, e, s.runOpts(ctx))
+			if err != nil {
+				return nil, err
+			}
+			if m.Pending() {
+				s.submitRefine(m)
+			}
+			last := tries[len(tries)-1]
+			rep, generation, attempts = last.Report, last.Generation, len(tries)
+			// The memoized slicer for the last attempt's generation
+			// carries the analysis type the report came from.
+			if sl, _, err := m.Slice(prints[idx], budget); err == nil {
+				at = string(sl.AT)
+			}
+		} else {
+			db, _, err := s.resolveDB(req)
+			if err != nil {
+				return nil, err
+			}
+			sl, err := core.NewOptSliceCached(sp.Prog, db, prints[idx], budget, s.cache)
+			if err != nil {
+				return nil, err
+			}
+			rep, err = sl.Run(e, s.runOpts(ctx))
+			if err != nil {
+				return nil, err
+			}
+			at = string(sl.AT)
 		}
 		res := SliceJobResult{
 			CriterionIndex: idx,
 			CriterionLine:  prints[idx].Pos.Line,
-			AnalysisType:   string(sl.AT),
+			AnalysisType:   at,
 			TraceNodes:     rep.TraceNodes,
 			RolledBack:     rep.RolledBack,
-			Violation:      rep.Violation,
+			Violation:      rep.Violation.String(),
+			ViolationKind:  rep.Violation.Kind,
+			ViolationSite:  rep.Violation.Site,
+			Generation:     generation,
+			Attempts:       attempts,
 		}
 		if rep.Slice != nil {
 			res.SliceInstrs = rep.Slice.Size()

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -124,8 +125,20 @@ type InvariantStore struct {
 
 	mu      sync.RWMutex
 	entries map[string][]*invariants.DB
-	order   []string
+	// programs binds an entry to the digest of the program it was
+	// profiled from ("" — unbound, legacy). Once bound, every later Put
+	// or Merge under the same ID must name the same program: likely
+	// invariants are per-program facts, and folding databases from two
+	// different programs would silently produce a DB whose block/site
+	// IDs mean nothing.
+	programs map[string]string
+	order    []string
 }
+
+// ErrProgramMismatch reports an attempt to store or merge an invariant
+// database under an ID bound to a different program digest. The HTTP
+// layer maps it to 409 Conflict.
+var ErrProgramMismatch = errors.New("server: invariant DB bound to a different program digest")
 
 // idOK reports whether an invariant-store ID is acceptable: path-safe
 // and non-empty (it names a directory when persistence is on).
@@ -149,7 +162,7 @@ func idOK(id string) bool {
 // Unparseable version files are skipped: a torn write never poisons a
 // warm start.
 func OpenInvariantStore(dir string) (*InvariantStore, error) {
-	s := &InvariantStore{dir: dir, entries: map[string][]*invariants.DB{}}
+	s := &InvariantStore{dir: dir, entries: map[string][]*invariants.DB{}, programs: map[string]string{}}
 	if dir == "" {
 		return s, nil
 	}
@@ -209,6 +222,11 @@ func OpenInvariantStore(dir string) (*InvariantStore, error) {
 		if len(dbs) > 0 {
 			s.entries[id] = dbs
 			s.order = append(s.order, id)
+			if data, err := os.ReadFile(filepath.Join(dir, id, "program.txt")); err == nil {
+				if p := strings.TrimSpace(string(data)); p != "" {
+					s.programs[id] = p
+				}
+			}
 		}
 	}
 	sort.Strings(s.order)
@@ -218,11 +236,21 @@ func OpenInvariantStore(dir string) (*InvariantStore, error) {
 // Put appends db as a new version under id and returns the version
 // number. The store keeps its own clone; callers may mutate db after.
 func (s *InvariantStore) Put(id string, db *invariants.DB) (int, error) {
+	return s.PutFor(id, "", db)
+}
+
+// PutFor is Put with a program-digest binding: a non-empty program
+// binds id to that digest on first use, and conflicts with an existing
+// different binding as ErrProgramMismatch.
+func (s *InvariantStore) PutFor(id, program string, db *invariants.DB) (int, error) {
 	if !idOK(id) {
 		return 0, fmt.Errorf("server: invalid invariant-store id %q", id)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.bindLocked(id, program); err != nil {
+		return 0, err
+	}
 	return s.putLocked(id, db.Clone())
 }
 
@@ -230,17 +258,62 @@ func (s *InvariantStore) Put(id string, db *invariants.DB) (int, error) {
 // if absent) and appends the result as a new version, applying the
 // paper's per-kind union/intersection merge rules.
 func (s *InvariantStore) Merge(id string, db *invariants.DB) (int, error) {
+	return s.MergeFor(id, "", db)
+}
+
+// MergeFor is Merge with a program-digest binding (see PutFor). The
+// binding check runs BEFORE the merge: databases profiled from
+// different programs never fold together.
+func (s *InvariantStore) MergeFor(id, program string, db *invariants.DB) (int, error) {
 	if !idOK(id) {
 		return 0, fmt.Errorf("server: invalid invariant-store id %q", id)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.bindLocked(id, program); err != nil {
+		return 0, err
+	}
 	merged := db.Clone()
 	if vers := s.entries[id]; len(vers) > 0 {
 		merged = vers[len(vers)-1].Clone()
 		merged.MergeInto(db)
 	}
 	return s.putLocked(id, merged)
+}
+
+// ProgramOf returns the program digest bound to id ("" — unbound).
+func (s *InvariantStore) ProgramOf(id string) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.programs[id]
+}
+
+// bindLocked enforces (and on first use records) the program-digest
+// binding for id; the caller holds s.mu. program "" means "no claim"
+// and always passes, preserving the pre-binding API.
+func (s *InvariantStore) bindLocked(id, program string) error {
+	if program == "" {
+		return nil
+	}
+	switch bound := s.programs[id]; bound {
+	case "", program:
+	default:
+		return fmt.Errorf("%w: %q is bound to program %s, not %s",
+			ErrProgramMismatch, id, shortID(bound), shortID(program))
+	}
+	if s.programs[id] == "" {
+		s.programs[id] = program
+		if s.dir != "" {
+			dir := filepath.Join(s.dir, id)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+			if err := os.WriteFile(filepath.Join(dir, "program.txt"), []byte(program+"\n"), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // putLocked appends an owned database; the caller holds s.mu.

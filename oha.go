@@ -44,8 +44,10 @@ package oha
 import (
 	"io"
 
+	"oha/internal/adapt"
 	"oha/internal/artifacts"
 	"oha/internal/core"
+	"oha/internal/interp"
 	"oha/internal/invariants"
 	"oha/internal/ir"
 	"oha/internal/lang"
@@ -64,6 +66,26 @@ type Execution = core.Execution
 
 // RunOptions bounds executions (zero values select defaults).
 type RunOptions = core.RunOptions
+
+// EngineKind selects the execution engine for analyzed runs: the
+// compiled bytecode engine with baked instrumentation masks (default)
+// or the tree-walking reference engine. Both produce identical events,
+// so every analysis result — including violation records — is
+// engine-independent.
+type EngineKind = interp.EngineKind
+
+// Execution engines.
+const (
+	EngineCompiled = interp.EngineCompiled
+	EngineTree     = interp.EngineTree
+)
+
+// Violation is the structured record of the first invariant check
+// that failed in a rolled-back run.
+type Violation = core.Violation
+
+// ViolationKind names the violated invariant kind.
+type ViolationKind = core.ViolationKind
 
 // InvariantDB is a set of profiled likely invariants.
 type InvariantDB = invariants.DB
@@ -207,4 +229,38 @@ func Prints(prog *Program) []*Instr {
 // against. Reports are address-level only.
 func RunDJIT(prog *Program, e Execution, opts RunOptions) (*RaceReport, error) {
 	return core.RunDJIT(prog, e, opts)
+}
+
+// SpeculationManager closes the optimistic feedback loop for one
+// (program, invariant DB) pair: it observes rollbacks, refines the
+// violated likely-invariant facts out of the database, re-runs the
+// predicated static analysis in the background, and hot-swaps the new
+// generation in — so one mis-speculation never costs a second
+// rollback. Use RunRace/RunSlice for the refine-and-retry loop, or
+// install it as RunOptions.Adapt to only observe.
+type SpeculationManager = adapt.Manager
+
+// SpeculationOptions configures a SpeculationManager.
+type SpeculationOptions = adapt.Options
+
+// SpeculationPolicy sets the refinement threshold and generation cap.
+type SpeculationPolicy = adapt.Policy
+
+// SpeculationStatus is a snapshot of a manager's ledger and history.
+type SpeculationStatus = adapt.Status
+
+// GenerationRecord describes one deployed refinement generation.
+type GenerationRecord = adapt.GenerationRecord
+
+// RaceAttempt / SliceAttempt are single-generation attempts within the
+// refine-and-retry loops.
+type RaceAttempt = adapt.RaceAttempt
+
+// SliceAttempt is one generation's slicing attempt.
+type SliceAttempt = adapt.SliceAttempt
+
+// NewSpeculationManager returns the adaptive manager for prog with
+// base invariant database db (generation 1).
+func NewSpeculationManager(prog *Program, db *InvariantDB, o SpeculationOptions) *SpeculationManager {
+	return adapt.New(prog, db, o)
 }

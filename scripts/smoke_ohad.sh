@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Smoke test for the ohad analysis daemon: start it, push a program
-# through profile -> race end to end over HTTP, and check /healthz and
-# /metrics. Pure curl + grep so it runs anywhere CI does.
+# through profile -> race end to end over HTTP, force a mis-speculation
+# through the adaptive loop (refine -> /speculation generation bump ->
+# clean second run), and check /healthz and /metrics. Pure curl + grep
+# so it runs anywhere CI does.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +42,18 @@ json_field() {
   sed -n 's/.*"'"$2"'": *"\([^"]*\)".*/\1/p' "$1" | head -1
 }
 
+# json_num FILE KEY -> first numeric value of "KEY".
+json_num() {
+  sed -n 's/.*"'"$2"'": *\([0-9][0-9]*\).*/\1/p' "$1" | head -1
+}
+
+# submit_program SRC -> program ID (into $RESP).
+submit_program() {
+  printf '{"source": "%s"}' "$(printf '%s' "$1" | sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' -e 's/$/\\n/' | tr -d '\n')" |
+    curl -fsS "$BASE/v1/programs" -d @- -o "$RESP" || fail "program submit failed"
+  json_field "$RESP" id
+}
+
 # Submit a racy program (unlocked global `a`, two threads).
 SRC='global a = 0; global l = 0;
 func inc(n) {
@@ -60,9 +74,7 @@ func main() {
   print(a);
 }'
 RESP=$(mktemp)
-printf '{"source": "%s"}' "$(printf '%s' "$SRC" | sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' -e 's/$/\\n/' | tr -d '\n')" |
-  curl -fsS "$BASE/v1/programs" -d @- -o "$RESP" || fail "program submit failed"
-PROG_ID=$(json_field "$RESP" id)
+PROG_ID=$(submit_program "$SRC")
 [ -n "$PROG_ID" ] || fail "no program ID in $(cat "$RESP")"
 echo "program: $PROG_ID"
 
@@ -106,6 +118,73 @@ curl -fsS "$BASE/metrics" -o "$RESP" || fail "metrics fetch failed"
 grep -Eq '^ohad_jobs_done_total [1-9]' "$RESP" || fail "ohad_jobs_done_total not positive"
 grep -q '^ohad_http_requests_total' "$RESP" || fail "http request counter missing"
 grep -q '^ohad_job_latency_seconds_bucket' "$RESP" || fail "job latency histogram missing"
+
+# --- Adaptive speculation loop ---------------------------------------
+# A program whose race is guarded by an input-dependent branch: profile
+# with a benign input so the branch body is a likely-unreachable block,
+# then analyze a violating input. The adaptive job must roll back once,
+# refine the invariant away, and hold at generation 2.
+ADAPT_SRC='global g = 0; global h = 0;
+func w(k) {
+  if (k > 100) {
+    g = g + 1;
+  }
+  h = 7;
+}
+func main() {
+  var k = input(0);
+  var t1 = spawn w(k);
+  var t2 = spawn w(k);
+  join(t1);
+  join(t2);
+  print(g + h);
+}'
+ADAPT_ID=$(submit_program "$ADAPT_SRC")
+[ -n "$ADAPT_ID" ] || fail "no adaptive program ID in $(cat "$RESP")"
+echo "adaptive program: $ADAPT_ID"
+
+curl -fsS "$BASE/v1/jobs" -o "$RESP" \
+  -d "{\"kind\":\"profile\",\"program_id\":\"$ADAPT_ID\",\"inputs\":[5],\"runs\":8,\"save_as\":\"adapt-smoke\"}" ||
+  fail "adaptive profile submit failed"
+await_job "$(json_field "$RESP" id)"
+
+# First adaptive run on the violating input: one rollback, one
+# refinement, clean at generation 2.
+curl -fsS "$BASE/v1/jobs" -o "$RESP" \
+  -d "{\"kind\":\"race\",\"program_id\":\"$ADAPT_ID\",\"inputs\":[500],\"invariants_id\":\"adapt-smoke\",\"adapt\":true}" ||
+  fail "adaptive race submit failed"
+ADAPT_JOB=$(json_field "$RESP" id)
+await_job "$ADAPT_JOB"
+curl -fsS "$BASE/v1/jobs/$ADAPT_JOB/result" -o "$RESP" || fail "adaptive result fetch failed"
+grep -q '"rolled_back": false' "$RESP" || fail "adaptive run still rolled back: $(cat "$RESP")"
+[ "$(json_num "$RESP" attempts)" = 2 ] || fail "adaptive run took $(json_num "$RESP" attempts) attempts, want 2"
+[ "$(json_num "$RESP" generation)" -ge 2 ] || fail "adaptive run not refined: $(cat "$RESP")"
+grep -q 'race on' "$RESP" || fail "adaptive run lost the race report: $(cat "$RESP")"
+echo "adaptive race: $ADAPT_JOB done (generation $(json_num "$RESP" generation))"
+
+# /speculation reflects the refinement (the first "generation" in the
+# filtered response is the published generation).
+curl -fsS "$BASE/speculation?program=$ADAPT_ID&invariants=adapt-smoke" -o "$RESP" ||
+  fail "speculation fetch failed"
+GEN=$(json_num "$RESP" generation)
+[ -n "$GEN" ] && [ "$GEN" -ge 2 ] || fail "speculation generation '$GEN' < 2: $(cat "$RESP")"
+echo "speculation: generation $GEN"
+
+curl -fsS "$BASE/metrics" -o "$RESP" || fail "metrics refetch failed"
+grep -Eq '^oha_adapt_refinements_total [1-9]' "$RESP" || fail "no refinement counted"
+grep -Eq '^oha_adapt_rollbacks_total [1-9]' "$RESP" || fail "no rollback counted"
+
+# The identical second job runs clean on the refined generation — the
+# whole point of the loop: one mis-speculation never costs two.
+curl -fsS "$BASE/v1/jobs" -o "$RESP" \
+  -d "{\"kind\":\"race\",\"program_id\":\"$ADAPT_ID\",\"inputs\":[500],\"invariants_id\":\"adapt-smoke\",\"adapt\":true}" ||
+  fail "second adaptive race submit failed"
+ADAPT_JOB2=$(json_field "$RESP" id)
+await_job "$ADAPT_JOB2"
+curl -fsS "$BASE/v1/jobs/$ADAPT_JOB2/result" -o "$RESP" || fail "second adaptive result fetch failed"
+grep -q '"rolled_back": false' "$RESP" || fail "second adaptive run rolled back: $(cat "$RESP")"
+[ "$(json_num "$RESP" attempts)" = 1 ] || fail "second adaptive run took $(json_num "$RESP" attempts) attempts, want 1"
+echo "adaptive rerun: $ADAPT_JOB2 clean in one attempt"
 
 # Graceful shutdown on SIGTERM.
 kill -TERM "$OHAD_PID"
