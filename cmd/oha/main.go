@@ -57,6 +57,8 @@ func main() {
 	cacheDir := fs.String("cache-dir", "", "persist static-analysis artifacts under this directory (default: in-memory only)")
 	adaptive := fs.Bool("adapt", false, "race/slice: on mis-speculation, refine the violated invariant, re-analyze, and retry")
 	engine := fs.String("engine", "compiled", "execution engine: compiled|tree")
+	staticWorkers := fs.Int("static-workers", 0, "parallel static-solver workers (0: GOMAXPROCS, 1: sequential)")
+	incremental := fs.Bool("inc", true, "adapt: resume re-analysis from the previous generation's saturated solver state")
 
 	// Flags may appear before or after the one positional file:
 	// `oha race -inv x.txt prog.ml` and `oha race prog.ml -inv x.txt`
@@ -89,6 +91,7 @@ func main() {
 		check(fmt.Errorf("unknown -engine %q (want compiled or tree)", *engine))
 	}
 	ropts := oha.RunOptions{Engine: eng}
+	static := oha.StaticConfig{Workers: *staticWorkers, Incremental: *incremental}
 
 	switch cmd {
 	case "profile":
@@ -114,7 +117,7 @@ func main() {
 			rep, err = oha.RunFastTrack(prog, e, ropts)
 			check(err)
 		case *adaptive:
-			m := oha.NewSpeculationManager(prog, loadInv(*inv), oha.SpeculationOptions{Cache: cache})
+			m := oha.NewSpeculationManager(prog, loadInv(*inv), oha.SpeculationOptions{Cache: cache, Static: static})
 			attempts, err := m.RunRace(e, ropts)
 			check(err)
 			rep = attempts[len(attempts)-1].Report
@@ -122,7 +125,7 @@ func main() {
 			defer printSpeculation(m)
 		default:
 			db := loadInv(*inv)
-			det, err := oha.NewRaceDetectorCached(prog, db, cache)
+			det, err := oha.NewRaceDetectorStatic(prog, db, cache, static)
 			check(err)
 			check(det.ValidateCustomSync([]oha.Execution{{Inputs: in, Seed: 1}}, ropts))
 			rep, err = det.Run(e, ropts)
@@ -152,7 +155,7 @@ func main() {
 		e := oha.Execution{Inputs: in, Seed: *seed}
 		var rep *oha.SliceReport
 		if *adaptive {
-			m := oha.NewSpeculationManager(prog, db, oha.SpeculationOptions{Cache: cache})
+			m := oha.NewSpeculationManager(prog, db, oha.SpeculationOptions{Cache: cache, Static: static})
 			attempts, err := m.RunSlice(prints[idx], *budget, e, ropts)
 			check(err)
 			rep = attempts[len(attempts)-1].Report

@@ -45,15 +45,19 @@ func main() {
 	maxSteps := flag.Uint64("max-steps", 0, "per-execution instruction bound (0: interpreter default)")
 	cacheDir := flag.String("cache-dir", "", "persist portable static artifacts under this directory (default: in-memory only)")
 	stateDir := flag.String("state-dir", "", "persist invariant-DB versions under this directory (default: in-memory only)")
+	staticWorkers := flag.Int("static-workers", 0, "parallel static-solver workers (0: GOMAXPROCS, 1: sequential)")
+	incremental := flag.Bool("inc", true, "resume adaptive re-analysis from the previous generation's saturated solver state")
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
-		Workers:    *workers,
-		QueueSize:  *queue,
-		JobTimeout: *jobTimeout,
-		MaxSteps:   *maxSteps,
-		Cache:      artifacts.New(*cacheDir),
-		StateDir:   *stateDir,
+		Workers:       *workers,
+		QueueSize:     *queue,
+		JobTimeout:    *jobTimeout,
+		MaxSteps:      *maxSteps,
+		Cache:         artifacts.New(*cacheDir),
+		StateDir:      *stateDir,
+		StaticWorkers: *staticWorkers,
+		Incremental:   *incremental,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ohad:", err)

@@ -39,6 +39,7 @@ import (
 
 	"oha/internal/artifacts"
 	"oha/internal/core"
+	"oha/internal/inc"
 	"oha/internal/invariants"
 	"oha/internal/ir"
 )
@@ -79,6 +80,14 @@ type Options struct {
 	Cache *artifacts.Cache
 	// Metrics, when non-nil, records ledger and reconciler activity.
 	Metrics *Metrics
+	// Static configures the static re-analysis pipeline: parallel
+	// solver workers and whether Reconcile may resume incrementally
+	// from the previous generation's saturated solver state (requires
+	// Cache; the solver-state bundle lives there).
+	Static core.StaticConfig
+	// Inc, when non-nil, receives the static pipeline's per-phase
+	// latencies and the incremental constraint-reuse ratio.
+	Inc *inc.Metrics
 	// MaxTraceNodes / NoBloom are forwarded to every OptSlice the
 	// manager builds (0 / false: the dynslice defaults).
 	MaxTraceNodes int
@@ -103,6 +112,14 @@ type GenerationRecord struct {
 	// ResolveSeconds is the re-analysis latency that produced this
 	// generation (0 for the base).
 	ResolveSeconds float64 `json:"resolve_seconds"`
+	// StaticMode records how the generation's static artifacts were
+	// computed: "cached", "incremental", or "scratch" (empty for the
+	// base generation and for cache-less managers).
+	StaticMode string `json:"static_mode,omitempty"`
+	// ReuseRatio is the fraction of points-to constraints inherited
+	// from the previous generation's saturated solver state (0 outside
+	// incremental mode).
+	ReuseRatio float64 `json:"reuse_ratio,omitempty"`
 }
 
 // Status is a consistent snapshot of the manager, served by the
@@ -117,8 +134,12 @@ type Status struct {
 	// ViolationsByKind counts observed violations per invariant kind.
 	ViolationsByKind map[core.ViolationKind]uint64 `json:"violations_by_kind,omitempty"`
 	// PendingReconcile reports that refinements await a Reconcile.
-	PendingReconcile bool               `json:"pending_reconcile"`
-	History          []GenerationRecord `json:"history"`
+	PendingReconcile bool `json:"pending_reconcile"`
+	// StaticMode and IncReuseRatio mirror the latest non-base
+	// generation's static-pipeline provenance (see GenerationRecord).
+	StaticMode    string             `json:"static_mode,omitempty"`
+	IncReuseRatio float64            `json:"inc_reuse_ratio,omitempty"`
+	History       []GenerationRecord `json:"history"`
 }
 
 // Manager owns the adaptive state for one (program, base DB) pair. It
@@ -131,6 +152,8 @@ type Manager struct {
 	cache         *artifacts.Cache
 	policy        Policy
 	met           *Metrics
+	static        core.StaticConfig
+	incMet        *inc.Metrics
 	maxTraceNodes int
 	noBloom       bool
 
@@ -188,6 +211,8 @@ func New(prog *ir.Program, db *invariants.DB, o Options) *Manager {
 		cache:         o.Cache,
 		policy:        o.Policy,
 		met:           o.Metrics,
+		static:        o.Static,
+		incMet:        o.Inc,
 		maxTraceNodes: o.MaxTraceNodes,
 		noBloom:       o.NoBloom,
 		byKind:        map[core.ViolationKind]uint64{},
@@ -226,7 +251,7 @@ func (m *Manager) Slice(criterion *ir.Instr, budget int) (*core.OptSlice, int, e
 
 func (g *generation) race() (*core.OptFT, error) {
 	g.raceOnce.Do(func() {
-		g.raceDet, g.raceErr = core.NewOptFTCached(g.m.prog, g.db, g.m.cache)
+		g.raceDet, g.raceErr = core.NewOptFTStatic(g.m.prog, g.db, g.m.cache, g.m.static)
 		if g.raceErr == nil {
 			g.m.setMaskDigest(g.n, g.raceDet.CodeDigest())
 		}
@@ -384,11 +409,29 @@ func (m *Manager) Reconcile(ctx context.Context) (bool, error) {
 	}
 
 	start := time.Now()
+	// Prewarm the static artifacts through the incremental pipeline:
+	// Reanalyze resumes from the previous generation's saturated solver
+	// state (or solves in parallel from scratch) and publishes the
+	// results under the new DB's digest — so g.race() below finds every
+	// static kind already cached and only rebuilds masks + bytecode. A
+	// Reanalyze error is non-fatal: g.race() recomputes on its own.
+	var st inc.Stats
+	if m.cache != nil {
+		if _, s, err := inc.Reanalyze(m.prog, cur.db, db, m.cache, inc.Options{
+			Workers:     m.static.Workers,
+			Incremental: m.static.Incremental,
+			Metrics:     m.incMet,
+		}); err == nil {
+			st = s
+		}
+	}
+	maskStart := time.Now()
 	g := &generation{n: n, db: db, m: m, slicers: map[slicerKey]*core.OptSlice{}}
 	det, err := g.race() // the eager part of the re-solve
 	if err != nil {
 		return fail(err)
 	}
+	m.incMet.ObservePhase("masks", time.Since(maskStart).Seconds())
 	elapsed := time.Since(start).Seconds()
 
 	m.mu.Lock()
@@ -398,6 +441,8 @@ func (m *Manager) Reconcile(ctx context.Context) (bool, error) {
 		DBDigest:       artifacts.DBDigest(db),
 		MaskDigest:     det.CodeDigest(),
 		ResolveSeconds: elapsed,
+		StaticMode:     st.Mode,
+		ReuseRatio:     st.ReuseRatio,
 	})
 	m.reconciling = false
 	m.cur.Store(g)
@@ -426,6 +471,13 @@ func (m *Manager) Status() Status {
 		st.ViolationsByKind = make(map[core.ViolationKind]uint64, len(m.byKind))
 		for k, v := range m.byKind {
 			st.ViolationsByKind[k] = v
+		}
+	}
+	for i := len(m.history) - 1; i > 0; i-- {
+		if m.history[i].StaticMode != "" {
+			st.StaticMode = m.history[i].StaticMode
+			st.IncReuseRatio = m.history[i].ReuseRatio
+			break
 		}
 	}
 	return st

@@ -63,6 +63,13 @@ const (
 	// so a restarted daemon replays refinements from the disk layer
 	// without re-deriving them.
 	KindRefined = "refined"
+	// KindSolverState keys saturated points-to solver state by (IR
+	// digest, DB digest): the resume base incremental re-analysis loads
+	// so a generation-N+1 solve starts from generation N's fixpoint.
+	// The stored value is the generation's *pointsto.Result itself —
+	// a saturated Andersen analysis IS its own solver state. Pointer-
+	// laden, so memory-only (no codec).
+	KindSolverState = "solverstate"
 )
 
 // Codec converts an artifact to and from a portable byte payload for
@@ -100,6 +107,9 @@ type entry struct {
 	once sync.Once
 	val  any
 	err  error
+	// done flips to true once the compute finished (success or error);
+	// Peek consults it to avoid blocking on an in-flight compute.
+	done atomic.Bool
 }
 
 // New returns a cache. dir == "" disables the on-disk layer; otherwise
@@ -170,6 +180,7 @@ func (c *Cache) Memo(key string, codec Codec, compute func() (any, error)) (any,
 	first := false
 	e.once.Do(func() {
 		first = true
+		defer e.done.Store(true)
 		if codec != nil && c.dir != "" {
 			if v, ok := c.loadDisk(key, codec); ok {
 				c.diskHits.Add(1)
@@ -196,6 +207,24 @@ func (c *Cache) Memo(key string, codec Codec, compute func() (any, error)) (any,
 		return nil, e.err
 	}
 	return e.val, nil
+}
+
+// Peek returns the completed in-memory artifact stored under key, if
+// any, without computing, waiting on an in-flight compute, or touching
+// the hit/miss counters. Incremental re-analysis uses it to probe for a
+// previous generation's solver state: a miss just means "start from
+// scratch", so it must not install an entry or block.
+func (c *Cache) Peek(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok || !e.done.Load() || e.err != nil || e.val == nil {
+		return nil, false
+	}
+	return e.val, true
 }
 
 // envelope is the on-disk gob record.

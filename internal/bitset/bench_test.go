@@ -1,0 +1,98 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUnionChanged(t *testing.T) {
+	a := FromSlice([]int{0, 64, 128})
+	if a.UnionChanged(FromSlice([]int{0, 64})) {
+		t.Error("subset union reported change")
+	}
+	if !a.UnionChanged(FromSlice([]int{1, 64})) {
+		t.Error("new-bit union reported no change")
+	}
+	if !a.Has(1) || !a.Has(128) {
+		t.Errorf("union lost bits: %v", a.Slice())
+	}
+	// Growth: the receiver must widen to absorb high bits.
+	b := FromSlice([]int{3})
+	if !b.UnionChanged(FromSlice([]int{4096})) {
+		t.Error("growing union reported no change")
+	}
+	if !b.Has(3) || !b.Has(4096) {
+		t.Errorf("growing union lost bits: %v", b.Slice())
+	}
+	// A shorter operand must not report the receiver's own bits.
+	c := FromSlice([]int{900, 901})
+	if c.UnionChanged(FromSlice([]int{900})) {
+		t.Error("short-operand union reported change")
+	}
+	var empty Set
+	if c.UnionChanged(&empty) || c.UnionChanged(nil) {
+		t.Error("empty/nil union reported change")
+	}
+}
+
+func TestUnionChangedAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a, am := randSet(r, 512)
+		b, bm := randSet(r, 512)
+		want := false
+		for e := range bm {
+			if !am[e] {
+				want = true
+				am[e] = true
+			}
+		}
+		if got := a.UnionChanged(b); got != want {
+			t.Fatalf("iter %d: UnionChanged = %v, want %v", i, got, want)
+		}
+		for e := range am {
+			if !a.Has(e) {
+				t.Fatalf("iter %d: union lost %d", i, e)
+			}
+		}
+		if a.Len() != len(am) {
+			t.Fatalf("iter %d: len %d, want %d", i, a.Len(), len(am))
+		}
+	}
+}
+
+// benchSet builds a deterministic ~density-populated set over [0, n).
+func benchSet(n int, density float64, seed int64) *Set {
+	r := rand.New(rand.NewSource(seed))
+	s := &Set{}
+	for i := 0; i < n; i++ {
+		if r.Float64() < density {
+			s.Add(i)
+		}
+	}
+	s.Add(n - 1) // pin the width
+	return s
+}
+
+func BenchmarkForEach(b *testing.B) {
+	s := benchSet(1<<16, 0.25, 1)
+	b.ReportAllocs()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(e int) bool { sum += e; return true })
+	}
+	_ = sum
+}
+
+func BenchmarkUnionChanged(b *testing.B) {
+	src := benchSet(1<<16, 0.25, 2)
+	base := benchSet(1<<16, 0.25, 3)
+	dst := base.Clone()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst.UnionChanged(src)
+		if i%64 == 0 { // keep some iterations actually changing bits
+			dst = base.Clone()
+		}
+	}
+}

@@ -115,23 +115,28 @@ func (s *Set) Clear() {
 }
 
 // UnionWith adds all elements of t to s and reports whether s changed.
-func (s *Set) UnionWith(t *Set) bool {
+func (s *Set) UnionWith(t *Set) bool { return s.UnionChanged(t) }
+
+// UnionChanged adds all elements of t to s and reports whether anything
+// was added. It is the branch-free word-level union the hot solver and
+// lockset loops use: per word it ORs unconditionally and accumulates
+// the added bits, instead of branching per word like a naive loop (and
+// instead of iterating per bit).
+func (s *Set) UnionChanged(t *Set) bool {
 	if t == nil {
 		return false
 	}
-	changed := false
 	if len(t.words) > len(s.words) {
 		s.grow(len(t.words) - 1)
 	}
+	sw := s.words
+	var added uint64
 	for i, w := range t.words {
-		old := s.words[i]
-		nw := old | w
-		if nw != old {
-			s.words[i] = nw
-			changed = true
-		}
+		old := sw[i]
+		added |= w &^ old
+		sw[i] = old | w
 	}
-	return changed
+	return added != 0
 }
 
 // IntersectWith removes from s all elements not in t, reporting change.

@@ -44,6 +44,23 @@ type RaceReport struct {
 	Output []int64
 }
 
+// StaticConfig tunes how the static race pipeline is computed. The
+// zero value is the sequential from-scratch pipeline. Results are
+// digest-identical for every configuration, so the config is
+// deliberately NOT part of the artifact cache keys: a result solved
+// with 8 workers serves a sequential consumer, and vice versa.
+type StaticConfig struct {
+	// Workers bounds the parallel points-to and race-pair solvers
+	// (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
+	// Incremental lets consumers (the adapt reconciler, the server job
+	// pool) resume from a previous generation's saturated solver state
+	// via internal/inc. It has no effect inside this package — the
+	// cached constructors here only compute from scratch — but travels
+	// with the config so callers thread one value.
+	Incremental bool
+}
+
 // raceStatic bundles one static race analysis with the masks it
 // implies.
 type raceStatic struct {
@@ -57,9 +74,9 @@ type raceStatic struct {
 // points-to, MHP, and static-race stages are memoized by content
 // address; the masks are rebuilt fresh on every call because callers
 // (ValidateCustomSync) mutate them per instance.
-func analyzeRaceStatic(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache) (*raceStatic, error) {
+func analyzeRaceStatic(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache, cfg StaticConfig) (*raceStatic, error) {
 	v, err := cache.Memo(artifacts.Key(artifacts.KindStaticRace, prog, db, 0, "ci"), nil, func() (any, error) {
-		pt, err := pointsToCI(prog, db, cache)
+		pt, err := pointsToCI(prog, db, cache, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -67,37 +84,22 @@ func analyzeRaceStatic(prog *ir.Program, db *invariants.DB, cache *artifacts.Cac
 		if err != nil {
 			return nil, err
 		}
-		return staticrace.Analyze(prog, pt, m, db), nil
+		return staticrace.AnalyzeParallel(prog, pt, m, db, cfg.Workers), nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	sr := v.(*staticrace.Result)
 
-	rs := &raceStatic{
-		static: sr,
-		mem:    make([]bool, len(prog.Instrs)),
-		sync:   make([]bool, len(prog.Instrs)),
-	}
-	for _, in := range prog.Instrs {
-		switch {
-		case in.IsMemAccess():
-			rs.mem[in.ID] = sr.Racy.Has(in.ID)
-		case in.Op == ir.OpLock || in.Op == ir.OpUnlock:
-			rs.sync[in.ID] = true
-			if db != nil && db.ElidableLocks.Has(in.ID) {
-				rs.sync[in.ID] = false
-			}
-		}
-	}
-	return rs, nil
+	mem, sync := sr.Masks(db)
+	return &raceStatic{static: sr, mem: mem, sync: sync}, nil
 }
 
 // pointsToCI returns the (memoized) context-insensitive points-to
 // result for the race pipeline.
-func pointsToCI(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache) (*pointsto.Result, error) {
+func pointsToCI(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache, cfg StaticConfig) (*pointsto.Result, error) {
 	v, err := cache.Memo(artifacts.Key(artifacts.KindPointsTo, prog, db, 0, "ci"), nil, func() (any, error) {
-		return pointsto.Analyze(prog, ctxs.NewCI(prog), db)
+		return pointsto.AnalyzeParallel(prog, ctxs.NewCI(prog), db, cfg.Workers)
 	})
 	if err != nil {
 		return nil, err
@@ -258,9 +260,17 @@ func NewHybridFT(prog *ir.Program) (*HybridFT, error) {
 }
 
 // NewHybridFTCached is NewHybridFT with static-artifact memoization
-// (nil cache: recompute).
+// (nil cache: recompute). The static pipeline runs sequentially; use
+// NewHybridFTStatic to configure parallelism.
 func NewHybridFTCached(prog *ir.Program, cache *artifacts.Cache) (*HybridFT, error) {
-	rs, err := analyzeRaceStatic(prog, nil, cache)
+	return NewHybridFTStatic(prog, cache, StaticConfig{Workers: 1})
+}
+
+// NewHybridFTStatic is NewHybridFTCached with an explicit static
+// pipeline configuration. The result is digest-identical for every
+// configuration; only the solve latency changes.
+func NewHybridFTStatic(prog *ir.Program, cache *artifacts.Cache, cfg StaticConfig) (*HybridFT, error) {
+	rs, err := analyzeRaceStatic(prog, nil, cache, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -328,13 +338,23 @@ func NewOptFT(prog *ir.Program, db *invariants.DB) (*OptFT, error) {
 
 // NewOptFTCached is NewOptFT with static-artifact memoization (nil
 // cache: recompute). Masks and derived state are always private to the
-// returned instance; only the immutable static results are shared.
+// returned instance; only the immutable static results are shared. The
+// static pipeline runs sequentially; use NewOptFTStatic to configure
+// parallelism.
 func NewOptFTCached(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache) (*OptFT, error) {
-	pred, err := analyzeRaceStatic(prog, db, cache)
+	return NewOptFTStatic(prog, db, cache, StaticConfig{Workers: 1})
+}
+
+// NewOptFTStatic is NewOptFTCached with an explicit static pipeline
+// configuration (worker count for the parallel solvers). With a warm
+// cache — in particular one prewarmed by inc.Reanalyze after an
+// adaptive refinement — no static solving happens here at all.
+func NewOptFTStatic(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache, cfg StaticConfig) (*OptFT, error) {
+	pred, err := analyzeRaceStatic(prog, db, cache, cfg)
 	if err != nil {
 		return nil, err
 	}
-	sound, err := NewHybridFTCached(prog, cache)
+	sound, err := NewHybridFTStatic(prog, cache, cfg)
 	if err != nil {
 		return nil, err
 	}

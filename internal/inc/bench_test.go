@@ -1,0 +1,106 @@
+package inc
+
+import (
+	"testing"
+
+	"oha/internal/core"
+	"oha/internal/ctxs"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/lang"
+	"oha/internal/mhp"
+	"oha/internal/pointsto"
+	"oha/internal/progen"
+	"oha/internal/staticrace"
+)
+
+// benchSetup builds a larger generated program, its profiled DB, one
+// single-fact weakening of it, and the base generation's saturated
+// pipeline — the inputs of one adaptive reconcile.
+func benchSetup(b testing.TB) (*ir.Program, *invariants.DB, *invariants.DB, *Generation) {
+	b.Helper()
+	src := progen.Generate(3, progen.Config{Funcs: 24, Workers: 6, MaxDepth: 4, MaxStmts: 10})
+	prog, err := lang.Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	pr, err := core.Profile(prog, func(run int) core.Execution {
+		return core.Execution{Inputs: inputs, Seed: uint64(run + 1)}
+	}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := pr.DB
+	pt, err := pointsto.Analyze(prog, ctxs.NewCI(prog), base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := mhp.Analyze(prog, pt, base)
+	sr := staticrace.Analyze(prog, pt, m, base)
+	gen := &Generation{DB: base, PT: pt, MHP: m, Race: sr}
+
+	refined := base.Clone()
+	marked := false
+	for _, fn := range prog.Funcs {
+		for _, blk := range fn.Blocks {
+			if !base.Visited.Has(blk.ID) && refined.MarkVisited(blk.ID) {
+				marked = true
+				break
+			}
+		}
+		if marked {
+			break
+		}
+	}
+	if !marked {
+		b.Fatal("no likely-unreachable block to refine")
+	}
+	return prog, base, refined, gen
+}
+
+// BenchmarkStaticFromScratch is the baseline an adaptive reconcile
+// pays without the incremental pipeline: the full sequential
+// predicated static race pipeline under the refined DB.
+func BenchmarkStaticFromScratch(b *testing.B) {
+	prog, _, refined, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt, err := pointsto.Analyze(prog, ctxs.NewCI(prog), refined)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := mhp.Analyze(prog, pt, refined)
+		_ = staticrace.Analyze(prog, pt, m, refined)
+	}
+}
+
+// BenchmarkStaticIncremental resumes the base generation's saturated
+// solver state and re-evaluates only the dirty race rows — the fast
+// path Reanalyze takes after a refinement.
+func BenchmarkStaticIncremental(b *testing.B) {
+	prog, base, refined, gen := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt, err := pointsto.Resume(gen.PT, refined)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := mhp.Analyze(prog, pt, refined)
+		_ = staticrace.Incremental(prog, pt, m, refined, staticrace.Prev{
+			Race: gen.Race, PT: gen.PT, MHP: gen.MHP, DB: base,
+		})
+	}
+}
+
+// BenchmarkPointsToParallel measures the sharded worklist solver from
+// scratch (GOMAXPROCS workers).
+func BenchmarkPointsToParallel(b *testing.B) {
+	prog, _, refined, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pointsto.AnalyzeParallel(prog, ctxs.NewCI(prog), refined, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

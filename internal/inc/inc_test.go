@@ -1,0 +1,304 @@
+package inc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"oha/internal/artifacts"
+	"oha/internal/core"
+	"oha/internal/ctxs"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/lang"
+	"oha/internal/metrics"
+	"oha/internal/mhp"
+	"oha/internal/pointsto"
+	"oha/internal/progen"
+	"oha/internal/staticrace"
+)
+
+// testProgram compiles one generated program and profiles a base
+// invariant DB for it.
+func testProgram(t *testing.T, seed uint64) (*ir.Program, *invariants.DB) {
+	t.Helper()
+	src := progen.Generate(seed, progen.DefaultConfig())
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("seed %d: compile: %v", seed, err)
+	}
+	inputs := make([]int64, 8)
+	for j := range inputs {
+		z := seed*1000 + uint64(j) + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		inputs[j] = int64((z ^ (z >> 27)) % 100)
+	}
+	pr, err := core.Profile(prog, func(run int) core.Execution {
+		return core.Execution{Inputs: inputs, Seed: uint64(run + 1)}
+	}, 8)
+	if err != nil {
+		t.Fatalf("seed %d: profile: %v", seed, err)
+	}
+	return prog, pr.DB
+}
+
+// weakening is one single-fact removal from a profiled DB.
+type weakening struct {
+	name string
+	db   *invariants.DB
+}
+
+// singleFactWeakenings enumerates every single-fact removal the
+// refinement policy can produce from db (capped per category so the
+// exhaustive product stays fast).
+func singleFactWeakenings(prog *ir.Program, db *invariants.DB) []weakening {
+	const perKind = 6
+	var out []weakening
+	n := 0
+	for _, fn := range prog.Funcs {
+		for _, b := range fn.Blocks {
+			if db.Visited.Has(b.ID) || n >= perKind {
+				continue
+			}
+			w := db.Clone()
+			if w.MarkVisited(b.ID) {
+				out = append(out, weakening{fmt.Sprintf("visit-block-%d", b.ID), w})
+				n++
+			}
+		}
+	}
+	db.SingletonSpawns.ForEach(func(site int) bool {
+		w := db.Clone()
+		if w.RetractSingletonSpawn(site) {
+			out = append(out, weakening{fmt.Sprintf("retract-singleton-%d", site), w})
+		}
+		return true
+	})
+	seenGroup := map[int]bool{}
+	for pair := range db.MustAliasLocks {
+		if seenGroup[pair.A] {
+			continue
+		}
+		w := db.Clone()
+		if w.DropMustAliasGroup(pair.A) > 0 {
+			out = append(out, weakening{fmt.Sprintf("drop-alias-%d", pair.A), w})
+			// Group members share the outcome; skip their duplicates.
+			for p := range db.MustAliasLocks {
+				if !w.MustAliasLocks[p] {
+					seenGroup[p.A], seenGroup[p.B] = true, true
+				}
+			}
+		}
+	}
+	n = 0
+	for _, in := range prog.Instrs {
+		if in.Op != ir.OpCall && in.Op != ir.OpSpawn || in.Callee != nil || n >= perKind {
+			continue
+		}
+		for _, fn := range prog.Funcs {
+			if set, ok := db.Callees[in.ID]; ok && set.Has(fn.ID) {
+				continue
+			}
+			w := db.Clone()
+			if w.WidenCallees(in.ID, fn.ID) {
+				out = append(out, weakening{fmt.Sprintf("widen-call-%d-fn-%d", in.ID, fn.ID), w})
+				n++
+			}
+			break // one widened callee per site is enough
+		}
+	}
+	if w := db.Clone(); w.ClearElidableLocks() {
+		out = append(out, weakening{"clear-elidable", w})
+	}
+	for _, in := range prog.Instrs {
+		if in.Op == ir.OpCall {
+			w := db.Clone()
+			if w.AddContext([]int{in.ID}) {
+				out = append(out, weakening{fmt.Sprintf("add-context-%d", in.ID), w})
+			}
+			break
+		}
+	}
+	return out
+}
+
+// pipelineDigests runs the sequential from-scratch pipeline and
+// returns its canonical digests (points-to, race, masks).
+func pipelineDigests(t *testing.T, prog *ir.Program, db *invariants.DB) (string, string, string) {
+	t.Helper()
+	pt, err := pointsto.Analyze(prog, ctxs.NewCI(prog), db)
+	if err != nil {
+		t.Fatalf("pointsto: %v", err)
+	}
+	m := mhp.Analyze(prog, pt, db)
+	sr := staticrace.Analyze(prog, pt, m, db)
+	return pt.CanonicalDigest(), sr.CanonicalDigest(), maskDigest(sr, db)
+}
+
+func maskDigest(sr *staticrace.Result, db *invariants.DB) string {
+	mem, sync := sr.Masks(db)
+	return fmt.Sprintf("%v|%v", mem, sync)
+}
+
+// TestIncrementalEquivalence is the acceptance property: for every
+// generated program and every single-fact removal from its profiled
+// DB, the incremental resume and the parallel solvers (1, 2, and 8
+// workers) produce digests bit-identical to the sequential
+// from-scratch pipeline — for points-to, race pairs, and masks.
+func TestIncrementalEquivalence(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		prog, base := testProgram(t, seed)
+
+		// The resume base: the base DB's saturated pipeline.
+		basePT, err := pointsto.Analyze(prog, ctxs.NewCI(prog), base)
+		if err != nil {
+			t.Fatalf("seed %d: base pointsto: %v", seed, err)
+		}
+		baseMHP := mhp.Analyze(prog, basePT, base)
+		baseRace := staticrace.Analyze(prog, basePT, baseMHP, base)
+
+		weaks := singleFactWeakenings(prog, base)
+		if len(weaks) == 0 {
+			t.Fatalf("seed %d: no weakenings enumerated", seed)
+		}
+		for _, w := range weaks {
+			wantPT, wantRace, wantMasks := pipelineDigests(t, prog, w.db)
+
+			// Parallel from scratch at several worker counts.
+			for _, workers := range []int{1, 2, 8} {
+				pt, err := pointsto.AnalyzeParallel(prog, ctxs.NewCI(prog), w.db, workers)
+				if err != nil {
+					t.Fatalf("seed %d %s: parallel(%d): %v", seed, w.name, workers, err)
+				}
+				if got := pt.CanonicalDigest(); got != wantPT {
+					t.Fatalf("seed %d %s: parallel(%d) points-to digest diverged", seed, w.name, workers)
+				}
+				m := mhp.Analyze(prog, pt, w.db)
+				sr := staticrace.AnalyzeParallel(prog, pt, m, w.db, workers)
+				if got := sr.CanonicalDigest(); got != wantRace {
+					t.Fatalf("seed %d %s: parallel(%d) race digest diverged", seed, w.name, workers)
+				}
+				if got := maskDigest(sr, w.db); got != wantMasks {
+					t.Fatalf("seed %d %s: parallel(%d) masks diverged", seed, w.name, workers)
+				}
+			}
+
+			// Incremental resume from the base generation.
+			pt, err := pointsto.Resume(basePT, w.db)
+			if err != nil {
+				t.Fatalf("seed %d %s: resume: %v", seed, w.name, err)
+			}
+			if got := pt.CanonicalDigest(); got != wantPT {
+				t.Fatalf("seed %d %s: incremental points-to digest diverged", seed, w.name)
+			}
+			m := mhp.Analyze(prog, pt, w.db)
+			sr := staticrace.Incremental(prog, pt, m, w.db, staticrace.Prev{
+				Race: baseRace, PT: basePT, MHP: baseMHP, DB: base,
+			})
+			if got := sr.CanonicalDigest(); got != wantRace {
+				t.Fatalf("seed %d %s: incremental race digest diverged", seed, w.name)
+			}
+			if got := maskDigest(sr, w.db); got != wantMasks {
+				t.Fatalf("seed %d %s: incremental masks diverged", seed, w.name)
+			}
+		}
+	}
+}
+
+// TestReanalyzeModes drives the full Reanalyze flow: cold cache →
+// scratch, warm solver state → incremental, already-analyzed →
+// cached — each mode digest-identical to the others and to the
+// sequential reference.
+func TestReanalyzeModes(t *testing.T) {
+	prog, base := testProgram(t, 1)
+	weaks := singleFactWeakenings(prog, base)
+	if len(weaks) == 0 {
+		t.Fatal("no weakenings")
+	}
+	w := weaks[0]
+	wantPT, wantRace, _ := pipelineDigests(t, prog, w.db)
+
+	check := func(g *Generation, mode string) {
+		t.Helper()
+		if got := g.PT.CanonicalDigest(); got != wantPT {
+			t.Fatalf("%s: points-to digest diverged", mode)
+		}
+		if got := g.Race.CanonicalDigest(); got != wantRace {
+			t.Fatalf("%s: race digest diverged", mode)
+		}
+	}
+
+	// Cold cache: from scratch, publishing the bundle.
+	cache := artifacts.New("")
+	g, st, err := Reanalyze(prog, nil, base, cache, Options{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "scratch" {
+		t.Fatalf("cold base: mode %q, want scratch", st.Mode)
+	}
+	_ = g
+
+	// Warm solver state: the refined DB resumes incrementally.
+	g2, st2, err := Reanalyze(prog, base, w.db, cache, Options{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Mode != "incremental" {
+		t.Fatalf("warm: mode %q, want incremental", st2.Mode)
+	}
+	if st2.ReuseRatio <= 0 || st2.ReuseRatio > 1 {
+		t.Fatalf("warm: reuse ratio %v out of (0,1]", st2.ReuseRatio)
+	}
+	check(g2, "incremental")
+
+	// Same request again: served from the cache.
+	g3, st3, err := Reanalyze(prog, base, w.db, cache, Options{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Mode != "cached" {
+		t.Fatalf("cached: mode %q, want cached", st3.Mode)
+	}
+	check(g3, "cached")
+
+	// Incremental off: scratch even with the warm bundle.
+	g4, st4, err := Reanalyze(prog, base, w.db, artifacts.New(""), Options{Incremental: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st4.Mode != "scratch" {
+		t.Fatalf("inc off: mode %q, want scratch", st4.Mode)
+	}
+	check(g4, "scratch")
+}
+
+// TestMetricsExposition: the pipeline metrics render under their
+// documented names with per-phase labels.
+func TestMetricsExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	met := NewMetrics(reg)
+	met.ObservePhase("pointsto", 0.01)
+	met.ObservePhase("race", 0.02)
+	met.ObserveReuse(0.75)
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`oha_static_phase_seconds_bucket{phase="pointsto",le=`,
+		`oha_static_phase_seconds_count{phase="race"} 1`,
+		"oha_inc_reuse_ratio 0.75",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// A nil *Metrics records nothing and never panics.
+	var nilMet *Metrics
+	nilMet.ObservePhase("pointsto", 1)
+	nilMet.ObserveReuse(1)
+}

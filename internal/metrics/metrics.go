@@ -148,6 +148,49 @@ func (v *CounterVec) With(value string) *Counter {
 	return c
 }
 
+// HistogramVec is a histogram family keyed by one label. Children are
+// created on first use and rendered in creation order.
+type HistogramVec struct {
+	label  string
+	bounds []float64
+
+	mu       sync.Mutex
+	children map[string]*Histogram
+	order    []labeled[*Histogram]
+}
+
+// NewHistogramVec returns a histogram family with the given label name
+// and bucket bounds (nil: DefBuckets).
+func NewHistogramVec(label string, bounds ...float64) *HistogramVec {
+	return &HistogramVec{label: label, bounds: bounds, children: map[string]*Histogram{}}
+}
+
+// With returns the child histogram for a label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[value]
+	if !ok {
+		h = NewHistogram(v.bounds...)
+		v.children[value] = h
+		v.order = append(v.order, labeled[*Histogram]{labels: fmt.Sprintf("{%s=%q}", v.label, value), m: h})
+	}
+	return h
+}
+
+// FloatGauge is a gauge holding a float64 (atomically, via its bits).
+// The zero value is ready to use.
+type FloatGauge struct {
+	v atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Registry is an ordered collection of named metrics with a text
 // exposition. A nil *Registry is valid: every New* helper returns a
 // working (unregistered) metric, so instrumented code never
@@ -229,6 +272,38 @@ func (r *Registry) NewHistogram(name, help string, bounds ...float64) *Histogram
 		fmt.Fprintf(w, "%s_count %d\n", n, h.Count())
 	})
 	return h
+}
+
+// NewHistogramVec registers and returns a one-label histogram family
+// (nil bounds: DefBuckets).
+func (r *Registry) NewHistogramVec(name, help, label string, bounds ...float64) *HistogramVec {
+	v := NewHistogramVec(label, bounds...)
+	r.add(name, help, "histogram", func(w io.Writer, n string) {
+		v.mu.Lock()
+		order := append([]labeled[*Histogram](nil), v.order...)
+		v.mu.Unlock()
+		for _, ch := range order {
+			// {label="value"} -> label="value" for composing with le.
+			inner := ch.labels[1 : len(ch.labels)-1]
+			cum := ch.m.snapshot()
+			for i, b := range ch.m.bounds {
+				fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", n, inner, formatFloat(b), cum[i])
+			}
+			fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", n, inner, cum[len(cum)-1])
+			fmt.Fprintf(w, "%s_sum%s %s\n", n, ch.labels, formatFloat(ch.m.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", n, ch.labels, ch.m.Count())
+		}
+	})
+	return v
+}
+
+// NewFloatGauge registers and returns a float-valued gauge.
+func (r *Registry) NewFloatGauge(name, help string) *FloatGauge {
+	g := &FloatGauge{}
+	r.add(name, help, "gauge", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %s\n", n, formatFloat(g.Value()))
+	})
+	return g
 }
 
 // WriteTo renders every registered metric in registration order using

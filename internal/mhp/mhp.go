@@ -19,11 +19,49 @@
 package mhp
 
 import (
+	"fmt"
+	"strings"
+	"sync"
+
 	"oha/internal/bitset"
 	"oha/internal/invariants"
 	"oha/internal/ir"
 	"oha/internal/pointsto"
 )
+
+// progCFG caches the reachability and main-dominator structures per
+// program: both are pure functions of the immutable CFG, and the
+// adaptive refinement loop re-analyzes the same program once per
+// generation, so recomputing them every Analyze is pure waste.
+type progCFG struct {
+	reach   *ir.Reach
+	mainDom []*bitset.Set
+	// joins[spawn instr ID] = main's joins that certainly wait for that
+	// spawn's thread (matchingJoins is likewise a pure CFG function).
+	joins map[int][]*ir.Instr
+}
+
+var cfgCache sync.Map // *ir.Program -> *progCFG
+
+func cachedCFG(prog *ir.Program) *progCFG {
+	if c, ok := cfgCache.Load(prog); ok {
+		return c.(*progCFG)
+	}
+	c := &progCFG{
+		reach:   ir.ComputeReach(prog),
+		mainDom: ir.Dominators(prog.Main()),
+		joins:   map[int][]*ir.Instr{},
+	}
+	for _, b := range prog.Main().Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpSpawn {
+				c.joins[in.ID] = matchingJoins(prog.Main(), in)
+			}
+		}
+	}
+	actual, _ := cfgCache.LoadOrStore(prog, c)
+	return actual.(*progCFG)
+}
 
 // rootMain is the root id of the main thread; spawn-site roots follow.
 const rootMain = 0
@@ -58,7 +96,8 @@ type forkJoin struct {
 // assumes the likely singleton-thread invariant.
 func Analyze(prog *ir.Program, pt *pointsto.Result, db *invariants.DB) *Result {
 	r := &Result{prog: prog}
-	reach := ir.ComputeReach(prog)
+	cfg := cachedCFG(prog)
+	reach := cfg.reach
 
 	// Roots: main + each analyzed spawn site.
 	type rootInfo struct {
@@ -128,7 +167,7 @@ func Analyze(prog *ir.Program, pt *pointsto.Result, db *invariants.DB) *Result {
 	r.rootSite = make([]int, len(roots))
 	r.order = make([]*forkJoin, len(roots))
 	r.reach = reach
-	r.mainDom = ir.Dominators(prog.Main())
+	r.mainDom = cfg.mainDom
 	r.rootSite[rootMain] = -1
 	for rid, info := range roots[1:] {
 		in := info.site
@@ -146,7 +185,7 @@ func Analyze(prog *ir.Program, pt *pointsto.Result, db *invariants.DB) *Result {
 		// directly by main: find the joins that certainly wait for
 		// this spawn's thread.
 		if !r.multi[rid+1] && in.Block.Fn == prog.Main() && !mainCalled && !inCycle(reach, in.Block) {
-			r.order[rid+1] = &forkJoin{spawn: in, joins: matchingJoins(prog.Main(), in)}
+			r.order[rid+1] = &forkJoin{spawn: in, joins: cfg.joins[in.ID]}
 		}
 	}
 	return r
@@ -275,6 +314,32 @@ func (r *Result) mainOrderedWithRoot(mainInstr *ir.Instr, root int) bool {
 		}
 	}
 	return false
+}
+
+// FnSig returns a canonical signature of everything MHP consults about
+// a function's instructions: the descriptors of its thread roots (spawn
+// site, multiplicity, fork-join spawn/join instruction IDs). Root
+// identity is the spawn site (each site contributes at most one root,
+// -1 for main), so the signature is comparable across analyses with
+// different internal root numbering. MHP(a, b) is a pure function of
+// (a, b, FnSig(a's function), FnSig(b's function)) plus program-static
+// CFG facts (reachability, dominators), so when two analyses agree on
+// both signatures they agree on every MHP(a, b) verdict — the property
+// incremental static race analysis uses to skip unchanged access pairs.
+func (r *Result) FnSig(f *ir.Function) string {
+	var sb strings.Builder
+	r.roots[f.ID].ForEach(func(rid int) bool {
+		fmt.Fprintf(&sb, "%d:%t", r.rootSite[rid], r.multi[rid])
+		if fj := r.order[rid]; fj != nil {
+			fmt.Fprintf(&sb, ":s%d", fj.spawn.ID)
+			for _, j := range fj.joins {
+				fmt.Fprintf(&sb, ",j%d", j.ID)
+			}
+		}
+		sb.WriteByte(';')
+		return true
+	})
+	return sb.String()
 }
 
 // RootsOf returns the thread-root ids of a function (diagnostics).

@@ -21,6 +21,7 @@ package pointsto
 
 import (
 	"fmt"
+	"sort"
 
 	"oha/internal/bitset"
 	"oha/internal/ctxs"
@@ -74,10 +75,16 @@ type analysis struct {
 
 	// Node space: per-context register nodes + a return node, plus one
 	// content node per object.
-	ctxBase    map[ctxs.ID]int
-	contentOf  map[int]int // object ID -> its content node
-	nNodes     int
-	pts        []*bitset.Set
+	ctxBase   map[ctxs.ID]int
+	contentOf map[int]int // object ID -> its content node
+	nNodes    int
+	pts       []*bitset.Set
+	// sharedPts marks pts entries still shared with the resume parent
+	// (copy-on-write: clone shares every saturated set and a set is
+	// copied only when the refinement delta actually grows it). nil
+	// outside resumed analyses; nodes created after the clone sit past
+	// its end and are never shared.
+	sharedPts  []bool
 	copyTo     [][]int // copy edges
 	loadUsers  [][]int // addr node -> dst nodes of loads through it
 	storeSrcs  [][]src // addr node -> value sources of stores through it
@@ -91,6 +98,17 @@ type analysis struct {
 	ctxCallees map[callKey2][]ctxs.ID
 	seeded     []*ir.Instr // instructions included in the analysis (deduped)
 	seenInstr  map[int]bool
+
+	// siteCtxs is the fact -> constraint dependency index for call
+	// sites: the contexts whose constraints mention each call/spawn
+	// site. Incremental re-analysis consults it when a callee-set fact
+	// is removed (widened), so only the constraints that mentioned the
+	// site are re-seeded; block facts use seededCtx the same way.
+	siteCtxs map[int][]ctxs.ID
+	// nSeedings counts constraint seedings (seedInstr calls). An
+	// incremental resume inherits the base run's count, so
+	// prev/new is the fraction of constraints reused.
+	nSeedings int
 }
 
 // src is a points-to "source": a node or a constant object.
@@ -126,6 +144,14 @@ type Result struct {
 // likely invariants. The only error is ctxs.ErrBudget, meaning a
 // context-sensitive analysis did not scale to this program.
 func Analyze(prog *ir.Program, tree *ctxs.Tree, db *invariants.DB) (*Result, error) {
+	a := newAnalysis(prog, tree, db)
+	if err := a.solve(); err != nil {
+		return nil, err
+	}
+	return &Result{Prog: prog, Tree: tree, a: a}, nil
+}
+
+func newAnalysis(prog *ir.Program, tree *ctxs.Tree, db *invariants.DB) *analysis {
 	a := &analysis{
 		prog:       prog,
 		tree:       tree,
@@ -139,15 +165,13 @@ func Analyze(prog *ir.Program, tree *ctxs.Tree, db *invariants.DB) (*Result, err
 		fnCallees:  map[int]map[int]bool{},
 		ctxCallees: map[callKey2][]ctxs.ID{},
 		seenInstr:  map[int]bool{},
+		siteCtxs:   map[int][]ctxs.ID{},
 	}
 	a.funcObj = make([]int, len(prog.Funcs))
 	for i := range a.funcObj {
 		a.funcObj[i] = -1
 	}
-	if err := a.solve(); err != nil {
-		return nil, err
-	}
-	return &Result{Prog: prog, Tree: tree, a: a}, nil
+	return a
 }
 
 func (a *analysis) newNode() int {
@@ -226,9 +250,19 @@ func (a *analysis) push(n int) {
 	}
 }
 
+// mutPts returns pts[n] for mutation, un-sharing it first if it is
+// still shared with the resume parent.
+func (a *analysis) mutPts(n int) *bitset.Set {
+	if n < len(a.sharedPts) && a.sharedPts[n] {
+		a.pts[n] = a.pts[n].Clone()
+		a.sharedPts[n] = false
+	}
+	return a.pts[n]
+}
+
 // addObj seeds object o into node n's points-to set.
 func (a *analysis) addObj(n, o int) {
-	if a.pts[n].Add(o) {
+	if a.mutPts(n).Add(o) {
 		a.push(n)
 	}
 }
@@ -236,7 +270,7 @@ func (a *analysis) addObj(n, o int) {
 // copyEdge adds n -> m and propagates current contents.
 func (a *analysis) copyEdge(n, m int) {
 	a.copyTo[n] = append(a.copyTo[n], m)
-	if a.pts[m].UnionWith(a.pts[n]) {
+	if a.mutPts(m).UnionChanged(a.pts[n]) {
 		a.push(m)
 	}
 }
@@ -296,6 +330,7 @@ func (a *analysis) seedCtx(c ctxs.ID) error {
 }
 
 func (a *analysis) seedInstr(c ctxs.ID, in *ir.Instr) error {
+	a.nSeedings++
 	switch in.Op {
 	case ir.OpCopy:
 		a.flowTo(a.operandSrc(c, in.A), a.varNode(c, in.Dst))
@@ -339,6 +374,7 @@ func (a *analysis) seedInstr(c ctxs.ID, in *ir.Instr) error {
 			})
 		}
 	case ir.OpCall, ir.OpSpawn:
+		a.siteCtxs[in.ID] = append(a.siteCtxs[in.ID], c)
 		if in.Callee != nil {
 			return a.wireCall(c, in, in.Callee)
 		}
@@ -429,57 +465,104 @@ func (a *analysis) solve() error {
 	if err := a.seedCtx(a.tree.Root()); err != nil {
 		return err
 	}
+	if err := a.drain(); err != nil {
+		return err
+	}
+	a.finish()
+	return nil
+}
+
+// drain runs the worklist to saturation.
+func (a *analysis) drain() error {
 	for len(a.work) > 0 {
 		n := a.work[len(a.work)-1]
 		a.work = a.work[:len(a.work)-1]
 		a.inWork[n] = false
-		np := a.pts[n]
-
-		// Copy successors.
-		for _, m := range a.copyTo[n] {
-			if a.pts[m].UnionWith(np) {
-				a.push(m)
-			}
-		}
-		// Loads through n: dst gets contents of all pointees.
-		if users := a.loadUsers[n]; users != nil {
-			np.ForEach(func(o int) bool {
-				cn := a.content(o)
-				for _, dst := range users {
-					a.copyEdge(cn, dst)
-				}
-				return true
-			})
-		}
-		// Stores through n: pointee contents get sources.
-		if srcs := a.storeSrcs[n]; srcs != nil {
-			np.ForEach(func(o int) bool {
-				cn := a.content(o)
-				for _, s := range srcs {
-					a.flowTo(s, cn)
-				}
-				return true
-			})
-		}
-		// Indirect calls through n.
-		if sites := a.callUsers[n]; sites != nil {
-			var err error
-			np.ForEach(func(o int) bool {
-				if a.objs[o].Kind != ObjFunc {
-					return true
-				}
-				f := a.prog.Funcs[a.objs[o].Key]
-				for _, cs := range sites {
-					if err = a.wireCall(cs.ctx, cs.in, f); err != nil {
-						return false
-					}
-				}
-				return true
-			})
-			if err != nil {
-				return err
-			}
+		if err := a.processNode(n); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// processNode propagates node n's points-to set through its copy,
+// load, store, and indirect-call constraints.
+func (a *analysis) processNode(n int) error {
+	np := a.pts[n]
+
+	// Copy successors.
+	for _, m := range a.copyTo[n] {
+		if a.mutPts(m).UnionChanged(np) {
+			a.push(m)
+		}
+	}
+	return a.processDeref(n)
+}
+
+// processDeref handles node n's dereference constraints — loads,
+// stores, and indirect calls — which may allocate content nodes,
+// extend the context tree, and seed new constraints. The parallel
+// solver runs copy propagation concurrently but always funnels these
+// through one goroutine in deterministic order.
+func (a *analysis) processDeref(n int) error {
+	np := a.pts[n]
+
+	// Loads through n: dst gets contents of all pointees.
+	if users := a.loadUsers[n]; users != nil {
+		np.ForEach(func(o int) bool {
+			cn := a.content(o)
+			for _, dst := range users {
+				a.copyEdge(cn, dst)
+			}
+			return true
+		})
+	}
+	// Stores through n: pointee contents get sources.
+	if srcs := a.storeSrcs[n]; srcs != nil {
+		np.ForEach(func(o int) bool {
+			cn := a.content(o)
+			for _, s := range srcs {
+				a.flowTo(s, cn)
+			}
+			return true
+		})
+	}
+	// Indirect calls through n.
+	if sites := a.callUsers[n]; sites != nil {
+		var err error
+		np.ForEach(func(o int) bool {
+			if a.objs[o].Kind != ObjFunc {
+				return true
+			}
+			f := a.prog.Funcs[a.objs[o].Key]
+			for _, cs := range sites {
+				if err = a.wireCall(cs.ctx, cs.in, f); err != nil {
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish canonicalizes order-dependent state once the fixpoint is
+// reached: the seeded-instruction list is sorted by instruction ID so
+// sequential, parallel, and resumed solves expose identical instruction
+// order to clients (the static race detector enumerates access pairs in
+// this order — keeping it canonical keeps race-pair lists bit-identical
+// across solver variants).
+func (a *analysis) finish() {
+	// A resumed analysis that seeded nothing new still shares the
+	// parent's (already sorted) slice; sorting it in place would write
+	// into the parent's backing array, so only sort when needed — any
+	// append has already reallocated the slice (its capacity is capped
+	// at clone time).
+	less := func(i, j int) bool { return a.seeded[i].ID < a.seeded[j].ID }
+	if !sort.SliceIsSorted(a.seeded, less) {
+		sort.Slice(a.seeded, less)
+	}
 }

@@ -1,0 +1,260 @@
+package pointsto
+
+import (
+	"errors"
+	"sort"
+
+	"oha/internal/bitset"
+	"oha/internal/ctxs"
+	"oha/internal/invariants"
+)
+
+// ErrNotIncremental reports that the delta between two invariant
+// databases cannot be applied incrementally (it is not a pure widening,
+// or the tree is context-sensitive); the caller must re-analyze from
+// scratch.
+var ErrNotIncremental = errors.New("pointsto: refinement delta is not incremental; re-analyze from scratch")
+
+// Resume re-solves prev's saturated constraint system under newDB
+// without restarting, for context-insensitive analyses whose DB delta
+// is a pure widening (the shape every adaptive refinement has: a
+// refinement only removes likely-invariant facts, which only ADDS
+// constraints to the predicated analysis).
+//
+// The monotonicity argument: Andersen constraint solving computes the
+// unique least fixpoint of a monotone system over a join-semilattice of
+// points-to sets, so saturated state for constraint set C is a valid
+// intermediate state for any superset C' ⊇ C — seeding only the new
+// constraints of C' \ C and draining the worklist reaches exactly the
+// least fixpoint of C'. The new constraints are found via the fact →
+// constraint dependency index recorded during seeding: newly-visited
+// blocks re-seed only that block's instructions in each context that
+// already seeded the surrounding function (seededCtx), and widened
+// callee sets re-wire only the call sites whose constraints mentioned
+// the site (siteCtxs).
+//
+// prev is not mutated: the analysis state (including the context tree)
+// is deep-copied first, so prev can live in an artifact cache and the
+// resumed Result shares prev's node/object numbering — which is what
+// makes cheap changed-set diffs against prev possible downstream.
+func Resume(prev *Result, newDB *invariants.DB) (*Result, error) {
+	old := prev.a.db
+	if prev.Tree.Sensitive() || old == nil || newDB == nil {
+		return nil, ErrNotIncremental
+	}
+	delta, err := classifyDelta(old, newDB)
+	if err != nil {
+		return nil, err
+	}
+	a := prev.a.clone(newDB)
+	if err := a.reseedVisited(delta.visitedAdded); err != nil {
+		return nil, err
+	}
+	if err := a.rewireCallees(delta.calleesAdded); err != nil {
+		return nil, err
+	}
+	if err := a.drain(); err != nil {
+		return nil, err
+	}
+	a.finish()
+	return &Result{Prog: prev.Prog, Tree: a.tree, a: a}, nil
+}
+
+// dbDelta is the constraint-relevant widening between two databases.
+type dbDelta struct {
+	visitedAdded *bitset.Set         // newly-visited block IDs
+	calleesAdded map[int]*bitset.Set // call site -> added callee fn IDs
+}
+
+// classifyDelta diffs the databases, returning ErrNotIncremental for
+// any non-widening change. Only blocks and callee sets contribute
+// points-to constraints: MustAliasLocks, SingletonSpawns,
+// ElidableLocks, and Contexts deltas are no-ops for the
+// context-insensitive points-to analysis and need no re-seeding.
+func classifyDelta(old, new *invariants.DB) (*dbDelta, error) {
+	d := &dbDelta{calleesAdded: map[int]*bitset.Set{}}
+	// Visited only grows under refinement (a block proven reachable is
+	// un-pruned); anything else is not a widening.
+	if !old.Visited.SubsetOf(new.Visited) {
+		return nil, ErrNotIncremental
+	}
+	d.visitedAdded = new.Visited.Clone()
+	d.visitedAdded.DifferenceWith(old.Visited)
+	// A nil Callees map means the invariant is disabled (sound
+	// pts-driven resolution); toggling modes is not a widening.
+	if (old.Callees == nil) != (new.Callees == nil) {
+		return nil, ErrNotIncremental
+	}
+	for site, set := range old.Callees {
+		ns, ok := new.Callees[site]
+		if !ok || !set.SubsetOf(ns) {
+			return nil, ErrNotIncremental
+		}
+	}
+	for site, ns := range new.Callees {
+		added := ns.Clone()
+		if os, ok := old.Callees[site]; ok {
+			added.DifferenceWith(os)
+		}
+		if !added.IsEmpty() {
+			d.calleesAdded[site] = added
+		}
+	}
+	return d, nil
+}
+
+// clone copies the saturated solver state so the resumed analysis
+// shares nothing the original could observe changing. The context tree is cloned
+// too (wireCall extends it); IDs are preserved, so all state keyed by
+// node, object, or context ID carries over verbatim.
+func (a *analysis) clone(newDB *invariants.DB) *analysis {
+	c := &analysis{
+		prog:       a.prog,
+		tree:       a.tree.Clone(),
+		db:         newDB,
+		objs:       a.objs[:len(a.objs):len(a.objs)],
+		objIntern:  make(map[Object]int, len(a.objIntern)),
+		funcObj:    append([]int(nil), a.funcObj...),
+		globObj:    make(map[int]int, len(a.globObj)),
+		ctxBase:    make(map[ctxs.ID]int, len(a.ctxBase)),
+		contentOf:  make(map[int]int, len(a.contentOf)),
+		nNodes:     a.nNodes,
+		pts:        append([]*bitset.Set(nil), a.pts...),
+		sharedPts:  make([]bool, len(a.pts)),
+		copyTo:     cloneNested(a.copyTo),
+		loadUsers:  cloneNested(a.loadUsers),
+		storeSrcs:  cloneNested(a.storeSrcs),
+		lockSites:  append([]bool(nil), a.lockSites...),
+		callUsers:  cloneNested(a.callUsers),
+		seededCtx:  make(map[ctxs.ID]bool, len(a.seededCtx)),
+		inWork:     make([]bool, len(a.inWork)),
+		callEdges:  make(map[callKey]bool, len(a.callEdges)),
+		fnCallees:  make(map[int]map[int]bool, len(a.fnCallees)),
+		ctxCallees: make(map[callKey2][]ctxs.ID, len(a.ctxCallees)),
+		seeded:     a.seeded[:len(a.seeded):len(a.seeded)],
+		seenInstr:  make(map[int]bool, len(a.seenInstr)),
+		siteCtxs:   make(map[int][]ctxs.ID, len(a.siteCtxs)),
+		nSeedings:  a.nSeedings,
+	}
+	for k, v := range a.objIntern {
+		c.objIntern[k] = v
+	}
+	for k, v := range a.globObj {
+		c.globObj[k] = v
+	}
+	for k, v := range a.ctxBase {
+		c.ctxBase[k] = v
+	}
+	for k, v := range a.contentOf {
+		c.contentOf[k] = v
+	}
+	// Points-to sets are shared copy-on-write (see mutPts): the
+	// saturated sets dominate the state, and a single-fact refinement
+	// grows only a handful of them. Sharing is safe because nothing
+	// mutates a saturated analysis's sets — queries only read them —
+	// and mutPts un-shares before the first write.
+	for i := range c.sharedPts {
+		c.sharedPts[i] = true
+	}
+	for k, v := range a.seededCtx {
+		c.seededCtx[k] = v
+	}
+	for k, v := range a.callEdges {
+		c.callEdges[k] = v
+	}
+	for k, v := range a.fnCallees {
+		m := make(map[int]bool, len(v))
+		for f, b := range v {
+			m[f] = b
+		}
+		c.fnCallees[k] = m
+	}
+	for k, v := range a.ctxCallees {
+		c.ctxCallees[k] = append([]ctxs.ID(nil), v...)
+	}
+	for k, v := range a.seenInstr {
+		c.seenInstr[k] = v
+	}
+	for k, v := range a.siteCtxs {
+		c.siteCtxs[k] = append([]ctxs.ID(nil), v...)
+	}
+	return c
+}
+
+// cloneNested shares the inner slices copy-on-write: each is re-sliced
+// with capacity capped to length, so a later append — the only way the
+// solver mutates these edge lists — reallocates a private array
+// instead of writing into the parent's backing store. Append-only
+// slices elsewhere in the clone use the same trick inline.
+func cloneNested[T any](s [][]T) [][]T {
+	c := make([][]T, len(s))
+	for i, inner := range s {
+		c[i] = inner[:len(inner):len(inner)]
+	}
+	return c
+}
+
+// reseedVisited seeds the constraints of newly-visited blocks, in every
+// context that already seeded the surrounding function. Contexts that
+// have not been seeded yet need nothing: if the solver reaches them
+// later, seedCtx consults the new database and includes the block.
+func (a *analysis) reseedVisited(added *bitset.Set) error {
+	if added.IsEmpty() {
+		return nil
+	}
+	for _, fn := range a.prog.Funcs {
+		for _, b := range fn.Blocks {
+			if !added.Has(b.ID) {
+				continue
+			}
+			for _, c := range a.tree.CtxsOf(fn) {
+				if !a.seededCtx[c] {
+					continue
+				}
+				for _, in := range b.Instrs {
+					if !a.seenInstr[in.ID] {
+						a.seenInstr[in.ID] = true
+						a.seeded = append(a.seeded, in)
+					}
+					if err := a.seedInstr(c, in); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// rewireCallees wires the widened callee-set targets at every context
+// whose constraints mentioned the call site, per the dependency index.
+func (a *analysis) rewireCallees(added map[int]*bitset.Set) error {
+	if len(added) == 0 {
+		return nil
+	}
+	sites := make([]int, 0, len(added))
+	for s := range added {
+		sites = append(sites, s)
+	}
+	sort.Ints(sites)
+	for _, site := range sites {
+		in := a.prog.Instrs[site]
+		if in.Callee != nil {
+			continue // direct call: callee sets are irrelevant
+		}
+		siteCtxs := append([]ctxs.ID(nil), a.siteCtxs[site]...)
+		var err error
+		added[site].ForEach(func(fid int) bool {
+			for _, c := range siteCtxs {
+				if err = a.wireCall(c, in, a.prog.Funcs[fid]); err != nil {
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -40,7 +40,7 @@ const adaptSrc = `
 // second job succeeds without any rollback, and its static setup comes
 // entirely from the warm artifact cache.
 func TestServerAdaptiveSpeculation(t *testing.T) {
-	_, c := newTestServer(t, Config{Workers: 2, QueueSize: 16, JobTimeout: 30 * time.Second})
+	_, c := newTestServer(t, Config{Workers: 2, QueueSize: 16, JobTimeout: 30 * time.Second, Incremental: true})
 	id := c.submitProgram(adaptSrc)
 
 	// Profile on a benign input: the racy branch stays unvisited.
@@ -113,6 +113,23 @@ func TestServerAdaptiveSpeculation(t *testing.T) {
 	}
 	if !strings.Contains(mx, `oha_adapt_violations_total{kind="unreachable-block"} 1`) {
 		t.Fatalf("violation counter missing from exposition:\n%s", mx)
+	}
+
+	// The static pipeline's phase histograms and incremental-reuse
+	// gauge: the reconcile resumed generation 1's saturated solver
+	// state, so the mode is incremental and the reuse ratio the
+	// fraction of constraints inherited.
+	for _, phase := range []string{"pointsto", "mhp", "race", "masks"} {
+		if !strings.Contains(mx, `oha_static_phase_seconds_count{phase="`+phase+`"}`) {
+			t.Fatalf("phase histogram for %q missing from exposition:\n%s", phase, mx)
+		}
+	}
+	if v := metricValue(t, mx, "oha_inc_reuse_ratio"); v <= 0 || v > 1 {
+		t.Fatalf("oha_inc_reuse_ratio = %v, want in (0,1]", v)
+	}
+	if st.StaticMode != "incremental" || st.IncReuseRatio <= 0 || st.IncReuseRatio > 1 {
+		t.Fatalf("speculation static mode = %q reuse %v, want incremental in (0,1]",
+			st.StaticMode, st.IncReuseRatio)
 	}
 	missesBefore := metricValue(t, mx, "ohad_artifact_cache_misses")
 

@@ -51,6 +51,7 @@ import (
 	"oha/internal/adapt"
 	"oha/internal/artifacts"
 	"oha/internal/core"
+	"oha/internal/inc"
 	"oha/internal/invariants"
 	"oha/internal/ir"
 	"oha/internal/metrics"
@@ -73,6 +74,13 @@ type Config struct {
 	// StateDir, when non-empty, persists invariant-DB versions as text
 	// files under it and reloads them on start.
 	StateDir string
+	// StaticWorkers bounds the parallel static solvers (0: GOMAXPROCS,
+	// 1: sequential).
+	StaticWorkers int
+	// Incremental lets adaptive re-analysis resume from the previous
+	// generation's saturated solver state instead of re-solving from
+	// scratch.
+	Incremental bool
 }
 
 // Server is the analysis daemon. Create with New, expose via Handler,
@@ -92,6 +100,11 @@ type Server struct {
 	jobsDone      *metrics.Counter
 	jobsFailed    *metrics.Counter
 	jobLatency    *metrics.Histogram
+
+	// static configures the static pipeline for every job; incMetrics
+	// is the shared per-phase latency + incremental-reuse family.
+	static     core.StaticConfig
+	incMetrics *inc.Metrics
 
 	// Adaptive speculation state: one manager per (program, invariant
 	// DB version) pair, created lazily by the first adapt-enabled job
@@ -132,8 +145,10 @@ func New(cfg Config) (*Server, error) {
 		reg:      metrics.NewRegistry(),
 		mux:      http.NewServeMux(),
 		adapters: map[adaptKey]*adapt.Manager{},
+		static:   core.StaticConfig{Workers: cfg.StaticWorkers, Incremental: cfg.Incremental},
 	}
 	s.adaptMetrics = adapt.NewMetrics(s.reg)
+	s.incMetrics = inc.NewMetrics(s.reg)
 	s.httpRequests = s.reg.NewCounterVec("ohad_http_requests_total", "HTTP requests by route", "route")
 	s.jobsSubmitted = s.reg.NewCounterVec("ohad_jobs_submitted_total", "accepted jobs by kind", "kind")
 	s.jobsRejected = s.reg.NewCounter("ohad_jobs_rejected_total", "jobs rejected by queue backpressure")
@@ -584,7 +599,12 @@ func (s *Server) adapter(sp *StoredProgram, req JobRequest) (*adapt.Manager, err
 	defer s.adaptMu.Unlock()
 	m, ok := s.adapters[key]
 	if !ok {
-		m = adapt.New(sp.Prog, db, adapt.Options{Cache: s.cache, Metrics: s.adaptMetrics})
+		m = adapt.New(sp.Prog, db, adapt.Options{
+			Cache:   s.cache,
+			Metrics: s.adaptMetrics,
+			Static:  s.static,
+			Inc:     s.incMetrics,
+		})
 		s.adapters[key] = m
 		s.adaptOrder = append(s.adaptOrder, key)
 	}
@@ -761,7 +781,7 @@ func (s *Server) raceJob(sp *StoredProgram, req JobRequest) func(ctx context.Con
 			if err != nil {
 				return nil, err
 			}
-			det, err := core.NewOptFTCached(sp.Prog, db, s.cache)
+			det, err := core.NewOptFTStatic(sp.Prog, db, s.cache, s.static)
 			if err != nil {
 				return nil, err
 			}
@@ -835,10 +855,12 @@ func (s *Server) sliceJob(sp *StoredProgram, req JobRequest) func(ctx context.Co
 			if err != nil {
 				return nil, err
 			}
+			t := time.Now()
 			sl, err := core.NewOptSliceCached(sp.Prog, db, prints[idx], budget, s.cache)
 			if err != nil {
 				return nil, err
 			}
+			s.incMetrics.ObservePhase("slice", time.Since(t).Seconds())
 			rep, err = sl.Run(e, s.runOpts(ctx))
 			if err != nil {
 				return nil, err

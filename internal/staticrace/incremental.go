@@ -1,0 +1,252 @@
+package staticrace
+
+import (
+	"math"
+	"sort"
+
+	"oha/internal/bitset"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/mhp"
+	"oha/internal/pointsto"
+)
+
+// Prev bundles the previous generation's pipeline results for
+// Incremental: the race result to reuse verdicts from, the points-to
+// and MHP results it was derived from, and the invariant database it
+// assumed. PT must be the resume base of the new points-to result so
+// the two share an object numbering (making AddrPts diffs meaningful).
+type Prev struct {
+	Race *Result
+	PT   *pointsto.Result
+	MHP  *mhp.Result
+	DB   *invariants.DB
+}
+
+// Incremental re-runs the static race analysis under (pt, m, db),
+// reusing the previous generation's pair verdicts wherever the inputs
+// that determine them are unchanged. An access is dirty when any of
+// its verdict inputs changed:
+//
+//   - it is new (not analyzed last generation);
+//   - its address points-to set changed (alias verdicts may flip);
+//   - its must-held lockset changed (locksets are recomputed in full —
+//     they are linear-ish, the O(n²) pair enumeration is what is worth
+//     skipping);
+//   - its function's MHP signature changed (see mhp.Result.FnSig);
+//   - the must-alias lock facts changed and the access holds a
+//     non-empty lockset (an empty lockset makes lockset pruning a
+//     no-op under any must-alias relation, so those verdicts cannot
+//     depend on the changed facts).
+//
+// A pair of clean accesses keeps its previous verdict; any pair with a
+// dirty side is re-evaluated. Rows are emitted in the same (ascending
+// first-access, ascending second-access) order the from-scratch
+// enumeration uses, so Pairs is bit-identical to Analyze's. ElidableSyncs
+// is recomputed in full (it is linear in the analyzed instructions).
+// Cost is O(dirty·n + |prev pairs| + locksets) instead of O(n²).
+func Incremental(prog *ir.Program, pt *pointsto.Result, m *mhp.Result, db *invariants.DB, prev Prev) *Result {
+	res, accesses, lockSites := prepare(prog, pt, db)
+
+	// Without a usable previous generation — or if the access set
+	// shrank, which a monotone refinement never produces — everything
+	// is dirty and this degenerates to the from-scratch enumeration.
+	usable := prev.Race != nil && prev.PT != nil && prev.MHP != nil &&
+		(prev.DB == nil) == (db == nil) &&
+		prev.Race.AnalyzedAccesses.SubsetOf(res.AnalyzedAccesses)
+
+	// The must-held fixpoint is a pure function of the static CFG, the
+	// seeded instruction set, the points-to sets of the seeded
+	// lock/unlock addresses, and the callee sets at indirect call and
+	// spawn sites. When none of those changed since the previous
+	// generation, its locksets are shared instead of recomputed (the
+	// map is never mutated after construction).
+	if db != nil {
+		if usable && locksetsReusable(prog, pt, prev) {
+			res.Locksets = prev.Race.Locksets
+		} else {
+			res.Locksets = computeLocksets(prog, pt)
+		}
+	}
+
+	dirty := make([]bool, len(accesses))
+	if !usable {
+		for i := range dirty {
+			dirty[i] = true
+		}
+	} else {
+		mustAliasChanged := !sameMustAlias(prev.DB, db)
+		sigDirty := map[int]bool{}
+		fnDirty := func(fn *ir.Function) bool {
+			d, ok := sigDirty[fn.ID]
+			if !ok {
+				d = m.FnSig(fn) != prev.MHP.FnSig(fn)
+				sigDirty[fn.ID] = d
+			}
+			return d
+		}
+		for i, in := range accesses {
+			switch {
+			case !prev.Race.AnalyzedAccesses.Has(in.ID):
+				dirty[i] = true
+			case !eqSet(res.AddrPts[in.ID], prev.Race.AddrPts[in.ID]):
+				dirty[i] = true
+			case !eqSet(res.Locksets[in.ID], prev.Race.Locksets[in.ID]):
+				dirty[i] = true
+			case fnDirty(in.Block.Fn):
+				dirty[i] = true
+			case mustAliasChanged && res.Locksets[in.ID] != nil && !res.Locksets[in.ID].IsEmpty():
+				dirty[i] = true
+			}
+		}
+	}
+
+	dirtyByID := &bitset.Set{}
+	var dirtyIdx []int
+	for i, d := range dirty {
+		if d {
+			dirtyByID.Add(accesses[i].ID)
+			dirtyIdx = append(dirtyIdx, i)
+		}
+	}
+	// prevRows[aID] = the previous pairs whose first access is aID,
+	// already in ascending second-access order.
+	prevRows := map[int][][2]*ir.Instr{}
+	if usable {
+		// Most previous pairs survive a single-fact refinement; size the
+		// merged slice for them up front.
+		res.Pairs = make([][2]*ir.Instr, 0, len(prev.Race.Pairs))
+		for _, p := range prev.Race.Pairs {
+			prevRows[p[0].ID] = append(prevRows[p[0].ID], p)
+		}
+	}
+
+	for i, a := range accesses {
+		if dirty[i] {
+			for j := i; j < len(accesses); j++ {
+				if res.racyPair(a, accesses[j], m, db) {
+					res.addPair(a, accesses[j])
+				}
+			}
+			continue
+		}
+		// Clean row: merge the previous verdicts against clean partners
+		// with fresh evaluations against dirty partners at index >= i,
+		// in ascending partner-ID order (partners below index i are
+		// covered by their own rows).
+		prevs := prevRows[a.ID]
+		pi := 0
+		di := sort.SearchInts(dirtyIdx, i)
+		for {
+			for pi < len(prevs) && dirtyByID.Has(prevs[pi][1].ID) {
+				pi++ // re-evaluated via the dirty stream
+			}
+			nextPrev, nextDirty := math.MaxInt, math.MaxInt
+			if pi < len(prevs) {
+				nextPrev = prevs[pi][1].ID
+			}
+			if di < len(dirtyIdx) {
+				nextDirty = accesses[dirtyIdx[di]].ID
+			}
+			if nextPrev == math.MaxInt && nextDirty == math.MaxInt {
+				break
+			}
+			if nextPrev < nextDirty {
+				res.addPair(prevs[pi][0], prevs[pi][1])
+				pi++
+			} else {
+				b := accesses[dirtyIdx[di]]
+				if res.racyPair(a, b, m, db) {
+					res.addPair(a, b)
+				}
+				di++
+			}
+		}
+	}
+
+	if db != nil {
+		res.computeElidableSyncs(pt, lockSites)
+	}
+	return res
+}
+
+// locksetsReusable reports whether the previous generation's must-held
+// locksets are still valid for pt. The fixpoint in computeLocksets
+// reads pt only through the seeded lock/unlock sites, their address
+// points-to sets, and the callee sets of call/spawn sites (the
+// dataflow itself walks the full static CFG) — so it is those three
+// inputs, not the whole seeded set, that must be unchanged. Both
+// seeded lists are sorted by instruction ID, so the filtered lists
+// compare positionally. Direct call edges are fixed by the CFG and
+// need no check.
+func locksetsReusable(prog *ir.Program, pt *pointsto.Result, prev Prev) bool {
+	cur := seededSync(pt)
+	old := seededSync(prev.PT)
+	if len(cur) != len(old) {
+		return false
+	}
+	for i, in := range cur {
+		if in.ID != old[i].ID {
+			return false
+		}
+		if !pt.AddrPtsAll(in).Equal(prev.PT.AddrPtsAll(in)) {
+			return false
+		}
+	}
+	for _, in := range prog.Instrs {
+		if (in.Op != ir.OpCall && in.Op != ir.OpSpawn) || in.Callee != nil {
+			continue
+		}
+		a, b := pt.FnCallees(in), prev.PT.FnCallees(in)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// seededSync returns the seeded lock/unlock sites in seeding (ID)
+// order.
+func seededSync(pt *pointsto.Result) []*ir.Instr {
+	var out []*ir.Instr
+	for _, in := range pt.SeededInstrs() {
+		if in.Op == ir.OpLock || in.Op == ir.OpUnlock {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// eqSet is bitset equality with nil meaning empty (must-held lockset
+// maps omit unreached instructions; commonLock treats nil and empty
+// identically).
+func eqSet(a, b *bitset.Set) bool {
+	if a == nil {
+		return b == nil || b.IsEmpty()
+	}
+	return a.Equal(b)
+}
+
+// sameMustAlias reports whether the must-alias lock facts agree.
+func sameMustAlias(a, b *invariants.DB) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if len(a.MustAliasLocks) != len(b.MustAliasLocks) {
+		return false
+	}
+	for k := range a.MustAliasLocks {
+		if !b.MustAliasLocks[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -54,6 +54,14 @@ type Result struct {
 	// Locksets maps access instr IDs to the lock-site IDs must-held at
 	// the access (computed only when db != nil).
 	Locksets map[int]*bitset.Set
+
+	// AddrPts maps access instr IDs to the points-to set of the
+	// accessed address, precomputed once per analysis. Incremental
+	// re-analysis diffs these against the previous generation to find
+	// accesses whose alias verdicts may have changed (valid because a
+	// resumed points-to analysis preserves the previous run's object
+	// numbering).
+	AddrPts map[int]*bitset.Set
 }
 
 // RaceFree reports whether the program was proven race-free (no racy
@@ -63,6 +71,31 @@ func (r *Result) RaceFree() bool { return len(r.Pairs) == 0 }
 // Analyze runs the detector. pt and m must come from the same
 // (sound or predicated) configuration; db selects predication.
 func Analyze(prog *ir.Program, pt *pointsto.Result, m *mhp.Result, db *invariants.DB) *Result {
+	res, accesses, lockSites := prepare(prog, pt, db)
+	if db != nil {
+		res.Locksets = computeLocksets(prog, pt)
+	}
+	for i := 0; i < len(accesses); i++ {
+		for j := i; j < len(accesses); j++ {
+			if res.racyPair(accesses[i], accesses[j], m, db) {
+				res.addPair(accesses[i], accesses[j])
+			}
+		}
+	}
+	if db != nil {
+		res.computeElidableSyncs(pt, lockSites)
+	}
+	return res
+}
+
+// prepare collects the analyzed accesses and lock sites and
+// precomputes the per-access address points-to sets. Everything that
+// can mutate solver state (pt.AddrPtsAll interns nodes) happens here
+// or in computeLocksets — which predicated callers must run before
+// enumerating (Incremental may instead reuse the previous
+// generation's locksets) — so pair enumeration afterwards is
+// read-only; the parallel enumerator relies on this.
+func prepare(prog *ir.Program, pt *pointsto.Result, db *invariants.DB) (*Result, []*ir.Instr, []*ir.Instr) {
 	res := &Result{
 		Prog:             prog,
 		Racy:             &bitset.Set{},
@@ -70,7 +103,6 @@ func Analyze(prog *ir.Program, pt *pointsto.Result, m *mhp.Result, db *invariant
 		ElidableSyncs:    &bitset.Set{},
 		Locksets:         map[int]*bitset.Set{},
 	}
-
 	var accesses []*ir.Instr
 	var lockSites []*ir.Instr
 	for _, in := range pt.SeededInstrs() {
@@ -82,67 +114,60 @@ func Analyze(prog *ir.Program, pt *pointsto.Result, m *mhp.Result, db *invariant
 			lockSites = append(lockSites, in)
 		}
 	}
-
-	if db != nil {
-		res.Locksets = computeLocksets(prog, pt)
-	}
-
-	// Pre-compute address points-to sets.
-	addr := make(map[int]*bitset.Set, len(accesses))
+	res.AddrPts = make(map[int]*bitset.Set, len(accesses))
 	for _, in := range accesses {
-		addr[in.ID] = pt.AddrPtsAll(in)
+		res.AddrPts[in.ID] = pt.AddrPtsAll(in)
 	}
+	return res, accesses, lockSites
+}
 
-	commonLock := func(a, b *ir.Instr) bool {
-		if db == nil {
-			return false // sound analysis: no lockset pruning
-		}
-		la, lb := res.Locksets[a.ID], res.Locksets[b.ID]
-		if la == nil || lb == nil {
-			return false
-		}
-		found := false
-		la.ForEach(func(x int) bool {
-			lb.ForEach(func(y int) bool {
-				if db.MustAlias(x, y) {
-					found = true
-				}
-				return !found
-			})
+// racyPair reports whether the access pair may race. Read-only over
+// the result's precomputed state; safe to call from parallel workers.
+func (res *Result) racyPair(a, b *ir.Instr, m *mhp.Result, db *invariants.DB) bool {
+	if a.Op != ir.OpStore && b.Op != ir.OpStore {
+		return false // read/read pairs never race
+	}
+	if a == b && a.Op != ir.OpStore {
+		return false
+	}
+	if !res.AddrPts[a.ID].Intersects(res.AddrPts[b.ID]) {
+		return false
+	}
+	if !m.MHP(a, b) {
+		return false
+	}
+	return !res.commonLock(a, b, db)
+}
+
+// commonLock reports whether a must-held common lock guards both
+// accesses (lockset pruning; predicated only — a sound analysis cannot
+// prove two lock sites hold the same lock).
+func (res *Result) commonLock(a, b *ir.Instr, db *invariants.DB) bool {
+	if db == nil {
+		return false
+	}
+	la, lb := res.Locksets[a.ID], res.Locksets[b.ID]
+	if la == nil || lb == nil {
+		return false
+	}
+	found := false
+	la.ForEach(func(x int) bool {
+		lb.ForEach(func(y int) bool {
+			if db.MustAlias(x, y) {
+				found = true
+			}
 			return !found
 		})
-		return found
-	}
+		return !found
+	})
+	return found
+}
 
-	for i := 0; i < len(accesses); i++ {
-		a := accesses[i]
-		for j := i; j < len(accesses); j++ {
-			b := accesses[j]
-			if a.Op != ir.OpStore && b.Op != ir.OpStore {
-				continue // read/read pairs never race
-			}
-			if i == j && a.Op != ir.OpStore {
-				continue
-			}
-			if !addr[a.ID].Intersects(addr[b.ID]) {
-				continue
-			}
-			if !m.MHP(a, b) {
-				continue
-			}
-			if commonLock(a, b) {
-				continue
-			}
-			res.Pairs = append(res.Pairs, [2]*ir.Instr{a, b})
-			res.Racy.Add(a.ID)
-			res.Racy.Add(b.ID)
-		}
-	}
-
-	if db != nil {
-		res.computeElidableSyncs(pt, lockSites)
-	}
-	return res
+// addPair records one racy pair (callers enumerate with a.ID <= b.ID).
+func (res *Result) addPair(a, b *ir.Instr) {
+	res.Pairs = append(res.Pairs, [2]*ir.Instr{a, b})
+	res.Racy.Add(a.ID)
+	res.Racy.Add(b.ID)
 }
 
 // computeLocksets runs a must-held-lockset dataflow: for every

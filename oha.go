@@ -176,6 +176,19 @@ func NewRaceDetectorCached(prog *Program, db *InvariantDB, cache *ArtifactCache)
 	return core.NewOptFTCached(prog, db, cache)
 }
 
+// StaticConfig tunes the static-analysis pipeline: the parallel solver
+// worker count (0 = GOMAXPROCS, 1 = sequential) and whether adaptive
+// re-analysis may resume incrementally from the previous generation's
+// saturated solver state. Every configuration produces digest-identical
+// results; only latency changes.
+type StaticConfig = core.StaticConfig
+
+// NewRaceDetectorStatic is NewRaceDetectorCached with an explicit
+// static pipeline configuration.
+func NewRaceDetectorStatic(prog *Program, db *InvariantDB, cache *ArtifactCache, cfg StaticConfig) (*RaceDetector, error) {
+	return core.NewOptFTStatic(prog, db, cache, cfg)
+}
+
 // NewHybridRaceDetector builds the traditional hybrid baseline.
 func NewHybridRaceDetector(prog *Program) (*HybridRaceDetector, error) {
 	return core.NewHybridFT(prog)

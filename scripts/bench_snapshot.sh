@@ -10,7 +10,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_$(date +%F).json}
-PATTERN='BenchmarkInterp|BenchmarkFig|BenchmarkLeqEpoch|BenchmarkJoinWith|BenchmarkEqual'
+PATTERN='BenchmarkInterp|BenchmarkFig|BenchmarkLeqEpoch|BenchmarkJoinWith|BenchmarkEqual|BenchmarkStatic|BenchmarkPointsTo|BenchmarkForEach|BenchmarkUnionChanged'
 
 go test -run '^$' -bench "$PATTERN" -benchtime=1x -count=3 -json \
   ./... >"$OUT"
