@@ -1,0 +1,120 @@
+package oha
+
+// Tightly paired in-process A/B measurement of the compiled engine's
+// speculative lowerings (inline caches + superinstruction fusion) on
+// the dispatch-heavy workloads. Cross-process benchmark runs on shared
+// hardware drift by 2x mid-run, which swamps the effect being measured;
+// alternating short same-process segments and taking the median of
+// adjacent-pair wall-time ratios cancels the drift (both sides of a
+// pair see the same machine state). These tests never fail on
+// performance — they print the measured ratios (visible under -v and in
+// `go test -json` streams, e.g. scripts/bench_snapshot.sh) so the
+// numbers in BENCH_*.json snapshots stay reproducible.
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"oha/internal/core"
+	"oha/internal/fasttrack"
+	"oha/internal/interp"
+	"oha/internal/sched"
+	"oha/internal/workloads"
+)
+
+func pairedSpeedup(t *testing.T, traced bool) {
+	if testing.Short() {
+		t.Skip("paired measurement is a timing loop; skipped in -short")
+	}
+	const segRuns = 30 // executions per timed segment
+	const pairs = 100  // A/B segment pairs
+
+	for _, name := range []string{"dispatch-mono", "dispatch-poly"} {
+		w := workloads.ByName(name)
+		prog := w.Prog()
+		inputs := w.GenInput(1000)
+		blockMask := make([]bool, len(prog.Blocks))
+		m := interp.Masks{Mem: []bool{}, Sync: []bool{}, Block: []bool{}}
+		if traced {
+			m = interp.Masks{Block: blockMask}
+		}
+		base := interp.CompileWith(prog, m, interp.CompileOptions{DisableIC: true, DisableFusion: true})
+		pr, err := core.Profile(prog, func(run int) core.Execution {
+			return core.Execution{Inputs: w.GenInput(run), Seed: uint64(run + 1)}
+		}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds := map[int][]int{}
+		for site, set := range pr.DB.Callees {
+			if set != nil && !set.IsEmpty() {
+				seeds[site] = set.Slice()
+			}
+		}
+		ic := interp.CompileWith(prog, m, interp.CompileOptions{Callees: seeds})
+		if ic.ICSites() == 0 {
+			t.Fatal("no IC sites")
+		}
+
+		seg := func(code *interp.Code) (time.Duration, uint64) {
+			var steps uint64
+			start := time.Now()
+			for r := 0; r < segRuns; r++ {
+				cfg := interp.Config{
+					Prog:   prog,
+					Inputs: inputs,
+					Choose: sched.NewSeeded(2000),
+					Engine: interp.EngineCompiled,
+					Code:   code,
+				}
+				if traced {
+					cfg.Tracer = fasttrack.New()
+					cfg.BlockMask = blockMask
+				}
+				res, err := interp.Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				steps += res.Stats.Steps
+			}
+			return time.Since(start), steps
+		}
+
+		// Warm up both images.
+		seg(base)
+		seg(ic)
+
+		var ratios []float64
+		var baseTot, icTot time.Duration
+		var baseSteps, icSteps uint64
+		for p := 0; p < pairs; p++ {
+			bd, bs := seg(base)
+			id, is := seg(ic)
+			baseTot += bd
+			icTot += id
+			baseSteps += bs
+			icSteps += is
+			// steps are identical per run; ratio of wall times is the
+			// speedup for this adjacent pair.
+			ratios = append(ratios, float64(bd)/float64(id))
+		}
+		sort.Float64s(ratios)
+		med := ratios[len(ratios)/2]
+		label := "off"
+		if traced {
+			label = "fasttrack"
+		}
+		t.Logf("%s[%s]: pairs=%d median speedup=%.3f p25=%.3f p75=%.3f base=%.1fM/s ic=%.1fM/s",
+			name, label, pairs, med, ratios[len(ratios)/4], ratios[3*len(ratios)/4],
+			float64(baseSteps)/baseTot.Seconds()/1e6,
+			float64(icSteps)/icTot.Seconds()/1e6)
+	}
+}
+
+// TestPairedSpeedup measures inline caches + fusion with tracing off.
+func TestPairedSpeedup(t *testing.T) { pairedSpeedup(t, false) }
+
+// TestPairedSpeedupFastTrack measures the same pair with the FastTrack
+// race detector attached (full memory/sync instrumentation).
+func TestPairedSpeedupFastTrack(t *testing.T) { pairedSpeedup(t, true) }

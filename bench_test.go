@@ -688,6 +688,122 @@ func BenchmarkInterpTreeFastTrack(b *testing.B) { benchEngine(b, interp.EngineTr
 // full FastTrack detector.
 func BenchmarkInterpCompiledFastTrack(b *testing.B) { benchEngine(b, interp.EngineCompiled, true) }
 
+// benchCalleeSeeds extracts inline-cache seeds from a profiled
+// invariant database (the same mapping the production pipeline bakes
+// into speculative images).
+func benchCalleeSeeds(b *testing.B, w *workloads.Workload) map[int][]int {
+	b.Helper()
+	pr, err := core.Profile(w.Prog(), func(run int) core.Execution {
+		return core.Execution{Inputs: w.GenInput(run), Seed: uint64(run + 1)}
+	}, benchProfileRuns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := map[int][]int{}
+	for site, set := range pr.DB.Callees {
+		if set != nil && !set.IsEmpty() {
+			seeds[site] = set.Slice()
+		}
+	}
+	if len(seeds) == 0 {
+		b.Fatal("profile learned no callee sets")
+	}
+	return seeds
+}
+
+// benchIndirect measures engine throughput on the dispatch-heavy
+// workloads, whose hot loops are dominated by indirect calls through a
+// function table. speculative=false compiles the pre-optimization
+// compiled engine (no inline caches, no fusion); speculative=true
+// seeds inline caches from a profiled database and fuses — the image
+// the production speculative pipeline runs.
+func benchIndirect(b *testing.B, engine interp.EngineKind, speculative, traced bool) {
+	for _, name := range []string{"dispatch-mono", "dispatch-poly"} {
+		w := workloads.ByName(name)
+		b.Run(w.Name, func(b *testing.B) {
+			prog := w.Prog()
+			e := testExecOf(w, 0)
+			blockMask := make([]bool, len(prog.Blocks))
+			var code *interp.Code
+			if engine == interp.EngineCompiled {
+				// Tracing off means no instrumentation at all: compile
+				// with empty (all-elided) masks, so event flags never
+				// block fusion. Traced images keep full Mem/Sync
+				// instrumentation (nil = every site) as FastTrack needs.
+				m := interp.Masks{Mem: []bool{}, Sync: []bool{}, Block: []bool{}}
+				if traced {
+					m = interp.Masks{Block: blockMask}
+				}
+				opts := interp.CompileOptions{DisableIC: true, DisableFusion: true}
+				if speculative {
+					opts = interp.CompileOptions{Callees: benchCalleeSeeds(b, w)}
+				}
+				code = interp.CompileWith(prog, m, opts)
+				if speculative && code.ICSites() == 0 {
+					b.Fatal("speculative image has no inline caches")
+				}
+			}
+			var steps, hits uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := interp.Config{
+					Prog:   prog,
+					Inputs: e.Inputs,
+					Choose: sched.NewSeeded(e.Seed),
+					Engine: engine,
+					Code:   code,
+				}
+				if traced {
+					cfg.Tracer = fasttrack.New()
+					cfg.BlockMask = blockMask
+				}
+				res, err := interp.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps += res.Stats.Steps
+				hits += res.IC.Hits
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(steps)/secs, "steps/sec")
+			}
+			if b.N > 0 {
+				b.ReportMetric(float64(hits)/float64(b.N), "ic-hits/op")
+			}
+		})
+	}
+}
+
+// BenchmarkInterpIndirectTree: tree-walker on indirect-call-heavy
+// workloads — the dispatch-cost ceiling.
+func BenchmarkInterpIndirectTree(b *testing.B) { benchIndirect(b, interp.EngineTree, false, false) }
+
+// BenchmarkInterpIndirectCompiled: the compiled engine with both
+// speculative lowerings off — the pre-optimization baseline the
+// inline-cache speedup is measured against.
+func BenchmarkInterpIndirectCompiled(b *testing.B) {
+	benchIndirect(b, interp.EngineCompiled, false, false)
+}
+
+// BenchmarkInterpIndirectCompiledIC: the compiled engine with inline
+// caches seeded from a profiled database plus superinstruction fusion
+// — the image the speculative pipeline deploys.
+func BenchmarkInterpIndirectCompiledIC(b *testing.B) {
+	benchIndirect(b, interp.EngineCompiled, true, false)
+}
+
+// BenchmarkInterpIndirectCompiledFastTrack / ...ICFastTrack repeat the
+// comparison with a full FastTrack detector attached (the paper's
+// heaviest client), where event delivery dilutes the dispatch win.
+func BenchmarkInterpIndirectCompiledFastTrack(b *testing.B) {
+	benchIndirect(b, interp.EngineCompiled, false, true)
+}
+
+func BenchmarkInterpIndirectCompiledICFastTrack(b *testing.B) {
+	benchIndirect(b, interp.EngineCompiled, true, true)
+}
+
 // BenchmarkInterpCompile measures the compile step itself (it must be
 // cheap enough to amortize within one run; the artifact cache makes it
 // once-per-configuration in practice).

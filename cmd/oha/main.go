@@ -21,7 +21,10 @@
 // retries under the new generation (printing a per-generation
 // summary) — the same closed loop `ohad` exposes via /speculation.
 // -engine tree|compiled selects the execution engine (default
-// compiled); results are identical under both.
+// compiled); results are identical under both. -ic=off disables the
+// compiled engine's speculative inline caches, -fusion=off its
+// superinstruction fusion — results are identical either way, only
+// dispatch speed changes.
 //
 // Flags may be given before or after the program file. With
 // -cache-dir DIR, static-analysis artifacts persist across
@@ -59,6 +62,8 @@ func main() {
 	engine := fs.String("engine", "compiled", "execution engine: compiled|tree")
 	staticWorkers := fs.Int("static-workers", 0, "parallel static-solver workers (0: GOMAXPROCS, 1: sequential)")
 	incremental := fs.Bool("inc", true, "adapt: resume re-analysis from the previous generation's saturated solver state")
+	icFlag := fs.String("ic", "on", "compiled engine: speculative inline caches at indirect call sites (on|off)")
+	fusionFlag := fs.String("fusion", "on", "compiled engine: superinstruction fusion (on|off)")
 
 	// Flags may appear before or after the one positional file:
 	// `oha race -inv x.txt prog.ml` and `oha race prog.ml -inv x.txt`
@@ -91,7 +96,12 @@ func main() {
 		check(fmt.Errorf("unknown -engine %q (want compiled or tree)", *engine))
 	}
 	ropts := oha.RunOptions{Engine: eng}
-	static := oha.StaticConfig{Workers: *staticWorkers, Incremental: *incremental}
+	static := oha.StaticConfig{
+		Workers:     *staticWorkers,
+		Incremental: *incremental,
+		NoIC:        parseToggle("ic", *icFlag),
+		NoFusion:    parseToggle("fusion", *fusionFlag),
+	}
 
 	switch cmd {
 	case "profile":
@@ -162,7 +172,7 @@ func main() {
 			printAttempts(sliceAttemptReports(attempts))
 			defer printSpeculation(m)
 		} else {
-			sl, err := oha.NewSlicerCached(prog, db, prints[idx], *budget, cache)
+			sl, err := oha.NewSlicerStatic(prog, db, prints[idx], *budget, cache, static)
 			check(err)
 			rep, err = sl.Run(e, ropts)
 			check(err)
@@ -265,6 +275,18 @@ func loadInv(path string) *oha.InvariantDB {
 	db, err := oha.LoadInvariants(f)
 	check(err)
 	return db
+}
+
+// parseToggle maps an on|off flag to its "disabled" form.
+func parseToggle(name, v string) bool {
+	switch v {
+	case "on":
+		return false
+	case "off":
+		return true
+	}
+	check(fmt.Errorf("bad -%s %q (want on or off)", name, v))
+	return false
 }
 
 func parseInputs(s string) []int64 {

@@ -40,6 +40,7 @@ import (
 	"oha/internal/artifacts"
 	"oha/internal/core"
 	"oha/internal/inc"
+	"oha/internal/interp"
 	"oha/internal/invariants"
 	"oha/internal/ir"
 )
@@ -104,9 +105,11 @@ type GenerationRecord struct {
 	Causes []core.Violation `json:"causes,omitempty"`
 	// DBDigest is the SHA-256 of the generation's invariant database
 	// serialization; MaskDigest the content digest of the race
-	// detector's compiled instrumentation masks (set once the
-	// detector is built). Together they fingerprint the deployed
-	// configuration for the determinism guarantee.
+	// detector's compiled configuration — instrumentation masks plus
+	// inline-cache seeds and fusion setting (set once the detector is
+	// built). Together they fingerprint the deployed configuration for
+	// the determinism guarantee; refining a callee-set fact changes
+	// both.
 	DBDigest   string `json:"db_digest"`
 	MaskDigest string `json:"mask_digest,omitempty"`
 	// ResolveSeconds is the re-analysis latency that produced this
@@ -140,6 +143,10 @@ type Status struct {
 	StaticMode    string             `json:"static_mode,omitempty"`
 	IncReuseRatio float64            `json:"inc_reuse_ratio,omitempty"`
 	History       []GenerationRecord `json:"history"`
+	// IC aggregates the compiled engine's speculative-dispatch
+	// counters (inline-cache hits/misses/deopts, fused
+	// superinstruction executions) over every observed run.
+	IC interp.ICStats `json:"ic"`
 }
 
 // Manager owns the adaptive state for one (program, base DB) pair. It
@@ -167,6 +174,7 @@ type Manager struct {
 	prRuns     uint64 // runs under generation > 1
 	prRolls    uint64
 	byKind     map[core.ViolationKind]uint64
+	ic         interp.ICStats
 	factCounts map[string]int
 	// latest is the newest derived DB — always at least as weak as
 	// every published or in-flight generation. nextCauses are the
@@ -266,7 +274,7 @@ func (g *generation) slicer(criterion *ir.Instr, budget int) (*core.OptSlice, er
 	if sl, ok := g.slicers[k]; ok {
 		return sl, nil
 	}
-	sl, err := core.NewOptSliceCached(g.m.prog, g.db, criterion, budget, g.m.cache)
+	sl, err := core.NewOptSliceStatic(g.m.prog, g.db, criterion, budget, g.m.cache, g.m.static)
 	if err != nil {
 		return nil, err
 	}
@@ -297,7 +305,7 @@ func (m *Manager) ObserveRace(o *core.OptFT, _ core.Execution, rep *core.RaceRep
 	if o == nil || rep == nil || o.Prog != m.prog {
 		return
 	}
-	m.observe(rep.RolledBack, rep.Violation)
+	m.observe(rep.RolledBack, rep.Violation, rep.IC)
 }
 
 // ObserveSlice implements core.Adapter for slice reports.
@@ -305,12 +313,13 @@ func (m *Manager) ObserveSlice(o *core.OptSlice, _ core.Execution, rep *core.Sli
 	if o == nil || rep == nil || o.Prog != m.prog {
 		return
 	}
-	m.observe(rep.RolledBack, rep.Violation)
+	m.observe(rep.RolledBack, rep.Violation, rep.IC)
 }
 
-func (m *Manager) observe(rolledBack bool, v core.Violation) {
+func (m *Manager) observe(rolledBack bool, v core.Violation, ic interp.ICStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.ic.Add(ic)
 	gen := m.cur.Load().n
 	m.runs++
 	if gen > 1 {
@@ -463,6 +472,7 @@ func (m *Manager) Status() Status {
 		PostRefineRollbacks: m.prRolls,
 		PendingReconcile:    m.latest != m.cur.Load().db,
 		History:             append([]GenerationRecord(nil), m.history...),
+		IC:                  m.ic,
 	}
 	if m.runs > 0 {
 		st.SuccessRate = float64(m.runs-m.rollbacks) / float64(m.runs)

@@ -1,0 +1,127 @@
+package adapt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"oha/internal/artifacts"
+	"oha/internal/core"
+	"oha/internal/interp"
+	"oha/internal/lang"
+)
+
+// calleeProg dispatches through a function table with the slot index
+// masked by input(0). Profiling with input 0 pins every dispatch to
+// f0 (a monomorphic likely callee set) while still visiting every
+// function body through the direct warm-up calls — so analyzing with
+// input 3 escapes the callee set without touching an unvisited block,
+// isolating the callee-set violation and the inline-cache deopt path.
+const calleeProg = `
+	global a = 0;
+	global ftab[4];
+	func f0(x) { return x + 1; }
+	func f1(x) { return x + 2; }
+	func f2(x) { return x + 3; }
+	func main() {
+		ftab[0] = f0;
+		ftab[1] = f1;
+		ftab[2] = f2;
+		ftab[3] = f0;
+		a = f0(1) + f1(2) + f2(3);
+		var k = input(0);
+		var i = 0;
+		while (i < 30) {
+			var h = ftab[(i & k) & 3];
+			a = a + h(i);
+			i = i + 1;
+		}
+		print(a);
+	}
+`
+
+// TestCalleeEscapeParityAcrossConfigs drives the refine-and-retry loop
+// on an execution whose indirect calls escape the speculated callee
+// set, across the full configuration matrix {tree, compiled} ×
+// {IC on, IC off} × {1, 8 static workers}: every configuration must
+// produce the identical attempt sequence (violation kinds, sites, and
+// escaping callees), identical refinement histories (generation count
+// and DB digests), and the identical post-refine slice — inline caches
+// and solver parallelism may only change speed, never results.
+func TestCalleeEscapeParityAcrossConfigs(t *testing.T) {
+	prog := lang.MustCompile(calleeProg)
+	pr := profileDB(t, prog, []int64{0}, 20)
+	criterion := lastPrint(prog)
+	e := core.Execution{Inputs: []int64{3}, Seed: 2}
+
+	type outcome struct {
+		attempts  []string
+		dbDigests []string
+		slice     string
+	}
+	run := func(engine interp.EngineKind, noIC bool, workers int) (outcome, interp.ICStats) {
+		t.Helper()
+		m := New(prog, pr.DB, Options{
+			Cache:  artifacts.New(""),
+			Static: core.StaticConfig{Workers: workers, NoIC: noIC},
+		})
+		attempts, err := m.RunSlice(criterion, 4096, e, core.RunOptions{Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var o outcome
+		var ic interp.ICStats
+		for _, a := range attempts {
+			rep := a.Report
+			o.attempts = append(o.attempts, fmt.Sprintf("gen%d rolled=%v kind=%s site=%d callee=%d",
+				a.Generation, rep.RolledBack, rep.Violation.Kind, rep.Violation.Site, rep.Violation.Callee))
+			ic.Add(rep.IC)
+		}
+		last := attempts[len(attempts)-1].Report
+		if last.RolledBack || last.Slice == nil {
+			t.Fatalf("loop did not converge: %+v", last.Violation)
+		}
+		o.slice = fmt.Sprint(last.Slice.Instrs)
+		for _, g := range m.Status().History {
+			o.dbDigests = append(o.dbDigests, g.DBDigest)
+		}
+		return o, ic
+	}
+
+	ref, refIC := run(interp.EngineCompiled, false, 1)
+	if len(ref.attempts) < 2 {
+		t.Fatalf("expected at least one refinement, got attempts %v", ref.attempts)
+	}
+	first := ref.attempts[0]
+	if want := "kind=" + string(core.ViolationCalleeSet); !strings.Contains(first, want) {
+		t.Fatalf("first attempt = %q, want a callee-set violation", first)
+	}
+	// The speculated image is monomorphic on f0: the first dispatches
+	// hit, the first escaping callee deoptimizes its site.
+	if refIC.Hits == 0 || refIC.Deopts == 0 {
+		t.Fatalf("compiled+IC run recorded no speculation traffic: %+v", refIC)
+	}
+
+	for _, engine := range []interp.EngineKind{interp.EngineTree, interp.EngineCompiled} {
+		for _, noIC := range []bool{false, true} {
+			for _, workers := range []int{1, 8} {
+				got, ic := run(engine, noIC, workers)
+				name := fmt.Sprintf("engine=%v noIC=%v workers=%d", engine, noIC, workers)
+				if fmt.Sprint(got.attempts) != fmt.Sprint(ref.attempts) {
+					t.Errorf("%s: attempts diverged:\n got: %v\n ref: %v", name, got.attempts, ref.attempts)
+				}
+				if fmt.Sprint(got.dbDigests) != fmt.Sprint(ref.dbDigests) {
+					t.Errorf("%s: refinement history diverged:\n got: %v\n ref: %v", name, got.dbDigests, ref.dbDigests)
+				}
+				if got.slice != ref.slice {
+					t.Errorf("%s: post-refine slice diverged:\n got: %v\n ref: %v", name, got.slice, ref.slice)
+				}
+				// ICs exist only in the compiled engine with IC on; the
+				// tree engine and IC-off images must report zero traffic.
+				if (engine == interp.EngineTree || noIC) && ic != (interp.ICStats{Fused: ic.Fused}) {
+					t.Errorf("%s: unexpected IC traffic %+v", name, ic)
+				}
+			}
+		}
+	}
+}

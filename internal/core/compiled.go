@@ -3,27 +3,52 @@ package core
 import (
 	"oha/internal/artifacts"
 	"oha/internal/interp"
+	"oha/internal/invariants"
 	"oha/internal/ir"
 )
 
+// compileOpts derives the speculative compile options for one image:
+// inline-cache seeds from the database's likely callee sets plus the
+// debug toggles carried by the static config. A nil db (sound images,
+// which assume no invariants) yields no seeds.
+func compileOpts(db *invariants.DB, cfg StaticConfig) interp.CompileOptions {
+	opts := interp.CompileOptions{DisableIC: cfg.NoIC, DisableFusion: cfg.NoFusion}
+	if db == nil || cfg.NoIC {
+		return opts
+	}
+	var seeds map[int][]int
+	for site, set := range db.Callees {
+		if set == nil || set.IsEmpty() {
+			continue
+		}
+		if seeds == nil {
+			seeds = make(map[int][]int, len(db.Callees))
+		}
+		seeds[site] = set.Slice()
+	}
+	opts.Callees = seeds
+	return opts
+}
+
 // compiledCode returns the (memoized) compiled image of prog under the
-// given instrumentation masks. The image is keyed by (program digest,
-// mask digest), so analyses that construct many instances over one
-// program — the Figure 5/7 sweeps, repeated Run calls on one detector —
-// compile each distinct configuration once. With a nil cache it simply
-// compiles.
+// given instrumentation masks and speculative options. The image is
+// keyed by (program digest, config digest) where the config digest
+// covers the masks AND the IC seeds and fusion toggle — refining a
+// callee-set fact changes the seeds and therefore the key, so a stale
+// image can never be served for a refined database. With a nil cache
+// it simply compiles.
 //
 // Compiled code snapshots the masks: callers that mutate a mask in
 // place (OptFT.setElidable) must re-derive their image afterwards.
-func compiledCode(prog *ir.Program, m interp.Masks, cache *artifacts.Cache) *interp.Code {
-	key := artifacts.Key(artifacts.KindCompiled, prog, nil, 0, "masks:"+m.Digest())
+func compiledCode(prog *ir.Program, m interp.Masks, opts interp.CompileOptions, cache *artifacts.Cache) *interp.Code {
+	key := artifacts.Key(artifacts.KindCompiled, prog, nil, 0, "cfg:"+m.Digest()+"+"+opts.Digest())
 	v, err := cache.Memo(key, nil, func() (any, error) {
-		return interp.Compile(prog, m), nil
+		return interp.CompileWith(prog, m, opts), nil
 	})
 	if err != nil {
 		// Compile cannot fail; Memo only surfaces compute errors, so
 		// this is unreachable — but degrade to a direct compile anyway.
-		return interp.Compile(prog, m)
+		return interp.CompileWith(prog, m, opts)
 	}
 	return v.(*interp.Code)
 }

@@ -42,13 +42,22 @@ type RaceReport struct {
 	Violation Violation
 	// Output is the analyzed program's output.
 	Output []int64
+	// IC reports the compiled engine's speculative-dispatch activity
+	// (inline-cache hits/misses/deopts, fused superinstructions). For a
+	// rolled-back run it includes the aborted speculative execution's
+	// counts. Zero under the tree-walking engine.
+	IC interp.ICStats
 }
 
 // StaticConfig tunes how the static race pipeline is computed. The
 // zero value is the sequential from-scratch pipeline. Results are
-// digest-identical for every configuration, so the config is
-// deliberately NOT part of the artifact cache keys: a result solved
-// with 8 workers serves a sequential consumer, and vice versa.
+// digest-identical for every configuration, so Workers/Incremental are
+// deliberately NOT part of the static artifact cache keys: a result
+// solved with 8 workers serves a sequential consumer, and vice versa.
+// The NoIC/NoFusion engine toggles, by contrast, change the compiled
+// image and ARE part of the compiled-image key (interp.Code's config
+// digest) — though never the analysis results, which stay bit-
+// identical under every setting.
 type StaticConfig struct {
 	// Workers bounds the parallel points-to and race-pair solvers
 	// (0 = GOMAXPROCS, 1 = sequential).
@@ -59,6 +68,12 @@ type StaticConfig struct {
 	// cached constructors here only compute from scratch — but travels
 	// with the config so callers thread one value.
 	Incremental bool
+	// NoIC disables speculative inline caches at indirect call sites
+	// (cmd/oha -ic=off). Observable behavior is unchanged either way.
+	NoIC bool
+	// NoFusion disables superinstruction fusion in compiled images
+	// (cmd/oha -fusion=off). Observable behavior is unchanged.
+	NoFusion bool
 }
 
 // raceStatic bundles one static race analysis with the masks it
@@ -210,6 +225,7 @@ func raceReport(det *fasttrack.Detector, res *interp.Result) *RaceReport {
 		Stats:     res.Stats,
 		FTChecks:  det.Checks,
 		Output:    res.Output,
+		IC:        res.IC,
 	}
 }
 
@@ -276,7 +292,8 @@ func NewHybridFTStatic(prog *ir.Program, cache *artifacts.Cache, cfg StaticConfi
 	}
 	h := &HybridFT{Prog: prog, Static: rs.static, rs: rs}
 	h.blockMask = make([]bool, len(prog.Blocks))
-	h.code = compiledCode(prog, interp.Masks{Mem: rs.mem, Sync: rs.sync, Block: h.blockMask}, cache)
+	// The sound image assumes no invariants: no IC seeds (nil db).
+	h.code = compiledCode(prog, interp.Masks{Mem: rs.mem, Sync: rs.sync, Block: h.blockMask}, compileOpts(nil, cfg), cache)
 	return h, nil
 }
 
@@ -323,6 +340,7 @@ type OptFT struct {
 	// and no checks). setElidable mutates the masks in place, so both
 	// images are re-derived there.
 	cache        *artifacts.Cache
+	static       StaticConfig
 	code         *interp.Code
 	valCode      *interp.Code
 	valBlockMask []bool
@@ -370,21 +388,29 @@ func NewOptFTStatic(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache,
 		o.syncMask[pair.B] = true
 	}
 	o.cache = cache
+	o.static = cfg
 	o.valBlockMask = make([]bool, len(prog.Blocks))
 	o.recompile()
 	return o, nil
 }
 
 // recompile re-derives the compiled images from the current masks.
+// Both speculative images (the checked run and the validation run) are
+// IC-seeded from the database's likely callee sets: an inline cache is
+// semantically transparent (a miss just resolves generically), so
+// seeding needs no checker support — the callee-set violation itself
+// is raised by the tracer, which both images already drive.
 func (o *OptFT) recompile() {
-	o.code = compiledCode(o.Prog, interp.Masks{Mem: o.pred.mem, Sync: o.syncMask, Block: o.blockMask}, o.cache)
-	o.valCode = compiledCode(o.Prog, interp.Masks{Mem: o.pred.mem, Sync: o.pred.sync, Block: o.valBlockMask}, o.cache)
+	opts := compileOpts(o.DB, o.static)
+	o.code = compiledCode(o.Prog, interp.Masks{Mem: o.pred.mem, Sync: o.syncMask, Block: o.blockMask}, opts, o.cache)
+	o.valCode = compiledCode(o.Prog, interp.Masks{Mem: o.pred.mem, Sync: o.pred.sync, Block: o.valBlockMask}, opts, o.cache)
 }
 
 // CodeDigest returns the content digest of the speculative run's
-// compiled instrumentation masks — the configuration fingerprint the
-// adaptive speculation manager records per generation.
-func (o *OptFT) CodeDigest() string { return o.code.MaskDigest() }
+// compiled configuration (instrumentation masks, IC seeds, fusion) —
+// the fingerprint the adaptive speculation manager records per
+// generation. Refining a callee-set fact changes the digest.
+func (o *OptFT) CodeDigest() string { return o.code.ConfigDigest() }
 
 // ElidedAccesses returns how many loads/stores the predicated analysis
 // allows OptFT to skip.
@@ -457,6 +483,7 @@ func (o *OptFT) Run(e Execution, opts RunOptions) (*RaceReport, error) {
 	rep.CheckEvents = checker.Events
 	// Account for the aborted speculative work too.
 	rep.Stats.Add(res.Stats)
+	rep.IC.Add(res.IC)
 	opts.observeRace(o, e, rep)
 	return rep, nil
 }

@@ -36,6 +36,11 @@ type SliceReport struct {
 	Violation  Violation
 	// Output is the analyzed program's output.
 	Output []int64
+	// IC reports the compiled engine's speculative-dispatch activity
+	// (inline-cache hits/misses/deopts, fused superinstructions). For a
+	// rolled-back run it includes the aborted speculative execution's
+	// counts. Zero under the tree-walking engine.
+	IC interp.ICStats
 }
 
 // SliceAnalysisType names which static discipline a slicer ended up
@@ -199,6 +204,12 @@ func NewHybridSlicer(prog *ir.Program, criterion *ir.Instr, budget int) (*Hybrid
 // NewHybridSlicerCached is NewHybridSlicer with static-artifact
 // memoization (nil cache: recompute).
 func NewHybridSlicerCached(prog *ir.Program, criterion *ir.Instr, budget int, cache *artifacts.Cache) (*HybridSlicer, error) {
+	return NewHybridSlicerStatic(prog, criterion, budget, cache, StaticConfig{Workers: 1})
+}
+
+// NewHybridSlicerStatic is NewHybridSlicerCached with an explicit
+// static pipeline configuration (worker count, engine toggles).
+func NewHybridSlicerStatic(prog *ir.Program, criterion *ir.Instr, budget int, cache *artifacts.Cache, cfg StaticConfig) (*HybridSlicer, error) {
 	ss, err := staticSliceFor(prog, nil, criterion, budget, cache)
 	if err != nil {
 		return nil, err
@@ -211,7 +222,8 @@ func NewHybridSlicerCached(prog *ir.Program, criterion *ir.Instr, budget int, ca
 		execMask:  execMaskFor(prog, ss.Slice),
 		blockMask: make([]bool, len(prog.Blocks)),
 	}
-	h.code = compiledCode(prog, interp.Masks{Exec: h.execMask, Block: h.blockMask}, cache)
+	// The sound image assumes no invariants: no IC seeds (nil db).
+	h.code = compiledCode(prog, interp.Masks{Exec: h.execMask, Block: h.blockMask}, compileOpts(nil, cfg), cache)
 	return h, nil
 }
 
@@ -240,6 +252,7 @@ func (h *HybridSlicer) Run(e Execution, opts RunOptions) (*SliceReport, error) {
 		Stats:      res.Stats,
 		TraceNodes: tr.NodeCount(),
 		Output:     res.Output,
+		IC:         res.IC,
 	}, nil
 }
 
@@ -273,6 +286,7 @@ func RunFullGiri(prog *ir.Program, criterion *ir.Instr, e Execution, opts RunOpt
 		Stats:      res.Stats,
 		TraceNodes: tr.NodeCount(),
 		Output:     res.Output,
+		IC:         res.IC,
 	}, nil
 }
 
@@ -310,11 +324,18 @@ func NewOptSlice(prog *ir.Program, db *invariants.DB, criterion *ir.Instr, budge
 // (nil cache: recompute). Masks are private to the returned instance;
 // the static slices are shared cached values and must not be mutated.
 func NewOptSliceCached(prog *ir.Program, db *invariants.DB, criterion *ir.Instr, budget int, cache *artifacts.Cache) (*OptSlice, error) {
+	return NewOptSliceStatic(prog, db, criterion, budget, cache, StaticConfig{Workers: 1})
+}
+
+// NewOptSliceStatic is NewOptSliceCached with an explicit static
+// pipeline configuration (worker count for the parallel solvers,
+// inline-cache/fusion engine toggles).
+func NewOptSliceStatic(prog *ir.Program, db *invariants.DB, criterion *ir.Instr, budget int, cache *artifacts.Cache, cfg StaticConfig) (*OptSlice, error) {
 	ss, err := staticSliceFor(prog, db, criterion, budget, cache)
 	if err != nil {
 		return nil, err
 	}
-	sound, err := NewHybridSlicerCached(prog, criterion, budget, cache)
+	sound, err := NewHybridSlicerStatic(prog, criterion, budget, cache, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -332,13 +353,19 @@ func NewOptSliceCached(prog *ir.Program, db *invariants.DB, criterion *ir.Instr,
 		// under the observed-context restriction.
 		checkCtx: ss.AT == CS,
 	}
-	o.code = compiledCode(prog, interp.Masks{Exec: o.execMask, Block: o.blockMask}, cache)
+	// The speculative image is IC-seeded from the likely callee sets:
+	// OptSlice assumes (and checks) exactly those sets, so a cached
+	// target is a callee the tracer's checker accepts, and an
+	// out-of-set target both misses the cache and raises the
+	// callee-set violation that drives refinement.
+	o.code = compiledCode(prog, interp.Masks{Exec: o.execMask, Block: o.blockMask}, compileOpts(db, cfg), cache)
 	return o, nil
 }
 
 // CodeDigest returns the content digest of the speculative run's
-// compiled instrumentation masks (see OptFT.CodeDigest).
-func (o *OptSlice) CodeDigest() string { return o.code.MaskDigest() }
+// compiled configuration (see OptFT.CodeDigest). Refining a
+// callee-set fact changes the IC seeds and therefore the digest.
+func (o *OptSlice) CodeDigest() string { return o.code.ConfigDigest() }
 
 // Run performs one speculative dynamic slicing of e, rolling back to
 // the traditional hybrid slicer on invariant violation.
@@ -381,6 +408,7 @@ func (o *OptSlice) Run(e Execution, opts RunOptions) (*SliceReport, error) {
 		}
 		rep.CheckEvents = checker.Events
 		rep.Stats.Add(res.Stats)
+		rep.IC.Add(res.IC)
 		opts.observeSlice(o, e, rep)
 		return rep, nil
 	}
@@ -393,6 +421,7 @@ func (o *OptSlice) Run(e Execution, opts RunOptions) (*SliceReport, error) {
 		TraceNodes:  tr.NodeCount(),
 		CheckEvents: checker.Events,
 		Output:      res.Output,
+		IC:          res.IC,
 	}
 	opts.observeSlice(o, e, rep)
 	return rep, nil

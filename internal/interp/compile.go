@@ -16,16 +16,38 @@
 //     Exec events are baked into per-instruction flag bits, so the hot
 //     loop never consults a mask.
 //
-// Compiled code depends only on (program IR, masks) and is immutable
-// after Compile, so it is shared freely between concurrent executions
-// and content-addressed by (IR digest, mask digest) in the artifact
-// cache.
+// Two further lowerings are speculative (CompileWith):
+//
+//   - indirect call/spawn sites whose likely callee set (profiled
+//     invariants.DB.Callees) is monomorphic or small-polymorphic are
+//     seeded with an inline cache: 1-4 (function value, compiled
+//     target) pairs baked into the instruction, so a hit dispatches on
+//     one int64 compare instead of decode + table load + arity check;
+//   - a peephole pass fuses straight-line runs of simple event-free
+//     ops within a block (arith/copy/load/store chains, optionally
+//     ending in a branch, jump, instrumented memory op, call, or
+//     return) into cRun superinstructions dispatched once with a
+//     single budget check.
+//
+// Both are semantically invisible: an IC miss falls back to generic
+// resolution (the callee-set *invariant* is still checked by the
+// tracer, which raises the violation that drives deoptimization), and
+// a run that straddles a quantum or step-limit boundary splits there —
+// the admitted prefix retires in one dispatch and execution resumes at
+// the intact original instructions — so scheduling is bit-identical to
+// the tree-walker.
+//
+// Compiled code depends only on (program IR, masks, CompileOptions)
+// and is immutable after Compile, so it is shared freely between
+// concurrent executions and content-addressed by (IR digest, config
+// digest) in the artifact cache.
 package interp
 
 import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"sort"
 
 	"oha/internal/ir"
 )
@@ -99,26 +121,36 @@ func (m Masks) Digest() string {
 }
 
 // copcode enumerates compiled opcodes. OpUn splits into negate/not so
-// the hot loop never inspects ir.UnOp.
+// the hot loop never inspects ir.UnOp. Hot opcodes come first: the
+// dispatch switch compiles to a dense jump table, and clustering the
+// hot entries (straight-line data flow, control flow, fused pairs,
+// calls) at low values keeps their table slots and handler code on
+// neighboring cache lines.
 type copcode uint8
 
 const (
 	cInvalid copcode = iota
-	cCopy
-	cNeg
-	cNot
 	cBin
-	cAlloc
+	cCopy
 	cLoad
 	cStore
-	cLock
-	cUnlock
+	cBr
+	cJmp
+	// cRun is the fused superinstruction: the head of a straight-line
+	// run of simple flag-free ops is rewritten to cRun; the remaining
+	// components stay intact at pc+1.. so a run split by a quantum or
+	// step-limit boundary can resume mid-run at the original
+	// instructions.
+	cRun
 	cCall
 	cSpawn
+	cNeg
+	cNot
+	cAlloc
+	cLock
+	cUnlock
 	cJoin
 	cRet
-	cJmp
-	cBr
 	cPrint
 	cInput
 	cNInputs
@@ -146,6 +178,14 @@ type coperand struct {
 	imm int64
 }
 
+// icEntry is one inline-cache entry: a pre-encoded function value and
+// its compiled target. Entries are arity-checked at compile time, so a
+// hit needs no further validation.
+type icEntry struct {
+	val int64
+	fn  *cfunc
+}
+
 // cinstr is one compiled instruction.
 type cinstr struct {
 	op    copcode
@@ -159,6 +199,111 @@ type cinstr struct {
 	args   []coperand // call/spawn arguments
 	fn     *cfunc     // direct call/spawn target; nil means indirect via a
 	in     *ir.Instr  // source instruction (traps, event payloads)
+
+	// Fused-run payload (cRun): nrun is the total component count,
+	// head included, and run the pre-decoded micro-op stream covering
+	// the head and every event-free component (an event-carrying
+	// terminator stays behind as the raw instruction at pc+nrun-1, so
+	// len(run) < nrun exactly when the run has one). Interior positions
+	// are themselves cRun heads over the shared stream's suffix, so a
+	// run split by a budget boundary resumes mid-run still fused.
+	nrun int32
+	run  []microp
+
+	// Speculative inline cache for indirect call/spawn (nil: generic).
+	// icIdx indexes the engine's per-run deopt table.
+	ic    []icEntry
+	icIdx int32
+}
+
+// Micro opcodes for fused-run components. Values 0..15 are exactly
+// ir.BinOp: a cBin component's operator is folded into the opcode, so
+// the run handler never consults evalBin's second dispatch.
+const (
+	mCopy uint8 = 16 + iota
+	mNeg
+	mNot
+	mLoad
+	mStore
+)
+
+// microp is one pre-decoded fused-run component: opcode (with the
+// binary operator folded in), destination register, and operands as
+// plain register-file indices, in 16 bytes — an eighth of cinstr.
+// Immediate operands are interned into the owning function's constant
+// pool, which frames carry in the tail of their register slab (see
+// cfunc.consts) — operand fetch in the run handler is two branchless
+// indexed loads. Indices are uint8 and every frame slab holds at
+// least 256 slots (see newFrame), so the run handler indexes a
+// *[256]int64 view with no bounds checks; a run whose indices don't
+// fit a uint8 simply stays unfused. Components are event-free by
+// construction, so no flags are carried; in remains for memory-trap
+// payloads.
+type microp struct {
+	op   uint8
+	dst  uint8
+	a, b uint8 // register-file indices; constants live past nregs
+	in   *ir.Instr
+}
+
+// microSlots is the minimum register-slab length newFrame provisions,
+// matching the uint8 micro-op index space so fused-run operand fetch
+// needs no bounds checks.
+const microSlots = 256
+
+// lowerMicro pre-decodes one run component of cf, interning immediate
+// operands into the function's constant pool via pool (value → index).
+// Callers must pass only ops admitted by runInterior. ok is false when
+// an index overflows the uint8 micro-op operand space (a function with
+// more than 256 live slots); such runs stay unfused.
+func (c *Code) lowerMicro(ci *cinstr, cf *cfunc, pool map[int64]int32) (microp, bool) {
+	dst, a, b := ci.dst, internConst(cf, pool, ci.a), internConst(cf, pool, ci.b)
+	if ci.op == cStore {
+		dst = 0 // stores write memory, not a register; u.dst is unread
+	}
+	if dst < 0 || dst >= microSlots || a >= microSlots || b >= microSlots {
+		return microp{}, false
+	}
+	u := microp{
+		dst: uint8(dst),
+		a:   uint8(a),
+		b:   uint8(b),
+		in:  ci.in,
+	}
+	switch ci.op {
+	case cBin:
+		u.op = uint8(ci.bin) // BinOp values occupy 0..15
+	case cCopy:
+		u.op = mCopy
+	case cNeg:
+		u.op = mNeg
+	case cNot:
+		u.op = mNot
+	case cLoad:
+		u.op = mLoad
+	case cStore:
+		u.op = mStore
+	}
+	return u, true
+}
+
+// internConst resolves a coperand to a register-file index: a register
+// operand is its own index, and an immediate is interned into cf's
+// constant pool (deduplicated through pool), whose values frames
+// expose read-only past nregs. Unused operands (imm 0 on unary ops)
+// intern harmlessly: the run handler loads both operand slots
+// unconditionally and ignores what the opcode doesn't consume.
+func internConst(cf *cfunc, pool map[int64]int32, o coperand) int32 {
+	if o.reg != regNone {
+		return o.reg
+	}
+	if idx, ok := pool[o.imm]; ok {
+		return idx
+	}
+	idx := int32(cf.nregs + len(cf.consts))
+	cf.consts = append(cf.consts, o.imm)
+	pool[o.imm] = idx
+	return idx
 }
 
 // cfunc is the compiled image of one function.
@@ -169,16 +314,25 @@ type cfunc struct {
 	params  []int32   // register indices receiving arguments
 	entryB  *ir.Block // BlockEnter payload for the entry block
 	entryEv bool      // entry block's BlockEnter is masked on
+
+	// consts is the function's fused-run constant pool: frames carry
+	// these values read-only in regs[nregs : nregs+len(consts)], so
+	// micro-op operands are uniform register-file indices.
+	consts []int64
 }
 
 // Code is an immutable compiled program image. Obtain one with
-// Compile; share it freely between concurrent executions.
+// Compile or CompileWith; share it freely between concurrent
+// executions.
 type Code struct {
 	prog       *ir.Program
 	code       []cinstr
 	funcs      []*cfunc
 	main       *cfunc
 	maskDigest string
+	cfgDigest  string
+	numICs     int
+	fused      int
 }
 
 // Prog returns the program this image was compiled from.
@@ -189,10 +343,83 @@ func (c *Code) Len() int { return len(c.code) }
 
 // MaskDigest returns the content digest of the instrumentation masks
 // this image was compiled from (Masks.Digest, computed once at
-// Compile). Two images of one program are behaviorally identical iff
-// their mask digests match, which is how the adaptive speculation
-// manager fingerprints a generation's deployed configuration.
+// Compile).
 func (c *Code) MaskDigest() string { return c.maskDigest }
+
+// ConfigDigest returns the content digest of the full compile
+// configuration: instrumentation masks plus speculative options
+// (inline-cache seeding and fusion). Two images of one program are
+// interchangeable iff their config digests match, which is how the
+// artifact cache keys compiled images and how the adaptive
+// speculation manager fingerprints a generation's deployed
+// configuration — refining a callee-set fact changes the IC seeds and
+// therefore the digest.
+func (c *Code) ConfigDigest() string { return c.cfgDigest }
+
+// ICSites returns the number of indirect call/spawn sites seeded with
+// an inline cache.
+func (c *Code) ICSites() int { return c.numICs }
+
+// FusedInstrs returns the number of superinstructions the peephole
+// pass baked into this image.
+func (c *Code) FusedInstrs() int { return c.fused }
+
+// icMaxEntries bounds inline-cache polymorphism: sites whose likely
+// callee set is larger stay generic (a megamorphic cache would scan
+// more entries than the generic decode path costs).
+const icMaxEntries = 4
+
+// CompileOptions carries the speculative compilation inputs. The zero
+// value means: fusion on, no inline caches (no seeds).
+type CompileOptions struct {
+	// Callees maps indirect call/spawn instruction IDs to their likely
+	// callee function IDs (profiled invariants.DB.Callees). Sites with
+	// 1..icMaxEntries entries are seeded with an inline cache;
+	// arity-incompatible entries are dropped so that mis-arity calls
+	// still trap through the generic path.
+	Callees map[int][]int
+	// DisableIC and DisableFusion are debug toggles (cmd/oha -ic=off,
+	// -fusion=off) that switch the respective optimization off.
+	DisableIC     bool
+	DisableFusion bool
+}
+
+// Digest returns a content digest of the options, normalized so that
+// configurations producing identical images digest identically
+// (DisableIC and an empty seed map are the same configuration).
+func (o CompileOptions) Digest() string {
+	h := sha256.New()
+	var n [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(n[:], v)
+		h.Write(n[:])
+	}
+	if o.DisableFusion {
+		h.Write([]byte{0})
+	} else {
+		h.Write([]byte{1})
+	}
+	if o.DisableIC || len(o.Callees) == 0 {
+		h.Write([]byte{0})
+		return hex.EncodeToString(h.Sum(nil))
+	}
+	h.Write([]byte{1})
+	sites := make([]int, 0, len(o.Callees))
+	for s := range o.Callees {
+		sites = append(sites, s)
+	}
+	sort.Ints(sites)
+	for _, s := range sites {
+		fids := append([]int(nil), o.Callees[s]...)
+		sort.Ints(fids)
+		put(uint64(s))
+		put(uint64(len(fids)))
+		for _, f := range fids {
+			put(uint64(f))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // lowerOperand pre-resolves one IR operand.
 func lowerOperand(op ir.Operand) coperand {
@@ -216,14 +443,24 @@ func execFlagged(m Masks, id int) bool {
 }
 
 // Compile lowers prog under the given masks into a flat instruction
-// array. The result is immutable and safe for concurrent use.
+// array with default speculative options (fusion on, no inline
+// caches). The result is immutable and safe for concurrent use.
 func Compile(prog *ir.Program, m Masks) *Code {
+	return CompileWith(prog, m, CompileOptions{})
+}
+
+// CompileWith is Compile with explicit speculative options: inline-
+// cache seeds for indirect call/spawn sites and the fusion/IC debug
+// toggles.
+func CompileWith(prog *ir.Program, m Masks, opts CompileOptions) *Code {
 	c := &Code{
 		prog:       prog,
 		code:       make([]cinstr, 0, len(prog.Instrs)),
 		funcs:      make([]*cfunc, len(prog.Funcs)),
 		maskDigest: m.Digest(),
 	}
+	sum := sha256.Sum256([]byte(c.maskDigest + "+" + opts.Digest()))
+	c.cfgDigest = hex.EncodeToString(sum[:])
 
 	// Pass 1: lay out blocks (emission order: functions, then blocks in
 	// function order) and record each block's starting PC.
@@ -314,6 +551,11 @@ func Compile(prog *ir.Program, m Masks) *Code {
 							ci.args[i] = lowerOperand(a)
 						}
 					}
+					if ci.fn == nil && !opts.DisableIC {
+						if seeds := opts.Callees[in.ID]; len(seeds) >= 1 && len(seeds) <= icMaxEntries {
+							c.seedIC(&ci, in, seeds)
+						}
+					}
 				case ir.OpJoin:
 					ci.op = cJoin
 				case ir.OpRet:
@@ -350,5 +592,163 @@ func Compile(prog *ir.Program, m Masks) *Code {
 			}
 		}
 	}
+
+	// Pass 3: superinstruction fusion, per block, interning immediate
+	// micro-op operands into a per-function constant pool.
+	if !opts.DisableFusion {
+		for _, f := range prog.Funcs {
+			cf := c.funcs[f.ID]
+			pool := map[int64]int32{}
+			for _, blk := range f.Blocks {
+				start := blockPC[blk.ID]
+				c.fuseBlock(cf, pool, start, start+int32(len(blk.Instrs)))
+			}
+		}
+	}
 	return c
+}
+
+// seedIC bakes an inline cache into one indirect call/spawn site.
+// Entries are sorted by function ID (deterministic images), bounds-
+// checked, and filtered to arity-compatible targets so that a
+// mis-arity dispatch misses the cache and traps through the generic
+// path exactly as without the cache.
+func (c *Code) seedIC(ci *cinstr, in *ir.Instr, seeds []int) {
+	fids := append([]int(nil), seeds...)
+	sort.Ints(fids)
+	ic := make([]icEntry, 0, len(fids))
+	for _, fid := range fids {
+		if fid < 0 || fid >= len(c.funcs) {
+			continue
+		}
+		tf := c.funcs[fid]
+		if len(tf.params) != len(in.Args) {
+			continue
+		}
+		ic = append(ic, icEntry{val: MakeFunc(fid), fn: tf})
+	}
+	if len(ic) == 0 {
+		return
+	}
+	ci.ic = ic
+	ci.icIdx = int32(c.numICs)
+	c.numICs++
+}
+
+// cRunMax bounds a fused run's component count, which bounds the
+// micro-op stream each head carries. A run that straddles a quantum
+// or step-limit boundary splits there at runtime, so the cap is a
+// size bound, not a correctness requirement; matching the default
+// quantum (32) lets a whole scheduling slice retire in one dispatch
+// on straight-line code.
+const cRunMax = 32
+
+// fuseBlock rewrites maximal straight-line runs of simple ops within
+// one block into cRun superinstructions dispatched once. Every
+// position in the run becomes a head of the corresponding suffix run
+// (all sharing one micro-op array), because a run that no longer fits
+// the quantum or step budget splits at the boundary: the admitted
+// prefix retires in one dispatch and the next slice resumes mid-run,
+// landing on the suffix head that covers exactly the remainder. Run
+// interiors are never jump targets (branches land on
+// block starts) and never return targets (a return lands on the
+// instruction after its call, and a call only ever ends a run, so the
+// resume point is the first instruction past the run), making the
+// rewrite invisible to control flow.
+//
+// Legality: every component but the last must be entirely event-free
+// — the engine delivers no tracer event, and so can observe no abort,
+// between components; the unfused semantics of polling after every
+// instruction are then indistinguishable from one poll after the run.
+// The last component may carry events, because they are delivered
+// immediately before the same post-run abort poll an unfused
+// execution would reach: a branch/jump (BlockEnter flags replicated),
+// a load/store with its Mem event on, or a call/return (Call/Ret
+// events plus frame transitions, replicated in full by the run
+// handler). No component may carry the Exec firehose flag, which the
+// run handler does not replicate. Lock, unlock, join, spawn, and the
+// remaining rare ops never join a run: they yield the scheduling
+// slice, block, or trap, so the instruction after them could never
+// execute in the same dispatch anyway.
+func (c *Code) fuseBlock(cf *cfunc, pool map[int64]int32, start, end int32) {
+	pc := start
+	for pc < end {
+		if !runInterior(&c.code[pc]) {
+			pc++
+			continue
+		}
+		n := int32(1)
+		for pc+n < end && n < cRunMax {
+			ci := &c.code[pc+n]
+			if runInterior(ci) {
+				n++
+				continue
+			}
+			if runTerminator(ci) {
+				n++
+			}
+			break
+		}
+		if n >= 2 {
+			m := n
+			if !runInterior(&c.code[pc+n-1]) {
+				m = n - 1 // event-carrying terminator stays a raw cinstr
+			}
+			run := make([]microp, m)
+			ok := true
+			for i := int32(0); i < m && ok; i++ {
+				run[i], ok = c.lowerMicro(&c.code[pc+i], cf, pool)
+			}
+			if ok {
+				// Every position becomes a head of the run's suffix,
+				// sharing one micro-op array: a run split by a budget
+				// boundary resumes at base+k straight into the suffix
+				// run covering the rest, so split tails stay fused
+				// instead of retiring one instruction per dispatch.
+				for i := int32(0); i < m; i++ {
+					h := &c.code[pc+i]
+					h.op = cRun
+					h.nrun = n - i
+					h.run = run[i:m]
+				}
+				c.fused++
+			}
+		}
+		pc += n
+	}
+}
+
+// runInterior reports whether ci may appear anywhere in a fused run:
+// a simple data op with no event flags at all.
+func runInterior(ci *cinstr) bool {
+	if ci.flags != 0 {
+		return false
+	}
+	switch ci.op {
+	case cBin, cCopy, cLoad, cStore, cNeg, cNot:
+		return true
+	}
+	return false
+}
+
+// runTerminator reports whether ci may end a fused run even though it
+// fires events: a branch/jump (BlockEnter flags replicated by the run
+// handler), a load/store with its Mem event on, or a call/return
+// (whose Call/Ret events and frame transitions the handler replicates
+// — both are safe in last position because their events, like all
+// last-component events, are delivered immediately before the same
+// post-run abort poll an unfused execution would reach). The Exec
+// firehose is never replicated, so it disqualifies. Lock, unlock,
+// join, and spawn never join a run: they yield the scheduling slice,
+// so the following instruction could never execute in the same
+// dispatch anyway.
+func runTerminator(ci *cinstr) bool {
+	if ci.flags&fExecEv != 0 {
+		return false
+	}
+	switch ci.op {
+	case cBr, cJmp, cLoad, cStore, cCall, cRet:
+		return true
+	}
+	return false
 }

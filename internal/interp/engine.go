@@ -64,6 +64,9 @@ type engine struct {
 	runq     []vc.TID // scratch for the blocked-threads scan
 
 	framePool []*cframe
+
+	icDead []bool // per-run IC kill switches, indexed by cinstr.icIdx
+	ic     ICStats
 }
 
 // runCompiled executes cfg under the compiled engine.
@@ -85,6 +88,9 @@ func runCompiled(cfg Config) (*Result, error) {
 		return &Result{}, errors.New("interp: Config.Code was compiled from a different program")
 	}
 	e := &engine{cfg: cfg, code: code, chooser: ch}
+	if code.numICs > 0 {
+		e.icDead = make([]bool, code.numICs)
+	}
 	if cfg.Ctx != nil {
 		e.ctxDone = cfg.Ctx.Done()
 	}
@@ -95,7 +101,7 @@ func runCompiled(cfg Config) (*Result, error) {
 	e.objects = append(e.objects, globals)
 	e.lockTab = append(e.lockTab, nil)
 	err := e.run()
-	return &Result{Output: e.output, Stats: e.stats, Threads: len(e.threads)}, err
+	return &Result{Output: e.output, Stats: e.stats, Threads: len(e.threads), IC: e.ic}, err
 }
 
 func (e *engine) trap(t *cthread, in *ir.Instr, format string, args ...any) error {
@@ -104,7 +110,14 @@ func (e *engine) trap(t *cthread, in *ir.Instr, format string, args ...any) erro
 
 // newFrame takes an activation record from the pool (or allocates one)
 // and prepares it for fn. Recycled register slabs are re-sliced and
-// zeroed in place, so steady-state calls allocate nothing.
+// zeroed in place, so steady-state calls allocate nothing. The slab
+// extends past nregs with the function's fused-run constant pool,
+// refreshed on every activation (recycled slabs may carry another
+// function's constants); fused micro-ops read operands from it by
+// plain index, and nothing ever writes past nregs. Slabs are at least
+// microSlots long so the run handler can index a *[microSlots]int64
+// view with no bounds checks; only the live prefix is ever zeroed, so
+// the padding costs one allocation, not per-call work.
 func (e *engine) newFrame(fn *cfunc, retReg int32, retVar *ir.Var) *cframe {
 	e.nextFID++
 	var fr *cframe
@@ -114,14 +127,19 @@ func (e *engine) newFrame(fn *cfunc, retReg int32, retVar *ir.Var) *cframe {
 	} else {
 		fr = &cframe{}
 	}
-	if cap(fr.regs) >= fn.nregs {
-		fr.regs = fr.regs[:fn.nregs]
-		for i := range fr.regs {
+	slots := fn.nregs + len(fn.consts)
+	if slots < microSlots {
+		slots = microSlots
+	}
+	if cap(fr.regs) >= slots {
+		fr.regs = fr.regs[:slots]
+		for i := 0; i < fn.nregs; i++ {
 			fr.regs[i] = 0
 		}
 	} else {
-		fr.regs = make([]int64, fn.nregs)
+		fr.regs = make([]int64, slots)
 	}
+	copy(fr.regs[fn.nregs:], fn.consts)
 	fr.id = e.nextFID
 	fr.fn = fn
 	fr.pc = fn.entry
@@ -259,10 +277,33 @@ func opval(regs []int64, o coperand) int64 {
 	return o.imm
 }
 
-// resolveCallee mirrors the tree-walker's callee resolution.
+// resolveCallee mirrors the tree-walker's callee resolution, with a
+// speculative inline-cache fast path in front: a hit dispatches on one
+// int64 compare per entry, skipping value decoding, the function-table
+// load, and the arity check (entries are arity-validated at compile
+// time). The first miss deoptimizes the site for the rest of the run;
+// resolution then proceeds generically, which preserves traps exactly
+// — and the callee-set *invariant* check stays where it always was, in
+// the tracer, so an out-of-set target still raises the structured
+// violation that drives adaptive refinement.
 func (e *engine) resolveCallee(th *cthread, fr *cframe, in *cinstr) (*cfunc, error) {
 	if in.fn != nil {
 		return in.fn, nil
+	}
+	if in.ic != nil {
+		if !e.icDead[in.icIdx] {
+			v := opval(fr.regs, in.a)
+			for i := range in.ic {
+				if in.ic[i].val == v {
+					e.ic.Hits++
+					return in.ic[i].fn, nil
+				}
+			}
+			e.icDead[in.icIdx] = true
+			e.ic.Deopts++
+		} else {
+			e.ic.Misses++
+		}
 	}
 	v := opval(fr.regs, in.a)
 	if !IsFunc(v) {
@@ -545,6 +586,237 @@ func (e *engine) runSlice(th *cthread) error {
 					e.stats.BlockEvents++
 					tr.BlockEnter(th.id, in.b1)
 				}
+			}
+		// cRun: a fused straight-line run. One budget check bounds how
+		// many components this dispatch retires: k = min(run length,
+		// remaining quantum, remaining step allowance). The admitted
+		// prefix executes in a compact local switch — no per-component
+		// flag checks, abort polls, yield tests, or frame bookkeeping,
+		// because every component but the last is event-free by
+		// construction (no event means no abort can be set, so the
+		// single post-run abort poll matches the unfused poll-after-
+		// each exactly). A run that no longer fits the budget splits at
+		// the boundary instead of de-fusing wholesale: the first k
+		// components retire here, the slice ends exactly where unfused
+		// execution would have yielded, and the next slice resumes at
+		// base+k — a suffix head covering the rest of the run — so
+		// quantum and step-limit timing is bit-identical to unfused
+		// execution. The terminator (which may carry events) only
+		// executes when the whole run was admitted.
+		case cRun:
+			n := in.nrun
+			k := n
+			if rem := int32(e.cfg.Quantum - q); rem < k {
+				k = rem
+			}
+			if rem := e.cfg.MaxSteps - e.stats.Steps; rem+1 < uint64(k) {
+				k = int32(rem) + 1
+			}
+			{
+				base := fr.pc
+				fr.pc = base + k // a branch/jump terminator overwrites
+				// Every frame slab is ≥ microSlots long (newFrame), so
+				// the fixed-size array view makes uint8-indexed operand
+				// fetch bounds-check-free.
+				regs := (*[microSlots]int64)(fr.regs)
+				m := int(k)
+				if m > len(in.run) {
+					m = len(in.run) // raw terminator at base+n-1
+				}
+				for j := 0; j < m; j++ {
+					u := &in.run[j]
+					av, bv := regs[u.a], regs[u.b]
+					switch u.op {
+					case uint8(ir.BinAdd):
+						regs[u.dst] = av + bv
+					case uint8(ir.BinSub):
+						regs[u.dst] = av - bv
+					case uint8(ir.BinMul):
+						regs[u.dst] = av * bv
+					case uint8(ir.BinDiv):
+						if bv == 0 {
+							regs[u.dst] = 0
+						} else {
+							regs[u.dst] = av / bv
+						}
+					case uint8(ir.BinMod):
+						if bv == 0 {
+							regs[u.dst] = 0
+						} else {
+							regs[u.dst] = av % bv
+						}
+					case uint8(ir.BinLt):
+						regs[u.dst] = b2i(av < bv)
+					case uint8(ir.BinLe):
+						regs[u.dst] = b2i(av <= bv)
+					case uint8(ir.BinGt):
+						regs[u.dst] = b2i(av > bv)
+					case uint8(ir.BinGe):
+						regs[u.dst] = b2i(av >= bv)
+					case uint8(ir.BinEq):
+						regs[u.dst] = b2i(av == bv)
+					case uint8(ir.BinNe):
+						regs[u.dst] = b2i(av != bv)
+					case uint8(ir.BinAnd):
+						regs[u.dst] = av & bv
+					case uint8(ir.BinOr):
+						regs[u.dst] = av | bv
+					case uint8(ir.BinXor):
+						regs[u.dst] = av ^ bv
+					case uint8(ir.BinShl):
+						regs[u.dst] = av << (uint64(bv) & 63)
+					case uint8(ir.BinShr):
+						regs[u.dst] = av >> (uint64(bv) & 63)
+					case mCopy:
+						regs[u.dst] = av
+					case mNeg:
+						regs[u.dst] = -av
+					case mNot:
+						regs[u.dst] = b2i(av == 0)
+					case mLoad:
+						// Inlined e.mem hit path; the miss conditions
+						// mirror its trap conditions exactly, so the
+						// slow path re-resolves only to trap.
+						if obj, off := DecodeAddr(av); IsPtr(av) && obj < len(e.objects) {
+							if cells := e.objects[obj]; uint64(off) < uint64(len(cells)) {
+								regs[u.dst] = cells[off]
+								continue
+							}
+						}
+						cell, err := e.mem(th, u.in, av)
+						if err != nil {
+							e.stats.Steps += uint64(j)
+							return err
+						}
+						regs[u.dst] = *cell
+					case mStore:
+						if obj, off := DecodeAddr(av); IsPtr(av) && obj < len(e.objects) {
+							if cells := e.objects[obj]; uint64(off) < uint64(len(cells)) {
+								cells[off] = bv
+								continue
+							}
+						}
+						cell, err := e.mem(th, u.in, av)
+						if err != nil {
+							e.stats.Steps += uint64(j)
+							return err
+						}
+						*cell = bv
+					}
+				}
+				// An event-carrying terminator is executed from its raw
+				// instruction — only when the whole run was admitted: a
+				// branch/jump (BlockEnter flags), a load/store with its
+				// Mem event on, or a call/return with its frame
+				// transition and unconditional events.
+				if k == n && int32(len(in.run)) < n {
+					ci := &code[base+n-1]
+					switch ci.op {
+					case cCall:
+						// Inlined monomorphic inline-cache hit; any
+						// other shape (later entry, dead site, miss)
+						// resolves generically with identical
+						// accounting.
+						var callee *cfunc
+						if ic := ci.ic; ic != nil && !e.icDead[ci.icIdx] && ic[0].val == opval(fr.regs, ci.a) {
+							e.ic.Hits++
+							callee = ic[0].fn
+						} else {
+							var err error
+							callee, err = e.resolveCallee(th, fr, ci)
+							if err != nil {
+								e.stats.Steps += uint64(n) - 1
+								return err
+							}
+						}
+						// fr.pc already points past the run, which is
+						// the call's return target.
+						nf := e.newFrame(callee, ci.dst, ci.in.Dst)
+						for i, p := range callee.params {
+							nf.regs[p] = opval(fr.regs, ci.args[i])
+						}
+						th.frames = append(th.frames, nf)
+						if tr != nil {
+							e.stats.CallEvents++
+							tr.Call(th.id, ci.in, callee.fn, fr.id, nf.id)
+						}
+						if callee.entryEv && tr != nil {
+							e.stats.BlockEvents++
+							tr.BlockEnter(th.id, callee.entryB)
+						}
+						nextFr = nf
+					case cRet:
+						v := opval(fr.regs, ci.a)
+						th.frames = th.frames[:len(th.frames)-1]
+						if len(th.frames) == 0 {
+							th.state = tDone
+							e.removeRunning(th.id)
+							yield = true
+							if tr != nil {
+								tr.Ret(th.id, ci.in, fr.id, 0, nil)
+							}
+						} else {
+							caller := th.frames[len(th.frames)-1]
+							if fr.retReg >= 0 {
+								caller.regs[fr.retReg] = v
+							}
+							if tr != nil {
+								tr.Ret(th.id, ci.in, fr.id, caller.id, fr.retVar)
+							}
+							nextFr = caller
+						}
+						dead = fr
+					case cBr:
+						if opval(fr.regs, ci.a) != 0 {
+							fr.pc = ci.t0
+							if ci.flags&fBlkEv0 != 0 && tr != nil {
+								e.stats.BlockEvents++
+								tr.BlockEnter(th.id, ci.b0)
+							}
+						} else {
+							fr.pc = ci.t1
+							if ci.flags&fBlkEv1 != 0 && tr != nil {
+								e.stats.BlockEvents++
+								tr.BlockEnter(th.id, ci.b1)
+							}
+						}
+					case cJmp:
+						fr.pc = ci.t0
+						if ci.flags&fBlkEv0 != 0 && tr != nil {
+							e.stats.BlockEvents++
+							tr.BlockEnter(th.id, ci.b0)
+						}
+					case cLoad:
+						a := opval(fr.regs, ci.a)
+						cell, err := e.mem(th, ci.in, a)
+						if err != nil {
+							e.stats.Steps += uint64(n) - 1
+							return err
+						}
+						v := *cell
+						fr.regs[ci.dst] = v
+						if ci.flags&fMemEv != 0 && tr != nil {
+							e.stats.Loads++
+							tr.Load(th.id, ci.in, a, v)
+						}
+					case cStore:
+						a := opval(fr.regs, ci.a)
+						cell, err := e.mem(th, ci.in, a)
+						if err != nil {
+							e.stats.Steps += uint64(n) - 1
+							return err
+						}
+						v := opval(fr.regs, ci.b)
+						*cell = v
+						if ci.flags&fMemEv != 0 && tr != nil {
+							e.stats.Stores++
+							tr.Store(th.id, ci.in, a, v)
+						}
+					}
+				}
+				e.stats.Steps += uint64(k) - 1
+				q += int(k) - 1
+				e.ic.Fused += uint64(k) - 1
 			}
 		case cPrint:
 			e.output = append(e.output, opval(fr.regs, in.a))

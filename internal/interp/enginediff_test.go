@@ -7,6 +7,7 @@
 package interp_test
 
 import (
+	"flag"
 	"fmt"
 	"strings"
 	"testing"
@@ -19,6 +20,91 @@ import (
 	"oha/internal/sched"
 	"oha/internal/vc"
 )
+
+// -ic/-fusion compile every differential image with the speculative
+// lowering disabled; `go test -run TestEngineDifferential -ic=off
+// -fusion=off` is the CI equivalence gate proving results do not
+// depend on either optimization.
+var (
+	icFlag     = flag.String("ic", "on", "differential images: speculative inline caches (on|off)")
+	fusionFlag = flag.String("fusion", "on", "differential images: superinstruction fusion (on|off)")
+)
+
+// diffCompile builds the image the compiled-engine half of a
+// differential run executes, honoring the -ic/-fusion test flags.
+func diffCompile(prog *ir.Program, m interp.Masks, callees map[int][]int) *interp.Code {
+	return interp.CompileWith(prog, m, interp.CompileOptions{
+		Callees:       callees,
+		DisableIC:     *icFlag == "off",
+		DisableFusion: *fusionFlag == "off",
+	})
+}
+
+// indirectSites returns the program's indirect call/spawn instructions
+// (the sites inline caches apply to).
+func indirectSites(prog *ir.Program) []*ir.Instr {
+	var out []*ir.Instr
+	for _, in := range prog.Instrs {
+		if (in.Op == ir.OpCall || in.Op == ir.OpSpawn) && in.Callee == nil {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// calleesLikely seeds every indirect site with all arity-compatible
+// functions (up to the cache capacity): the profile a converged
+// invariant DB would produce, so dispatches mostly hit.
+func calleesLikely(prog *ir.Program) map[int][]int {
+	seeds := map[int][]int{}
+	for _, in := range indirectSites(prog) {
+		var fids []int
+		for _, f := range prog.Funcs {
+			if len(f.Params) == len(in.Args) && len(fids) < 4 {
+				fids = append(fids, f.ID)
+			}
+		}
+		if len(fids) > 0 {
+			seeds[in.ID] = fids
+		}
+	}
+	return seeds
+}
+
+// calleesEscaping seeds every indirect site with a single target (the
+// highest arity-compatible function ID): real dispatches routinely
+// miss, so the first miss deoptimizes the site and later dispatches
+// take the generic path — the IC state machine's worst case.
+func calleesEscaping(prog *ir.Program) map[int][]int {
+	seeds := map[int][]int{}
+	for _, in := range indirectSites(prog) {
+		for i := len(prog.Funcs) - 1; i >= 0; i-- {
+			if len(prog.Funcs[i].Params) == len(in.Args) {
+				seeds[in.ID] = []int{prog.Funcs[i].ID}
+				break
+			}
+		}
+	}
+	return seeds
+}
+
+// calleesJunk seeds sites with out-of-range and arity-incompatible
+// function IDs; the compiler must filter them all, leaving the site
+// generic (and mis-arity calls trapping identically).
+func calleesJunk(prog *ir.Program) map[int][]int {
+	seeds := map[int][]int{}
+	for _, in := range indirectSites(prog) {
+		fids := []int{-1, len(prog.Funcs), len(prog.Funcs) + 7}
+		for _, f := range prog.Funcs {
+			if len(f.Params) != len(in.Args) {
+				fids = append(fids, f.ID)
+				break
+			}
+		}
+		seeds[in.ID] = fids
+	}
+	return seeds
+}
 
 // recorder stringifies every tracer event in delivery order, so two
 // runs can be compared event-for-event.
@@ -91,20 +177,23 @@ func altMask(n, phase int) []bool {
 type diffVariant struct {
 	name string
 	make func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector)
+	// callees fabricates inline-cache seeds for the compiled image
+	// (nil: no seeds — the IC-free baseline).
+	callees func(prog *ir.Program) map[int][]int
 }
 
 const diffMaxSteps = 30_000
 
 func diffVariants() []diffVariant {
-	return []diffVariant{
-		{"plain", func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
+	vs := []diffVariant{
+		{name: "plain", make: func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
 			return interp.Config{Prog: prog, MaxSteps: diffMaxSteps}, nil, nil
 		}},
-		{"traced-full", func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
+		{name: "traced-full", make: func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
 			r := &recorder{}
 			return interp.Config{Prog: prog, Tracer: r, MaxSteps: diffMaxSteps}, r, nil
 		}},
-		{"traced-masked", func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
+		{name: "traced-masked", make: func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
 			r := &recorder{}
 			return interp.Config{
 				Prog:      prog,
@@ -118,7 +207,7 @@ func diffVariants() []diffVariant {
 				MaxSteps:  diffMaxSteps,
 			}, r, nil
 		}},
-		{"execall", func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
+		{name: "execall", make: func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
 			r := &recorder{}
 			return interp.Config{
 				Prog:      prog,
@@ -130,7 +219,7 @@ func diffVariants() []diffVariant {
 				MaxSteps:  diffMaxSteps,
 			}, r, nil
 		}},
-		{"fasttrack", func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
+		{name: "fasttrack", make: func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
 			det := fasttrack.New()
 			return interp.Config{
 				Prog:      prog,
@@ -142,11 +231,56 @@ func diffVariants() []diffVariant {
 			}, nil, det
 		}},
 	}
+	// Inline-cache variants: the same traced-masked configuration, with
+	// the compiled image seeded three ways — likely (mostly hits),
+	// escaping (first dispatch deoptimizes most sites), and junk
+	// (every seed filtered at compile time). Event streams, stats, race
+	// sets, and traps must stay bit-identical to the tree-walker in all
+	// three, plus under a tight quantum that forces fused runs to split
+	// at every slice boundary around cache-hit call sites.
+	traced := func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
+		r := &recorder{}
+		return interp.Config{
+			Prog:      prog,
+			Tracer:    r,
+			MemMask:   altMask(len(prog.Instrs), 1),
+			SyncMask:  altMask(len(prog.Instrs), 0),
+			BlockMask: altMask(len(prog.Blocks), 1),
+			Choose:    sched.NewSeeded(seed*3 + 2),
+			Quantum:   4,
+			MaxSteps:  diffMaxSteps,
+		}, r, nil
+	}
+	quantum1 := func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
+		r := &recorder{}
+		return interp.Config{
+			Prog:      prog,
+			Tracer:    r,
+			MemMask:   make([]bool, len(prog.Instrs)),
+			SyncMask:  nil,
+			BlockMask: altMask(len(prog.Blocks), 0),
+			Choose:    sched.NewSeeded(seed),
+			Quantum:   1,
+			MaxSteps:  diffMaxSteps,
+		}, r, nil
+	}
+	vs = append(vs,
+		diffVariant{name: "ic-likely", make: traced, callees: calleesLikely},
+		diffVariant{name: "ic-escape", make: traced, callees: calleesEscaping},
+		diffVariant{name: "ic-junk", make: traced, callees: calleesJunk},
+		diffVariant{name: "ic-quantum1", make: quantum1, callees: calleesLikely},
+	)
+	return vs
 }
 
 // runDiff executes one variant under both engines and fails on any
 // observable divergence.
 func runDiff(t *testing.T, prog *ir.Program, v diffVariant, seed uint64) {
+	runDiffIn(t, prog, v, seed, nil)
+}
+
+// runDiffIn is runDiff with an explicit input vector.
+func runDiffIn(t *testing.T, prog *ir.Program, v diffVariant, seed uint64, inputs []int64) {
 	t.Helper()
 
 	type outcome struct {
@@ -159,6 +293,17 @@ func runDiff(t *testing.T, prog *ir.Program, v diffVariant, seed uint64) {
 	runOne := func(engine interp.EngineKind) outcome {
 		cfg, rec, det := v.make(prog, seed)
 		cfg.Engine = engine
+		cfg.Inputs = inputs
+		if engine == interp.EngineCompiled {
+			// Precompile the image so every variant honors the -ic and
+			// -fusion flags (and the IC variants their fabricated seeds);
+			// the tree engine ignores Code.
+			var seeds map[int][]int
+			if v.callees != nil {
+				seeds = v.callees(prog)
+			}
+			cfg.Code = diffCompile(prog, cfg.Masks(), seeds)
+		}
 		res, err := interp.Run(cfg)
 		var o outcome
 		o.res = res
@@ -239,6 +384,32 @@ func TestEngineDifferential(t *testing.T) {
 			t.Run(fmt.Sprintf("seed%d/%s", seed, v.name), func(t *testing.T) {
 				runDiff(t, prog, v, seed)
 			})
+		}
+	}
+}
+
+// TestEngineDifferentialDispatch runs both engines over the dispatch-
+// heavy generated family with inputs sweeping the per-site
+// polymorphism from monomorphic (sel=0) to table-wide (sel=7) — so
+// under the IC variants, indirect calls routinely escape the
+// fabricated callee seeds mid-run. Outputs, stats, event streams, and
+// race sets must stay bit-identical throughout.
+func TestEngineDifferentialDispatch(t *testing.T) {
+	variants := diffVariants()
+	cfg := progen.DispatchConfig{Funcs: 5, Workers: 2, Sites: 2, Iters: 12}
+	for seed := uint64(1); seed <= 12; seed++ {
+		src := progen.GenerateDispatch(seed, cfg)
+		prog, err := lang.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		for _, sel := range []int64{0, 3, 7} {
+			for _, v := range variants {
+				v := v
+				t.Run(fmt.Sprintf("seed%d/sel%d/%s", seed, sel, v.name), func(t *testing.T) {
+					runDiffIn(t, prog, v, seed, []int64{sel, 9, 4})
+				})
+			}
 		}
 	}
 }

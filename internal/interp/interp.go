@@ -171,11 +171,43 @@ type Config struct {
 	Ctx context.Context
 }
 
+// ICStats counts the compiled engine's speculative-dispatch activity
+// in one run. It is deliberately separate from Stats: Stats is part of
+// the engines' bit-identical observable behavior (the differential
+// suite compares it across engines), while ICStats describes how the
+// compiled engine got there — the tree-walker always reports zeros.
+type ICStats struct {
+	// Hits counts indirect dispatches served by an inline cache.
+	Hits uint64
+	// Misses counts dispatches at deoptimized (dead) IC sites, resolved
+	// generically.
+	Misses uint64
+	// Deopts counts IC sites killed by their first out-of-cache target
+	// (at most one per seeded site per run).
+	Deopts uint64
+	// Fused counts fused superinstructions executed: each is one
+	// dispatch that retired two instructions.
+	Fused uint64
+}
+
+// Add accumulates o into s (used when a rolled-back run's stats are
+// folded into the sound re-execution's report).
+func (s *ICStats) Add(o ICStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Deopts += o.Deopts
+	s.Fused += o.Fused
+}
+
 // Result is the outcome of an execution.
 type Result struct {
 	Output  []int64
 	Stats   Stats
 	Threads int // total threads created (including main)
+	// IC reports speculative-dispatch activity (compiled engine only;
+	// always zero under the tree-walker). Not part of the observable
+	// behavior contract.
+	IC ICStats
 }
 
 type tstate uint8

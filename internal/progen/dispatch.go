@@ -1,0 +1,153 @@
+package progen
+
+import "fmt"
+
+// DispatchConfig bounds a dispatch-heavy generated program (see
+// GenerateDispatch).
+type DispatchConfig struct {
+	// Funcs is the number of leaf functions available as indirect-call
+	// targets (clamped to the 8-slot table).
+	Funcs int
+	// Workers is the number of spawned threads running the dispatch
+	// loop alongside main.
+	Workers int
+	// Sites is the number of indirect call sites per loop body.
+	Sites int
+	// Iters is the trip count of each dispatch loop.
+	Iters int
+}
+
+// DefaultDispatchConfig returns moderate bounds.
+func DefaultDispatchConfig() DispatchConfig {
+	return DispatchConfig{Funcs: 4, Workers: 2, Sites: 3, Iters: 48}
+}
+
+// GenerateDispatch produces a program whose hot loops are dominated by
+// indirect calls through an 8-slot function table — the shape that
+// speculative inline caches and superinstruction fusion accelerate,
+// and that the tree-walking interpreter pays full dispatch cost on.
+//
+// input(0) is the polymorphism selector `sel`: every call site indexes
+// the table as ftab[((expr) & sel) & 7], so sel=0 makes each site
+// monomorphic (always slot 0), sel=3 bounds it to four slots (the
+// inline-cache capacity), and sel=7 spreads it over the whole table.
+// Profiling with a small sel and then analyzing with a larger one
+// makes indirect calls escape the speculated callee set, which is how
+// the callee-set violation path is exercised. input(1..Workers) seed
+// the worker arguments.
+//
+// Leaf bodies are deliberately fusion-friendly: compare-then-branch,
+// arithmetic-then-store, and copy-then-store patterns dominate.
+func GenerateDispatch(seed uint64, cfg DispatchConfig) string {
+	if cfg.Funcs <= 0 {
+		cfg = DefaultDispatchConfig()
+	}
+	if cfg.Funcs > 8 {
+		cfg.Funcs = 8
+	}
+	if cfg.Sites <= 0 {
+		cfg.Sites = 1
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 16
+	}
+	g := &gen{r: &rng{s: seed*2654435761 + 1}}
+	g.w("global acc = 0;")
+	g.w("global sel = 0;")
+	g.w("global arr[8];")
+	g.w("global lk = 0;")
+	g.w("global ftab[8];")
+	g.w("")
+	for i := 0; i < cfg.Funcs; i++ {
+		g.fnNames = append(g.fnNames, fmt.Sprintf("f%d", i))
+	}
+	for i := 0; i < cfg.Funcs; i++ {
+		g.dispatchLeaf(g.fnNames[i])
+	}
+	var workers []string
+	for i := 0; i < cfg.Workers; i++ {
+		name := fmt.Sprintf("w%d", i)
+		workers = append(workers, name)
+		g.w("func %s(x) {", name)
+		g.indent++
+		g.dispatchLoop(cfg, "x")
+		g.w("lock(&lk);")
+		g.w("acc = acc + s;")
+		g.w("unlock(&lk);")
+		g.indent--
+		g.w("}")
+		g.w("")
+	}
+	g.w("func main() {")
+	g.indent++
+	// Slots 0..3 hold distinct functions (when available) so a sel=3
+	// site's callee set exactly fills the inline cache; the upper half
+	// is seed-shuffled so sel=7 runs differ across seeds.
+	for i := 0; i < 8; i++ {
+		fn := g.fnNames[i%len(g.fnNames)]
+		if i >= 4 {
+			fn = g.fnNames[g.r.intn(len(g.fnNames))]
+		}
+		g.w("ftab[%d] = %s;", i, fn)
+	}
+	g.w("sel = input(0);")
+	for i, w := range workers {
+		g.w("var t%d = spawn %s(input(%d));", i, w, i+1)
+	}
+	g.dispatchLoop(cfg, "7")
+	for i := range workers {
+		g.w("join(t%d);", i)
+	}
+	g.w("lock(&lk);")
+	g.w("acc = acc + s;")
+	g.w("unlock(&lk);")
+	g.w("print(acc);")
+	g.w("print(arr[3]);")
+	g.indent--
+	g.w("}")
+	return g.b.String()
+}
+
+// dispatchLeaf emits one indirect-call target shaped like a bytecode
+// handler body: a straight-line mixing chain of arithmetic, loads, and
+// stores (the fusion pass's natural prey), one data-dependent branch,
+// and a computed return. Call-free, so every activation is a leaf.
+func (g *gen) dispatchLeaf(name string) {
+	c1, c2, c3 := g.r.intn(32)+1, g.r.intn(32)+1, g.r.intn(16)+4
+	g.w("func %s(x) {", name)
+	g.indent++
+	g.w("var a = (x + %d);", c1)
+	g.w("var b = ((x << 3) ^ %d);", c2)
+	g.w("a = (a + (b & 63));")
+	g.w("b = (b + (a << 1));")
+	g.w("a = (a ^ (b >> 2));")
+	g.w("arr[(a) & 7] = (a ^ %d);", c2)
+	g.w("b = (b + arr[(x) & 7]);")
+	g.w("if (a < %d) {", c3)
+	g.indent++
+	g.w("a = ((a + b) ^ %d);", c1)
+	g.w("b = (b + (a >> 1));")
+	g.indent--
+	g.w("}")
+	g.w("return ((a + b) ^ %d);", c2)
+	g.indent--
+	g.w("}")
+	g.w("")
+}
+
+// dispatchLoop emits the hot loop: Sites indirect calls per iteration,
+// each through a sel-masked table slot, accumulating into `s`.
+func (g *gen) dispatchLoop(cfg DispatchConfig, seedExpr string) {
+	g.w("var i = 0;")
+	g.w("var s = %s;", seedExpr)
+	g.w("while (i < %d) {", cfg.Iters)
+	g.indent++
+	for k := 0; k < cfg.Sites; k++ {
+		g.w("var h%d = ftab[((i + %d) & sel) & 7];", k, k)
+		g.w("var v%d = h%d((i + s));", k, k)
+		g.w("s = (s + (v%d ^ (s >> 3)));", k)
+	}
+	g.w("i = i + 1;")
+	g.indent--
+	g.w("}")
+}

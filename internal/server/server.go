@@ -52,6 +52,7 @@ import (
 	"oha/internal/artifacts"
 	"oha/internal/core"
 	"oha/internal/inc"
+	"oha/internal/interp"
 	"oha/internal/invariants"
 	"oha/internal/ir"
 	"oha/internal/metrics"
@@ -100,6 +101,14 @@ type Server struct {
 	jobsDone      *metrics.Counter
 	jobsFailed    *metrics.Counter
 	jobLatency    *metrics.Histogram
+
+	// Speculative-dispatch counters, summed over every analyzed
+	// execution a race or slice job runs (including retries and sound
+	// re-executions after a rollback).
+	icHits   *metrics.Counter
+	icMisses *metrics.Counter
+	icDeopts *metrics.Counter
+	icFused  *metrics.Counter
 
 	// static configures the static pipeline for every job; incMetrics
 	// is the shared per-phase latency + incremental-reuse family.
@@ -155,6 +164,10 @@ func New(cfg Config) (*Server, error) {
 	s.jobsDone = s.reg.NewCounter("ohad_jobs_done_total", "jobs finished successfully")
 	s.jobsFailed = s.reg.NewCounter("ohad_jobs_failed_total", "jobs finished in error (incl. timeouts)")
 	s.jobLatency = s.reg.NewHistogram("ohad_job_latency_seconds", "job execution latency")
+	s.icHits = s.reg.NewCounter("oha_ic_hits_total", "inline-cache dispatch hits across analyzed executions")
+	s.icMisses = s.reg.NewCounter("oha_ic_misses_total", "inline-cache dispatch misses (deoptimized sites) across analyzed executions")
+	s.icDeopts = s.reg.NewCounter("oha_ic_deopts_total", "inline-cache site deoptimizations across analyzed executions")
+	s.icFused = s.reg.NewCounter("oha_fused_instructions", "fused superinstruction executions across analyzed executions")
 	s.pool = NewPool(PoolConfig{
 		Workers:    cfg.Workers,
 		QueueSize:  cfg.QueueSize,
@@ -569,6 +582,15 @@ func (s *Server) runOpts(ctx context.Context) core.RunOptions {
 	return core.RunOptions{MaxSteps: s.cfg.MaxSteps, Ctx: ctx}
 }
 
+// observeIC folds one run's speculative-dispatch counters into the
+// daemon-wide metrics.
+func (s *Server) observeIC(ic interp.ICStats) {
+	s.icHits.Add(ic.Hits)
+	s.icMisses.Add(ic.Misses)
+	s.icDeopts.Add(ic.Deopts)
+	s.icFused.Add(ic.Fused)
+}
+
 // resolveDB fetches the invariant DB a job is predicated on.
 func (s *Server) resolveDB(req JobRequest) (*invariants.DB, int, error) {
 	db, v, ok := s.invs.Get(req.InvariantsID, req.InvariantsVersion)
@@ -712,7 +734,18 @@ func (s *Server) handleSpeculation(w http.ResponseWriter, r *http.Request) {
 			Status:            managers[i].Status(),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"managers": entries})
+	// Speculative-dispatch counters are server-global (they aggregate
+	// every analyzed execution), so they ride on the listing rather
+	// than any one manager's row.
+	writeJSON(w, http.StatusOK, map[string]any{
+		"managers": entries,
+		"dispatch": map[string]uint64{
+			"ic_hits":            s.icHits.Value(),
+			"ic_misses":          s.icMisses.Value(),
+			"ic_deopts":          s.icDeopts.Value(),
+			"fused_instructions": s.icFused.Value(),
+		},
+	})
 }
 
 func (s *Server) profileJob(sp *StoredProgram, req JobRequest) func(ctx context.Context) (any, error) {
@@ -774,6 +807,9 @@ func (s *Server) raceJob(sp *StoredProgram, req JobRequest) func(ctx context.Con
 			if m.Pending() {
 				s.submitRefine(m)
 			}
+			for _, t := range tries[:len(tries)-1] {
+				s.observeIC(t.Report.IC)
+			}
 			last := tries[len(tries)-1]
 			rep, generation, attempts = last.Report, last.Generation, len(tries)
 		default:
@@ -790,6 +826,7 @@ func (s *Server) raceJob(sp *StoredProgram, req JobRequest) func(ctx context.Con
 				return nil, err
 			}
 		}
+		s.observeIC(rep.IC)
 		races := make([]string, 0, len(rep.Details))
 		for _, rc := range rep.Details {
 			races = append(races, rc.String())
@@ -843,6 +880,9 @@ func (s *Server) sliceJob(sp *StoredProgram, req JobRequest) func(ctx context.Co
 			if m.Pending() {
 				s.submitRefine(m)
 			}
+			for _, t := range tries[:len(tries)-1] {
+				s.observeIC(t.Report.IC)
+			}
 			last := tries[len(tries)-1]
 			rep, generation, attempts = last.Report, last.Generation, len(tries)
 			// The memoized slicer for the last attempt's generation
@@ -867,6 +907,7 @@ func (s *Server) sliceJob(sp *StoredProgram, req JobRequest) func(ctx context.Co
 			}
 			at = string(sl.AT)
 		}
+		s.observeIC(rep.IC)
 		res := SliceJobResult{
 			CriterionIndex: idx,
 			CriterionLine:  prints[idx].Pos.Line,

@@ -1,0 +1,42 @@
+package workloads
+
+import "oha/internal/progen"
+
+// Dispatch-heavy workloads: indirect calls through a function table
+// dominate the hot loops, modeling interpreter-style dispatch (the
+// perl/vim shape) at a density high enough to measure the compiled
+// engine's speculative inline caches and superinstruction fusion.
+// input(0) selects the per-site polymorphism (see progen's
+// GenerateDispatch); the remaining inputs seed the worker threads.
+//
+// These are instrumentation/benchmark workloads: they are registered
+// for All()/ByName but deliberately NOT part of the fixed Races() or
+// Slices() suites (they model no Figure 5/6 benchmark, and their
+// unsynchronized scratch-array stores are genuinely racy).
+
+func dispatchInput(sel int64) func(run int) []int64 {
+	return func(run int) []int64 {
+		r := newRng(uint64(run)*31 + uint64(sel) + 5)
+		return []int64{sel, r.intn(64), r.intn(64)}
+	}
+}
+
+var _ = register(&Workload{
+	Name:     "dispatch-mono",
+	Kind:     Race,
+	Source:   progen.GenerateDispatch(11, progen.DispatchConfig{Funcs: 4, Workers: 2, Sites: 3, Iters: 64}),
+	GenInput: dispatchInput(0),
+	Notes: "monomorphic indirect dispatch: every table load resolves to " +
+		"slot 0, so each call site has a single likely callee and the " +
+		"inline cache hits on every dispatch",
+})
+
+var _ = register(&Workload{
+	Name:     "dispatch-poly",
+	Kind:     Race,
+	Source:   progen.GenerateDispatch(12, progen.DispatchConfig{Funcs: 4, Workers: 2, Sites: 3, Iters: 64}),
+	GenInput: dispatchInput(3),
+	Notes: "polymorphic indirect dispatch over four distinct targets " +
+		"per site — exactly the inline-cache capacity, the hardest " +
+		"profile that still speculates",
+})

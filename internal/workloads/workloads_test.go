@@ -16,8 +16,8 @@ func TestRegistryComplete(t *testing.T) {
 	if got := len(Slices()); got != 7 {
 		t.Errorf("slice suite = %d workloads, want 7", got)
 	}
-	if got := len(All()); got != 21 {
-		t.Errorf("total workloads = %d, want 21", got)
+	if got := len(All()); got != 23 {
+		t.Errorf("total workloads = %d, want 23", got)
 	}
 	if ByName("lusearch") == nil || ByName("zlib") == nil {
 		t.Error("ByName lookup failed")

@@ -177,11 +177,19 @@ func NewRaceDetectorCached(prog *Program, db *InvariantDB, cache *ArtifactCache)
 }
 
 // StaticConfig tunes the static-analysis pipeline: the parallel solver
-// worker count (0 = GOMAXPROCS, 1 = sequential) and whether adaptive
+// worker count (0 = GOMAXPROCS, 1 = sequential), whether adaptive
 // re-analysis may resume incrementally from the previous generation's
-// saturated solver state. Every configuration produces digest-identical
-// results; only latency changes.
+// saturated solver state, and the compiled engine's speculative
+// dispatch lowerings (NoIC disables inline-cache seeding, NoFusion
+// disables superinstruction fusion). Every configuration produces
+// digest-identical results; only latency changes.
 type StaticConfig = core.StaticConfig
+
+// ICStats counts the compiled engine's speculative-dispatch events
+// (inline-cache hits/misses/deopts and fused superinstruction
+// executions) for one analyzed run; RaceReport and SliceReport carry
+// them. Purely diagnostic — never part of the analysis result.
+type ICStats = interp.ICStats
 
 // NewRaceDetectorStatic is NewRaceDetectorCached with an explicit
 // static pipeline configuration.
@@ -211,6 +219,12 @@ func NewSlicer(prog *Program, db *InvariantDB, criterion *Instr, budget int) (*S
 // NewSlicerCached is NewSlicer backed by an artifact cache.
 func NewSlicerCached(prog *Program, db *InvariantDB, criterion *Instr, budget int, cache *ArtifactCache) (*Slicer, error) {
 	return core.NewOptSliceCached(prog, db, criterion, budget, cache)
+}
+
+// NewSlicerStatic is NewSlicerCached with an explicit static pipeline
+// configuration.
+func NewSlicerStatic(prog *Program, db *InvariantDB, criterion *Instr, budget int, cache *ArtifactCache, cfg StaticConfig) (*Slicer, error) {
+	return core.NewOptSliceStatic(prog, db, criterion, budget, cache, cfg)
 }
 
 // NewHybridSlicer builds the traditional hybrid slicing baseline.

@@ -15,4 +15,10 @@ PATTERN='BenchmarkInterp|BenchmarkFig|BenchmarkLeqEpoch|BenchmarkJoinWith|Benchm
 go test -run '^$' -bench "$PATTERN" -benchtime=1x -count=3 -json \
   ./... >"$OUT"
 
+# Append the tightly paired A/B speedup measurement (abbench_test.go):
+# cross-process one-shot benchmarks drift too much on shared hardware to
+# resolve the IC+fusion ratio, so the snapshot also records the
+# interleaved in-process medians.
+go test -run 'TestPairedSpeedup' -count=1 -json . >>"$OUT"
+
 echo "wrote $OUT ($(grep -c '"Action":"output"' "$OUT" || true) output lines)"
