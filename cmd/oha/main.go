@@ -30,6 +30,13 @@
 // -cache-dir DIR, static-analysis artifacts persist across
 // invocations, so repeated analyses of an unchanged program skip the
 // static solves (the same cache a long-running `ohad` keeps warm).
+//
+// With -remote URL, the subcommand runs against an ohad daemon or any
+// node of an ohad fleet instead of in-process: the source is uploaded
+// (deduped by digest), the job submitted and polled, and 429 sheds
+// retried with the server's Retry-After hint plus jitter. In remote
+// mode -inv names a server-side invariant-DB id rather than a local
+// file; `profile -o FILE` additionally downloads the stored DB.
 package main
 
 import (
@@ -64,6 +71,7 @@ func main() {
 	incremental := fs.Bool("inc", true, "adapt: resume re-analysis from the previous generation's saturated solver state")
 	icFlag := fs.String("ic", "on", "compiled engine: speculative inline caches at indirect call sites (on|off)")
 	fusionFlag := fs.String("fusion", "on", "compiled engine: superinstruction fusion (on|off)")
+	remote := fs.String("remote", "", "run against an ohad daemon or fleet node at this base URL; -inv then names a server-side invariant-DB id")
 
 	// Flags may appear before or after the one positional file:
 	// `oha race -inv x.txt prog.ml` and `oha race prog.ml -inv x.txt`
@@ -82,9 +90,26 @@ func main() {
 
 	src, err := os.ReadFile(file)
 	check(err)
+	in := parseInputs(*inputs)
+
+	if *remote != "" {
+		check(runRemote(*remote, cmd, remoteOpts{
+			inputs:    in,
+			seed:      *seed,
+			runs:      *runs,
+			out:       *out,
+			inv:       *inv,
+			baseline:  *baseline,
+			adaptive:  *adaptive,
+			criterion: *criterion,
+			budget:    *budget,
+			src:       string(src),
+		}))
+		return
+	}
+
 	prog, err := oha.Compile(string(src))
 	check(err)
-	in := parseInputs(*inputs)
 	cache := oha.NewArtifactCache(*cacheDir)
 	var eng oha.EngineKind
 	switch *engine {

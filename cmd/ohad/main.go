@@ -8,6 +8,8 @@
 //
 //	ohad [-addr :8344] [-workers N] [-queue N] [-job-timeout 60s]
 //	     [-max-steps N] [-cache-dir DIR] [-state-dir DIR]
+//	     [-cache-entries N] [-cache-bytes N]
+//	     [-peers host:port,...] [-advertise host:port] [-replicas N]
 //
 // Quick start:
 //
@@ -17,8 +19,17 @@
 //	curl -s localhost:8344/v1/jobs/job-1
 //	curl -s localhost:8344/v1/jobs/job-1/result
 //
+// Fleet mode: with -peers (a static comma-separated member list that
+// includes this node's -advertise address), the daemon joins a
+// sharded, replicated fleet — jobs route to the owner of their
+// program digest on a consistent-hash ring, the invariant store
+// replicates through an append-only log, and any node answers any
+// request. See DESIGN.md §15.
+//
 // SIGINT/SIGTERM drain gracefully: new submissions are rejected with
-// 503 while queued and running jobs finish (bounded by -drain-timeout).
+// 503 while queued and running jobs finish (bounded by -drain-timeout);
+// /readyz flips to 503 immediately so routers stop placing work here,
+// while /healthz keeps answering 200 (the process is alive).
 package main
 
 import (
@@ -29,10 +40,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"oha/internal/artifacts"
+	"oha/internal/fleet"
 	"oha/internal/server"
 )
 
@@ -44,27 +57,70 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain ceiling")
 	maxSteps := flag.Uint64("max-steps", 0, "per-execution instruction bound (0: interpreter default)")
 	cacheDir := flag.String("cache-dir", "", "persist portable static artifacts under this directory (default: in-memory only)")
+	cacheEntries := flag.Int("cache-entries", 0, "LRU bound on in-memory artifact-cache entries (0: unbounded)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "LRU bound on estimated in-memory artifact-cache bytes (0: unbounded)")
 	stateDir := flag.String("state-dir", "", "persist invariant-DB versions under this directory (default: in-memory only)")
 	staticWorkers := flag.Int("static-workers", 0, "parallel static-solver workers (0: GOMAXPROCS, 1: sequential)")
 	incremental := flag.Bool("inc", true, "resume adaptive re-analysis from the previous generation's saturated solver state")
+	peers := flag.String("peers", "", "fleet mode: static member list, comma-separated host:port (must include -advertise)")
+	advertise := flag.String("advertise", "", "fleet mode: this node's address as spelled in -peers (default: -addr)")
+	replicas := flag.Int("replicas", 2, "fleet mode: replica-set width for programs and invariant shards")
+	vnodes := flag.Int("vnodes", 64, "fleet mode: virtual nodes per member on the placement ring")
 	flag.Parse()
 
-	srv, err := server.New(server.Config{
+	cache := artifacts.New(*cacheDir).Bound(*cacheEntries, *cacheBytes)
+	scfg := server.Config{
 		Workers:       *workers,
 		QueueSize:     *queue,
 		JobTimeout:    *jobTimeout,
 		MaxSteps:      *maxSteps,
-		Cache:         artifacts.New(*cacheDir),
+		Cache:         cache,
 		StateDir:      *stateDir,
 		StaticWorkers: *staticWorkers,
 		Incremental:   *incremental,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ohad:", err)
-		os.Exit(1)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	var (
+		handler  http.Handler
+		shutdown func(context.Context) error
+	)
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = *addr
+		}
+		var members []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				members = append(members, p)
+			}
+		}
+		node, err := fleet.NewNode(fleet.Config{
+			Self:     self,
+			Peers:    members,
+			Replicas: *replicas,
+			VNodes:   *vnodes,
+			Server:   scfg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ohad:", err)
+			os.Exit(1)
+		}
+		node.Start()
+		handler = node.Handler()
+		shutdown = node.Shutdown
+		fmt.Fprintf(os.Stderr, "ohad: fleet node %s in %v (replicas=%d)\n", self, members, *replicas)
+	} else {
+		srv, err := server.New(scfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ohad:", err)
+			os.Exit(1)
+		}
+		handler = srv.Handler()
+		shutdown = srv.Shutdown
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "ohad: listening on %s (workers=%d queue=%d job-timeout=%s)\n",
@@ -82,7 +138,7 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "ohad: drain incomplete:", err)
 	}
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

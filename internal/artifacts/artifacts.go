@@ -28,6 +28,7 @@ package artifacts
 
 import (
 	"bytes"
+	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/gob"
@@ -82,9 +83,10 @@ type Codec interface {
 
 // Stats reports cache effectiveness.
 type Stats struct {
-	Hits     uint64 // served from the in-memory layer
-	DiskHits uint64 // served from the on-disk layer
-	Misses   uint64 // computed (the number of underlying solves)
+	Hits      uint64 // served from the in-memory layer
+	DiskHits  uint64 // served from the on-disk layer
+	Misses    uint64 // computed (the number of underlying solves)
+	Evictions uint64 // entries dropped by the LRU bound
 }
 
 // Lookups returns the total number of cache consultations.
@@ -98,24 +100,57 @@ type Cache struct {
 
 	mu      sync.Mutex
 	entries map[string]*entry
+	// LRU bookkeeping: lru orders COMPLETED entries most-recent-first
+	// (in-flight computes are not evictable and not listed), bytes is
+	// the estimated memory cost of the listed entries, and the caps are
+	// 0 when the cache is unbounded (the default).
+	lru        *list.List
+	bytes      int64
+	maxEntries int
+	maxBytes   int64
 
-	hits, diskHits, misses atomic.Uint64
+	hits, diskHits, misses, evictions atomic.Uint64
 }
 
 // entry is one in-flight or completed artifact computation.
 type entry struct {
+	key  string
 	once sync.Once
 	val  any
 	err  error
 	// done flips to true once the compute finished (success or error);
 	// Peek consults it to avoid blocking on an in-flight compute.
 	done atomic.Bool
+	// elem is the entry's LRU-list node (nil until completed or after
+	// eviction); cost its estimated byte footprint. Guarded by Cache.mu.
+	elem *list.Element
+	cost int64
 }
 
 // New returns a cache. dir == "" disables the on-disk layer; otherwise
 // gob envelopes are stored under dir (created on first write).
 func New(dir string) *Cache {
-	return &Cache{dir: dir, entries: map[string]*entry{}}
+	return &Cache{dir: dir, entries: map[string]*entry{}, lru: list.New()}
+}
+
+// Bound caps the in-memory layer: at most maxEntries live entries and
+// maxBytes estimated bytes (either 0: that dimension unbounded). Over
+// the cap, the least-recently-used completed entries are dropped; an
+// in-flight compute is never evicted. Evicted portable artifacts
+// remain on the disk layer and come back as disk hits. Call before
+// sharing the cache across goroutines.
+func (c *Cache) Bound(maxEntries int, maxBytes int64) *Cache {
+	c.maxEntries = maxEntries
+	c.maxBytes = maxBytes
+	return c
+}
+
+// Evictions returns the number of entries dropped by the LRU bound.
+func (c *Cache) Evictions() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.evictions.Load()
 }
 
 // Dir returns the on-disk layer's directory ("" if memory-only).
@@ -132,9 +167,10 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:     c.hits.Load(),
-		DiskHits: c.diskHits.Load(),
-		Misses:   c.misses.Load(),
+		Hits:      c.hits.Load(),
+		DiskHits:  c.diskHits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
 	}
 }
 
@@ -158,6 +194,7 @@ func (c *Cache) Collect(fn func(name string, value float64)) {
 	fn("disk_hits", float64(st.DiskHits))
 	fn("misses", float64(st.Misses))
 	fn("entries", float64(c.Entries()))
+	fn("evictions", float64(st.Evictions))
 }
 
 // Memo returns the artifact stored under key, computing and caching it
@@ -172,7 +209,7 @@ func (c *Cache) Memo(key string, codec Codec, compute func() (any, error)) (any,
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
-		e = &entry{}
+		e = &entry{key: key}
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
@@ -194,9 +231,6 @@ func (c *Cache) Memo(key string, codec Codec, compute func() (any, error)) (any,
 			c.storeDisk(key, codec, e.val)
 		}
 	})
-	if !first && e.err == nil {
-		c.hits.Add(1)
-	}
 	if e.err != nil {
 		// Do not cache failures; let a later caller retry.
 		c.mu.Lock()
@@ -206,7 +240,65 @@ func (c *Cache) Memo(key string, codec Codec, compute func() (any, error)) (any,
 		c.mu.Unlock()
 		return nil, e.err
 	}
+	if first {
+		c.admit(e)
+	} else {
+		c.hits.Add(1)
+		c.touch(e)
+	}
 	return e.val, nil
+}
+
+// admit lists a freshly completed entry in the LRU order, accounts its
+// cost, and evicts over-cap entries (oldest first). Nothing happens
+// while the cache is unbounded except recency bookkeeping.
+func (c *Cache) admit(e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries[e.key] != e || e.elem != nil {
+		return // evicted-and-recomputed race, or already listed
+	}
+	e.cost = estimateCost(e.val)
+	c.bytes += e.cost
+	e.elem = c.lru.PushFront(e)
+	c.evictLocked()
+}
+
+// touch refreshes an entry's recency; the no-op for entries already
+// evicted (their value is still served to the caller holding them).
+func (c *Cache) touch(e *entry) {
+	c.mu.Lock()
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+	c.mu.Unlock()
+}
+
+// evictLocked drops least-recently-used entries until both caps hold;
+// the caller holds c.mu. Only completed entries are listed, so an
+// in-flight compute can never be evicted.
+func (c *Cache) evictLocked() {
+	for c.overCap() {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		c.lru.Remove(back)
+		e.elem = nil
+		c.bytes -= e.cost
+		if c.entries[e.key] == e {
+			delete(c.entries, e.key)
+		}
+		c.evictions.Add(1)
+	}
+}
+
+func (c *Cache) overCap() bool {
+	if c.maxEntries > 0 && c.lru.Len() > c.maxEntries {
+		return true
+	}
+	return c.maxBytes > 0 && c.bytes > c.maxBytes
 }
 
 // Peek returns the completed in-memory artifact stored under key, if
@@ -220,11 +312,40 @@ func (c *Cache) Peek(key string) (any, bool) {
 	}
 	c.mu.Lock()
 	e, ok := c.entries[key]
+	if ok && e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
 	c.mu.Unlock()
 	if !ok || !e.done.Load() || e.err != nil || e.val == nil {
 		return nil, false
 	}
 	return e.val, true
+}
+
+// estimateCost approximates an artifact's resident bytes for the LRU
+// byte cap. Artifacts that know their footprint implement
+// interface{ ArtifactBytes() int64 }; invariant databases are sized
+// from their counts; everything else charges a flat default — the
+// entry cap is the precise bound, the byte cap a coarse one.
+func estimateCost(v any) int64 {
+	const defaultCost = 16 << 10
+	switch x := v.(type) {
+	case interface{ ArtifactBytes() int64 }:
+		if n := x.ArtifactBytes(); n > 0 {
+			return n
+		}
+		return defaultCost
+	case *invariants.DB:
+		c := x.Count()
+		return int64(c.VisitedBlocks+c.MustAliasPairs+c.SingletonSpawns+
+			c.ElidableLocks+c.CalleeSites+c.CalleeTargets+c.Contexts)*16 + 256
+	case []byte:
+		return int64(len(x)) + 64
+	case string:
+		return int64(len(x)) + 64
+	default:
+		return defaultCost
+	}
 }
 
 // envelope is the on-disk gob record.

@@ -340,3 +340,108 @@ func TestDiskWritesAtomic(t *testing.T) {
 		t.Fatalf("surviving envelope = %v, %v", v, err)
 	}
 }
+
+func TestBoundEvictsLRU(t *testing.T) {
+	c := artifacts.New("").Bound(2, 0)
+	mk := func(k string) {
+		t.Helper()
+		if _, err := c.Memo(k, nil, func() (any, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("a")
+	mk("b")
+	mk("a") // refresh a: b is now the LRU victim
+	mk("c") // evicts b
+	if got := c.Evictions(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if _, ok := c.Peek("b"); ok {
+		t.Fatal("evicted entry b still peekable")
+	}
+	if _, ok := c.Peek("a"); !ok {
+		t.Fatal("recently-used entry a was evicted")
+	}
+	// Re-requesting an evicted key recomputes (a fresh miss).
+	before := c.Stats().Misses
+	mk("b")
+	if got := c.Stats().Misses; got != before+1 {
+		t.Fatalf("misses after re-request = %d, want %d", got, before+1)
+	}
+	if n := c.Entries(); n > 2 {
+		t.Fatalf("entries = %d, want <= 2", n)
+	}
+}
+
+func TestBoundByteCap(t *testing.T) {
+	// Each string entry costs len+64; cap to fit roughly two entries.
+	c := artifacts.New("").Bound(0, 300)
+	for _, k := range []string{"k1", "k2", "k3", "k4"} {
+		k := k
+		if _, err := c.Memo(k, nil, func() (any, error) { return strings.Repeat("x", 64), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("byte cap never evicted")
+	}
+	if n := c.Entries(); n > 2 {
+		t.Fatalf("entries = %d, want <= 2 under the byte cap", n)
+	}
+	if _, ok := c.Peek("k4"); !ok {
+		t.Fatal("most recent entry was evicted")
+	}
+}
+
+func TestBoundEvictedEntryFallsBackToDisk(t *testing.T) {
+	dir := t.TempDir()
+	c := artifacts.New(dir).Bound(1, 0)
+	db := invariants.NewDB()
+	db.MarkVisited(3)
+	if _, err := c.Memo("dbkey", artifacts.DBCodec(), func() (any, error) { return db, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Pushing a second entry evicts the first from memory…
+	if _, err := c.Memo("other", nil, func() (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("no eviction under entry cap 1")
+	}
+	// …but the portable artifact comes back from the disk layer.
+	v, err := c.Memo("dbkey", artifacts.DBCodec(), func() (any, error) {
+		t.Fatal("recompute despite disk layer")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.(*invariants.DB).Equal(db) {
+		t.Fatal("disk reload differs from original")
+	}
+	if st := c.Stats(); st.DiskHits == 0 {
+		t.Fatalf("stats = %+v, want a disk hit", st)
+	}
+}
+
+func TestBoundConcurrentMemo(t *testing.T) {
+	c := artifacts.New("").Bound(8, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := string(rune('a' + (g+i)%16))
+				if _, err := c.Memo(k, nil, func() (any, error) { return k, nil }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Entries(); n > 8 {
+		t.Fatalf("entries = %d, want <= 8", n)
+	}
+}

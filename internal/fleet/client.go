@@ -1,0 +1,217 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client is an HTTP client for fleet traffic — the oha/ohaload job
+// submission paths and the tiers' remote writes. It retries transient
+// failures (connection errors, 429, 503) with jittered exponential
+// backoff, and when a 429 carries a Retry-After header it honors the
+// server's estimate: the wait becomes RetryAfter plus up to 50%
+// uniform jitter, so a burst of shed clients doesn't re-arrive as a
+// synchronized burst.
+type Client struct {
+	// HTTP is the underlying transport (nil: a 10s-timeout client).
+	HTTP *http.Client
+	// MaxRetries bounds re-sends after the first attempt (default 4;
+	// negative: no retries).
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff when the server gave no
+	// Retry-After (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps any single wait, including server-provided
+	// Retry-After values (default 10s).
+	MaxDelay time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// retries429 counts waits taken because of a 429 (for tests and
+	// load-generator reporting).
+	retries429 int64
+	retriesNet int64
+}
+
+// NewClient returns a client with default retry policy.
+func NewClient() *Client {
+	return &Client{
+		HTTP:       &http.Client{Timeout: 10 * time.Second},
+		MaxRetries: 4,
+		BaseDelay:  100 * time.Millisecond,
+		MaxDelay:   10 * time.Second,
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{Timeout: 10 * time.Second}
+	}
+	return c.HTTP
+}
+
+// Retries returns (waits after 429, waits after transport errors/503).
+func (c *Client) Retries() (after429, afterNet int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries429, c.retriesNet
+}
+
+// jitter returns a uniform duration in [0, d).
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return time.Duration(c.rng.Int63n(int64(d)))
+}
+
+// backoffDelay picks the wait before retry attempt (1-based), given
+// the previous response (nil on transport error).
+func (c *Client) backoffDelay(attempt int, resp *http.Response) time.Duration {
+	base := c.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := c.MaxDelay
+	if maxd <= 0 {
+		maxd = 10 * time.Second
+	}
+	if resp != nil {
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			d := time.Duration(ra) * time.Second
+			d += c.jitter(d / 2)
+			if d > maxd {
+				d = maxd
+			}
+			return d
+		}
+	}
+	d := base << (attempt - 1)
+	if d > maxd {
+		d = maxd
+	}
+	return d/2 + c.jitter(d/2+1)
+}
+
+// retryable reports whether a response status warrants a retry.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// Do sends method url with body (replayed on each retry) and returns
+// the final response (caller closes Body). It retries transport
+// errors, 429, and 503 up to MaxRetries times, honoring Retry-After
+// with jitter; a non-retryable status returns immediately.
+func (c *Client) Do(ctx context.Context, method, url string, body []byte, contentType string) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.http().Do(req)
+		if err == nil && !retryable(resp.StatusCode) {
+			return resp, nil
+		}
+		if attempt >= c.MaxRetries {
+			if err != nil {
+				return nil, err
+			}
+			return resp, nil // final 429/503: surface it to the caller
+		}
+		var delay time.Duration
+		if err != nil {
+			lastErr = err
+			c.mu.Lock()
+			c.retriesNet++
+			c.mu.Unlock()
+			delay = c.backoffDelay(attempt+1, nil)
+		} else {
+			if resp.StatusCode == http.StatusTooManyRequests {
+				c.mu.Lock()
+				c.retries429++
+				c.mu.Unlock()
+			} else {
+				c.mu.Lock()
+				c.retriesNet++
+				c.mu.Unlock()
+			}
+			delay = c.backoffDelay(attempt+1, resp)
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+			resp.Body.Close()
+		}
+		select {
+		case <-ctx.Done():
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last error: %v)", ctx.Err(), lastErr)
+			}
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// JSON sends a JSON request (body nil: empty) and decodes a JSON
+// response into out (unless nil), returning the HTTP status.
+func (c *Client) JSON(ctx context.Context, method, url string, body, out any) (int, error) {
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+	}
+	resp, err := c.Do(ctx, method, url, payload, "application/json")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && len(data) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("fleet: decode %s %s response: %w", method, url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Text sends a request with a raw body and returns (status, body,
+// response headers).
+func (c *Client) Text(ctx context.Context, method, url string, body []byte) (int, []byte, http.Header, error) {
+	resp, err := c.Do(ctx, method, url, body, "text/plain; charset=utf-8")
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return resp.StatusCode, nil, resp.Header, err
+	}
+	return resp.StatusCode, data, resp.Header, nil
+}

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientBackoffHonorsRetryAfter: a 429's Retry-After header sets
+// the wait (plus up to 50% jitter), clamped by MaxDelay.
+func TestClientBackoffHonorsRetryAfter(t *testing.T) {
+	c := NewClient()
+	resp := &http.Response{Header: http.Header{}}
+	resp.Header.Set("Retry-After", "4")
+	for i := 0; i < 50; i++ {
+		d := c.backoffDelay(1, resp)
+		if d < 4*time.Second || d > 6*time.Second {
+			t.Fatalf("delay %v outside [RetryAfter, 1.5*RetryAfter]", d)
+		}
+	}
+	// MaxDelay clamps even a huge server hint.
+	c.MaxDelay = 2 * time.Second
+	resp.Header.Set("Retry-After", "300")
+	if d := c.backoffDelay(1, resp); d != 2*time.Second {
+		t.Fatalf("clamped delay = %v, want 2s", d)
+	}
+}
+
+// TestClientBackoffExponentialWithJitter: without a server hint the
+// wait grows exponentially from BaseDelay, jittered in [d/2, d].
+func TestClientBackoffExponentialWithJitter(t *testing.T) {
+	c := NewClient()
+	c.BaseDelay = 100 * time.Millisecond
+	prevMax := time.Duration(0)
+	for attempt := 1; attempt <= 4; attempt++ {
+		base := c.BaseDelay << (attempt - 1)
+		for i := 0; i < 20; i++ {
+			d := c.backoffDelay(attempt, nil)
+			if d < base/2 || d > base+time.Millisecond {
+				t.Fatalf("attempt %d delay %v outside [%v, %v]", attempt, d, base/2, base)
+			}
+		}
+		if base <= prevMax {
+			t.Fatalf("backoff did not grow: %v after %v", base, prevMax)
+		}
+		prevMax = base
+	}
+}
+
+// TestClientRetriesUntilSuccess: 429 and 503 are retried with the body
+// replayed; the final success is returned and the retry counters tell
+// the story.
+func TestClientRetriesUntilSuccess(t *testing.T) {
+	var calls atomic.Int64
+	var lastBody atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		buf := make([]byte, 16)
+		m, _ := r.Body.Read(buf)
+		lastBody.Store(string(buf[:m]))
+		switch n {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 2:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	defer ts.Close()
+
+	c := NewClient()
+	c.BaseDelay = time.Millisecond
+	c.MaxDelay = 5 * time.Millisecond // keep the Retry-After wait test-sized
+	resp, err := c.Do(context.Background(), http.MethodPost, ts.URL, []byte("payload"), "text/plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || calls.Load() != 3 {
+		t.Fatalf("status %d after %d calls, want 200 after 3", resp.StatusCode, calls.Load())
+	}
+	if lastBody.Load().(string) != "payload" {
+		t.Fatalf("retried body %q, want the original payload replayed", lastBody.Load())
+	}
+	r429, rNet := c.Retries()
+	if r429 != 1 || rNet != 1 {
+		t.Fatalf("retries = (%d, %d), want one 429 wait and one 503 wait", r429, rNet)
+	}
+}
+
+// TestClientSurfacesFinalRejection: after MaxRetries the last 429 is
+// returned to the caller, Retry-After intact, rather than an error —
+// callers decide whether to give up.
+func TestClientSurfacesFinalRejection(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := NewClient()
+	c.MaxRetries = 2
+	c.BaseDelay = time.Millisecond
+	c.MaxDelay = 2 * time.Millisecond
+	resp, err := c.Do(context.Background(), http.MethodGet, ts.URL, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want the final 429", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra != 7 {
+		t.Fatalf("Retry-After %q survived, want 7", resp.Header.Get("Retry-After"))
+	}
+}

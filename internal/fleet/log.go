@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"oha/internal/invariants"
+	"oha/internal/server"
+)
+
+// Op is one replicated invariant-store operation.
+type Op string
+
+// Log operations. Put and Merge mirror the store's write API and carry
+// the OPERAND database; replay re-applies the operation against the
+// follower's local history, and because the §3 merge rules are
+// deterministic, replicas that apply the same records in version
+// order converge to digest-identical generation sequences. Refine
+// carries the FULL refined database an adaptive manager produced
+// (refinement depends on a violation ledger the leader does not
+// re-derive), so replay is a plain append.
+const (
+	OpPut    Op = "put"
+	OpMerge  Op = "merge"
+	OpRefine Op = "refine"
+)
+
+// Record is one entry in a leader's append-only invariant log.
+type Record struct {
+	// Seq is the per-leader, 1-based, gap-free log position.
+	Seq int64 `json:"seq"`
+	// ID is the invariant-store id the record targets.
+	ID string `json:"id"`
+	// Version is the per-id store version this record produced on the
+	// leader — the idempotence key for replay: a follower applies the
+	// record iff it is exactly one past the follower's local history.
+	Version int `json:"version"`
+	Op      Op  `json:"op"`
+	// Program is the program-digest binding forwarded to the store.
+	Program string `json:"program,omitempty"`
+	// Payload is the operand (put/merge) or result (refine) database
+	// in the canonical invariants text format.
+	Payload string `json:"payload"`
+}
+
+// Log is a node's append-only record of the invariant-store writes it
+// led. Followers pull suffixes with Since and replay them with Apply.
+type Log struct {
+	mu   sync.RWMutex
+	recs []Record
+}
+
+// Append assigns the next sequence number and appends the record.
+func (l *Log) Append(rec Record) Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec.Seq = int64(len(l.recs)) + 1
+	l.recs = append(l.recs, rec)
+	return rec
+}
+
+// Since returns all records with Seq > seq, in order.
+func (l *Log) Since(seq int64) []Record {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if seq < 0 {
+		seq = 0
+	}
+	if seq >= int64(len(l.recs)) {
+		return nil
+	}
+	return append([]Record(nil), l.recs[seq:]...)
+}
+
+// Len returns the number of records appended.
+func (l *Log) Len() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return int64(len(l.recs))
+}
+
+// ErrLogGap reports a record that cannot be applied yet because the
+// follower's history is missing the preceding version — the follower
+// retries after more records arrive.
+var ErrLogGap = errors.New("fleet: record version beyond local history")
+
+// Apply replays one record into an invariant store. It is idempotent:
+// a record at or below the store's current version count is skipped
+// (applied=false, no error), a record exactly one past it is applied,
+// and anything further ahead fails with ErrLogGap so the caller can
+// hold its cursor and retry. Because followers apply records in
+// version order starting from the same empty history, and every
+// operation (put verbatim, the paper's deterministic union/intersection
+// merge, refine-as-append) is a deterministic function of (history,
+// record), any two stores that applied versions 1..k of an id hold
+// digest-identical generation sequences.
+func Apply(store server.InvariantBackend, rec Record) (applied bool, err error) {
+	have := store.Versions(rec.ID)
+	if rec.Version <= have {
+		return false, nil
+	}
+	if rec.Version != have+1 {
+		return false, fmt.Errorf("%w: %s version %d, local history has %d", ErrLogGap, rec.ID, rec.Version, have)
+	}
+	db, err := invariants.Parse(strings.NewReader(rec.Payload))
+	if err != nil {
+		return false, fmt.Errorf("fleet: parse record %s/%d payload: %w", rec.ID, rec.Version, err)
+	}
+	var v int
+	switch rec.Op {
+	case OpPut, OpRefine:
+		v, err = store.PutFor(rec.ID, rec.Program, db)
+	case OpMerge:
+		v, err = store.MergeFor(rec.ID, rec.Program, db)
+	default:
+		return false, fmt.Errorf("fleet: unknown log op %q", rec.Op)
+	}
+	if err != nil {
+		return false, err
+	}
+	if v != rec.Version {
+		return true, fmt.Errorf("fleet: replay of %s produced version %d, want %d", rec.ID, v, rec.Version)
+	}
+	return true, nil
+}

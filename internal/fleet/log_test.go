@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"testing"
+
+	"oha/internal/invariants"
+	"oha/internal/server"
+)
+
+// testDB builds a small database whose content is a function of its
+// seed blocks, so distinct seeds give distinct digests.
+func testDB(blocks ...int) *invariants.DB {
+	db := invariants.NewDB()
+	for _, b := range blocks {
+		db.Visited.Add(b)
+	}
+	return db
+}
+
+// dbDigest is the convergence check: the SHA-256 of the canonical text
+// rendering.
+func dbDigest(db *invariants.DB) string {
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(dbText(db))))
+}
+
+// historyDigests renders every version of id as a digest sequence.
+func historyDigests(t *testing.T, s *server.InvariantStore, id string) []string {
+	t.Helper()
+	var out []string
+	for v := 1; v <= s.Versions(id); v++ {
+		db, _, ok := s.Get(id, v)
+		if !ok {
+			t.Fatalf("version %d of %q missing", v, id)
+		}
+		out = append(out, dbDigest(db))
+	}
+	return out
+}
+
+// leaderWrite applies an operation to the leader store and appends the
+// matching log record, mimicking InvariantTier.writeLocal.
+func leaderWrite(t *testing.T, s *server.InvariantStore, l *Log, id string, op Op, db *invariants.DB) {
+	t.Helper()
+	var (
+		v   int
+		err error
+	)
+	if op == OpMerge {
+		v, err = s.MergeFor(id, "", db)
+	} else {
+		v, err = s.PutFor(id, "", db)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{ID: id, Version: v, Op: op, Payload: dbText(db)})
+}
+
+// TestLogApplyVersionGate: replay is idempotent (duplicates skip), in
+// order (gaps error with ErrLogGap), and exact (applies land on the
+// leader's version numbers).
+func TestLogApplyVersionGate(t *testing.T) {
+	leader, _ := server.OpenInvariantStore("")
+	log := &Log{}
+	leaderWrite(t, leader, log, "gate", OpPut, testDB(1))
+	leaderWrite(t, leader, log, "gate", OpMerge, testDB(2))
+	recs := log.Since(0)
+	if len(recs) != 2 || recs[0].Seq != 1 || recs[1].Seq != 2 {
+		t.Fatalf("log = %+v, want seqs 1,2", recs)
+	}
+
+	follower, _ := server.OpenInvariantStore("")
+	// Applying record 2 first is a gap: version 2 over empty history.
+	if _, err := Apply(follower, recs[1]); !errors.Is(err, ErrLogGap) {
+		t.Fatalf("gap apply err = %v, want ErrLogGap", err)
+	}
+	if applied, err := Apply(follower, recs[0]); err != nil || !applied {
+		t.Fatalf("apply v1 = (%v, %v), want applied", applied, err)
+	}
+	// Duplicate replay skips without error — a restarted follower can
+	// always re-pull from seq 0.
+	if applied, err := Apply(follower, recs[0]); err != nil || applied {
+		t.Fatalf("duplicate apply = (%v, %v), want skipped", applied, err)
+	}
+	if applied, err := Apply(follower, recs[1]); err != nil || !applied {
+		t.Fatalf("apply v2 = (%v, %v), want applied", applied, err)
+	}
+	wantH, gotH := historyDigests(t, leader, "gate"), historyDigests(t, follower, "gate")
+	if fmt.Sprint(wantH) != fmt.Sprint(gotH) {
+		t.Fatalf("histories diverged:\nleader   %v\nfollower %v", wantH, gotH)
+	}
+}
+
+// TestLogFollowerRestartMidStream is the replication durability story:
+// a follower that persisted part of the history, restarted, and lost
+// its cursor replays the full log — duplicates skip via the version
+// gate — and converges to the leader's digest-identical generation
+// history, including a generation appended by adaptive refinement
+// (op=refine, carrying the full refined database).
+func TestLogFollowerRestartMidStream(t *testing.T) {
+	leader, _ := server.OpenInvariantStore("")
+	log := &Log{}
+	const id = "restart-db"
+
+	// Generation 1: the profiled database. Generation 2: a later
+	// profiling run merged in. Generation 3: an adapt-refinement
+	// generation — the manager dropped a violated fact and republished.
+	leaderWrite(t, leader, log, id, OpPut, testDB(1, 2, 3))
+	leaderWrite(t, leader, log, id, OpMerge, testDB(1, 2, 3, 4))
+	refined := testDB(1, 2) // refinement shrinks the speculated set
+	v, err := leader.PutFor(id, "", refined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Append(Record{ID: id, Version: v, Op: OpRefine, Payload: dbText(refined)})
+
+	// The follower persists under a real state dir and applies only the
+	// first two records before "crashing".
+	dir := t.TempDir()
+	follower, err := server.OpenInvariantStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range log.Since(0)[:2] {
+		if _, err := Apply(follower, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Restart: a fresh store over the same dir, cursor lost, so the
+	// replication loop replays from seq 0.
+	restarted, err := server.OpenInvariantStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restarted.Versions(id); got != 2 {
+		t.Fatalf("restarted store has %d versions, want the 2 persisted", got)
+	}
+	applied := 0
+	for _, rec := range log.Since(0) {
+		ok, err := Apply(restarted, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			applied++
+		}
+	}
+	if applied != 1 {
+		t.Fatalf("full replay applied %d records, want only the missed refine record", applied)
+	}
+
+	wantH, gotH := historyDigests(t, leader, id), historyDigests(t, restarted, id)
+	if len(gotH) != 3 || fmt.Sprint(wantH) != fmt.Sprint(gotH) {
+		t.Fatalf("histories diverged after restart:\nleader   %v\nfollower %v", wantH, gotH)
+	}
+	// The refinement generation is really distinct content, not a
+	// re-append of generation 2.
+	if gotH[2] == gotH[1] {
+		t.Fatal("refine generation has the same digest as its predecessor")
+	}
+	got, _, _ := restarted.Get(id, 3)
+	if !got.Equal(refined) {
+		t.Fatal("replayed refine generation differs from the refined database")
+	}
+}
+
+// TestLogApplyUnknownOp: corrupt records fail loudly instead of
+// silently desynchronizing a replica.
+func TestLogApplyUnknownOp(t *testing.T) {
+	follower, _ := server.OpenInvariantStore("")
+	if _, err := Apply(follower, Record{ID: "x", Version: 1, Op: "rename", Payload: dbText(testDB(1))}); err == nil {
+		t.Fatal("unknown op applied")
+	}
+	if _, err := Apply(follower, Record{ID: "x", Version: 1, Op: OpPut, Payload: "not a db"}); err == nil {
+		t.Fatal("unparseable payload applied")
+	}
+	if follower.Versions("x") != 0 {
+		t.Fatal("failed applies left state behind")
+	}
+}

@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health is one node's gossiped load snapshot, served at /fleet/health
+// and polled by every peer. Routing uses Ready (a draining node must
+// not receive new placements), admission control uses Queue/QueueCap,
+// and replication only needs Alive.
+type Health struct {
+	Addr     string `json:"addr"`
+	Ready    bool   `json:"ready"`
+	Draining bool   `json:"draining"`
+	Queue    int    `json:"queue"`
+	QueueCap int    `json:"queue_cap"`
+	Running  int    `json:"running"`
+	Programs int    `json:"programs"`
+}
+
+// peerState is the tracked view of one peer.
+type peerState struct {
+	health   Health
+	alive    bool
+	lastSeen time.Time
+}
+
+// Membership tracks a static peer list (from the -peers flag — no
+// discovery protocol, the fleet's membership is an ops decision) and
+// each peer's last observed health. Peers start out presumed alive and
+// ready, so a cold fleet routes optimistically before the first poll
+// completes; a failed poll or a failed forward marks the peer down
+// until a poll succeeds again.
+type Membership struct {
+	self  string
+	peers []string
+
+	selfHealth func() Health
+	client     *http.Client
+
+	mu     sync.RWMutex
+	states map[string]*peerState
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewMembership tracks peers (which should include self). selfHealth
+// reports the local node's live state, so self never depends on
+// loopback HTTP.
+func NewMembership(self string, peers []string, selfHealth func() Health) *Membership {
+	m := &Membership{
+		self:       self,
+		selfHealth: selfHealth,
+		client:     &http.Client{Timeout: 2 * time.Second},
+		states:     map[string]*peerState{},
+		stop:       make(chan struct{}),
+	}
+	seen := map[string]bool{}
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		m.peers = append(m.peers, p)
+		m.states[p] = &peerState{alive: true, health: Health{Addr: p, Ready: true}}
+	}
+	return m
+}
+
+// Peers returns the static member list in flag order.
+func (m *Membership) Peers() []string { return append([]string(nil), m.peers...) }
+
+// Health returns the last observed health of addr (zero Health for an
+// unknown address).
+func (m *Membership) Health(addr string) Health {
+	if addr == m.self && m.selfHealth != nil {
+		return m.selfHealth()
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if st, ok := m.states[addr]; ok {
+		return st.health
+	}
+	return Health{Addr: addr}
+}
+
+// Alive reports whether addr is believed reachable.
+func (m *Membership) Alive(addr string) bool {
+	if addr == m.self {
+		return true
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	st, ok := m.states[addr]
+	return ok && st.alive
+}
+
+// Ready reports whether addr should receive new job placements:
+// reachable and not draining.
+func (m *Membership) Ready(addr string) bool {
+	if addr == m.self {
+		if m.selfHealth == nil {
+			return true
+		}
+		return m.selfHealth().Ready
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	st, ok := m.states[addr]
+	return ok && st.alive && st.health.Ready
+}
+
+// MarkDown records a failed interaction with addr (e.g. a connection
+// error while forwarding); the peer stays down until a health poll
+// succeeds.
+func (m *Membership) MarkDown(addr string) {
+	if addr == m.self {
+		return
+	}
+	m.mu.Lock()
+	if st, ok := m.states[addr]; ok {
+		st.alive = false
+		st.health.Ready = false
+	}
+	m.mu.Unlock()
+}
+
+// Start launches the health-poll loop (no-op with interval <= 0).
+func (m *Membership) Start(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.Poll()
+			}
+		}
+	}()
+}
+
+// Stop halts the poll loop.
+func (m *Membership) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}
+
+// Poll refreshes every remote peer's health once, concurrently.
+func (m *Membership) Poll() {
+	var wg sync.WaitGroup
+	for _, p := range m.peers {
+		if p == m.self {
+			continue
+		}
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			m.pollOne(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+func (m *Membership) pollOne(addr string) {
+	resp, err := m.client.Get("http://" + addr + "/fleet/health")
+	if err != nil {
+		m.MarkDown(addr)
+		return
+	}
+	defer resp.Body.Close()
+	var h Health
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&h) != nil {
+		m.MarkDown(addr)
+		return
+	}
+	m.mu.Lock()
+	if st, ok := m.states[addr]; ok {
+		st.alive = true
+		st.health = h
+		st.lastSeen = time.Now()
+	}
+	m.mu.Unlock()
+}
+
+// AliveCount returns the number of peers currently believed alive
+// (including self).
+func (m *Membership) AliveCount() int {
+	n := 0
+	for _, p := range m.peers {
+		if m.Alive(p) {
+			n++
+		}
+	}
+	return n
+}

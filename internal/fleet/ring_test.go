@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingGoldenPlacement pins placement to hardcoded expectations:
+// the ring is a pure function of (member list, vnodes, key), and these
+// values must never change across runs, processes, or releases — a
+// silent change would strand every stored shard.
+func TestRingGoldenPlacement(t *testing.T) {
+	r := NewRing([]string{"10.0.0.1:7070", "10.0.0.2:7070", "10.0.0.3:7070"}, 64)
+	golden := map[string][2]string{
+		"prog:alpha":  {"10.0.0.3:7070", "10.0.0.2:7070"},
+		"prog:beta":   {"10.0.0.2:7070", "10.0.0.3:7070"},
+		"prog:gamma":  {"10.0.0.3:7070", "10.0.0.1:7070"},
+		"inv:p-alpha": {"10.0.0.2:7070", "10.0.0.1:7070"},
+		"inv:p-beta":  {"10.0.0.2:7070", "10.0.0.1:7070"},
+	}
+	for key, want := range golden {
+		got := r.Owners(key, 2)
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("Owners(%q) = %v, want %v", key, got, want)
+		}
+		if r.Owner(key) != want[0] {
+			t.Errorf("Owner(%q) = %q, want %q", key, r.Owner(key), want[0])
+		}
+	}
+}
+
+// TestRingDeterministicAcrossInstances: two rings built from permuted,
+// duplicated member lists agree on every placement.
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3", "n4"}, 32)
+	b := NewRing([]string{"n4", "n2", "n2", "n1", "n3", ""}, 32)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("prog:key-%d", i)
+		if !reflect.DeepEqual(a.Owners(key, 3), b.Owners(key, 3)) {
+			t.Fatalf("placement diverged for %q: %v vs %v", key, a.Owners(key, 3), b.Owners(key, 3))
+		}
+	}
+	if !reflect.DeepEqual(a.Nodes(), []string{"n1", "n2", "n3", "n4"}) {
+		t.Fatalf("Nodes() = %v", a.Nodes())
+	}
+}
+
+// TestRingOwnersDistinctAndBounded: replica sets hold distinct nodes
+// and never exceed the member count.
+func TestRingOwnersDistinctAndBounded(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 16)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("inv:id-%d", i)
+		owners := r.Owners(key, 5)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%q, 5) = %v, want all 3 members", key, owners)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%q) repeats %q: %v", key, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+	if got := r.Owners("k", 0); got != nil {
+		t.Fatalf("Owners(k, 0) = %v, want nil", got)
+	}
+	empty := NewRing(nil, 8)
+	if empty.Owner("k") != "" {
+		t.Fatal("empty ring produced an owner")
+	}
+}
+
+// TestRingBalance: with virtual nodes, no member's shard of a large
+// keyspace collapses or balloons.
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, 64)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("prog:%d", i))]++
+	}
+	for node, c := range counts {
+		if c < keys/4/3 || c > keys/4*3 {
+			t.Errorf("node %s owns %d of %d keys — badly unbalanced: %v", node, c, keys, counts)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d of 4 nodes own keys: %v", len(counts), counts)
+	}
+}

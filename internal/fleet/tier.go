@@ -1,0 +1,469 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+
+	"oha/internal/invariants"
+	"oha/internal/server"
+)
+
+// decodeJSONBody reads and decodes a bounded JSON response body.
+func decodeJSONBody(resp *http.Response, out any) error {
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if out == nil || len(data) == 0 {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// drainBody empties a response body so the connection can be reused.
+func drainBody(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // best-effort drain
+}
+
+// ErrNoOwner reports that every node in a key's replica set is
+// believed down, so the operation has nowhere to go.
+var ErrNoOwner = errors.New("fleet: no alive owner for key")
+
+// ProgramTier is the fleet's program state tier: a
+// server.ProgramBackend that keeps a local content-addressed store as
+// a cache, replicates submitted sources to the digest's replica set,
+// and fetches unknown programs from their owners on demand. Any node
+// can therefore accept a submission or serve a job for a program it
+// has never seen — the daemon on top stays stateless.
+type ProgramTier struct {
+	self   string
+	ring   *Ring
+	mem    *Membership
+	client *Client
+	// replicas is the replica-set width for program sources.
+	replicas int
+	local    *server.ProgramStore
+}
+
+// NewProgramTier builds the tier around a local store.
+func NewProgramTier(self string, ring *Ring, mem *Membership, client *Client, replicas int, local *server.ProgramStore) *ProgramTier {
+	if replicas <= 0 {
+		replicas = 2
+	}
+	return &ProgramTier{self: self, ring: ring, mem: mem, client: client, replicas: replicas, local: local}
+}
+
+// Local exposes the node-local store (for the /fleet/programs API).
+func (t *ProgramTier) Local() *server.ProgramStore { return t.local }
+
+// Submit compiles and stores the program locally (so this node can run
+// jobs for it immediately), then pushes the source to every other node
+// in the digest's replica set. Replication is best effort: a dead
+// replica is marked down and skipped — Get refetches from whichever
+// owner survives.
+func (t *ProgramTier) Submit(source string) (*server.StoredProgram, bool, error) {
+	sp, created, err := t.local.Submit(source)
+	if err != nil {
+		return nil, false, err
+	}
+	if created {
+		for _, owner := range t.ring.Owners(programKey(sp.ID), t.replicas) {
+			if owner == t.self || !t.mem.Alive(owner) {
+				continue
+			}
+			status, err := t.pushProgram(owner, source)
+			if err != nil {
+				t.mem.MarkDown(owner)
+			} else if status >= 500 {
+				t.mem.MarkDown(owner)
+			}
+		}
+	}
+	return sp, created, nil
+}
+
+func (t *ProgramTier) pushProgram(owner, source string) (int, error) {
+	body := map[string]string{"source": source}
+	return t.client.JSON(context.Background(), http.MethodPost, "http://"+owner+"/fleet/programs", body, nil)
+}
+
+// Get returns the program from the local store, or fetches its source
+// from an alive owner, recompiles, and verifies the content address
+// matches before admitting it. nil when no owner has it.
+func (t *ProgramTier) Get(id string) *server.StoredProgram {
+	if sp := t.local.Get(id); sp != nil {
+		return sp
+	}
+	for _, owner := range t.ring.Owners(programKey(id), t.replicas) {
+		if owner == t.self || !t.mem.Alive(owner) {
+			continue
+		}
+		var out struct {
+			ID     string `json:"id"`
+			Source string `json:"source"`
+		}
+		status, err := t.client.JSON(context.Background(), http.MethodGet,
+			"http://"+owner+"/fleet/programs/"+url.PathEscape(id), nil, &out)
+		if err != nil {
+			t.mem.MarkDown(owner)
+			continue
+		}
+		if status != http.StatusOK || out.Source == "" {
+			continue
+		}
+		sp, _, err := t.local.Submit(out.Source)
+		// Content addressing is the integrity check: a source that does
+		// not compile back to the requested digest is not that program.
+		if err != nil || sp.ID != id {
+			continue
+		}
+		return sp
+	}
+	return nil
+}
+
+// List returns this node's local view — the programs it has compiled
+// (its own submissions plus everything fetched or replicated to it).
+func (t *ProgramTier) List() []*server.StoredProgram { return t.local.List() }
+
+// Len returns the local program count.
+func (t *ProgramTier) Len() int { return t.local.Len() }
+
+// InvariantTier is the fleet's invariant-database state tier: a
+// server.InvariantBackend that routes writes to the shard leader,
+// appends every leader write to the node's replicated log, and serves
+// reads locally on replica nodes or from an owner otherwise.
+//
+// The leader for an id is the first ALIVE node of the id's replica
+// set in ring order. When the ring-first owner dies, the next replica
+// becomes acting leader and appends to its own log — survivors keep
+// accepting writes. (With static membership and crash-stop faults this
+// is safe; a partitioned old leader rejoining with divergent history
+// is out of scope and documented in DESIGN §15.)
+type InvariantTier struct {
+	self     string
+	ring     *Ring
+	mem      *Membership
+	client   *Client
+	replicas int
+
+	local *server.InvariantStore
+	log   *Log
+
+	// applyMu serializes every local write — leader writes, refined
+	// publishes, and log replay — so the version the store assigns and
+	// the version recorded in the log can never interleave.
+	applyMu sync.Mutex
+}
+
+// NewInvariantTier builds the tier around a local versioned store.
+func NewInvariantTier(self string, ring *Ring, mem *Membership, client *Client, replicas int, local *server.InvariantStore) *InvariantTier {
+	if replicas <= 0 {
+		replicas = 2
+	}
+	return &InvariantTier{self: self, ring: ring, mem: mem, client: client, replicas: replicas, local: local, log: &Log{}}
+}
+
+// Log exposes this node's leader log (for the /fleet/log API).
+func (t *InvariantTier) Log() *Log { return t.log }
+
+// Local exposes the node-local store (for tests and replication).
+func (t *InvariantTier) Local() *server.InvariantStore { return t.local }
+
+// Owners returns the id's replica set in ring order.
+func (t *InvariantTier) Owners(id string) []string {
+	return t.ring.Owners(invariantKey(id), t.replicas)
+}
+
+// owns reports whether this node is in the id's replica set.
+func (t *InvariantTier) owns(id string) bool {
+	for _, o := range t.Owners(id) {
+		if o == t.self {
+			return true
+		}
+	}
+	return false
+}
+
+// leader returns the id's acting leader: the first alive owner.
+func (t *InvariantTier) leader(id string) (string, error) {
+	for _, o := range t.Owners(id) {
+		if t.mem.Alive(o) {
+			return o, nil
+		}
+	}
+	return "", fmt.Errorf("%w: invariants %q", ErrNoOwner, id)
+}
+
+// PutFor appends db as a new version under id: locally (plus a log
+// record) when this node is the acting leader, else forwarded to it.
+func (t *InvariantTier) PutFor(id, program string, db *invariants.DB) (int, error) {
+	return t.write(id, program, db, OpPut)
+}
+
+// MergeFor folds db into the latest version (see PutFor for routing).
+func (t *InvariantTier) MergeFor(id, program string, db *invariants.DB) (int, error) {
+	return t.write(id, program, db, OpMerge)
+}
+
+func (t *InvariantTier) write(id, program string, db *invariants.DB, op Op) (int, error) {
+	leader, err := t.leader(id)
+	if err != nil {
+		return 0, err
+	}
+	if leader == t.self {
+		return t.writeLocal(id, program, db, op)
+	}
+	v, status, err := t.forwardWrite(leader, id, program, db, op)
+	if err != nil {
+		// The leader died mid-write: mark it down and retry once — the
+		// next replica is now the acting leader.
+		t.mem.MarkDown(leader)
+		next, nerr := t.leader(id)
+		if nerr != nil {
+			return 0, err
+		}
+		if next == t.self {
+			return t.writeLocal(id, program, db, op)
+		}
+		v, status, err = t.forwardWrite(next, id, program, db, op)
+		if err != nil {
+			return 0, err
+		}
+	}
+	switch status {
+	case http.StatusOK:
+		return v, nil
+	case http.StatusConflict:
+		return 0, fmt.Errorf("%w (via %s)", server.ErrProgramMismatch, leader)
+	default:
+		return 0, fmt.Errorf("fleet: %s of invariants %q on %s: HTTP %d", op, id, leader, status)
+	}
+}
+
+// writeLocal performs a leader write: the store assigns the version
+// and the operation is appended to this node's log under the same
+// critical section, so log records carry dense, ordered versions.
+func (t *InvariantTier) writeLocal(id, program string, db *invariants.DB, op Op) (int, error) {
+	t.applyMu.Lock()
+	defer t.applyMu.Unlock()
+	var (
+		v   int
+		err error
+	)
+	switch op {
+	case OpMerge:
+		v, err = t.local.MergeFor(id, program, db)
+	default:
+		v, err = t.local.PutFor(id, program, db)
+	}
+	if err != nil {
+		return 0, err
+	}
+	t.log.Append(Record{ID: id, Version: v, Op: op, Program: program, Payload: dbText(db)})
+	return v, nil
+}
+
+// forwardWrite sends the operation to the leader's public API.
+func (t *InvariantTier) forwardWrite(leader, id, program string, db *invariants.DB, op Op) (version, status int, err error) {
+	u := "http://" + leader + "/v1/invariants/" + url.PathEscape(id)
+	method := http.MethodPut
+	if op == OpMerge {
+		u += "/merge"
+		method = http.MethodPost
+	}
+	if program != "" {
+		u += "?program=" + url.QueryEscape(program)
+	}
+	resp, err := t.client.Do(context.Background(), method, u, []byte(dbText(db)), "text/plain; charset=utf-8")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Version int `json:"version"`
+	}
+	if resp.StatusCode == http.StatusOK {
+		if derr := decodeJSONBody(resp, &out); derr != nil {
+			return 0, resp.StatusCode, derr
+		}
+	} else {
+		drainBody(resp)
+	}
+	return out.Version, resp.StatusCode, nil
+}
+
+// PublishRefined pushes an adapt-refined database into the replicated
+// history as a new version with op=refine. The write is deduplicated
+// on the leader by database equality, so the many jobs that observe
+// the same hot-swapped generation append it once.
+func (t *InvariantTier) PublishRefined(id, program string, db *invariants.DB) (int, error) {
+	leader, err := t.leader(id)
+	if err != nil {
+		return 0, err
+	}
+	if leader == t.self {
+		return t.publishLocal(id, program, db)
+	}
+	u := "http://" + leader + "/fleet/invariants/" + url.PathEscape(id) + "/refine"
+	if program != "" {
+		u += "?program=" + url.QueryEscape(program)
+	}
+	var out struct {
+		Version int    `json:"version"`
+		Error   string `json:"error"`
+	}
+	resp, err := t.client.Do(context.Background(), http.MethodPost, u, []byte(dbText(db)), "text/plain; charset=utf-8")
+	if err != nil {
+		t.mem.MarkDown(leader)
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if derr := decodeJSONBody(resp, &out); derr != nil {
+		return 0, derr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("fleet: publish refined %q on %s: HTTP %d: %s", id, leader, resp.StatusCode, out.Error)
+	}
+	return out.Version, nil
+}
+
+// publishLocal is the leader side of PublishRefined.
+func (t *InvariantTier) publishLocal(id, program string, db *invariants.DB) (int, error) {
+	t.applyMu.Lock()
+	defer t.applyMu.Unlock()
+	if cur, v, ok := t.local.Get(id, 0); ok && cur.Equal(db) {
+		return v, nil // this refinement is already the latest generation
+	}
+	v, err := t.local.PutFor(id, program, db)
+	if err != nil {
+		return 0, err
+	}
+	t.log.Append(Record{ID: id, Version: v, Op: OpRefine, Program: program, Payload: dbText(db)})
+	return v, nil
+}
+
+// ApplyRecord replays one record pulled from a peer's log into the
+// local store, under the same lock leader writes take. Callers filter
+// to records this node owns.
+func (t *InvariantTier) ApplyRecord(rec Record) (bool, error) {
+	t.applyMu.Lock()
+	defer t.applyMu.Unlock()
+	return Apply(t.local, rec)
+}
+
+// Get serves reads locally when this node holds the data, and from
+// the first owner that has the version otherwise. A replica whose
+// local store is lagging the log (a write just landed on the leader)
+// falls through to the remote path too — the remote side always
+// answers from its own store, never re-forwards, so reads cannot
+// loop.
+func (t *InvariantTier) Get(id string, v int) (*invariants.DB, int, bool) {
+	if t.owns(id) {
+		if db, ver, ok := t.local.Get(id, v); ok {
+			return db, ver, ok
+		}
+	}
+	for _, owner := range t.Owners(id) {
+		if owner == t.self || !t.mem.Alive(owner) {
+			continue
+		}
+		// The /fleet read is strictly store-local on the remote side, so
+		// two lagging replicas can never chase each other.
+		u := "http://" + owner + "/fleet/invariants/" + url.PathEscape(id)
+		if v > 0 {
+			u += "?version=" + strconv.Itoa(v)
+		}
+		status, body, hdr, err := t.client.Text(context.Background(), http.MethodGet, u, nil)
+		if err != nil {
+			t.mem.MarkDown(owner)
+			continue
+		}
+		if status != http.StatusOK {
+			continue // lagging replica: try the next owner
+		}
+		db, perr := invariants.Parse(strings.NewReader(string(body)))
+		if perr != nil {
+			continue
+		}
+		rv, _ := strconv.Atoi(hdr.Get("X-Invariants-Version"))
+		if rv == 0 {
+			rv = v
+		}
+		return db, rv, true
+	}
+	return nil, 0, false
+}
+
+// meta fetches (versions, program) for id from an alive owner.
+func (t *InvariantTier) meta(id string) (versions int, program string) {
+	for _, owner := range t.Owners(id) {
+		if owner == t.self || !t.mem.Alive(owner) {
+			continue
+		}
+		var out struct {
+			Versions int    `json:"versions"`
+			Program  string `json:"program"`
+		}
+		status, err := t.client.JSON(context.Background(), http.MethodGet,
+			"http://"+owner+"/fleet/invariants/"+url.PathEscape(id)+"/meta", nil, &out)
+		if err != nil {
+			t.mem.MarkDown(owner)
+			continue
+		}
+		if status == http.StatusOK {
+			return out.Versions, out.Program
+		}
+	}
+	return 0, ""
+}
+
+// Versions returns the number of versions under id (owner-local, with
+// the lagging-replica fallback to the rest of the replica set).
+func (t *InvariantTier) Versions(id string) int {
+	if t.owns(id) {
+		if v := t.local.Versions(id); v > 0 {
+			return v
+		}
+	}
+	v, _ := t.meta(id)
+	return v
+}
+
+// ProgramOf returns the program digest bound to id.
+func (t *InvariantTier) ProgramOf(id string) string {
+	if t.owns(id) {
+		if p := t.local.ProgramOf(id); p != "" {
+			return p
+		}
+	}
+	_, p := t.meta(id)
+	return p
+}
+
+// List returns this node's local view of stored ids.
+func (t *InvariantTier) List() []string { return t.local.List() }
+
+// Len returns the local id count.
+func (t *InvariantTier) Len() int { return t.local.Len() }
+
+// dbText renders a database in the canonical text format.
+func dbText(db *invariants.DB) string {
+	var sb strings.Builder
+	db.WriteTo(&sb) //nolint:errcheck // strings.Builder cannot fail
+	return sb.String()
+}
+
+// The fleet tiers satisfy the server's pluggable backends.
+var (
+	_ server.ProgramBackend   = (*ProgramTier)(nil)
+	_ server.InvariantBackend = (*InvariantTier)(nil)
+)

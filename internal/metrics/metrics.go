@@ -240,6 +240,15 @@ func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
 	return v
 }
 
+// NewCounterFunc registers a counter whose value is polled at render
+// time — the bridge for externally-maintained monotonic counts such as
+// the artifact cache's eviction total.
+func (r *Registry) NewCounterFunc(name, help string, fn func() uint64) {
+	r.add(name, help, "counter", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, fn())
+	})
+}
+
 // NewGauge registers and returns a gauge.
 func (r *Registry) NewGauge(name, help string) *Gauge {
 	g := &Gauge{}

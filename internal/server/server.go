@@ -82,14 +82,27 @@ type Config struct {
 	// generation's saturated solver state instead of re-solving from
 	// scratch.
 	Incremental bool
+	// Programs overrides the program state tier (nil: an in-process
+	// ProgramStore). A fleet node plugs in a digest-routed remote tier
+	// here, turning the daemon into a stateless frontend.
+	Programs ProgramBackend
+	// Invariants overrides the invariant-database state tier (nil: an
+	// in-process InvariantStore persisting under StateDir).
+	Invariants InvariantBackend
+	// OnGeneration, when non-nil, is invoked after an adaptive manager
+	// publishes a refined invariant-DB generation (generation >= 2,
+	// i.e. a hot-swap actually happened). A fleet node uses it to push
+	// adapt-refined databases into the replicated invariant log; the
+	// callback runs on the job goroutine and must not block for long.
+	OnGeneration func(invariantsID, programID string, generation int, db *invariants.DB)
 }
 
 // Server is the analysis daemon. Create with New, expose via Handler,
 // stop with Shutdown.
 type Server struct {
 	cfg      Config
-	programs *ProgramStore
-	invs     *InvariantStore
+	programs ProgramBackend
+	invs     InvariantBackend
 	pool     *Pool
 	cache    *artifacts.Cache
 	reg      *metrics.Registry
@@ -142,13 +155,21 @@ func New(cfg Config) (*Server, error) {
 	if cache == nil {
 		cache = artifacts.New("")
 	}
-	invs, err := OpenInvariantStore(cfg.StateDir)
-	if err != nil {
-		return nil, fmt.Errorf("server: open invariant store: %w", err)
+	invs := cfg.Invariants
+	if invs == nil {
+		local, err := OpenInvariantStore(cfg.StateDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: open invariant store: %w", err)
+		}
+		invs = local
+	}
+	programs := cfg.Programs
+	if programs == nil {
+		programs = NewProgramStore()
 	}
 	s := &Server{
 		cfg:      cfg,
-		programs: NewProgramStore(),
+		programs: programs,
 		invs:     invs,
 		cache:    cache,
 		reg:      metrics.NewRegistry(),
@@ -192,6 +213,8 @@ func New(cfg Config) (*Server, error) {
 	s.reg.NewGaugeFunc("ohad_invariant_dbs", "distinct invariant-DB ids",
 		func() float64 { return float64(s.invs.Len()) })
 	registerCacheMetrics(s.reg, cache)
+	s.reg.NewCounterFunc("oha_artifacts_evictions_total",
+		"artifact-cache entries dropped by the LRU bound", cache.Evictions)
 	s.routes()
 	return s, nil
 }
@@ -218,11 +241,11 @@ func registerCacheMetrics(reg *metrics.Registry, cache *artifacts.Cache) {
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Programs exposes the program store (for embedding and tests).
-func (s *Server) Programs() *ProgramStore { return s.programs }
+// Programs exposes the program state tier (for embedding and tests).
+func (s *Server) Programs() ProgramBackend { return s.programs }
 
-// Invariants exposes the invariant store.
-func (s *Server) Invariants() *InvariantStore { return s.invs }
+// Invariants exposes the invariant state tier.
+func (s *Server) Invariants() InvariantBackend { return s.invs }
 
 // Pool exposes the job pool.
 func (s *Server) Pool() *Pool { return s.pool }
@@ -259,6 +282,7 @@ func (s *Server) routes() {
 	s.handle("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.handle("GET /speculation", s.handleSpeculation)
 	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /readyz", s.handleReadyz)
 	s.handle("GET /metrics", s.handleMetrics)
 }
 
@@ -538,6 +562,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		s.jobsRejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter()))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, ErrDraining):
@@ -575,6 +600,31 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusAccepted, map[string]any{"id": job.ID, "state": state})
 	}
+}
+
+// RetryAfter estimates, in whole seconds, how long a client rejected
+// with 429 should wait before resubmitting: the time for the current
+// backlog to drain through the workers at the observed mean job
+// latency, clamped to [1, 30]. With no completed jobs yet the estimate
+// is the floor.
+func (s *Server) RetryAfter() int {
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	mean := 0.25 // optimistic prior before any job has finished
+	if n := s.jobLatency.Count(); n > 0 {
+		mean = s.jobLatency.Sum() / float64(n)
+	}
+	backlog := float64(s.pool.QueueDepth()) + float64(s.pool.Running())
+	sec := int(mean * backlog / float64(workers))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
 }
 
 // runOpts builds the per-run options for one job execution.
@@ -633,21 +683,40 @@ func (s *Server) adapter(sp *StoredProgram, req JobRequest) (*adapt.Manager, err
 	return m, nil
 }
 
+// notifyGeneration reports an adaptive manager's current database to
+// the OnGeneration hook. Generation 1 is skipped: that is the profiled
+// database already in the invariant store; only refined hot-swaps are
+// news. Repeat notifications for the same generation are fine — the
+// fleet tier dedups by database equality.
+func (s *Server) notifyGeneration(invID, progID string, m *adapt.Manager) {
+	if s.cfg.OnGeneration == nil {
+		return
+	}
+	if gen := m.Generation(); gen > 1 {
+		s.cfg.OnGeneration(invID, progID, gen, m.DB())
+	}
+}
+
 // submitRefine queues any reconcile still pending after an adaptive
 // job's refine-and-retry loop (possible when a concurrent reconcile was
 // in flight when the loop sampled it). A full or draining queue falls
 // back to reconciling inline: a pending refinement must never be lost,
 // or the next run pays the rollback the refinement was meant to avoid.
-func (s *Server) submitRefine(m *adapt.Manager) {
+func (s *Server) submitRefine(m *adapt.Manager, invID, progID string) {
 	fn := func(ctx context.Context) (any, error) {
 		swapped, err := m.Reconcile(ctx)
 		if err != nil {
 			return nil, err
 		}
+		if swapped {
+			s.notifyGeneration(invID, progID, m)
+		}
 		return RefineJobResult{Swapped: swapped, Generation: m.Generation()}, nil
 	}
 	if _, err := s.pool.Submit(JobRefine, 0, fn); err != nil {
-		m.Reconcile(context.Background()) //nolint:errcheck // best-effort fallback; next job retries
+		if _, err := m.Reconcile(context.Background()); err == nil {
+			s.notifyGeneration(invID, progID, m)
+		}
 	}
 }
 
@@ -661,6 +730,9 @@ func (s *Server) refineJob(sp *StoredProgram, req JobRequest) func(ctx context.C
 		swapped, err := m.Reconcile(ctx)
 		if err != nil {
 			return nil, err
+		}
+		if swapped {
+			s.notifyGeneration(req.InvariantsID, sp.ID, m)
 		}
 		return RefineJobResult{Swapped: swapped, Generation: m.Generation()}, nil
 	}
@@ -805,8 +877,9 @@ func (s *Server) raceJob(sp *StoredProgram, req JobRequest) func(ctx context.Con
 				return nil, err
 			}
 			if m.Pending() {
-				s.submitRefine(m)
+				s.submitRefine(m, req.InvariantsID, sp.ID)
 			}
+			s.notifyGeneration(req.InvariantsID, sp.ID, m)
 			for _, t := range tries[:len(tries)-1] {
 				s.observeIC(t.Report.IC)
 			}
@@ -878,8 +951,9 @@ func (s *Server) sliceJob(sp *StoredProgram, req JobRequest) func(ctx context.Co
 				return nil, err
 			}
 			if m.Pending() {
-				s.submitRefine(m)
+				s.submitRefine(m, req.InvariantsID, sp.ID)
 			}
+			s.notifyGeneration(req.InvariantsID, sp.ID, m)
 			for _, t := range tries[:len(tries)-1] {
 				s.observeIC(t.Report.IC)
 			}
@@ -959,16 +1033,32 @@ func shortID(id string) string {
 
 // -------------------------------------------------------------- infra
 
+// handleHealthz is LIVENESS: it answers 200 as long as the process can
+// serve HTTP at all, including while draining — a draining node is
+// alive, it just must not receive new work. Routers consult /readyz
+// for that.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.pool.Draining(),
+		"programs": s.programs.Len(),
+		"queued":   s.pool.QueueDepth(),
+		"running":  s.pool.Running(),
+	})
+}
+
+// handleReadyz is READINESS: 503 from the moment SIGTERM drain begins,
+// so a fleet router stops placing jobs on this node while its queued
+// and running jobs finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.pool.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"programs": s.programs.Len(),
-		"queued":   s.pool.QueueDepth(),
-		"running":  s.pool.Running(),
+		"status":  "ready",
+		"queued":  s.pool.QueueDepth(),
+		"running": s.pool.Running(),
 	})
 }
 

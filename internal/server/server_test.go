@@ -303,10 +303,14 @@ func TestServerEndToEnd(t *testing.T) {
 		}
 	}
 
-	// --- healthz reports a serving daemon
+	// --- healthz (liveness) and readyz (readiness) report a serving daemon
 	var hz map[string]any
 	if status := c.do("GET", "/healthz", nil, &hz); status != http.StatusOK || hz["status"] != "ok" {
 		t.Fatalf("healthz = %d %v", status, hz)
+	}
+	var rz map[string]any
+	if status := c.do("GET", "/readyz", nil, &rz); status != http.StatusOK || rz["status"] != "ready" {
+		t.Fatalf("readyz = %d %v", status, rz)
 	}
 }
 
@@ -346,9 +350,22 @@ func TestServerBackpressure(t *testing.T) {
 	if status, _ := c.submitJob(slow); status != http.StatusAccepted {
 		t.Fatalf("queue-slot job: status %d, want 202", status)
 	}
-	status, _ = c.submitJob(slow)
-	if status != http.StatusTooManyRequests {
-		t.Fatalf("overflow job: status %d, want 429", status)
+	// The overflow 429 must carry a Retry-After hint for client backoff.
+	body, err := json.Marshal(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow job: status %d, want 429", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 || ra > 30 {
+		t.Fatalf("429 Retry-After = %q, want an integer in [1, 30]", resp.Header.Get("Retry-After"))
 	}
 	_, mx := c.text("/metrics")
 	if rejected := metricValue(t, mx, "ohad_jobs_rejected_total"); rejected < 1 {
@@ -405,8 +422,13 @@ func TestServerGracefulShutdown(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if status, _ := c.text("/healthz"); status != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining: status %d, want 503", status)
+	// Readiness flips to 503 so a fleet router stops placing jobs here;
+	// liveness stays 200 — a draining node is still alive.
+	if status, _ := c.text("/readyz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: status %d, want 503", status)
+	}
+	if status, body := c.text("/healthz"); status != http.StatusOK || !strings.Contains(body, `"draining": true`) {
+		t.Fatalf("healthz while draining: status %d body %s, want 200 + draining", status, body)
 	}
 
 	if err := <-shutdownDone; err != nil {

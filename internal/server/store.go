@@ -19,10 +19,51 @@ import (
 	"oha/internal/lang"
 )
 
+// ProgramBackend is the pluggable program state tier. The daemon's
+// handlers and jobs speak only this interface, so a node can serve as
+// a stateless HTTP frontend over a remote tier (see oha/internal/fleet)
+// while a standalone daemon keeps the in-process ProgramStore.
+type ProgramBackend interface {
+	// Submit compiles source and stores the program under its content
+	// address; resubmitting identical IR is idempotent (created=false).
+	Submit(source string) (sp *StoredProgram, created bool, err error)
+	// Get returns the stored program with the given ID (nil if absent).
+	Get(id string) *StoredProgram
+	// List returns stored programs in submission order.
+	List() []*StoredProgram
+	// Len returns the number of stored programs.
+	Len() int
+}
+
+// InvariantBackend is the pluggable invariant-database state tier:
+// a versioned, append-only store of likely-invariant databases with
+// the paper's union/intersection merge rules.
+type InvariantBackend interface {
+	// PutFor appends db as a new version under id, binding it to a
+	// program digest (program "": no claim). Conflicting bindings fail
+	// with ErrProgramMismatch.
+	PutFor(id, program string, db *invariants.DB) (int, error)
+	// MergeFor folds db into the latest version under id and appends
+	// the result as a new version (see PutFor for the binding).
+	MergeFor(id, program string, db *invariants.DB) (int, error)
+	// Get returns a clone of version v under id (v <= 0: latest) and
+	// the resolved version number; ok is false when absent.
+	Get(id string, v int) (db *invariants.DB, version int, ok bool)
+	// Versions returns the number of versions stored under id.
+	Versions(id string) int
+	// ProgramOf returns the program digest bound to id ("" — unbound).
+	ProgramOf(id string) string
+	// List returns the stored IDs in first-put order.
+	List() []string
+	// Len returns the number of distinct invariant-DB IDs.
+	Len() int
+}
+
 // ProgramStore holds compiled MiniLang programs, content-addressed by
 // the SHA-256 digest of their IR text. Submitting the same source twice
 // compiles once and returns the same ID, so every cached static
-// artifact keyed on the program digest stays warm across clients.
+// artifact keyed on the program digest stays warm across clients. It is
+// the in-process ProgramBackend.
 type ProgramStore struct {
 	mu    sync.RWMutex
 	progs map[string]*StoredProgram
@@ -396,3 +437,9 @@ func (s *InvariantStore) Len() int {
 	defer s.mu.RUnlock()
 	return len(s.entries)
 }
+
+// The in-process stores are the default backends.
+var (
+	_ ProgramBackend   = (*ProgramStore)(nil)
+	_ InvariantBackend = (*InvariantStore)(nil)
+)

@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Smoke test for the sharded ohad fleet: boot a 3-node local fleet,
+# check digest routing agrees across frontends, drive a mixed ohaload
+# burst while killing one node mid-run, and assert the survivors keep
+# serving with correct digest routing. Pure curl + grep + the repo's
+# own binaries, so it runs anywhere CI does.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+P1=8451; P2=8452; P3=8453
+PEERS="127.0.0.1:$P1,127.0.0.1:$P2,127.0.0.1:$P3"
+TMP=$(mktemp -d)
+RESP="$TMP/resp"
+
+go build -o "$TMP/ohad" ./cmd/ohad
+go build -o "$TMP/ohaload" ./cmd/ohaload
+
+declare -A PIDS
+start_node() {
+  local port=$1
+  "$TMP/ohad" -addr "127.0.0.1:$port" -advertise "127.0.0.1:$port" -peers "$PEERS" \
+    -workers 2 -queue 32 -replicas 2 \
+    -state-dir "$TMP/state-$port" -cache-dir "$TMP/cache-$port" \
+    >"$TMP/ohad-$port.log" 2>&1 &
+  PIDS[$port]=$!
+}
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  for pid in "${PIDS[@]}"; do wait "$pid" 2>/dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FLEET SMOKE FAIL: $*" >&2
+  for port in $P1 $P2 $P3; do
+    echo "--- ohad $port log ---" >&2
+    cat "$TMP/ohad-$port.log" >&2 || true
+  done
+  exit 1
+}
+
+json_field() { sed -n 's/.*"'"$2"'": *"\([^"]*\)".*/\1/p' "$1" | head -1; }
+json_num() { sed -n 's/.*"'"$2"'": *\([0-9][0-9]*\).*/\1/p' "$1" | head -1; }
+
+start_node $P1
+start_node $P2
+start_node $P3
+
+for port in $P1 $P2 $P3; do
+  up=0
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://127.0.0.1:$port/readyz" >/dev/null 2>&1; then up=1; break; fi
+    sleep 0.1
+  done
+  [ "$up" = 1 ] || fail "node $port never became ready"
+done
+echo "fleet: 3 nodes ready"
+
+# --- Digest routing agrees across frontends --------------------------
+SRC='global a = 0; global l = 0;
+func inc(n) { var i = 0; while (i < n) { a = a + 1; lock(&l); unlock(&l); i = i + 1; } }
+func main() { var n = input(0); var t1 = spawn inc(n); var t2 = spawn inc(n); join(t1); join(t2); print(a); }'
+printf '{"source": "%s"}' "$(printf '%s' "$SRC" | sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' -e 's/$/\\n/' | tr -d '\n')" |
+  curl -fsS "http://127.0.0.1:$P1/v1/programs" -d @- -o "$RESP" || fail "program submit failed"
+PROG_ID=$(json_field "$RESP" id)
+[ -n "$PROG_ID" ] || fail "no program ID in $(cat "$RESP")"
+
+owners_of() { # owners_of PORT -> comma-joined replica set for $PROG_ID
+  curl -fsS "http://127.0.0.1:$1/fleet/ring?program=$PROG_ID" -o "$RESP" || fail "ring fetch from $1 failed"
+  sed -n '/"owners"/,/\]/p' "$RESP" | sed -n 's/.*"\(127\.0\.0\.1:[0-9]*\)".*/\1/p' | paste -sd, -
+}
+O1=$(owners_of $P1); O2=$(owners_of $P2); O3=$(owners_of $P3)
+[ -n "$O1" ] && [ "$O1" = "$O2" ] && [ "$O2" = "$O3" ] || fail "ring disagreement: '$O1' '$O2' '$O3'"
+echo "routing: all frontends place $PROG_ID on [$O1]"
+
+# A job submitted through any frontend is stamped with an owner from
+# that replica set.
+curl -fsS "http://127.0.0.1:$P2/v1/jobs" -o "$RESP" \
+  -d "{\"kind\":\"profile\",\"program_id\":\"$PROG_ID\",\"inputs\":[3],\"runs\":4,\"save_as\":\"smoke-fleet\"}" ||
+  fail "profile submit failed"
+JOB_ID=$(json_field "$RESP" id)
+case "$JOB_ID" in
+  *@*) OWNER=${JOB_ID##*@} ;;
+  *) fail "job id $JOB_ID carries no owner stamp" ;;
+esac
+case ",$O1," in
+  *",$OWNER,"*) ;;
+  *) fail "job owner $OWNER not in replica set [$O1]" ;;
+esac
+for _ in $(seq 1 300); do
+  curl -fsS "http://127.0.0.1:$P3/v1/jobs/$JOB_ID" -o "$RESP" || fail "cross-frontend poll failed"
+  st=$(json_field "$RESP" state)
+  case "$st" in done) break ;; failed) fail "profile job failed: $(cat "$RESP")" ;; esac
+  sleep 0.1
+done
+[ "$st" = done ] || fail "profile job stuck in '$st'"
+echo "routing: job $JOB_ID ran on its owner, polled via another frontend"
+
+# --- Mixed load burst with a mid-run node kill -----------------------
+# Drive the burst through frontends 1 and 2, then kill node 3 a moment
+# in: its shards fail over to the surviving replica of each pair and
+# the burst must still mostly succeed.
+"$TMP/ohaload" -targets "http://127.0.0.1:$P1,http://127.0.0.1:$P2" \
+  -programs 3 -jobs 40 -concurrency 6 -runs 2 -seed 7 \
+  -mix profile=0.2,race=0.5,slice=0.3 \
+  -job-timeout 30s -out "$TMP/bench.json" >"$TMP/ohaload.log" 2>&1 &
+LOAD_PID=$!
+sleep 2
+kill "${PIDS[$P3]}" 2>/dev/null || true
+echo "fleet: killed node $P3 mid-burst"
+wait "$LOAD_PID" || { cat "$TMP/ohaload.log" >&2; fail "ohaload burst exited nonzero"; }
+
+SUBMITTED=$(json_num "$TMP/bench.json" jobs_submitted)
+SUCCEEDED=$(json_num "$TMP/bench.json" jobs_succeeded)
+[ -n "$SUBMITTED" ] && [ "$SUBMITTED" -ge 40 ] || fail "burst submitted only '$SUBMITTED' jobs"
+# In-flight jobs stamped on the killed node may fail; the survivors
+# must still complete the clear majority.
+[ "$SUCCEEDED" -ge $((SUBMITTED * 3 / 4)) ] ||
+  { cat "$TMP/bench.json" >&2; fail "only $SUCCEEDED/$SUBMITTED burst jobs succeeded"; }
+echo "burst: $SUCCEEDED/$SUBMITTED jobs succeeded across the kill"
+
+# --- Survivors keep serving with correct routing ---------------------
+for port in $P1 $P2; do
+  curl -fsS "http://127.0.0.1:$port/readyz" >/dev/null || fail "survivor $port not ready"
+done
+S1=$(owners_of $P1); S2=$(owners_of $P2)
+[ -n "$S1" ] && [ "$S1" = "$S2" ] || fail "survivor ring disagreement: '$S1' '$S2'"
+
+curl -fsS "http://127.0.0.1:$P1/v1/jobs" -o "$RESP" \
+  -d "{\"kind\":\"race\",\"program_id\":\"$PROG_ID\",\"inputs\":[3],\"invariants_id\":\"smoke-fleet\"}" ||
+  fail "post-kill race submit failed"
+JOB2=$(json_field "$RESP" id)
+OWNER2=${JOB2##*@}
+[ "$OWNER2" != "127.0.0.1:$P3" ] || fail "post-kill job placed on the dead node"
+for _ in $(seq 1 300); do
+  curl -fsS "http://127.0.0.1:$P2/v1/jobs/$JOB2" -o "$RESP" || fail "post-kill poll failed"
+  st=$(json_field "$RESP" state)
+  case "$st" in done) break ;; failed) fail "post-kill race job failed: $(cat "$RESP")" ;; esac
+  sleep 0.1
+done
+[ "$st" = done ] || fail "post-kill race job stuck in '$st'"
+curl -fsS "http://127.0.0.1:$P2/v1/jobs/$JOB2/result" -o "$RESP" || fail "post-kill result fetch failed"
+grep -q 'race on' "$RESP" || fail "post-kill run lost the race report: $(cat "$RESP")"
+echo "failover: survivors served job $JOB2 after the kill"
+
+# Fleet counters saw routing traffic.
+curl -fsS "http://127.0.0.1:$P1/metrics" -o "$RESP" || fail "metrics fetch failed"
+grep -q '^oha_fleet_jobs_local_total' "$RESP" || fail "fleet metrics missing"
+
+echo "FLEET SMOKE OK"
