@@ -16,6 +16,20 @@
 //	    Run OptSlice from the N-th print (default: last) and print the
 //	    sliced source lines.
 //
+//	oha compile file.ml [-inv invariants.txt] [-ic off] [-fusion off] [-o prog.ohc]
+//	    Ahead-of-time compile to a serialized .ohc image (source +
+//	    bytecode). With -inv, likely callee sets seed the speculative
+//	    inline caches baked into the image.
+//
+//	oha dump prog.ohc|file.ml
+//	    Disassemble the compiled image: per-PC opcodes with baked
+//	    event-flag bits, inline-cache seeds, and fused superinstruction
+//	    bodies.
+//
+//	oha stepdebug prog.ohc|file.ml [-in 1,2,3] [-seed 7]
+//	    Single-step the deterministic compiled engine interactively:
+//	    line breakpoints, registers, globals, threads (try `help`).
+//
 // With -adapt, a mis-speculation refines the violated likely invariant
 // out of the database, re-runs the predicated static analysis, and
 // retries under the new generation (printing a per-generation
@@ -59,7 +73,7 @@ func main() {
 	inputs := fs.String("in", "", "comma-separated input words")
 	seed := fs.Uint64("seed", 1, "schedule seed for the analyzed execution")
 	runs := fs.Int("runs", 32, "profile: max profiling executions")
-	out := fs.String("o", "", "profile: output file (default stdout)")
+	out := fs.String("o", "", "profile/compile: output file (default: stdout / FILE.ohc)")
 	inv := fs.String("inv", "", "invariants file from `oha profile`")
 	baseline := fs.Bool("baseline", false, "race: run unoptimized FastTrack instead")
 	criterion := fs.Int("criterion", -1, "slice: print-statement index (default: last)")
@@ -91,6 +105,19 @@ func main() {
 	src, err := os.ReadFile(file)
 	check(err)
 	in := parseInputs(*inputs)
+
+	// Toolchain subcommands run before anything tries to parse the file
+	// as MiniLang source: `oha dump prog.ohc` takes a binary artifact.
+	if runTool(cmd, file, src, toolOpts{
+		out:      *out,
+		inv:      *inv,
+		noIC:     parseToggle("ic", *icFlag),
+		noFusion: parseToggle("fusion", *fusionFlag),
+		inputs:   in,
+		seed:     *seed,
+	}) {
+		return
+	}
 
 	if *remote != "" {
 		check(runRemote(*remote, cmd, remoteOpts{
@@ -329,7 +356,7 @@ func parseInputs(s string) []int64 {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: oha profile|race|slice file.ml [flags]")
+	fmt.Fprintln(os.Stderr, "usage: oha profile|race|slice|compile|dump|stepdebug file [flags]")
 	os.Exit(2)
 }
 

@@ -9,6 +9,7 @@
 //	ohad [-addr :8344] [-workers N] [-queue N] [-job-timeout 60s]
 //	     [-max-steps N] [-cache-dir DIR] [-state-dir DIR]
 //	     [-cache-entries N] [-cache-bytes N]
+//	     [-cache-max-age 72h] [-cache-max-disk-bytes N] [-cache-prune-interval 1h]
 //	     [-peers host:port,...] [-advertise host:port] [-replicas N]
 //
 // Quick start:
@@ -59,6 +60,9 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist portable static artifacts under this directory (default: in-memory only)")
 	cacheEntries := flag.Int("cache-entries", 0, "LRU bound on in-memory artifact-cache entries (0: unbounded)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "LRU bound on estimated in-memory artifact-cache bytes (0: unbounded)")
+	cacheMaxAge := flag.Duration("cache-max-age", 0, "prune -cache-dir artifacts older than this (0: never)")
+	cacheMaxDisk := flag.Int64("cache-max-disk-bytes", 0, "prune oldest -cache-dir artifacts beyond this byte budget (0: unbounded)")
+	cachePruneInterval := flag.Duration("cache-prune-interval", time.Hour, "how often the disk-tier pruner runs (given -cache-dir and a prune bound)")
 	stateDir := flag.String("state-dir", "", "persist invariant-DB versions under this directory (default: in-memory only)")
 	staticWorkers := flag.Int("static-workers", 0, "parallel static-solver workers (0: GOMAXPROCS, 1: sequential)")
 	incremental := flag.Bool("inc", true, "resume adaptive re-analysis from the previous generation's saturated solver state")
@@ -69,6 +73,16 @@ func main() {
 	flag.Parse()
 
 	cache := artifacts.New(*cacheDir).Bound(*cacheEntries, *cacheBytes)
+	if *cacheDir != "" && (*cacheMaxAge > 0 || *cacheMaxDisk > 0) {
+		cache.PruneDisk(*cacheMaxAge, *cacheMaxDisk)
+		go func() {
+			for range time.Tick(*cachePruneInterval) {
+				if n := cache.PruneDisk(*cacheMaxAge, *cacheMaxDisk); n > 0 {
+					fmt.Fprintf(os.Stderr, "ohad: pruned %d disk artifacts\n", n)
+				}
+			}
+		}()
+	}
 	scfg := server.Config{
 		Workers:       *workers,
 		QueueSize:     *queue,

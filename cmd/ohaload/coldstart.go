@@ -1,0 +1,195 @@
+// Cold-start mode: instead of driving an external fleet, ohaload
+// boots an in-process ohad server twice over the same -cache-dir and
+// -state-dir equivalents and measures the first race job's latency in
+// each life. Life 1 starts with empty tiers (cold: the job pays for
+// bytecode compilation and the full static solves); life 2 is a
+// restart over the warm disk tier (the job must run with zero compile
+// and zero solver cache misses — every artifact deserializes from
+// disk). The report records per-program cold/warm first-job latency,
+// the aggregate speedup, and the warm life's cache counters proving
+// the zero-miss claim.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"oha/internal/artifacts"
+	"oha/internal/fleet"
+	"oha/internal/progen"
+	"oha/internal/server"
+)
+
+type coldstartSample struct {
+	ProgramID string  `json:"program_id"`
+	ColdMS    float64 `json:"cold_ms"`
+	WarmMS    float64 `json:"warm_ms"`
+}
+
+type coldstartReport struct {
+	Config       config            `json:"config"`
+	StartedAt    string            `json:"started_at"`
+	Cold         latencyStats      `json:"cold_first_job"`
+	Warm         latencyStats      `json:"warm_first_job"`
+	SpeedupP50   float64           `json:"speedup_p50"`
+	SpeedupMean  float64           `json:"speedup_mean"`
+	WarmMisses   uint64            `json:"warm_cache_misses"`
+	WarmDiskHits uint64            `json:"warm_disk_hits"`
+	PerProgram   []coldstartSample `json:"per_program"`
+}
+
+// bootLife starts one server generation over the given persistent
+// dirs on a fresh loopback listener.
+func bootLife(cacheDir, stateDir string, workers int) (string, *server.Server, func(), error) {
+	srv, err := server.New(server.Config{
+		Workers:   workers,
+		QueueSize: 64,
+		Cache:     artifacts.New(cacheDir),
+		StateDir:  stateDir,
+	})
+	if err != nil {
+		return "", nil, nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // closed by stop
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+		hs.Shutdown(ctx)  //nolint:errcheck
+	}
+	return "http://" + ln.Addr().String(), srv, stop, nil
+}
+
+// runColdstart measures cold vs warm first-job latency across a
+// synthetic corpus and writes the JSON report.
+func runColdstart(cfg config, jobTimeout time.Duration, outPath string) {
+	base, err := os.MkdirTemp("", "ohaload-cold-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(base)
+	cacheDir := filepath.Join(base, "cache")
+	stateDir := filepath.Join(base, "state")
+	client := fleet.NewClient()
+	ctx := context.Background()
+	workers := cfg.Concurrency
+
+	upload := func(url, src string) (string, error) {
+		var sub struct {
+			ID string `json:"id"`
+		}
+		status, err := client.JSON(ctx, http.MethodPost, url+"/v1/programs",
+			map[string]string{"source": src}, &sub)
+		if err != nil || status >= 300 {
+			return "", fmt.Errorf("upload: status %d, %v", status, err)
+		}
+		return sub.ID, nil
+	}
+
+	// Life 1 — cold: empty disk tiers. Profile each program (seeding
+	// the invariant DB the race job speculates against), then time its
+	// first race job, which pays for the compiles and static solves.
+	url1, _, stop1, err := bootLife(cacheDir, stateDir, workers)
+	if err != nil {
+		fatal(err)
+	}
+	srcs := make([]string, cfg.Programs)
+	ids := make([]string, cfg.Programs)
+	rep := coldstartReport{
+		Config:    cfg,
+		StartedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	var coldLat, warmLat []time.Duration
+	for i := 0; i < cfg.Programs; i++ {
+		srcs[i] = progen.Generate(cfg.Seed+uint64(i), progen.DefaultConfig())
+		id, err := upload(url1, srcs[i])
+		if err != nil {
+			fatal(fmt.Errorf("cold life, program %d: %v", i, err))
+		}
+		ids[i] = id
+		invID := fmt.Sprintf("cold-%d", i)
+		if _, err := runJob(ctx, client, url1, map[string]any{
+			"kind": "profile", "program_id": id, "runs": cfg.ProfileRuns, "save_as": invID,
+		}, jobTimeout); err != nil {
+			fatal(fmt.Errorf("seed profile for program %d: %v", i, err))
+		}
+		t0 := time.Now()
+		if _, err := runJob(ctx, client, url1, map[string]any{
+			"kind": "race", "program_id": id, "invariants_id": invID,
+		}, jobTimeout); err != nil {
+			fatal(fmt.Errorf("cold race for program %d: %v", i, err))
+		}
+		coldLat = append(coldLat, time.Since(t0))
+	}
+	stop1()
+
+	// Life 2 — warm: a fresh process over the same dirs. Programs are
+	// content-addressed, so resubmission is a no-op identity check;
+	// every compiled image and solver artifact must come off disk.
+	url2, srv2, stop2, err := bootLife(cacheDir, stateDir, workers)
+	if err != nil {
+		fatal(err)
+	}
+	for i := 0; i < cfg.Programs; i++ {
+		id, err := upload(url2, srcs[i])
+		if err != nil {
+			fatal(fmt.Errorf("warm life, program %d: %v", i, err))
+		}
+		if id != ids[i] {
+			fatal(fmt.Errorf("program %d changed content address across restart: %q vs %q", i, id, ids[i]))
+		}
+		t0 := time.Now()
+		if _, err := runJob(ctx, client, url2, map[string]any{
+			"kind": "race", "program_id": id, "invariants_id": fmt.Sprintf("cold-%d", i),
+		}, jobTimeout); err != nil {
+			fatal(fmt.Errorf("warm race for program %d: %v", i, err))
+		}
+		warmLat = append(warmLat, time.Since(t0))
+		rep.PerProgram = append(rep.PerProgram, coldstartSample{
+			ProgramID: id,
+			ColdMS:    float64(coldLat[i]) / float64(time.Millisecond),
+			WarmMS:    float64(warmLat[i]) / float64(time.Millisecond),
+		})
+	}
+	st := srv2.Cache().Stats()
+	stop2()
+	rep.WarmMisses = st.Misses
+	rep.WarmDiskHits = st.DiskHits
+	if st.Misses != 0 {
+		fmt.Fprintf(os.Stderr, "ohaload: WARNING: warm life recomputed %d artifacts (want 0)\n", st.Misses)
+	}
+
+	rep.Cold = summarize(coldLat)
+	rep.Warm = summarize(warmLat)
+	if rep.Warm.P50MS > 0 {
+		rep.SpeedupP50 = rep.Cold.P50MS / rep.Warm.P50MS
+	}
+	if rep.Warm.MeanMS > 0 {
+		rep.SpeedupMean = rep.Cold.MeanMS / rep.Warm.MeanMS
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if outPath == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"ohaload: coldstart over %d programs: first race job p50 %.0fms cold vs %.0fms warm (%.1fx); warm misses=%d disk hits=%d\n",
+		cfg.Programs, rep.Cold.P50MS, rep.Warm.P50MS, rep.SpeedupP50, rep.WarmMisses, rep.WarmDiskHits)
+}

@@ -20,6 +20,12 @@
 //	ohaload -targets http://127.0.0.1:8344,http://127.0.0.1:8345 \
 //	        -programs 8 -jobs 500 -concurrency 16 \
 //	        -mix profile=0.2,race=0.5,slice=0.3 -out BENCH_fleet.json
+//
+// With -coldstart, ohaload instead measures AOT artifact persistence:
+// it boots an in-process daemon twice over the same cache/state dirs
+// and reports the first race job's latency cold (empty tiers) vs warm
+// (restart over the persisted disk tier, which must serve the job with
+// zero compile and zero solver cache misses).
 package main
 
 import (
@@ -96,6 +102,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "corpus and scheduling seed")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job completion deadline")
+	coldstart := flag.Bool("coldstart", false, "measure cold vs warm first-job latency against an in-process daemon restarted over a persistent cache (ignores -targets)")
 	flag.Parse()
 
 	cfg := config{
@@ -105,6 +112,14 @@ func main() {
 		Mix:         *mixFlag,
 		ProfileRuns: *profileRuns,
 		Seed:        *seed,
+	}
+	if *coldstart {
+		if cfg.Programs <= 0 || cfg.Concurrency <= 0 {
+			fatal(fmt.Errorf("-coldstart needs -programs > 0 and -concurrency > 0"))
+		}
+		cfg.Mix = "coldstart"
+		runColdstart(cfg, *jobTimeout, *out)
+		return
 	}
 	for _, t := range strings.Split(*targets, ",") {
 		if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {

@@ -34,11 +34,15 @@ import (
 	"encoding/gob"
 	"encoding/hex"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"oha/internal/bitset"
 	"oha/internal/invariants"
@@ -56,7 +60,8 @@ const (
 	KindProfileRun = "profilerun"
 	// KindCompiled keys bytecode images of a program under one set of
 	// instrumentation masks (extra discriminator: the mask digest).
-	// Compiled code holds pointers into live IR, so it is memory-only.
+	// Portable via CompiledCodec as a raw .ohc image, so a restarted
+	// daemon admits its first job with zero compile work.
 	KindCompiled = "compiled"
 	// KindRefined keys refined invariant databases: the result of
 	// weakening one database by one violation record (extra
@@ -67,26 +72,44 @@ const (
 	// KindSolverState keys saturated points-to solver state by (IR
 	// digest, DB digest): the resume base incremental re-analysis loads
 	// so a generation-N+1 solve starts from generation N's fixpoint.
-	// The stored value is the generation's *pointsto.Result itself —
-	// a saturated Andersen analysis IS its own solver state. Pointer-
-	// laden, so memory-only (no codec).
+	// The stored value is the generation bundle itself — a saturated
+	// Andersen analysis IS its own solver state. Context-insensitive
+	// bundles are portable via inc.GenerationCodec; context-sensitive
+	// ones refuse to marshal and stay memory-only.
 	KindSolverState = "solverstate"
 )
 
 // Codec converts an artifact to and from a portable byte payload for
 // the on-disk layer. Artifacts without a Codec are cached in memory
 // only.
+//
+// A Codec may additionally implement interface{ Ext() string } to
+// choose its on-disk file extension (e.g. ".ohc" for compiled bytecode
+// images). Payloads of such codecs are stored raw — the file IS the
+// artifact, inspectable with `oha dump` — instead of inside the
+// default gob envelope.
 type Codec interface {
 	Marshal(v any) ([]byte, error)
 	Unmarshal(data []byte) (any, error)
 }
 
+// codecExt returns a codec's custom file extension, or "" for the
+// default gob envelope.
+func codecExt(codec Codec) string {
+	if e, ok := codec.(interface{ Ext() string }); ok {
+		return e.Ext()
+	}
+	return ""
+}
+
 // Stats reports cache effectiveness.
 type Stats struct {
-	Hits      uint64 // served from the in-memory layer
-	DiskHits  uint64 // served from the on-disk layer
-	Misses    uint64 // computed (the number of underlying solves)
-	Evictions uint64 // entries dropped by the LRU bound
+	Hits       uint64 // served from the in-memory layer
+	DiskHits   uint64 // served from the on-disk layer
+	Misses     uint64 // computed (the number of underlying solves)
+	Evictions  uint64 // entries dropped by the LRU bound
+	DiskMisses uint64 // disk probes that found no usable artifact
+	DiskPrunes uint64 // disk files removed by PruneDisk
 }
 
 // Lookups returns the total number of cache consultations.
@@ -110,6 +133,7 @@ type Cache struct {
 	maxBytes   int64
 
 	hits, diskHits, misses, evictions atomic.Uint64
+	diskMisses, diskPrunes            atomic.Uint64
 }
 
 // entry is one in-flight or completed artifact computation.
@@ -167,11 +191,38 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:      c.hits.Load(),
-		DiskHits:  c.diskHits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
+		Hits:       c.hits.Load(),
+		DiskHits:   c.diskHits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		DiskMisses: c.diskMisses.Load(),
+		DiskPrunes: c.diskPrunes.Load(),
 	}
+}
+
+// DiskHits returns the number of lookups served from the disk layer.
+func (c *Cache) DiskHits() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.diskHits.Load()
+}
+
+// DiskMisses returns the number of disk probes that found nothing
+// usable (absent, corrupt, or key-mismatched files).
+func (c *Cache) DiskMisses() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.diskMisses.Load()
+}
+
+// DiskPrunes returns the number of disk files removed by PruneDisk.
+func (c *Cache) DiskPrunes() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.diskPrunes.Load()
 }
 
 // Entries returns the number of live in-memory cache entries
@@ -195,6 +246,8 @@ func (c *Cache) Collect(fn func(name string, value float64)) {
 	fn("misses", float64(st.Misses))
 	fn("entries", float64(c.Entries()))
 	fn("evictions", float64(st.Evictions))
+	fn("disk_misses", float64(st.DiskMisses))
+	fn("disk_prunes", float64(st.DiskPrunes))
 }
 
 // Memo returns the artifact stored under key, computing and caching it
@@ -224,6 +277,7 @@ func (c *Cache) Memo(key string, codec Codec, compute func() (any, error)) (any,
 				e.val = v
 				return
 			}
+			c.diskMisses.Add(1)
 		}
 		c.misses.Add(1)
 		e.val, e.err = compute()
@@ -322,6 +376,40 @@ func (c *Cache) Peek(key string) (any, bool) {
 	return e.val, true
 }
 
+// PeekDisk is Peek extended to the on-disk layer: a memory miss probes
+// the disk, and a disk hit is installed as a live in-memory entry (so
+// later Memo calls hit memory). Like Peek it never computes and never
+// counts a Misses — a failed probe only bumps the disk-miss counter —
+// so incremental re-analysis can ask "does a previous generation
+// exist?" across restarts without distorting solve accounting.
+func (c *Cache) PeekDisk(key string, codec Codec) (any, bool) {
+	if v, ok := c.Peek(key); ok {
+		return v, true
+	}
+	if c == nil || codec == nil || c.dir == "" {
+		return nil, false
+	}
+	v, ok := c.loadDisk(key, codec)
+	if !ok {
+		c.diskMisses.Add(1)
+		return nil, false
+	}
+	c.diskHits.Add(1)
+	e := &entry{key: key, val: v}
+	e.once.Do(func() {})
+	e.done.Store(true)
+	c.mu.Lock()
+	if _, exists := c.entries[key]; exists {
+		// Raced with a concurrent Memo; its entry wins.
+		c.mu.Unlock()
+		return v, true
+	}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.admit(e)
+	return v, true
+}
+
 // estimateCost approximates an artifact's resident bytes for the LRU
 // byte cap. Artifacts that know their footprint implement
 // interface{ ArtifactBytes() int64 }; invariant databases are sized
@@ -354,35 +442,50 @@ type envelope struct {
 	Payload []byte
 }
 
-func (c *Cache) diskPath(key string) string {
-	return filepath.Join(c.dir, key[:2], key+".gob")
+func (c *Cache) diskPath(key string, codec Codec) string {
+	ext := codecExt(codec)
+	if ext == "" {
+		ext = ".gob"
+	}
+	return filepath.Join(c.dir, key[:2], key+ext)
 }
 
 func (c *Cache) loadDisk(key string, codec Codec) (any, bool) {
-	f, err := os.Open(c.diskPath(key))
+	data, err := os.ReadFile(c.diskPath(key, codec))
 	if err != nil {
 		return nil, false
 	}
-	defer f.Close()
-	var env envelope
-	if err := gob.NewDecoder(f).Decode(&env); err != nil || env.Key != key {
-		return nil, false
+	if codecExt(codec) == "" {
+		// Default gob envelope: verify the embedded key.
+		var env envelope
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil || env.Key != key {
+			return nil, false
+		}
+		data = env.Payload
 	}
-	v, err := codec.Unmarshal(env.Payload)
+	v, err := codec.Unmarshal(data)
 	if err != nil {
 		return nil, false
 	}
 	return v, true
 }
 
-// storeDisk writes the envelope atomically (temp file + rename);
+// storeDisk writes the artifact atomically (temp file + rename);
 // failures are ignored — the disk layer is a best-effort accelerator.
+// Ext codecs store the raw payload; others go in a gob envelope.
 func (c *Cache) storeDisk(key string, codec Codec, v any) {
 	payload, err := codec.Marshal(v)
 	if err != nil {
 		return
 	}
-	path := c.diskPath(key)
+	if codecExt(codec) == "" {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(envelope{Key: key, Payload: payload}); err != nil {
+			return
+		}
+		payload = buf.Bytes()
+	}
+	path := c.diskPath(key, codec)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return
 	}
@@ -390,8 +493,7 @@ func (c *Cache) storeDisk(key string, codec Codec, v any) {
 	if err != nil {
 		return
 	}
-	enc := gob.NewEncoder(tmp)
-	if err := enc.Encode(envelope{Key: key, Payload: payload}); err != nil {
+	if _, err := tmp.Write(payload); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return
@@ -403,6 +505,78 @@ func (c *Cache) storeDisk(key string, codec Codec, v any) {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 	}
+}
+
+// pruneFile is one disk-layer artifact considered by PruneDisk.
+type pruneFile struct {
+	path  string
+	mtime time.Time
+	size  int64
+}
+
+// artifactFile matches <64-hex-key>.gob or .ohc; anything else in the
+// cache directory is an orphan.
+var artifactFile = regexp.MustCompile(`^[0-9a-f]{64}\.(gob|ohc)$`)
+
+// PruneDisk garbage-collects the on-disk layer: orphans (stale temp
+// files and unrecognized names), artifacts older than maxAge (0: no
+// age bound), and — oldest first — enough artifacts to fit maxBytes
+// (0: no byte bound). Returns the number of files removed. In-memory
+// entries are untouched: a pruned artifact that is still live in
+// memory simply stops being restartable.
+func (c *Cache) PruneDisk(maxAge time.Duration, maxBytes int64) int {
+	if c == nil || c.dir == "" {
+		return 0
+	}
+	now := time.Now()
+	var keep []pruneFile
+	removed := 0
+	remove := func(path string) {
+		if os.Remove(path) == nil {
+			removed++
+			c.diskPrunes.Add(1)
+		}
+	}
+	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		name := d.Name()
+		if !artifactFile.MatchString(name) {
+			// Orphan: a crashed writer's temp file or foreign junk.
+			// Grace-period recent temp files — a concurrent storeDisk
+			// may be mid-write.
+			if now.Sub(info.ModTime()) > time.Minute {
+				remove(path)
+			}
+			return nil
+		}
+		if maxAge > 0 && now.Sub(info.ModTime()) > maxAge {
+			remove(path)
+			return nil
+		}
+		keep = append(keep, pruneFile{path: path, mtime: info.ModTime(), size: info.Size()})
+		return nil
+	})
+	if maxBytes > 0 {
+		var total int64
+		for _, f := range keep {
+			total += f.size
+		}
+		sort.Slice(keep, func(i, j int) bool { return keep[i].mtime.Before(keep[j].mtime) })
+		for _, f := range keep {
+			if total <= maxBytes {
+				break
+			}
+			remove(f.path)
+			total -= f.size
+		}
+	}
+	return removed
 }
 
 // ---------------------------------------------------------------- keys

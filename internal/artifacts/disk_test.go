@@ -1,0 +1,239 @@
+package artifacts_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"oha/internal/artifacts"
+	"oha/internal/ctxs"
+	"oha/internal/interp"
+	"oha/internal/invariants"
+	"oha/internal/lang"
+	"oha/internal/mhp"
+	"oha/internal/pointsto"
+	"oha/internal/profile"
+	"oha/internal/staticrace"
+)
+
+const diskSrc = `
+	global g = 0;
+	global m = 0;
+	func bump() { lock(&m); g = g + 1; unlock(&m); }
+	func main() {
+		var t = spawn bump();
+		bump();
+		join(t);
+		print(g);
+	}
+`
+
+// TestCompiledDiskTier checks KindCompiled artifacts round-trip
+// through the disk tier as raw .ohc files: a second cache over the
+// same directory serves the image from disk with zero compute misses.
+func TestCompiledDiskTier(t *testing.T) {
+	prog := lang.MustCompile(diskSrc)
+	dir := t.TempDir()
+	key := artifacts.Key(artifacts.KindCompiled, prog, nil, 0, "masks")
+	codec := artifacts.CompiledCodec(prog)
+
+	c1 := artifacts.New(dir)
+	v, err := c1.Memo(key, codec, func() (any, error) {
+		return interp.Compile(prog, interp.Masks{}), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := v.(*interp.Code)
+
+	// The on-disk file must be a bare .ohc image.
+	path := filepath.Join(dir, key[:2], key+".ohc")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no raw .ohc file on disk: %v", err)
+	}
+	if _, err := interp.DecodeImage(prog, data); err != nil {
+		t.Fatalf("disk file is not a valid image: %v", err)
+	}
+
+	c2 := artifacts.New(dir)
+	v2, err := c2.Memo(key, codec, func() (any, error) {
+		t.Fatal("restart recompiled despite warm disk tier")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.(*interp.Code).ConfigDigest() != code.ConfigDigest() {
+		t.Fatal("restored image has a different config digest")
+	}
+	st := c2.Stats()
+	if st.Misses != 0 || st.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want 0 misses / 1 disk hit", st)
+	}
+}
+
+// TestSolverDiskTier checks the points-to / mhp / race codecs through
+// the disk tier, including PeekDisk's install-without-miss semantics.
+func TestSolverDiskTier(t *testing.T) {
+	prog := lang.MustCompile(diskSrc)
+	db, err := profile.Run(prog, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := pointsto.Analyze(prog, ctxs.NewCI(prog), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mhp.Analyze(prog, pt, db)
+	race := staticrace.Analyze(prog, pt, m, db)
+
+	dir := t.TempDir()
+	c1 := artifacts.New(dir)
+	store := func(kind string, codec artifacts.Codec, v any) string {
+		key := artifacts.Key(kind, prog, db, 0)
+		if _, err := c1.Memo(key, codec, func() (any, error) { return v, nil }); err != nil {
+			t.Fatal(err)
+		}
+		return key
+	}
+	ptKey := store(artifacts.KindPointsTo, artifacts.PointsToCodec(prog, db), pt)
+	mhpKey := store(artifacts.KindMHP, artifacts.MHPCodec(prog), m)
+	raceKey := store(artifacts.KindStaticRace, artifacts.RaceCodec(prog), race)
+
+	c2 := artifacts.New(dir)
+	if _, ok := c2.PeekDisk(ptKey, artifacts.PointsToCodec(prog, db)); !ok {
+		t.Fatal("points-to artifact not restored from disk")
+	}
+	if _, ok := c2.PeekDisk(mhpKey, artifacts.MHPCodec(prog)); !ok {
+		t.Fatal("mhp artifact not restored from disk")
+	}
+	v, ok := c2.PeekDisk(raceKey, artifacts.RaceCodec(prog))
+	if !ok {
+		t.Fatal("race artifact not restored from disk")
+	}
+	if got, want := v.(*staticrace.Result).CanonicalDigest(), race.CanonicalDigest(); got != want {
+		t.Fatal("restored race result diverged")
+	}
+	st := c2.Stats()
+	if st.Misses != 0 || st.DiskHits != 3 || st.DiskMisses != 0 {
+		t.Fatalf("stats = %+v, want 0 misses / 3 disk hits / 0 disk misses", st)
+	}
+	// PeekDisk installed the values: a Memo now hits memory.
+	if _, err := c2.Memo(raceKey, artifacts.RaceCodec(prog), func() (any, error) {
+		t.Fatal("memo computed after PeekDisk install")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 memory hit", st)
+	}
+	// A probe for an absent key counts a disk miss, not a miss.
+	if _, ok := c2.PeekDisk(strings.Repeat("ab", 32), artifacts.MHPCodec(prog)); ok {
+		t.Fatal("absent key peeked successfully")
+	}
+	if st := c2.Stats(); st.DiskMisses != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want 1 disk miss / 0 misses", st)
+	}
+}
+
+// TestCSPointsToStaysMemoryOnly checks a context-sensitive points-to
+// result is served from memory but never written to disk (its codec
+// refuses to marshal).
+func TestCSPointsToStaysMemoryOnly(t *testing.T) {
+	prog := lang.MustCompile(diskSrc)
+	tree := ctxs.NewCS(prog, 1<<10, nil)
+	pt, err := pointsto.Analyze(prog, tree, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	c := artifacts.New(dir)
+	key := artifacts.Key(artifacts.KindPointsTo, prog, nil, 0, "cs")
+	if _, err := c.Memo(key, artifacts.PointsToCodec(prog, nil), func() (any, error) {
+		return pt, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key[:2], key+".gob")); !os.IsNotExist(err) {
+		t.Fatal("context-sensitive artifact leaked to disk")
+	}
+	if _, ok := c.Peek(key); !ok {
+		t.Fatal("artifact not in memory")
+	}
+}
+
+// TestPruneDisk checks age-based, budget-based, and orphan pruning.
+func TestPruneDisk(t *testing.T) {
+	prog := lang.MustCompile(diskSrc)
+	dir := t.TempDir()
+	c := artifacts.New(dir)
+	var keys []string
+	for i := 0; i < 4; i++ {
+		key := artifacts.Key(artifacts.KindCompiled, prog, nil, i)
+		if _, err := c.Memo(key, artifacts.CompiledCodec(prog), func() (any, error) {
+			return interp.Compile(prog, interp.Masks{}), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	dbKey := artifacts.Key(artifacts.KindProfileRun, prog, nil, 0)
+	if _, err := c.Memo(dbKey, artifacts.DBCodec(), func() (any, error) {
+		return invariants.NewDB(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	path := func(key, ext string) string { return filepath.Join(dir, key[:2], key+ext) }
+	age := func(p string, d time.Duration) {
+		old := time.Now().Add(-d)
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Orphans: a stale temp file and a foreign file.
+	orphan1 := filepath.Join(dir, keys[0][:2], "."+keys[0]+".tmp123")
+	orphan2 := filepath.Join(dir, "junk.dat")
+	for _, p := range []string{orphan1, orphan2} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		age(p, time.Hour)
+	}
+	// keys[0] is expired; the rest are fresh.
+	age(path(keys[0], ".ohc"), 48*time.Hour)
+
+	if n := c.PruneDisk(24*time.Hour, 0); n != 3 {
+		t.Fatalf("pruned %d files, want 3 (expired + 2 orphans)", n)
+	}
+	for _, p := range []string{orphan1, orphan2, path(keys[0], ".ohc")} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s survived pruning", p)
+		}
+	}
+	if _, err := os.Stat(path(dbKey, ".gob")); err != nil {
+		t.Fatal("fresh gob artifact was pruned")
+	}
+
+	// Byte budget: make keys[1] oldest, then shrink the budget so at
+	// least one file must go — oldest first.
+	age(path(keys[1], ".ohc"), time.Hour)
+	info, err := os.Stat(path(keys[2], ".ohc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 3*info.Size() + 1 // keeps ~3 of the 4 remaining files
+	if n := c.PruneDisk(0, budget); n < 1 {
+		t.Fatalf("pruned %d files, want >= 1", n)
+	}
+	if _, err := os.Stat(path(keys[1], ".ohc")); !os.IsNotExist(err) {
+		t.Fatal("oldest file survived budget pruning")
+	}
+	if c.DiskPrunes() < 4 {
+		t.Fatalf("DiskPrunes = %d, want >= 4", c.DiskPrunes())
+	}
+}

@@ -281,3 +281,21 @@ func Intersect(a, b *Set) *Set {
 	c.IntersectWith(b)
 	return c
 }
+
+// Words returns the set's backing words with trailing zero words
+// trimmed: a canonical portable image of the set's content, suitable
+// for serialization. Two sets with equal elements return equal word
+// slices regardless of capacity history. The result is a copy.
+func (s *Set) Words() []uint64 {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	return append([]uint64(nil), s.words[:n]...)
+}
+
+// FromWords reconstructs a set from a word image (the inverse of
+// Words). The words are copied.
+func FromWords(w []uint64) *Set {
+	return &Set{words: append([]uint64(nil), w...)}
+}

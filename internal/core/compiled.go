@@ -42,7 +42,7 @@ func compileOpts(db *invariants.DB, cfg StaticConfig) interp.CompileOptions {
 // place (OptFT.setElidable) must re-derive their image afterwards.
 func compiledCode(prog *ir.Program, m interp.Masks, opts interp.CompileOptions, cache *artifacts.Cache) *interp.Code {
 	key := artifacts.Key(artifacts.KindCompiled, prog, nil, 0, "cfg:"+m.Digest()+"+"+opts.Digest())
-	v, err := cache.Memo(key, nil, func() (any, error) {
+	v, err := cache.Memo(key, artifacts.CompiledCodec(prog), func() (any, error) {
 		return interp.CompileWith(prog, m, opts), nil
 	})
 	if err != nil {
@@ -51,4 +51,13 @@ func compiledCode(prog *ir.Program, m interp.Masks, opts interp.CompileOptions, 
 		return interp.CompileWith(prog, m, opts)
 	}
 	return v.(*interp.Code)
+}
+
+// BaseImage returns the program's full-instrumentation bytecode image
+// (interp.Masks{}: every event kind except the Exec firehose),
+// memoized through cache — including its disk tier, so a restarted
+// daemon's first profiling job starts with zero compile work. With a
+// nil cache it simply compiles.
+func BaseImage(prog *ir.Program, cache *artifacts.Cache) *interp.Code {
+	return compiledCode(prog, interp.Masks{}, interp.CompileOptions{}, cache)
 }

@@ -90,7 +90,7 @@ type raceStatic struct {
 // address; the masks are rebuilt fresh on every call because callers
 // (ValidateCustomSync) mutate them per instance.
 func analyzeRaceStatic(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache, cfg StaticConfig) (*raceStatic, error) {
-	v, err := cache.Memo(artifacts.Key(artifacts.KindStaticRace, prog, db, 0, "ci"), nil, func() (any, error) {
+	v, err := cache.Memo(artifacts.Key(artifacts.KindStaticRace, prog, db, 0, "ci"), artifacts.RaceCodec(prog), func() (any, error) {
 		pt, err := pointsToCI(prog, db, cache, cfg)
 		if err != nil {
 			return nil, err
@@ -113,7 +113,7 @@ func analyzeRaceStatic(prog *ir.Program, db *invariants.DB, cache *artifacts.Cac
 // pointsToCI returns the (memoized) context-insensitive points-to
 // result for the race pipeline.
 func pointsToCI(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache, cfg StaticConfig) (*pointsto.Result, error) {
-	v, err := cache.Memo(artifacts.Key(artifacts.KindPointsTo, prog, db, 0, "ci"), nil, func() (any, error) {
+	v, err := cache.Memo(artifacts.Key(artifacts.KindPointsTo, prog, db, 0, "ci"), artifacts.PointsToCodec(prog, db), func() (any, error) {
 		return pointsto.AnalyzeParallel(prog, ctxs.NewCI(prog), db, cfg.Workers)
 	})
 	if err != nil {
@@ -126,7 +126,7 @@ func pointsToCI(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache, cfg
 // be the pointsToCI result for the same (prog, db), which the key
 // already determines.
 func mhpOf(prog *ir.Program, pt *pointsto.Result, db *invariants.DB, cache *artifacts.Cache) (*mhp.Result, error) {
-	v, err := cache.Memo(artifacts.Key(artifacts.KindMHP, prog, db, 0, "ci"), nil, func() (any, error) {
+	v, err := cache.Memo(artifacts.Key(artifacts.KindMHP, prog, db, 0, "ci"), artifacts.MHPCodec(prog), func() (any, error) {
 		return mhp.Analyze(prog, pt, db), nil
 	})
 	if err != nil {

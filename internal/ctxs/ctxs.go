@@ -198,3 +198,49 @@ func (t *Tree) Extend(c ID, site *ir.Instr, callee *ir.Function) (ID, ExtendStat
 	t.byFn[callee.ID] = append(t.byFn[callee.ID], id)
 	return id, Extended, nil
 }
+
+// ExportCI returns the portable image of a context-insensitive tree:
+// the function ID of each node in creation order. Context IDs are
+// positional, so ImportCI over the same program rebuilds a tree whose
+// IDs match exactly — which is what lets solver state keyed by context
+// ID survive serialization. Sensitive trees have no stable portable
+// form (their identity includes interned call paths and the live
+// budget) and are rejected.
+func (t *Tree) ExportCI() ([]int, error) {
+	if t.sensitive {
+		return nil, errors.New("ctxs: context-sensitive trees are not portable")
+	}
+	fns := make([]int, len(t.nodes))
+	for i, n := range t.nodes {
+		fns[i] = n.fn
+	}
+	return fns, nil
+}
+
+// ImportCI rebuilds a context-insensitive tree from an ExportCI image.
+// fns[0] must be main's function ID and every entry must name a
+// distinct in-range function, so a corrupted image fails here rather
+// than producing out-of-range context IDs downstream.
+func ImportCI(prog *ir.Program, fns []int) (*Tree, error) {
+	main := prog.Main()
+	if main == nil {
+		return nil, errors.New("ctxs: program has no main")
+	}
+	if len(fns) == 0 || fns[0] != main.ID {
+		return nil, errors.New("ctxs: import does not start at main")
+	}
+	t := NewCI(prog)
+	for _, fid := range fns[1:] {
+		if fid < 0 || fid >= len(prog.Funcs) {
+			return nil, errors.New("ctxs: import names an out-of-range function")
+		}
+		if t.fnCtx[fid] != -1 {
+			return nil, errors.New("ctxs: import repeats a function")
+		}
+		id := ID(len(t.nodes))
+		t.nodes = append(t.nodes, node{parent: -1, fn: fid, site: -1})
+		t.fnCtx[fid] = id
+		t.byFn[fid] = append(t.byFn[fid], id)
+	}
+	return t, nil
+}

@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"oha/internal/artifacts"
+	"oha/internal/server"
+)
+
+// bootNode starts one fleet node on a fresh loopback listener over the
+// given server config (its StateDir and Cache carry the persistent
+// tiers) and returns it with a cleanup-registered HTTP server.
+func bootNode(t *testing.T, scfg server.Config) *testNode {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	node, err := NewNode(Config{
+		Self:                addr,
+		Peers:               []string{addr},
+		Replicas:            1,
+		HealthInterval:      100 * time.Millisecond,
+		ReplicationInterval: 50 * time.Millisecond,
+		Server:              scfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: node.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // closed on cleanup
+	node.Start()
+	tn := &testNode{node: node, addr: addr, hs: hs}
+	t.Cleanup(func() {
+		tn.hs.Close() //nolint:errcheck
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		tn.node.Shutdown(ctx) //nolint:errcheck
+		cancel()
+	})
+	return tn
+}
+
+// TestFleetNodeRestartWarmDisk: a fleet node restarted with its
+// persisted StateDir and a warm artifact cache dir serves the
+// previously-submitted program's race job with zero new compile or
+// solve cache misses — the fleet-level statement of the zero-compile,
+// zero-solve cold start.
+func TestFleetNodeRestartWarmDisk(t *testing.T) {
+	base := t.TempDir()
+	cacheDir := filepath.Join(base, "cache")
+	stateDir := filepath.Join(base, "state")
+	scfg := func() server.Config {
+		return server.Config{
+			Workers: 2, QueueSize: 16, JobTimeout: 30 * time.Second,
+			Cache: artifacts.New(cacheDir), StateDir: stateDir,
+		}
+	}
+
+	// First life: profile + race, populating the disk tiers.
+	tn1 := bootNode(t, scfg())
+	c1 := client(t, tn1)
+	id := c1.submitProgram(fleetSrc)
+	status, profID := c1.submitJob(map[string]any{
+		"kind": "profile", "program_id": id, "inputs": []int64{3},
+		"runs": 4, "save_as": "warm",
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("profile submit: status %d", status)
+	}
+	c1.awaitDone(profID)
+	status, raceID := c1.submitJob(map[string]any{
+		"kind": "race", "program_id": id, "inputs": []int64{3}, "invariants_id": "warm",
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("race submit: status %d", status)
+	}
+	race1 := c1.awaitDone(raceID)
+
+	// Crash the node and bring up a replacement over the same dirs.
+	tn1.kill()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	tn1.node.Shutdown(ctx) //nolint:errcheck
+	cancel()
+
+	tn2 := bootNode(t, scfg())
+	c2 := client(t, tn2)
+	if got := c2.submitProgram(fleetSrc); got != id {
+		t.Fatalf("content address changed across restart: %q vs %q", got, id)
+	}
+	status, raceID2 := c2.submitJob(map[string]any{
+		"kind": "race", "program_id": id, "inputs": []int64{3}, "invariants_id": "warm",
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("restart race submit: status %d", status)
+	}
+	race2 := c2.awaitDone(raceID2)
+	if fmt.Sprint(race2["races"]) != fmt.Sprint(race1["races"]) {
+		t.Fatalf("restart changed the verdict: %v vs %v", race2["races"], race1["races"])
+	}
+
+	st := tn2.node.Server().Cache().Stats()
+	if st.Misses != 0 {
+		t.Fatalf("restarted node recomputed %d artifacts, want 0 (stats %+v)", st.Misses, st)
+	}
+	if st.DiskHits == 0 {
+		t.Fatal("restarted node recorded no disk hits")
+	}
+}

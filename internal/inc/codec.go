@@ -1,0 +1,77 @@
+package inc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"oha/internal/artifacts"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/mhp"
+	"oha/internal/pointsto"
+	"oha/internal/staticrace"
+)
+
+// wireGeneration is the disk image of a Generation bundle: the three
+// per-kind portable payloads. The DB is NOT stored — the cache key
+// covers its digest, so the decoder binds the caller's live database,
+// and a key match guarantees it is the database the bundle assumed.
+type wireGeneration struct {
+	PT, MHP, Race []byte
+}
+
+// genCodec persists *Generation bundles for one (program, DB) pair.
+type genCodec struct {
+	prog *ir.Program
+	db   *invariants.DB
+}
+
+func (c genCodec) Marshal(v any) ([]byte, error) {
+	g := v.(*Generation)
+	var w wireGeneration
+	var err error
+	if w.PT, err = g.PT.Encode(); err != nil {
+		return nil, err
+	}
+	if w.MHP, err = g.MHP.Encode(); err != nil {
+		return nil, err
+	}
+	if w.Race, err = g.Race.Encode(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (c genCodec) Unmarshal(data []byte) (any, error) {
+	var w wireGeneration
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("inc: decode generation: %w", err)
+	}
+	pt, err := pointsto.DecodeResult(c.prog, c.db, w.PT)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mhp.DecodeResult(c.prog, w.MHP)
+	if err != nil {
+		return nil, err
+	}
+	race, err := staticrace.DecodeResult(c.prog, w.Race)
+	if err != nil {
+		return nil, err
+	}
+	return &Generation{DB: c.db, PT: pt, MHP: m, Race: race}, nil
+}
+
+// GenerationCodec returns the on-disk codec for Generation bundles of
+// one (program, invariant DB) pair — what lets a restarted daemon
+// resume incremental re-analysis from the previous process's last
+// saturated generation. Context-sensitive bundles refuse to marshal
+// and stay memory-only.
+func GenerationCodec(prog *ir.Program, db *invariants.DB) artifacts.Codec {
+	return genCodec{prog: prog, db: db}
+}

@@ -199,23 +199,23 @@ func loadBundle(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache) (*G
 	if cache == nil {
 		return nil, false
 	}
-	if bv, ok := cache.Peek(solverStateKey(prog, db)); ok {
+	if bv, ok := cache.PeekDisk(solverStateKey(prog, db), GenerationCodec(prog, db)); ok {
 		return bv.(*Generation), true
 	}
-	pv, ok := cache.Peek(artifacts.Key(artifacts.KindPointsTo, prog, db, 0, "ci"))
+	pv, ok := cache.PeekDisk(artifacts.Key(artifacts.KindPointsTo, prog, db, 0, "ci"), artifacts.PointsToCodec(prog, db))
 	if !ok {
 		return nil, false
 	}
-	mv, ok := cache.Peek(artifacts.Key(artifacts.KindMHP, prog, db, 0, "ci"))
+	mv, ok := cache.PeekDisk(artifacts.Key(artifacts.KindMHP, prog, db, 0, "ci"), artifacts.MHPCodec(prog))
 	if !ok {
 		return nil, false
 	}
-	rv, ok := cache.Peek(artifacts.Key(artifacts.KindStaticRace, prog, db, 0, "ci"))
+	rv, ok := cache.PeekDisk(artifacts.Key(artifacts.KindStaticRace, prog, db, 0, "ci"), artifacts.RaceCodec(prog))
 	if !ok {
 		return nil, false
 	}
 	g := &Generation{DB: db, PT: pv.(*pointsto.Result), MHP: mv.(*mhp.Result), Race: rv.(*staticrace.Result)}
-	cache.Memo(solverStateKey(prog, db), nil, func() (any, error) { return g, nil }) //nolint:errcheck
+	cache.Memo(solverStateKey(prog, db), GenerationCodec(prog, db), func() (any, error) { return g, nil }) //nolint:errcheck
 	return g, true
 }
 
@@ -230,8 +230,8 @@ func publish(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache, g *Gen
 	if cache == nil {
 		return
 	}
-	cache.Memo(ptKey, nil, func() (any, error) { return g.PT, nil })
-	cache.Memo(mhpKey, nil, func() (any, error) { return g.MHP, nil })
-	cache.Memo(raceKey, nil, func() (any, error) { return g.Race, nil })
-	cache.Memo(solverStateKey(prog, db), nil, func() (any, error) { return g, nil })
+	cache.Memo(ptKey, artifacts.PointsToCodec(prog, db), func() (any, error) { return g.PT, nil })
+	cache.Memo(mhpKey, artifacts.MHPCodec(prog), func() (any, error) { return g.MHP, nil })
+	cache.Memo(raceKey, artifacts.RaceCodec(prog), func() (any, error) { return g.Race, nil })
+	cache.Memo(solverStateKey(prog, db), GenerationCodec(prog, db), func() (any, error) { return g, nil })
 }

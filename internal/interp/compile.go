@@ -453,17 +453,26 @@ func Compile(prog *ir.Program, m Masks) *Code {
 // cache seeds for indirect call/spawn sites and the fusion/IC debug
 // toggles.
 func CompileWith(prog *ir.Program, m Masks, opts CompileOptions) *Code {
-	c := &Code{
-		prog:       prog,
-		code:       make([]cinstr, 0, len(prog.Instrs)),
-		funcs:      make([]*cfunc, len(prog.Funcs)),
-		maskDigest: m.Digest(),
-	}
+	c, blockPC := newSkeleton(prog)
+	c.maskDigest = m.Digest()
 	sum := sha256.Sum256([]byte(c.maskDigest + "+" + opts.Digest()))
 	c.cfgDigest = hex.EncodeToString(sum[:])
+	c.applyMasks(m)
+	if !opts.DisableIC {
+		c.applyICs(opts.Callees)
+	}
+	if !opts.DisableFusion {
+		c.fuse(blockPC)
+	}
+	return c
+}
 
-	// Pass 1: lay out blocks (emission order: functions, then blocks in
-	// function order) and record each block's starting PC.
+// blockLayout lays out blocks in emission order (functions, then
+// blocks in function order) and returns each block's starting PC. The
+// layout is a pure function of the program, which is what lets the
+// image decoder (image.go) re-derive branch targets instead of
+// trusting serialized PCs.
+func blockLayout(prog *ir.Program) []int32 {
 	blockPC := make([]int32, len(prog.Blocks))
 	pc := int32(0)
 	for _, f := range prog.Funcs {
@@ -472,13 +481,28 @@ func CompileWith(prog *ir.Program, m Masks, opts CompileOptions) *Code {
 			pc += int32(len(b.Instrs))
 		}
 	}
+	return blockPC
+}
+
+// newSkeleton lowers prog into its compiled skeleton: everything that
+// is a pure function of the IR — opcodes, operands, branch targets,
+// call arguments, direct-call targets — with no event flags, no inline
+// caches, and no fusion. CompileWith layers those on via applyMasks /
+// applyICs / fuse; the image decoder layers them on from a serialized
+// image instead, after validating each against this same skeleton.
+func newSkeleton(prog *ir.Program) (*Code, []int32) {
+	c := &Code{
+		prog:  prog,
+		code:  make([]cinstr, 0, len(prog.Instrs)),
+		funcs: make([]*cfunc, len(prog.Funcs)),
+	}
+	blockPC := blockLayout(prog)
 	for _, f := range prog.Funcs {
 		cf := &cfunc{
-			fn:      f,
-			entry:   blockPC[f.Entry.ID],
-			nregs:   len(f.Vars),
-			entryB:  f.Entry,
-			entryEv: masked(m.Block, f.Entry.ID),
+			fn:     f,
+			entry:  blockPC[f.Entry.ID],
+			nregs:  len(f.Vars),
+			entryB: f.Entry,
 		}
 		for _, p := range f.Params {
 			cf.params = append(cf.params, int32(p.ID))
@@ -489,7 +513,6 @@ func CompileWith(prog *ir.Program, m Masks, opts CompileOptions) *Code {
 		c.main = c.funcs[mf.ID]
 	}
 
-	// Pass 2: emit instructions with targets and flags resolved.
 	for _, f := range prog.Funcs {
 		for _, blk := range f.Blocks {
 			for _, in := range blk.Instrs {
@@ -499,9 +522,6 @@ func CompileWith(prog *ir.Program, m Masks, opts CompileOptions) *Code {
 				}
 				ci.a = lowerOperand(in.A)
 				ci.b = lowerOperand(in.B)
-				if execFlagged(m, in.ID) {
-					ci.flags |= fExecEv
-				}
 				switch in.Op {
 				case ir.OpCopy:
 					ci.op = cCopy
@@ -518,24 +538,12 @@ func CompileWith(prog *ir.Program, m Masks, opts CompileOptions) *Code {
 					ci.op = cAlloc
 				case ir.OpLoad:
 					ci.op = cLoad
-					if masked(m.Mem, in.ID) {
-						ci.flags |= fMemEv
-					}
 				case ir.OpStore:
 					ci.op = cStore
-					if masked(m.Mem, in.ID) {
-						ci.flags |= fMemEv
-					}
 				case ir.OpLock:
 					ci.op = cLock
-					if masked(m.Sync, in.ID) {
-						ci.flags |= fSyncEv
-					}
 				case ir.OpUnlock:
 					ci.op = cUnlock
-					if masked(m.Sync, in.ID) {
-						ci.flags |= fSyncEv
-					}
 				case ir.OpCall, ir.OpSpawn:
 					if in.Op == ir.OpCall {
 						ci.op = cCall
@@ -551,11 +559,6 @@ func CompileWith(prog *ir.Program, m Masks, opts CompileOptions) *Code {
 							ci.args[i] = lowerOperand(a)
 						}
 					}
-					if ci.fn == nil && !opts.DisableIC {
-						if seeds := opts.Callees[in.ID]; len(seeds) >= 1 && len(seeds) <= icMaxEntries {
-							c.seedIC(&ci, in, seeds)
-						}
-					}
 				case ir.OpJoin:
 					ci.op = cJoin
 				case ir.OpRet:
@@ -565,20 +568,11 @@ func CompileWith(prog *ir.Program, m Masks, opts CompileOptions) *Code {
 					s0 := blk.Succs[0]
 					ci.t0 = blockPC[s0.ID]
 					ci.b0 = s0
-					if masked(m.Block, s0.ID) {
-						ci.flags |= fBlkEv0
-					}
 				case ir.OpBr:
 					ci.op = cBr
 					s0, s1 := blk.Succs[0], blk.Succs[1]
 					ci.t0, ci.t1 = blockPC[s0.ID], blockPC[s1.ID]
 					ci.b0, ci.b1 = s0, s1
-					if masked(m.Block, s0.ID) {
-						ci.flags |= fBlkEv0
-					}
-					if masked(m.Block, s1.ID) {
-						ci.flags |= fBlkEv1
-					}
 				case ir.OpPrint:
 					ci.op = cPrint
 				case ir.OpInput:
@@ -592,20 +586,70 @@ func CompileWith(prog *ir.Program, m Masks, opts CompileOptions) *Code {
 			}
 		}
 	}
+	return c, blockPC
+}
 
-	// Pass 3: superinstruction fusion, per block, interning immediate
-	// micro-op operands into a per-function constant pool.
-	if !opts.DisableFusion {
-		for _, f := range prog.Funcs {
-			cf := c.funcs[f.ID]
-			pool := map[int64]int32{}
-			for _, blk := range f.Blocks {
-				start := blockPC[blk.ID]
-				c.fuseBlock(cf, pool, start, start+int32(len(blk.Instrs)))
+// applyMasks bakes the per-site instrumentation masks into per-
+// instruction flag bits and per-function entry-block bits.
+func (c *Code) applyMasks(m Masks) {
+	for _, cf := range c.funcs {
+		cf.entryEv = masked(m.Block, cf.entryB.ID)
+	}
+	for pc := range c.code {
+		ci := &c.code[pc]
+		if execFlagged(m, ci.in.ID) {
+			ci.flags |= fExecEv
+		}
+		switch ci.op {
+		case cLoad, cStore:
+			if masked(m.Mem, ci.in.ID) {
+				ci.flags |= fMemEv
+			}
+		case cLock, cUnlock:
+			if masked(m.Sync, ci.in.ID) {
+				ci.flags |= fSyncEv
+			}
+		case cJmp:
+			if masked(m.Block, ci.b0.ID) {
+				ci.flags |= fBlkEv0
+			}
+		case cBr:
+			if masked(m.Block, ci.b0.ID) {
+				ci.flags |= fBlkEv0
+			}
+			if masked(m.Block, ci.b1.ID) {
+				ci.flags |= fBlkEv1
 			}
 		}
 	}
-	return c
+}
+
+// applyICs seeds inline caches at indirect call/spawn sites with
+// likely-callee seeds, in PC order (which fixes icIdx assignment and
+// therefore the image's deopt-table layout).
+func (c *Code) applyICs(callees map[int][]int) {
+	for pc := range c.code {
+		ci := &c.code[pc]
+		if (ci.op != cCall && ci.op != cSpawn) || ci.fn != nil {
+			continue
+		}
+		if seeds := callees[ci.in.ID]; len(seeds) >= 1 && len(seeds) <= icMaxEntries {
+			c.seedIC(ci, ci.in, seeds)
+		}
+	}
+}
+
+// fuse runs superinstruction fusion per block, interning immediate
+// micro-op operands into a per-function constant pool.
+func (c *Code) fuse(blockPC []int32) {
+	for _, f := range c.prog.Funcs {
+		cf := c.funcs[f.ID]
+		pool := map[int64]int32{}
+		for _, blk := range f.Blocks {
+			start := blockPC[blk.ID]
+			c.fuseBlock(cf, pool, start, start+int32(len(blk.Instrs)))
+		}
+	}
 }
 
 // seedIC bakes an inline cache into one indirect call/spawn site.

@@ -69,8 +69,10 @@ type engine struct {
 	ic     ICStats
 }
 
-// runCompiled executes cfg under the compiled engine.
-func runCompiled(cfg Config) (*Result, error) {
+// newEngine builds an engine for cfg with defaults applied: the
+// shared construction path of runCompiled and the step debugger
+// (debug.go).
+func newEngine(cfg Config) (*engine, error) {
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = 32
 	}
@@ -85,7 +87,7 @@ func runCompiled(cfg Config) (*Result, error) {
 	if code == nil {
 		code = Compile(cfg.Prog, cfg.Masks())
 	} else if code.prog != cfg.Prog {
-		return &Result{}, errors.New("interp: Config.Code was compiled from a different program")
+		return nil, errors.New("interp: Config.Code was compiled from a different program")
 	}
 	e := &engine{cfg: cfg, code: code, chooser: ch}
 	if code.numICs > 0 {
@@ -100,7 +102,16 @@ func runCompiled(cfg Config) (*Result, error) {
 	}
 	e.objects = append(e.objects, globals)
 	e.lockTab = append(e.lockTab, nil)
-	err := e.run()
+	return e, nil
+}
+
+// runCompiled executes cfg under the compiled engine.
+func runCompiled(cfg Config) (*Result, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return &Result{}, err
+	}
+	err = e.run()
 	return &Result{Output: e.output, Stats: e.stats, Threads: len(e.threads), IC: e.ic}, err
 }
 
@@ -316,7 +327,9 @@ func (e *engine) resolveCallee(th *cthread, fr *cframe, in *cinstr) (*cfunc, err
 	return f, nil
 }
 
-func (e *engine) run() error {
+// start spawns the main thread and delivers its entry BlockEnter —
+// the common prologue of run and the step debugger.
+func (e *engine) start() error {
 	if e.code.main == nil {
 		return errors.New("interp: program has no main")
 	}
@@ -325,19 +338,37 @@ func (e *engine) run() error {
 		e.stats.BlockEvents++
 		tr.BlockEnter(mainTh.id, e.code.main.entryB)
 	}
-	for {
-		run := e.runnable()
-		if len(run) == 0 {
-			for _, th := range e.threads {
-				if th.state != tDone {
-					return fmt.Errorf("%w: thread %d waiting", ErrDeadlock, th.id)
-				}
+	return nil
+}
+
+// pickRunnable chooses the next scheduled thread. ok is false when
+// every thread has finished; a non-empty thread set with nothing
+// runnable is a deadlock.
+func (e *engine) pickRunnable() (vc.TID, bool, error) {
+	run := e.runnable()
+	if len(run) == 0 {
+		for _, th := range e.threads {
+			if th.state != tDone {
+				return 0, false, fmt.Errorf("%w: thread %d waiting", ErrDeadlock, th.id)
 			}
-			return nil // all threads finished
 		}
-		pick := run[0]
-		if len(run) > 1 {
-			pick = e.chooser.Choose(run)
+		return 0, false, nil // all threads finished
+	}
+	pick := run[0]
+	if len(run) > 1 {
+		pick = e.chooser.Choose(run)
+	}
+	return pick, true, nil
+}
+
+func (e *engine) run() error {
+	if err := e.start(); err != nil {
+		return err
+	}
+	for {
+		pick, ok, err := e.pickRunnable()
+		if err != nil || !ok {
+			return err
 		}
 		if err := e.runSlice(e.threads[pick]); err != nil {
 			return err

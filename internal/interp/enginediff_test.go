@@ -28,16 +28,30 @@ import (
 var (
 	icFlag     = flag.String("ic", "on", "differential images: speculative inline caches (on|off)")
 	fusionFlag = flag.String("fusion", "on", "differential images: superinstruction fusion (on|off)")
+	imageFlag  = flag.String("image", "direct", "differential images: direct in-memory Code, or an EncodeImage/DecodeImage round trip (direct|roundtrip)")
 )
 
 // diffCompile builds the image the compiled-engine half of a
-// differential run executes, honoring the -ic/-fusion test flags.
+// differential run executes, honoring the -ic/-fusion test flags. With
+// -image=roundtrip every image is serialized to its .ohc form and
+// decoded back before executing, so the whole differential matrix
+// doubles as the decoded-image equivalence gate: traces, step counts,
+// and violation histories must be bit-identical to in-memory
+// compilation.
 func diffCompile(prog *ir.Program, m interp.Masks, callees map[int][]int) *interp.Code {
-	return interp.CompileWith(prog, m, interp.CompileOptions{
+	code := interp.CompileWith(prog, m, interp.CompileOptions{
 		Callees:       callees,
 		DisableIC:     *icFlag == "off",
 		DisableFusion: *fusionFlag == "off",
 	})
+	if *imageFlag == "roundtrip" {
+		dec, err := interp.DecodeImage(prog, code.EncodeImage())
+		if err != nil {
+			panic("diffCompile: image round trip failed: " + err.Error())
+		}
+		return dec
+	}
+	return code
 }
 
 // indirectSites returns the program's indirect call/spawn instructions

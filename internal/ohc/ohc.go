@@ -1,0 +1,112 @@
+// Package ohc reads and writes .ohc files: the on-disk container for
+// ahead-of-time compiled MiniLang programs (`oha compile -o`). A file
+// carries the program source alongside its serialized compiled image
+// (interp.EncodeImage), because an image is only executable against
+// the exact program it was compiled from: the reader recompiles the
+// embedded source and the image's program digest guards the rebind.
+// Tools that load a .ohc therefore get the program IR, the source (for
+// the step debugger's line view), and the zero-compile image in one
+// artifact.
+//
+// The artifact cache's disk tier stores bare images (the cache key
+// pins the program); this container format is for files users pass
+// around.
+package ohc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+
+	"oha/internal/interp"
+	"oha/internal/ir"
+	"oha/internal/lang"
+)
+
+// magic identifies a .ohc container; version gates layout changes.
+var magic = [6]byte{'O', 'H', 'C', 'P', 'K', 'G'}
+
+const version uint16 = 1
+
+// ErrFormat wraps every container-level decode failure.
+var ErrFormat = errors.New("ohc: bad container")
+
+// File is a decoded .ohc container.
+type File struct {
+	Source string
+	Prog   *ir.Program
+	Code   *interp.Code
+}
+
+// Encode serializes source plus its compiled image into the container
+// format.
+func Encode(source string, code *interp.Code) []byte {
+	img := code.EncodeImage()
+	buf := make([]byte, 0, len(magic)+2+8+len(source)+8+len(img))
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, version)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(source)))
+	buf = append(buf, source...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(img)))
+	buf = append(buf, img...)
+	return buf
+}
+
+// Decode parses a container, recompiles the embedded source, and
+// rebinds the image to it (validated by interp.DecodeImage, including
+// the program-digest guard).
+func Decode(data []byte) (*File, error) {
+	if len(data) < len(magic)+2 || [6]byte(data[:6]) != magic {
+		return nil, fmt.Errorf("%w: not an ohc file", ErrFormat)
+	}
+	if v := binary.LittleEndian.Uint16(data[6:]); v != version {
+		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrFormat, v, version)
+	}
+	rest := data[8:]
+	src, rest, err := lengthPrefixed(rest)
+	if err != nil {
+		return nil, err
+	}
+	img, rest, err := lengthPrefixed(rest)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, len(rest))
+	}
+	prog, err := lang.Compile(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%w: embedded source: %v", ErrFormat, err)
+	}
+	code, err := interp.DecodeImage(prog, img)
+	if err != nil {
+		return nil, err
+	}
+	return &File{Source: string(src), Prog: prog, Code: code}, nil
+}
+
+func lengthPrefixed(b []byte) (payload, rest []byte, err error) {
+	if len(b) < 8 {
+		return nil, nil, fmt.Errorf("%w: truncated", ErrFormat)
+	}
+	n := binary.LittleEndian.Uint64(b)
+	if n > uint64(len(b)-8) {
+		return nil, nil, fmt.Errorf("%w: truncated payload", ErrFormat)
+	}
+	return b[8 : 8+n], b[8+n:], nil
+}
+
+// WriteFile writes the container for (source, code) to path.
+func WriteFile(path, source string, code *interp.Code) error {
+	return os.WriteFile(path, Encode(source, code), 0o644)
+}
+
+// ReadFile reads and decodes a container from path.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}

@@ -1,0 +1,69 @@
+package ohc
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"oha/internal/interp"
+	"oha/internal/lang"
+)
+
+const src = `func main() { var i = 0; var s = 0; while (i < 5) { s = s + i; i = i + 1; } print(s); }`
+
+func TestContainerRoundTrip(t *testing.T) {
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := interp.Compile(prog, interp.Masks{})
+	path := filepath.Join(t.TempDir(), "prog.ohc")
+	if err := WriteFile(path, src, code); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Source != src {
+		t.Error("source diverged")
+	}
+	if f.Code.ConfigDigest() != code.ConfigDigest() {
+		t.Error("config digest diverged")
+	}
+	res, err := interp.Run(interp.Config{Prog: f.Prog, Engine: interp.EngineCompiled, Code: f.Code})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 10 {
+		t.Fatalf("output = %v, want [10]", res.Output)
+	}
+}
+
+func TestContainerRejects(t *testing.T) {
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := Encode(src, interp.Compile(prog, interp.Masks{}))
+	if _, err := Decode(data[:len(data)/2]); !errors.Is(err, ErrFormat) && !errors.Is(err, interp.ErrImage) {
+		t.Fatalf("truncated: err = %v", err)
+	}
+	if _, err := Decode([]byte("not an ohc file at all")); !errors.Is(err, ErrFormat) {
+		t.Fatalf("garbage: err = %v", err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[6] ^= 0xff
+	if _, err := Decode(bad); !errors.Is(err, ErrFormat) {
+		t.Fatalf("version skew: err = %v", err)
+	}
+	// Source/image mismatch: splice another program's image in.
+	other, err := lang.Compile(`func main() { print(1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spliced := Encode(src, interp.Compile(other, interp.Masks{}))
+	if _, err := Decode(spliced); !errors.Is(err, interp.ErrImage) {
+		t.Fatalf("spliced image: err = %v", err)
+	}
+}

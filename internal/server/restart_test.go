@@ -1,0 +1,79 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"oha/internal/artifacts"
+)
+
+// TestServerRestartWarmDisk is the cold-start acceptance test: a
+// daemon restarted against a warm -cache-dir (plus its StateDir) must
+// serve the previously-submitted program's race job with ZERO compile
+// and ZERO static-solve cache misses — every artifact (compiled
+// images, points-to, MHP, race) comes back from the disk tier — and
+// produce the identical verdict. The disk counters must be visible on
+// /metrics under their documented names.
+func TestServerRestartWarmDisk(t *testing.T) {
+	base := t.TempDir()
+	cacheDir := filepath.Join(base, "cache")
+	stateDir := filepath.Join(base, "state")
+
+	// First life: profile, then run a race job, populating the tiers.
+	_, c1 := newTestServer(t, Config{
+		Workers: 2, Cache: artifacts.New(cacheDir), StateDir: stateDir,
+	})
+	id := c1.submitProgram(integSrc)
+	status, profID := c1.submitJob(JobRequest{
+		Kind: "profile", ProgramID: id, Inputs: []int64{3}, Runs: 4, SaveAs: "warm",
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("profile submit: status %d", status)
+	}
+	c1.awaitDone(profID)
+	status, raceID := c1.submitJob(JobRequest{
+		Kind: "race", ProgramID: id, Inputs: []int64{3}, InvariantsID: "warm",
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("race submit: status %d", status)
+	}
+	race1 := c1.awaitDone(raceID)
+
+	// Second life: a fresh process-worth of state over the same dirs.
+	// The program must be resubmitted (programs are in-memory), but
+	// every expensive artifact must come back from disk.
+	srv2, c2 := newTestServer(t, Config{
+		Workers: 2, Cache: artifacts.New(cacheDir), StateDir: stateDir,
+	})
+	if got := c2.submitProgram(integSrc); got != id {
+		t.Fatalf("content address changed across restart: %q vs %q", got, id)
+	}
+	status, raceID2 := c2.submitJob(JobRequest{
+		Kind: "race", ProgramID: id, Inputs: []int64{3}, InvariantsID: "warm",
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("restart race submit: status %d", status)
+	}
+	race2 := c2.awaitDone(raceID2)
+	if fmt.Sprint(race2["races"]) != fmt.Sprint(race1["races"]) {
+		t.Fatalf("restart changed the verdict: %v vs %v", race2["races"], race1["races"])
+	}
+
+	st := srv2.cache.Stats()
+	if st.Misses != 0 {
+		t.Fatalf("restarted daemon recomputed %d artifacts, want 0 (stats %+v)", st.Misses, st)
+	}
+	if st.DiskHits == 0 {
+		t.Fatal("restarted daemon recorded no disk hits")
+	}
+
+	// The disk tier is observable under the documented metric names.
+	_, mx := c2.text("/metrics")
+	if v := metricValue(t, mx, "oha_artifacts_disk_hits_total"); v == 0 {
+		t.Fatal("oha_artifacts_disk_hits_total = 0 after warm restart")
+	}
+	metricValue(t, mx, "oha_artifacts_disk_misses_total")
+	metricValue(t, mx, "oha_artifacts_disk_prunes_total")
+}

@@ -215,6 +215,12 @@ func New(cfg Config) (*Server, error) {
 	registerCacheMetrics(s.reg, cache)
 	s.reg.NewCounterFunc("oha_artifacts_evictions_total",
 		"artifact-cache entries dropped by the LRU bound", cache.Evictions)
+	s.reg.NewCounterFunc("oha_artifacts_disk_hits_total",
+		"artifact lookups served from the on-disk tier", cache.DiskHits)
+	s.reg.NewCounterFunc("oha_artifacts_disk_misses_total",
+		"artifact disk probes that found no usable file", cache.DiskMisses)
+	s.reg.NewCounterFunc("oha_artifacts_disk_prunes_total",
+		"artifact disk files removed by pruning", cache.DiskPrunes)
 	s.routes()
 	return s, nil
 }
@@ -252,6 +258,9 @@ func (s *Server) Pool() *Pool { return s.pool }
 
 // Metrics exposes the metrics registry (for embedding extra metrics).
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Cache exposes the shared artifact cache (for pruning and embedding).
+func (s *Server) Cache() *artifacts.Cache { return s.cache }
 
 // Shutdown drains the job pool: new submissions are rejected with 503
 // immediately, queued and running jobs run to completion (bounded by
@@ -828,7 +837,7 @@ func (s *Server) profileJob(sp *StoredProgram, req JobRequest) func(ctx context.
 		}
 		pr, err := core.ProfileWith(sp.Prog, func(run int) core.Execution {
 			return core.Execution{Inputs: req.Inputs, Seed: uint64(run + 1)}
-		}, core.ProfileOptions{MaxRuns: runs, Workers: 1, Cache: s.cache, Ctx: ctx, Code: sp.BaseCode()})
+		}, core.ProfileOptions{MaxRuns: runs, Workers: 1, Cache: s.cache, Ctx: ctx, Code: core.BaseImage(sp.Prog, s.cache)})
 		if err != nil {
 			return nil, err
 		}

@@ -13,7 +13,6 @@ import (
 	"time"
 
 	"oha/internal/artifacts"
-	"oha/internal/interp"
 	"oha/internal/invariants"
 	"oha/internal/ir"
 	"oha/internal/lang"
@@ -79,20 +78,6 @@ type StoredProgram struct {
 	Created time.Time   `json:"created"`
 	Prog    *ir.Program `json:"-"`
 	Source  string      `json:"-"`
-
-	baseOnce sync.Once
-	baseCode *interp.Code
-}
-
-// BaseCode returns the program's full-instrumentation bytecode image
-// (interp.Masks{}: every event kind except the Exec firehose), compiled
-// lazily on first use and shared by every profiling job on this
-// program. The image is immutable and safe for concurrent executions.
-func (sp *StoredProgram) BaseCode() *interp.Code {
-	sp.baseOnce.Do(func() {
-		sp.baseCode = interp.Compile(sp.Prog, interp.Masks{})
-	})
-	return sp.baseCode
 }
 
 // NewProgramStore returns an empty store.

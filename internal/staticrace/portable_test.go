@@ -1,0 +1,91 @@
+package staticrace
+
+import (
+	"bytes"
+	"testing"
+
+	"oha/internal/ctxs"
+	"oha/internal/lang"
+	"oha/internal/mhp"
+	"oha/internal/pointsto"
+	"oha/internal/profile"
+)
+
+const portableSrc = `
+	global g = 0;
+	global h = 0;
+	global m = 0;
+	func bump() { lock(&m); g = g + 1; unlock(&m); h = h + 1; }
+	func main() {
+		var t = spawn bump();
+		bump();
+		join(t);
+		print(g + h);
+	}
+`
+
+// TestPortableRoundTrip requires a decoded race result to match the
+// original's canonical digest and re-encode byte-identically, in both
+// sound and predicated variants.
+func TestPortableRoundTrip(t *testing.T) {
+	prog := lang.MustCompile(portableSrc)
+	db, err := profile.Run(prog, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name string
+		pred bool
+	}{{"sound", false}, {"predicated", true}} {
+		d := db
+		if !variant.pred {
+			d = nil
+		}
+		pt, err := pointsto.Analyze(prog, ctxs.NewCI(prog), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Analyze(prog, pt, mhp.Analyze(prog, pt, d), d)
+		blob, err := r.Encode()
+		if err != nil {
+			t.Fatalf("%s: %v", variant.name, err)
+		}
+		dec, err := DecodeResult(prog, blob)
+		if err != nil {
+			t.Fatalf("%s: %v", variant.name, err)
+		}
+		if got, want := dec.CanonicalDigest(), r.CanonicalDigest(); got != want {
+			t.Fatalf("%s: canonical digest diverged:\n got %s\nwant %s", variant.name, got, want)
+		}
+		if dec.RaceFree() != r.RaceFree() {
+			t.Fatalf("%s: RaceFree diverged", variant.name)
+		}
+		blob2, err := dec.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("%s: re-encode is not byte-identical", variant.name)
+		}
+	}
+}
+
+// TestPortableRejects checks truncated and cross-program blobs fail.
+func TestPortableRejects(t *testing.T) {
+	prog := lang.MustCompile(portableSrc)
+	pt, err := pointsto.Analyze(prog, ctxs.NewCI(prog), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Analyze(prog, pt, mhp.Analyze(prog, pt, nil), nil).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResult(prog, blob[:len(blob)/3]); err == nil {
+		t.Fatal("truncated blob decoded")
+	}
+	other := lang.MustCompile(`func main() { print(1); }`)
+	if _, err := DecodeResult(other, blob); err == nil {
+		t.Fatal("blob decoded against a different program")
+	}
+}

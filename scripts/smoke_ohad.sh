@@ -2,17 +2,23 @@
 # Smoke test for the ohad analysis daemon: start it, push a program
 # through profile -> race end to end over HTTP, force a mis-speculation
 # through the adaptive loop (refine -> /speculation generation bump ->
-# clean second run), and check /healthz and /metrics. Pure curl + grep
-# so it runs anywhere CI does.
+# clean second run), check /healthz and /metrics, then restart the
+# daemon against its warm -cache-dir and assert the first race job
+# runs with zero compile/solve cache misses (everything served from
+# the persisted disk tier). Pure curl + grep so it runs anywhere CI
+# does.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR=127.0.0.1:8399
 BASE="http://$ADDR"
 LOG=$(mktemp)
+CACHE_DIR=$(mktemp -d)
+STATE_DIR=$(mktemp -d)
 
 go build -o /tmp/ohad-smoke ./cmd/ohad
-/tmp/ohad-smoke -addr "$ADDR" -workers 2 -queue 16 >"$LOG" 2>&1 &
+/tmp/ohad-smoke -addr "$ADDR" -workers 2 -queue 16 \
+  -cache-dir "$CACHE_DIR" -state-dir "$STATE_DIR" >"$LOG" 2>&1 &
 OHAD_PID=$!
 cleanup() {
   kill "$OHAD_PID" 2>/dev/null || true
@@ -194,5 +200,40 @@ for _ in $(seq 1 50); do
 done
 kill -0 "$OHAD_PID" 2>/dev/null && fail "daemon did not exit on SIGTERM"
 grep -q 'bye' "$LOG" || fail "daemon exited without draining"
+
+# --- Warm restart over the persisted disk tier ------------------------
+# A fresh daemon process over the same -cache-dir and -state-dir must
+# serve the first race job with ZERO cache misses: the compiled .ohc
+# images and the solver-state bundle all deserialize from disk.
+ls "$CACHE_DIR"/*/*.ohc >/dev/null 2>&1 || fail "no .ohc images persisted under $CACHE_DIR"
+/tmp/ohad-smoke -addr "$ADDR" -workers 2 -queue 16 \
+  -cache-dir "$CACHE_DIR" -state-dir "$STATE_DIR" >"$LOG" 2>&1 &
+OHAD_PID=$!
+up=0
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+  sleep 0.1
+done
+[ "$up" = 1 ] || fail "restarted daemon never became healthy"
+
+# Programs are in-memory: resubmit (content-addressed, same ID); the
+# invariant DB and every artifact must come back from the warm tiers.
+PROG_ID2=$(submit_program "$SRC")
+[ "$PROG_ID2" = "$PROG_ID" ] || fail "program ID changed across restart: $PROG_ID2 vs $PROG_ID"
+curl -fsS "$BASE/v1/invariants/smoke" | grep -q 'oha invariants' || fail "invariant DB lost across restart"
+curl -fsS "$BASE/v1/jobs" -o "$RESP" \
+  -d "{\"kind\":\"race\",\"program_id\":\"$PROG_ID\",\"inputs\":[3],\"invariants_id\":\"smoke\"}" ||
+  fail "warm race submit failed"
+WARM_JOB=$(json_field "$RESP" id)
+await_job "$WARM_JOB"
+curl -fsS "$BASE/v1/jobs/$WARM_JOB/result" -o "$RESP" || fail "warm race result fetch failed"
+grep -q 'race on' "$RESP" || fail "warm restart lost the race verdict: $(cat "$RESP")"
+
+curl -fsS "$BASE/metrics" -o "$RESP" || fail "warm metrics fetch failed"
+grep -Eq '^ohad_artifact_cache_misses 0($|\.)' "$RESP" ||
+  fail "warm restart recomputed artifacts: $(grep '^ohad_artifact_cache_misses' "$RESP")"
+grep -Eq '^oha_artifacts_disk_hits_total [1-9]' "$RESP" ||
+  fail "warm restart served no artifacts from disk: $(grep '^oha_artifacts_disk' "$RESP")"
+echo "warm restart: race job $WARM_JOB with zero cache misses ($(grep '^oha_artifacts_disk_hits_total' "$RESP"))"
 
 echo "SMOKE OK"
