@@ -16,6 +16,11 @@
 //	    Run OptSlice from the N-th print (default: last) and print the
 //	    sliced source lines.
 //
+//	oha nullcheck file.ml -inv invariants.txt [-in 1,2,3] [-seed 7] [-baseline] [-adapt]
+//	    Run OptNull on one execution (or the check-everything baseline)
+//	    and print the null report: dereference sites that observed nil,
+//	    plus how many checks the predicated static analysis discharged.
+//
 //	oha compile file.ml [-inv invariants.txt] [-ic off] [-fusion off] [-o prog.ohc]
 //	    Ahead-of-time compile to a serialized .ohc image (source +
 //	    bytecode). With -inv, likely callee sets seed the speculative
@@ -75,7 +80,7 @@ func main() {
 	runs := fs.Int("runs", 32, "profile: max profiling executions")
 	out := fs.String("o", "", "profile/compile: output file (default: stdout / FILE.ohc)")
 	inv := fs.String("inv", "", "invariants file from `oha profile`")
-	baseline := fs.Bool("baseline", false, "race: run unoptimized FastTrack instead")
+	baseline := fs.Bool("baseline", false, "race/nullcheck: run the unoptimized check-everything baseline instead")
 	criterion := fs.Int("criterion", -1, "slice: print-statement index (default: last)")
 	budget := fs.Int("budget", 4096, "slice: context-sensitive analysis budget")
 	cacheDir := fs.String("cache-dir", "", "persist static-analysis artifacts under this directory (default: in-memory only)")
@@ -204,6 +209,41 @@ func main() {
 		}
 		fmt.Printf("instrumented ops: %d\n", rep.Stats.InstrumentedOps())
 
+	case "nullcheck":
+		e := oha.Execution{Inputs: in, Seed: *seed}
+		var rep *oha.NullReport
+		switch {
+		case *baseline:
+			rep, err = oha.RunNullAlways(prog, e, ropts)
+			check(err)
+		case *adaptive:
+			m := oha.NewSpeculationManager(prog, loadInv(*inv), oha.SpeculationOptions{Cache: cache, Static: static})
+			attempts, err := m.RunNull(e, ropts)
+			check(err)
+			rep = attempts[len(attempts)-1].Report
+			printAttempts(nullAttemptReports(attempts))
+			defer printSpeculation(m)
+		default:
+			det, err := oha.NewNullCheckerStatic(prog, loadInv(*inv), cache, static)
+			check(err)
+			fmt.Printf("static: discharged %d/%d null checks (%.0f%%)\n",
+				det.ElidedChecks(), det.Pred.DerefSites, 100*det.DischargeRatio())
+			rep, err = det.Run(e, ropts)
+			check(err)
+		}
+		if rep.RolledBack && !*adaptive {
+			fmt.Printf("mis-speculation (%s): rolled back to hybrid analysis\n", rep.Violation)
+		}
+		if len(rep.NilSites) == 0 {
+			fmt.Println("no nil dereferences observed")
+		}
+		for _, site := range rep.NilSites {
+			fmt.Printf("nil dereference at line %d (site %d), %s\n",
+				prog.Instrs[site].Pos.Line, site, prog.Instrs[site].Op)
+		}
+		fmt.Printf("null checks executed: %d (deref sites: %d, statically discharged: %d)\n",
+			rep.CheckedDerefs, rep.DerefSites, rep.DischargedChecks)
+
 	case "slice":
 		db := loadInv(*inv)
 		prints := oha.Prints(prog)
@@ -261,6 +301,14 @@ func attemptReports(as []oha.RaceAttempt) []attempt {
 }
 
 func sliceAttemptReports(as []oha.SliceAttempt) []attempt {
+	out := make([]attempt, len(as))
+	for i, a := range as {
+		out[i] = attempt{gen: a.Generation, rolledBack: a.Report.RolledBack, violation: a.Report.Violation}
+	}
+	return out
+}
+
+func nullAttemptReports(as []oha.NullAttempt) []attempt {
 	out := make([]attempt, len(as))
 	for i, a := range as {
 		out[i] = attempt{gen: a.Generation, rolledBack: a.Report.RolledBack, violation: a.Report.Violation}
@@ -356,7 +404,7 @@ func parseInputs(s string) []int64 {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: oha profile|race|slice|compile|dump|stepdebug file [flags]")
+	fmt.Fprintln(os.Stderr, "usage: oha profile|race|slice|nullcheck|compile|dump|stepdebug file [flags]")
 	os.Exit(2)
 }
 

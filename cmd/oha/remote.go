@@ -73,6 +73,18 @@ type remoteRaceResult struct {
 	InstrumentedOps uint64   `json:"instrumented_ops"`
 }
 
+type remoteNullResult struct {
+	NilSites         []int  `json:"nil_sites"`
+	NilDerefs        uint64 `json:"nil_derefs"`
+	RolledBack       bool   `json:"rolled_back"`
+	Violation        string `json:"violation"`
+	Generation       int    `json:"generation"`
+	Attempts         int    `json:"attempts"`
+	DischargedChecks int    `json:"discharged_checks"`
+	DerefSites       int    `json:"deref_sites"`
+	CheckedDerefs    uint64 `json:"checked_derefs"`
+}
+
 type remoteSliceResult struct {
 	CriterionIndex int    `json:"criterion_index"`
 	CriterionLine  int    `json:"criterion_line"`
@@ -119,9 +131,9 @@ func runRemote(base, cmd string, o remoteOpts) error {
 		}
 		job["runs"] = o.runs
 		job["save_as"] = o.inv
-	case "race":
+	case "race", "nullcheck":
 		if o.inv == "" && !o.baseline {
-			return fmt.Errorf("remote race needs -inv NAME (a server-side invariant-DB id; run `oha -remote %s profile` first)", base)
+			return fmt.Errorf("remote %s needs -inv NAME (a server-side invariant-DB id; run `oha -remote %s profile` first)", cmd, base)
 		}
 		job["invariants_id"] = o.inv
 		job["baseline"] = o.baseline
@@ -216,6 +228,29 @@ func runRemote(base, cmd string, o remoteOpts) error {
 			fmt.Println(r)
 		}
 		fmt.Printf("instrumented ops: %d\n", res.InstrumentedOps)
+
+	case "nullcheck":
+		var wrap struct {
+			Result remoteNullResult `json:"result"`
+		}
+		if _, err := c.JSON(ctx, http.MethodGet, resultURL, nil, &wrap); err != nil {
+			return err
+		}
+		res := wrap.Result
+		if res.RolledBack && !o.adaptive {
+			fmt.Printf("mis-speculation (%s): rolled back to hybrid analysis\n", res.Violation)
+		}
+		if o.adaptive {
+			fmt.Printf("adaptive: generation %d after %d attempt(s)\n", res.Generation, res.Attempts)
+		}
+		if len(res.NilSites) == 0 {
+			fmt.Println("no nil dereferences observed")
+		}
+		for _, site := range res.NilSites {
+			fmt.Printf("nil dereference at site %d\n", site)
+		}
+		fmt.Printf("null checks executed: %d (deref sites: %d, statically discharged: %d)\n",
+			res.CheckedDerefs, res.DerefSites, res.DischargedChecks)
 
 	case "slice":
 		var wrap struct {

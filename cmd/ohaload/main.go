@@ -2,9 +2,13 @@
 // daemon or fleet. It synthesizes a corpus of MiniLang programs with
 // the progen generator, uploads them, profiles each into a server-side
 // invariant DB, and then drives a configurable mix of profile, race,
-// and slice jobs at the fleet from concurrent workers — round-robining
-// submissions across every target frontend so digest routing and
-// forwarding are on the measured path.
+// slice, and nullcheck jobs at the fleet from concurrent workers —
+// round-robining submissions across every target frontend so digest
+// routing and forwarding are on the measured path. When the mix
+// includes nullcheck jobs, every other corpus program comes from the
+// pointer-discipline generator (progen.GenerateNullable) so the null
+// checker has dereference sites to discharge; nullcheck jobs target
+// those programs, other kinds draw from the whole corpus.
 //
 // Every submission goes through the fleet client: 429 sheds are
 // retried with the server's Retry-After hint plus jitter, transient
@@ -97,7 +101,7 @@ func main() {
 	jobs := flag.Int("jobs", 200, "measured jobs to drive (0: until -duration elapses)")
 	duration := flag.Duration("duration", 0, "stop submitting after this long (0: until -jobs are done)")
 	concurrency := flag.Int("concurrency", 8, "concurrent submitting workers")
-	mixFlag := flag.String("mix", "profile=0.2,race=0.5,slice=0.3", "job-kind weights")
+	mixFlag := flag.String("mix", "profile=0.2,race=0.5,slice=0.3", "job-kind weights (kinds: profile, race, slice, nullcheck)")
 	profileRuns := flag.Int("runs", 4, "executions per profile job")
 	seed := flag.Uint64("seed", 1, "corpus and scheduling seed")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
@@ -146,10 +150,23 @@ func main() {
 	// Corpus: generate, upload, and profile each program so race and
 	// slice jobs have a server-side invariant DB to speculate against.
 	// Setup jobs are not part of the measured run.
+	hasNull := false
+	for _, k := range kinds {
+		if k == "nullcheck" {
+			hasNull = true
+		}
+	}
 	ids := make([]string, cfg.Programs)
 	invIDs := make([]string, cfg.Programs)
+	var nullable []int
 	for i := range ids {
-		src := progen.Generate(cfg.Seed+uint64(i), progen.DefaultConfig())
+		var src string
+		if hasNull && i%2 == 1 {
+			src = progen.GenerateNullable(cfg.Seed+uint64(i), progen.DefaultNullableConfig())
+			nullable = append(nullable, i)
+		} else {
+			src = progen.Generate(cfg.Seed+uint64(i), progen.DefaultConfig())
+		}
 		target := cfg.Targets[i%len(cfg.Targets)]
 		var sub struct {
 			ID string `json:"id"`
@@ -198,8 +215,11 @@ func main() {
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					return
 				}
-				pi := rng.Intn(cfg.Programs)
 				kind := pickKind(rng, kinds, weights)
+				pi := rng.Intn(cfg.Programs)
+				if kind == "nullcheck" && len(nullable) > 0 {
+					pi = nullable[rng.Intn(len(nullable))]
+				}
 				job := map[string]any{
 					"kind":       kind,
 					"program_id": ids[pi],
@@ -211,7 +231,7 @@ func main() {
 					job["runs"] = cfg.ProfileRuns
 					job["save_as"] = invIDs[pi]
 					job["merge"] = true
-				case "race", "slice":
+				case "race", "slice", "nullcheck":
 					job["invariants_id"] = invIDs[pi]
 				}
 				t0 := time.Now()
@@ -328,7 +348,7 @@ func parseMix(s string) (kinds []string, cum []float64, err error) {
 			return nil, nil, fmt.Errorf("bad -mix entry %q (want kind=weight)", part)
 		}
 		switch k {
-		case "profile", "race", "slice":
+		case "profile", "race", "slice", "nullcheck":
 		default:
 			return nil, nil, fmt.Errorf("unknown job kind %q in -mix", k)
 		}

@@ -136,6 +136,9 @@ type Status struct {
 	PostRefineRollbacks uint64  `json:"post_refine_rollbacks"`
 	// ViolationsByKind counts observed violations per invariant kind.
 	ViolationsByKind map[core.ViolationKind]uint64 `json:"violations_by_kind,omitempty"`
+	// Clients breaks runs and rollbacks down per analysis client
+	// (race, slice, nullcheck), keyed by core.Client name.
+	Clients map[string]ClientStats `json:"clients,omitempty"`
 	// PendingReconcile reports that refinements await a Reconcile.
 	PendingReconcile bool `json:"pending_reconcile"`
 	// StaticMode and IncReuseRatio mirror the latest non-base
@@ -147,6 +150,12 @@ type Status struct {
 	// counters (inline-cache hits/misses/deopts, fused
 	// superinstruction executions) over every observed run.
 	IC interp.ICStats `json:"ic"`
+}
+
+// ClientStats counts one client's observed runs and rollbacks.
+type ClientStats struct {
+	Runs      uint64 `json:"runs"`
+	Rollbacks uint64 `json:"rollbacks"`
 }
 
 // Manager owns the adaptive state for one (program, base DB) pair. It
@@ -174,6 +183,7 @@ type Manager struct {
 	prRuns     uint64 // runs under generation > 1
 	prRolls    uint64
 	byKind     map[core.ViolationKind]uint64
+	byClient   map[string]ClientStats
 	ic         interp.ICStats
 	factCounts map[string]int
 	// latest is the newest derived DB — always at least as weak as
@@ -201,6 +211,10 @@ type generation struct {
 	raceDet  *core.OptFT
 	raceErr  error
 
+	nullOnce sync.Once
+	nullDet  *core.OptNull
+	nullErr  error
+
 	mu      sync.Mutex
 	slicers map[slicerKey]*core.OptSlice
 }
@@ -224,6 +238,7 @@ func New(prog *ir.Program, db *invariants.DB, o Options) *Manager {
 		maxTraceNodes: o.MaxTraceNodes,
 		noBloom:       o.NoBloom,
 		byKind:        map[core.ViolationKind]uint64{},
+		byClient:      map[string]ClientStats{},
 		factCounts:    map[string]int{},
 		latest:        db,
 	}
@@ -257,6 +272,14 @@ func (m *Manager) Slice(criterion *ir.Instr, budget int) (*core.OptSlice, int, e
 	return sl, g.n, err
 }
 
+// Null returns the published generation's null checker and its
+// generation number, building (and memoizing) it on first use.
+func (m *Manager) Null() (*core.OptNull, int, error) {
+	g := m.cur.Load()
+	det, err := g.null()
+	return det, g.n, err
+}
+
 func (g *generation) race() (*core.OptFT, error) {
 	g.raceOnce.Do(func() {
 		g.raceDet, g.raceErr = core.NewOptFTStatic(g.m.prog, g.db, g.m.cache, g.m.static)
@@ -265,6 +288,18 @@ func (g *generation) race() (*core.OptFT, error) {
 		}
 	})
 	return g.raceDet, g.raceErr
+}
+
+func (g *generation) null() (*core.OptNull, error) {
+	g.nullOnce.Do(func() {
+		start := time.Now()
+		g.nullDet, g.nullErr = core.NewOptNullStatic(g.m.prog, g.db, g.m.cache, g.m.static)
+		if g.nullErr == nil {
+			g.m.incMet.ObservePhase("nullproof", "nullcheck", time.Since(start).Seconds())
+			g.m.setMaskDigest(g.n, g.nullDet.CodeDigest())
+		}
+	})
+	return g.nullDet, g.nullErr
 }
 
 func (g *generation) slicer(criterion *ir.Instr, budget int) (*core.OptSlice, error) {
@@ -285,13 +320,16 @@ func (g *generation) slicer(criterion *ir.Instr, budget int) (*core.OptSlice, er
 }
 
 // setMaskDigest back-fills a generation's mask digest into the history
-// once its detector is built.
+// once its first detector is built (first-wins: one fingerprint per
+// generation, whichever client materializes first).
 func (m *Manager) setMaskDigest(gen int, digest string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for i := range m.history {
 		if m.history[i].Generation == gen {
-			m.history[i].MaskDigest = digest
+			if m.history[i].MaskDigest == "" {
+				m.history[i].MaskDigest = digest
+			}
 			return
 		}
 	}
@@ -305,7 +343,7 @@ func (m *Manager) ObserveRace(o *core.OptFT, _ core.Execution, rep *core.RaceRep
 	if o == nil || rep == nil || o.Prog != m.prog {
 		return
 	}
-	m.observe(rep.RolledBack, rep.Violation, rep.IC)
+	m.observe("race", rep.RolledBack, rep.Violation, rep.IC)
 }
 
 // ObserveSlice implements core.Adapter for slice reports.
@@ -313,26 +351,38 @@ func (m *Manager) ObserveSlice(o *core.OptSlice, _ core.Execution, rep *core.Sli
 	if o == nil || rep == nil || o.Prog != m.prog {
 		return
 	}
-	m.observe(rep.RolledBack, rep.Violation, rep.IC)
+	m.observe("slice", rep.RolledBack, rep.Violation, rep.IC)
 }
 
-func (m *Manager) observe(rolledBack bool, v core.Violation, ic interp.ICStats) {
+// ObserveNull implements core.Adapter for null-check reports.
+func (m *Manager) ObserveNull(o *core.OptNull, _ core.Execution, rep *core.NullReport) {
+	if o == nil || rep == nil || o.Prog != m.prog {
+		return
+	}
+	m.observe("nullcheck", rep.RolledBack, rep.Violation, rep.IC)
+}
+
+func (m *Manager) observe(client string, rolledBack bool, v core.Violation, ic interp.ICStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.ic.Add(ic)
 	gen := m.cur.Load().n
 	m.runs++
+	cs := m.byClient[client]
+	cs.Runs++
 	if gen > 1 {
 		m.prRuns++
 	}
 	if rolledBack {
 		m.rollbacks++
+		cs.Rollbacks++
 		if gen > 1 {
 			m.prRolls++
 		}
 		m.byKind[v.Kind]++
 	}
-	m.met.observeRun(rolledBack, gen > 1, string(v.Kind))
+	m.byClient[client] = cs
+	m.met.observeRun(client, rolledBack, gen > 1, string(v.Kind))
 	if !rolledBack || !Refinable(v.Kind) {
 		return
 	}
@@ -440,7 +490,7 @@ func (m *Manager) Reconcile(ctx context.Context) (bool, error) {
 	if err != nil {
 		return fail(err)
 	}
-	m.incMet.ObservePhase("masks", time.Since(maskStart).Seconds())
+	m.incMet.ObservePhase("masks", "race", time.Since(maskStart).Seconds())
 	elapsed := time.Since(start).Seconds()
 
 	m.mu.Lock()
@@ -481,6 +531,12 @@ func (m *Manager) Status() Status {
 		st.ViolationsByKind = make(map[core.ViolationKind]uint64, len(m.byKind))
 		for k, v := range m.byKind {
 			st.ViolationsByKind[k] = v
+		}
+	}
+	if len(m.byClient) > 0 {
+		st.Clients = make(map[string]ClientStats, len(m.byClient))
+		for k, v := range m.byClient {
+			st.Clients[k] = v
 		}
 	}
 	for i := len(m.history) - 1; i > 0; i-- {
@@ -525,6 +581,42 @@ func (m *Manager) RunRace(e core.Execution, opts core.RunOptions) ([]RaceAttempt
 			return attempts, err
 		}
 		attempts = append(attempts, RaceAttempt{Generation: gen, Report: rep})
+		if !rep.RolledBack || !Refinable(rep.Violation.Kind) {
+			return attempts, nil
+		}
+		swapped, err := m.Reconcile(opts.Ctx)
+		if err != nil {
+			return attempts, err
+		}
+		if !swapped {
+			return attempts, nil
+		}
+	}
+}
+
+// NullAttempt is one generation's attempt within RunNull.
+type NullAttempt struct {
+	Generation int              `json:"generation"`
+	Report     *core.NullReport `json:"report"`
+}
+
+// RunNull is RunRace for the null checker: run under the current
+// generation; on a refinable rollback (a refuted non-null fact, an
+// unreachable-block or callee-set miss), reconcile and retry under the
+// refined configuration.
+func (m *Manager) RunNull(e core.Execution, opts core.RunOptions) ([]NullAttempt, error) {
+	opts.Adapt = m
+	var attempts []NullAttempt
+	for {
+		det, gen, err := m.Null()
+		if err != nil {
+			return attempts, err
+		}
+		rep, err := det.Run(e, opts)
+		if err != nil {
+			return attempts, err
+		}
+		attempts = append(attempts, NullAttempt{Generation: gen, Report: rep})
 		if !rep.RolledBack || !Refinable(rep.Violation.Kind) {
 			return attempts, nil
 		}

@@ -223,8 +223,14 @@ func TestStatusLedgerAndMetrics(t *testing.T) {
 	if len(st.History[1].Causes) != 1 {
 		t.Fatalf("gen-2 causes = %v", st.History[1].Causes)
 	}
-	if met.Refinements.Value() != 1 || met.Violations.With(string(core.ViolationUnreachableBlock)).Value() != 1 {
+	if met.Refinements.Value() != 1 || met.Violations.With("race", string(core.ViolationUnreachableBlock)).Value() != 1 {
 		t.Fatal("metrics not recorded")
+	}
+	if met.Runs.With("race").Value() != 2 || met.Rollbacks.With("race").Value() != 1 {
+		t.Fatal("client-labeled run metrics not recorded")
+	}
+	if got := st.Clients["race"]; got.Runs != 2 || got.Rollbacks != 1 {
+		t.Fatalf("client stats = %+v, want runs 2 rollbacks 1", got)
 	}
 	if met.ResolveSeconds.Count() != 1 {
 		t.Fatalf("resolve latency observations = %d, want 1", met.ResolveSeconds.Count())
@@ -417,6 +423,9 @@ func TestGenerationSequenceDeterministic(t *testing.T) {
 				if _, err := m.RunRace(e, core.RunOptions{}); err != nil {
 					t.Fatalf("trial %d: %v", trial, err)
 				}
+				if _, err := m.RunNull(e, core.RunOptions{}); err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
 				if criterion != nil {
 					if _, err := m.RunSlice(criterion, 512, e, core.RunOptions{}); err != nil {
 						t.Fatalf("trial %d: %v", trial, err)
@@ -540,5 +549,101 @@ func TestWarmCacheIncrementalReanalysis(t *testing.T) {
 	final := cache.Stats()
 	if final.Misses != after.Misses {
 		t.Fatal("sound artifacts were not warm after refinement")
+	}
+}
+
+// nullProg has an input-guarded nil escape: profiling visits both
+// branches (inputs span the a>100 split) yet every profiled load of p
+// sees &buf, so the deref check is discharged optimistically on the
+// non-null fact alone; a huge input skips the repair branch and
+// refutes exactly that fact — the null client's refinement trigger,
+// with no unreachable-block violation in the way.
+const nullProg = `
+	global p = 0;
+	global buf = 7;
+	func main() {
+		var a = input(0);
+		if (a > 100) {
+			p = 0;
+		}
+		if (a < 1000) {
+			p = &buf;
+		}
+		var v = *p;
+		print(v);
+	}
+`
+
+// TestRefineAndRetryNull: the full loop on the refuted non-null fact —
+// gen 1 rolls back to the sound run, gen 2 keeps the residual check
+// and runs the identical execution clean, and every attempt reports
+// the same nil-deref verdicts as the always-check baseline.
+func TestRefineAndRetryNull(t *testing.T) {
+	prog := lang.MustCompile(nullProg)
+	pr, err := core.Profile(prog, func(run int) core.Execution {
+		return core.Execution{Inputs: []int64{int64(run * 40)}, Seed: uint64(run + 1)}
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := artifacts.New("")
+	m := New(prog, pr.DB, Options{Cache: cache})
+
+	e := core.Execution{Inputs: []int64{2000}, Seed: 3}
+	base, err := core.RunNullAlways(prog, e, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.NilSites) != 1 {
+		t.Fatalf("baseline nil sites = %v, want one", base.NilSites)
+	}
+
+	attempts, err := m.RunNull(e, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("attempts = %d, want 2 (rollback then clean retry)", len(attempts))
+	}
+	first, second := attempts[0], attempts[1]
+	if first.Generation != 1 || !first.Report.RolledBack {
+		t.Fatalf("first attempt: gen=%d rolledback=%v", first.Generation, first.Report.RolledBack)
+	}
+	if first.Report.Violation.Kind != core.ViolationNonNull {
+		t.Fatalf("violation kind = %q", first.Report.Violation.Kind)
+	}
+	if first.Report.DischargedChecks == 0 {
+		t.Fatal("gen 1 discharged no checks — nothing was speculative")
+	}
+	if second.Generation != 2 || second.Report.RolledBack {
+		t.Fatalf("second attempt: gen=%d rolledback=%v violation=%s",
+			second.Generation, second.Report.RolledBack, second.Report.Violation)
+	}
+	for i, a := range attempts {
+		if !core.SameNullVerdicts(base, a.Report) {
+			t.Fatalf("attempt %d: nil sites %v diverged from baseline %v",
+				i, a.Report.NilSites, base.NilSites)
+		}
+	}
+	if got := m.Generation(); got != 2 {
+		t.Fatalf("generation = %d, want 2", got)
+	}
+	if m.DB().NonNullLoads.Has(first.Report.Violation.Site) {
+		t.Fatal("refinement left the refuted non-null fact in place")
+	}
+
+	// The refined generation never pays a second rollback for the
+	// same execution.
+	again, err := m.RunNull(e, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 1 || again[0].Report.RolledBack {
+		t.Fatalf("post-refinement run: %d attempts, rolledback=%v",
+			len(again), again[0].Report.RolledBack)
+	}
+	st := m.Status()
+	if got := st.Clients["nullcheck"]; got.Runs != 3 || got.Rollbacks != 1 {
+		t.Fatalf("nullcheck client stats = %+v, want runs 3 rollbacks 1", got)
 	}
 }

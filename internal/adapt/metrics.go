@@ -4,22 +4,27 @@ import "oha/internal/metrics"
 
 // Metrics is the adaptive layer's instrumentation, shared by every
 // Manager bound to one registry (the daemon registers one set and
-// hands it to each per-(program, DB) manager). All fields are
-// non-nil after NewMetrics; a nil *Metrics disables recording.
+// hands it to each per-(program, DB) manager). The run-level families
+// carry a client label — one metric family serves every registered
+// analysis client (race, slice, nullcheck) instead of stamping the
+// client into per-family metric names. All fields are non-nil after
+// NewMetrics; a nil *Metrics disables recording.
 type Metrics struct {
 	// Runs / Rollbacks count observed optimistic runs and their
-	// mis-speculations (all generations).
-	Runs      *metrics.Counter
-	Rollbacks *metrics.Counter
+	// mis-speculations (all generations), by client.
+	Runs      *metrics.CounterVec
+	Rollbacks *metrics.CounterVec
 	// PostRefineRuns / PostRefineRollbacks count only runs observed
 	// under a refined (generation > 1) configuration — their ratio is
 	// the post-refinement rollback rate the adaptation is supposed to
 	// drive toward zero.
-	PostRefineRuns      *metrics.Counter
-	PostRefineRollbacks *metrics.Counter
-	// Violations counts violations by invariant kind.
+	PostRefineRuns      *metrics.CounterVec
+	PostRefineRollbacks *metrics.CounterVec
+	// Violations counts violations by client and invariant kind.
 	Violations *metrics.CounterVec
 	// Refinements counts deployed refinement generations (hot-swaps).
+	// Generations are per-manager, not per-client: one swap serves all
+	// clients, so these two stay unlabeled.
 	Refinements *metrics.Counter
 	// ResolveSeconds observes the latency of each background
 	// re-analysis (static re-solve + recompile) that produced a
@@ -31,33 +36,38 @@ type Metrics struct {
 // unregistered metrics, matching the metrics package convention).
 func NewMetrics(r *metrics.Registry) *Metrics {
 	return &Metrics{
-		Runs:                r.NewCounter("oha_adapt_runs_total", "Optimistic runs observed by the adaptive manager."),
-		Rollbacks:           r.NewCounter("oha_adapt_rollbacks_total", "Observed runs that rolled back."),
-		PostRefineRuns:      r.NewCounter("oha_adapt_post_refine_runs_total", "Runs observed under a refined (generation > 1) configuration."),
-		PostRefineRollbacks: r.NewCounter("oha_adapt_post_refine_rollbacks_total", "Refined-configuration runs that still rolled back."),
-		Violations:          r.NewCounterVec("oha_adapt_violations_total", "Invariant violations by kind.", "kind"),
+		Runs:                r.NewCounterVec("oha_adapt_runs_total", "Optimistic runs observed by the adaptive manager.", "client"),
+		Rollbacks:           r.NewCounterVec("oha_adapt_rollbacks_total", "Observed runs that rolled back.", "client"),
+		PostRefineRuns:      r.NewCounterVec("oha_adapt_post_refine_runs_total", "Runs observed under a refined (generation > 1) configuration.", "client"),
+		PostRefineRollbacks: r.NewCounterVec("oha_adapt_post_refine_rollbacks_total", "Refined-configuration runs that still rolled back.", "client"),
+		Violations:          r.NewCounterVec("oha_adapt_violations_total", "Invariant violations by client and kind.", "client", "kind"),
 		Refinements:         r.NewCounter("oha_adapt_refinements_total", "Refinement generations deployed (hot-swaps)."),
 		ResolveSeconds:      r.NewHistogram("oha_adapt_resolve_seconds", "Latency of the background re-analysis producing each generation."),
 	}
 }
 
-func (m *Metrics) observeRun(rolledBack, postRefine bool, kind string) {
+func (m *Metrics) observeRun(client string, rolledBack, postRefine bool, kind string) {
 	if m == nil {
 		return
 	}
-	m.Runs.Inc()
+	// Materialize every per-client child up front so a client that has
+	// never rolled back still exposes an explicit zero series.
+	m.Runs.With(client).Inc()
+	rollbacks := m.Rollbacks.With(client)
+	postRuns := m.PostRefineRuns.With(client)
+	postRollbacks := m.PostRefineRollbacks.With(client)
 	if postRefine {
-		m.PostRefineRuns.Inc()
+		postRuns.Inc()
 	}
 	if !rolledBack {
 		return
 	}
-	m.Rollbacks.Inc()
+	rollbacks.Inc()
 	if postRefine {
-		m.PostRefineRollbacks.Inc()
+		postRollbacks.Inc()
 	}
 	if kind != "" {
-		m.Violations.With(kind).Inc()
+		m.Violations.With(client, kind).Inc()
 	}
 }
 

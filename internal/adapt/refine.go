@@ -2,51 +2,31 @@ package adapt
 
 import (
 	"strconv"
-	"strings"
 
 	"oha/internal/core"
 	"oha/internal/invariants"
 )
 
 // Refinable reports whether a violation kind identifies an invariant
-// fact the refinement policy can remove. Trace-limit rollbacks (and
-// the zero kind) carry no refutable fact: re-running changes nothing,
-// so the manager never spends a generation on them.
+// fact the refinement policy can remove, per the owning client's
+// core.Client contract. Trace-limit rollbacks (and the zero kind)
+// carry no refutable fact: re-running changes nothing, so the manager
+// never spends a generation on them.
 func Refinable(k core.ViolationKind) bool {
-	switch k {
-	case core.ViolationUnreachableBlock,
-		core.ViolationSingletonSpawn,
-		core.ViolationGuardingLock,
-		core.ViolationCalleeSet,
-		core.ViolationCallContext,
-		core.ViolationElidedLockRace:
-		return true
-	}
-	return false
+	c, ok := core.ClientForViolation(k)
+	return ok && c.Refinable(k)
 }
 
-// Refine weakens db by the fact the violation refutes, using the
-// invariant package's merge-respecting weaken helpers: the refined
-// database is exactly what profiling would have produced had it also
-// observed the violating execution. Reports whether db changed — false
-// means the fact was already absent (a stale violation raised by a run
-// that started under an older generation) and no generation is owed.
+// Refine weakens db by the fact the violation refutes, delegating to
+// the owning client's refinement rule (built on the invariant
+// package's merge-respecting weaken helpers): the refined database is
+// exactly what profiling would have produced had it also observed the
+// violating execution. Reports whether db changed — false means the
+// fact was already absent (a stale violation raised by a run that
+// started under an older generation) and no generation is owed.
 func Refine(db *invariants.DB, v core.Violation) bool {
-	switch v.Kind {
-	case core.ViolationUnreachableBlock:
-		return db.MarkVisited(v.Site)
-	case core.ViolationSingletonSpawn:
-		return db.RetractSingletonSpawn(v.Site)
-	case core.ViolationGuardingLock:
-		return db.DropMustAliasGroup(v.Site) > 0
-	case core.ViolationCalleeSet:
-		return db.WidenCallees(v.Site, v.Callee)
-	case core.ViolationCallContext:
-		return db.AddContext(v.Path)
-	case core.ViolationElidedLockRace:
-		return db.ClearElidableLocks()
-	}
-	return false
+	c, ok := core.ClientForViolation(v.Kind)
+	return ok && c.Refine(db, v)
 }
 
 // factKey fingerprints the invariant fact a violation refutes — the
@@ -55,19 +35,8 @@ func Refine(db *invariants.DB, v core.Violation) bool {
 // (e.g. the same unprofiled context entered from different runs)
 // collapse to one key.
 func factKey(v core.Violation) string {
-	var b strings.Builder
-	b.WriteString(string(v.Kind))
-	b.WriteByte('@')
-	b.WriteString(strconv.Itoa(v.Site))
-	if v.Kind == core.ViolationCalleeSet {
-		b.WriteByte('>')
-		b.WriteString(strconv.Itoa(v.Callee))
+	if c, ok := core.ClientForViolation(v.Kind); ok {
+		return c.FactKey(v)
 	}
-	if v.Kind == core.ViolationCallContext {
-		for _, s := range v.Path {
-			b.WriteByte('/')
-			b.WriteString(strconv.Itoa(s))
-		}
-	}
-	return b.String()
+	return string(v.Kind) + "@" + strconv.Itoa(v.Site)
 }

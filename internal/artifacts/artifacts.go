@@ -69,6 +69,10 @@ const (
 	// so a restarted daemon replays refinements from the disk layer
 	// without re-deriving them.
 	KindRefined = "refined"
+	// KindNullProof keys the OptNull client's static non-nullness
+	// results: the discharged-site set proven under one (program,
+	// invariant database) pair. Portable via gob (IDs only).
+	KindNullProof = "nullproof"
 	// KindSolverState keys saturated points-to solver state by (IR
 	// digest, DB digest): the resume base incremental re-analysis loads
 	// so a generation-N+1 solve starts from generation N's fixpoint.
@@ -426,7 +430,8 @@ func estimateCost(v any) int64 {
 	case *invariants.DB:
 		c := x.Count()
 		return int64(c.VisitedBlocks+c.MustAliasPairs+c.SingletonSpawns+
-			c.ElidableLocks+c.CalleeSites+c.CalleeTargets+c.Contexts)*16 + 256
+			c.ElidableLocks+c.CalleeSites+c.CalleeTargets+c.Contexts+
+			c.NonNullLoads)*16 + 256
 	case []byte:
 		return int64(len(x)) + 64
 	case string:

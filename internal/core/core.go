@@ -50,10 +50,10 @@ type RunOptions struct {
 	// Engine selects the interpreter engine (default: compiled
 	// bytecode; interp.EngineTree for the reference tree-walker).
 	Engine interp.EngineKind
-	// Adapt, when non-nil, observes every OptFT/OptSlice report — the
-	// hook the adaptive speculation manager (internal/adapt) uses to
-	// feed its violation ledger. The observer runs after the report is
-	// final (including rollback re-execution) and must not mutate it.
+	// Adapt, when non-nil, observes every OptFT/OptSlice/OptNull report
+	// — the hook the adaptive speculation manager (internal/adapt) uses
+	// to feed its violation ledger. The observer runs after the report
+	// is final (including rollback re-execution) and must not mutate it.
 	Adapt Adapter
 }
 
@@ -73,6 +73,8 @@ type Adapter interface {
 	// ObserveSlice is called once per OptSlice.Run with the final
 	// report.
 	ObserveSlice(o *OptSlice, e Execution, rep *SliceReport)
+	// ObserveNull is called once per OptNull.Run with the final report.
+	ObserveNull(o *OptNull, e Execution, rep *NullReport)
 }
 
 // observeRace forwards a final race report to the adapter, if any.
@@ -86,6 +88,13 @@ func (o RunOptions) observeRace(opt *OptFT, e Execution, rep *RaceReport) {
 func (o RunOptions) observeSlice(opt *OptSlice, e Execution, rep *SliceReport) {
 	if o.Adapt != nil {
 		o.Adapt.ObserveSlice(opt, e, rep)
+	}
+}
+
+// observeNull forwards a final null report to the adapter, if any.
+func (o RunOptions) observeNull(opt *OptNull, e Execution, rep *NullReport) {
+	if o.Adapt != nil {
+		o.Adapt.ObserveNull(opt, e, rep)
 	}
 }
 

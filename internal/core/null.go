@@ -1,0 +1,535 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+
+	"oha/internal/artifacts"
+	"oha/internal/bitset"
+	"oha/internal/interp"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/nullcheck"
+	"oha/internal/vc"
+)
+
+// NullReport is the result of one null/misuse-checking run. The
+// analysis verdict is the set of dereference sites observed accessing
+// address 0 (each recovered deterministically by the interpreter's
+// residual-check machinery: a nil load produces 0, a nil store is
+// dropped).
+type NullReport struct {
+	// NilSites are the deref sites (instruction IDs, sorted) that
+	// observed a nil address — the canonical verdict differently-
+	// instrumented configurations must agree on.
+	NilSites []int
+	// NilDerefs is the total number of nil dereferences observed.
+	NilDerefs uint64
+	// CheckedDerefs counts residual dynamic checks executed
+	// (interp.Stats.NullChecks) — the work the static phase could not
+	// elide.
+	CheckedDerefs uint64
+	// DischargedChecks / DerefSites describe the static phase: how many
+	// of the program's deref sites run with no dynamic check.
+	DischargedChecks int
+	DerefSites       int
+	// Stats are the interpreter event counts (including rollback work).
+	Stats interp.Stats
+	// CheckEvents counts invariant-check events (optimistic runs).
+	CheckEvents uint64
+	// RolledBack / Violation describe a mis-speculation, if any.
+	RolledBack bool
+	Violation  Violation
+	// Output is the analyzed program's output.
+	Output []int64
+	// IC reports the compiled engine's speculative-dispatch activity.
+	IC interp.ICStats
+}
+
+// SameNullVerdicts reports whether two runs of one Execution observed
+// nil dereferences at exactly the same sites.
+func SameNullVerdicts(a, b *NullReport) bool {
+	if len(a.NilSites) != len(b.NilSites) {
+		return false
+	}
+	for i := range a.NilSites {
+		if a.NilSites[i] != b.NilSites[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// nilLog accumulates the nil-deref verdict of one run.
+type nilLog struct {
+	sites map[int]uint64
+	total uint64
+}
+
+func (l *nilLog) record(id int) {
+	if l.sites == nil {
+		l.sites = map[int]uint64{}
+	}
+	l.sites[id]++
+	l.total++
+}
+
+func (l *nilLog) sorted() []int {
+	if len(l.sites) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(l.sites))
+	for id := range l.sites {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// nullObserver is the sound configurations' tracer: it only collects
+// the verdict.
+type nullObserver struct {
+	interp.NopTracer
+	log nilLog
+}
+
+func (o *nullObserver) NilDeref(_ vc.TID, in *ir.Instr) { o.log.record(in.ID) }
+
+// nullChecker is the speculative run's tracer: it collects the verdict
+// at residual checks AND verifies every invariant the predicated proof
+// assumed — likely-non-null facts at the used load sites (Load events,
+// delivered exactly there by the mem mask), likely-unreachable code,
+// and likely callee sets (the predicated points-to prunes indirect
+// calls to them).
+type nullChecker struct {
+	interp.NopTracer
+	abort *interp.Abort
+	// first mirrors abort's first-wins reason in structured form.
+	first Violation
+	log   nilLog
+
+	luc        []bool
+	fact       []bool               // load site -> used non-null fact
+	calleeSets map[int]map[int]bool // nil: callee invariant disabled
+
+	Events uint64
+}
+
+func newNullChecker(prog *ir.Program, db *invariants.DB, used *bitset.Set, abort *interp.Abort) *nullChecker {
+	c := &nullChecker{
+		abort: abort,
+		luc:   make([]bool, len(prog.Blocks)),
+		fact:  make([]bool, len(prog.Instrs)),
+	}
+	for _, b := range prog.Blocks {
+		c.luc[b.ID] = db.LikelyUnreachable(b.ID)
+	}
+	used.ForEach(func(id int) bool {
+		c.fact[id] = true
+		return true
+	})
+	if db.Callees != nil {
+		c.calleeSets = map[int]map[int]bool{}
+		for site, set := range db.Callees {
+			m := map[int]bool{}
+			set.ForEach(func(f int) bool {
+				m[f] = true
+				return true
+			})
+			c.calleeSets[site] = m
+		}
+	}
+	return c
+}
+
+// violate raises the abort flag with v (see raceChecker.violate).
+func (c *nullChecker) violate(v Violation) {
+	if !c.abort.IsSet() {
+		c.first = v
+	}
+	c.abort.Set(v.String())
+}
+
+// Load fires the non-null-fact check: the mem mask delivers load
+// events exactly at the used fact sites.
+func (c *nullChecker) Load(_ vc.TID, in *ir.Instr, _ interp.Addr, v int64) {
+	c.Events++
+	if v == 0 && c.fact[in.ID] {
+		c.violate(Violation{Kind: ViolationNonNull, Site: in.ID, Callee: -1})
+	}
+}
+
+// NilDeref records the verdict at a residual check; a nil address at a
+// fact-covered load also refutes that fact (the recovered load
+// produced 0).
+func (c *nullChecker) NilDeref(_ vc.TID, in *ir.Instr) {
+	c.log.record(in.ID)
+	if c.fact[in.ID] {
+		c.Events++
+		c.violate(Violation{Kind: ViolationNonNull, Site: in.ID, Callee: -1})
+	}
+}
+
+// BlockEnter fires the likely-unreachable-code check.
+func (c *nullChecker) BlockEnter(_ vc.TID, b *ir.Block) {
+	c.Events++
+	if c.luc[b.ID] {
+		c.violate(Violation{Kind: ViolationUnreachableBlock, Site: b.ID, Callee: -1})
+	}
+}
+
+// Call / Spawn fire the likely-callee-set check at indirect sites.
+func (c *nullChecker) Call(_ vc.TID, in *ir.Instr, callee *ir.Function, _, _ interp.FrameID) {
+	c.checkCallee(in, callee)
+}
+
+func (c *nullChecker) Spawn(_ vc.TID, in *ir.Instr, _ vc.TID, _ interp.FrameID, callee *ir.Function) {
+	c.checkCallee(in, callee)
+}
+
+func (c *nullChecker) checkCallee(in *ir.Instr, callee *ir.Function) {
+	if c.calleeSets == nil || !in.IsIndirect() {
+		return
+	}
+	c.Events++
+	set := c.calleeSets[in.ID]
+	if set == nil || !set[callee.ID] {
+		c.violate(Violation{Kind: ViolationCalleeSet, Site: in.ID, Callee: callee.ID, Detail: callee.Name})
+	}
+}
+
+// portableNullProof is the gob image of a nullcheck.Result (IDs only,
+// so it participates in the on-disk artifact tier).
+type portableNullProof struct {
+	Discharged []int
+	UsedFacts  []int
+	DerefSites int
+}
+
+// nullProofCodec persists null-proof artifacts against one program.
+type nullProofCodec struct{ prog *ir.Program }
+
+func (c nullProofCodec) Marshal(v any) ([]byte, error) {
+	res := v.(*nullcheck.Result)
+	p := portableNullProof{
+		Discharged: res.Discharged.Slice(),
+		UsedFacts:  res.UsedFacts.Slice(),
+		DerefSites: res.DerefSites,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (c nullProofCodec) Unmarshal(data []byte) (any, error) {
+	var p portableNullProof
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p); err != nil {
+		return nil, err
+	}
+	res := &nullcheck.Result{Discharged: &bitset.Set{}, UsedFacts: &bitset.Set{}, DerefSites: p.DerefSites}
+	for _, id := range p.Discharged {
+		if id < 0 || id >= len(c.prog.Instrs) {
+			return nil, fmt.Errorf("core: cached null proof site %d out of range", id)
+		}
+		res.Discharged.Add(id)
+	}
+	for _, id := range p.UsedFacts {
+		if id < 0 || id >= len(c.prog.Instrs) {
+			return nil, fmt.Errorf("core: cached null proof fact %d out of range", id)
+		}
+		res.UsedFacts.Add(id)
+	}
+	return res, nil
+}
+
+// nullProofFor returns the (memoized) static non-nullness proof for
+// one (program, database) pair. The points-to stage is shared with the
+// race pipeline through its own memo key, so an inc.Reanalyze prewarm
+// after a refinement serves the null client too.
+func nullProofFor(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache, cfg StaticConfig) (*nullcheck.Result, error) {
+	v, err := cache.Memo(artifacts.Key(artifacts.KindNullProof, prog, db, 0, "ci"), nullProofCodec{prog: prog}, func() (any, error) {
+		pt, err := pointsToCI(prog, db, cache, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return nullcheck.Analyze(prog, pt, db), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*nullcheck.Result), nil
+}
+
+// fullNullMask marks every load/store site (the always-check
+// configuration).
+func fullNullMask(prog *ir.Program) []bool {
+	mask := make([]bool, len(prog.Instrs))
+	for _, in := range prog.Instrs {
+		if in.Op == ir.OpLoad || in.Op == ir.OpStore {
+			mask[in.ID] = true
+		}
+	}
+	return mask
+}
+
+// residualNullMask marks the deref sites whose checks the static proof
+// did NOT discharge.
+func residualNullMask(prog *ir.Program, res *nullcheck.Result) []bool {
+	mask := fullNullMask(prog)
+	res.Discharged.ForEach(func(id int) bool {
+		mask[id] = false
+		return true
+	})
+	return mask
+}
+
+// factMemMask marks the used fact sites — exactly the loads the
+// speculative run must observe to verify its optimistic assumptions.
+func factMemMask(prog *ir.Program, res *nullcheck.Result) []bool {
+	mask := make([]bool, len(prog.Instrs))
+	res.UsedFacts.ForEach(func(id int) bool {
+		mask[id] = true
+		return true
+	})
+	return mask
+}
+
+// nullReport assembles the common report fields of one run.
+func nullReport(log *nilLog, res *interp.Result, proof *nullcheck.Result) *NullReport {
+	return &NullReport{
+		NilSites:         log.sorted(),
+		NilDerefs:        log.total,
+		CheckedDerefs:    res.Stats.NullChecks,
+		DischargedChecks: proof.Discharged.Len(),
+		DerefSites:       proof.DerefSites,
+		Stats:            res.Stats,
+		Output:           res.Output,
+		IC:               res.IC,
+	}
+}
+
+// RunNullAlways executes with a dynamic null check at every deref site
+// and no static analysis — the unoptimized baseline the discharge
+// ratio is measured against.
+func RunNullAlways(prog *ir.Program, e Execution, opts RunOptions) (*NullReport, error) {
+	obs := &nullObserver{}
+	cfg := interp.Config{
+		Prog:      prog,
+		Inputs:    e.Inputs,
+		Choose:    e.chooser(),
+		Tracer:    obs,
+		MemMask:   make([]bool, len(prog.Instrs)),
+		SyncMask:  make([]bool, len(prog.Instrs)),
+		BlockMask: make([]bool, len(prog.Blocks)),
+		NullMask:  fullNullMask(prog),
+	}
+	opts.apply(&cfg)
+	res, err := interp.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := nullReport(&obs.log, res, &nullcheck.Result{Discharged: &bitset.Set{}, UsedFacts: &bitset.Set{}})
+	rep.DerefSites = countDerefSites(prog)
+	return rep, nil
+}
+
+func countDerefSites(prog *ir.Program) int {
+	n := 0
+	for _, in := range prog.Instrs {
+		if in.Op == ir.OpLoad || in.Op == ir.OpStore {
+			n++
+		}
+	}
+	return n
+}
+
+// HybridNull is the traditional hybrid baseline: dynamic null checks
+// minus those the SOUND static non-nullness analysis discharges. It
+// assumes no invariants, so it never rolls back — it is the rollback
+// target.
+type HybridNull struct {
+	Prog   *ir.Program
+	Static *nullcheck.Result
+
+	nullMask  []bool
+	memMask   []bool
+	syncMask  []bool
+	blockMask []bool
+	code      *interp.Code
+}
+
+// NewHybridNull runs the sound static non-nullness analysis.
+func NewHybridNull(prog *ir.Program) (*HybridNull, error) {
+	return NewHybridNullCached(prog, nil)
+}
+
+// NewHybridNullCached is NewHybridNull with static-artifact
+// memoization (nil cache: recompute).
+func NewHybridNullCached(prog *ir.Program, cache *artifacts.Cache) (*HybridNull, error) {
+	return NewHybridNullStatic(prog, cache, StaticConfig{Workers: 1})
+}
+
+// NewHybridNullStatic is NewHybridNullCached with an explicit static
+// pipeline configuration.
+func NewHybridNullStatic(prog *ir.Program, cache *artifacts.Cache, cfg StaticConfig) (*HybridNull, error) {
+	proof, err := nullProofFor(prog, nil, cache, cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := &HybridNull{
+		Prog:      prog,
+		Static:    proof,
+		nullMask:  residualNullMask(prog, proof),
+		memMask:   make([]bool, len(prog.Instrs)),
+		syncMask:  make([]bool, len(prog.Instrs)),
+		blockMask: make([]bool, len(prog.Blocks)),
+	}
+	// The sound image assumes no invariants: no IC seeds (nil db).
+	h.code = compiledCode(prog, interp.Masks{Mem: h.memMask, Sync: h.syncMask, Block: h.blockMask, Null: h.nullMask}, compileOpts(nil, cfg), cache)
+	return h, nil
+}
+
+// Run performs one sound hybrid null-checking run of e.
+func (h *HybridNull) Run(e Execution, opts RunOptions) (*NullReport, error) {
+	obs := &nullObserver{}
+	cfg := interp.Config{
+		Prog:      h.Prog,
+		Inputs:    e.Inputs,
+		Choose:    e.chooser(),
+		Tracer:    obs,
+		MemMask:   h.memMask,
+		SyncMask:  h.syncMask,
+		BlockMask: h.blockMask,
+		NullMask:  h.nullMask,
+		Code:      h.code,
+	}
+	opts.apply(&cfg)
+	res, err := interp.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return nullReport(&obs.log, res, h.Static), nil
+}
+
+// OptNull is the optimistic hybrid null checker: dynamic checks minus
+// those the PREDICATED static analysis discharges, run speculatively
+// with invariant checks and rollback to the traditional hybrid
+// configuration on mis-speculation.
+type OptNull struct {
+	Prog *ir.Program
+	DB   *invariants.DB
+	// Pred is the predicated static proof; Sound the rollback target.
+	Pred  *nullcheck.Result
+	Sound *HybridNull
+
+	nullMask  []bool
+	memMask   []bool
+	syncMask  []bool
+	blockMask []bool
+	code      *interp.Code
+}
+
+// NewOptNull runs both static analyses (predicated for speculation,
+// sound for rollback) and prepares masks.
+func NewOptNull(prog *ir.Program, db *invariants.DB) (*OptNull, error) {
+	return NewOptNullCached(prog, db, nil)
+}
+
+// NewOptNullCached is NewOptNull with static-artifact memoization (nil
+// cache: recompute). Masks are private to the returned instance; the
+// static proofs are shared cached values and must not be mutated.
+func NewOptNullCached(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache) (*OptNull, error) {
+	return NewOptNullStatic(prog, db, cache, StaticConfig{Workers: 1})
+}
+
+// NewOptNullStatic is NewOptNullCached with an explicit static
+// pipeline configuration. With a warm cache — in particular one
+// prewarmed by inc.Reanalyze after an adaptive refinement — the
+// points-to stage is served, not solved.
+func NewOptNullStatic(prog *ir.Program, db *invariants.DB, cache *artifacts.Cache, cfg StaticConfig) (*OptNull, error) {
+	proof, err := nullProofFor(prog, db, cache, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sound, err := NewHybridNullStatic(prog, cache, cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := &OptNull{
+		Prog:      prog,
+		DB:        db,
+		Pred:      proof,
+		Sound:     sound,
+		nullMask:  residualNullMask(prog, proof),
+		memMask:   factMemMask(prog, proof),
+		syncMask:  make([]bool, len(prog.Instrs)),
+		blockMask: checkedBlockMask(prog, db),
+	}
+	// The speculative image is IC-seeded from the likely callee sets
+	// (the null proof's points-to is predicated on them, and the
+	// checker verifies them at runtime).
+	o.code = compiledCode(prog, interp.Masks{Mem: o.memMask, Sync: o.syncMask, Block: o.blockMask, Null: o.nullMask}, compileOpts(db, cfg), cache)
+	return o, nil
+}
+
+// CodeDigest returns the content digest of the speculative run's
+// compiled configuration (see OptFT.CodeDigest). Refining a
+// non-null-load fact changes the residual mask and so the digest.
+func (o *OptNull) CodeDigest() string { return o.code.ConfigDigest() }
+
+// ElidedChecks returns how many deref sites the predicated analysis
+// lets OptNull run without a dynamic check — the analog of
+// OptFT.ElidedAccesses.
+func (o *OptNull) ElidedChecks() int { return o.Pred.Discharged.Len() }
+
+// DischargeRatio is the fraction of deref sites statically discharged.
+func (o *OptNull) DischargeRatio() float64 { return o.Pred.DischargeRatio() }
+
+// Run performs one speculative null-checking run of e, rolling back to
+// the traditional hybrid configuration on invariant violation.
+func (o *OptNull) Run(e Execution, opts RunOptions) (*NullReport, error) {
+	abort := &interp.Abort{}
+	checker := newNullChecker(o.Prog, o.DB, o.Pred.UsedFacts, abort)
+	cfg := interp.Config{
+		Prog:      o.Prog,
+		Inputs:    e.Inputs,
+		Choose:    e.chooser(),
+		Tracer:    checker,
+		MemMask:   o.memMask,
+		SyncMask:  o.syncMask,
+		BlockMask: o.blockMask,
+		NullMask:  o.nullMask,
+		Code:      o.code,
+		Abort:     abort,
+	}
+	opts.apply(&cfg)
+	res, err := interp.Run(cfg)
+
+	if errors.Is(err, interp.ErrAborted) {
+		// Mis-speculation: roll back, re-execute under the sound hybrid
+		// configuration (§2.3).
+		rep, err2 := o.Sound.Run(e, opts)
+		if err2 != nil {
+			return nil, fmt.Errorf("core: rollback re-execution failed: %w", err2)
+		}
+		rep.RolledBack = true
+		rep.Violation = checker.first
+		rep.CheckEvents = checker.Events
+		rep.Stats.Add(res.Stats)
+		rep.IC.Add(res.IC)
+		opts.observeNull(o, e, rep)
+		return rep, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep := nullReport(&checker.log, res, o.Pred)
+	rep.CheckEvents = checker.Events
+	opts.observeNull(o, e, rep)
+	return rep, nil
+}

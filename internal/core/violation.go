@@ -38,6 +38,10 @@ const (
 	// instrumentation was elided — a potential mis-speculation of the
 	// no-custom-synchronization invariant (§4.2.4). Site is -1.
 	ViolationElidedLockRace ViolationKind = "elided-lock-race"
+	// ViolationNonNull: a load site covered by a likely-non-null-loads
+	// fact produced 0 (the OptNull client). Site is the load
+	// instruction ID.
+	ViolationNonNull ViolationKind = "non-null-load"
 	// ViolationTraceLimit: the dynamic slicer's trace outgrew its node
 	// budget. Not an invariant violation — nothing to refine — but it
 	// rolls back like one, so reports carry it uniformly. Site is -1.
@@ -92,6 +96,8 @@ func (v Violation) String() string {
 		return fmt.Sprintf("unused-call-context invariant violated at site %d", v.Site)
 	case ViolationElidedLockRace:
 		return "race reported with elided lock instrumentation"
+	case ViolationNonNull:
+		return fmt.Sprintf("non-null-load invariant violated at site %d", v.Site)
 	case ViolationTraceLimit:
 		if v.Detail != "" {
 			return "trace limit: " + v.Detail

@@ -81,25 +81,26 @@ type Stats struct {
 // histograms and the incremental constraint-reuse gauge. A nil
 // *Metrics is valid and records nothing.
 type Metrics struct {
-	Phase *metrics.HistogramVec // oha_static_phase_seconds{phase=...}
+	Phase *metrics.HistogramVec // oha_static_phase_seconds{phase=...,client=...}
 	Reuse *metrics.FloatGauge   // oha_inc_reuse_ratio
 }
 
 // NewMetrics registers the pipeline metrics on reg (nil reg: working,
-// unregistered metrics).
+// unregistered metrics). Phase latencies carry a client label so one
+// family serves every analysis client.
 func NewMetrics(reg *metrics.Registry) *Metrics {
 	return &Metrics{
 		Phase: reg.NewHistogramVec("oha_static_phase_seconds",
-			"Wall-clock seconds per static-analysis phase.", "phase"),
+			"Wall-clock seconds per static-analysis phase.", "phase", "client"),
 		Reuse: reg.NewFloatGauge("oha_inc_reuse_ratio",
 			"Fraction of points-to constraints reused by the last incremental re-analysis."),
 	}
 }
 
-// ObservePhase records one phase's wall-clock seconds.
-func (m *Metrics) ObservePhase(phase string, secs float64) {
+// ObservePhase records one phase's wall-clock seconds for one client.
+func (m *Metrics) ObservePhase(phase, client string, secs float64) {
 	if m != nil {
-		m.Phase.With(phase).Observe(secs)
+		m.Phase.With(phase, client).Observe(secs)
 	}
 }
 
@@ -182,7 +183,7 @@ func Reanalyze(prog *ir.Program, oldDB, newDB *invariants.DB, cache *artifacts.C
 	g := &Generation{DB: newDB, PT: pt, MHP: m, Race: sr}
 	publish(prog, newDB, cache, g, ptKey, mhpKey, raceKey)
 	for phase, secs := range st.Phases {
-		opts.Metrics.ObservePhase(phase, secs)
+		opts.Metrics.ObservePhase(phase, "race", secs)
 	}
 	opts.Metrics.ObserveReuse(st.ReuseRatio)
 	return g, st, nil

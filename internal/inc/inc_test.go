@@ -278,8 +278,8 @@ func TestReanalyzeModes(t *testing.T) {
 func TestMetricsExposition(t *testing.T) {
 	reg := metrics.NewRegistry()
 	met := NewMetrics(reg)
-	met.ObservePhase("pointsto", 0.01)
-	met.ObservePhase("race", 0.02)
+	met.ObservePhase("pointsto", "race", 0.01)
+	met.ObservePhase("race", "race", 0.02)
 	met.ObserveReuse(0.75)
 
 	var sb strings.Builder
@@ -288,8 +288,8 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	out := sb.String()
 	for _, want := range []string{
-		`oha_static_phase_seconds_bucket{phase="pointsto",le=`,
-		`oha_static_phase_seconds_count{phase="race"} 1`,
+		`oha_static_phase_seconds_bucket{phase="pointsto",client="race",le=`,
+		`oha_static_phase_seconds_count{phase="race",client="race"} 1`,
 		"oha_inc_reuse_ratio 0.75",
 	} {
 		if !strings.Contains(out, want) {
@@ -299,6 +299,6 @@ func TestMetricsExposition(t *testing.T) {
 
 	// A nil *Metrics records nothing and never panics.
 	var nilMet *Metrics
-	nilMet.ObservePhase("pointsto", 1)
+	nilMet.ObservePhase("pointsto", "race", 1)
 	nilMet.ObserveReuse(1)
 }

@@ -65,6 +65,11 @@ type Masks struct {
 	Block   []bool // by block ID: BlockEnter events
 	Exec    []bool // by instr ID: Exec firehose
 	ExecAll bool
+	// Null marks load/store sites that carry a residual null check
+	// (the OptNull client's dynamic checks). Unlike the event masks, a
+	// nil Null mask means NO checks — null checking is opt-in, exactly
+	// like the Exec firehose.
+	Null []bool
 }
 
 // Masks returns the instrumentation masks carried by a Config.
@@ -75,6 +80,7 @@ func (c Config) Masks() Masks {
 		Block:   c.BlockMask,
 		Exec:    c.ExecMask,
 		ExecAll: c.ExecAll,
+		Null:    c.NullMask,
 	}
 }
 
@@ -117,6 +123,7 @@ func (m Masks) Digest() string {
 	} else {
 		h.Write([]byte{0})
 	}
+	writeMask(m.Null)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -165,6 +172,7 @@ const (
 	fExecEv                   // deliver Exec after this instruction
 	fBlkEv0                   // deliver BlockEnter for target t0
 	fBlkEv1                   // deliver BlockEnter for target t1
+	fNullEv                   // null-check this load/store's address first
 )
 
 // regNone marks an absent register (no Dst, immediate operand).
@@ -442,6 +450,13 @@ func execFlagged(m Masks, id int) bool {
 	return m.ExecAll || (m.Exec != nil && id < len(m.Exec) && m.Exec[id])
 }
 
+// nullFlagged reports whether instruction id carries a residual null
+// check under m. Null checking is opt-in: a nil mask flags nothing
+// (unlike masked, whose nil means "every site").
+func nullFlagged(m Masks, id int) bool {
+	return m.Null != nil && id < len(m.Null) && m.Null[id]
+}
+
 // Compile lowers prog under the given masks into a flat instruction
 // array with default speculative options (fusion on, no inline
 // caches). The result is immutable and safe for concurrent use.
@@ -604,6 +619,9 @@ func (c *Code) applyMasks(m Masks) {
 		case cLoad, cStore:
 			if masked(m.Mem, ci.in.ID) {
 				ci.flags |= fMemEv
+			}
+			if nullFlagged(m, ci.in.ID) {
+				ci.flags |= fNullEv
 			}
 		case cLock, cUnlock:
 			if masked(m.Sync, ci.in.ID) {
@@ -782,12 +800,14 @@ func runInterior(ci *cinstr) bool {
 // — both are safe in last position because their events, like all
 // last-component events, are delivered immediately before the same
 // post-run abort poll an unfused execution would reach). The Exec
-// firehose is never replicated, so it disqualifies. Lock, unlock,
+// firehose is never replicated, so it disqualifies, and so does a
+// residual null check, whose recovery path (skip the access, zero the
+// destination) the run handler does not replicate. Lock, unlock,
 // join, and spawn never join a run: they yield the scheduling slice,
 // so the following instruction could never execute in the same
 // dispatch anyway.
 func runTerminator(ci *cinstr) bool {
-	if ci.flags&fExecEv != 0 {
+	if ci.flags&(fExecEv|fNullEv) != 0 {
 		return false
 	}
 	switch ci.op {

@@ -44,12 +44,13 @@ func (op copcode) String() string {
 }
 
 // flagString renders the baked event-flag bits: M (mem event),
-// S (sync event), X (exec firehose), 0/1 (BlockEnter on target 0/1).
+// S (sync event), X (exec firehose), 0/1 (BlockEnter on target 0/1),
+// N (residual null check).
 func flagString(flags uint8) string {
 	if flags == 0 {
-		return "....."
+		return "......"
 	}
-	b := []byte(".....")
+	b := []byte("......")
 	if flags&fMemEv != 0 {
 		b[0] = 'M'
 	}
@@ -64,6 +65,9 @@ func flagString(flags uint8) string {
 	}
 	if flags&fBlkEv1 != 0 {
 		b[4] = '1'
+	}
+	if flags&fNullEv != 0 {
+		b[5] = 'N'
 	}
 	return string(b)
 }

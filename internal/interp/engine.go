@@ -427,6 +427,19 @@ func (e *engine) runSlice(th *cthread) error {
 			fr.pc++
 		case cLoad:
 			a := opval(fr.regs, in.a)
+			if in.flags&fNullEv != 0 {
+				e.stats.NullChecks++
+				if a == 0 {
+					// Recovered nil deref, mirroring the tree-walker: the
+					// load yields 0 and no memory is touched.
+					fr.regs[in.dst] = 0
+					if tr != nil {
+						tr.NilDeref(th.id, in.in)
+					}
+					fr.pc++
+					break
+				}
+			}
 			cell, err := e.mem(th, in.in, a)
 			if err != nil {
 				return err
@@ -441,6 +454,17 @@ func (e *engine) runSlice(th *cthread) error {
 			fr.pc++
 		case cStore:
 			a := opval(fr.regs, in.a)
+			if in.flags&fNullEv != 0 {
+				e.stats.NullChecks++
+				if a == 0 {
+					// Recovered nil deref: the store is dropped.
+					if tr != nil {
+						tr.NilDeref(th.id, in.in)
+					}
+					fr.pc++
+					break
+				}
+			}
 			cell, err := e.mem(th, in.in, a)
 			if err != nil {
 				return err

@@ -175,6 +175,10 @@ func (r *recorder) Exec(t vc.TID, in *ir.Instr, f interp.FrameID, a interp.Addr)
 	r.add("exec t%d i%d f%d a%d", t, in.ID, f, a)
 }
 
+func (r *recorder) NilDeref(t vc.TID, in *ir.Instr) {
+	r.add("nil t%d i%d", t, in.ID)
+}
+
 // altMask marks every other index, offset by phase — a half-on mask
 // that exercises both the instrumented and elided paths.
 func altMask(n, phase int) []bool {
@@ -284,7 +288,48 @@ func diffVariants() []diffVariant {
 		diffVariant{name: "ic-junk", make: traced, callees: calleesJunk},
 		diffVariant{name: "ic-quantum1", make: quantum1, callees: calleesLikely},
 	)
+	// Null-check variants: residual nil checks at every deref site
+	// (the always-check configuration) and at alternating sites (a
+	// partially-discharged mask), with NilDeref events recorded — the
+	// null client's verdicts, recovery values, and check counts must be
+	// bit-identical across engines.
+	vs = append(vs,
+		diffVariant{name: "null-all", make: func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
+			r := &recorder{}
+			return interp.Config{
+				Prog:     prog,
+				Tracer:   r,
+				NullMask: derefMask(prog),
+				Choose:   sched.NewSeeded(seed*5 + 3),
+				Quantum:  3,
+				MaxSteps: diffMaxSteps,
+			}, r, nil
+		}},
+		diffVariant{name: "null-residual", make: func(prog *ir.Program, seed uint64) (interp.Config, *recorder, *fasttrack.Detector) {
+			r := &recorder{}
+			return interp.Config{
+				Prog:     prog,
+				Tracer:   r,
+				MemMask:  altMask(len(prog.Instrs), 1),
+				NullMask: altMask(len(prog.Instrs), 0),
+				Choose:   sched.NewSeeded(seed*9 + 5),
+				Quantum:  2,
+				MaxSteps: diffMaxSteps,
+			}, r, nil
+		}},
+	)
 	return vs
+}
+
+// derefMask marks every load/store site: the always-check null mask.
+func derefMask(prog *ir.Program) []bool {
+	m := make([]bool, len(prog.Instrs))
+	for _, in := range prog.Instrs {
+		if in.Op == ir.OpLoad || in.Op == ir.OpStore {
+			m[in.ID] = true
+		}
+	}
+	return m
 }
 
 // runDiff executes one variant under both engines and fails on any
@@ -398,6 +443,36 @@ func TestEngineDifferential(t *testing.T) {
 			t.Run(fmt.Sprintf("seed%d/%s", seed, v.name), func(t *testing.T) {
 				runDiff(t, prog, v, seed)
 			})
+		}
+	}
+}
+
+// TestEngineDifferentialNullable runs both engines over the generated
+// pointer-discipline family on inputs spanning benign, repaired, and
+// nil-dereferencing paths. Under the null variants every nil deref
+// recovers (and is recorded as an event); under unmasked variants both
+// engines must trap identically at the first nil access.
+func TestEngineDifferentialNullable(t *testing.T) {
+	variants := diffVariants()
+	inputVectors := [][]int64{
+		{50, 60, 70, 3, 5},
+		{950, 980, 990, 6, 2},
+		{2000, 1500, 1800, 7, 1},
+	}
+	for seed := uint64(1); seed <= 20; seed++ {
+		src := progen.GenerateNullable(seed, progen.DefaultNullableConfig())
+		prog, err := lang.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		for vi, inputs := range inputVectors {
+			inputs := inputs
+			for _, v := range variants {
+				v := v
+				t.Run(fmt.Sprintf("seed%d/in%d/%s", seed, vi, v.name), func(t *testing.T) {
+					runDiffIn(t, prog, v, seed, inputs)
+				})
+			}
 		}
 	}
 }

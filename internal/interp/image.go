@@ -342,7 +342,7 @@ func DecodeImage(prog *ir.Program, data []byte) (*Code, error) {
 		return nil, imgErr("image has %d instructions, program has %d", ncode, len(c.code))
 	}
 
-	const knownFlags = fMemEv | fSyncEv | fExecEv | fBlkEv0 | fBlkEv1
+	const knownFlags = fMemEv | fSyncEv | fExecEv | fBlkEv0 | fBlkEv1 | fNullEv
 	var (
 		gotICs   int
 		gotFused int

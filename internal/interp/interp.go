@@ -88,6 +88,10 @@ type Stats struct {
 	BlockEvents uint64
 	CallEvents  uint64
 	ExecEvents  uint64
+	// NullChecks counts residual null checks executed (load/store sites
+	// flagged by NullMask), whether or not the address was nil. It is
+	// the work metric the OptNull client's static phase elides.
+	NullChecks uint64
 }
 
 // Add accumulates another run's counters into s (used when a rolled-
@@ -103,13 +107,15 @@ func (s *Stats) Add(o Stats) {
 	s.BlockEvents += o.BlockEvents
 	s.CallEvents += o.CallEvents
 	s.ExecEvents += o.ExecEvents
+	s.NullChecks += o.NullChecks
 }
 
-// InstrumentedOps returns the total number of delivered events — the
-// dynamic-analysis work an execution performed.
+// InstrumentedOps returns the total number of delivered events plus
+// executed null checks — the dynamic-analysis work an execution
+// performed.
 func (s Stats) InstrumentedOps() uint64 {
 	return s.Loads + s.Stores + s.Locks + s.Unlocks + s.Spawns + s.Joins +
-		s.BlockEvents + s.ExecEvents
+		s.BlockEvents + s.ExecEvents + s.NullChecks
 }
 
 // EngineKind selects the execution engine for Run.
@@ -161,6 +167,13 @@ type Config struct {
 	// instruction if ExecAll, else only where ExecMask is true.
 	ExecAll  bool
 	ExecMask []bool // by instr ID
+
+	// NullMask marks load/store sites carrying a residual null check
+	// (the OptNull client's dynamic checks). A checked access through
+	// address 0 is recovered deterministically — a load writes 0 to its
+	// destination, a store is dropped — and delivers a NilDeref event
+	// instead of trapping. Opt-in: a nil mask checks nothing.
+	NullMask []bool // by instr ID
 
 	// Abort, if non-nil, is polled after every instruction.
 	Abort *Abort
@@ -549,6 +562,20 @@ func (it *Interp) step(th *thread) (yield bool, err error) {
 		fr.idx++
 	case ir.OpLoad:
 		a := it.eval(fr, in.A)
+		if it.cfg.NullMask != nil && in.ID < len(it.cfg.NullMask) && it.cfg.NullMask[in.ID] {
+			it.stats.NullChecks++
+			if a == 0 {
+				// Recovered nil deref: the load yields 0 and no memory is
+				// touched. Recovery is tracer-independent so traced and
+				// untraced runs stay bit-identical.
+				fr.regs[in.Dst.ID] = 0
+				if tr != nil {
+					tr.NilDeref(th.id, in)
+				}
+				fr.idx++
+				break
+			}
+		}
 		cell, err := it.mem(th, in, a)
 		if err != nil {
 			return false, err
@@ -563,6 +590,17 @@ func (it *Interp) step(th *thread) (yield bool, err error) {
 		fr.idx++
 	case ir.OpStore:
 		a := it.eval(fr, in.A)
+		if it.cfg.NullMask != nil && in.ID < len(it.cfg.NullMask) && it.cfg.NullMask[in.ID] {
+			it.stats.NullChecks++
+			if a == 0 {
+				// Recovered nil deref: the store is dropped.
+				if tr != nil {
+					tr.NilDeref(th.id, in)
+				}
+				fr.idx++
+				break
+			}
+		}
 		cell, err := it.mem(th, in, a)
 		if err != nil {
 			return false, err

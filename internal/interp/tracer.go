@@ -45,6 +45,11 @@ type Tracer interface {
 	// is the accessed address for load/store and 0 otherwise. It is
 	// the firehose event used by full dynamic slicing.
 	Exec(t vc.TID, in *ir.Instr, frame FrameID, addr Addr)
+	// NilDeref is delivered when a load/store flagged by NullMask
+	// observes address 0: the access was recovered (load yields 0,
+	// store dropped) instead of trapping. No Load/Store event
+	// accompanies it — no memory was touched.
+	NilDeref(t vc.TID, in *ir.Instr)
 }
 
 // NopTracer implements Tracer with no-ops; embed it to implement only
@@ -80,6 +85,9 @@ func (NopTracer) Ret(vc.TID, *ir.Instr, FrameID, FrameID, *ir.Var) {}
 
 // Exec implements Tracer.
 func (NopTracer) Exec(vc.TID, *ir.Instr, FrameID, Addr) {}
+
+// NilDeref implements Tracer.
+func (NopTracer) NilDeref(vc.TID, *ir.Instr) {}
 
 // MultiTracer fans every event out to a list of tracers in order.
 type MultiTracer []Tracer
@@ -151,5 +159,12 @@ func (m MultiTracer) Ret(t vc.TID, in *ir.Instr, ce, cr FrameID, dst *ir.Var) {
 func (m MultiTracer) Exec(t vc.TID, in *ir.Instr, f FrameID, a Addr) {
 	for _, tr := range m {
 		tr.Exec(t, in, f, a)
+	}
+}
+
+// NilDeref implements Tracer.
+func (m MultiTracer) NilDeref(t vc.TID, in *ir.Instr) {
+	for _, tr := range m {
+		tr.NilDeref(t, in)
 	}
 }

@@ -3,7 +3,7 @@
 // probably-but-not-certainly-true facts that the predicated static
 // analyses assume and the optimistic dynamic analyses verify.
 //
-// The six invariant kinds are exactly those of the paper:
+// Six invariant kinds are exactly those of the paper:
 //
 //   - likely-unreachable code (OptFT §4.2.1, OptSlice §5.2.1)
 //   - likely guarding locks (OptFT §4.2.2)
@@ -11,6 +11,12 @@
 //   - no custom synchronization (OptFT §4.2.4)
 //   - likely callee sets (OptSlice §5.2.2)
 //   - likely unused call contexts (OptSlice §5.2.3)
+//
+// A seventh kind extends the recipe to the OptNull client:
+//
+//   - likely non-null loads: load sites never observed reading a null
+//     pointer in any profiled run (the nullability facts of "Gradual
+//     Program Analysis for Null Pointers")
 //
 // Like the paper's tools, per-execution invariant sets are stored in a
 // text format and merged across profiling runs — intersecting
@@ -72,6 +78,13 @@ type DB struct {
 	// Contexts is the set of observed call contexts (likely unused
 	// call contexts are its complement).
 	Contexts *ContextSet
+
+	// NonNullLoads holds load-site instruction IDs never observed
+	// reading a null (zero) value in any profiled run — sites the
+	// predicated non-nullness analysis may assume produce non-null
+	// pointers (likely non-null loads). Sites that never executed
+	// trivially qualify, exactly like never-spawning singleton sites.
+	NonNullLoads *bitset.Set
 }
 
 // NewDB returns an empty database.
@@ -83,6 +96,7 @@ func NewDB() *DB {
 		ElidableLocks:   &bitset.Set{},
 		Callees:         map[int]*bitset.Set{},
 		Contexts:        NewContextSet(),
+		NonNullLoads:    &bitset.Set{},
 	}
 }
 
@@ -116,6 +130,7 @@ func (db *DB) Clone() *DB {
 		}
 	}
 	c.Contexts = db.Contexts.Clone()
+	c.NonNullLoads = db.NonNullLoads.Clone()
 	return c
 }
 
@@ -123,7 +138,7 @@ func (db *DB) Clone() *DB {
 // per-kind merge rule: union for reachable-flavoured facts (visited
 // blocks, callee sets, contexts), intersection for
 // unreachable-flavoured ones (must-alias pairs, singleton spawns,
-// elidable locks).
+// elidable locks, non-null loads).
 func (db *DB) MergeInto(run *DB) {
 	db.Visited.UnionWith(run.Visited)
 	for k := range db.MustAliasLocks {
@@ -141,6 +156,7 @@ func (db *DB) MergeInto(run *DB) {
 		}
 	}
 	db.Contexts.UnionWith(run.Contexts)
+	db.NonNullLoads.IntersectWith(run.NonNullLoads)
 }
 
 // Merge combines per-run invariant databases into the final set, as
@@ -166,6 +182,7 @@ type Counts struct {
 	CalleeSites     int
 	CalleeTargets   int
 	Contexts        int
+	NonNullLoads    int
 }
 
 // Count returns summary statistics.
@@ -177,6 +194,7 @@ func (db *DB) Count() Counts {
 		ElidableLocks:   db.ElidableLocks.Len(),
 		CalleeSites:     len(db.Callees),
 		Contexts:        db.Contexts.Len(),
+		NonNullLoads:    db.NonNullLoads.Len(),
 	}
 	for _, s := range db.Callees {
 		c.CalleeTargets += s.Len()
@@ -190,7 +208,8 @@ func (db *DB) Count() Counts {
 func (db *DB) Equal(o *DB) bool {
 	if !db.Visited.Equal(o.Visited) ||
 		!db.SingletonSpawns.Equal(o.SingletonSpawns) ||
-		!db.ElidableLocks.Equal(o.ElidableLocks) {
+		!db.ElidableLocks.Equal(o.ElidableLocks) ||
+		!db.NonNullLoads.Equal(o.NonNullLoads) {
 		return false
 	}
 	if len(db.MustAliasLocks) != len(o.MustAliasLocks) {
@@ -264,6 +283,9 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 		}
 		writeInts(&b, path)
 	}
+
+	b.WriteString("[non-null-loads]\n")
+	writeInts(&b, db.NonNullLoads.Slice())
 
 	n, err := io.WriteString(w, b.String())
 	return int64(n), err
@@ -358,6 +380,14 @@ func Parse(r io.Reader) (*DB, error) {
 				return nil, fmt.Errorf("invariants: line %d: %w", lineNo, err)
 			}
 			db.Contexts.Add(xs)
+		case "non-null-loads":
+			xs, err := parseInts(line)
+			if err != nil {
+				return nil, fmt.Errorf("invariants: line %d: %w", lineNo, err)
+			}
+			for _, x := range xs {
+				db.NonNullLoads.Add(x)
+			}
 		default:
 			return nil, fmt.Errorf("invariants: line %d: data outside a known section", lineNo)
 		}

@@ -1,0 +1,129 @@
+package invariants
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMergeRulesProperty: Merge applies the paper's §3 per-kind rules
+// across all seven invariant kinds — union for reachable-flavoured
+// facts (visited blocks, callee sets, contexts), intersection for
+// unreachable-flavoured ones (must-alias pairs, singleton spawns,
+// elidable locks, non-null loads) — on arbitrary databases.
+func TestMergeRulesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x7a11))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randDB(rng), randDB(rng)
+		m := Merge(a, b)
+
+		// Union kinds: every member of either side is in the merge, and
+		// nothing else.
+		for _, id := range a.Visited.Slice() {
+			if !m.Visited.Has(id) {
+				t.Fatalf("trial %d: visited %d lost by merge", trial, id)
+			}
+		}
+		for _, id := range m.Visited.Slice() {
+			if !a.Visited.Has(id) && !b.Visited.Has(id) {
+				t.Fatalf("trial %d: visited %d invented by merge", trial, id)
+			}
+		}
+		for site, set := range b.Callees {
+			ms := m.Callees[site]
+			if ms == nil {
+				t.Fatalf("trial %d: callee site %d lost by merge", trial, site)
+			}
+			for _, f := range set.Slice() {
+				if !ms.Has(f) {
+					t.Fatalf("trial %d: callee %d@%d lost by merge", trial, f, site)
+				}
+			}
+		}
+		for _, path := range a.Contexts.SortedPaths() {
+			if !m.Contexts.Has(path) {
+				t.Fatalf("trial %d: context %v lost by merge", trial, path)
+			}
+		}
+
+		// Intersection kinds: the merge holds exactly the facts both
+		// sides hold.
+		for _, site := range m.NonNullLoads.Slice() {
+			if !a.NonNullLoads.Has(site) || !b.NonNullLoads.Has(site) {
+				t.Fatalf("trial %d: non-null load %d survived merge without both sides", trial, site)
+			}
+		}
+		for _, site := range a.NonNullLoads.Slice() {
+			if b.NonNullLoads.Has(site) && !m.NonNullLoads.Has(site) {
+				t.Fatalf("trial %d: non-null load %d in both sides lost by merge", trial, site)
+			}
+		}
+		for pair := range m.MustAliasLocks {
+			if !a.MustAliasLocks[pair] || !b.MustAliasLocks[pair] {
+				t.Fatalf("trial %d: must-alias %v survived merge without both sides", trial, pair)
+			}
+		}
+		for _, site := range m.SingletonSpawns.Slice() {
+			if !a.SingletonSpawns.Has(site) || !b.SingletonSpawns.Has(site) {
+				t.Fatalf("trial %d: singleton spawn %d survived merge without both sides", trial, site)
+			}
+		}
+		for _, site := range m.ElidableLocks.Slice() {
+			if !a.ElidableLocks.Has(site) || !b.ElidableLocks.Has(site) {
+				t.Fatalf("trial %d: elidable lock %d survived merge without both sides", trial, site)
+			}
+		}
+
+		// Merge never mutates its inputs.
+		if !Merge(a, b).Equal(m) {
+			t.Fatalf("trial %d: merge is not repeatable", trial)
+		}
+	}
+}
+
+// TestWithoutFactMergeProperty: retracting a likely-non-null fact
+// (refinement's "database without this fact") commutes with the
+// intersection merge rule — weakening one input weakens the merge by
+// at most that fact, and re-merging a weakened database never
+// resurrects the fact. This is the algebra the adaptive refine loop
+// relies on when refined generations and fresh profiles meet.
+func TestWithoutFactMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x0b5e))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randDB(rng), randDB(rng)
+		sites := a.NonNullLoads.Slice()
+		if len(sites) == 0 {
+			continue
+		}
+		site := sites[rng.Intn(len(sites))]
+
+		weak := a.Clone()
+		if !weak.RetractNonNullLoad(site) {
+			t.Fatalf("trial %d: retract of a held fact reported no change", trial)
+		}
+		if weak.RetractNonNullLoad(site) {
+			t.Fatalf("trial %d: second retract of site %d reported a change", trial, site)
+		}
+		if weak.NonNullLoads.Has(site) {
+			t.Fatalf("trial %d: site %d still present after retract", trial, site)
+		}
+
+		// Only the targeted fact differs.
+		restored := weak.Clone()
+		restored.NonNullLoads.Add(site)
+		if !restored.Equal(a) {
+			t.Fatalf("trial %d: retract changed more than the targeted fact", trial)
+		}
+
+		// Intersection merge never resurrects a retracted fact.
+		m := Merge(weak, b)
+		if m.NonNullLoads.Has(site) {
+			t.Fatalf("trial %d: merge resurrected retracted site %d", trial, site)
+		}
+		// And Merge(weak, b) equals Merge(a, b) without the fact.
+		full := Merge(a, b)
+		full.RetractNonNullLoad(site)
+		if !m.NonNullLoads.Equal(full.NonNullLoads) {
+			t.Fatalf("trial %d: retract does not commute with merge", trial)
+		}
+	}
+}

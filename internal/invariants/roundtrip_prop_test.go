@@ -8,8 +8,8 @@ import (
 	"oha/internal/bitset"
 )
 
-// randDB generates a database exercising all six invariant kinds with
-// rng-driven density, including sometimes-empty sections.
+// randDB generates a database exercising all seven invariant kinds
+// with rng-driven density, including sometimes-empty sections.
 func randDB(rng *rand.Rand) *DB {
 	db := NewDB()
 	for i, n := 0, rng.Intn(40); i < n; i++ {
@@ -43,12 +43,15 @@ func randDB(rng *rand.Rand) *DB {
 		}
 		db.Contexts.Add(ctx)
 	}
+	for i, n := 0, rng.Intn(12); i < n; i++ {
+		db.NonNullLoads.Add(rng.Intn(300))
+	}
 	return db
 }
 
 // TestRoundTripProperty: Parse(Format(db)) is the identity for
 // arbitrary databases — the text format loses nothing, for any mix of
-// the six invariant kinds.
+// the seven invariant kinds.
 func TestRoundTripProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(0x0ffa))
 	for trial := 0; trial < 200; trial++ {

@@ -114,6 +114,16 @@ func (db *DB) AddContext(path []int) bool {
 	return changed
 }
 
+// RetractNonNullLoad drops the likely-non-null fact for a load site
+// observed producing a null pointer. Reports whether the DB changed.
+func (db *DB) RetractNonNullLoad(site int) bool {
+	if !db.NonNullLoads.Has(site) {
+		return false
+	}
+	db.NonNullLoads.Remove(site)
+	return true
+}
+
 // ClearElidableLocks retracts the no-custom-synchronization invariant
 // entirely, restoring all lock instrumentation. The invariant is
 // all-or-nothing at runtime (any race while locks are elided is a

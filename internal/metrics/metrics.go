@@ -119,39 +119,69 @@ type labeled[T any] struct {
 	m      T
 }
 
-// CounterVec is a counter family keyed by one label. Children are
-// created on first use and rendered in creation order.
+// labelSet renders `{k1="v1",k2="v2"}` for one child of a vec; a
+// value-count mismatch is a programming error and panics.
+func labelSet(labels, values []string) string {
+	if len(values) != len(labels) {
+		panic(fmt.Sprintf("metrics: %d label values for labels %v", len(values), labels))
+	}
+	var b []byte
+	b = append(b, '{')
+	for i, l := range labels {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, fmt.Sprintf("%s=%q", l, values[i])...)
+	}
+	return string(append(b, '}'))
+}
+
+// childKey is the map key of one label-value tuple.
+func childKey(values []string) string {
+	key := ""
+	for i, v := range values {
+		if i > 0 {
+			key += "\x00"
+		}
+		key += v
+	}
+	return key
+}
+
+// CounterVec is a counter family keyed by one or more labels. Children
+// are created on first use and rendered in creation order.
 type CounterVec struct {
-	label string
+	labels []string
 
 	mu       sync.Mutex
 	children map[string]*Counter
 	order    []labeled[*Counter]
 }
 
-// NewCounterVec returns a counter family with the given label name.
-func NewCounterVec(label string) *CounterVec {
-	return &CounterVec{label: label, children: map[string]*Counter{}}
+// NewCounterVec returns a counter family with the given label names.
+func NewCounterVec(labels ...string) *CounterVec {
+	return &CounterVec{labels: labels, children: map[string]*Counter{}}
 }
 
-// With returns the child counter for a label value, creating it on
-// first use.
-func (v *CounterVec) With(value string) *Counter {
+// With returns the child counter for a label-value tuple (one value
+// per label, in declaration order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := childKey(values)
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	c, ok := v.children[value]
+	c, ok := v.children[key]
 	if !ok {
 		c = &Counter{}
-		v.children[value] = c
-		v.order = append(v.order, labeled[*Counter]{labels: fmt.Sprintf("{%s=%q}", v.label, value), m: c})
+		v.children[key] = c
+		v.order = append(v.order, labeled[*Counter]{labels: labelSet(v.labels, values), m: c})
 	}
 	return c
 }
 
-// HistogramVec is a histogram family keyed by one label. Children are
-// created on first use and rendered in creation order.
+// HistogramVec is a histogram family keyed by one or more labels.
+// Children are created on first use and rendered in creation order.
 type HistogramVec struct {
-	label  string
+	labels []string
 	bounds []float64
 
 	mu       sync.Mutex
@@ -159,22 +189,23 @@ type HistogramVec struct {
 	order    []labeled[*Histogram]
 }
 
-// NewHistogramVec returns a histogram family with the given label name
-// and bucket bounds (nil: DefBuckets).
-func NewHistogramVec(label string, bounds ...float64) *HistogramVec {
-	return &HistogramVec{label: label, bounds: bounds, children: map[string]*Histogram{}}
+// NewHistogramVec returns a histogram family with the given label
+// names over DefBuckets.
+func NewHistogramVec(labels ...string) *HistogramVec {
+	return &HistogramVec{labels: labels, children: map[string]*Histogram{}}
 }
 
-// With returns the child histogram for a label value, creating it on
-// first use.
-func (v *HistogramVec) With(value string) *Histogram {
+// With returns the child histogram for a label-value tuple (one value
+// per label, in declaration order), creating it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := childKey(values)
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	h, ok := v.children[value]
+	h, ok := v.children[key]
 	if !ok {
 		h = NewHistogram(v.bounds...)
-		v.children[value] = h
-		v.order = append(v.order, labeled[*Histogram]{labels: fmt.Sprintf("{%s=%q}", v.label, value), m: h})
+		v.children[key] = h
+		v.order = append(v.order, labeled[*Histogram]{labels: labelSet(v.labels, values), m: h})
 	}
 	return h
 }
@@ -226,9 +257,9 @@ func (r *Registry) NewCounter(name, help string) *Counter {
 	return c
 }
 
-// NewCounterVec registers and returns a one-label counter family.
-func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
-	v := NewCounterVec(label)
+// NewCounterVec registers and returns a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	v := NewCounterVec(labels...)
 	r.add(name, help, "counter", func(w io.Writer, n string) {
 		v.mu.Lock()
 		order := append([]labeled[*Counter](nil), v.order...)
@@ -283,10 +314,10 @@ func (r *Registry) NewHistogram(name, help string, bounds ...float64) *Histogram
 	return h
 }
 
-// NewHistogramVec registers and returns a one-label histogram family
-// (nil bounds: DefBuckets).
-func (r *Registry) NewHistogramVec(name, help, label string, bounds ...float64) *HistogramVec {
-	v := NewHistogramVec(label, bounds...)
+// NewHistogramVec registers and returns a labeled histogram family
+// over DefBuckets.
+func (r *Registry) NewHistogramVec(name, help string, labels ...string) *HistogramVec {
+	v := NewHistogramVec(labels...)
 	r.add(name, help, "histogram", func(w io.Writer, n string) {
 		v.mu.Lock()
 		order := append([]labeled[*Histogram](nil), v.order...)

@@ -1,0 +1,204 @@
+package nullcheck
+
+import (
+	"testing"
+
+	"oha/internal/ctxs"
+	"oha/internal/invariants"
+	"oha/internal/ir"
+	"oha/internal/lang"
+	"oha/internal/pointsto"
+)
+
+// mustCompile compiles MiniLang source or fails the test.
+func mustCompile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+// derefByVar maps each load/store site to the name of the variable its
+// address operand reads (sites with register addresses only).
+func derefSites(prog *ir.Program) map[string][]*ir.Instr {
+	out := map[string][]*ir.Instr{}
+	for _, in := range prog.Instrs {
+		if (in.Op == ir.OpLoad || in.Op == ir.OpStore) && in.A.Kind == ir.OperVar {
+			out[in.A.Var.Name] = append(out[in.A.Var.Name], in)
+		}
+	}
+	return out
+}
+
+const branchy = `
+	global buf[4];
+	global ptr = 0;
+
+	func main() {
+		ptr = &buf;
+		var p = ptr;
+		*p = 7;
+		var q = &buf;
+		var x = *q;
+		var r = input(0);
+		if (r != 0) {
+			x = x + *r;
+		}
+		print(x);
+		return 0;
+	}
+`
+
+// TestSoundSources: with no invariants and no points-to, the register
+// pass discharges derefs through address-of and branch-guarded
+// registers, and keeps the check on a pointer loaded from a global.
+func TestSoundSources(t *testing.T) {
+	prog := mustCompile(t, branchy)
+	res := Analyze(prog, nil, nil)
+	sites := derefSites(prog)
+	for _, name := range []string{"p", "q", "r"} {
+		if len(sites[name]) == 0 {
+			t.Fatalf("no deref through register %q found; lowering changed?", name)
+		}
+	}
+
+	for _, in := range sites["q"] {
+		if !res.Discharged.Has(in.ID) {
+			t.Errorf("deref through &buf register not discharged (instr %d)", in.ID)
+		}
+	}
+	for _, in := range sites["r"] {
+		if !res.Discharged.Has(in.ID) {
+			t.Errorf("deref guarded by r != 0 not discharged (instr %d)", in.ID)
+		}
+	}
+	for _, in := range sites["p"] {
+		if res.Discharged.Has(in.ID) {
+			t.Errorf("deref through globally-loaded pointer wrongly discharged soundly (instr %d)", in.ID)
+		}
+	}
+	if !res.UsedFacts.IsEmpty() {
+		t.Errorf("sound analysis used facts: %v", res.UsedFacts.Slice())
+	}
+	if res.DerefSites == 0 {
+		t.Fatal("no deref sites counted")
+	}
+}
+
+// TestOptimisticFacts: a likely-non-null fact on the global-pointer
+// load discharges the residual deref, and the fact use is recorded.
+func TestOptimisticFacts(t *testing.T) {
+	prog := mustCompile(t, branchy)
+	db := invariants.NewDB()
+	for _, in := range prog.Instrs {
+		if in.Op == ir.OpLoad {
+			db.NonNullLoads.Add(in.ID)
+		}
+	}
+	res := Analyze(prog, nil, db)
+	sites := derefSites(prog)
+
+	for _, in := range sites["p"] {
+		if !res.Discharged.Has(in.ID) {
+			t.Errorf("deref under non-null-load fact not discharged (instr %d)", in.ID)
+		}
+	}
+	if res.UsedFacts.IsEmpty() {
+		t.Error("no facts recorded as used")
+	}
+	res.UsedFacts.ForEach(func(id int) bool {
+		if !db.NonNullLoads.Has(id) {
+			t.Errorf("used fact %d not in the database", id)
+		}
+		return true
+	})
+}
+
+// TestPointsToGlobalFacts: a sentinel-initialized global that is only
+// ever assigned allocation results is a sound non-null load source —
+// phase 2 discharges the deref with no fact.
+func TestPointsToGlobalFacts(t *testing.T) {
+	prog := mustCompile(t, `
+		global cur = 1;
+		global reset = 0;
+
+		func main() {
+			cur = alloc(4);
+			var p = cur;
+			*p = 9;
+			reset = input(0);
+			var q = reset;
+			var y = q + 1;
+			print(y);
+			return 0;
+		}
+	`)
+	pt, err := pointsto.Analyze(prog, ctxs.NewCI(prog), nil)
+	if err != nil {
+		t.Fatalf("pointsto: %v", err)
+	}
+	res := Analyze(prog, pt, nil)
+	sites := derefSites(prog)
+
+	for _, in := range sites["p"] {
+		if !res.Discharged.Has(in.ID) {
+			t.Errorf("deref through qualified global load not discharged (instr %d)", in.ID)
+		}
+	}
+	if !res.UsedFacts.IsEmpty() {
+		t.Errorf("sound phase-2 proof used facts: %v", res.UsedFacts.Slice())
+	}
+
+	// Without the points-to result the same deref stays residual.
+	noPT := Analyze(prog, nil, nil)
+	for _, in := range sites["p"] {
+		if noPT.Discharged.Has(in.ID) {
+			t.Errorf("register-only pass wrongly discharged global-load deref (instr %d)", in.ID)
+		}
+	}
+}
+
+// TestDisqualifiedGlobal: a zero-initialized pointer global never
+// qualifies, even when every store to it is non-null — the initial 0
+// is observable.
+func TestDisqualifiedGlobal(t *testing.T) {
+	prog := mustCompile(t, `
+		global cur = 0;
+
+		func main() {
+			cur = alloc(4);
+			var p = cur;
+			*p = 9;
+			return 0;
+		}
+	`)
+	pt, err := pointsto.Analyze(prog, ctxs.NewCI(prog), nil)
+	if err != nil {
+		t.Fatalf("pointsto: %v", err)
+	}
+	res := Analyze(prog, pt, nil)
+	for _, in := range derefSites(prog)["p"] {
+		if res.Discharged.Has(in.ID) {
+			t.Errorf("zero-initialized global load wrongly sound (instr %d)", in.ID)
+		}
+	}
+}
+
+// TestDeterminism: repeated analysis of one (program, db) pair yields
+// identical results.
+func TestDeterminism(t *testing.T) {
+	prog := mustCompile(t, branchy)
+	db := invariants.NewDB()
+	for _, in := range prog.Instrs {
+		if in.Op == ir.OpLoad {
+			db.NonNullLoads.Add(in.ID)
+		}
+	}
+	a := Analyze(prog, nil, db)
+	b := Analyze(prog, nil, db)
+	if !a.Discharged.Equal(b.Discharged) || !a.UsedFacts.Equal(b.UsedFacts) || a.DerefSites != b.DerefSites {
+		t.Fatal("analysis is not deterministic")
+	}
+}

@@ -37,6 +37,7 @@ type Collector struct {
 	callees     map[int]*bitset.Set
 	ctxs        *invariants.ContextSet
 	stacks      map[vc.TID]*ctxStack
+	zeroLoads   *bitset.Set // load sites observed producing value 0
 }
 
 // ctxFrame mirrors one activation for context tracking.
@@ -62,6 +63,7 @@ func NewCollector(prog *ir.Program) *Collector {
 		callees:     map[int]*bitset.Set{},
 		ctxs:        invariants.NewContextSet(),
 		stacks:      map[vc.TID]*ctxStack{},
+		zeroLoads:   &bitset.Set{},
 	}
 }
 
@@ -109,6 +111,14 @@ func (s *ctxStack) pop() {
 // likely-unreachable-code invariant.
 func (c *Collector) BlockEnter(_ vc.TID, b *ir.Block) {
 	c.visited.Add(b.ID)
+}
+
+// Load implements interp.Tracer: records load sites observed producing
+// 0 (the likely-non-null-loads invariant assumes the complement).
+func (c *Collector) Load(_ vc.TID, in *ir.Instr, _ interp.Addr, val int64) {
+	if val == 0 {
+		c.zeroLoads.Add(in.ID)
+	}
 }
 
 // Lock implements interp.Tracer: records the dynamic object locked at
@@ -210,6 +220,16 @@ func (c *Collector) Summarize() *invariants.DB {
 		db.Callees[site] = set.Clone()
 	}
 	db.Contexts = c.ctxs.Clone()
+
+	// Likely non-null loads: every load site never observed producing 0
+	// this run (sites that did not execute trivially qualify, like
+	// singleton spawns — the intersection merge keeps only sites that
+	// held across every profiled run).
+	for _, in := range c.prog.Instrs {
+		if in.Op == ir.OpLoad && !c.zeroLoads.Has(in.ID) {
+			db.NonNullLoads.Add(in.ID)
+		}
+	}
 	return db
 }
 

@@ -225,6 +225,66 @@ func TestSpawnedThreadContexts(t *testing.T) {
 	}
 }
 
+func TestNonNullLoads(t *testing.T) {
+	p := lang.MustCompile(`
+		global buf[4];
+		global good = 0;
+		global bad = 0;
+		func main() {
+			good = &buf;
+			var a = good;  // always loads non-null
+			*a = 1;
+			var b = bad;   // loads 0 on this run
+			if (b != 0) { print(*b); }
+		}
+	`)
+	db, err := Run(p, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := findInstrs(p, ir.OpLoad)
+	if len(loads) < 3 {
+		t.Fatalf("load sites = %d, want >= 3", len(loads))
+	}
+	var goodID, badID = -1, -1
+	for _, id := range loads {
+		a := p.Instrs[id].A
+		if a.Kind != ir.OperGlobal {
+			continue
+		}
+		switch a.Global.Name {
+		case "good":
+			goodID = id
+		case "bad":
+			badID = id
+		}
+	}
+	if goodID < 0 || badID < 0 {
+		t.Fatalf("global load sites not found: good=%d bad=%d", goodID, badID)
+	}
+	if !db.NonNullLoads.Has(goodID) {
+		t.Error("always-non-null load site missing from NonNullLoads")
+	}
+	if db.NonNullLoads.Has(badID) {
+		t.Error("observed-zero load site present in NonNullLoads")
+	}
+	// The guarded *b deref never executed: its load site (through
+	// register b) trivially qualifies, like never-run singleton spawns.
+	deref := -1
+	for _, id := range loads {
+		in := p.Instrs[id]
+		if in.A.Kind == ir.OperVar && in.A.Var.Name == "b" {
+			deref = id
+		}
+	}
+	if deref < 0 {
+		t.Fatal("guarded deref load not found")
+	}
+	if !db.NonNullLoads.Has(deref) {
+		t.Error("never-executed load site missing from NonNullLoads")
+	}
+}
+
 func TestConverge(t *testing.T) {
 	p := lang.MustCompile(`
 		func a() { print(1); }

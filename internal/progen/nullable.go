@@ -1,0 +1,256 @@
+package progen
+
+import "fmt"
+
+// NullableConfig bounds a generated pointer-discipline program (the
+// OptNull differential family).
+type NullableConfig struct {
+	// Ptrs is the number of pointer globals (initially nil).
+	Ptrs int
+	// Targets is the number of scalar globals pointers may address.
+	Targets int
+	// Funcs is the number of helper functions dereferencing pointers.
+	Funcs int
+	// MaxStmts bounds statements per function body.
+	MaxStmts int
+}
+
+// DefaultNullableConfig returns moderate bounds.
+func DefaultNullableConfig() NullableConfig {
+	return NullableConfig{Ptrs: 3, Targets: 3, Funcs: 3, MaxStmts: 6}
+}
+
+// GenerateNullable produces one random sequential pointer-discipline
+// program for the null checker's differential suite. Pointer globals
+// only ever hold nil, the address of a scalar global, an allocation,
+// or another pointer's value — so the only possible memory fault is a
+// nil dereference, which the generator permits freely: under a null-
+// checking configuration it recovers deterministically (nil loads
+// produce 0, nil stores are dropped), and without one both engines
+// must trap identically. Programs terminate (loops are counter-
+// bounded) and avoid every other trap (no arrays, no division, no
+// locks, no threads).
+func GenerateNullable(seed uint64, cfg NullableConfig) string {
+	if cfg.Ptrs <= 0 {
+		cfg = DefaultNullableConfig()
+	}
+	g := &nullGen{r: &rng{s: seed*0x9e3779b97f4a7c15 + 3}, cfg: cfg}
+	return g.program()
+}
+
+type nullGen struct {
+	r   *rng
+	cfg NullableConfig
+	b   lineWriter
+
+	ptrs    []string
+	targets []string
+	fnNames []string
+
+	locals  []string
+	nextVar int
+}
+
+// lineWriter is a tiny indenting writer shared by the generator.
+type lineWriter struct {
+	sb     []byte
+	indent int
+}
+
+func (w *lineWriter) w(format string, args ...any) {
+	for i := 0; i < w.indent; i++ {
+		w.sb = append(w.sb, '\t')
+	}
+	w.sb = append(w.sb, fmt.Sprintf(format, args...)...)
+	w.sb = append(w.sb, '\n')
+}
+
+func (g *nullGen) program() string {
+	for i := 0; i < g.cfg.Targets; i++ {
+		name := fmt.Sprintf("t%d", i)
+		g.targets = append(g.targets, name)
+		g.b.w("global %s = %d;", name, 1+g.r.intn(40))
+	}
+	for i := 0; i < g.cfg.Ptrs; i++ {
+		name := fmt.Sprintf("p%d", i)
+		g.ptrs = append(g.ptrs, name)
+		g.b.w("global %s = 0;", name)
+	}
+	g.b.w("global acc = 0;")
+	g.b.w("")
+	for i := 0; i < g.cfg.Funcs; i++ {
+		g.fnNames = append(g.fnNames, fmt.Sprintf("h%d", i))
+	}
+	for _, name := range g.fnNames {
+		g.helperFunc(name)
+	}
+	g.mainFunc()
+	return string(g.b.sb)
+}
+
+func (g *nullGen) helperFunc(name string) {
+	g.locals = []string{"x"}
+	g.nextVar = 0
+	g.b.w("func %s(x) {", name)
+	g.b.indent++
+	n := 2 + g.r.intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(2)
+	}
+	g.b.w("return acc + x;")
+	g.b.indent--
+	g.b.w("}")
+	g.b.w("")
+}
+
+func (g *nullGen) mainFunc() {
+	g.locals = nil
+	g.nextVar = 0
+	g.b.w("func main() {")
+	g.b.indent++
+	// Establish a pointer discipline: every pointer gets a target, and
+	// some are input-guarded into nil (with or without a repair) — the
+	// likely-non-null facts that hold on some inputs and not others.
+	for i, p := range g.ptrs {
+		switch g.r.intn(3) {
+		case 0:
+			g.b.w("%s = &%s;", p, g.r.pick(g.targets))
+		case 1:
+			g.b.w("%s = alloc(%d);", p, 1+g.r.intn(3))
+			g.b.w("*%s = %d;", p, g.r.intn(30))
+		default:
+			g.b.w("%s = &%s;", p, g.r.pick(g.targets))
+			g.b.w("if (input(%d) > %d) {", i, 400+g.r.intn(400))
+			g.b.indent++
+			g.b.w("%s = 0;", p)
+			g.b.indent--
+			if g.r.intn(2) == 0 {
+				g.b.w("}")
+				g.b.w("if (input(%d) < %d) {", i, 900+g.r.intn(300))
+				g.b.indent++
+				g.b.w("%s = &%s;", p, g.r.pick(g.targets))
+				g.b.indent--
+			}
+			g.b.w("}")
+		}
+	}
+	// A bounded driver loop mixing helper calls and direct derefs.
+	g.b.w("var i = 0;")
+	g.b.w("var lim = (input(%d) & 7) + 2;", g.cfg.Ptrs)
+	g.locals = append(g.locals, "i", "lim")
+	g.b.w("while (i < lim) {")
+	g.b.indent++
+	save := len(g.locals)
+	n := 1 + g.r.intn(3)
+	for k := 0; k < n; k++ {
+		if g.r.intn(2) == 0 {
+			g.b.w("var %s = %s(i + %d);", g.newLocal(), g.r.pick(g.fnNames), g.r.intn(9))
+		} else {
+			g.stmt(1)
+		}
+	}
+	g.b.w("i = i + 1;")
+	g.locals = g.locals[:save]
+	g.b.indent--
+	g.b.w("}")
+	for _, t := range g.targets {
+		g.b.w("print(%s);", t)
+	}
+	g.b.w("print(acc);")
+	g.b.indent--
+	g.b.w("}")
+}
+
+// stmt emits one pointer-flavored statement. depth bounds nesting.
+func (g *nullGen) stmt(depth int) {
+	choices := 7
+	if depth <= 0 {
+		choices = 4
+	}
+	p := g.r.pick(g.ptrs)
+	switch g.r.intn(choices) {
+	case 0: // deref load
+		g.b.w("var %s = *%s;", g.newLocal(), p)
+	case 1: // deref store
+		g.b.w("*%s = %s;", p, g.expr(1))
+	case 2: // accumulate
+		g.b.w("acc = acc + %s;", g.expr(1))
+	case 3: // pointer move: retarget, copy, or input-guarded drop to
+		// nil. The drop must stay guarded: profiling runs carry no
+		// null mask, so a program that unconditionally nils a pointer
+		// it later derefs would trap during invariant profiling —
+		// benign (small) inputs have to keep every deref non-nil.
+		switch g.r.intn(4) {
+		case 0:
+			g.b.w("if (input(%d) > %d) {", g.r.intn(g.cfg.Ptrs), 400+g.r.intn(400))
+			g.inBlock(func() { g.b.w("%s = 0;", p) })
+			g.b.w("}")
+		case 1:
+			g.b.w("%s = %s;", p, g.r.pick(g.ptrs))
+		default:
+			g.b.w("%s = &%s;", p, g.r.pick(g.targets))
+		}
+	case 4: // guarded deref: the static pass's branch refinement
+		g.b.w("if (%s != 0) {", p)
+		g.inBlock(func() { g.b.w("acc = acc + *%s;", p) })
+		g.b.w("} else {")
+		g.inBlock(func() { g.b.w("acc = acc + 1;") })
+		g.b.w("}")
+	case 5: // conditional
+		g.b.w("if (%s) {", g.expr(1))
+		g.inBlock(func() { g.stmt(depth - 1) })
+		g.b.w("}")
+	default: // bounded loop
+		i := g.newLocal()
+		g.b.w("var %s = 0;", i)
+		g.b.w("while (%s < %d) {", i, 2+g.r.intn(4))
+		g.inBlock(func() {
+			g.stmt(depth - 1)
+			g.b.w("%s = %s + 1;", i, i)
+		})
+		g.b.w("}")
+	}
+}
+
+func (g *nullGen) inBlock(body func()) {
+	g.b.indent++
+	save := len(g.locals)
+	body()
+	g.locals = g.locals[:save]
+	g.b.indent--
+}
+
+func (g *nullGen) newLocal() string {
+	v := fmt.Sprintf("v%d", g.nextVar)
+	g.nextVar++
+	g.locals = append(g.locals, v)
+	return v
+}
+
+var nullBinOps = []string{"+", "-", "*", "&", "|", "^"}
+
+// expr emits a side-effect-free, trap-free expression (no division,
+// no derefs — derefs are statements so null instrumentation sites stay
+// syntactically predictable).
+func (g *nullGen) expr(depth int) string {
+	if depth <= 0 || g.r.intn(3) == 0 {
+		return g.atom()
+	}
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), g.r.pick(nullBinOps), g.expr(depth-1))
+}
+
+func (g *nullGen) atom() string {
+	switch g.r.intn(4) {
+	case 0:
+		return fmt.Sprintf("%d", g.r.intn(50))
+	case 1:
+		return g.r.pick(g.targets)
+	case 2:
+		return fmt.Sprintf("input(%d)", g.r.intn(g.cfg.Ptrs+2))
+	default:
+		if len(g.locals) == 0 {
+			return "acc"
+		}
+		return g.r.pick(g.locals)
+	}
+}

@@ -108,11 +108,11 @@ func TestServerAdaptiveSpeculation(t *testing.T) {
 	if v := metricValue(t, mx, "oha_adapt_refinements_total"); v != 1 {
 		t.Fatalf("oha_adapt_refinements_total = %v, want 1", v)
 	}
-	if v := metricValue(t, mx, "oha_adapt_rollbacks_total"); v != 1 {
-		t.Fatalf("oha_adapt_rollbacks_total = %v, want 1", v)
+	if v := metricValue(t, mx, `oha_adapt_rollbacks_total{client="race"}`); v != 1 {
+		t.Fatalf("oha_adapt_rollbacks_total{client=race} = %v, want 1", v)
 	}
-	if !strings.Contains(mx, `oha_adapt_violations_total{kind="unreachable-block"} 1`) {
-		t.Fatalf("violation counter missing from exposition:\n%s", mx)
+	if !strings.Contains(mx, `oha_adapt_violations_total{client="race",kind="unreachable-block"} 1`) {
+		t.Fatalf("client-labeled violation counter missing from exposition:\n%s", mx)
 	}
 
 	// The static pipeline's phase histograms and incremental-reuse
@@ -120,7 +120,7 @@ func TestServerAdaptiveSpeculation(t *testing.T) {
 	// state, so the mode is incremental and the reuse ratio the
 	// fraction of constraints inherited.
 	for _, phase := range []string{"pointsto", "mhp", "race", "masks"} {
-		if !strings.Contains(mx, `oha_static_phase_seconds_count{phase="`+phase+`"}`) {
+		if !strings.Contains(mx, `oha_static_phase_seconds_count{phase="`+phase+`",client="race"}`) {
 			t.Fatalf("phase histogram for %q missing from exposition:\n%s", phase, mx)
 		}
 	}
@@ -150,7 +150,7 @@ func TestServerAdaptiveSpeculation(t *testing.T) {
 	if v := metricValue(t, mx, "ohad_artifact_cache_misses"); v != missesBefore {
 		t.Fatalf("cache misses %v -> %v: second adaptive job re-solved", missesBefore, v)
 	}
-	if v := metricValue(t, mx, "oha_adapt_post_refine_rollbacks_total"); v != 0 {
+	if v := metricValue(t, mx, `oha_adapt_post_refine_rollbacks_total{client="race"}`); v != 0 {
 		t.Fatalf("post-refine rollbacks = %v, want 0", v)
 	}
 
@@ -295,5 +295,115 @@ func TestInvariantStoreProgramBindingPersists(t *testing.T) {
 	}
 	if _, err := s2.MergeFor("bound", "prog-a", db); err != nil {
 		t.Fatalf("same-program merge after reopen: %v", err)
+	}
+}
+
+// nullSrc derefs a global pointer twice, once per input. Profiling
+// with inputs that exercise both the nil branch and the repair keeps
+// every observed load of p non-null, so the deref check is discharged
+// on the likely-non-null fact; a huge second input skips the repair
+// and refutes the fact at runtime.
+const nullSrc = `
+	global p = 0;
+	global buf = 7;
+	func visit(a) {
+		if (a > 100) {
+			p = 0;
+		}
+		if (a < 1000) {
+			p = &buf;
+		}
+		var v = *p;
+		print(v);
+	}
+	func main() {
+		visit(input(0));
+		visit(input(1));
+	}
+`
+
+// TestServerNullcheckAdaptive is the daemon-side closed loop for the
+// null client: profile → check elision on a benign input → violating
+// adaptive nullcheck job (rolls back, refines the non-null fact,
+// retries clean in one retry) → /speculation and /metrics carry the
+// nullcheck client.
+func TestServerNullcheckAdaptive(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2, QueueSize: 16, JobTimeout: 30 * time.Second, Incremental: true})
+	id := c.submitProgram(nullSrc)
+
+	_, profID := c.submitJob(JobRequest{
+		Kind: "profile", ProgramID: id, Inputs: []int64{50, 500}, Runs: 8, SaveAs: "null-itest",
+	})
+	c.awaitDone(profID)
+
+	// On the benign input the optimistic checker elides the deref
+	// check the static phase discharged.
+	_, cleanID := c.submitJob(JobRequest{
+		Kind: "nullcheck", ProgramID: id, Inputs: []int64{50, 500}, InvariantsID: "null-itest",
+	})
+	clean := c.awaitDone(cleanID)
+	if clean["rolled_back"].(bool) || clean["discharged_checks"].(float64) == 0 {
+		t.Fatalf("clean job = %v, want no rollback and discharged checks", clean)
+	}
+	if clean["checked_derefs"].(float64) != 0 {
+		t.Fatalf("clean job executed %v residual checks, want 0", clean["checked_derefs"])
+	}
+
+	// Baseline always-check run on the violating input: ground truth.
+	_, baseID := c.submitJob(JobRequest{
+		Kind: "nullcheck", ProgramID: id, Inputs: []int64{50, 2000}, Baseline: true,
+	})
+	baseline := c.awaitDone(baseID)
+	if fmt.Sprint(baseline["nil_sites"]) == "[]" {
+		t.Fatalf("baseline saw no nil deref: %v", baseline)
+	}
+
+	// The violating adaptive job: attempt 1 refutes the non-null fact,
+	// the manager refines, and attempt 2 runs clean under generation 2.
+	_, nullID := c.submitJob(JobRequest{
+		Kind: "nullcheck", ProgramID: id, Inputs: []int64{50, 2000}, InvariantsID: "null-itest", Adapt: true,
+	})
+	first := c.awaitDone(nullID)
+	if first["attempts"].(float64) != 2 || first["generation"].(float64) != 2 {
+		t.Fatalf("violating job: attempts=%v generation=%v, want 2/2", first["attempts"], first["generation"])
+	}
+	if first["rolled_back"].(bool) {
+		t.Fatalf("final attempt still rolled back: %v", first)
+	}
+	if fmt.Sprint(first["nil_sites"]) != fmt.Sprint(baseline["nil_sites"]) {
+		t.Fatalf("adaptive nil sites %v != baseline %v", first["nil_sites"], baseline["nil_sites"])
+	}
+	if fmt.Sprint(first["output"]) != fmt.Sprint(baseline["output"]) {
+		t.Fatalf("adaptive output %v != baseline %v", first["output"], baseline["output"])
+	}
+
+	// /speculation attributes the rollback to the non-null invariant
+	// under the nullcheck client.
+	var entry speculationEntry
+	if status := c.do("GET", "/speculation?program="+id+"&invariants=null-itest", nil, &entry); status != http.StatusOK {
+		t.Fatalf("speculation: status %d", status)
+	}
+	st := entry.Status
+	if st.Generation != 2 || st.Rollbacks != 1 {
+		t.Fatalf("speculation status = %+v, want generation 2 with 1 rollback", st)
+	}
+	if st.ViolationsByKind["non-null-load"] != 1 {
+		t.Fatalf("violations by kind = %v", st.ViolationsByKind)
+	}
+	if cs := st.Clients["nullcheck"]; cs.Runs != 2 || cs.Rollbacks != 1 {
+		t.Fatalf("nullcheck client stats = %+v, want runs 2 rollbacks 1", cs)
+	}
+
+	// /metrics carries the client-labeled adaptive families and the
+	// null static phase.
+	_, mx := c.text("/metrics")
+	if v := metricValue(t, mx, `oha_adapt_runs_total{client="nullcheck"}`); v != 2 {
+		t.Fatalf("oha_adapt_runs_total{client=nullcheck} = %v, want 2", v)
+	}
+	if !strings.Contains(mx, `oha_adapt_violations_total{client="nullcheck",kind="non-null-load"} 1`) {
+		t.Fatalf("nullcheck violation counter missing from exposition:\n%s", mx)
+	}
+	if !strings.Contains(mx, `oha_static_phase_seconds_count{phase="nullproof",client="nullcheck"}`) {
+		t.Fatalf("nullproof phase histogram missing from exposition:\n%s", mx)
 	}
 }

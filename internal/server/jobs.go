@@ -17,6 +17,10 @@ const (
 	JobProfile JobKind = "profile"
 	JobRace    JobKind = "race"
 	JobSlice   JobKind = "slice"
+	// JobNull runs the optimistic null/misuse checker: statically
+	// discharged deref checks are elided; a refuted non-null fact rolls
+	// back to the sound always-check configuration.
+	JobNull JobKind = "nullcheck"
 	// JobRefine reconciles pending invariant refinements for one
 	// (program, invariant DB version) adaptive manager: re-solve the
 	// predicated artifacts and hot-swap the next generation in.

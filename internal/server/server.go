@@ -429,7 +429,7 @@ func (s *Server) handleGetInvariants(w http.ResponseWriter, r *http.Request) {
 
 // JobRequest is the wire form of one analysis job.
 type JobRequest struct {
-	// Kind is "profile", "race", or "slice".
+	// Kind is "profile", "race", "slice", "nullcheck", or "refine".
 	Kind string `json:"kind"`
 	// ProgramID is the content address returned by POST /v1/programs.
 	ProgramID string `json:"program_id"`
@@ -455,8 +455,8 @@ type JobRequest struct {
 	SaveAs string `json:"save_as"`
 	Merge  bool   `json:"merge"`
 
-	// Race jobs: Baseline runs unoptimized FastTrack (no invariants
-	// needed).
+	// Race and nullcheck jobs: Baseline runs the unoptimized sound
+	// configuration (FastTrack / always-check; no invariants needed).
 	Baseline bool `json:"baseline"`
 
 	// Adapt routes a race or slice job through the adaptive speculation
@@ -517,6 +517,29 @@ type SliceJobResult struct {
 	Attempts      int                `json:"attempts,omitempty"`
 }
 
+// NullJobResult is the result payload of a nullcheck job.
+type NullJobResult struct {
+	// NilSites are the deref sites (instruction IDs) observed accessing
+	// nil, the client's verdict; NilDerefs the total occurrence count.
+	NilSites   []int  `json:"nil_sites"`
+	NilDerefs  uint64 `json:"nil_derefs"`
+	RolledBack bool   `json:"rolled_back"`
+	// Violation is the display string; ViolationKind/ViolationSite the
+	// structured record (empty / absent without a rollback).
+	Violation     string             `json:"violation,omitempty"`
+	ViolationKind core.ViolationKind `json:"violation_kind,omitempty"`
+	ViolationSite int                `json:"violation_site,omitempty"`
+	Generation    int                `json:"generation,omitempty"`
+	Attempts      int                `json:"attempts,omitempty"`
+	// DischargedChecks / DerefSites describe the static phase;
+	// CheckedDerefs counts the residual checks actually executed.
+	DischargedChecks int     `json:"discharged_checks"`
+	DerefSites       int     `json:"deref_sites"`
+	CheckedDerefs    uint64  `json:"checked_derefs"`
+	CheckEvents      uint64  `json:"check_events"`
+	Output           []int64 `json:"output"`
+}
+
 // RefineJobResult is the result payload of a refine job: an explicit
 // reconcile of any pending invariant refinements.
 type RefineJobResult struct {
@@ -557,6 +580,12 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		fn = s.sliceJob(sp, req)
+	case JobNull:
+		if !req.Baseline && req.InvariantsID == "" {
+			writeError(w, http.StatusBadRequest, "nullcheck job needs invariants_id (or baseline=true)")
+			return
+		}
+		fn = s.nullJob(sp, req)
 	case JobRefine:
 		if req.InvariantsID == "" {
 			writeError(w, http.StatusBadRequest, "refine job needs invariants_id")
@@ -929,6 +958,69 @@ func (s *Server) raceJob(sp *StoredProgram, req JobRequest) func(ctx context.Con
 	}
 }
 
+func (s *Server) nullJob(sp *StoredProgram, req JobRequest) func(ctx context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		e := core.Execution{Inputs: req.Inputs, Seed: req.Seed}
+		var rep *core.NullReport
+		generation, attempts := 0, 0
+		switch {
+		case req.Baseline:
+			var err error
+			rep, err = core.RunNullAlways(sp.Prog, e, s.runOpts(ctx))
+			if err != nil {
+				return nil, err
+			}
+		case req.Adapt:
+			m, err := s.adapter(sp, req)
+			if err != nil {
+				return nil, err
+			}
+			tries, err := m.RunNull(e, s.runOpts(ctx))
+			if err != nil {
+				return nil, err
+			}
+			if m.Pending() {
+				s.submitRefine(m, req.InvariantsID, sp.ID)
+			}
+			s.notifyGeneration(req.InvariantsID, sp.ID, m)
+			for _, t := range tries[:len(tries)-1] {
+				s.observeIC(t.Report.IC)
+			}
+			last := tries[len(tries)-1]
+			rep, generation, attempts = last.Report, last.Generation, len(tries)
+		default:
+			db, _, err := s.resolveDB(req)
+			if err != nil {
+				return nil, err
+			}
+			det, err := core.NewOptNullStatic(sp.Prog, db, s.cache, s.static)
+			if err != nil {
+				return nil, err
+			}
+			rep, err = det.Run(e, s.runOpts(ctx))
+			if err != nil {
+				return nil, err
+			}
+		}
+		s.observeIC(rep.IC)
+		return NullJobResult{
+			NilSites:         rep.NilSites,
+			NilDerefs:        rep.NilDerefs,
+			RolledBack:       rep.RolledBack,
+			Violation:        rep.Violation.String(),
+			ViolationKind:    rep.Violation.Kind,
+			ViolationSite:    rep.Violation.Site,
+			Generation:       generation,
+			Attempts:         attempts,
+			DischargedChecks: rep.DischargedChecks,
+			DerefSites:       rep.DerefSites,
+			CheckedDerefs:    rep.CheckedDerefs,
+			CheckEvents:      rep.CheckEvents,
+			Output:           rep.Output,
+		}, nil
+	}
+}
+
 func (s *Server) sliceJob(sp *StoredProgram, req JobRequest) func(ctx context.Context) (any, error) {
 	return func(ctx context.Context) (any, error) {
 		prints := printsOf(sp.Prog)
@@ -983,7 +1075,7 @@ func (s *Server) sliceJob(sp *StoredProgram, req JobRequest) func(ctx context.Co
 			if err != nil {
 				return nil, err
 			}
-			s.incMetrics.ObservePhase("slice", time.Since(t).Seconds())
+			s.incMetrics.ObservePhase("slice", "slice", time.Since(t).Seconds())
 			rep, err = sl.Run(e, s.runOpts(ctx))
 			if err != nil {
 				return nil, err

@@ -33,6 +33,7 @@ type Kind uint8
 const (
 	Race  Kind = iota // OptFT suite (Dacapo/JavaGrande analogues)
 	Slice             // OptSlice suite (C application analogues)
+	Null              // OptNull suite (pointer-discipline models)
 )
 
 // Workload is one benchmark program.
@@ -121,6 +122,12 @@ func Races() []*Workload {
 // Slices returns the OptSlice suite in the paper's Figure 6 order.
 func Slices() []*Workload {
 	return byNames([]string{"zlib", "nginx", "go", "sphinx", "vim", "perl", "redis"})
+}
+
+// Nulls returns the OptNull suite: pointer-discipline models for the
+// optimistic null/misuse checker.
+func Nulls() []*Workload {
+	return byNames([]string{"null-mono", "null-flaky"})
 }
 
 func byNames(names []string) []*Workload {

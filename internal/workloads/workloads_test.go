@@ -16,8 +16,11 @@ func TestRegistryComplete(t *testing.T) {
 	if got := len(Slices()); got != 7 {
 		t.Errorf("slice suite = %d workloads, want 7", got)
 	}
-	if got := len(All()); got != 23 {
-		t.Errorf("total workloads = %d, want 23", got)
+	if got := len(Nulls()); got != 2 {
+		t.Errorf("null suite = %d workloads, want 2", got)
+	}
+	if got := len(All()); got != 25 {
+		t.Errorf("total workloads = %d, want 25", got)
 	}
 	if ByName("lusearch") == nil || ByName("zlib") == nil {
 		t.Error("ByName lookup failed")
@@ -35,12 +38,24 @@ func TestAllCompileAndRun(t *testing.T) {
 			if err := prog.Validate(); err != nil {
 				t.Fatalf("validate: %v", err)
 			}
+			// Null workloads may deref nil on testing inputs; the
+			// always-check mask recovers those deterministically.
+			var nullMask []bool
+			if w.Kind == Null {
+				nullMask = make([]bool, len(prog.Instrs))
+				for _, in := range prog.Instrs {
+					if in.Op == ir.OpLoad || in.Op == ir.OpStore {
+						nullMask[in.ID] = true
+					}
+				}
+			}
 			for run := 0; run < 3; run++ {
 				in := w.GenInput(run)
 				res, err := interp.Run(interp.Config{
-					Prog:   prog,
-					Inputs: in,
-					Choose: sched.NewSeeded(uint64(run + 1)),
+					Prog:     prog,
+					Inputs:   in,
+					Choose:   sched.NewSeeded(uint64(run + 1)),
+					NullMask: nullMask,
 				})
 				if err != nil {
 					t.Fatalf("run %d: %v", run, err)

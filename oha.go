@@ -21,9 +21,11 @@
 // The result is as sound and precise as the unoptimized dynamic
 // analysis, but much faster in the common case.
 //
-// Two clients are provided, mirroring the paper: OptFT, an optimistic
-// FastTrack data-race detector (§4), and OptSlice, an optimistic
-// dynamic backward slicer built on a Giri-style tracer (§5). Programs
+// Three clients are provided: OptFT, an optimistic FastTrack
+// data-race detector (the paper's §4); OptSlice, an optimistic dynamic
+// backward slicer built on a Giri-style tracer (§5); and OptNull, an
+// optimistic null/misuse checker that discharges pointer-dereference
+// checks with a predicated non-nullness analysis. Programs
 // under analysis are written in MiniLang, a small C-like language with
 // pointers, heap allocation, function values, threads, and locks; the
 // whole substrate (compiler, IR, deterministic interpreter, static
@@ -99,6 +101,9 @@ type RaceReport = core.RaceReport
 // SliceReport is the result of one dynamic-slicing run.
 type SliceReport = core.SliceReport
 
+// NullReport is the result of one null-checking run.
+type NullReport = core.NullReport
+
 // RaceDetector is OptFT: the optimistic hybrid FastTrack detector.
 type RaceDetector = core.OptFT
 
@@ -111,6 +116,14 @@ type Slicer = core.OptSlice
 
 // HybridSlicer is the traditional hybrid slicing baseline.
 type HybridSlicer = core.HybridSlicer
+
+// NullChecker is OptNull: the optimistic hybrid null/misuse checker.
+type NullChecker = core.OptNull
+
+// HybridNullChecker is the traditional hybrid baseline (the always-
+// check dynamic null checker optimized only with the sound, un-
+// predicated non-nullness analysis).
+type HybridNullChecker = core.HybridNull
 
 // Compile parses and lowers MiniLang source into IR.
 func Compile(src string) (*Program, error) { return lang.Compile(src) }
@@ -232,6 +245,45 @@ func NewHybridSlicer(prog *Program, criterion *Instr, budget int) (*HybridSlicer
 	return core.NewHybridSlicer(prog, criterion, budget)
 }
 
+// NewNullChecker builds OptNull for a program and its profiled
+// invariants: the predicated flow-sensitive non-nullness analysis
+// discharges the dereference sites it proves never see nil, and only
+// the residual sites keep dynamic checks (plus cheap fact checks that
+// trigger rollback when a likely-non-null site observes nil).
+func NewNullChecker(prog *Program, db *InvariantDB) (*NullChecker, error) {
+	return core.NewOptNull(prog, db)
+}
+
+// NewNullCheckerCached is NewNullChecker backed by an artifact cache.
+func NewNullCheckerCached(prog *Program, db *InvariantDB, cache *ArtifactCache) (*NullChecker, error) {
+	return core.NewOptNullCached(prog, db, cache)
+}
+
+// NewNullCheckerStatic is NewNullCheckerCached with an explicit static
+// pipeline configuration.
+func NewNullCheckerStatic(prog *Program, db *InvariantDB, cache *ArtifactCache, cfg StaticConfig) (*NullChecker, error) {
+	return core.NewOptNullStatic(prog, db, cache, cfg)
+}
+
+// NewHybridNullChecker builds the traditional hybrid null-checking
+// baseline (sound static discharge only — no likely invariants, no
+// rollback).
+func NewHybridNullChecker(prog *Program) (*HybridNullChecker, error) {
+	return core.NewHybridNull(prog)
+}
+
+// RunNullAlways runs the unoptimized baseline: every pointer
+// dereference carries a dynamic null check.
+func RunNullAlways(prog *Program, e Execution, opts RunOptions) (*NullReport, error) {
+	return core.RunNullAlways(prog, e, opts)
+}
+
+// SameNullVerdicts reports whether two null reports agree on the
+// analysis verdict (the set of dereference sites that observed nil).
+func SameNullVerdicts(a, b *NullReport) bool {
+	return core.SameNullVerdicts(a, b)
+}
+
 // RunFullGiri runs the unoptimized trace-everything dynamic slicer; it
 // fails when the trace exceeds maxNodes (0 = a large default),
 // reflecting that full tracing does not scale.
@@ -285,6 +337,9 @@ type RaceAttempt = adapt.RaceAttempt
 
 // SliceAttempt is one generation's slicing attempt.
 type SliceAttempt = adapt.SliceAttempt
+
+// NullAttempt is one generation's null-checking attempt.
+type NullAttempt = adapt.NullAttempt
 
 // NewSpeculationManager returns the adaptive manager for prog with
 // base invariant database db (generation 1).

@@ -178,7 +178,8 @@ echo "speculation: generation $GEN"
 
 curl -fsS "$BASE/metrics" -o "$RESP" || fail "metrics refetch failed"
 grep -Eq '^oha_adapt_refinements_total [1-9]' "$RESP" || fail "no refinement counted"
-grep -Eq '^oha_adapt_rollbacks_total [1-9]' "$RESP" || fail "no rollback counted"
+grep -Eq '^oha_adapt_rollbacks_total\{client="race"\} [1-9]' "$RESP" ||
+  fail "no race rollback counted: $(grep 'oha_adapt_rollbacks_total' "$RESP")"
 
 # The identical second job runs clean on the refined generation — the
 # whole point of the loop: one mis-speculation never costs two.
@@ -191,6 +192,53 @@ curl -fsS "$BASE/v1/jobs/$ADAPT_JOB2/result" -o "$RESP" || fail "second adaptive
 grep -q '"rolled_back": false' "$RESP" || fail "second adaptive run rolled back: $(cat "$RESP")"
 [ "$(json_num "$RESP" attempts)" = 1 ] || fail "second adaptive run took $(json_num "$RESP" attempts) attempts, want 1"
 echo "adaptive rerun: $ADAPT_JOB2 clean in one attempt"
+
+# --- Adaptive null checking ------------------------------------------
+# Same closed loop for the third client: profile a pointer program on
+# benign inputs so the deref site becomes a likely-non-null fact, then
+# run a nullcheck job on an input that leaves the pointer nil. The job
+# must roll back once, refine the fact away, and re-run clean at
+# generation >= 2 — reporting the nil deref the discharged check would
+# have missed.
+NULL_SRC='global p = 0; global buf = 7;
+func visit(a) {
+  if (a > 100) {
+    p = 0;
+  }
+  if (a < 1000) {
+    p = &buf;
+  }
+  var v = *p;
+  print(v);
+}
+func main() {
+  visit(input(0));
+  visit(input(1));
+}'
+NULL_ID=$(submit_program "$NULL_SRC")
+[ -n "$NULL_ID" ] || fail "no nullcheck program ID in $(cat "$RESP")"
+echo "nullcheck program: $NULL_ID"
+
+curl -fsS "$BASE/v1/jobs" -o "$RESP" \
+  -d "{\"kind\":\"profile\",\"program_id\":\"$NULL_ID\",\"inputs\":[50,500],\"runs\":8,\"save_as\":\"null-smoke\"}" ||
+  fail "nullcheck profile submit failed"
+await_job "$(json_field "$RESP" id)"
+
+curl -fsS "$BASE/v1/jobs" -o "$RESP" \
+  -d "{\"kind\":\"nullcheck\",\"program_id\":\"$NULL_ID\",\"inputs\":[50,2000],\"invariants_id\":\"null-smoke\",\"adapt\":true}" ||
+  fail "adaptive nullcheck submit failed"
+NULL_JOB=$(json_field "$RESP" id)
+await_job "$NULL_JOB"
+curl -fsS "$BASE/v1/jobs/$NULL_JOB/result" -o "$RESP" || fail "nullcheck result fetch failed"
+grep -q '"rolled_back": false' "$RESP" || fail "adaptive nullcheck still rolled back: $(cat "$RESP")"
+[ "$(json_num "$RESP" generation)" -ge 2 ] || fail "adaptive nullcheck not refined: $(cat "$RESP")"
+grep -q '"nil_sites": \[' "$RESP" || fail "nullcheck result has no nil_sites: $(cat "$RESP")"
+grep -q '"nil_sites": \[\]' "$RESP" && fail "nullcheck lost the nil-deref verdict: $(cat "$RESP")"
+echo "adaptive nullcheck: $NULL_JOB done (generation $(json_num "$RESP" generation))"
+
+curl -fsS "$BASE/metrics" -o "$RESP" || fail "nullcheck metrics refetch failed"
+grep -Eq '^oha_adapt_rollbacks_total\{client="nullcheck"\} [1-9]' "$RESP" ||
+  fail "no nullcheck rollback counted: $(grep 'oha_adapt_rollbacks_total' "$RESP")"
 
 # Graceful shutdown on SIGTERM.
 kill -TERM "$OHAD_PID"
