@@ -12,6 +12,7 @@ package oha
 // numbers in BENCH_*.json snapshots stay reproducible.
 
 import (
+	"runtime"
 	"sort"
 	"testing"
 	"time"
@@ -57,10 +58,10 @@ func pairedSpeedup(t *testing.T, traced bool) {
 			t.Fatal("no IC sites")
 		}
 
-		seg := func(code *interp.Code) (time.Duration, uint64) {
+		seg := func(code *interp.Code, runs int) (time.Duration, uint64) {
 			var steps uint64
 			start := time.Now()
-			for r := 0; r < segRuns; r++ {
+			for r := 0; r < runs; r++ {
 				cfg := interp.Config{
 					Prog:   prog,
 					Inputs: inputs,
@@ -82,15 +83,22 @@ func pairedSpeedup(t *testing.T, traced bool) {
 		}
 
 		// Warm up both images.
-		seg(base)
-		seg(ic)
+		seg(base, segRuns)
+		seg(ic, segRuns)
 
 		var ratios []float64
 		var baseTot, icTot time.Duration
 		var baseSteps, icSteps uint64
 		for p := 0; p < pairs; p++ {
-			bd, bs := seg(base)
-			id, is := seg(ic)
+			// Collect between pairs, then re-warm each image with one
+			// unmeasured execution: without this, garbage from one
+			// side's segment was collected inside the other side's
+			// timed window, skewing adjacent ratios.
+			runtime.GC()
+			seg(base, 1)
+			seg(ic, 1)
+			bd, bs := seg(base, segRuns)
+			id, is := seg(ic, segRuns)
 			baseTot += bd
 			icTot += id
 			baseSteps += bs
@@ -118,3 +126,94 @@ func TestPairedSpeedup(t *testing.T) { pairedSpeedup(t, false) }
 // TestPairedSpeedupFastTrack measures the same pair with the FastTrack
 // race detector attached (full memory/sync instrumentation).
 func TestPairedSpeedupFastTrack(t *testing.T) { pairedSpeedup(t, true) }
+
+// TestPairedSpeedupFastPath measures the inline analysis fast paths:
+// with the FastTrack detector attached under full instrumentation, a
+// fastpath-enabled image against a DisableFastPath image of the same
+// configuration, over the Figure 5 race suite plus dispatch-mono. The
+// same interleaved-pairs discipline as pairedSpeedup applies; the
+// logged median is the traced steps/sec speedup the devirtualized
+// epoch fast path buys.
+func TestPairedSpeedupFastPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired measurement is a timing loop; skipped in -short")
+	}
+	const segRuns = 10 // executions per timed segment
+	const pairs = 100  // A/B segment pairs
+
+	names := []string{"dispatch-mono"}
+	for _, w := range workloads.Races() {
+		names = append(names, w.Name)
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := workloads.ByName(name)
+			prog := w.Prog()
+			inputs := w.GenInput(1000)
+			blockMask := make([]bool, len(prog.Blocks))
+			m := interp.Masks{Block: blockMask}
+			on := interp.CompileWith(prog, m, interp.CompileOptions{})
+			off := interp.CompileWith(prog, m, interp.CompileOptions{DisableFastPath: true})
+
+			seg := func(code *interp.Code, runs int) (time.Duration, uint64) {
+				var steps uint64
+				start := time.Now()
+				for r := 0; r < runs; r++ {
+					res, err := interp.Run(interp.Config{
+						Prog:      prog,
+						Inputs:    inputs,
+						Choose:    sched.NewSeeded(2000),
+						Engine:    interp.EngineCompiled,
+						Code:      code,
+						Tracer:    fasttrack.New(),
+						BlockMask: blockMask,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					steps += res.Stats.Steps
+				}
+				return time.Since(start), steps
+			}
+
+			// One instrumented run for the hit-rate context line.
+			probe, err := interp.Run(interp.Config{
+				Prog: prog, Inputs: inputs, Choose: sched.NewSeeded(2000),
+				Engine: interp.EngineCompiled, Code: on,
+				Tracer: fasttrack.New(), BlockMask: blockMask,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := probe.IC.FastPath
+
+			// Warm up both images.
+			seg(on, segRuns)
+			seg(off, segRuns)
+
+			var ratios []float64
+			var onTot, offTot time.Duration
+			var onSteps, offSteps uint64
+			for p := 0; p < pairs; p++ {
+				runtime.GC()
+				seg(off, 1)
+				seg(on, 1)
+				od, os := seg(off, segRuns)
+				nd, ns := seg(on, segRuns)
+				offTot += od
+				onTot += nd
+				offSteps += os
+				onSteps += ns
+				ratios = append(ratios, float64(od)/float64(nd))
+			}
+			sort.Float64s(ratios)
+			med := ratios[len(ratios)/2]
+			t.Logf("%s[fastpath]: pairs=%d median speedup=%.3f p25=%.3f p75=%.3f off=%.1fM/s on=%.1fM/s hits=%d slow=%d",
+				name, pairs, med, ratios[len(ratios)/4], ratios[3*len(ratios)/4],
+				float64(offSteps)/offTot.Seconds()/1e6,
+				float64(onSteps)/onTot.Seconds()/1e6,
+				fp.Hits, fp.Slow)
+		})
+	}
+}

@@ -42,7 +42,8 @@
 // -engine tree|compiled selects the execution engine (default
 // compiled); results are identical under both. -ic=off disables the
 // compiled engine's speculative inline caches, -fusion=off its
-// superinstruction fusion — results are identical either way, only
+// superinstruction fusion, and -fastpath=off its devirtualized
+// analysis fast paths — results are identical either way, only
 // dispatch speed changes.
 //
 // Flags may be given before or after the program file. With
@@ -90,6 +91,7 @@ func main() {
 	incremental := fs.Bool("inc", true, "adapt: resume re-analysis from the previous generation's saturated solver state")
 	icFlag := fs.String("ic", "on", "compiled engine: speculative inline caches at indirect call sites (on|off)")
 	fusionFlag := fs.String("fusion", "on", "compiled engine: superinstruction fusion (on|off)")
+	fastpathFlag := fs.String("fastpath", "on", "compiled engine: inline analysis fast paths (on|off)")
 	remote := fs.String("remote", "", "run against an ohad daemon or fleet node at this base URL; -inv then names a server-side invariant-DB id")
 
 	// Flags may appear before or after the one positional file:
@@ -118,6 +120,7 @@ func main() {
 		inv:      *inv,
 		noIC:     parseToggle("ic", *icFlag),
 		noFusion: parseToggle("fusion", *fusionFlag),
+		noFast:   parseToggle("fastpath", *fastpathFlag),
 		inputs:   in,
 		seed:     *seed,
 	}) {
@@ -158,6 +161,7 @@ func main() {
 		Incremental: *incremental,
 		NoIC:        parseToggle("ic", *icFlag),
 		NoFusion:    parseToggle("fusion", *fusionFlag),
+		NoFastPath:  parseToggle("fastpath", *fastpathFlag),
 	}
 
 	switch cmd {

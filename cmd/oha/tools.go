@@ -29,6 +29,7 @@ type toolOpts struct {
 	inv      string
 	noIC     bool
 	noFusion bool
+	noFast   bool
 	inputs   []int64
 	seed     uint64
 }
@@ -53,8 +54,8 @@ func runTool(cmd, file string, src []byte, o toolOpts) bool {
 // speculative options derived from the optional invariant database:
 // inline-cache seeds come from its likely callee sets (mirroring the
 // images the analysis pipeline itself compiles).
-func compileImage(prog *oha.Program, db *oha.InvariantDB, noIC, noFusion bool) *interp.Code {
-	opts := interp.CompileOptions{DisableIC: noIC, DisableFusion: noFusion}
+func compileImage(prog *oha.Program, db *oha.InvariantDB, noIC, noFusion, noFast bool) *interp.Code {
+	opts := interp.CompileOptions{DisableIC: noIC, DisableFusion: noFusion, DisableFastPath: noFast}
 	if db != nil && !noIC {
 		var seeds map[int][]int
 		for site, set := range db.Callees {
@@ -88,7 +89,7 @@ func toolCompile(file string, src []byte, o toolOpts) {
 	if o.inv != "" {
 		db = loadInv(o.inv)
 	}
-	code := compileImage(prog, db, o.noIC, o.noFusion)
+	code := compileImage(prog, db, o.noIC, o.noFusion, o.noFast)
 	out := o.out
 	if out == "" {
 		out = strings.TrimSuffix(file, filepath.Ext(file)) + ".ohc"
@@ -113,7 +114,7 @@ func loadImage(file string, src []byte, o toolOpts) (*oha.Program, string, *inte
 	if o.inv != "" {
 		db = loadInv(o.inv)
 	}
-	return prog, string(src), compileImage(prog, db, o.noIC, o.noFusion)
+	return prog, string(src), compileImage(prog, db, o.noIC, o.noFusion, o.noFast)
 }
 
 // toolDump: `oha dump prog.ohc|file.ml` — disassemble the compiled

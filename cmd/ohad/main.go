@@ -11,6 +11,7 @@
 //	     [-cache-entries N] [-cache-bytes N]
 //	     [-cache-max-age 72h] [-cache-max-disk-bytes N] [-cache-prune-interval 1h]
 //	     [-peers host:port,...] [-advertise host:port] [-replicas N]
+//	     [-fastpath on|off] [-pprof]
 //
 // Quick start:
 //
@@ -39,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -66,6 +68,8 @@ func main() {
 	stateDir := flag.String("state-dir", "", "persist invariant-DB versions under this directory (default: in-memory only)")
 	staticWorkers := flag.Int("static-workers", 0, "parallel static-solver workers (0: GOMAXPROCS, 1: sequential)")
 	incremental := flag.Bool("inc", true, "resume adaptive re-analysis from the previous generation's saturated solver state")
+	fastpath := flag.String("fastpath", "on", "compiled engine: inline analysis fast paths (on|off)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	peers := flag.String("peers", "", "fleet mode: static member list, comma-separated host:port (must include -advertise)")
 	advertise := flag.String("advertise", "", "fleet mode: this node's address as spelled in -peers (default: -addr)")
 	replicas := flag.Int("replicas", 2, "fleet mode: replica-set width for programs and invariant shards")
@@ -92,6 +96,11 @@ func main() {
 		StateDir:      *stateDir,
 		StaticWorkers: *staticWorkers,
 		Incremental:   *incremental,
+		NoFastPath:    *fastpath == "off",
+	}
+	if *fastpath != "on" && *fastpath != "off" {
+		fmt.Fprintf(os.Stderr, "ohad: bad -fastpath %q (want on or off)\n", *fastpath)
+		os.Exit(2)
 	}
 
 	var (
@@ -132,6 +141,22 @@ func main() {
 		}
 		handler = srv.Handler()
 		shutdown = srv.Shutdown
+	}
+
+	if *pprofOn {
+		// Mount the profiling handlers on a private mux wrapping the
+		// daemon's handler — never the DefaultServeMux (whose pprof
+		// routes the import registers as a side effect but which this
+		// process never serves), so profiling is strictly opt-in.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Fprintln(os.Stderr, "ohad: pprof handlers at /debug/pprof/")
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: handler}

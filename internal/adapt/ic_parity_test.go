@@ -40,6 +40,147 @@ const calleeProg = `
 	}
 `
 
+// fpRaceProg pairs the canonical likely-unreachable-code refinement
+// trigger (the k>100 branch, unvisited when profiled with small
+// inputs) with an unsynchronized counting loop: each worker hammers h
+// in one epoch, so the race detector's same-epoch fast path gets dense
+// hits both in the speculative generation-1 run and in the post-refine
+// generation-2 image — proving the fast path survives recompiles and
+// generation hot-swaps.
+const fpRaceProg = `
+	global g = 0;
+	global h = 0;
+	func w(k) {
+		var i = 0;
+		while (i < 40) {
+			h = h + 1;
+			i = i + 1;
+		}
+		if (k > 100) {
+			g = g + 1;
+		}
+	}
+	func main() {
+		var t1 = spawn w(input(0));
+		var t2 = spawn w(input(0));
+		join(t1);
+		join(t2);
+		print(g + h);
+	}
+`
+
+// TestFastPathParityAcrossRefinement drives the refine-and-retry loop
+// with the engine's inline analysis fast paths on and off, for both
+// the race client (epoch fast path + memory-event batching) and the
+// slice client (Exec skip classes): attempt sequences, refinement
+// histories, and final verdicts must be identical — the fast paths may
+// only change tracing speed, never results — across every recompile
+// and generation hot-swap the loop performs.
+func TestFastPathParityAcrossRefinement(t *testing.T) {
+	type outcome struct {
+		attempts  []string
+		dbDigests []string
+		final     string
+	}
+
+	t.Run("race", func(t *testing.T) {
+		prog := lang.MustCompile(fpRaceProg)
+		pr := profileDB(t, prog, []int64{5}, 20)
+		e := core.Execution{Inputs: []int64{500}, Seed: 3}
+		run := func(noFast bool) (outcome, interp.ICStats) {
+			t.Helper()
+			m := New(prog, pr.DB, Options{
+				Cache:  artifacts.New(""),
+				Static: core.StaticConfig{Workers: 1, NoFastPath: noFast},
+			})
+			tries, err := m.RunRace(e, core.RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var o outcome
+			var ic interp.ICStats
+			for _, a := range tries {
+				rep := a.Report
+				o.attempts = append(o.attempts, fmt.Sprintf("gen%d rolled=%v kind=%s site=%d",
+					a.Generation, rep.RolledBack, rep.Violation.Kind, rep.Violation.Site))
+				ic.Add(rep.IC)
+			}
+			last := tries[len(tries)-1].Report
+			o.final = fmt.Sprint(last.Details, last.Stats, last.FTChecks, last.Output)
+			for _, g := range m.Status().History {
+				o.dbDigests = append(o.dbDigests, g.DBDigest)
+			}
+			return o, ic
+		}
+		on, onIC := run(false)
+		off, offIC := run(true)
+		if len(on.attempts) < 2 {
+			t.Fatalf("expected a rollback and retry, got attempts %v", on.attempts)
+		}
+		if fmt.Sprint(on.attempts) != fmt.Sprint(off.attempts) {
+			t.Errorf("attempts diverged:\n on:  %v\n off: %v", on.attempts, off.attempts)
+		}
+		if fmt.Sprint(on.dbDigests) != fmt.Sprint(off.dbDigests) {
+			t.Errorf("refinement history diverged:\n on:  %v\n off: %v", on.dbDigests, off.dbDigests)
+		}
+		if on.final != off.final {
+			t.Errorf("final report diverged:\n on:  %s\n off: %s", on.final, off.final)
+		}
+		if onIC.FastPath.Hits == 0 {
+			t.Errorf("fast-path-on adaptive race run recorded no hits: %+v", onIC.FastPath)
+		}
+		if offIC.FastPath != (interp.FastPathStats{}) {
+			t.Errorf("NoFastPath adaptive race run recorded fast-path traffic %+v", offIC.FastPath)
+		}
+	})
+
+	t.Run("slice", func(t *testing.T) {
+		prog := lang.MustCompile(calleeProg)
+		pr := profileDB(t, prog, []int64{0}, 20)
+		criterion := lastPrint(prog)
+		e := core.Execution{Inputs: []int64{3}, Seed: 2}
+		run := func(noFast bool) (outcome, interp.ICStats) {
+			t.Helper()
+			m := New(prog, pr.DB, Options{
+				Cache:  artifacts.New(""),
+				Static: core.StaticConfig{Workers: 1, NoFastPath: noFast},
+			})
+			tries, err := m.RunSlice(criterion, 4096, e, core.RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var o outcome
+			var ic interp.ICStats
+			for _, a := range tries {
+				rep := a.Report
+				o.attempts = append(o.attempts, fmt.Sprintf("gen%d rolled=%v kind=%s site=%d",
+					a.Generation, rep.RolledBack, rep.Violation.Kind, rep.Violation.Site))
+				ic.Add(rep.IC)
+			}
+			last := tries[len(tries)-1].Report
+			o.final = fmt.Sprint(last.Slice.Instrs, last.Stats, last.TraceNodes, last.Output)
+			for _, g := range m.Status().History {
+				o.dbDigests = append(o.dbDigests, g.DBDigest)
+			}
+			return o, ic
+		}
+		on, _ := run(false)
+		off, offIC := run(true)
+		if fmt.Sprint(on.attempts) != fmt.Sprint(off.attempts) {
+			t.Errorf("attempts diverged:\n on:  %v\n off: %v", on.attempts, off.attempts)
+		}
+		if fmt.Sprint(on.dbDigests) != fmt.Sprint(off.dbDigests) {
+			t.Errorf("refinement history diverged:\n on:  %v\n off: %v", on.dbDigests, off.dbDigests)
+		}
+		if on.final != off.final {
+			t.Errorf("final slice diverged:\n on:  %s\n off: %s", on.final, off.final)
+		}
+		if offIC.FastPath != (interp.FastPathStats{}) {
+			t.Errorf("NoFastPath adaptive slice run recorded fast-path traffic %+v", offIC.FastPath)
+		}
+	})
+}
+
 // TestCalleeEscapeParityAcrossConfigs drives the refine-and-retry loop
 // on an execution whose indirect calls escape the speculated callee
 // set, across the full configuration matrix {tree, compiled} ×
@@ -118,7 +259,9 @@ func TestCalleeEscapeParityAcrossConfigs(t *testing.T) {
 				}
 				// ICs exist only in the compiled engine with IC on; the
 				// tree engine and IC-off images must report zero traffic.
-				if (engine == interp.EngineTree || noIC) && ic != (interp.ICStats{Fused: ic.Fused}) {
+				// (Fusion and the analysis fast paths are independent
+				// optimizations with their own counters.)
+				if (engine == interp.EngineTree || noIC) && ic != (interp.ICStats{Fused: ic.Fused, FastPath: ic.FastPath}) {
 					t.Errorf("%s: unexpected IC traffic %+v", name, ic)
 				}
 			}

@@ -12,7 +12,7 @@ import (
 // debug toggles carried by the static config. A nil db (sound images,
 // which assume no invariants) yields no seeds.
 func compileOpts(db *invariants.DB, cfg StaticConfig) interp.CompileOptions {
-	opts := interp.CompileOptions{DisableIC: cfg.NoIC, DisableFusion: cfg.NoFusion}
+	opts := interp.CompileOptions{DisableIC: cfg.NoIC, DisableFusion: cfg.NoFusion, DisableFastPath: cfg.NoFastPath}
 	if db == nil || cfg.NoIC {
 		return opts
 	}

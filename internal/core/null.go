@@ -145,6 +145,19 @@ func newNullChecker(prog *ir.Program, db *invariants.DB, used *bitset.Set, abort
 	return c
 }
 
+// FastState implements interp.FastTracer: the checker's Load handler
+// on a non-zero value is exactly Events++ (the non-null violation can
+// only fire on 0), so the engine settles non-nil fact loads inline,
+// crediting the check through Checks. Zero values still call through
+// and raise the violation as before.
+func (c *nullChecker) FastState() *interp.FastState {
+	return &interp.FastState{Kind: interp.FastNull, Checks: &c.Events}
+}
+
+// FlushMem implements interp.FastTracer; the checker never requests
+// memory-event batching.
+func (c *nullChecker) FlushMem([]interp.MemEvent) {}
+
 // violate raises the abort flag with v (see raceChecker.violate).
 func (c *nullChecker) violate(v Violation) {
 	if !c.abort.IsSet() {

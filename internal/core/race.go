@@ -74,6 +74,11 @@ type StaticConfig struct {
 	// NoFusion disables superinstruction fusion in compiled images
 	// (cmd/oha -fusion=off). Observable behavior is unchanged.
 	NoFusion bool
+	// NoFastPath disables the engine's inline tracer fast paths
+	// (cmd/oha -fastpath=off). Like NoIC/NoFusion it changes the
+	// compiled image and is part of the image key, but never the
+	// analysis results.
+	NoFastPath bool
 }
 
 // raceStatic bundles one static race analysis with the masks it
@@ -145,6 +150,16 @@ type ftAdapter struct {
 	sync []bool // nil: all
 }
 
+// FastState implements interp.FastTracer by exposing the underlying
+// detector's shadow state: the adapter forwards Load/Store to the
+// detector one-to-one (only sync events are filtered), so the
+// engine's inline memory fast path is exactly as sound here as on the
+// bare detector.
+func (a *ftAdapter) FastState() *interp.FastState { return a.det.FastState() }
+
+// FlushMem implements interp.FastTracer (see FastState).
+func (a *ftAdapter) FlushMem(evs []interp.MemEvent) { a.det.FlushMem(evs) }
+
 func (a *ftAdapter) Load(t vc.TID, in *ir.Instr, addr interp.Addr, v int64) {
 	a.det.Load(t, in, addr, v)
 }
@@ -182,6 +197,16 @@ type optTracer struct {
 	checker *raceChecker
 	sync    []bool // FastTrack's sync sites (checker sees the rest)
 }
+
+// FastState implements interp.FastTracer. Memory events route only to
+// the detector (the invariant checker consumes sync/block events, and
+// those always drain the ring before delivery), so exposing the
+// detector's shadow state — batching included — preserves the exact
+// event order both consumers observe.
+func (o *optTracer) FastState() *interp.FastState { return o.det.FastState() }
+
+// FlushMem implements interp.FastTracer (see FastState).
+func (o *optTracer) FlushMem(evs []interp.MemEvent) { o.det.FlushMem(evs) }
 
 func (o *optTracer) Load(t vc.TID, in *ir.Instr, addr interp.Addr, v int64) {
 	o.det.Load(t, in, addr, v)

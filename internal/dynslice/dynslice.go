@@ -55,8 +55,11 @@ type Tracer struct {
 	// Addresses reaching Exec passed the interpreter's bounds checks,
 	// so indexing is dense — no map work on the per-access hot path.
 	lastMem [][]int32
-	// lastInstance maps a static instr ID to its latest node.
-	lastInstance map[int32]int32
+	// lastInstance records each static instr ID's latest node, as a
+	// dense slice indexed by instr ID (node id + 1, 0 meaning "never
+	// executed") — the criterion lookup and the per-node update are
+	// both O(1) with no map work.
+	lastInstance []int32
 
 	// pendingCall/pendingSpawn/pendingRet stash cross-activation
 	// binding info delivered by the Call/Spawn/Ret events until the
@@ -96,11 +99,23 @@ func New(prog *ir.Program, abort *interp.Abort) *Tracer {
 	return &Tracer{
 		prog:         prog,
 		lastReg:      map[regKey]int32{},
-		lastInstance: map[int32]int32{},
+		lastInstance: make([]int32, len(prog.Instrs)),
 		Abort:        abort,
 		MaxNodes:     4 << 20,
 	}
 }
+
+// FastState implements interp.FastTracer: Exec events for opcodes the
+// slicer unconditionally ignores (its first check, before any state)
+// are skipped inside the engine's dispatch loop.
+func (tr *Tracer) FastState() *interp.FastState {
+	return &interp.FastState{Kind: interp.FastSlice}
+}
+
+// FlushMem implements interp.FastTracer. The slicer never requests
+// memory-event batching (it consumes Exec, not Load/Store), so there
+// is never anything to flush.
+func (tr *Tracer) FlushMem([]interp.MemEvent) {}
 
 // NodeCount returns the number of trace nodes recorded.
 func (tr *Tracer) NodeCount() int { return len(tr.nodes) }
@@ -204,7 +219,7 @@ func (tr *Tracer) Exec(_ vc.TID, in *ir.Instr, frame interp.FrameID, addr interp
 
 	id := int32(len(tr.nodes))
 	tr.nodes = append(tr.nodes, node{instr: int32(in.ID), deps: deps})
-	tr.lastInstance[int32(in.ID)] = id
+	tr.lastInstance[in.ID] = id + 1
 
 	// Effects: define registers/memory and cross-activation bindings.
 	switch in.Op {
@@ -251,11 +266,10 @@ func (tr *Tracer) Exec(_ vc.TID, in *ir.Instr, frame interp.FrameID, addr interp
 // of the criterion instruction. It returns nil if the criterion never
 // executed (or was not traced).
 func (tr *Tracer) Slice(criterion *ir.Instr) *Slice {
-	start, ok := tr.lastInstance[int32(criterion.ID)]
-	if !ok {
+	if criterion.ID >= len(tr.lastInstance) || tr.lastInstance[criterion.ID] == 0 {
 		return nil
 	}
-	return tr.sliceFrom([]int32{start}, criterion)
+	return tr.sliceFrom([]int32{tr.lastInstance[criterion.ID] - 1}, criterion)
 }
 
 // SliceAllInstances slices from every dynamic instance of the

@@ -10,6 +10,21 @@
 // O(1), which is what makes FastTrack "fast"; the same structure makes
 // the per-event cost here roughly constant, so eliding instrumentation
 // translates into proportional time savings, as in the paper.
+//
+// The shadow state is laid out for the compiled engine's inline fast
+// path (interp.FastTracer): the per-word read/write epochs live in
+// flat per-object rows (rEp/wEp) the engine indexes directly, the
+// per-thread current epochs are mirrored into a dense slice refreshed
+// at every clock mutation, and the race-attribution sites live in
+// parallel rIn/wIn rows. A same-epoch access is thereby settled
+// inside the dispatch loop with one compare — exactly the detector's
+// own SAME EPOCH early return, which both Load and Store take before
+// any other check — and a thread-exclusive access (both epoch slots
+// owned by the accessing thread or empty, so every vector-clock
+// comparison below is a same-thread check that trivially passes)
+// with one epoch store plus an attribution store, mirroring the
+// EXCLUSIVE/write rules exactly. Only the truly cold metadata (the
+// inflated READ_SHARED clock) stays engine-invisible.
 package fasttrack
 
 import (
@@ -90,13 +105,12 @@ func keyFor(kind RaceKind, cur, prev *ir.Instr) Key {
 	return k
 }
 
-// varState is the per-variable FastTrack metadata.
-type varState struct {
-	w      vc.Epoch // last write epoch
-	r      vc.Epoch // last read epoch, or ReadShared
-	rvc    *vc.VC   // read vector clock when shared
-	wInstr *ir.Instr
-	rInstr *ir.Instr // valid in exclusive read state
+// varMeta is the cold per-variable metadata the fast path never
+// writes: the inflated read clock. The hot epochs live in the
+// detector's rEp/wEp rows and the attribution sites in rIn/wIn, all
+// indexed directly by the engine's inline fast path.
+type varMeta struct {
+	rvc *vc.VC // read vector clock when READ_SHARED
 }
 
 // Detector is a FastTrack race detector; install it as the
@@ -104,19 +118,37 @@ type varState struct {
 type Detector struct {
 	interp.NopTracer
 	threads []*vc.VC
-	locks   map[interp.Addr]*vc.VC
-	// shadow is the per-word metadata, laid out as per-object slices
-	// mirroring the interpreter's heap (shadow[obj][off]). Addresses
-	// reaching Load/Store passed the interpreter's bounds checks, so
-	// indexing is dense and the zero varState means "never accessed" —
-	// no map lookups or per-word allocations on the hot path.
-	shadow [][]varState
-	races  map[Key]Race
+	// epochs mirrors each thread's current epoch C_t(t)@t, refreshed
+	// at every clock mutation; the engine fast path reads it directly.
+	// NoEpoch means "clock not created yet, take the slow path".
+	epochs []vc.Epoch
+	locks  map[interp.Addr]*vc.VC
+	// rEp/wEp are the per-word read/write epochs, laid out as
+	// per-object rows mirroring the interpreter's heap (rEp[obj][off]).
+	// Addresses reaching Load/Store passed the interpreter's bounds
+	// checks, so indexing is dense and NoEpoch means "never accessed" —
+	// no map lookups or per-word allocations on the hot path. meta
+	// holds the cold remainder, grown in lockstep.
+	rEp [][]vc.Epoch
+	wEp [][]vc.Epoch
+	// rIn/wIn are the race-attribution rows: the instruction of the
+	// last exclusive read / last write per word. The engine's
+	// thread-exclusive inline transition stores into them exactly
+	// where the EXCLUSIVE/write rules below would.
+	rIn  [][]*ir.Instr
+	wIn  [][]*ir.Instr
+	meta [][]varMeta
+	// rvcPool recycles inflated read clocks: a write to a READ_SHARED
+	// variable collapses its read state and frees the clock, and the
+	// next SHARE inflation reuses it instead of allocating.
+	rvcPool []*vc.VC
+	races   map[Key]Race
 	// racyAddrs is tracked independently of the per-static-pair race
 	// dedup: one static instruction can race on several addresses.
 	racyAddrs map[interp.Addr]bool
 	// Checks counts read/write metadata operations performed (the
-	// "FastTrack checks" cost component of Figure 5).
+	// "FastTrack checks" cost component of Figure 5). Engine fast-path
+	// hits count here too, via FastState.Checks.
 	Checks uint64
 }
 
@@ -129,37 +161,127 @@ func New() *Detector {
 	}
 }
 
+// FastState implements interp.FastTracer: the engine settles
+// same-epoch and thread-exclusive reads and writes inline against the
+// epoch and attribution rows, counts them as Checks, and may batch
+// slow-path memory events (sound here: Load/Store never abort, and
+// nothing a memory event reads is mutated by anything but FlushMem
+// between drain points — see fastpath.go).
+func (d *Detector) FastState() *interp.FastState {
+	return &interp.FastState{
+		Kind:       interp.FastEpoch,
+		Epochs:     &d.epochs,
+		Read:       &d.rEp,
+		Write:      &d.wEp,
+		ReadInstr:  &d.rIn,
+		WriteInstr: &d.wIn,
+		Checks:     &d.Checks,
+		BatchMem:   true,
+	}
+}
+
+// FlushMem implements interp.FastTracer: buffered slow-path memory
+// events replay through the full rules in order. Memory events never
+// advance thread clocks, so the clock and epoch are loop invariants
+// hoisted out of the replay; the ring drains at every slice boundary,
+// so a batch is single-threaded in practice (the per-event check
+// recomputes on the change anyway rather than assuming it).
+func (d *Detector) FlushMem(evs []interp.MemEvent) {
+	if len(evs) == 0 {
+		return
+	}
+	t := evs[0].T
+	ct := d.clock(t)
+	e := ct.Epoch(t)
+	for i := range evs {
+		ev := &evs[i]
+		if ev.T != t {
+			t = ev.T
+			ct = d.clock(t)
+			e = ct.Epoch(t)
+		}
+		if ev.Store {
+			d.storeAt(t, ct, e, ev.In, ev.Addr)
+		} else {
+			d.loadAt(t, ct, e, ev.In, ev.Addr)
+		}
+	}
+}
+
 // clock returns (creating if needed) thread t's vector clock. A fresh
 // thread starts at clock 1 for itself.
 func (d *Detector) clock(t vc.TID) *vc.VC {
 	for int(t) >= len(d.threads) {
 		d.threads = append(d.threads, nil)
+		d.epochs = append(d.epochs, vc.NoEpoch)
 	}
 	if d.threads[t] == nil {
 		c := vc.New()
 		c.Set(t, 1)
 		d.threads[t] = c
+		d.epochs[t] = vc.MakeEpoch(t, 1)
 	}
 	return d.threads[t]
 }
 
-func (d *Detector) state(a interp.Addr) *varState {
+// refresh re-mirrors thread t's current epoch after a clock mutation.
+// Under the lock discipline only Tick can raise a thread's own entry,
+// but joins are refreshed too so the mirror can never go stale.
+func (d *Detector) refresh(t vc.TID) {
+	d.epochs[t] = d.threads[t].Epoch(t)
+}
+
+// state resolves a to its (object, offset) shadow coordinates,
+// growing the epoch and metadata rows in lockstep.
+func (d *Detector) state(a interp.Addr) (int, int64) {
 	obj, off := interp.DecodeAddr(a)
-	for obj >= len(d.shadow) {
-		d.shadow = append(d.shadow, nil)
+	for obj >= len(d.rEp) {
+		d.rEp = append(d.rEp, nil)
+		d.wEp = append(d.wEp, nil)
+		d.rIn = append(d.rIn, nil)
+		d.wIn = append(d.wIn, nil)
+		d.meta = append(d.meta, nil)
 	}
-	cells := d.shadow[obj]
-	if int(off) >= len(cells) {
+	if int(off) >= len(d.rEp[obj]) {
 		n := int(off) + 1
-		if n < 2*len(cells) {
-			n = 2 * len(cells)
+		if n < 2*len(d.rEp[obj]) {
+			n = 2 * len(d.rEp[obj])
 		}
-		grown := make([]varState, n)
-		copy(grown, cells)
-		d.shadow[obj] = grown
-		cells = grown
+		gr := make([]vc.Epoch, n)
+		copy(gr, d.rEp[obj])
+		d.rEp[obj] = gr
+		gw := make([]vc.Epoch, n)
+		copy(gw, d.wEp[obj])
+		d.wEp[obj] = gw
+		gri := make([]*ir.Instr, n)
+		copy(gri, d.rIn[obj])
+		d.rIn[obj] = gri
+		gwi := make([]*ir.Instr, n)
+		copy(gwi, d.wIn[obj])
+		d.wIn[obj] = gwi
+		gm := make([]varMeta, n)
+		copy(gm, d.meta[obj])
+		d.meta[obj] = gm
 	}
-	return &cells[off]
+	return obj, off
+}
+
+// newRVC takes a read clock from the pool (bottom) or allocates one.
+func (d *Detector) newRVC() *vc.VC {
+	if n := len(d.rvcPool); n > 0 {
+		rvc := d.rvcPool[n-1]
+		d.rvcPool = d.rvcPool[:n-1]
+		return rvc
+	}
+	return vc.New()
+}
+
+// freeRVC recycles a collapsed read clock.
+func (d *Detector) freeRVC(rvc *vc.VC) {
+	if rvc != nil {
+		rvc.Reset()
+		d.rvcPool = append(d.rvcPool, rvc)
+	}
 }
 
 func (d *Detector) report(kind RaceKind, addr interp.Addr, t vc.TID, cur, prev *ir.Instr) {
@@ -172,68 +294,85 @@ func (d *Detector) report(kind RaceKind, addr interp.Addr, t vc.TID, cur, prev *
 
 // Load implements the FastTrack read rules.
 func (d *Detector) Load(t vc.TID, in *ir.Instr, addr interp.Addr, _ int64) {
-	d.Checks++
 	ct := d.clock(t)
-	vs := d.state(addr)
-	e := ct.Epoch(t)
+	d.loadAt(t, ct, ct.Epoch(t), in, addr)
+}
 
-	if vs.r == e {
+// loadAt is Load with the thread's clock and epoch precomputed, so
+// FlushMem can hoist that prologue out of a batch replay.
+func (d *Detector) loadAt(t vc.TID, ct *vc.VC, e vc.Epoch, in *ir.Instr, addr interp.Addr) {
+	d.Checks++
+	obj, off := d.state(addr)
+
+	r := d.rEp[obj][off]
+	if r == e {
 		return // SAME EPOCH fast path
 	}
+	w := d.wEp[obj][off]
 	// Write-read race check.
-	if vs.w != vc.NoEpoch && !ct.LeqEpoch(vs.w) {
-		d.report(WriteRead, addr, t, in, vs.wInstr)
+	if w != vc.NoEpoch && !ct.LeqEpoch(w) {
+		d.report(WriteRead, addr, t, in, d.wIn[obj][off])
 	}
-	if vs.r == vc.ReadShared {
-		vs.rvc.Set(t, e.Clock()) // SHARED
+	if r == vc.ReadShared {
+		d.meta[obj][off].rvc.Set(t, e.Clock()) // SHARED
 		return
 	}
-	if vs.r == vc.NoEpoch || ct.LeqEpoch(vs.r) {
-		vs.r = e // EXCLUSIVE
-		vs.rInstr = in
+	if r == vc.NoEpoch || ct.LeqEpoch(r) {
+		d.rEp[obj][off] = e // EXCLUSIVE
+		d.rIn[obj][off] = in
 		return
 	}
-	// SHARE: inflate to a read vector clock.
-	rvc := vc.New()
-	rvc.Set(vs.r.TID(), vs.r.Clock())
+	// SHARE: inflate to a read vector clock (pooled).
+	rvc := d.newRVC()
+	rvc.Set(r.TID(), r.Clock())
 	rvc.Set(t, e.Clock())
-	vs.rvc = rvc
-	vs.r = vc.ReadShared
-	vs.rInstr = nil
+	d.meta[obj][off].rvc = rvc
+	d.rEp[obj][off] = vc.ReadShared
+	d.rIn[obj][off] = nil
 }
 
 // Store implements the FastTrack write rules.
 func (d *Detector) Store(t vc.TID, in *ir.Instr, addr interp.Addr, _ int64) {
-	d.Checks++
 	ct := d.clock(t)
-	vs := d.state(addr)
-	e := ct.Epoch(t)
+	d.storeAt(t, ct, ct.Epoch(t), in, addr)
+}
 
-	if vs.w == e {
+// storeAt is Store with the thread's clock and epoch precomputed (see
+// loadAt).
+func (d *Detector) storeAt(t vc.TID, ct *vc.VC, e vc.Epoch, in *ir.Instr, addr interp.Addr) {
+	d.Checks++
+	obj, off := d.state(addr)
+
+	w := d.wEp[obj][off]
+	if w == e {
 		return // SAME EPOCH
 	}
-	if vs.w != vc.NoEpoch && !ct.LeqEpoch(vs.w) {
-		d.report(WriteWrite, addr, t, in, vs.wInstr)
+	if w != vc.NoEpoch && !ct.LeqEpoch(w) {
+		d.report(WriteWrite, addr, t, in, d.wIn[obj][off])
 	}
+	r := d.rEp[obj][off]
 	switch {
-	case vs.r == vc.ReadShared:
-		if !vs.rvc.Leq(ct) {
+	case r == vc.ReadShared:
+		m := &d.meta[obj][off]
+		if !m.rvc.Leq(ct) {
 			d.report(ReadWrite, addr, t, in, nil)
 		}
 		// The write dominates: drop back to exclusive-read bottom.
-		vs.r = vc.NoEpoch
-		vs.rvc = nil
-	case vs.r != vc.NoEpoch && !ct.LeqEpoch(vs.r):
-		d.report(ReadWrite, addr, t, in, vs.rInstr)
+		d.rEp[obj][off] = vc.NoEpoch
+		d.freeRVC(m.rvc)
+		m.rvc = nil
+	case r != vc.NoEpoch && !ct.LeqEpoch(r):
+		d.report(ReadWrite, addr, t, in, d.rIn[obj][off])
 	}
-	vs.w = e
-	vs.wInstr = in
+	d.wEp[obj][off] = e
+	d.wIn[obj][off] = in
 }
 
 // Lock implements acquire: C_t joins the lock's clock.
 func (d *Detector) Lock(t vc.TID, _ *ir.Instr, addr interp.Addr) {
 	if lm := d.locks[addr]; lm != nil {
 		d.clock(t).JoinWith(lm)
+		d.refresh(t)
 	}
 }
 
@@ -248,18 +387,22 @@ func (d *Detector) Unlock(t vc.TID, _ *ir.Instr, addr interp.Addr) {
 	}
 	lm.Assign(ct)
 	ct.Tick(t)
+	d.refresh(t)
 }
 
 // Spawn implements fork: the child inherits the parent's clock.
 func (d *Detector) Spawn(t vc.TID, _ *ir.Instr, child vc.TID, _ interp.FrameID, _ *ir.Function) {
 	cc := d.clock(child)
 	cc.JoinWith(d.clock(t))
+	d.refresh(child)
 	d.clock(t).Tick(t)
+	d.refresh(t)
 }
 
 // Join implements join: the parent absorbs the child's clock.
 func (d *Detector) Join(t vc.TID, _ *ir.Instr, child vc.TID) {
 	d.clock(t).JoinWith(d.clock(child))
+	d.refresh(t)
 }
 
 // Races returns the deduplicated races, ordered deterministically.

@@ -341,6 +341,7 @@ type Code struct {
 	cfgDigest  string
 	numICs     int
 	fused      int
+	noFast     bool
 }
 
 // Prog returns the program this image was compiled from.
@@ -372,6 +373,10 @@ func (c *Code) ICSites() int { return c.numICs }
 // pass baked into this image.
 func (c *Code) FusedInstrs() int { return c.fused }
 
+// NoFastPath reports whether this image was compiled with the inline
+// tracer fast paths disabled (CompileOptions.DisableFastPath).
+func (c *Code) NoFastPath() bool { return c.noFast }
+
 // icMaxEntries bounds inline-cache polymorphism: sites whose likely
 // callee set is larger stay generic (a megamorphic cache would scan
 // more entries than the generic decode path costs).
@@ -390,6 +395,12 @@ type CompileOptions struct {
 	// -fusion=off) that switch the respective optimization off.
 	DisableIC     bool
 	DisableFusion bool
+	// DisableFastPath compiles an image whose engine never arms the
+	// inline tracer fast paths (FastTracer is ignored; every event is
+	// an interface call). Like the other toggles it is part of the
+	// config digest: the fast path never changes analysis results, but
+	// keying it keeps A/B comparisons honest about which image ran.
+	DisableFastPath bool
 }
 
 // Digest returns a content digest of the options, normalized so that
@@ -403,6 +414,11 @@ func (o CompileOptions) Digest() string {
 		h.Write(n[:])
 	}
 	if o.DisableFusion {
+		h.Write([]byte{0})
+	} else {
+		h.Write([]byte{1})
+	}
+	if o.DisableFastPath {
 		h.Write([]byte{0})
 	} else {
 		h.Write([]byte{1})
@@ -472,6 +488,7 @@ func CompileWith(prog *ir.Program, m Masks, opts CompileOptions) *Code {
 	c.maskDigest = m.Digest()
 	sum := sha256.Sum256([]byte(c.maskDigest + "+" + opts.Digest()))
 	c.cfgDigest = hex.EncodeToString(sum[:])
+	c.noFast = opts.DisableFastPath
 	c.applyMasks(m)
 	if !opts.DisableIC {
 		c.applyICs(opts.Callees)

@@ -67,7 +67,28 @@ type engine struct {
 
 	icDead []bool // per-run IC kill switches, indexed by cinstr.icIdx
 	ic     ICStats
+
+	// Inline tracer fast path (fastpath.go), armed by newEngine when
+	// the tracer implements FastTracer and the image allows it. The
+	// slice pointers are double-indirect: the client grows or swaps the
+	// backing arrays at slow-path boundaries and the engine re-derefs
+	// per event.
+	fpKind   FastKind
+	ft       FastTracer
+	fpEpochs *[]vc.Epoch
+	fpRead   *[][]vc.Epoch
+	fpWrite  *[][]vc.Epoch
+	fpRIn    *[][]*ir.Instr
+	fpWIn    *[][]*ir.Instr
+	fpChecks *uint64
+	fpBatch  bool
+	ring     []MemEvent // buffered slow-path memory events (fpBatch)
 }
+
+// memRingCap bounds the slow-path memory-event ring. It only needs to
+// cover the events of one quantum (every slice exit drains); overflow
+// within a quantum drains early, which is always sound.
+const memRingCap = 64
 
 // newEngine builds an engine for cfg with defaults applied: the
 // shared construction path of runCompiled and the step debugger
@@ -92,6 +113,37 @@ func newEngine(cfg Config) (*engine, error) {
 	e := &engine{cfg: cfg, code: code, chooser: ch}
 	if code.numICs > 0 {
 		e.icDead = make([]bool, code.numICs)
+	}
+	if cfg.Tracer != nil && !code.noFast {
+		if ft, ok := cfg.Tracer.(FastTracer); ok {
+			if fs := ft.FastState(); fs != nil {
+				switch fs.Kind {
+				case FastEpoch:
+					if fs.Epochs != nil && fs.Read != nil && fs.Write != nil &&
+						fs.ReadInstr != nil && fs.WriteInstr != nil && fs.Checks != nil {
+						e.fpKind = FastEpoch
+						e.ft = ft
+						e.fpEpochs = fs.Epochs
+						e.fpRead = fs.Read
+						e.fpWrite = fs.Write
+						e.fpRIn = fs.ReadInstr
+						e.fpWIn = fs.WriteInstr
+						e.fpChecks = fs.Checks
+						if fs.BatchMem {
+							e.fpBatch = true
+							e.ring = make([]MemEvent, 0, memRingCap)
+						}
+					}
+				case FastNull:
+					e.fpKind = FastNull
+					e.ft = ft
+					e.fpChecks = fs.Checks
+				case FastSlice:
+					e.fpKind = FastSlice
+					e.ft = ft
+				}
+			}
+		}
 	}
 	if cfg.Ctx != nil {
 		e.ctxDone = cfg.Ctx.Done()
@@ -327,6 +379,195 @@ func (e *engine) resolveCallee(th *cthread, fr *cframe, in *cinstr) (*cfunc, err
 	return f, nil
 }
 
+// drainMem delivers any ring-buffered slow-path memory events. It
+// runs before every non-memory tracer delivery and at every slice
+// exit, so the client observes the exact per-thread event order the
+// unbatched engine would deliver.
+func (e *engine) drainMem() {
+	if len(e.ring) > 0 {
+		e.ft.FlushMem(e.ring)
+		e.ring = e.ring[:0]
+	}
+}
+
+// fpReadHit settles the same-epoch read check inline: true when the
+// address's read slot already holds t's current epoch, which is
+// exactly the detector's SAME EPOCH early return (no state changes;
+// the call site counts the check). Kept small enough for the
+// compiler to inline into the dispatch-loop arms; every other shape
+// goes through traceLoad.
+// rel is the caller-computed a - PtrBase (hoisting it keeps the
+// helper inside the inlining budget).
+func (e *engine) fpReadHit(t vc.TID, rel int64) bool {
+	eps := *e.fpEpochs
+	rd := *e.fpRead
+	obj := rel / OffSpan
+	if uint64(t) >= uint64(len(eps)) || uint64(obj) >= uint64(len(rd)) {
+		return false
+	}
+	ep := eps[t]
+	row := rd[obj]
+	off := rel % OffSpan
+	return ep != 0 && uint64(off) < uint64(len(row)) && row[off] == ep
+}
+
+// fpWriteHit is fpReadHit's store analog (same-epoch write slot).
+func (e *engine) fpWriteHit(t vc.TID, rel int64) bool {
+	eps := *e.fpEpochs
+	wr := *e.fpWrite
+	obj := rel / OffSpan
+	if uint64(t) >= uint64(len(eps)) || uint64(obj) >= uint64(len(wr)) {
+		return false
+	}
+	ep := eps[t]
+	row := wr[obj]
+	off := rel % OffSpan
+	return ep != 0 && uint64(off) < uint64(len(row)) && row[off] == ep
+}
+
+// traceLoad delivers one instrumented load event through the armed
+// fast path. FastEpoch has two hit shapes, each provably equivalent
+// to the full Load rules: a read slot already holding the thread's
+// current epoch is exactly the detector's same-epoch early return
+// (one compare, no state change), and a thread-exclusive slot pair —
+// read and write slots both owned by t or empty; ReadShared's
+// all-ones TID never equals a real thread id — makes every
+// happens-before comparison a same-thread clock check that trivially
+// passes, so the EXCLUSIVE update applies verbatim as one epoch store
+// plus one attribution store. FastNull: a non-nil value is only ever
+// counted, never checked, so the interface call is skipped.
+// Everything else falls back to the full Tracer method, ring-buffered
+// when the client permits batching.
+func (e *engine) traceLoad(t vc.TID, in *ir.Instr, a Addr, v int64) {
+	switch e.fpKind {
+	case FastEpoch:
+		if eps := *e.fpEpochs; uint64(t) < uint64(len(eps)) {
+			if ep := eps[t]; ep != 0 {
+				rd := *e.fpRead
+				rel := a - PtrBase
+				obj, off := rel/OffSpan, rel%OffSpan
+				if uint64(obj) < uint64(len(rd)) {
+					if row := rd[obj]; uint64(off) < uint64(len(row)) {
+						r := row[off]
+						if r == ep { // SAME EPOCH
+							*e.fpChecks++
+							e.ic.FastPath.Hits++
+							return
+						}
+						if r == 0 || r.TID() == t { // EXCLUSIVE transition
+							if wr := *e.fpWrite; uint64(obj) < uint64(len(wr)) {
+								if wrow := wr[obj]; uint64(off) < uint64(len(wrow)) {
+									if w := wrow[off]; w == 0 || w.TID() == t {
+										if ri := *e.fpRIn; uint64(obj) < uint64(len(ri)) {
+											if irow := ri[obj]; uint64(off) < uint64(len(irow)) {
+												row[off] = ep
+												irow[off] = in
+												*e.fpChecks++
+												e.ic.FastPath.Hits++
+												return
+											}
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		e.ic.FastPath.Slow++
+		if e.fpBatch {
+			e.ring = append(e.ring, MemEvent{T: t, In: in, Addr: a, Val: v})
+			if len(e.ring) == cap(e.ring) {
+				e.drainMem()
+			}
+			return
+		}
+		e.cfg.Tracer.Load(t, in, a, v)
+	case FastNull:
+		if v != 0 {
+			// The full handler would only bump its event counter: a
+			// non-nil load never consults facts or records anything.
+			if e.fpChecks != nil {
+				*e.fpChecks++
+			}
+			e.ic.FastPath.Hits++
+			return
+		}
+		e.ic.FastPath.Slow++
+		e.cfg.Tracer.Load(t, in, a, v)
+	default:
+		e.cfg.Tracer.Load(t, in, a, v)
+	}
+}
+
+// traceStore is traceLoad's store analog. Only FastEpoch has a store
+// fast path: the same-epoch write check precedes all read-state
+// checks in the detector, so that skip is exact, and a
+// thread-exclusive slot pair reduces the write rules to storing the
+// epoch and the attribution instr (a ReadShared read slot never
+// matches a real TID, so shared collapses always go slow); other
+// kinds call through.
+func (e *engine) traceStore(t vc.TID, in *ir.Instr, a Addr, v int64) {
+	if e.fpKind == FastEpoch {
+		if eps := *e.fpEpochs; uint64(t) < uint64(len(eps)) {
+			if ep := eps[t]; ep != 0 {
+				wr := *e.fpWrite
+				rel := a - PtrBase
+				obj, off := rel/OffSpan, rel%OffSpan
+				if uint64(obj) < uint64(len(wr)) {
+					if row := wr[obj]; uint64(off) < uint64(len(row)) {
+						w := row[off]
+						if w == ep { // SAME EPOCH
+							*e.fpChecks++
+							e.ic.FastPath.Hits++
+							return
+						}
+						if w == 0 || w.TID() == t { // exclusive write transition
+							if rd := *e.fpRead; uint64(obj) < uint64(len(rd)) {
+								if rrow := rd[obj]; uint64(off) < uint64(len(rrow)) {
+									if r := rrow[off]; r == 0 || r.TID() == t {
+										if wi := *e.fpWIn; uint64(obj) < uint64(len(wi)) {
+											if irow := wi[obj]; uint64(off) < uint64(len(irow)) {
+												row[off] = ep
+												irow[off] = in
+												*e.fpChecks++
+												e.ic.FastPath.Hits++
+												return
+											}
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		e.ic.FastPath.Slow++
+		if e.fpBatch {
+			e.ring = append(e.ring, MemEvent{Store: true, T: t, In: in, Addr: a, Val: v})
+			if len(e.ring) == cap(e.ring) {
+				e.drainMem()
+			}
+			return
+		}
+	}
+	e.cfg.Tracer.Store(t, in, a, v)
+}
+
+// skipExec reports whether a FastSlice client unconditionally ignores
+// Exec events for this opcode (the slicer early-returns on jumps,
+// branches, lock/unlock, and join before touching any state), so the
+// engine can skip the delivery.
+func skipExec(op copcode) bool {
+	switch op {
+	case cJmp, cBr, cLock, cUnlock, cJoin:
+		return true
+	}
+	return false
+}
+
 // start spawns the main thread and delivers its entry BlockEnter —
 // the common prologue of run and the step debugger.
 func (e *engine) start() error {
@@ -376,11 +617,25 @@ func (e *engine) run() error {
 	}
 }
 
-// runSlice executes up to one quantum of th. Control flow mirrors the
-// tree-walker exactly: step-limit check before each instruction, abort
-// poll after each, context poll once per slice, and blocked sync
-// operations retried without consuming a step.
+// runSlice executes up to one quantum of th and then drains any
+// ring-buffered slow-path memory events: a slice exit is a scheduling
+// boundary, and the next slice may run another thread, so the ring
+// must never carry events across it (the fast-path equivalence
+// argument in fastpath.go relies on queued events belonging to the
+// currently-running thread). Draining on error exits too keeps final
+// reports identical — a trap or abort must observe every event that
+// preceded it.
 func (e *engine) runSlice(th *cthread) error {
+	err := e.runSliceInner(th)
+	e.drainMem()
+	return err
+}
+
+// runSliceInner executes up to one quantum of th. Control flow mirrors
+// the tree-walker exactly: step-limit check before each instruction,
+// abort poll after each, context poll once per slice, and blocked sync
+// operations retried without consuming a step.
+func (e *engine) runSliceInner(th *cthread) error {
 	if e.ctxDone != nil {
 		select {
 		case <-e.ctxDone:
@@ -434,22 +689,37 @@ func (e *engine) runSlice(th *cthread) error {
 					// load yields 0 and no memory is touched.
 					fr.regs[in.dst] = 0
 					if tr != nil {
+						e.drainMem()
 						tr.NilDeref(th.id, in.in)
 					}
 					fr.pc++
 					break
 				}
 			}
-			cell, err := e.mem(th, in.in, a)
-			if err != nil {
-				return err
+			// Inlined e.mem hit path (see mLoad); the slow path
+			// re-resolves only to trap or grow-agnostic cases.
+			var v int64
+			if obj, off := DecodeAddr(a); IsPtr(a) && obj < len(e.objects) && uint64(off) < uint64(len(e.objects[obj])) {
+				v = e.objects[obj][off]
+			} else {
+				cell, err := e.mem(th, in.in, a)
+				if err != nil {
+					return err
+				}
+				v = *cell
 			}
-			v := *cell
 			fr.regs[in.dst] = v
 			accessAddr = a
 			if in.flags&fMemEv != 0 && tr != nil {
 				e.stats.Loads++
-				tr.Load(th.id, in.in, a, v)
+				// Inlined same-epoch fast path; all other shapes
+				// (transitions, misses, other fast kinds) outlined.
+				if e.fpKind == FastEpoch && e.fpReadHit(th.id, a-PtrBase) {
+					*e.fpChecks++
+					e.ic.FastPath.Hits++
+				} else {
+					e.traceLoad(th.id, in.in, a, v)
+				}
 			}
 			fr.pc++
 		case cStore:
@@ -459,22 +729,34 @@ func (e *engine) runSlice(th *cthread) error {
 				if a == 0 {
 					// Recovered nil deref: the store is dropped.
 					if tr != nil {
+						e.drainMem()
 						tr.NilDeref(th.id, in.in)
 					}
 					fr.pc++
 					break
 				}
 			}
-			cell, err := e.mem(th, in.in, a)
-			if err != nil {
-				return err
-			}
 			v := opval(fr.regs, in.b)
-			*cell = v
+			// Inlined e.mem hit path (see mStore).
+			if obj, off := DecodeAddr(a); IsPtr(a) && obj < len(e.objects) && uint64(off) < uint64(len(e.objects[obj])) {
+				e.objects[obj][off] = v
+			} else {
+				cell, err := e.mem(th, in.in, a)
+				if err != nil {
+					return err
+				}
+				*cell = v
+			}
 			accessAddr = a
 			if in.flags&fMemEv != 0 && tr != nil {
 				e.stats.Stores++
-				tr.Store(th.id, in.in, a, v)
+				// Inlined same-epoch fast path; see cLoad.
+				if e.fpKind == FastEpoch && e.fpWriteHit(th.id, a-PtrBase) {
+					*e.fpChecks++
+					e.ic.FastPath.Hits++
+				} else {
+					e.traceStore(th.id, in.in, a, v)
+				}
 			}
 			fr.pc++
 		case cLock:
@@ -493,6 +775,7 @@ func (e *engine) runSlice(th *cthread) error {
 				accessAddr = a
 				if in.flags&fSyncEv != 0 && tr != nil {
 					e.stats.Locks++
+					e.drainMem()
 					tr.Lock(th.id, in.in, a)
 				}
 				fr.pc++
@@ -523,6 +806,7 @@ func (e *engine) runSlice(th *cthread) error {
 			accessAddr = a
 			if in.flags&fSyncEv != 0 && tr != nil {
 				e.stats.Unlocks++
+				e.drainMem()
 				tr.Unlock(th.id, in.in, a)
 			}
 			e.lockSet(a, 0)
@@ -541,6 +825,7 @@ func (e *engine) runSlice(th *cthread) error {
 			th.frames = append(th.frames, nf)
 			if tr != nil {
 				e.stats.CallEvents++
+				e.drainMem()
 				tr.Call(th.id, in.in, callee.fn, fr.id, nf.id)
 			}
 			if callee.entryEv && tr != nil {
@@ -563,6 +848,7 @@ func (e *engine) runSlice(th *cthread) error {
 			}
 			if tr != nil {
 				e.stats.Spawns++
+				e.drainMem()
 				tr.Spawn(th.id, in.in, child.id, cf.id, callee.fn)
 			}
 			fr.pc++
@@ -597,6 +883,7 @@ func (e *engine) runSlice(th *cthread) error {
 			}
 			if tr != nil {
 				e.stats.Joins++
+				e.drainMem()
 				tr.Join(th.id, in.in, target.id)
 			}
 			fr.pc++
@@ -609,6 +896,7 @@ func (e *engine) runSlice(th *cthread) error {
 				e.removeRunning(th.id)
 				yield = true
 				if tr != nil {
+					e.drainMem()
 					tr.Ret(th.id, in.in, fr.id, 0, nil)
 				}
 			} else {
@@ -617,6 +905,7 @@ func (e *engine) runSlice(th *cthread) error {
 					caller.regs[fr.retReg] = v
 				}
 				if tr != nil {
+					e.drainMem()
 					tr.Ret(th.id, in.in, fr.id, caller.id, fr.retVar)
 				}
 				nextFr = caller
@@ -626,6 +915,7 @@ func (e *engine) runSlice(th *cthread) error {
 			fr.pc = in.t0
 			if in.flags&fBlkEv0 != 0 && tr != nil {
 				e.stats.BlockEvents++
+				e.drainMem()
 				tr.BlockEnter(th.id, in.b0)
 			}
 		case cBr:
@@ -633,12 +923,14 @@ func (e *engine) runSlice(th *cthread) error {
 				fr.pc = in.t0
 				if in.flags&fBlkEv0 != 0 && tr != nil {
 					e.stats.BlockEvents++
+					e.drainMem()
 					tr.BlockEnter(th.id, in.b0)
 				}
 			} else {
 				fr.pc = in.t1
 				if in.flags&fBlkEv1 != 0 && tr != nil {
 					e.stats.BlockEvents++
+					e.drainMem()
 					tr.BlockEnter(th.id, in.b1)
 				}
 			}
@@ -793,6 +1085,7 @@ func (e *engine) runSlice(th *cthread) error {
 						th.frames = append(th.frames, nf)
 						if tr != nil {
 							e.stats.CallEvents++
+							e.drainMem()
 							tr.Call(th.id, ci.in, callee.fn, fr.id, nf.id)
 						}
 						if callee.entryEv && tr != nil {
@@ -808,6 +1101,7 @@ func (e *engine) runSlice(th *cthread) error {
 							e.removeRunning(th.id)
 							yield = true
 							if tr != nil {
+								e.drainMem()
 								tr.Ret(th.id, ci.in, fr.id, 0, nil)
 							}
 						} else {
@@ -816,6 +1110,7 @@ func (e *engine) runSlice(th *cthread) error {
 								caller.regs[fr.retReg] = v
 							}
 							if tr != nil {
+								e.drainMem()
 								tr.Ret(th.id, ci.in, fr.id, caller.id, fr.retVar)
 							}
 							nextFr = caller
@@ -826,12 +1121,14 @@ func (e *engine) runSlice(th *cthread) error {
 							fr.pc = ci.t0
 							if ci.flags&fBlkEv0 != 0 && tr != nil {
 								e.stats.BlockEvents++
+								e.drainMem()
 								tr.BlockEnter(th.id, ci.b0)
 							}
 						} else {
 							fr.pc = ci.t1
 							if ci.flags&fBlkEv1 != 0 && tr != nil {
 								e.stats.BlockEvents++
+								e.drainMem()
 								tr.BlockEnter(th.id, ci.b1)
 							}
 						}
@@ -839,33 +1136,53 @@ func (e *engine) runSlice(th *cthread) error {
 						fr.pc = ci.t0
 						if ci.flags&fBlkEv0 != 0 && tr != nil {
 							e.stats.BlockEvents++
+							e.drainMem()
 							tr.BlockEnter(th.id, ci.b0)
 						}
 					case cLoad:
 						a := opval(fr.regs, ci.a)
-						cell, err := e.mem(th, ci.in, a)
-						if err != nil {
-							e.stats.Steps += uint64(n) - 1
-							return err
+						var v int64
+						if obj, off := DecodeAddr(a); IsPtr(a) && obj < len(e.objects) && uint64(off) < uint64(len(e.objects[obj])) {
+							v = e.objects[obj][off]
+						} else {
+							cell, err := e.mem(th, ci.in, a)
+							if err != nil {
+								e.stats.Steps += uint64(n) - 1
+								return err
+							}
+							v = *cell
 						}
-						v := *cell
 						fr.regs[ci.dst] = v
 						if ci.flags&fMemEv != 0 && tr != nil {
 							e.stats.Loads++
-							tr.Load(th.id, ci.in, a, v)
+							if e.fpKind == FastEpoch && e.fpReadHit(th.id, a-PtrBase) {
+								*e.fpChecks++
+								e.ic.FastPath.Hits++
+							} else {
+								e.traceLoad(th.id, ci.in, a, v)
+							}
 						}
 					case cStore:
 						a := opval(fr.regs, ci.a)
-						cell, err := e.mem(th, ci.in, a)
-						if err != nil {
-							e.stats.Steps += uint64(n) - 1
-							return err
-						}
 						v := opval(fr.regs, ci.b)
-						*cell = v
+						if obj, off := DecodeAddr(a); IsPtr(a) && obj < len(e.objects) && uint64(off) < uint64(len(e.objects[obj])) {
+							e.objects[obj][off] = v
+						} else {
+							cell, err := e.mem(th, ci.in, a)
+							if err != nil {
+								e.stats.Steps += uint64(n) - 1
+								return err
+							}
+							*cell = v
+						}
 						if ci.flags&fMemEv != 0 && tr != nil {
 							e.stats.Stores++
-							tr.Store(th.id, ci.in, a, v)
+							if e.fpKind == FastEpoch && e.fpWriteHit(th.id, a-PtrBase) {
+								*e.fpChecks++
+								e.ic.FastPath.Hits++
+							} else {
+								e.traceStore(th.id, ci.in, a, v)
+							}
 						}
 					}
 				}
@@ -893,7 +1210,18 @@ func (e *engine) runSlice(th *cthread) error {
 
 		if in.flags&fExecEv != 0 && tr != nil {
 			e.stats.ExecEvents++
-			tr.Exec(th.id, in.in, fr.id, accessAddr)
+			if e.fpKind == FastSlice && skipExec(in.op) {
+				// The slicer ignores Exec for these opcodes before
+				// touching any state; the delivery itself is the only
+				// thing skipped, the event count above is unchanged.
+				e.ic.FastPath.Hits++
+			} else {
+				if e.fpKind == FastSlice {
+					e.ic.FastPath.Slow++
+				}
+				e.drainMem()
+				tr.Exec(th.id, in.in, fr.id, accessAddr)
+			}
 		}
 		if dead != nil {
 			e.freeFrame(dead)

@@ -21,14 +21,16 @@ import (
 	"oha/internal/vc"
 )
 
-// -ic/-fusion compile every differential image with the speculative
-// lowering disabled; `go test -run TestEngineDifferential -ic=off
-// -fusion=off` is the CI equivalence gate proving results do not
-// depend on either optimization.
+// -ic/-fusion/-fastpath compile every differential image with the
+// corresponding speculative lowering disabled; `go test -run
+// TestEngineDifferential -ic=off -fusion=off` (and separately
+// `-fastpath=off`) are the CI equivalence gates proving results do not
+// depend on any of the optimizations.
 var (
-	icFlag     = flag.String("ic", "on", "differential images: speculative inline caches (on|off)")
-	fusionFlag = flag.String("fusion", "on", "differential images: superinstruction fusion (on|off)")
-	imageFlag  = flag.String("image", "direct", "differential images: direct in-memory Code, or an EncodeImage/DecodeImage round trip (direct|roundtrip)")
+	icFlag       = flag.String("ic", "on", "differential images: speculative inline caches (on|off)")
+	fusionFlag   = flag.String("fusion", "on", "differential images: superinstruction fusion (on|off)")
+	fastpathFlag = flag.String("fastpath", "on", "differential images: inline analysis fast paths (on|off)")
+	imageFlag    = flag.String("image", "direct", "differential images: direct in-memory Code, or an EncodeImage/DecodeImage round trip (direct|roundtrip)")
 )
 
 // diffCompile builds the image the compiled-engine half of a
@@ -40,9 +42,10 @@ var (
 // compilation.
 func diffCompile(prog *ir.Program, m interp.Masks, callees map[int][]int) *interp.Code {
 	code := interp.CompileWith(prog, m, interp.CompileOptions{
-		Callees:       callees,
-		DisableIC:     *icFlag == "off",
-		DisableFusion: *fusionFlag == "off",
+		Callees:         callees,
+		DisableIC:       *icFlag == "off",
+		DisableFusion:   *fusionFlag == "off",
+		DisableFastPath: *fastpathFlag == "off",
 	})
 	if *imageFlag == "roundtrip" {
 		dec, err := interp.DecodeImage(prog, code.EncodeImage())

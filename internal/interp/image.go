@@ -41,7 +41,7 @@ import (
 // and the caller recompiles.
 var imageMagic = [6]byte{'O', 'H', 'C', 'I', 'M', 'G'}
 
-const imageVersion uint16 = 1
+const imageVersion uint16 = 2
 
 // ErrImage wraps every image decode failure, so callers can
 // distinguish "stale/corrupt artifact" from other errors with
@@ -149,6 +149,11 @@ func (c *Code) EncodeImage() []byte {
 	w.hexDigest(c.cfgDigest)
 	w.u32(uint32(c.numICs))
 	w.u32(uint32(c.fused))
+	if c.noFast {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
 
 	w.u32(uint32(len(c.funcs)))
 	for _, cf := range c.funcs {
@@ -276,10 +281,18 @@ func DecodeImage(prog *ir.Program, data []byte) (*Code, error) {
 	if err != nil {
 		return nil, err
 	}
+	noFast, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if noFast > 1 {
+		return nil, imgErr("bad fast-path byte %d", noFast)
+	}
 
 	c, blockPC := newSkeleton(prog)
 	c.maskDigest = hex.EncodeToString(rawMask)
 	c.cfgDigest = hex.EncodeToString(rawCfg)
+	c.noFast = noFast == 1
 
 	nfuncs, err := r.u32()
 	if err != nil {

@@ -201,6 +201,20 @@ type ICStats struct {
 	// Fused counts fused superinstructions executed: each is one
 	// dispatch that retired two instructions.
 	Fused uint64
+	// FastPath reports inline tracer fast-path activity (fastpath.go):
+	// Hits are events settled in the dispatch loop without an interface
+	// call, Slow are events that fell back to the full Tracer method
+	// (batched or not). Both zero when no FastTracer is armed.
+	FastPath FastPathStats
+}
+
+// FastPathStats counts inline tracer fast-path activity. Like the
+// rest of ICStats it describes how the compiled engine got its result,
+// not the result itself: analysis reports and Stats are bit-identical
+// with the fast path on or off.
+type FastPathStats struct {
+	Hits uint64
+	Slow uint64
 }
 
 // Add accumulates o into s (used when a rolled-back run's stats are
@@ -210,6 +224,8 @@ func (s *ICStats) Add(o ICStats) {
 	s.Misses += o.Misses
 	s.Deopts += o.Deopts
 	s.Fused += o.Fused
+	s.FastPath.Hits += o.FastPath.Hits
+	s.FastPath.Slow += o.FastPath.Slow
 }
 
 // Result is the outcome of an execution.

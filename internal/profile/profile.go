@@ -37,7 +37,7 @@ type Collector struct {
 	callees     map[int]*bitset.Set
 	ctxs        *invariants.ContextSet
 	stacks      map[vc.TID]*ctxStack
-	zeroLoads   *bitset.Set // load sites observed producing value 0
+	zeroLoads   *bitset.Set // load sites observed producing 0
 }
 
 // ctxFrame mirrors one activation for context tracking.
@@ -66,6 +66,18 @@ func NewCollector(prog *ir.Program) *Collector {
 		zeroLoads:   &bitset.Set{},
 	}
 }
+
+// FastState implements interp.FastTracer: profiling's Load handler is
+// a pure zero-test (the same shape as nullcheck.Observer), so the
+// engine can settle every non-nil load inline. The collector's other
+// events are unaffected.
+func (c *Collector) FastState() *interp.FastState {
+	return &interp.FastState{Kind: interp.FastNull}
+}
+
+// FlushMem implements interp.FastTracer; the collector never requests
+// memory-event batching.
+func (c *Collector) FlushMem([]interp.MemEvent) {}
 
 // stack returns (creating on first use) the context stack of thread t.
 // Thread 0's root is main with the empty context.
@@ -225,8 +237,9 @@ func (c *Collector) Summarize() *invariants.DB {
 	// this run (sites that did not execute trivially qualify, like
 	// singleton spawns — the intersection merge keeps only sites that
 	// held across every profiled run).
+	zero := c.zeroLoads
 	for _, in := range c.prog.Instrs {
-		if in.Op == ir.OpLoad && !c.zeroLoads.Has(in.ID) {
+		if in.Op == ir.OpLoad && !zero.Has(in.ID) {
 			db.NonNullLoads.Add(in.ID)
 		}
 	}

@@ -82,6 +82,10 @@ type Config struct {
 	// generation's saturated solver state instead of re-solving from
 	// scratch.
 	Incremental bool
+	// NoFastPath disables the compiled engine's inline analysis fast
+	// paths for every job (a debugging/ablation toggle — results are
+	// identical either way, only tracing speed changes).
+	NoFastPath bool
 	// Programs overrides the program state tier (nil: an in-process
 	// ProgramStore). A fleet node plugs in a digest-routed remote tier
 	// here, turning the daemon into a stateless frontend.
@@ -122,6 +126,12 @@ type Server struct {
 	icMisses *metrics.Counter
 	icDeopts *metrics.Counter
 	icFused  *metrics.Counter
+
+	// Analysis fast-path counters, labeled by analysis client
+	// (race/null/slice): events settled inline in the engine's dispatch
+	// loop vs. delivered through the Tracer interface slow path.
+	fpHits *metrics.CounterVec
+	fpSlow *metrics.CounterVec
 
 	// static configures the static pipeline for every job; incMetrics
 	// is the shared per-phase latency + incremental-reuse family.
@@ -175,7 +185,7 @@ func New(cfg Config) (*Server, error) {
 		reg:      metrics.NewRegistry(),
 		mux:      http.NewServeMux(),
 		adapters: map[adaptKey]*adapt.Manager{},
-		static:   core.StaticConfig{Workers: cfg.StaticWorkers, Incremental: cfg.Incremental},
+		static:   core.StaticConfig{Workers: cfg.StaticWorkers, Incremental: cfg.Incremental, NoFastPath: cfg.NoFastPath},
 	}
 	s.adaptMetrics = adapt.NewMetrics(s.reg)
 	s.incMetrics = inc.NewMetrics(s.reg)
@@ -189,6 +199,8 @@ func New(cfg Config) (*Server, error) {
 	s.icMisses = s.reg.NewCounter("oha_ic_misses_total", "inline-cache dispatch misses (deoptimized sites) across analyzed executions")
 	s.icDeopts = s.reg.NewCounter("oha_ic_deopts_total", "inline-cache site deoptimizations across analyzed executions")
 	s.icFused = s.reg.NewCounter("oha_fused_instructions", "fused superinstruction executions across analyzed executions")
+	s.fpHits = s.reg.NewCounterVec("oha_trace_fastpath_hits_total", "analysis events settled inline by the engine's fast path", "client")
+	s.fpSlow = s.reg.NewCounterVec("oha_trace_fastpath_slow_total", "analysis events delivered through the Tracer slow path", "client")
 	s.pool = NewPool(PoolConfig{
 		Workers:    cfg.Workers,
 		QueueSize:  cfg.QueueSize,
@@ -670,13 +682,16 @@ func (s *Server) runOpts(ctx context.Context) core.RunOptions {
 	return core.RunOptions{MaxSteps: s.cfg.MaxSteps, Ctx: ctx}
 }
 
-// observeIC folds one run's speculative-dispatch counters into the
-// daemon-wide metrics.
-func (s *Server) observeIC(ic interp.ICStats) {
+// observeIC folds one run's speculative-dispatch and fast-path
+// counters into the daemon-wide metrics; client labels the analysis
+// (race/null/slice) the run served.
+func (s *Server) observeIC(client string, ic interp.ICStats) {
 	s.icHits.Add(ic.Hits)
 	s.icMisses.Add(ic.Misses)
 	s.icDeopts.Add(ic.Deopts)
 	s.icFused.Add(ic.Fused)
+	s.fpHits.With(client).Add(ic.FastPath.Hits)
+	s.fpSlow.With(client).Add(ic.FastPath.Slow)
 }
 
 // resolveDB fetches the invariant DB a job is predicated on.
@@ -919,7 +934,7 @@ func (s *Server) raceJob(sp *StoredProgram, req JobRequest) func(ctx context.Con
 			}
 			s.notifyGeneration(req.InvariantsID, sp.ID, m)
 			for _, t := range tries[:len(tries)-1] {
-				s.observeIC(t.Report.IC)
+				s.observeIC("race", t.Report.IC)
 			}
 			last := tries[len(tries)-1]
 			rep, generation, attempts = last.Report, last.Generation, len(tries)
@@ -937,7 +952,7 @@ func (s *Server) raceJob(sp *StoredProgram, req JobRequest) func(ctx context.Con
 				return nil, err
 			}
 		}
-		s.observeIC(rep.IC)
+		s.observeIC("race", rep.IC)
 		races := make([]string, 0, len(rep.Details))
 		for _, rc := range rep.Details {
 			races = append(races, rc.String())
@@ -984,7 +999,7 @@ func (s *Server) nullJob(sp *StoredProgram, req JobRequest) func(ctx context.Con
 			}
 			s.notifyGeneration(req.InvariantsID, sp.ID, m)
 			for _, t := range tries[:len(tries)-1] {
-				s.observeIC(t.Report.IC)
+				s.observeIC("null", t.Report.IC)
 			}
 			last := tries[len(tries)-1]
 			rep, generation, attempts = last.Report, last.Generation, len(tries)
@@ -1002,7 +1017,7 @@ func (s *Server) nullJob(sp *StoredProgram, req JobRequest) func(ctx context.Con
 				return nil, err
 			}
 		}
-		s.observeIC(rep.IC)
+		s.observeIC("null", rep.IC)
 		return NullJobResult{
 			NilSites:         rep.NilSites,
 			NilDerefs:        rep.NilDerefs,
@@ -1056,7 +1071,7 @@ func (s *Server) sliceJob(sp *StoredProgram, req JobRequest) func(ctx context.Co
 			}
 			s.notifyGeneration(req.InvariantsID, sp.ID, m)
 			for _, t := range tries[:len(tries)-1] {
-				s.observeIC(t.Report.IC)
+				s.observeIC("slice", t.Report.IC)
 			}
 			last := tries[len(tries)-1]
 			rep, generation, attempts = last.Report, last.Generation, len(tries)
@@ -1082,7 +1097,7 @@ func (s *Server) sliceJob(sp *StoredProgram, req JobRequest) func(ctx context.Co
 			}
 			at = string(sl.AT)
 		}
-		s.observeIC(rep.IC)
+		s.observeIC("slice", rep.IC)
 		res := SliceJobResult{
 			CriterionIndex: idx,
 			CriterionLine:  prints[idx].Pos.Line,

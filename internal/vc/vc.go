@@ -71,9 +71,26 @@ func (v *VC) grow(t TID) {
 	if int(t) < len(v.clocks) {
 		return
 	}
-	nc := make([]uint32, t+1)
-	copy(nc, v.clocks)
-	v.clocks = nc
+	if int(t) < cap(v.clocks) {
+		// Extend in place. The region between the old and new length
+		// must be zeroed explicitly: Assign and Reset shrink the slice
+		// in place, so capacity may hold stale clock values.
+		old := len(v.clocks)
+		v.clocks = v.clocks[:t+1]
+		for i := old; i < len(v.clocks); i++ {
+			v.clocks[i] = 0
+		}
+		return
+	}
+	// Double capacity so a clock touched by successively higher thread
+	// ids (spawn-heavy runs) reallocates O(log n) times, not O(n).
+	nc := 2 * cap(v.clocks)
+	if nc < int(t)+1 {
+		nc = int(t) + 1
+	}
+	grown := make([]uint32, int(t)+1, nc)
+	copy(grown, v.clocks)
+	v.clocks = grown
 }
 
 // Set assigns the clock for thread t.
@@ -122,6 +139,12 @@ func (v *VC) Assign(u *VC) {
 		v.clocks = v.clocks[:len(u.clocks)]
 	}
 	copy(v.clocks, u.clocks)
+}
+
+// Reset shrinks v to the bottom clock in place, keeping its backing
+// array for reuse (pooled read-share clocks in the race detector).
+func (v *VC) Reset() {
+	v.clocks = v.clocks[:0]
 }
 
 // LeqEpoch reports whether epoch e happens-before-or-equals v, i.e.

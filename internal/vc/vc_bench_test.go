@@ -57,3 +57,45 @@ func BenchmarkEqualRagged(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkVCGrowTall builds one clock entry-by-entry up to 256
+// threads — the spawn-heavy shape that grows the backing array. With
+// capacity doubling this reallocates O(log n) times instead of once
+// per new high thread id.
+func BenchmarkVCGrowTall(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := New()
+		for t := TID(0); t < 256; t++ {
+			v.Set(t, uint32(t)+1)
+		}
+	}
+}
+
+// BenchmarkVCFreshFill allocates a new clock and fills 64 entries per
+// iteration — what the race detector's READ_SHARED inflation cost
+// before pooling.
+func BenchmarkVCFreshFill(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := New()
+		for t := TID(0); t < 64; t++ {
+			v.Set(t, uint32(t)+1)
+		}
+	}
+}
+
+// BenchmarkVCPooledRefill is BenchmarkVCFreshFill on a recycled clock:
+// Reset keeps the backing array, so the refill allocates nothing.
+// This is the detector's rvcPool cycle (collapse on write, reuse on
+// the next inflation).
+func BenchmarkVCPooledRefill(b *testing.B) {
+	v := benchVC(64, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Reset()
+		for t := TID(0); t < 64; t++ {
+			v.Set(t, uint32(t)+1)
+		}
+	}
+}

@@ -10,15 +10,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_$(date +%F).json}
-PATTERN='BenchmarkInterp|BenchmarkFig|BenchmarkLeqEpoch|BenchmarkJoinWith|BenchmarkEqual|BenchmarkStatic|BenchmarkPointsTo|BenchmarkForEach|BenchmarkUnionChanged'
+PATTERN='BenchmarkInterp|BenchmarkFig|BenchmarkLeqEpoch|BenchmarkJoinWith|BenchmarkEqual|BenchmarkVC|BenchmarkStatic|BenchmarkPointsTo|BenchmarkForEach|BenchmarkUnionChanged'
 
 go test -run '^$' -bench "$PATTERN" -benchtime=1x -count=3 -json \
   ./... >"$OUT"
 
-# Append the tightly paired A/B speedup measurement (abbench_test.go):
+# Append the tightly paired A/B speedup measurements (abbench_test.go):
 # cross-process one-shot benchmarks drift too much on shared hardware to
-# resolve the IC+fusion ratio, so the snapshot also records the
-# interleaved in-process medians.
-go test -run 'TestPairedSpeedup' -count=1 -json . >>"$OUT"
+# resolve the measured ratios, so the snapshot also records the
+# interleaved in-process medians — the IC+fusion pair
+# (TestPairedSpeedup, TestPairedSpeedupFastTrack) and the analysis
+# fast-path on/off pair over the Figure 5 suite plus dispatch-mono
+# (TestPairedSpeedupFastPath).
+go test -run 'TestPairedSpeedup' -count=1 -json -timeout 60m . >>"$OUT"
 
 echo "wrote $OUT ($(grep -c '"Action":"output"' "$OUT" || true) output lines)"
